@@ -1,0 +1,352 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (§5), plus the design-choice ablations of §3. Each benchmark
+// regenerates its experiment at Quick scale on the simulated testbed,
+// reports the headline values as benchmark metrics, and fails if the
+// paper's qualitative claim (who wins, by roughly what factor) does not
+// hold. Run `go test -bench=. -benchmem` or `cmd/kitebench` for the
+// table-formatted output.
+package kite
+
+import (
+	"strings"
+	"testing"
+
+	"kite/internal/experiments"
+)
+
+func quick() experiments.Scale { return experiments.Quick() }
+
+// reportPairs exposes an experiment's pairs as benchmark metrics.
+func reportPairs(b *testing.B, res *experiments.Result, metricNames ...string) {
+	b.Helper()
+	for _, name := range metricNames {
+		p := res.Pair(name)
+		if p == nil {
+			b.Fatalf("%s: missing pair %q", res.ID, name)
+		}
+		unit := strings.ReplaceAll(name, " ", "_")
+		b.ReportMetric(p.Linux, unit+"_linux")
+		b.ReportMetric(p.Kite, unit+"_kite")
+	}
+}
+
+// BenchmarkFig1aDriverCVEs regenerates Figure 1a's driver-CVE trend.
+func BenchmarkFig1aDriverCVEs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig1aDriverCVEs()
+		if res.Table.NumRows() < 5 {
+			b.Fatal("Fig 1a needs multiple years")
+		}
+	}
+}
+
+// BenchmarkFig1bROPTotals regenerates Figure 1b's total gadget counts.
+func BenchmarkFig1bROPTotals(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig1bFig5ROP()
+		def := res.Pair("default/kite")
+		if def == nil || def.Linux/def.Kite < 3 {
+			b.Fatalf("default kernel must have ~4x Kite's gadgets: %+v", def)
+		}
+		b.ReportMetric(def.Kite, "kite_gadgets")
+		b.ReportMetric(def.Linux, "default_gadgets")
+		b.ReportMetric(res.Pair("ubuntu/kite").Linux, "ubuntu_gadgets")
+	}
+}
+
+// BenchmarkFig5ROPCategories regenerates Figure 5's per-category scan.
+func BenchmarkFig5ROPCategories(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		counts := GadgetCounts(KiteNetworkDomainScanProfile())
+		var total uint64
+		for _, c := range counts {
+			total += c
+		}
+		if total == 0 {
+			b.Fatal("empty gadget scan")
+		}
+		b.ReportMetric(float64(total), "kite_gadgets")
+	}
+}
+
+// BenchmarkTable3CVEs verifies all 11 Table 3 CVEs are mitigated by Kite.
+func BenchmarkTable3CVEs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Table3()
+		p := res.Pair("mitigated-by-kite")
+		if p == nil || p.Kite != 11 {
+			b.Fatalf("Table 3 mitigations = %+v, want 11", p)
+		}
+		b.ReportMetric(p.Kite, "mitigated")
+	}
+}
+
+// BenchmarkFig4aSyscalls regenerates Figure 4a (171 vs 14/18 syscalls).
+func BenchmarkFig4aSyscalls(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig4Footprint()
+		p := res.Pair("syscalls")
+		if p.Linux/p.Kite < 10 {
+			b.Fatalf("syscall reduction %.1fx, want >= 10x", p.Linux/p.Kite)
+		}
+		reportPairs(b, res, "syscalls")
+	}
+}
+
+// BenchmarkFig4bImageSize regenerates Figure 4b (~10x smaller image).
+func BenchmarkFig4bImageSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig4Footprint()
+		p := res.Pair("image")
+		if p.Linux/p.Kite < 9 {
+			b.Fatalf("image ratio %.1fx, want ~10x", p.Linux/p.Kite)
+		}
+		b.ReportMetric(p.Linux/(1<<20), "linux_MB")
+		b.ReportMetric(p.Kite/(1<<20), "kite_MB")
+	}
+}
+
+// BenchmarkFig4cBootTime runs experiment E1 (claim C1: >= 10x faster boot).
+func BenchmarkFig4cBootTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig4cBootTime()
+		p := res.Pair("boot-to-service")
+		if p.Linux/p.Kite < 10 {
+			b.Fatalf("boot speedup %.1fx, want >= 10x (claim C1)", p.Linux/p.Kite)
+		}
+		b.ReportMetric(p.Linux, "linux_s")
+		b.ReportMetric(p.Kite, "kite_s")
+	}
+}
+
+// BenchmarkFig6Nuttcp regenerates Figure 6 (UDP throughput parity, low
+// loss).
+func BenchmarkFig6Nuttcp(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig6Nuttcp(quick())
+		tp := res.Pair("throughput")
+		if !tp.Parity(1.3) {
+			b.Fatalf("throughput parity violated: %+v", tp)
+		}
+		reportPairs(b, res, "throughput", "loss")
+	}
+}
+
+// BenchmarkFig7Latency regenerates Figure 7 (Kite at or below Linux on
+// ping/netperf/memtier latency).
+func BenchmarkFig7Latency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig7Latency(quick())
+		for _, p := range res.Pairs {
+			if p.Kite > p.Linux*1.05 {
+				b.Fatalf("%s: kite %.3f worse than linux %.3f", p.Metric, p.Kite, p.Linux)
+			}
+		}
+		reportPairs(b, res, "ping RTT", "netperf RR", "memtier")
+	}
+}
+
+// BenchmarkFig8Apache regenerates Figure 8 (throughput by file size; Kite
+// marginally ahead at 512 KB).
+func BenchmarkFig8Apache(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig8Apache(quick())
+		big := res.Pair("tput@512KB")
+		if big == nil || !big.Parity(1.3) {
+			b.Fatalf("512KB throughput parity violated: %+v", big)
+		}
+		// Throughput must grow with file size (Fig 8a's shape).
+		small := res.Pair("tput@512B")
+		if small == nil || small.Kite >= big.Kite {
+			b.Fatal("throughput does not grow with file size")
+		}
+		reportPairs(b, res, "tput@512KB")
+	}
+}
+
+// BenchmarkFig9Redis regenerates Figure 9 (SET/GET parity across threads).
+func BenchmarkFig9Redis(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig9Redis(quick())
+		for _, p := range res.Pairs {
+			if !p.Parity(1.35) {
+				b.Fatalf("%s parity violated: %+v", p.Metric, p)
+			}
+		}
+		reportPairs(b, res, "SET@20", "GET@20")
+	}
+}
+
+// BenchmarkFig10MySQLNet regenerates Figure 10 (OLTP throughput and DomU
+// CPU parity over the network path).
+func BenchmarkFig10MySQLNet(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig10MySQL(quick())
+		low := res.Pair("qps@5")
+		high := res.Pair("qps@60")
+		if low == nil || high == nil || high.Kite <= low.Kite {
+			b.Fatal("throughput does not rise with threads")
+		}
+		if !high.Parity(1.3) {
+			b.Fatalf("qps parity violated at 60 threads: %+v", high)
+		}
+		cpuLow := res.Pair("cpu@5")
+		cpuHigh := res.Pair("cpu@60")
+		if cpuHigh.Kite <= cpuLow.Kite {
+			b.Fatal("CPU utilization does not rise with threads (Fig 10b)")
+		}
+		reportPairs(b, res, "qps@60", "cpu@60")
+	}
+}
+
+// BenchmarkFig11DD regenerates Figure 11 (dd parity).
+func BenchmarkFig11DD(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig11DD(quick())
+		for _, name := range []string{"read", "write"} {
+			if p := res.Pair(name); !p.Parity(1.3) {
+				b.Fatalf("dd %s parity violated: %+v", name, p)
+			}
+		}
+		reportPairs(b, res, "read", "write")
+	}
+}
+
+// BenchmarkFig12SysbenchFileIO regenerates Figure 12 (fileio sweeps; Kite
+// at parity or slightly ahead).
+func BenchmarkFig12SysbenchFileIO(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig12FileIO(quick())
+		one := res.Pair("thr@1")
+		many := res.Pair("thr@100")
+		if one == nil || many == nil || many.Kite <= one.Kite {
+			b.Fatal("throughput does not rise with threads (Fig 12a)")
+		}
+		if !many.Parity(1.35) {
+			b.Fatalf("fileio parity violated at 100 threads: %+v", many)
+		}
+		smallBS := res.Pair("bs@16KB")
+		bigBS := res.Pair("bs@8MB")
+		if smallBS == nil || bigBS == nil || bigBS.Kite <= smallBS.Kite {
+			b.Fatal("throughput does not rise with block size (Fig 12b)")
+		}
+		reportPairs(b, res, "thr@100", "bs@8MB")
+	}
+}
+
+// BenchmarkFig13MySQLStorage regenerates Figure 13 (disk-bound OLTP,
+// identical curves).
+func BenchmarkFig13MySQLStorage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig13MySQLStorage(quick())
+		for _, p := range res.Pairs {
+			if !p.Parity(1.35) {
+				b.Fatalf("%s parity violated: %+v", p.Metric, p)
+			}
+		}
+		reportPairs(b, res, "qps@100")
+	}
+}
+
+// BenchmarkFig14Fileserver regenerates Figure 14 (throughput rises with
+// I/O size; parity or Kite ahead).
+func BenchmarkFig14Fileserver(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig14Fileserver(quick())
+		small := res.Pair("io@16KB")
+		big := res.Pair("io@8MB")
+		if small == nil || big == nil || big.Kite <= small.Kite {
+			b.Fatal("throughput does not rise with I/O size")
+		}
+		if !big.Parity(1.4) {
+			b.Fatalf("fileserver parity violated: %+v", big)
+		}
+		reportPairs(b, res, "io@8MB")
+	}
+}
+
+// BenchmarkFig15MongoDB regenerates Figure 15 (Kite at or ahead on the
+// MongoDB pattern).
+func BenchmarkFig15MongoDB(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig15Mongo(quick())
+		tp := res.Pair("throughput")
+		if tp == nil || tp.Kite < tp.Linux*0.9 {
+			b.Fatalf("mongo throughput regressed on Kite: %+v", tp)
+		}
+		reportPairs(b, res, "throughput", "latency")
+	}
+}
+
+// BenchmarkFig16Webserver regenerates Figure 16 (Kite slightly ahead).
+func BenchmarkFig16Webserver(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig16Webserver(quick())
+		tp := res.Pair("throughput")
+		if tp == nil || tp.Kite < tp.Linux*0.9 {
+			b.Fatalf("webserver throughput regressed on Kite: %+v", tp)
+		}
+		reportPairs(b, res, "throughput", "cpu")
+	}
+}
+
+// BenchmarkSec55DHCP regenerates §5.5 (daemon VM DHCP latencies).
+func BenchmarkSec55DHCP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.DHCPLatency(quick())
+		do := res.Pair("discover-offer")
+		ra := res.Pair("request-ack")
+		if do == nil || ra == nil || do.Kite <= 0 || ra.Kite <= 0 {
+			b.Fatalf("dhcp latencies missing: %+v", res.Pairs)
+		}
+		if do.Kite > 5 || ra.Kite > 5 { // ms
+			b.Fatalf("dhcp latencies implausible: %+v", res.Pairs)
+		}
+		reportPairs(b, res, "discover-offer", "request-ack")
+	}
+}
+
+// BenchmarkAblationPersistentGrants measures §3.3's persistent grants.
+func BenchmarkAblationPersistentGrants(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		a := experiments.AblationPersistentGrants(quick())
+		if a.AuxOn*4 > a.AuxOff {
+			b.Fatalf("persistent grants saved too few maps: %d vs %d", a.AuxOn, a.AuxOff)
+		}
+		b.ReportMetric(float64(a.AuxOn), "maps_on")
+		b.ReportMetric(float64(a.AuxOff), "maps_off")
+	}
+}
+
+// BenchmarkAblationIndirectSegments measures §3.3's indirect segments.
+func BenchmarkAblationIndirectSegments(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		a := experiments.AblationIndirectSegments(quick())
+		if a.AuxOn >= a.AuxOff {
+			b.Fatalf("indirect did not reduce ring requests: %d vs %d", a.AuxOn, a.AuxOff)
+		}
+		b.ReportMetric(a.On, "MBps_on")
+		b.ReportMetric(a.Off, "MBps_off")
+	}
+}
+
+// BenchmarkAblationBatching measures §3.3's consecutive-request batching.
+func BenchmarkAblationBatching(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		a := experiments.AblationBatching(quick())
+		if a.AuxOn >= a.AuxOff {
+			b.Fatalf("batching did not reduce device ops: %d vs %d", a.AuxOn, a.AuxOff)
+		}
+		b.ReportMetric(float64(a.AuxOn), "devops_on")
+		b.ReportMetric(float64(a.AuxOff), "devops_off")
+	}
+}
+
+// BenchmarkAblationThreadedModel measures §3.2's pusher/soft_start design.
+func BenchmarkAblationThreadedModel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		a := experiments.AblationThreadedModel(quick())
+		b.ReportMetric(a.On, "ping_ms_threaded")
+		b.ReportMetric(a.Off, "ping_ms_inhandler")
+	}
+}

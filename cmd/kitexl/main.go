@@ -1,0 +1,30 @@
+// Command kitexl is an xl-flavoured front end to the simulated testbed:
+// it executes a scenario script of commands mirroring the artifact
+// appendix's workflow (see internal/xlcli for the command set). Reads the
+// script from the file argument or stdin.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"kite/internal/xlcli"
+)
+
+func main() {
+	in := os.Stdin
+	if len(os.Args) > 1 {
+		f, err := os.Open(os.Args[1])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kitexl: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	interp := xlcli.New(0x71, os.Stdout)
+	if err := interp.RunScript(in); err != nil {
+		fmt.Fprintf(os.Stderr, "kitexl: %v\n", err)
+		os.Exit(1)
+	}
+}

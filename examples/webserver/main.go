@@ -1,0 +1,87 @@
+// Webserver example: the full Qubes-style decomposition from the paper's
+// motivation — one guest serving HTTP, with its NIC behind a Kite network
+// domain and its disk behind a Kite storage domain. Content is written to
+// the paravirtual disk, read back through the page cache, and served to
+// the client over the PV network path; the example then benchmarks it with
+// the ApacheBench workload (Fig 8's setup).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"kite"
+	"kite/internal/apps"
+	"kite/internal/sim"
+	"kite/internal/workload"
+)
+
+func main() {
+	tb := kite.NewTestbed(2)
+	nd, err := tb.System.CreateNetworkDomain(kite.NetworkDomainConfig{
+		Kind: kite.KindKite, NIC: tb.ServerNIC,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sd, err := tb.System.CreateStorageDomain(kite.StorageDomainConfig{
+		Kind: kite.KindKite, Device: tb.NVMe,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	guest, err := tb.System.CreateGuest(kite.GuestConfig{
+		Name: "web-domU", IP: tb.GuestIP,
+		Net: nd, Storage: sd, DiskBytes: 2 << 30, Seed: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !tb.System.RunReady(guest.Ready, 500000) {
+		log.Fatal("device handshakes did not complete")
+	}
+	fmt.Println("guest up with vif + vbd through two Kite driver domains")
+
+	// Store the site content on the PV disk, then serve it from memory
+	// after a verified read-back.
+	srv, err := apps.NewHTTPServer(guest.Stack, 80)
+	if err != nil {
+		log.Fatal(err)
+	}
+	content := make([]byte, 256<<10)
+	sim.NewRand(42).Bytes(content)
+	f, err := guest.FS.Create("site/index.bin")
+	if err != nil {
+		log.Fatal(err)
+	}
+	loaded := false
+	guest.FS.Write(f, 0, content, func(err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		guest.FS.Read(f, 0, len(content), func(b []byte, err error) {
+			if err != nil {
+				log.Fatal(err)
+			}
+			srv.AddFile("/index.bin", b)
+			loaded = true
+		})
+	})
+	if !tb.System.RunReady(func() bool { return loaded }, 2_000_000) {
+		log.Fatal("content load did not complete")
+	}
+	fmt.Printf("served file staged from NVMe through blkfront (%d ring requests so far)\n",
+		guest.Disk.Stats().RingRequests)
+
+	// Benchmark from the client machine.
+	got := false
+	workload.ApacheBench(tb.Client, tb.GuestIP, 80, "/index.bin", 100, 8,
+		func(r workload.ABResult) {
+			fmt.Printf("ab: %d requests, %.1f req/s, %.1f MB/s, avg latency %.3f ms\n",
+				r.Requests, r.RequestsPerSec, r.ThroughputMBps, r.AvgLatency.Millis())
+			got = true
+		})
+	if !tb.System.RunReady(func() bool { return got }, 30_000_000) {
+		log.Fatal("benchmark did not complete")
+	}
+}

@@ -1,0 +1,376 @@
+package apps
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"kite/internal/bufpool"
+	"kite/internal/fsim"
+	"kite/internal/netpkt"
+	"kite/internal/netstack"
+	"kite/internal/nic"
+	"kite/internal/sim"
+)
+
+func twoHosts(t *testing.T) (*sim.Engine, *netstack.Host, *netstack.Host) {
+	t.Helper()
+	eng := sim.NewEngine()
+	a := netstack.NewHost(eng, netstack.HostConfig{Name: "client", CPUs: 4,
+		IP: netpkt.IPv4(10, 0, 0, 2), MAC: netpkt.MAC{2, 0, 0, 0, 0, 1},
+		BDF: "81:00.0", Costs: netstack.LinuxGuestCosts(), Seed: 1})
+	b := netstack.NewHost(eng, netstack.HostConfig{Name: "server", CPUs: 4,
+		IP: netpkt.IPv4(10, 0, 0, 1), MAC: netpkt.MAC{2, 0, 0, 0, 0, 2},
+		BDF: "82:00.0", Costs: netstack.LinuxGuestCosts(), Seed: 2})
+	nic.Connect(a.NIC, b.NIC, nic.DefaultLink())
+	return eng, a, b
+}
+
+func TestHTTPServesFile(t *testing.T) {
+	eng, client, server := twoHosts(t)
+	srv, err := NewHTTPServer(server.Stack, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	content := make([]byte, 100000)
+	sim.NewRand(3).Bytes(content)
+	srv.AddFile("/file.bin", content)
+
+	var got []byte
+	client.Stack.Dial(server.Stack.IP(), 80, func(c *netstack.Conn, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.OnData(func(b []byte) { got = append(got, b...) })
+		c.Send([]byte("GET /file.bin HTTP/1.1\r\nHost: server\r\n\r\n"))
+	})
+	if !eng.RunCapped(1_000_000) {
+		t.Fatal("livelock")
+	}
+	s := string(got)
+	if !strings.HasPrefix(s, "HTTP/1.1 200 OK\r\n") {
+		t.Fatalf("response prefix: %.60q", s)
+	}
+	idx := strings.Index(s, "\r\n\r\n")
+	if !bytes.Equal(got[idx+4:], content) {
+		t.Fatal("body corrupted")
+	}
+	if srv.Requests() != 1 {
+		t.Fatal("request not counted")
+	}
+}
+
+func TestHTTPKeepAliveMultipleRequests(t *testing.T) {
+	eng, client, server := twoHosts(t)
+	srv, _ := NewHTTPServer(server.Stack, 80)
+	srv.AddFile("/a", []byte("AAAA"))
+	srv.AddFile("/b", []byte("BB"))
+
+	var got []byte
+	client.Stack.Dial(server.Stack.IP(), 80, func(c *netstack.Conn, err error) {
+		c.OnData(func(b []byte) { got = append(got, b...) })
+		c.Send([]byte("GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\nGET /missing HTTP/1.1\r\n\r\n"))
+	})
+	if !eng.RunCapped(500000) {
+		t.Fatal("livelock")
+	}
+	s := string(got)
+	if strings.Count(s, "200 OK") != 2 || strings.Count(s, "404") != 1 {
+		t.Fatalf("pipelined responses wrong: %q", s)
+	}
+	if !strings.Contains(s, "AAAA") || !strings.Contains(s, "BB") {
+		t.Fatal("bodies missing")
+	}
+}
+
+func TestKVSetGet(t *testing.T) {
+	eng, client, server := twoHosts(t)
+	srv, err := NewKVServer(server.Stack, 6379)
+	if err != nil {
+		t.Fatal(err)
+	}
+	value := make([]byte, 8192)
+	sim.NewRand(7).Bytes(value)
+
+	var got []byte
+	client.Stack.Dial(server.Stack.IP(), 6379, func(c *netstack.Conn, err error) {
+		c.OnData(func(b []byte) { got = append(got, b...) })
+		req := append(EncodeSet("k1", value), EncodeGet("k1")...)
+		req = append(req, EncodeGet("nope")...)
+		c.Send(req)
+	})
+	if !eng.RunCapped(500000) {
+		t.Fatal("livelock")
+	}
+	s := string(got)
+	if !strings.HasPrefix(s, "OK\r\nVALUE 8192\r\n") {
+		t.Fatalf("reply prefix: %.40q", s)
+	}
+	if !strings.HasSuffix(s, "NIL\r\n") {
+		t.Fatalf("miss not NIL: %.40q", s[len(s)-20:])
+	}
+	body := got[len("OK\r\nVALUE 8192\r\n") : len("OK\r\nVALUE 8192\r\n")+8192]
+	if !bytes.Equal(body, value) {
+		t.Fatal("value corrupted")
+	}
+	sets, gets, misses := srv.Counts()
+	if sets != 1 || gets != 2 || misses != 1 {
+		t.Fatalf("counts = %d/%d/%d", sets, gets, misses)
+	}
+}
+
+func TestKVPipelineMany(t *testing.T) {
+	eng, client, server := twoHosts(t)
+	srv, _ := NewKVServer(server.Stack, 6379)
+	const n = 200
+	var req []byte
+	for i := 0; i < n; i++ {
+		req = append(req, EncodeSet("key", []byte("v"))...)
+	}
+	replies := 0
+	client.Stack.Dial(server.Stack.IP(), 6379, func(c *netstack.Conn, err error) {
+		c.OnData(func(b []byte) { replies += bytes.Count(b, []byte("OK\r\n")) })
+		c.Send(req)
+	})
+	if !eng.RunCapped(1_000_000) {
+		t.Fatal("livelock")
+	}
+	if replies != n {
+		t.Fatalf("%d of %d pipelined replies", replies, n)
+	}
+	if sets, _, _ := srv.Counts(); sets != n {
+		t.Fatalf("sets = %d", sets)
+	}
+}
+
+func TestSQLMemoryMode(t *testing.T) {
+	eng := sim.NewEngine()
+	cpus := sim.NewCPUPool(eng, "domU", 4)
+	db, err := NewSQLDB(eng, cpus, SQLConfig{Tables: 10, Rows: 1_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.DataBytes() != 10*1_000_000*RowSize {
+		t.Fatalf("dataset = %d", db.DataBytes())
+	}
+	var row []byte
+	db.PointSelect(3, 500, func(b []byte, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		row = b
+	})
+	var rng []byte
+	db.RangeSelect(0, 10, 100, func(b []byte, err error) { rng = b })
+	eng.Run()
+	if len(row) != RowSize || len(rng) != 100*RowSize {
+		t.Fatalf("row=%d range=%d", len(row), len(rng))
+	}
+	if q, rows := db.Queries(); q != 2 || rows != 101 {
+		t.Fatalf("queries=%d rows=%d", q, rows)
+	}
+}
+
+type memDisk struct {
+	eng  *sim.Engine
+	data []byte
+}
+
+func (d *memDisk) ReadSectors(sector int64, n int, cb func([]byte, error)) {
+	out := make([]byte, n)
+	copy(out, d.data[sector*512:])
+	d.eng.After(20*sim.Microsecond, func() { cb(out, nil) })
+}
+func (d *memDisk) WriteSectors(sector int64, data []byte, cb func(error)) {
+	copy(d.data[sector*512:], data)
+	d.eng.After(20*sim.Microsecond, func() { cb(nil) })
+}
+func (d *memDisk) Flush(cb func(error)) { d.eng.After(20*sim.Microsecond, func() { cb(nil) }) }
+func (d *memDisk) SectorCount() int64   { return int64(len(d.data) / 512) }
+
+func TestSQLDiskModeMissesToStorage(t *testing.T) {
+	eng := sim.NewEngine()
+	cpus := sim.NewCPUPool(eng, "domU", 4)
+	disk := &memDisk{eng: eng, data: make([]byte, 64<<20)}
+	pool := bufpool.New(eng, disk, bufpool.Config{CapacityBytes: 1 << 20})
+	db, err := NewSQLDB(eng, cpus, SQLConfig{Tables: 4, Rows: 50_000, Pool: pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := 0
+	rng := sim.NewRand(5)
+	for i := 0; i < 200; i++ {
+		db.PointSelect(rng.Intn(4), rng.Int63n(50_000), func(_ []byte, err error) {
+			if err != nil {
+				t.Fatal(err)
+			}
+			done++
+		})
+	}
+	eng.Run()
+	if done != 200 {
+		t.Fatalf("%d of 200 selects", done)
+	}
+	if pool.Stats().Misses == 0 {
+		t.Fatal("working set larger than cache produced no misses")
+	}
+}
+
+func TestSQLServerWireProtocol(t *testing.T) {
+	eng, client, server := twoHosts(t)
+	db, _ := NewSQLDB(eng, server.CPUs, SQLConfig{Tables: 2, Rows: 1000})
+	if _, err := NewSQLServer(server.Stack, 3306, db); err != nil {
+		t.Fatal(err)
+	}
+	var got []byte
+	client.Stack.Dial(server.Stack.IP(), 3306, func(c *netstack.Conn, err error) {
+		c.OnData(func(b []byte) { got = append(got, b...) })
+		c.Send([]byte("P 1 42\nR 0 5 10\nbogus\n"))
+	})
+	if !eng.RunCapped(500000) {
+		t.Fatal("livelock")
+	}
+	s := string(got)
+	// Error replies are synchronous while query replies complete async,
+	// so assert contents rather than ordering.
+	if !strings.Contains(s, "D 200\n") {
+		t.Fatalf("point reply missing: %.40q", s)
+	}
+	if !strings.Contains(s, "D 2000\n") {
+		t.Fatal("range reply missing")
+	}
+	if !strings.Contains(s, "E bad query") {
+		t.Fatal("bad query not rejected")
+	}
+}
+
+func TestDocStoreRoundTrip(t *testing.T) {
+	eng := sim.NewEngine()
+	disk := &memDisk{eng: eng, data: make([]byte, 64<<20)}
+	pool := bufpool.New(eng, disk, bufpool.Config{CapacityBytes: 16 << 20})
+	fs := fsim.New(eng, pool, nil, fsim.DefaultCosts())
+	cpus := sim.NewCPUPool(eng, "domU", 2)
+	ds := NewDocStore(eng, fs, cpus)
+
+	var got []byte
+	ds.Insert(7, 4<<20, func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds.Read(7, func(doc []byte, err error) {
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = doc
+		})
+	})
+	eng.Run()
+	if len(got) != 4<<20 {
+		t.Fatalf("doc size = %d", len(got))
+	}
+	if ins, rd := ds.Ops(); ins != 1 || rd != 1 {
+		t.Fatalf("ops = %d/%d", ins, rd)
+	}
+}
+
+func TestDHCPMessageRoundTrip(t *testing.T) {
+	m := &DHCPMessage{
+		Op: 1, XID: 0xdeadbeef, ClientMAC: netpkt.XenMAC(3, 0),
+		MsgType: DHCPRequest, RequestedIP: netpkt.IPv4(10, 0, 0, 100), LeaseSecs: 3600,
+	}
+	g, err := ParseDHCP(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.XID != m.XID || g.MsgType != m.MsgType || g.RequestedIP != m.RequestedIP ||
+		g.ClientMAC != m.ClientMAC || g.LeaseSecs != 3600 {
+		t.Fatalf("round trip: %+v", g)
+	}
+}
+
+func TestDHCPMessageValidation(t *testing.T) {
+	if _, err := ParseDHCP(make([]byte, 100)); err == nil {
+		t.Fatal("short message parsed")
+	}
+	b := (&DHCPMessage{Op: 1, MsgType: DHCPDiscover}).Marshal()
+	b[237] = 0 // break magic
+	if _, err := ParseDHCP(b); err == nil {
+		t.Fatal("bad magic parsed")
+	}
+}
+
+func TestDHCPDORAExchange(t *testing.T) {
+	eng, client, server := twoHosts(t)
+	srv, err := NewDHCPServer(server.Stack, netpkt.IPv4(10, 0, 0, 100), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mac := client.NIC.MAC()
+	var offered, acked netpkt.IP
+	client.Stack.BindUDP(DHCPClientPort, func(p netstack.UDPPacket) {
+		m, err := ParseDHCP(p.Data)
+		if err != nil || m.ClientMAC != mac {
+			return
+		}
+		switch m.MsgType {
+		case DHCPOffer:
+			offered = m.YourIP
+			req := &DHCPMessage{Op: 1, XID: 2, ClientMAC: mac, MsgType: DHCPRequest, RequestedIP: m.YourIP}
+			client.Stack.SendUDP(netpkt.BroadcastIP, DHCPServerPort, DHCPClientPort, req.Marshal())
+		case DHCPAck:
+			acked = m.YourIP
+		}
+	})
+	disc := &DHCPMessage{Op: 1, XID: 1, ClientMAC: mac, MsgType: DHCPDiscover}
+	client.Stack.SendUDP(netpkt.BroadcastIP, DHCPServerPort, DHCPClientPort, disc.Marshal())
+	if !eng.RunCapped(500000) {
+		t.Fatal("livelock")
+	}
+	if offered != netpkt.IPv4(10, 0, 0, 100) || acked != offered {
+		t.Fatalf("DORA: offered=%v acked=%v", offered, acked)
+	}
+	offers, acks, naks := srv.Counts()
+	if offers != 1 || acks != 1 || naks != 0 {
+		t.Fatalf("server counts = %d/%d/%d", offers, acks, naks)
+	}
+}
+
+func TestDHCPNakForForeignRequest(t *testing.T) {
+	eng, client, server := twoHosts(t)
+	srv, _ := NewDHCPServer(server.Stack, netpkt.IPv4(10, 0, 0, 100), 50)
+	naked := false
+	client.Stack.BindUDP(DHCPClientPort, func(p netstack.UDPPacket) {
+		if m, err := ParseDHCP(p.Data); err == nil && m.MsgType == DHCPNak {
+			naked = true
+		}
+	})
+	// REQUEST without a prior lease.
+	req := &DHCPMessage{Op: 1, XID: 9, ClientMAC: client.NIC.MAC(),
+		MsgType: DHCPRequest, RequestedIP: netpkt.IPv4(10, 0, 0, 150)}
+	client.Stack.SendUDP(netpkt.BroadcastIP, DHCPServerPort, DHCPClientPort, req.Marshal())
+	if !eng.RunCapped(500000) {
+		t.Fatal("livelock")
+	}
+	if !naked {
+		t.Fatal("no NAK for unleased request")
+	}
+	if _, _, naks := srv.Counts(); naks != 1 {
+		t.Fatal("nak not counted")
+	}
+}
+
+func TestDHCPPoolExhaustion(t *testing.T) {
+	eng, client, server := twoHosts(t)
+	srv, _ := NewDHCPServer(server.Stack, netpkt.IPv4(10, 0, 0, 100), 2)
+	for i := 0; i < 4; i++ {
+		disc := &DHCPMessage{Op: 1, XID: uint32(i), ClientMAC: netpkt.XenMAC(uint16(i), 9), MsgType: DHCPDiscover}
+		client.Stack.SendUDP(netpkt.BroadcastIP, DHCPServerPort, DHCPClientPort, disc.Marshal())
+	}
+	if !eng.RunCapped(500000) {
+		t.Fatal("livelock")
+	}
+	offers, _, _ := srv.Counts()
+	if offers != 2 || srv.Leases() != 2 {
+		t.Fatalf("offers=%d leases=%d, want 2/2", offers, srv.Leases())
+	}
+}

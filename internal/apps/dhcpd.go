@@ -1,0 +1,210 @@
+package apps
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"kite/internal/netpkt"
+	"kite/internal/netstack"
+	"kite/internal/sim"
+)
+
+// DHCP message types (RFC 2131 option 53).
+const (
+	DHCPDiscover = 1
+	DHCPOffer    = 2
+	DHCPRequest  = 3
+	DHCPAck      = 5
+	DHCPNak      = 6
+)
+
+// DHCP ports.
+const (
+	DHCPServerPort = 67
+	DHCPClientPort = 68
+)
+
+// dhcpMagic is the options magic cookie.
+var dhcpMagic = [4]byte{99, 130, 83, 99}
+
+// DHCPMessage is a (simplified but wire-shaped) RFC 2131 message: the
+// fixed 240-byte header plus option 53 (type), 50 (requested IP) and 51
+// (lease time).
+type DHCPMessage struct {
+	Op          byte // 1 request, 2 reply
+	XID         uint32
+	ClientMAC   netpkt.MAC
+	YourIP      netpkt.IP
+	ServerIP    netpkt.IP
+	MsgType     byte
+	RequestedIP netpkt.IP
+	LeaseSecs   uint32
+}
+
+// Marshal serializes the message.
+func (m *DHCPMessage) Marshal() []byte {
+	b := make([]byte, 240, 260)
+	b[0] = m.Op
+	b[1] = 1 // htype ethernet
+	b[2] = 6 // hlen
+	binary.BigEndian.PutUint32(b[4:8], m.XID)
+	copy(b[16:20], m.YourIP[:])
+	copy(b[20:24], m.ServerIP[:])
+	copy(b[28:34], m.ClientMAC[:])
+	copy(b[236:240], dhcpMagic[:])
+	b = append(b, 53, 1, m.MsgType)
+	if m.RequestedIP != (netpkt.IP{}) {
+		b = append(b, 50, 4)
+		b = append(b, m.RequestedIP[:]...)
+	}
+	if m.LeaseSecs != 0 {
+		lease := make([]byte, 4)
+		binary.BigEndian.PutUint32(lease, m.LeaseSecs)
+		b = append(b, 51, 4)
+		b = append(b, lease...)
+	}
+	b = append(b, 255) // end option
+	return b
+}
+
+// ParseDHCP deserializes a message.
+func ParseDHCP(b []byte) (*DHCPMessage, error) {
+	if len(b) < 241 {
+		return nil, fmt.Errorf("apps: dhcp message too short (%d bytes)", len(b))
+	}
+	if [4]byte(b[236:240]) != dhcpMagic {
+		return nil, fmt.Errorf("apps: dhcp magic cookie missing")
+	}
+	m := &DHCPMessage{
+		Op:  b[0],
+		XID: binary.BigEndian.Uint32(b[4:8]),
+	}
+	copy(m.YourIP[:], b[16:20])
+	copy(m.ServerIP[:], b[20:24])
+	copy(m.ClientMAC[:], b[28:34])
+	// Walk options.
+	for i := 240; i < len(b); {
+		opt := b[i]
+		if opt == 255 {
+			break
+		}
+		if opt == 0 {
+			i++
+			continue
+		}
+		if i+1 >= len(b) {
+			return nil, fmt.Errorf("apps: truncated dhcp option %d", opt)
+		}
+		n := int(b[i+1])
+		if i+2+n > len(b) {
+			return nil, fmt.Errorf("apps: truncated dhcp option %d body", opt)
+		}
+		val := b[i+2 : i+2+n]
+		switch opt {
+		case 53:
+			if n >= 1 {
+				m.MsgType = val[0]
+			}
+		case 50:
+			if n == 4 {
+				copy(m.RequestedIP[:], val)
+			}
+		case 51:
+			if n == 4 {
+				m.LeaseSecs = binary.BigEndian.Uint32(val)
+			}
+		}
+		i += 2 + n
+	}
+	return m, nil
+}
+
+// DHCPServer is the unikernelized OpenDHCP stand-in (§5.5): a lease pool
+// served over broadcast UDP.
+type DHCPServer struct {
+	stack *netstack.Stack
+
+	poolStart netpkt.IP
+	poolSize  int
+	leases    map[netpkt.MAC]netpkt.IP
+	nextFree  int
+
+	// PerMessage models lease lookup + config handling.
+	PerMessage sim.Time
+
+	offers, acks, naks uint64
+}
+
+// NewDHCPServer starts the daemon on the stack's port 67, leasing
+// addresses poolStart..poolStart+poolSize-1.
+func NewDHCPServer(stack *netstack.Stack, poolStart netpkt.IP, poolSize int) (*DHCPServer, error) {
+	s := &DHCPServer{
+		stack:      stack,
+		poolStart:  poolStart,
+		poolSize:   poolSize,
+		leases:     make(map[netpkt.MAC]netpkt.IP),
+		PerMessage: 320 * sim.Microsecond, // lease-database update per message
+	}
+	if err := stack.BindUDP(DHCPServerPort, s.handle); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Counts returns (offers, acks, naks).
+func (s *DHCPServer) Counts() (offers, acks, naks uint64) { return s.offers, s.acks, s.naks }
+
+// Leases returns the number of active leases.
+func (s *DHCPServer) Leases() int { return len(s.leases) }
+
+func (s *DHCPServer) addr(i int) netpkt.IP {
+	ip := s.poolStart
+	ip[3] += byte(i)
+	return ip
+}
+
+func (s *DHCPServer) leaseFor(mac netpkt.MAC) (netpkt.IP, bool) {
+	if ip, ok := s.leases[mac]; ok {
+		return ip, true
+	}
+	if s.nextFree >= s.poolSize {
+		return netpkt.IP{}, false
+	}
+	ip := s.addr(s.nextFree)
+	s.nextFree++
+	s.leases[mac] = ip
+	return ip, true
+}
+
+func (s *DHCPServer) handle(p netstack.UDPPacket) {
+	s.stack.CPUs().Charge(s.PerMessage)
+	m, err := ParseDHCP(p.Data)
+	if err != nil || m.Op != 1 {
+		return
+	}
+	reply := &DHCPMessage{Op: 2, XID: m.XID, ClientMAC: m.ClientMAC, ServerIP: s.stack.IP(), LeaseSecs: 3600}
+	switch m.MsgType {
+	case DHCPDiscover:
+		ip, ok := s.leaseFor(m.ClientMAC)
+		if !ok {
+			return // pool exhausted: silence, client retries
+		}
+		s.offers++
+		reply.MsgType = DHCPOffer
+		reply.YourIP = ip
+	case DHCPRequest:
+		ip, ok := s.leases[m.ClientMAC]
+		if !ok || (m.RequestedIP != (netpkt.IP{}) && m.RequestedIP != ip) {
+			s.naks++
+			reply.MsgType = DHCPNak
+		} else {
+			s.acks++
+			reply.MsgType = DHCPAck
+			reply.YourIP = ip
+		}
+	default:
+		return
+	}
+	// Replies go to broadcast (the client has no address yet).
+	s.stack.SendUDP(netpkt.BroadcastIP, DHCPClientPort, DHCPServerPort, reply.Marshal())
+}

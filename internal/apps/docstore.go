@@ -1,0 +1,75 @@
+package apps
+
+import (
+	"fmt"
+
+	"kite/internal/fsim"
+	"kite/internal/sim"
+)
+
+// DocStore stands in for MongoDB (Fig 15): a collection of large
+// documents stored as files, accessed with multi-megabyte I/O and
+// periodic journal syncs — the access pattern filebench's mongo
+// personality generates.
+type DocStore struct {
+	eng  *sim.Engine
+	fs   *fsim.FS
+	cpus *sim.CPUPool
+
+	// PerOp models BSON (de)serialization and index lookup.
+	PerOp sim.Time
+
+	inserted, read uint64
+}
+
+// NewDocStore creates a document store over fs.
+func NewDocStore(eng *sim.Engine, fs *fsim.FS, cpus *sim.CPUPool) *DocStore {
+	return &DocStore{eng: eng, fs: fs, cpus: cpus, PerOp: 25 * sim.Microsecond}
+}
+
+// Ops returns (inserts, reads).
+func (d *DocStore) Ops() (inserts, reads uint64) { return d.inserted, d.read }
+
+func (d *DocStore) docName(id int) string { return fmt.Sprintf("doc.%06d", id) }
+
+// Insert stores a document of the given size.
+func (d *DocStore) Insert(id int, size int, cb func(err error)) {
+	d.inserted++
+	d.cpus.Charge(d.PerOp)
+	f, err := d.fs.Create(d.docName(id))
+	if err != nil {
+		// Overwrite semantics: replace an existing document.
+		if f, err = d.fs.Open(d.docName(id)); err != nil {
+			d.eng.After(0, func() { cb(err) })
+			return
+		}
+	}
+	body := make([]byte, size)
+	sim.NewRand(uint64(id) | 1).Bytes(body[:min(size, 4096)]) // header entropy
+	d.fs.Write(f, 0, body, cb)
+}
+
+// Read fetches a whole document.
+func (d *DocStore) Read(id int, cb func(doc []byte, err error)) {
+	d.read++
+	d.cpus.Charge(d.PerOp)
+	f, err := d.fs.Open(d.docName(id))
+	if err != nil {
+		d.eng.After(0, func() { cb(nil, err) })
+		return
+	}
+	d.fs.Read(f, 0, int(f.Size()), cb)
+}
+
+// SyncJournal forces the store's data to disk.
+func (d *DocStore) SyncJournal(cb func(err error)) {
+	d.cpus.Charge(d.PerOp)
+	d.fs.Sync(cb)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,95 @@
+// Package apps contains the application servers the evaluation runs in
+// DomU (§5): an HTTP server (Apache's role), a key-value store (Redis and
+// Memcached's role), a SQL database (MySQL's role, with an optional
+// disk-backed mode for the storage experiments), a document store
+// (MongoDB's role), and a DHCP daemon (the OpenDHCP service VM, §5.5).
+// They speak real byte protocols over the simulated network stack, so the
+// load they place on the driver domains matches the paper's benchmarks in
+// shape: request sizes, response sizes, and CPU demand.
+package apps
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+
+	"kite/internal/netstack"
+	"kite/internal/sim"
+)
+
+// HTTPServer is the Apache stand-in (Fig 8, Fig 16's webserver content).
+type HTTPServer struct {
+	stack *netstack.Stack
+	files map[string][]byte
+
+	// PerRequest is the server-side CPU charged per request (parsing,
+	// routing, logging).
+	PerRequest sim.Time
+
+	requests uint64
+}
+
+// NewHTTPServer starts an HTTP server listening on port.
+func NewHTTPServer(stack *netstack.Stack, port uint16) (*HTTPServer, error) {
+	s := &HTTPServer{
+		stack:      stack,
+		files:      make(map[string][]byte),
+		PerRequest: 12 * sim.Microsecond,
+	}
+	if err := stack.Listen(port, s.accept); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// AddFile registers content at a path.
+func (s *HTTPServer) AddFile(path string, content []byte) { s.files[path] = content }
+
+// AddRandomFile registers size bytes of deterministic content and returns
+// the path.
+func (s *HTTPServer) AddRandomFile(path string, size int, seed uint64) string {
+	b := make([]byte, size)
+	sim.NewRand(seed).Bytes(b)
+	s.files[path] = b
+	return path
+}
+
+// Requests returns the number of requests served.
+func (s *HTTPServer) Requests() uint64 { return s.requests }
+
+func (s *HTTPServer) accept(c *netstack.Conn) {
+	var buf []byte
+	c.OnData(func(data []byte) {
+		buf = append(buf, data...)
+		for {
+			idx := bytes.Index(buf, []byte("\r\n\r\n"))
+			if idx < 0 {
+				return
+			}
+			req := string(buf[:idx])
+			buf = buf[idx+4:]
+			s.handle(c, req)
+		}
+	})
+}
+
+func (s *HTTPServer) handle(c *netstack.Conn, req string) {
+	s.requests++
+	s.stack.CPUs().Charge(s.PerRequest)
+	line, _, _ := strings.Cut(req, "\r\n")
+	parts := strings.Fields(line)
+	if len(parts) < 2 || parts[0] != "GET" {
+		c.Send([]byte("HTTP/1.1 400 Bad Request\r\nContent-Length: 0\r\n\r\n"))
+		return
+	}
+	body, ok := s.files[parts[1]]
+	if !ok {
+		c.Send([]byte("HTTP/1.1 404 Not Found\r\nContent-Length: 0\r\n\r\n"))
+		return
+	}
+	header := fmt.Sprintf("HTTP/1.1 200 OK\r\nContent-Length: %d\r\nServer: kite-httpd\r\n\r\n", len(body))
+	resp := make([]byte, 0, len(header)+len(body))
+	resp = append(resp, header...)
+	resp = append(resp, body...)
+	c.Send(resp)
+}

@@ -1,0 +1,178 @@
+package apps
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"kite/internal/bufpool"
+	"kite/internal/netstack"
+	"kite/internal/sim"
+)
+
+// RowSize matches sysbench's sbtest schema footprint (id INT, k INT,
+// c CHAR(120), pad CHAR(60) plus row overhead).
+const RowSize = 200
+
+// SQLDB stands in for MySQL (Figs 10 and 13): tables of fixed-size rows
+// addressed by primary key. In memory mode (Fig 10) all data is resident
+// and queries are CPU + network bound; in disk mode (Fig 13) rows live on
+// the paravirtual disk behind a buffer pool sized below the dataset, so
+// queries miss to storage (§5.4: "total I/O size bigger than main
+// memory").
+type SQLDB struct {
+	eng    *sim.Engine
+	cpus   *sim.CPUPool
+	tables int
+	rows   int64
+
+	// Disk mode: rows are stored at deterministic offsets in the pool's
+	// backing device. Nil pool = memory mode.
+	pool *bufpool.Pool
+
+	// PerQuery and PerRow model the SQL layer (parse, plan, b-tree walk).
+	PerQuery sim.Time
+	PerRow   sim.Time
+
+	queries, rowsRead uint64
+}
+
+// SQLConfig sizes the database.
+type SQLConfig struct {
+	Tables int
+	Rows   int64 // per table
+	Pool   *bufpool.Pool
+}
+
+// NewSQLDB creates a database. In disk mode the table data is laid out on
+// the backing device but not pre-written: reads of unwritten rows return
+// zeroes from the device, which is fine for timing-oriented workloads and
+// avoids multi-GB setup transfers (integrity of the storage path is
+// covered by dedicated tests).
+func NewSQLDB(eng *sim.Engine, cpus *sim.CPUPool, cfg SQLConfig) (*SQLDB, error) {
+	db := &SQLDB{
+		eng: eng, cpus: cpus,
+		tables: cfg.Tables, rows: cfg.Rows, pool: cfg.Pool,
+		PerQuery: 9 * sim.Microsecond,
+		PerRow:   350 * sim.Nanosecond,
+	}
+	if cfg.Tables <= 0 || cfg.Rows <= 0 {
+		return nil, fmt.Errorf("apps: sql db needs tables and rows")
+	}
+	if db.pool != nil {
+		need := db.offset(cfg.Tables-1, cfg.Rows-1) + RowSize
+		if need > db.pool.SizeBytes() {
+			return nil, fmt.Errorf("apps: dataset (%d MB) exceeds disk", need>>20)
+		}
+	}
+	return db, nil
+}
+
+// DataBytes returns the dataset size.
+func (db *SQLDB) DataBytes() int64 { return int64(db.tables) * db.rows * RowSize }
+
+// Queries returns (queries executed, rows examined).
+func (db *SQLDB) Queries() (q, rows uint64) { return db.queries, db.rowsRead }
+
+func (db *SQLDB) offset(table int, row int64) int64 {
+	return (int64(table)*db.rows + row) * RowSize
+}
+
+// PointSelect executes SELECT ... WHERE id = ?; cb fires with the row.
+func (db *SQLDB) PointSelect(table int, row int64, cb func(row []byte, err error)) {
+	db.queries++
+	db.rowsRead++
+	db.cpus.Charge(db.PerQuery + db.PerRow)
+	if db.pool == nil {
+		// Memory mode: synthesize the row.
+		out := make([]byte, RowSize)
+		binary.LittleEndian.PutUint64(out, uint64(row))
+		db.eng.After(0, func() { cb(out, nil) })
+		return
+	}
+	db.pool.Read(db.offset(table, row), RowSize, cb)
+}
+
+// RangeSelect executes SELECT ... WHERE id BETWEEN ? AND ?+n (sysbench's
+// range queries examine n rows).
+func (db *SQLDB) RangeSelect(table int, row int64, n int, cb func(rows []byte, err error)) {
+	db.queries++
+	db.rowsRead += uint64(n)
+	db.cpus.Charge(db.PerQuery + sim.Time(n)*db.PerRow)
+	if int64(n) > db.rows-row {
+		n = int(db.rows - row)
+	}
+	if db.pool == nil {
+		db.eng.After(0, func() { cb(make([]byte, n*RowSize), nil) })
+		return
+	}
+	db.pool.Read(db.offset(table, row), n*RowSize, cb)
+}
+
+// --- Wire protocol (for the network-domain experiment, Fig 10) ---
+//
+//	P <table> <row>\n            point select
+//	R <table> <row> <count>\n    range select
+//
+// Responses: "D <len>\n<len bytes>" or "E <msg>\n".
+
+// SQLServer exposes a SQLDB over the network.
+type SQLServer struct {
+	db    *SQLDB
+	stack *netstack.Stack
+}
+
+// NewSQLServer listens on port and serves queries against db.
+func NewSQLServer(stack *netstack.Stack, port uint16, db *SQLDB) (*SQLServer, error) {
+	s := &SQLServer{db: db, stack: stack}
+	if err := stack.Listen(port, s.accept); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *SQLServer) accept(c *netstack.Conn) {
+	var buf []byte
+	c.OnData(func(data []byte) {
+		buf = append(buf, data...)
+		for {
+			nl := -1
+			for i, b := range buf {
+				if b == '\n' {
+					nl = i
+					break
+				}
+			}
+			if nl < 0 {
+				return
+			}
+			line := string(buf[:nl])
+			buf = buf[nl+1:]
+			s.handle(c, line)
+		}
+	})
+}
+
+func (s *SQLServer) handle(c *netstack.Conn, line string) {
+	var table int
+	var row int64
+	var count int
+	reply := func(rows []byte, err error) {
+		if err != nil {
+			c.Send([]byte(fmt.Sprintf("E %v\n", err)))
+			return
+		}
+		out := make([]byte, 0, len(rows)+16)
+		out = append(out, fmt.Sprintf("D %d\n", len(rows))...)
+		out = append(out, rows...)
+		c.Send(out)
+	}
+	if _, err := fmt.Sscanf(line, "P %d %d", &table, &row); err == nil {
+		s.db.PointSelect(table, row, reply)
+		return
+	}
+	if _, err := fmt.Sscanf(line, "R %d %d %d", &table, &row, &count); err == nil {
+		s.db.RangeSelect(table, row, count, reply)
+		return
+	}
+	c.Send([]byte("E bad query\n"))
+}

@@ -1,0 +1,189 @@
+package blkback
+
+import (
+	"fmt"
+
+	"kite/internal/blkif"
+	"kite/internal/nvme"
+	"kite/internal/sim"
+	"kite/internal/xen"
+	"kite/internal/xenbus"
+)
+
+const scanCost = 5 * sim.Microsecond
+
+// Driver is the storage backend driver: it watches the driver domain's
+// backend/vbd subtree, advertises device properties for each new vbd
+// (§4.4: sectors, sector size, flush, persistent grants, indirect limit),
+// and pairs frontends with blkback instances through the same
+// backend-invocation thread pattern as networking (§4.1). The vbd window
+// on the physical device comes from the toolstack-written "params" key
+// ("<base>:<sectors>").
+type Driver struct {
+	eng   *sim.Engine
+	dom   *xen.Domain
+	bus   *xenbus.Bus
+	reg   *blkif.Registry
+	dev   *nvme.Device
+	costs Costs
+
+	thread    *sim.Task
+	instances map[string]*Instance
+	watched   map[string]bool // frontend paths already under watch
+
+	// OnInstance is invoked when a new vbd connects (the block status
+	// application uses it).
+	OnInstance func(*Instance)
+
+	invocations uint64
+}
+
+// NewDriver starts the backend driver in dom, exporting windows of dev.
+func NewDriver(eng *sim.Engine, dom *xen.Domain, bus *xenbus.Bus,
+	reg *blkif.Registry, dev *nvme.Device, costs Costs) *Driver {
+
+	drv := &Driver{
+		eng: eng, dom: dom, bus: bus, reg: reg, dev: dev, costs: costs,
+		instances: make(map[string]*Instance),
+		watched:   make(map[string]bool),
+	}
+	drv.thread = sim.NewTask(eng, dom.CPUs.CPU(0), dom.Name+"/vbd-invoker",
+		costs.WakeLatency, drv.scan)
+	bus.Store().Watch(xenbus.BackendRoot(xenbus.DomID(dom.ID), "vbd"), "blkback",
+		func(string, string) { drv.thread.Wake() })
+	return drv
+}
+
+// Instances returns the live blkback instances.
+func (d *Driver) Instances() []*Instance {
+	out := make([]*Instance, 0, len(d.instances))
+	for _, i := range d.instances {
+		out = append(out, i)
+	}
+	return out
+}
+
+// Invocations counts pairing attempts.
+func (d *Driver) Invocations() uint64 { return d.invocations }
+
+func (d *Driver) scan() {
+	d.dom.CPUs.Charge(scanCost)
+	st := d.bus.Store()
+	root := xenbus.BackendRoot(xenbus.DomID(d.dom.ID), "vbd")
+	for _, frontStr := range st.List(root) {
+		var frontDom int
+		if _, err := fmt.Sscanf(frontStr, "%d", &frontDom); err != nil {
+			continue
+		}
+		for _, devStr := range st.List(root + "/" + frontStr) {
+			var devid int
+			if _, err := fmt.Sscanf(devStr, "%d", &devid); err != nil {
+				continue
+			}
+			backPath := root + "/" + frontStr + "/" + devStr
+			if _, exists := d.instances[backPath]; exists {
+				continue
+			}
+			d.tryPair(backPath, xen.DomID(frontDom), devid)
+		}
+	}
+}
+
+func (d *Driver) tryPair(backPath string, frontDom xen.DomID, devid int) {
+	st := d.bus.Store()
+	frontPath, ok := st.Read(backPath + "/frontend")
+	if !ok {
+		return
+	}
+	switch d.bus.State(backPath) {
+	case xenbus.StateClosed, xenbus.StateClosing:
+		return
+	}
+	base, sectors, err := d.window(backPath)
+	if err != nil {
+		_ = d.bus.SwitchState(backPath, xenbus.StateClosed)
+		return
+	}
+
+	if d.bus.State(backPath) == xenbus.StateInitialising {
+		// Advertise device properties (§4.4 initialization).
+		st.Writef(backPath+"/sectors", "%d", sectors)
+		st.Writef(backPath+"/sector-size", "%d", blkif.SectorSize)
+		d.bus.WriteFeature(backPath, "feature-flush-cache", true)
+		d.bus.WriteFeature(backPath, "feature-persistent", d.costs.Persistent)
+		if d.costs.Indirect {
+			st.Writef(backPath+"/feature-max-indirect-segments", "%d", blkif.MaxSegsIndirect)
+		}
+		_ = d.bus.SwitchState(backPath, xenbus.StateInitWait)
+	}
+
+	fs := d.bus.State(frontPath)
+	if fs != xenbus.StateInitialised && fs != xenbus.StateConnected {
+		if !d.watched[frontPath] {
+			d.watched[frontPath] = true
+			d.bus.OnStateChange(frontPath, func(xenbus.State) { d.thread.Wake() })
+		}
+		return
+	}
+
+	d.invocations++
+	port, ok := st.ReadInt(frontPath + "/event-channel")
+	if !ok {
+		return
+	}
+	ch, ok := d.reg.Claim(frontDom, devid)
+	if !ok {
+		return
+	}
+	inst, err := NewInstance(d.eng, d.dom, frontDom, devid, ch, xen.Port(port),
+		d.dev, base, sectors, d.costs)
+	if err != nil {
+		_ = d.bus.SwitchState(backPath, xenbus.StateClosed)
+		return
+	}
+	d.instances[backPath] = inst
+	_ = d.bus.SwitchState(backPath, xenbus.StateConnected)
+
+	d.bus.OnStateChange(frontPath, func(s xenbus.State) {
+		if s == xenbus.StateClosing || s == xenbus.StateClosed || s == xenbus.StateUnknown {
+			d.removeInstance(backPath)
+		}
+	})
+	if d.OnInstance != nil {
+		d.OnInstance(inst)
+	}
+}
+
+// window parses the toolstack's "params" key: "<baseSector>:<sectors>".
+func (d *Driver) window(backPath string) (base, sectors int64, err error) {
+	v, ok := d.bus.Store().Read(backPath + "/params")
+	if !ok {
+		return 0, 0, fmt.Errorf("blkback: %s missing params", backPath)
+	}
+	if _, err := fmt.Sscanf(v, "%d:%d", &base, &sectors); err != nil {
+		return 0, 0, fmt.Errorf("blkback: bad params %q: %w", v, err)
+	}
+	if base < 0 || sectors <= 0 || base+sectors > d.dev.CapacitySectors() {
+		return 0, 0, fmt.Errorf("blkback: window %d:%d exceeds device", base, sectors)
+	}
+	return base, sectors, nil
+}
+
+func (d *Driver) removeInstance(backPath string) {
+	inst := d.instances[backPath]
+	if inst == nil {
+		return
+	}
+	delete(d.instances, backPath)
+	inst.Shutdown()
+	if d.bus.Store().Exists(backPath) {
+		_ = d.bus.SwitchState(backPath, xenbus.StateClosed)
+	}
+}
+
+// Shutdown tears down every instance.
+func (d *Driver) Shutdown() {
+	for path := range d.instances {
+		d.removeInstance(path)
+	}
+}

@@ -1,0 +1,166 @@
+// Package bridge implements the learning Ethernet bridge Kite's network
+// application creates inside the driver domain (§4.3): it connects the
+// physical NIC interface (IF) with every netback virtual interface (VIF),
+// learns source MACs, forwards known-unicast frames to one port, and
+// floods unknown/broadcast frames — the NetBSD bridge(4) behaviour the
+// paper ported brconfig for.
+package bridge
+
+import (
+	"fmt"
+
+	"kite/internal/netpkt"
+	"kite/internal/sim"
+)
+
+// Port is anything the bridge can attach: the physical interface wrapper
+// or a netback VIF.
+type Port interface {
+	PortName() string
+	// Deliver hands an egress frame to the port. The port owns the slice.
+	Deliver(frame []byte)
+}
+
+// Stats counts bridge activity.
+type Stats struct {
+	Forwarded uint64
+	Flooded   uint64
+	Learned   uint64
+	Dropped   uint64 // no ports to forward to
+}
+
+// Bridge is a learning L2 switch running in the driver domain.
+type Bridge struct {
+	eng  *sim.Engine
+	cpus *sim.CPUPool
+	name string
+
+	// PerFrameCost is the bridge's forwarding cost charged to the driver
+	// domain per frame.
+	PerFrameCost sim.Time
+
+	ports []Port
+	fdb   map[netpkt.MAC]Port
+	stats Stats
+}
+
+// New creates a bridge named name whose forwarding work is charged to cpus.
+func New(eng *sim.Engine, cpus *sim.CPUPool, name string) *Bridge {
+	return &Bridge{
+		eng: eng, cpus: cpus, name: name,
+		PerFrameCost: 300 * sim.Nanosecond,
+		fdb:          make(map[netpkt.MAC]Port),
+	}
+}
+
+// Name returns the bridge name (xenbr0 in the artifact's configs).
+func (b *Bridge) Name() string { return b.name }
+
+// Stats returns a snapshot of the counters.
+func (b *Bridge) Stats() Stats { return b.stats }
+
+// Ports returns the attached ports.
+func (b *Bridge) Ports() []Port { return b.ports }
+
+// AddPort attaches a port (brconfig add).
+func (b *Bridge) AddPort(p Port) {
+	for _, q := range b.ports {
+		if q == p {
+			panic(fmt.Sprintf("bridge: port %s added twice", p.PortName()))
+		}
+	}
+	b.ports = append(b.ports, p)
+}
+
+// RemovePort detaches a port and flushes its learned addresses (a guest or
+// backend went away).
+func (b *Bridge) RemovePort(p Port) {
+	for i, q := range b.ports {
+		if q == p {
+			b.ports = append(b.ports[:i], b.ports[i+1:]...)
+			break
+		}
+	}
+	for mac, port := range b.fdb {
+		if port == p {
+			delete(b.fdb, mac)
+		}
+	}
+}
+
+// Lookup returns the port a MAC was learned on, or nil.
+func (b *Bridge) Lookup(mac netpkt.MAC) Port { return b.fdb[mac] }
+
+// FrameDevice is any frame-level device (a physical NIC, or a stack-less
+// interface) that can be attached to the bridge.
+type FrameDevice interface {
+	Send(frame []byte) bool
+	SetRecv(fn func(frame []byte))
+}
+
+type devicePort struct {
+	name string
+	dev  FrameDevice
+}
+
+func (p *devicePort) PortName() string     { return p.name }
+func (p *devicePort) Deliver(frame []byte) { p.dev.Send(frame) }
+
+// AttachDevice wires a frame device into the bridge as a port: egress
+// frames go to dev.Send and received frames enter the bridge. This is how
+// the network application connects the physical IF to xenbr0.
+func (b *Bridge) AttachDevice(name string, dev FrameDevice) Port {
+	p := &devicePort{name: name, dev: dev}
+	dev.SetRecv(func(f []byte) { b.Input(p, f) })
+	b.AddPort(p)
+	return p
+}
+
+// Input processes one frame arriving from a port: learn, then forward or
+// flood. Forwarding cost is charged to the driver domain's CPUs and
+// delivery happens at charge completion.
+func (b *Bridge) Input(from Port, frame []byte) {
+	if len(frame) < netpkt.EthHeaderLen {
+		b.stats.Dropped++
+		return
+	}
+	var dst, src netpkt.MAC
+	copy(dst[:], frame[0:6])
+	copy(src[:], frame[6:12])
+
+	if src != netpkt.Broadcast {
+		if old := b.fdb[src]; old != from {
+			b.fdb[src] = from
+			b.stats.Learned++
+		}
+	}
+
+	done := b.cpus.Charge(b.PerFrameCost)
+	if dst != netpkt.Broadcast {
+		if out := b.fdb[dst]; out != nil {
+			if out == from {
+				b.stats.Dropped++ // destination is behind the source port
+				return
+			}
+			b.stats.Forwarded++
+			b.eng.Schedule(done, func() { out.Deliver(frame) })
+			return
+		}
+	}
+	// Flood: broadcast or unknown destination.
+	sent := false
+	for _, p := range b.ports {
+		if p == from {
+			continue
+		}
+		p := p
+		cp := frame
+		sent = true
+		b.eng.Schedule(done, func() { p.Deliver(cp) })
+	}
+	if sent {
+		b.stats.Flooded++
+	} else {
+		b.stats.Dropped++
+	}
+}

@@ -1,0 +1,164 @@
+package bridge
+
+import (
+	"testing"
+
+	"kite/internal/netpkt"
+	"kite/internal/sim"
+)
+
+type fakePort struct {
+	name string
+	got  [][]byte
+}
+
+func (p *fakePort) PortName() string     { return p.name }
+func (p *fakePort) Deliver(frame []byte) { p.got = append(p.got, frame) }
+
+func frame(dst, src netpkt.MAC, body string) []byte {
+	f := netpkt.Frame{Dst: dst, Src: src, EtherType: netpkt.EtherTypeIPv4, Payload: []byte(body)}
+	return f.Marshal()
+}
+
+var (
+	macA = netpkt.MAC{0, 0, 0, 0, 0, 0xA}
+	macB = netpkt.MAC{0, 0, 0, 0, 0, 0xB}
+	macC = netpkt.MAC{0, 0, 0, 0, 0, 0xC}
+)
+
+func newBridge() (*sim.Engine, *Bridge, *fakePort, *fakePort, *fakePort) {
+	eng := sim.NewEngine()
+	cpus := sim.NewCPUPool(eng, "dd", 1)
+	b := New(eng, cpus, "xenbr0")
+	p1, p2, p3 := &fakePort{name: "if0"}, &fakePort{name: "vif1.0"}, &fakePort{name: "vif2.0"}
+	b.AddPort(p1)
+	b.AddPort(p2)
+	b.AddPort(p3)
+	return eng, b, p1, p2, p3
+}
+
+func TestFloodUnknownDestination(t *testing.T) {
+	eng, b, p1, p2, p3 := newBridge()
+	b.Input(p1, frame(macB, macA, "x"))
+	eng.Run()
+	if len(p1.got) != 0 {
+		t.Fatal("frame reflected to source port")
+	}
+	if len(p2.got) != 1 || len(p3.got) != 1 {
+		t.Fatalf("flood delivered %d/%d, want 1/1", len(p2.got), len(p3.got))
+	}
+	if b.Stats().Flooded != 1 {
+		t.Fatal("flood not counted")
+	}
+}
+
+func TestLearningThenUnicast(t *testing.T) {
+	eng, b, p1, p2, p3 := newBridge()
+	// B speaks from p2; bridge learns.
+	b.Input(p2, frame(macA, macB, "hello"))
+	eng.Run()
+	if b.Lookup(macB) != p2 {
+		t.Fatal("source MAC not learned")
+	}
+	p1.got, p2.got, p3.got = nil, nil, nil
+	// Now A->B goes only to p2.
+	b.Input(p1, frame(macB, macA, "reply"))
+	eng.Run()
+	if len(p2.got) != 1 || len(p3.got) != 0 || len(p1.got) != 0 {
+		t.Fatalf("unicast delivery %d/%d/%d, want 0/1/0", len(p1.got), len(p2.got), len(p3.got))
+	}
+	if b.Stats().Forwarded != 1 {
+		t.Fatal("forward not counted")
+	}
+}
+
+func TestBroadcastFloods(t *testing.T) {
+	eng, b, _, p2, p3 := newBridge()
+	b.Input(p2, frame(netpkt.Broadcast, macB, "arp"))
+	eng.Run()
+	if len(p3.got) != 1 {
+		t.Fatal("broadcast not flooded")
+	}
+	_ = p2
+}
+
+func TestStationMove(t *testing.T) {
+	eng, b, p1, p2, p3 := newBridge()
+	b.Input(p2, frame(macA, macB, "1"))
+	eng.Run()
+	// B moves to p3 (guest migrated / vif reattached).
+	b.Input(p3, frame(macA, macB, "2"))
+	eng.Run()
+	p1.got, p2.got, p3.got = nil, nil, nil
+	b.Input(p1, frame(macB, macA, "3"))
+	eng.Run()
+	if len(p3.got) != 1 || len(p2.got) != 0 {
+		t.Fatal("bridge did not relearn moved station")
+	}
+}
+
+func TestHairpinDropped(t *testing.T) {
+	eng, b, p1, p2, _ := newBridge()
+	b.Input(p2, frame(macA, macB, "x")) // learn B@p2
+	b.Input(p1, frame(macB, macC, "y")) // learn C@p1... and forward to p2
+	eng.Run()
+	p2.got = nil
+	// Destination learned behind the same port it arrives on: drop.
+	b.Input(p2, frame(macB, macC, "z"))
+	eng.Run()
+	if len(p2.got) != 0 {
+		t.Fatal("hairpin frame delivered")
+	}
+}
+
+func TestRemovePortFlushesFDB(t *testing.T) {
+	eng, b, p1, p2, p3 := newBridge()
+	b.Input(p2, frame(macA, macB, "x"))
+	eng.Run()
+	b.RemovePort(p2)
+	if b.Lookup(macB) != nil {
+		t.Fatal("FDB entry survived port removal")
+	}
+	p1.got, p3.got = nil, nil
+	b.Input(p1, frame(macB, macA, "y"))
+	eng.Run()
+	if len(p3.got) != 1 {
+		t.Fatal("frame to departed station not flooded to remaining ports")
+	}
+	if len(b.Ports()) != 2 {
+		t.Fatalf("port count = %d, want 2", len(b.Ports()))
+	}
+}
+
+func TestDoubleAddPanics(t *testing.T) {
+	_, b, p1, _, _ := newBridge()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double AddPort did not panic")
+		}
+	}()
+	b.AddPort(p1)
+}
+
+func TestRuntFrameDropped(t *testing.T) {
+	eng, b, p1, _, _ := newBridge()
+	b.Input(p1, []byte{1, 2, 3})
+	eng.Run()
+	if b.Stats().Dropped != 1 {
+		t.Fatal("runt frame not dropped")
+	}
+}
+
+func TestForwardingChargesCPU(t *testing.T) {
+	eng := sim.NewEngine()
+	cpus := sim.NewCPUPool(eng, "dd", 1)
+	b := New(eng, cpus, "xenbr0")
+	p1, p2 := &fakePort{name: "a"}, &fakePort{name: "b"}
+	b.AddPort(p1)
+	b.AddPort(p2)
+	b.Input(p1, frame(macB, macA, "x"))
+	eng.Run()
+	if cpus.CPU(0).BusyTotal() != b.PerFrameCost {
+		t.Fatalf("bridge charged %v, want %v", cpus.CPU(0).BusyTotal(), b.PerFrameCost)
+	}
+}

@@ -1,0 +1,275 @@
+package bufpool
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"kite/internal/sim"
+)
+
+// memDisk is an in-memory Disk with access counters and a modeled delay.
+type memDisk struct {
+	eng     *sim.Engine
+	data    []byte
+	reads   int
+	writes  int
+	flushes int
+	delay   sim.Time
+	failAll bool
+}
+
+func (d *memDisk) ReadSectors(sector int64, n int, cb func([]byte, error)) {
+	d.reads++
+	if d.failAll {
+		d.eng.After(d.delay, func() { cb(nil, fmt.Errorf("disk error")) })
+		return
+	}
+	off := sector * SectorSize
+	out := make([]byte, n)
+	copy(out, d.data[off:off+int64(n)])
+	d.eng.After(d.delay, func() { cb(out, nil) })
+}
+
+func (d *memDisk) WriteSectors(sector int64, data []byte, cb func(error)) {
+	d.writes++
+	copy(d.data[sector*SectorSize:], data)
+	d.eng.After(d.delay, func() { cb(nil) })
+}
+
+func (d *memDisk) Flush(cb func(error)) {
+	d.flushes++
+	d.eng.After(d.delay, func() { cb(nil) })
+}
+
+func (d *memDisk) SectorCount() int64 { return int64(len(d.data) / SectorSize) }
+
+func newPool(capacity int64) (*sim.Engine, *memDisk, *Pool) {
+	eng := sim.NewEngine()
+	disk := &memDisk{eng: eng, data: make([]byte, 8<<20), delay: 50 * sim.Microsecond}
+	pool := New(eng, disk, Config{ChunkBytes: 16 << 10, CapacityBytes: capacity})
+	return eng, disk, pool
+}
+
+func TestReadThrough(t *testing.T) {
+	eng, disk, pool := newPool(1 << 20)
+	copy(disk.data[1000:], []byte("backing-store"))
+	var got []byte
+	pool.Read(1000, 13, func(b []byte, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = b
+	})
+	eng.Run()
+	if string(got) != "backing-store" {
+		t.Fatalf("read %q", got)
+	}
+	if disk.reads != 1 {
+		t.Fatalf("disk reads = %d, want 1", disk.reads)
+	}
+}
+
+func TestHitAvoidsDisk(t *testing.T) {
+	eng, disk, pool := newPool(1 << 20)
+	pool.Read(0, 4096, func([]byte, error) {})
+	eng.Run()
+	base := disk.reads
+	pool.Read(0, 4096, func([]byte, error) {})
+	pool.Read(100, 2000, func([]byte, error) {})
+	eng.Run()
+	if disk.reads != base {
+		t.Fatalf("hits went to disk (%d -> %d reads)", base, disk.reads)
+	}
+	st := pool.Stats()
+	if st.Hits < 2 || st.Misses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestWriteBackAndSync(t *testing.T) {
+	eng, disk, pool := newPool(1 << 20)
+	payload := []byte("dirty-data")
+	done := false
+	pool.Write(5000, payload, func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		done = true
+	})
+	eng.Run()
+	if !done {
+		t.Fatal("write never completed")
+	}
+	if bytes.Contains(disk.data, payload) {
+		t.Fatal("write-back hit disk before sync")
+	}
+	if pool.DirtyChunks() == 0 {
+		t.Fatal("no dirty chunks after write")
+	}
+	synced := false
+	pool.Sync(func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		synced = true
+	})
+	eng.Run()
+	if !synced || !bytes.Contains(disk.data, payload) {
+		t.Fatal("sync did not persist data")
+	}
+	if pool.DirtyChunks() != 0 {
+		t.Fatal("dirty chunks survive sync")
+	}
+	if disk.flushes != 1 {
+		t.Fatal("sync did not flush device")
+	}
+}
+
+func TestReadYourWrites(t *testing.T) {
+	eng, _, pool := newPool(1 << 20)
+	var got []byte
+	pool.Write(777, []byte("fresh"), func(error) {
+		pool.Read(777, 5, func(b []byte, err error) { got = b })
+	})
+	eng.Run()
+	if string(got) != "fresh" {
+		t.Fatalf("read-your-writes = %q", got)
+	}
+}
+
+func TestPartialChunkWritePreservesRest(t *testing.T) {
+	eng, disk, pool := newPool(1 << 20)
+	// Backing store has data; a partial overwrite must keep the rest.
+	for i := range disk.data[:32768] {
+		disk.data[i] = 0xEE
+	}
+	var got []byte
+	pool.Write(100, []byte("xx"), func(error) {
+		pool.Read(98, 6, func(b []byte, err error) { got = b })
+	})
+	eng.Run()
+	want := []byte{0xEE, 0xEE, 'x', 'x', 0xEE, 0xEE}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("partial write result = %x, want %x", got, want)
+	}
+}
+
+func TestEvictionBoundsResidency(t *testing.T) {
+	eng, _, pool := newPool(64 << 10) // 4 chunks
+	for i := 0; i < 16; i++ {
+		pool.Read(int64(i)*16384, 16384, func([]byte, error) {})
+		eng.Run()
+	}
+	if pool.Resident() > 64<<10 {
+		t.Fatalf("resident = %d, cap 64KiB", pool.Resident())
+	}
+	if pool.Stats().Evictions == 0 {
+		t.Fatal("no evictions recorded")
+	}
+}
+
+func TestEvictionWritesDirtyBack(t *testing.T) {
+	eng, disk, pool := newPool(32 << 10) // 2 chunks
+	marker := []byte("must-survive-eviction")
+	pool.Write(0, marker, func(error) {})
+	eng.Run()
+	// Fill with reads to force eviction of the dirty chunk.
+	for i := 1; i < 8; i++ {
+		pool.Read(int64(i)*16384, 16384, func([]byte, error) {})
+		eng.Run()
+	}
+	if !bytes.Contains(disk.data, marker) {
+		t.Fatal("dirty chunk lost on eviction")
+	}
+}
+
+func TestLRUKeepsHotChunk(t *testing.T) {
+	eng, disk, pool := newPool(48 << 10) // 3 chunks
+	pool.Read(0, 16384, func([]byte, error) {})
+	eng.Run()
+	// Touch chunk 0 repeatedly while streaming others.
+	for i := 1; i < 6; i++ {
+		pool.Read(0, 100, func([]byte, error) {})
+		pool.Read(int64(i)*16384, 16384, func([]byte, error) {})
+		eng.Run()
+	}
+	base := disk.reads
+	pool.Read(0, 100, func([]byte, error) {})
+	eng.Run()
+	if disk.reads != base {
+		t.Fatal("hot chunk was evicted")
+	}
+}
+
+func TestConcurrentMissCoalesces(t *testing.T) {
+	eng, disk, pool := newPool(1 << 20)
+	done := 0
+	for i := 0; i < 5; i++ {
+		pool.Read(0, 4096, func([]byte, error) { done++ })
+	}
+	eng.Run()
+	if done != 5 {
+		t.Fatalf("%d of 5 reads completed", done)
+	}
+	if disk.reads != 1 {
+		t.Fatalf("concurrent misses issued %d disk reads, want 1", disk.reads)
+	}
+}
+
+func TestDiskErrorPropagates(t *testing.T) {
+	eng, disk, pool := newPool(1 << 20)
+	disk.failAll = true
+	var gotErr error
+	pool.Read(0, 4096, func(_ []byte, err error) { gotErr = err })
+	eng.Run()
+	if gotErr == nil {
+		t.Fatal("disk error swallowed")
+	}
+}
+
+func TestRangeValidation(t *testing.T) {
+	eng, _, pool := newPool(1 << 20)
+	var e1, e2 error
+	pool.Read(-1, 10, func(_ []byte, err error) { e1 = err })
+	pool.Write(pool.SizeBytes()-4, make([]byte, 100), func(err error) { e2 = err })
+	eng.Run()
+	if e1 == nil || e2 == nil {
+		t.Fatal("invalid ranges accepted")
+	}
+}
+
+func TestDropCaches(t *testing.T) {
+	eng, disk, pool := newPool(1 << 20)
+	pool.Read(0, 16384, func([]byte, error) {})
+	eng.Run()
+	pool.DropCaches()
+	base := disk.reads
+	pool.Read(0, 16384, func([]byte, error) {})
+	eng.Run()
+	if disk.reads != base+1 {
+		t.Fatal("drop_caches did not evict clean chunk")
+	}
+}
+
+func TestCrossChunkIO(t *testing.T) {
+	eng, _, pool := newPool(1 << 20)
+	payload := make([]byte, 100000) // spans 7 chunks
+	sim.NewRand(5).Bytes(payload)
+	var got []byte
+	pool.Write(9000, payload, func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool.Read(9000, len(payload), func(b []byte, err error) {
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = b
+		})
+	})
+	eng.Run()
+	if !bytes.Equal(got, payload) {
+		t.Fatal("cross-chunk io corrupted")
+	}
+}

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"testing"
+
+	"kite/internal/blkif"
+	"kite/internal/netif"
+	"kite/internal/sim"
+	"kite/internal/xen"
+	"kite/internal/xenbus"
+)
+
+// These tests model the paper's threat scenario (§3.1: all VMs including
+// DomUs are potentially malicious): a compromised guest drives hostile
+// input into the backend rings. The driver domain must reject the input,
+// keep serving well-behaved guests, and never corrupt other domains.
+
+// evilBlkFrontend hand-rolls the vbd handshake so it can push arbitrary
+// ring requests without blkfront's validation.
+type evilBlkFrontend struct {
+	dom  *xen.Domain
+	ring *blkif.Ring
+	port xen.Port
+}
+
+func attachEvilBlk(t *testing.T, sys *System, sd *StorageDomain) *evilBlkFrontend {
+	t.Helper()
+	dom := sys.HV.CreateDomain(xen.DomainConfig{Name: "evil", VCPUs: 1,
+		MemBytes: 64 << 20, IRQLatency: 6 * sim.Microsecond})
+	sys.Bus.AddDevice(xenbus.DeviceSpec{
+		Type: "vbd", FrontDom: xenbus.DomID(dom.ID), BackDom: xenbus.DomID(sd.Dom.ID),
+		DevID: 51712, BackExtra: map[string]string{"params": "2048:2097152"},
+	})
+	e := &evilBlkFrontend{dom: dom, ring: blkif.NewRing()}
+	sys.BlkReg.Publish(dom.ID, 51712, &blkif.Channel{Ring: e.ring})
+	e.port = dom.AllocUnbound(sd.Dom.ID)
+	dom.SetHandler(e.port, func() {})
+	fp := xenbus.FrontendPath(xenbus.DomID(dom.ID), "vbd", 51712)
+	sys.Store.Writef(fp+"/event-channel", "%d", e.port)
+	if err := sys.Bus.SwitchState(fp, xenbus.StateInitialised); err != nil {
+		t.Fatal(err)
+	}
+	if !sys.RunReady(func() bool {
+		bp := xenbus.BackendPath(xenbus.DomID(sd.Dom.ID), "vbd", xenbus.DomID(dom.ID), 51712)
+		return sys.Bus.State(bp) == xenbus.StateConnected
+	}, 500000) {
+		t.Fatal("evil frontend never paired")
+	}
+	return e
+}
+
+func (e *evilBlkFrontend) push(req blkif.Request) {
+	e.ring.PushRequest(req)
+	if e.ring.PushRequestsAndCheckNotify() {
+		e.dom.Notify(e.port)
+	}
+}
+
+func TestBlkbackSurvivesHostileRequests(t *testing.T) {
+	tb := NewTestbed(31)
+	sd, err := tb.System.CreateStorageDomain(StorageDomainConfig{Kind: KindKite, Device: tb.NVMe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An honest guest shares the storage domain.
+	honest, err := tb.System.CreateGuest(GuestConfig{
+		Name: "honest", Storage: sd, DiskBytes: 1 << 30, Seed: 31,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tb.System.RunReady(honest.Ready, 500000) {
+		t.Fatal("honest guest never ready")
+	}
+	evil := attachEvilBlk(t, tb.System, sd)
+
+	// Attack 1: bogus grant references.
+	evil.push(blkif.Request{ID: 1, Op: blkif.OpWrite, Sector: 0,
+		Segs: []blkif.Segment{{Ref: 0xdeadbeef, FirstSect: 0, LastSect: 7}}})
+	// Attack 2: out-of-range sector with a real grant.
+	page := evil.dom.Arena.MustAlloc()
+	ref := evil.dom.GrantAccess(sd.Dom.ID, page, false)
+	evil.push(blkif.Request{ID: 2, Op: blkif.OpRead, Sector: 1 << 60,
+		Segs: []blkif.Segment{{Ref: ref, FirstSect: 0, LastSect: 7}}})
+	// Attack 3: oversized direct segment list.
+	var segs []blkif.Segment
+	for i := 0; i < blkif.MaxSegsDirect+5; i++ {
+		p := evil.dom.Arena.MustAlloc()
+		segs = append(segs, blkif.Segment{Ref: evil.dom.GrantAccess(sd.Dom.ID, p, false),
+			FirstSect: 0, LastSect: 7})
+	}
+	evil.push(blkif.Request{ID: 3, Op: blkif.OpWrite, Sector: 0, Segs: segs})
+	// Attack 4: corrupt segment geometry.
+	evil.push(blkif.Request{ID: 4, Op: blkif.OpWrite, Sector: 0,
+		Segs: []blkif.Segment{{Ref: ref, FirstSect: 6, LastSect: 2}}})
+	// Attack 5: indirect request claiming more segments than allowed.
+	evil.push(blkif.Request{ID: 5, Op: blkif.OpIndirect, Imm: blkif.OpWrite,
+		IndirectSegs: blkif.MaxSegsIndirect * 4, IndirectRefs: []xen.GrantRef{ref}})
+
+	// All five must be answered (with error status), not wedge the thread.
+	answered := 0
+	if !tb.System.RunReady(func() bool {
+		for {
+			rsp, ok := evil.ring.TakeResponse()
+			if !ok {
+				break
+			}
+			if rsp.Status != blkif.StatusError {
+				t.Fatalf("hostile request %d succeeded", rsp.ID)
+			}
+			answered++
+		}
+		return answered >= 5
+	}, 2_000_000) {
+		t.Fatalf("backend answered only %d of 5 hostile requests", answered)
+	}
+
+	// The backend recorded the errors and stayed alive.
+	var total uint64
+	for _, inst := range sd.Driver.Instances() {
+		total += inst.Stats().Errors
+	}
+	if total < 5 {
+		t.Fatalf("backend errors = %d, want >= 5", total)
+	}
+
+	// The honest guest still works.
+	ok := false
+	honest.Disk.WriteSectors(0, make([]byte, 4096), func(err error) { ok = err == nil })
+	if !tb.System.RunReady(func() bool { return ok }, 1_000_000) {
+		t.Fatal("honest guest I/O failed after the attack")
+	}
+}
+
+// TestNetbackSurvivesHostileTxRequests drives bogus netif Tx descriptors
+// (bad grants, oversized lengths) into a VIF and verifies the pusher
+// thread keeps serving the honest guest.
+func TestNetbackSurvivesHostileTxRequests(t *testing.T) {
+	tb := NewTestbed(32)
+	nd, err := tb.System.CreateNetworkDomain(NetworkDomainConfig{Kind: KindKite, NIC: tb.ServerNIC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	honest, err := tb.System.CreateGuest(GuestConfig{
+		Name: "honest", IP: tb.GuestIP, Net: nd, Seed: 32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tb.System.RunReady(honest.Ready, 500000) {
+		t.Fatal("honest guest never ready")
+	}
+
+	// Hand-rolled hostile netfront.
+	evil := tb.System.HV.CreateDomain(xen.DomainConfig{Name: "evil", VCPUs: 1,
+		MemBytes: 64 << 20, IRQLatency: 6 * sim.Microsecond})
+	tb.System.Bus.AddDevice(xenbus.DeviceSpec{
+		Type: "vif", FrontDom: xenbus.DomID(evil.ID), BackDom: xenbus.DomID(nd.Dom.ID), DevID: 0,
+	})
+	tx, rx := netif.NewTxRing(), netif.NewRxRing()
+	tb.System.NetReg.Publish(evil.ID, 0, &netif.Channel{Tx: tx, Rx: rx})
+	port := evil.AllocUnbound(nd.Dom.ID)
+	evil.SetHandler(port, func() {})
+	fp := xenbus.FrontendPath(xenbus.DomID(evil.ID), "vif", 0)
+	tb.System.Store.Writef(fp+"/event-channel", "%d", port)
+	if err := tb.System.Bus.SwitchState(fp, xenbus.StateInitialised); err != nil {
+		t.Fatal(err)
+	}
+	if !tb.System.RunReady(func() bool { return len(nd.Driver.VIFs()) == 2 }, 500000) {
+		t.Fatal("evil vif never paired")
+	}
+
+	// Bad grant ref and oversized length.
+	tx.PushRequest(netif.TxRequest{ID: 1, Ref: 0xbad, Offset: 0, Len: 100})
+	tx.PushRequest(netif.TxRequest{ID: 2, Ref: 0xbad, Offset: 4000, Len: 5000})
+	if tx.PushRequestsAndCheckNotify() {
+		evil.Notify(port)
+	}
+	answered := 0
+	if !tb.System.RunReady(func() bool {
+		for {
+			rsp, ok := tx.TakeResponse()
+			if !ok {
+				break
+			}
+			if rsp.Status == netif.StatusOK {
+				t.Fatalf("hostile tx request %d succeeded", rsp.ID)
+			}
+			answered++
+		}
+		return answered >= 2
+	}, 1_000_000) {
+		t.Fatalf("netback answered only %d hostile requests", answered)
+	}
+
+	// The honest guest's data path still works.
+	var rtt sim.Time = -1
+	tb.Client.Stack.Ping(tb.GuestIP, 56, func(d sim.Time) { rtt = d })
+	if !tb.System.RunReady(func() bool { return rtt >= 0 }, 500000) {
+		t.Fatal("honest ping failed after the attack")
+	}
+}

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"kite/internal/bridge"
+	"kite/internal/nat"
+	"kite/internal/netpkt"
+	"kite/internal/sim"
+	"kite/internal/xen"
+)
+
+// natRouter is the network application's NAT mode (§3.1 lists NAT next to
+// bridging as the ways netbacks link to the physical NIC). Guests live on
+// a private segment behind an inside bridge; the router proxy-ARPs for
+// every address so guests send all off-segment traffic to it, translates
+// with the nat.Translator, and forwards through the physical interface
+// under the gateway address.
+type natRouter struct {
+	eng *sim.Engine
+	dom *xen.Domain
+	tr  *nat.Translator
+
+	mac     netpkt.MAC
+	gateway netpkt.IP
+
+	inside   *bridge.Bridge
+	nic      bridge.FrameDevice
+	nicMAC   netpkt.MAC
+	perFrame sim.Time
+
+	// Learned mappings for delivery.
+	guestMACs map[netpkt.IP]netpkt.MAC
+	// insideNet is the /24 of the private segment, learned from the first
+	// inside speaker; the router never proxy-ARPs for on-segment targets.
+	insideNet [3]byte
+	insideSet bool
+
+	// Outside neighbour cache + ARP-pending queue.
+	outARP     map[netpkt.IP]netpkt.MAC
+	outPending map[netpkt.IP][][]byte
+}
+
+// newNATRouter builds the router and attaches it to the inside bridge and
+// the physical NIC.
+func newNATRouter(eng *sim.Engine, dom *xen.Domain, inside *bridge.Bridge,
+	nic bridge.FrameDevice, nicMAC netpkt.MAC, gateway netpkt.IP, perFrame sim.Time) *natRouter {
+
+	r := &natRouter{
+		eng: eng, dom: dom,
+		tr:         nat.New(eng, dom.CPUs, gateway),
+		mac:        netpkt.MAC{0x00, 0x16, 0x3e, 0xaa, 0x00, 0x01},
+		gateway:    gateway,
+		inside:     inside,
+		nic:        nic,
+		nicMAC:     nicMAC,
+		perFrame:   perFrame,
+		guestMACs:  make(map[netpkt.IP]netpkt.MAC),
+		outARP:     make(map[netpkt.IP]netpkt.MAC),
+		outPending: make(map[netpkt.IP][][]byte),
+	}
+	inside.AddPort(r)
+	nic.SetRecv(r.fromOutside)
+	return r
+}
+
+// Translator exposes the NAT state (port forwards, stats).
+func (r *natRouter) Translator() *nat.Translator { return r.tr }
+
+// PortName implements bridge.Port.
+func (r *natRouter) PortName() string { return "nat0" }
+
+// Deliver implements bridge.Port: a frame from the inside segment reached
+// the router (guests address it via proxy ARP, or it was flooded).
+func (r *natRouter) Deliver(raw []byte) {
+	f, err := netpkt.ParseFrame(raw)
+	if err != nil {
+		return
+	}
+	switch f.EtherType {
+	case netpkt.EtherTypeARP:
+		r.insideARP(f)
+	case netpkt.EtherTypeIPv4:
+		if f.Dst != r.mac && f.Dst != netpkt.Broadcast {
+			return
+		}
+		r.learnGuest(f)
+		out := r.tr.TranslateOutbound(f.Payload)
+		if out == nil {
+			return
+		}
+		r.dom.CPUs.Exec(r.perFrame, func() { r.sendOutside(out) })
+	}
+}
+
+// insideARP answers every inside ARP request with the router's MAC (proxy
+// ARP) so guests forward off-segment traffic here, and learns sender
+// addresses for inbound delivery.
+func (r *natRouter) insideARP(f *netpkt.Frame) {
+	a, err := netpkt.ParseARP(f.Payload)
+	if err != nil {
+		return
+	}
+	r.guestMACs[a.SenderIP] = a.SenderMAC
+	if !r.insideSet {
+		r.insideNet = [3]byte{a.SenderIP[0], a.SenderIP[1], a.SenderIP[2]}
+		r.insideSet = true
+	}
+	if a.Op != netpkt.ARPRequest || a.SenderIP == a.TargetIP {
+		return
+	}
+	// On-segment targets answer for themselves; proxying would hijack
+	// guest-to-guest traffic.
+	if r.insideSet && [3]byte{a.TargetIP[0], a.TargetIP[1], a.TargetIP[2]} == r.insideNet {
+		return
+	}
+	reply := netpkt.ARP{
+		Op: netpkt.ARPReply, SenderMAC: r.mac, SenderIP: a.TargetIP,
+		TargetMAC: a.SenderMAC, TargetIP: a.SenderIP,
+	}
+	out := netpkt.Frame{Dst: a.SenderMAC, Src: r.mac,
+		EtherType: netpkt.EtherTypeARP, Payload: reply.Marshal()}
+	raw := out.Marshal()
+	r.dom.CPUs.Exec(r.perFrame, func() { r.inside.Input(r, raw) })
+}
+
+func (r *natRouter) learnGuest(f *netpkt.Frame) {
+	if h, _, err := netpkt.ParseIPv4(f.Payload); err == nil {
+		r.guestMACs[h.Src] = f.Src
+	}
+}
+
+// sendOutside resolves the next hop on the physical segment and transmits.
+func (r *natRouter) sendOutside(pkt []byte) {
+	h, _, err := netpkt.ParseIPv4(pkt)
+	if err != nil {
+		return
+	}
+	if mac, ok := r.outARP[h.Dst]; ok {
+		f := netpkt.Frame{Dst: mac, Src: r.nicMAC, EtherType: netpkt.EtherTypeIPv4, Payload: pkt}
+		r.nic.Send(f.Marshal())
+		return
+	}
+	r.outPending[h.Dst] = append(r.outPending[h.Dst], pkt)
+	req := netpkt.ARP{Op: netpkt.ARPRequest, SenderMAC: r.nicMAC, SenderIP: r.gateway, TargetIP: h.Dst}
+	f := netpkt.Frame{Dst: netpkt.Broadcast, Src: r.nicMAC,
+		EtherType: netpkt.EtherTypeARP, Payload: req.Marshal()}
+	r.nic.Send(f.Marshal())
+}
+
+// fromOutside handles frames arriving on the physical interface.
+func (r *natRouter) fromOutside(raw []byte) {
+	f, err := netpkt.ParseFrame(raw)
+	if err != nil {
+		return
+	}
+	switch f.EtherType {
+	case netpkt.EtherTypeARP:
+		r.outsideARP(f)
+	case netpkt.EtherTypeIPv4:
+		if f.Dst != r.nicMAC && f.Dst != netpkt.Broadcast {
+			return
+		}
+		in, guest := r.tr.TranslateInbound(f.Payload)
+		if in == nil {
+			return
+		}
+		mac, ok := r.guestMACs[guest]
+		if !ok {
+			return // guest never spoke; nothing to deliver to
+		}
+		out := netpkt.Frame{Dst: mac, Src: r.mac, EtherType: netpkt.EtherTypeIPv4, Payload: in}
+		raw := out.Marshal()
+		r.dom.CPUs.Exec(r.perFrame, func() { r.inside.Input(r, raw) })
+	}
+}
+
+// outsideARP answers requests for the gateway and learns outside peers.
+func (r *natRouter) outsideARP(f *netpkt.Frame) {
+	a, err := netpkt.ParseARP(f.Payload)
+	if err != nil {
+		return
+	}
+	r.outARP[a.SenderIP] = a.SenderMAC
+	// Flush packets that waited for this resolution.
+	if queued := r.outPending[a.SenderIP]; len(queued) > 0 {
+		delete(r.outPending, a.SenderIP)
+		for _, pkt := range queued {
+			r.sendOutside(pkt)
+		}
+	}
+	if a.Op == netpkt.ARPRequest && a.TargetIP == r.gateway {
+		reply := netpkt.ARP{
+			Op: netpkt.ARPReply, SenderMAC: r.nicMAC, SenderIP: r.gateway,
+			TargetMAC: a.SenderMAC, TargetIP: a.SenderIP,
+		}
+		out := netpkt.Frame{Dst: a.SenderMAC, Src: r.nicMAC,
+			EtherType: netpkt.EtherTypeARP, Payload: reply.Marshal()}
+		r.nic.Send(out.Marshal())
+	}
+}

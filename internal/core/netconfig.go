@@ -1,0 +1,147 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"kite/internal/netback"
+)
+
+// The network application carries ports of NetBSD's ifconfig(8) and
+// brconfig(8) (Table 1's "Utilities" row: 222 LOC of changes). They speak
+// the same command-line dialect the artifact's ifconf.sh/run.sh scripts
+// use, operating on the domain's interfaces: the physical IF, the bridge,
+// and the VIFs netback creates.
+
+// Ifconfig executes an ifconfig-style command against the network domain.
+//
+//	ifconfig -a                 list all interfaces
+//	ifconfig <ifname>           show one interface
+//	ifconfig <ifname> up|down   set a VIF's administrative state
+func (nd *NetworkDomain) Ifconfig(args ...string) (string, error) {
+	if len(args) == 0 {
+		return "", fmt.Errorf("ifconfig: usage: ifconfig -a | <ifname> [up|down]")
+	}
+	if args[0] == "-a" {
+		names := nd.interfaceNames()
+		var b strings.Builder
+		for _, name := range names {
+			b.WriteString(nd.describeInterface(name))
+		}
+		return b.String(), nil
+	}
+	name := args[0]
+	if !nd.hasInterface(name) {
+		return "", fmt.Errorf("ifconfig: interface %s does not exist", name)
+	}
+	if len(args) == 1 {
+		return nd.describeInterface(name), nil
+	}
+	switch args[1] {
+	case "up", "down":
+		vif := nd.vifByName(name)
+		if vif == nil {
+			return "", fmt.Errorf("ifconfig: %s is not a configurable VIF", name)
+		}
+		vif.SetUp(args[1] == "up")
+		return nd.describeInterface(name), nil
+	default:
+		return "", fmt.Errorf("ifconfig: unknown directive %q", args[1])
+	}
+}
+
+// Brconfig executes a brconfig-style command against the bridge.
+//
+//	brconfig <bridge>                    show ports
+//	brconfig <bridge> add <ifname>       attach a detached VIF
+//	brconfig <bridge> delete <ifname>    detach a VIF
+func (nd *NetworkDomain) Brconfig(args ...string) (string, error) {
+	if len(args) == 0 || args[0] != nd.Bridge.Name() {
+		return "", fmt.Errorf("brconfig: usage: brconfig %s [add|delete <if>]", nd.Bridge.Name())
+	}
+	if len(args) == 1 {
+		var b strings.Builder
+		fmt.Fprintf(&b, "%s: flags=41<UP,RUNNING>\n", nd.Bridge.Name())
+		for _, p := range nd.Bridge.Ports() {
+			fmt.Fprintf(&b, "\tmember: %s\n", p.PortName())
+		}
+		st := nd.Bridge.Stats()
+		fmt.Fprintf(&b, "\tforwarded %d flooded %d learned %d\n",
+			st.Forwarded, st.Flooded, st.Learned)
+		return b.String(), nil
+	}
+	if len(args) != 3 {
+		return "", fmt.Errorf("brconfig: usage: brconfig %s add|delete <if>", nd.Bridge.Name())
+	}
+	vif := nd.vifByName(args[2])
+	if vif == nil {
+		return "", fmt.Errorf("brconfig: interface %s does not exist", args[2])
+	}
+	switch args[1] {
+	case "add":
+		for _, p := range nd.Bridge.Ports() {
+			if p.PortName() == args[2] {
+				return "", fmt.Errorf("brconfig: %s already a member", args[2])
+			}
+		}
+		nd.Bridge.AddPort(vif)
+	case "delete":
+		nd.Bridge.RemovePort(vif)
+	default:
+		return "", fmt.Errorf("brconfig: unknown directive %q", args[1])
+	}
+	return nd.Brconfig(nd.Bridge.Name())
+}
+
+func (nd *NetworkDomain) interfaceNames() []string {
+	names := []string{"if0"}
+	for _, v := range nd.Driver.VIFs() {
+		names = append(names, v.Name())
+	}
+	sort.Strings(names[1:])
+	return names
+}
+
+func (nd *NetworkDomain) hasInterface(name string) bool {
+	for _, n := range nd.interfaceNames() {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+func (nd *NetworkDomain) vifByName(name string) *netback.VIF {
+	for _, v := range nd.Driver.VIFs() {
+		if v.Name() == name {
+			return v
+		}
+	}
+	return nil
+}
+
+func (nd *NetworkDomain) describeInterface(name string) string {
+	if name == "if0" {
+		st := nd.NIC.Stats()
+		mode := "bridge member"
+		if nd.router != nil {
+			mode = fmt.Sprintf("nat gateway %v", nd.router.gateway)
+		}
+		return fmt.Sprintf("if0: flags=8843<UP,BROADCAST,RUNNING> mtu 1500\n"+
+			"\taddress: %v (%s)\n\tinput %d packets %d bytes; output %d packets %d bytes\n",
+			nd.NIC.MAC(), mode, st.RxFrames, st.RxBytes, st.TxFrames, st.TxBytes)
+	}
+	v := nd.vifByName(name)
+	if v == nil {
+		return ""
+	}
+	st := v.Stats()
+	flag := "UP,RUNNING"
+	if !v.Up() {
+		flag = "DOWN"
+	}
+	return fmt.Sprintf("%s: flags=<%s> mtu 1500\n"+
+		"\tinput %d packets %d bytes; output %d packets %d bytes; %d rx drops\n",
+		name, flag, st.TxFrames, st.TxBytes, st.RxFrames, st.RxBytes, st.RxQueueDrops)
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"kite/internal/sim"
+)
+
+func TestIfconfigListsInterfaces(t *testing.T) {
+	rig, err := NewNetworkRig(KindKite, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := rig.ND.Ifconfig("-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "if0:") {
+		t.Fatalf("missing physical IF:\n%s", out)
+	}
+	vifName := rig.ND.Driver.VIFs()[0].Name()
+	if !strings.Contains(out, vifName+":") {
+		t.Fatalf("missing %s:\n%s", vifName, out)
+	}
+	if _, err := rig.ND.Ifconfig("vif9.9"); err == nil {
+		t.Fatal("unknown interface accepted")
+	}
+	if _, err := rig.ND.Ifconfig(); err == nil {
+		t.Fatal("empty ifconfig accepted")
+	}
+}
+
+func TestIfconfigDownStopsTraffic(t *testing.T) {
+	rig, err := NewNetworkRig(KindKite, 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := rig.Testbed.System
+	vifName := rig.ND.Driver.VIFs()[0].Name()
+
+	// Up: ping works.
+	var rtt sim.Time = -1
+	rig.Client.Stack.Ping(rig.GuestIP, 56, func(d sim.Time) { rtt = d })
+	if !sys.RunReady(func() bool { return rtt >= 0 }, 500000) {
+		t.Fatal("baseline ping failed")
+	}
+
+	out, err := rig.ND.Ifconfig(vifName, "down")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "DOWN") {
+		t.Fatalf("down not reflected:\n%s", out)
+	}
+	got := false
+	rig.Client.Stack.Ping(rig.GuestIP, 56, func(sim.Time) { got = true })
+	sys.Eng.RunFor(20 * sim.Millisecond)
+	if got {
+		t.Fatal("ping succeeded through a downed VIF")
+	}
+
+	// Up again: traffic resumes.
+	if _, err := rig.ND.Ifconfig(vifName, "up"); err != nil {
+		t.Fatal(err)
+	}
+	rtt = -1
+	rig.Client.Stack.Ping(rig.GuestIP, 56, func(d sim.Time) { rtt = d })
+	if !sys.RunReady(func() bool { return rtt >= 0 }, 500000) {
+		t.Fatal("ping failed after bringing the VIF back up")
+	}
+}
+
+func TestBrconfigShowAddDelete(t *testing.T) {
+	rig, err := NewNetworkRig(KindKite, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := rig.Testbed.System
+	vifName := rig.ND.Driver.VIFs()[0].Name()
+
+	out, err := rig.ND.Brconfig("xenbr0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "member: "+vifName) || !strings.Contains(out, "member: if0") {
+		t.Fatalf("members missing:\n%s", out)
+	}
+
+	// Delete the VIF from the bridge: guest unreachable.
+	if _, err := rig.ND.Brconfig("xenbr0", "delete", vifName); err != nil {
+		t.Fatal(err)
+	}
+	got := false
+	rig.Client.Stack.Ping(rig.GuestIP, 56, func(sim.Time) { got = true })
+	sys.Eng.RunFor(20 * sim.Millisecond)
+	if got {
+		t.Fatal("ping succeeded with VIF off the bridge")
+	}
+
+	// Add it back: reachable again.
+	if _, err := rig.ND.Brconfig("xenbr0", "add", vifName); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rig.ND.Brconfig("xenbr0", "add", vifName); err == nil {
+		t.Fatal("double add accepted")
+	}
+	var rtt sim.Time = -1
+	rig.Client.Stack.Ping(rig.GuestIP, 56, func(d sim.Time) { rtt = d })
+	if !sys.RunReady(func() bool { return rtt >= 0 }, 500000) {
+		t.Fatal("ping failed after re-adding the VIF")
+	}
+
+	if _, err := rig.ND.Brconfig("wrongbr"); err == nil {
+		t.Fatal("wrong bridge name accepted")
+	}
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"kite/internal/netpkt"
+	"kite/internal/netstack"
+	"kite/internal/nic"
+	"kite/internal/nvme"
+)
+
+// Testbed reproduces Table 2's hardware: a server machine (Xeon E5-2695,
+// 24 cores, 64 GB, Intel 82599ES 10GbE, Samsung 970 EVO Plus NVMe) running
+// Xen, directly cabled to a client machine (Core i5-6600K, 4 cores, same
+// NIC) that generates load. The server's NIC and NVMe are created
+// PCI-assignable, ready for passthrough into driver domains.
+type Testbed struct {
+	System *System
+
+	// Server-side passthrough devices.
+	ServerNIC *nic.NIC
+	NVMe      *nvme.Device
+
+	// Client is the load-generator machine.
+	Client *netstack.Host
+
+	// Addresses used throughout the experiments.
+	GuestIP  netpkt.IP
+	ClientIP netpkt.IP
+}
+
+// NewTestbed assembles the two machines and the cable between them.
+func NewTestbed(seed uint64) *Testbed {
+	sys := NewSystem(seed)
+	serverNIC := nic.New(sys.Eng, "ixgbe0", netpkt.MAC{0x90, 0xe2, 0xba, 0, 0, 0x10}, "03:00.0")
+	client := netstack.NewHost(sys.Eng, netstack.HostConfig{
+		Name: "client", CPUs: 4, IP: netpkt.IPv4(10, 0, 0, 2),
+		MAC: netpkt.MAC{0x90, 0xe2, 0xba, 0, 0, 0x20}, BDF: "81:00.0",
+		Costs: netstack.LinuxGuestCosts(), Seed: seed ^ 0xc11e,
+	})
+	nic.Connect(serverNIC, client.NIC, nic.DefaultLink())
+	dev := nvme.New(sys.Eng, nvme.Default970EvoPlus(), "04:00.0")
+	return &Testbed{
+		System:    sys,
+		ServerNIC: serverNIC,
+		NVMe:      dev,
+		Client:    client,
+		GuestIP:   netpkt.IPv4(10, 0, 0, 1),
+		ClientIP:  netpkt.IPv4(10, 0, 0, 2),
+	}
+}
+
+// NetworkRig is the common network-domain experiment setup: driver domain
+// of the chosen kind, one guest attached, everything connected.
+type NetworkRig struct {
+	*Testbed
+	ND    *NetworkDomain
+	Guest *Guest
+}
+
+// NewNetworkRig builds the §5.3 setup and drives handshakes to ready.
+func NewNetworkRig(kind DriverKind, seed uint64) (*NetworkRig, error) {
+	tb := NewTestbed(seed)
+	nd, err := tb.System.CreateNetworkDomain(NetworkDomainConfig{Kind: kind, NIC: tb.ServerNIC})
+	if err != nil {
+		return nil, err
+	}
+	guest, err := tb.System.CreateGuest(GuestConfig{
+		Name: "domU", IP: tb.GuestIP, Net: nd, Seed: seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rig := &NetworkRig{Testbed: tb, ND: nd, Guest: guest}
+	if !tb.System.RunReady(guest.Ready, 500000) {
+		return nil, errNotReady
+	}
+	return rig, nil
+}
+
+// StorageRig is the common storage-domain experiment setup (§5.4): driver
+// domain of the chosen kind, one guest with a vbd and mounted filesystem.
+type StorageRig struct {
+	*Testbed
+	SD    *StorageDomain
+	Guest *Guest
+}
+
+// StorageRigConfig tunes the rig.
+type StorageRigConfig struct {
+	Kind       DriverKind
+	Seed       uint64
+	DiskBytes  int64 // vbd window (default 64 GiB)
+	CacheBytes int64 // guest page cache (default 64 MiB)
+	Tuning     *TuningKnobs
+}
+
+// TuningKnobs exposes blkback's design-choice toggles for ablations.
+type TuningKnobs struct {
+	Persistent, Indirect, Batch bool
+}
+
+// NewStorageRig builds the §5.4 setup.
+func NewStorageRig(cfg StorageRigConfig) (*StorageRig, error) {
+	tb := NewTestbed(cfg.Seed)
+	sdc := StorageDomainConfig{Kind: cfg.Kind, Device: tb.NVMe}
+	if cfg.Tuning != nil {
+		costs := pickBlkCosts(cfg.Kind)
+		costs.Persistent = cfg.Tuning.Persistent
+		costs.Indirect = cfg.Tuning.Indirect
+		costs.Batch = cfg.Tuning.Batch
+		sdc.Tuning = &costs
+	}
+	sd, err := tb.System.CreateStorageDomain(sdc)
+	if err != nil {
+		return nil, err
+	}
+	disk := cfg.DiskBytes
+	if disk == 0 {
+		disk = 64 << 30
+	}
+	guest, err := tb.System.CreateGuest(GuestConfig{
+		Name: "domU", Storage: sd, DiskBytes: disk,
+		CacheBytes: cfg.CacheBytes, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rig := &StorageRig{Testbed: tb, SD: sd, Guest: guest}
+	if !tb.System.RunReady(guest.Ready, 500000) {
+		return nil, errNotReady
+	}
+	return rig, nil
+}

@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// tiny returns a minimal scale for unit tests (benches use Quick()).
+func tiny() Scale {
+	s := Quick()
+	s.NuttcpDur /= 3
+	s.PingCount = 8
+	s.NetperfTxns = 30
+	s.MemtierOps = 60
+	s.ABRequests = 20
+	s.RedisOps = 600
+	s.OLTPDur /= 3
+	s.DDBytes = 16 << 20
+	s.FileIODur /= 3
+	s.FileIOBytes = 32 << 20
+	s.FilebenchDur /= 3
+	s.Reps = 2
+	return s
+}
+
+func TestFig4FootprintShape(t *testing.T) {
+	res := Fig4Footprint()
+	sys := res.Pair("syscalls")
+	if sys == nil || sys.Linux/sys.Kite < 10 {
+		t.Fatalf("syscall reduction pair = %+v, want >= 10x", sys)
+	}
+	img := res.Pair("image")
+	if img == nil || img.Linux/img.Kite < 9 {
+		t.Fatalf("image pair = %+v, want ~10x", img)
+	}
+	boot := res.Pair("boot")
+	if boot == nil || boot.Linux/boot.Kite < 10 {
+		t.Fatalf("boot pair = %+v, want >= 10x (claim C1)", boot)
+	}
+}
+
+func TestFig4cMeasuredBoot(t *testing.T) {
+	res := Fig4cBootTime()
+	p := res.Pair("boot-to-service")
+	if p == nil {
+		t.Fatal("missing pair")
+	}
+	if p.Linux/p.Kite < 10 {
+		t.Fatalf("measured boot speedup = %.1fx, want >= 10x", p.Linux/p.Kite)
+	}
+	if p.Kite < 6.5 || p.Kite > 8 {
+		t.Fatalf("kite boot = %.1f s, want ~7", p.Kite)
+	}
+}
+
+func TestFig1aShape(t *testing.T) {
+	res := Fig1aDriverCVEs()
+	if res.Table.NumRows() < 5 {
+		t.Fatal("too few years")
+	}
+}
+
+func TestFig1bROPShape(t *testing.T) {
+	res := Fig1bFig5ROP()
+	def := res.Pair("default/kite")
+	if def == nil || def.Linux/def.Kite < 3 {
+		t.Fatalf("default/kite gadget ratio too small: %+v", def)
+	}
+	ubu := res.Pair("ubuntu/kite")
+	if ubu == nil || ubu.Linux < 1_000_000 {
+		t.Fatalf("ubuntu gadget count = %v, want millions", ubu)
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	res := Table3()
+	p := res.Pair("mitigated-by-kite")
+	if p == nil || p.Kite != 11 {
+		t.Fatalf("kite mitigations = %+v, want 11", p)
+	}
+	if !strings.Contains(res.Table.String(), "CVE-2021-35039") {
+		t.Fatal("table missing a CVE row")
+	}
+}
+
+func TestFig7LatencyShape(t *testing.T) {
+	res := Fig7Latency(tiny())
+	ping := res.Pair("ping RTT")
+	if ping == nil || ping.Kite <= 0 || ping.Linux <= 0 {
+		t.Fatalf("ping pair = %+v", ping)
+	}
+	// Paper's headline: Kite at or below Linux on every latency metric.
+	for _, p := range res.Pairs {
+		if p.Kite > p.Linux*1.05 {
+			t.Fatalf("%s: kite (%.3f) worse than linux (%.3f)", p.Metric, p.Kite, p.Linux)
+		}
+	}
+}
+
+func TestFig6NuttcpShape(t *testing.T) {
+	res := Fig6Nuttcp(tiny())
+	tp := res.Pair("throughput")
+	if tp == nil || !tp.Parity(1.25) {
+		t.Fatalf("throughput parity violated: %+v", tp)
+	}
+	loss := res.Pair("loss")
+	if loss == nil || loss.Kite > 20 || loss.Linux > 20 {
+		t.Fatalf("loss too high: %+v", loss)
+	}
+}
+
+func TestFig11DDShape(t *testing.T) {
+	res := Fig11DD(tiny())
+	for _, metric := range []string{"write", "read"} {
+		p := res.Pair(metric)
+		if p == nil || !p.Parity(1.3) {
+			t.Fatalf("%s parity violated: %+v", metric, p)
+		}
+		if p.Kite < 200 {
+			t.Fatalf("%s = %.0f MB/s, implausibly low", metric, p.Kite)
+		}
+	}
+}
+
+func TestAblationPersistentGrants(t *testing.T) {
+	a := AblationPersistentGrants(tiny())
+	if a.AuxOn*4 > a.AuxOff {
+		t.Fatalf("persistent grants saved too few maps: on=%d off=%d", a.AuxOn, a.AuxOff)
+	}
+	if a.On < a.Off*0.95 {
+		t.Fatalf("persistent grants hurt throughput: on=%.0f off=%.0f", a.On, a.Off)
+	}
+}
+
+func TestAblationIndirect(t *testing.T) {
+	a := AblationIndirectSegments(tiny())
+	if a.AuxOn >= a.AuxOff {
+		t.Fatalf("indirect did not reduce ring requests: on=%d off=%d", a.AuxOn, a.AuxOff)
+	}
+}
+
+func TestAblationBatching(t *testing.T) {
+	a := AblationBatching(tiny())
+	if a.AuxOn >= a.AuxOff {
+		t.Fatalf("batching did not reduce device ops: on=%d off=%d", a.AuxOn, a.AuxOff)
+	}
+}

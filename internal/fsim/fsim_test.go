@@ -1,0 +1,262 @@
+package fsim
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"kite/internal/bufpool"
+	"kite/internal/sim"
+)
+
+// memDisk is a simple in-memory Disk.
+type memDisk struct {
+	eng  *sim.Engine
+	data []byte
+}
+
+func (d *memDisk) ReadSectors(sector int64, n int, cb func([]byte, error)) {
+	out := make([]byte, n)
+	copy(out, d.data[sector*bufpool.SectorSize:])
+	d.eng.After(10*sim.Microsecond, func() { cb(out, nil) })
+}
+func (d *memDisk) WriteSectors(sector int64, data []byte, cb func(error)) {
+	copy(d.data[sector*bufpool.SectorSize:], data)
+	d.eng.After(10*sim.Microsecond, func() { cb(nil) })
+}
+func (d *memDisk) Flush(cb func(error)) { d.eng.After(10*sim.Microsecond, func() { cb(nil) }) }
+func (d *memDisk) SectorCount() int64   { return int64(len(d.data) / bufpool.SectorSize) }
+
+func newFS(t *testing.T, diskBytes int64) (*sim.Engine, *FS) {
+	t.Helper()
+	eng := sim.NewEngine()
+	disk := &memDisk{eng: eng, data: make([]byte, diskBytes)}
+	pool := bufpool.New(eng, disk, bufpool.Config{CapacityBytes: 4 << 20})
+	return eng, New(eng, pool, nil, DefaultCosts())
+}
+
+func TestCreateWriteReadDelete(t *testing.T) {
+	eng, fs := newFS(t, 16<<20)
+	f, err := fs.Create("a.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 100000)
+	sim.NewRand(1).Bytes(payload)
+	var got []byte
+	fs.Write(f, 0, payload, func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs.Read(f, 0, len(payload), func(b []byte, err error) {
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = b
+		})
+	})
+	eng.Run()
+	if !bytes.Equal(got, payload) {
+		t.Fatal("round trip corrupted")
+	}
+	if f.Size() != int64(len(payload)) {
+		t.Fatalf("size = %d", f.Size())
+	}
+	if err := fs.Delete("a.dat"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Open("a.dat"); err == nil {
+		t.Fatal("open after delete succeeded")
+	}
+}
+
+func TestCreateDuplicateFails(t *testing.T) {
+	_, fs := newFS(t, 16<<20)
+	fs.Create("x")
+	if _, err := fs.Create("x"); err == nil {
+		t.Fatal("duplicate create succeeded")
+	}
+}
+
+func TestAppendGrowsFile(t *testing.T) {
+	eng, fs := newFS(t, 16<<20)
+	f, _ := fs.Create("log")
+	var final []byte
+	fs.Append(f, []byte("one,"), func(error) {
+		fs.Append(f, []byte("two,"), func(error) {
+			fs.Append(f, []byte("three"), func(error) {
+				fs.Read(f, 0, int(f.Size()), func(b []byte, _ error) { final = b })
+			})
+		})
+	})
+	eng.Run()
+	if string(final) != "one,two,three" {
+		t.Fatalf("appended content = %q", final)
+	}
+}
+
+func TestReadBeyondEOFShort(t *testing.T) {
+	eng, fs := newFS(t, 16<<20)
+	f, _ := fs.Create("short")
+	var got []byte
+	gotNil := false
+	fs.Write(f, 0, []byte("12345"), func(error) {
+		fs.Read(f, 3, 100, func(b []byte, _ error) { got = b })
+		fs.Read(f, 99, 10, func(b []byte, _ error) { gotNil = b == nil })
+	})
+	eng.Run()
+	if string(got) != "45" {
+		t.Fatalf("short read = %q", got)
+	}
+	if !gotNil {
+		t.Fatal("read past EOF returned data")
+	}
+}
+
+func TestSparseWriteMiddle(t *testing.T) {
+	eng, fs := newFS(t, 16<<20)
+	f, _ := fs.Create("sparse")
+	var got []byte
+	fs.Write(f, 200000, []byte("tail"), func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs.Read(f, 199998, 8, func(b []byte, _ error) { got = b })
+	})
+	eng.Run()
+	// EOF is at 200004, so the 8-byte read shortens to 6.
+	want := []byte{0, 0, 't', 'a', 'i', 'l'}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("sparse read = %q", got)
+	}
+}
+
+func TestDeleteFreesSpace(t *testing.T) {
+	eng, fs := newFS(t, 4<<20)
+	free0 := fs.FreeBytes()
+	f, _ := fs.Create("big")
+	done := false
+	fs.Write(f, 0, make([]byte, 2<<20), func(error) { done = true })
+	eng.Run()
+	if !done {
+		t.Fatal("write incomplete")
+	}
+	if fs.FreeBytes() >= free0 {
+		t.Fatal("allocation did not consume space")
+	}
+	fs.Delete("big")
+	if fs.FreeBytes() != free0 {
+		t.Fatalf("free bytes after delete = %d, want %d", fs.FreeBytes(), free0)
+	}
+}
+
+func TestOutOfSpace(t *testing.T) {
+	eng, fs := newFS(t, 1<<20)
+	f, _ := fs.Create("huge")
+	var gotErr error
+	fs.Write(f, 0, make([]byte, 2<<20), func(err error) { gotErr = err })
+	eng.Run()
+	if gotErr == nil {
+		t.Fatal("overcommit write succeeded")
+	}
+}
+
+func TestManyFilesListStat(t *testing.T) {
+	eng, fs := newFS(t, 64<<20)
+	const n = 50
+	pending := n
+	for i := 0; i < n; i++ {
+		f, err := fs.Create(fmt.Sprintf("file%03d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs.Write(f, 0, make([]byte, 1000+i), func(error) { pending-- })
+	}
+	eng.Run()
+	if pending != 0 {
+		t.Fatalf("%d writes incomplete", pending)
+	}
+	if got := len(fs.List()); got != n {
+		t.Fatalf("List len = %d", got)
+	}
+	if size, ok := fs.Stat("file007"); !ok || size != 1007 {
+		t.Fatalf("Stat = %d,%v", size, ok)
+	}
+}
+
+func TestGrownFileStaysMostlySequential(t *testing.T) {
+	eng, fs := newFS(t, 64<<20)
+	f, _ := fs.Create("seq")
+	done := 0
+	for i := 0; i < 20; i++ {
+		fs.Append(f, make([]byte, 100000), func(error) { done++ })
+	}
+	eng.Run()
+	if done != 20 {
+		t.Fatal("appends incomplete")
+	}
+	// All growth should have extended the first extent.
+	if len(f.extents) != 1 {
+		t.Fatalf("sequential growth produced %d extents", len(f.extents))
+	}
+}
+
+func TestAllocatorProperty(t *testing.T) {
+	// Alloc/free sequences never corrupt the free list: total free bytes
+	// are conserved and allocations never overlap.
+	prop := func(ops []uint8) bool {
+		a := newAllocator(1 << 20)
+		type block struct{ off, n int64 }
+		var live []block
+		for _, op := range ops {
+			if op%2 == 0 || len(live) == 0 {
+				n := int64(op%8+1) * 4096
+				off, err := a.alloc(n, 0)
+				if err != nil {
+					continue
+				}
+				for _, b := range live {
+					if off < b.off+b.n && b.off < off+n {
+						return false // overlap
+					}
+				}
+				live = append(live, block{off, n})
+			} else {
+				b := live[len(live)-1]
+				live = live[:len(live)-1]
+				a.release(b.off, b.n)
+			}
+		}
+		var liveBytes int64
+		for _, b := range live {
+			liveBytes += b.n
+		}
+		return a.freeBytes()+liveBytes == 1<<20
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSyncPersists(t *testing.T) {
+	eng := sim.NewEngine()
+	disk := &memDisk{eng: eng, data: make([]byte, 16<<20)}
+	pool := bufpool.New(eng, disk, bufpool.Config{CapacityBytes: 4 << 20})
+	fs := New(eng, pool, nil, DefaultCosts())
+	f, _ := fs.Create("durable")
+	marker := []byte("persist-me-please")
+	synced := false
+	fs.Write(f, 0, marker, func(error) {
+		fs.Sync(func(err error) {
+			if err != nil {
+				t.Fatal(err)
+			}
+			synced = true
+		})
+	})
+	eng.Run()
+	if !synced || !bytes.Contains(disk.data, marker) {
+		t.Fatal("sync did not persist file data")
+	}
+}

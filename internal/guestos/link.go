@@ -1,0 +1,82 @@
+package guestos
+
+import (
+	"fmt"
+	"sort"
+)
+
+// RumprunProvidedSyscalls is the full syscall-equivalent surface the rump
+// kernel layers can provide (NetBSD's anykernel components). A unikernel
+// image links only the subset its single application declares — the rest
+// is discarded at link time (§5.1.1), which is what makes Figure 4a's
+// 14/18 counts possible and makes the discarded syscalls unexploitable.
+var RumprunProvidedSyscalls = []string{
+	// files + vnode layer
+	"read", "write", "open", "close", "lseek", "pread", "pwrite",
+	"fstat", "stat", "fsync", "sync", "ftruncate", "mkdir", "rmdir",
+	"rename", "unlink", "chmod",
+	// descriptors + control
+	"ioctl", "fcntl", "dup", "pipe", "poll", "kqueue", "kevent",
+	// memory
+	"mmap", "munmap", "mprotect", "madvise",
+	// time + sched
+	"clock_gettime", "clock_settime", "nanosleep", "setitimer", "getitimer",
+	// networking
+	"socket", "bind", "listen", "accept", "connect", "sendto", "recvfrom",
+	"sendmsg", "recvmsg", "setsockopt", "getsockopt", "shutdown",
+	"getsockname", "getpeername",
+	// misc
+	"sysctl", "getpid", "getrandom", "umask",
+}
+
+// AppSpec declares a unikernel application: its footprint and the
+// syscalls it actually calls (what the linker keeps).
+type AppSpec struct {
+	Name      string
+	SizeBytes int64
+	CodeBytes int64
+	Syscalls  []string
+}
+
+// LinkUnikernel "compiles" an application against rumprun: it validates
+// that every requested syscall is available from the rump kernel layers,
+// discards everything else, and returns the resulting single-image
+// profile. It is the reproduction's analogue of Kite's build (the
+// build-rr.sh step of the artifact).
+func LinkUnikernel(app AppSpec, drivers Component) (*Profile, error) {
+	provided := make(map[string]bool, len(RumprunProvidedSyscalls))
+	for _, s := range RumprunProvidedSyscalls {
+		provided[s] = true
+	}
+	seen := make(map[string]bool, len(app.Syscalls))
+	kept := make([]string, 0, len(app.Syscalls))
+	for _, s := range app.Syscalls {
+		if !provided[s] {
+			return nil, fmt.Errorf("guestos: %s requires syscall %q, which rumprun cannot provide", app.Name, s)
+		}
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		kept = append(kept, s)
+	}
+	sort.Strings(kept)
+
+	p := kiteBase("kite-"+app.Name,
+		Component{Name: app.Name, Kind: KindApp, SizeBytes: app.SizeBytes, CodeBytes: app.CodeBytes},
+		drivers, kept)
+	return p, nil
+}
+
+// NetDriversComponent returns the NetBSD network driver bundle used by
+// network-facing images.
+func NetDriversComponent() Component {
+	return Component{Name: "netbsd-net-drivers+tcpip", Kind: KindModule,
+		SizeBytes: 1600 * kb, CodeBytes: 1200 * kb}
+}
+
+// BlockDriversComponent returns the NVMe/vnode bundle for storage images.
+func BlockDriversComponent() Component {
+	return Component{Name: "netbsd-nvme-driver+vnode", Kind: KindModule,
+		SizeBytes: 1700 * kb, CodeBytes: 1300 * kb}
+}

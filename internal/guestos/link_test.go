@@ -1,0 +1,86 @@
+package guestos
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLinkKeepsOnlyDeclaredSyscalls(t *testing.T) {
+	p, err := LinkUnikernel(AppSpec{
+		Name: "echo-server", SizeBytes: 300 << 10, CodeBytes: 200 << 10,
+		Syscalls: []string{"socket", "bind", "accept", "read", "write", "close", "poll"},
+	}, NetDriversComponent())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Syscalls) != 7 {
+		t.Fatalf("linked syscalls = %d, want 7", len(p.Syscalls))
+	}
+	if p.HasSyscall("execve") || p.HasSyscall("mmap") {
+		t.Fatal("undeclared syscalls survived the link")
+	}
+	if !p.HasSyscall("socket") {
+		t.Fatal("declared syscall missing")
+	}
+	if p.Family != FamilyNetBSD {
+		t.Fatal("linked image not a rumprun profile")
+	}
+}
+
+func TestLinkRejectsUnavailableSyscall(t *testing.T) {
+	_, err := LinkUnikernel(AppSpec{
+		Name: "shelly", Syscalls: []string{"read", "execve"},
+	}, NetDriversComponent())
+	if err == nil {
+		t.Fatal("execve-needing app linked against rumprun")
+	}
+	if !strings.Contains(err.Error(), "execve") {
+		t.Fatalf("error does not name the offender: %v", err)
+	}
+	// clone/fork/init_module — the Table 3 syscalls — must all fail too.
+	for _, bad := range []string{"clone", "fork", "init_module", "modify_ldt", "timer_create", "mremap"} {
+		if _, err := LinkUnikernel(AppSpec{Name: "x", Syscalls: []string{bad}}, NetDriversComponent()); err == nil {
+			t.Errorf("syscall %q linked against rumprun", bad)
+		}
+	}
+}
+
+func TestLinkDeduplicates(t *testing.T) {
+	p, err := LinkUnikernel(AppSpec{
+		Name: "dup", Syscalls: []string{"read", "read", "write", "read"},
+	}, BlockDriversComponent())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Syscalls) != 2 {
+		t.Fatalf("deduped syscalls = %d, want 2", len(p.Syscalls))
+	}
+}
+
+func TestLinkedImageFootprint(t *testing.T) {
+	p, err := LinkUnikernel(AppSpec{
+		Name: "tiny", SizeBytes: 100 << 10, CodeBytes: 80 << 10,
+		Syscalls: []string{"read", "write"},
+	}, NetDriversComponent())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A freshly linked image stays an order of magnitude under the Linux
+	// kernel+modules baseline.
+	if p.KernelImageBytes() >= UbuntuDriverDomain().KernelImageBytes()/5 {
+		t.Fatalf("linked image = %d bytes, not lightweight", p.KernelImageBytes())
+	}
+	if !p.HasComponent("tiny") {
+		t.Fatal("application component missing")
+	}
+}
+
+func TestStandardDomainsAreLinkable(t *testing.T) {
+	// The shipped network/storage domain syscall sets must be a subset of
+	// what rumprun provides (the paper's domains do link, after all).
+	for _, set := range [][]string{KiteNetworkSyscalls, KiteStorageSyscalls} {
+		if _, err := LinkUnikernel(AppSpec{Name: "std", Syscalls: set}, NetDriversComponent()); err != nil {
+			t.Fatalf("standard domain not linkable: %v", err)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package guestos
+
+// Syscall inventories per OS profile (Figure 4a, §5.1.1).
+//
+// The paper measures 171 system calls in even a minimal Ubuntu-based
+// driver domain (boot + user space + xen-tools), versus 14 for Kite's
+// network domain and 18 for its storage domain — roughly a 10x reduction —
+// and notes Linux exposes ~300 in total. The lists below are real syscall
+// names; the Ubuntu list is the union a Linux driver domain traverses
+// during boot (systemd, udev, shell, python/xl toolstack) plus steady
+// state.
+
+// TotalLinuxSyscalls is the full x86-64 Linux syscall surface the paper
+// cites (~300).
+const TotalLinuxSyscalls = 313
+
+// KiteNetworkSyscalls are the rump-kernel syscall-equivalents compiled
+// into the network domain (everything else is discarded at link time).
+var KiteNetworkSyscalls = []string{
+	"read", "write", "open", "close",
+	"ioctl", "fcntl", "poll",
+	"mmap", "munmap",
+	"clock_gettime", "nanosleep",
+	"socket", "setsockopt", "sysctl",
+}
+
+// KiteStorageSyscalls are the storage domain's retained syscalls.
+var KiteStorageSyscalls = []string{
+	"read", "write", "open", "close",
+	"ioctl", "fcntl", "poll",
+	"mmap", "munmap",
+	"clock_gettime", "nanosleep",
+	"fstat", "lseek", "pread", "pwrite",
+	"fsync", "sync", "sysctl",
+}
+
+// UbuntuDriverDomainSyscalls is the syscall set a minimal Ubuntu 18.04
+// driver domain uses (boot through steady state), 171 entries.
+var UbuntuDriverDomainSyscalls = []string{
+	// file + fd
+	"read", "write", "open", "openat", "close", "stat", "fstat", "lstat",
+	"newfstatat", "lseek", "pread64", "pwrite64", "readv", "writev",
+	"access", "dup", "dup2",
+	"fcntl", "flock", "fsync", "fdatasync", "sync", "truncate",
+	"ftruncate", "getdents", "getdents64", "readlink",
+	"rename", "renameat", "mkdir", "mkdirat",
+	"rmdir", "link", "unlink", "unlinkat", "symlink",
+	"chmod", "fchmod", "chown", "fchown",
+	"fchownat", "umask", "utimensat", "statfs", "fstatfs",
+	"getcwd", "chdir", "fchdir", "chroot",
+	// memory
+	"mmap", "mprotect", "munmap", "brk", "mremap", "msync", "madvise",
+	"mlock", "munlock",
+	// process
+	"clone", "fork", "vfork", "execve", "exit", "exit_group",
+	"wait4", "kill", "tgkill", "getpid", "getppid",
+	"gettid", "setsid", "setpgid", "prctl", "arch_prctl",
+	"set_tid_address", "set_robust_list", "get_robust_list", "setpriority",
+	"getpriority", "sched_yield", "sched_getaffinity", "sched_setaffinity",
+	"sched_setscheduler", "seccomp", "capget", "capset",
+	"prlimit64", "getrlimit", "setrlimit", "getrusage", "umount2", "mount",
+	// ids
+	"getuid", "geteuid", "getgid", "getegid", "setuid", "setgid",
+	"setresuid", "setresgid", "getresuid", "getresgid", "setgroups",
+	"getgroups",
+	// signals
+	"rt_sigaction", "rt_sigprocmask", "rt_sigreturn", "rt_sigsuspend",
+	"rt_sigtimedwait", "rt_sigqueueinfo", "sigaltstack", "pause", "restart_syscall",
+	// time
+	"clock_gettime", "clock_getres", "clock_nanosleep", "gettimeofday",
+	"settimeofday", "nanosleep", "times", "timer_create", "timer_settime",
+	"timer_delete", "timerfd_create", "timerfd_settime", "alarm",
+	// polling + events
+	"poll", "ppoll", "select", "pselect6", "epoll_create1", "epoll_ctl",
+	"epoll_wait", "epoll_pwait", "eventfd2", "signalfd4", "inotify_init1",
+	"inotify_add_watch", "inotify_rm_watch",
+	// sockets
+	"socket", "socketpair", "bind", "listen", "accept", "accept4",
+	"connect", "getsockname", "getpeername", "sendto", "recvfrom",
+	"sendmsg", "recvmsg", "shutdown", "setsockopt",
+	"getsockopt",
+	// ipc + misc
+	"pipe", "pipe2", "futex", "ioctl", "uname", "sysinfo", "getrandom",
+	"init_module", "finit_module", "delete_module",
+	"modify_ldt", "ptrace", "setns", "unshare", "name_to_handle_at",
+	"ioprio_set",
+}

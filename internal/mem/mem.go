@@ -1,0 +1,152 @@
+// Package mem provides per-domain page arenas. Every Xen domain in the
+// simulation owns an Arena of 4 KiB pages; grant-table operations move real
+// bytes between pages of different arenas, so data integrity through the
+// split-driver path is checkable end to end.
+package mem
+
+import "fmt"
+
+// PageSize is the x86 page size used throughout Xen's grant interface.
+const PageSize = 4096
+
+// PageID identifies a page within one arena (a pseudo physical frame
+// number).
+type PageID uint64
+
+// Page is one 4 KiB frame of simulated guest memory.
+type Page struct {
+	ID   PageID
+	Data []byte // always PageSize long
+
+	arena *Arena
+	freed bool
+}
+
+// Arena is a domain's memory: an allocator handing out fixed-size pages up
+// to a configured maximum (the domain's RAM assignment).
+type Arena struct {
+	name     string
+	maxPages int
+	pages    map[PageID]*Page
+	free     []*Page
+	nextID   PageID
+
+	allocs uint64
+	frees  uint64
+}
+
+// NewArena creates an arena able to hold maxBytes of page-granular memory.
+func NewArena(name string, maxBytes int64) *Arena {
+	if maxBytes < PageSize {
+		panic(fmt.Sprintf("mem: arena %q smaller than one page", name))
+	}
+	return &Arena{
+		name:     name,
+		maxPages: int(maxBytes / PageSize),
+		pages:    make(map[PageID]*Page),
+	}
+}
+
+// Name returns the arena's name (the owning domain).
+func (a *Arena) Name() string { return a.name }
+
+// Capacity returns the maximum number of pages.
+func (a *Arena) Capacity() int { return a.maxPages }
+
+// InUse returns the number of currently allocated pages.
+func (a *Arena) InUse() int { return len(a.pages) - len(a.free) }
+
+// Allocs returns the lifetime allocation count.
+func (a *Arena) Allocs() uint64 { return a.allocs }
+
+// Alloc returns a zeroed page, or an error if the arena is exhausted —
+// which models a domain running out of its RAM assignment.
+func (a *Arena) Alloc() (*Page, error) {
+	a.allocs++
+	if n := len(a.free); n > 0 {
+		p := a.free[n-1]
+		a.free = a.free[:n-1]
+		p.freed = false
+		clear(p.Data)
+		return p, nil
+	}
+	if len(a.pages) >= a.maxPages {
+		return nil, fmt.Errorf("mem: arena %q out of memory (%d pages)", a.name, a.maxPages)
+	}
+	a.nextID++
+	p := &Page{ID: a.nextID, Data: make([]byte, PageSize), arena: a}
+	a.pages[p.ID] = p
+	return p, nil
+}
+
+// MustAlloc is Alloc for paths where exhaustion is a configuration error.
+func (a *Arena) MustAlloc() *Page {
+	p, err := a.Alloc()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// AllocN allocates n pages, freeing any partial allocation on failure.
+func (a *Arena) AllocN(n int) ([]*Page, error) {
+	pages := make([]*Page, 0, n)
+	for i := 0; i < n; i++ {
+		p, err := a.Alloc()
+		if err != nil {
+			for _, q := range pages {
+				a.Free(q)
+			}
+			return nil, err
+		}
+		pages = append(pages, p)
+	}
+	return pages, nil
+}
+
+// Free returns a page to the arena. Freeing a foreign or already-freed page
+// panics: both indicate memory-safety bugs in a driver.
+func (a *Arena) Free(p *Page) {
+	if p.arena != a {
+		panic(fmt.Sprintf("mem: page %d freed to wrong arena %q", p.ID, a.name))
+	}
+	if p.freed {
+		panic(fmt.Sprintf("mem: double free of page %d in arena %q", p.ID, a.name))
+	}
+	p.freed = true
+	a.frees++
+	a.free = append(a.free, p)
+}
+
+// Lookup returns the live page with the given ID, or nil.
+func (a *Arena) Lookup(id PageID) *Page {
+	p := a.pages[id]
+	if p == nil || p.freed {
+		return nil
+	}
+	return p
+}
+
+// Owner returns the arena a page belongs to.
+func (p *Page) Owner() *Arena { return p.arena }
+
+// Freed reports whether the page has been returned to its arena.
+func (p *Page) Freed() bool { return p.freed }
+
+// CopyInto copies len(src) bytes into the page at off.
+func (p *Page) CopyInto(off int, src []byte) {
+	if off < 0 || off+len(src) > PageSize {
+		panic(fmt.Sprintf("mem: copy of %d bytes at offset %d overflows page", len(src), off))
+	}
+	copy(p.Data[off:], src)
+}
+
+// CopyFrom copies n bytes out of the page starting at off.
+func (p *Page) CopyFrom(off, n int) []byte {
+	if off < 0 || off+n > PageSize {
+		panic(fmt.Sprintf("mem: read of %d bytes at offset %d overflows page", n, off))
+	}
+	out := make([]byte, n)
+	copy(out, p.Data[off:])
+	return out
+}

@@ -1,0 +1,165 @@
+package mem
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocZeroed(t *testing.T) {
+	a := NewArena("d0", 1<<20)
+	p, err := a.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range p.Data {
+		if b != 0 {
+			t.Fatalf("fresh page byte %d = %d, want 0", i, b)
+		}
+	}
+	if len(p.Data) != PageSize {
+		t.Fatalf("page size %d, want %d", len(p.Data), PageSize)
+	}
+}
+
+func TestAllocExhaustion(t *testing.T) {
+	a := NewArena("tiny", 2*PageSize)
+	if _, err := a.Alloc(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Alloc(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Alloc(); err == nil {
+		t.Fatal("allocation beyond capacity succeeded")
+	}
+}
+
+func TestFreeAndReuseZeroes(t *testing.T) {
+	a := NewArena("d0", PageSize)
+	p := a.MustAlloc()
+	p.Data[0] = 0xAB
+	a.Free(p)
+	q := a.MustAlloc()
+	if q.Data[0] != 0 {
+		t.Fatal("recycled page not zeroed")
+	}
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	a := NewArena("d0", 1<<20)
+	p := a.MustAlloc()
+	a.Free(p)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free did not panic")
+		}
+	}()
+	a.Free(p)
+}
+
+func TestCrossArenaFreePanics(t *testing.T) {
+	a := NewArena("a", 1<<20)
+	b := NewArena("b", 1<<20)
+	p := a.MustAlloc()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("cross-arena free did not panic")
+		}
+	}()
+	b.Free(p)
+}
+
+func TestAllocNRollsBack(t *testing.T) {
+	a := NewArena("d0", 4*PageSize)
+	if _, err := a.AllocN(3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.AllocN(2); err == nil {
+		t.Fatal("AllocN beyond capacity succeeded")
+	}
+	// The failed AllocN must have rolled back its partial page.
+	if a.InUse() != 3 {
+		t.Fatalf("in-use after failed AllocN = %d, want 3", a.InUse())
+	}
+}
+
+func TestLookup(t *testing.T) {
+	a := NewArena("d0", 1<<20)
+	p := a.MustAlloc()
+	if a.Lookup(p.ID) != p {
+		t.Fatal("Lookup did not return live page")
+	}
+	a.Free(p)
+	if a.Lookup(p.ID) != nil {
+		t.Fatal("Lookup returned a freed page")
+	}
+	if a.Lookup(99999) != nil {
+		t.Fatal("Lookup returned a page for unknown ID")
+	}
+}
+
+func TestCopyRoundTrip(t *testing.T) {
+	a := NewArena("d0", 1<<20)
+	p := a.MustAlloc()
+	src := []byte("hello, grant tables")
+	p.CopyInto(100, src)
+	got := p.CopyFrom(100, len(src))
+	if !bytes.Equal(got, src) {
+		t.Fatalf("round trip = %q, want %q", got, src)
+	}
+}
+
+func TestCopyBoundsPanics(t *testing.T) {
+	a := NewArena("d0", 1<<20)
+	p := a.MustAlloc()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("overflowing CopyInto did not panic")
+		}
+	}()
+	p.CopyInto(PageSize-4, make([]byte, 8))
+}
+
+func TestArenaTooSmallPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("sub-page arena did not panic")
+		}
+	}()
+	NewArena("bad", 100)
+}
+
+// Property: alloc/free sequences never exceed capacity, never lose pages,
+// and InUse always equals allocated-minus-freed.
+func TestArenaAccountingProperty(t *testing.T) {
+	prop := func(ops []bool) bool {
+		a := NewArena("p", 8*PageSize)
+		var live []*Page
+		inUse := 0
+		for _, alloc := range ops {
+			if alloc {
+				p, err := a.Alloc()
+				if err != nil {
+					if inUse != 8 {
+						return false // failed before capacity
+					}
+					continue
+				}
+				live = append(live, p)
+				inUse++
+			} else if len(live) > 0 {
+				a.Free(live[len(live)-1])
+				live = live[:len(live)-1]
+				inUse--
+			}
+			if a.InUse() != inUse {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

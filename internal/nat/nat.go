@@ -1,0 +1,276 @@
+// Package nat implements network address translation for the network
+// driver domain — the alternative to bridging that §3.1 lists among the
+// techniques driver domains need ("bridging, routing, and network address
+// translation (NAT)"), ported in spirit from NetBSD's npf/ipnat the way
+// Kite ports ifconfig/brconfig.
+//
+// The translator sits between the physical interface (outside) and the
+// guest-facing VIFs (inside): outbound flows get their source rewritten to
+// the gateway address with an allocated port; inbound packets are matched
+// against the flow table (plus static port forwards) and rewritten back.
+// TCP, UDP, and ICMP echo are supported — enough for every workload in the
+// evaluation.
+package nat
+
+import (
+	"fmt"
+
+	"kite/internal/netpkt"
+	"kite/internal/sim"
+)
+
+// proto keys for the flow table.
+type flowKey struct {
+	proto   uint8
+	guestIP netpkt.IP
+	guestPt uint16 // ICMP: echo ID
+}
+
+type flow struct {
+	key     flowKey
+	extPort uint16 // allocated on the gateway (ICMP: rewritten echo ID)
+	lastUse sim.Time
+}
+
+// Stats counts translator activity.
+type Stats struct {
+	Outbound   uint64
+	Inbound    uint64
+	Dropped    uint64 // no matching flow or forward
+	FlowsAlloc uint64
+}
+
+// Translator is one NAT instance owned by the network driver domain.
+type Translator struct {
+	eng  *sim.Engine
+	cpus *sim.CPUPool
+
+	// Gateway is the external address owned by the driver domain.
+	Gateway netpkt.IP
+	// PerPacketCost models the translation work.
+	PerPacketCost sim.Time
+
+	flows    map[flowKey]*flow
+	reverse  map[uint16]*flow // extPort -> flow (per proto spaces merged)
+	forwards map[uint16]hostPort
+	nextPort uint16
+
+	stats Stats
+}
+
+type hostPort struct {
+	ip   netpkt.IP
+	port uint16
+}
+
+// New creates a translator for the given gateway address.
+func New(eng *sim.Engine, cpus *sim.CPUPool, gateway netpkt.IP) *Translator {
+	return &Translator{
+		eng: eng, cpus: cpus, Gateway: gateway,
+		PerPacketCost: 350 * sim.Nanosecond,
+		flows:         make(map[flowKey]*flow),
+		reverse:       make(map[uint16]*flow),
+		forwards:      make(map[uint16]hostPort),
+		nextPort:      20000,
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (t *Translator) Stats() Stats { return t.stats }
+
+// Flows returns the number of active translations.
+func (t *Translator) Flows() int { return len(t.flows) }
+
+// AddForward installs a static inbound mapping (gateway:extPort ->
+// guest:guestPort), the rdr rule servers behind NAT need.
+func (t *Translator) AddForward(extPort uint16, guest netpkt.IP, guestPort uint16) error {
+	if _, taken := t.forwards[extPort]; taken {
+		return fmt.Errorf("nat: external port %d already forwarded", extPort)
+	}
+	t.forwards[extPort] = hostPort{ip: guest, port: guestPort}
+	return nil
+}
+
+func (t *Translator) allocPort() uint16 {
+	for {
+		t.nextPort++
+		if t.nextPort < 20000 {
+			t.nextPort = 20000
+		}
+		if _, taken := t.reverse[t.nextPort]; !taken {
+			if _, fwd := t.forwards[t.nextPort]; !fwd {
+				return t.nextPort
+			}
+		}
+	}
+}
+
+// flowFor finds or creates the translation for an outbound packet. A
+// guest endpoint that is the target of a static forward keeps the
+// forward's external port, so replies of redirected connections translate
+// back symmetrically.
+func (t *Translator) flowFor(proto uint8, guest netpkt.IP, guestPort uint16) *flow {
+	key := flowKey{proto: proto, guestIP: guest, guestPt: guestPort}
+	if f := t.flows[key]; f != nil {
+		f.lastUse = t.eng.Now()
+		return f
+	}
+	ext := uint16(0)
+	for extPort, fwd := range t.forwards {
+		if fwd.ip == guest && fwd.port == guestPort {
+			ext = extPort
+			break
+		}
+	}
+	if ext == 0 {
+		ext = t.allocPort()
+	}
+	f := &flow{key: key, extPort: ext, lastUse: t.eng.Now()}
+	t.flows[key] = f
+	t.reverse[f.extPort] = f
+	t.stats.FlowsAlloc++
+	return f
+}
+
+// TranslateOutbound rewrites a guest-originated IPv4 packet (raw, starting
+// at the IP header) so it appears to come from the gateway. It returns the
+// rewritten packet or nil if the packet cannot be translated.
+func (t *Translator) TranslateOutbound(pkt []byte) []byte {
+	t.cpus.Charge(t.PerPacketCost)
+	h, payload, err := netpkt.ParseIPv4(pkt)
+	if err != nil {
+		t.stats.Dropped++
+		return nil
+	}
+	switch h.Proto {
+	case netpkt.ProtoTCP:
+		th, body, err := netpkt.ParseTCP(payload)
+		if err != nil {
+			t.stats.Dropped++
+			return nil
+		}
+		f := t.flowFor(h.Proto, h.Src, th.SrcPort)
+		th.SrcPort = f.extPort
+		return t.rebuild(h, th.Marshal(body))
+	case netpkt.ProtoUDP:
+		uh, body, err := netpkt.ParseUDP(payload)
+		if err != nil {
+			t.stats.Dropped++
+			return nil
+		}
+		f := t.flowFor(h.Proto, h.Src, uh.SrcPort)
+		uh.SrcPort = f.extPort
+		return t.rebuild(h, uh.Marshal(body))
+	case netpkt.ProtoICMP:
+		eh, body, err := netpkt.ParseICMPEcho(payload)
+		if err != nil || eh.Type != netpkt.ICMPEchoRequest {
+			t.stats.Dropped++
+			return nil
+		}
+		f := t.flowFor(h.Proto, h.Src, eh.ID)
+		eh.ID = f.extPort
+		return t.rebuild(h, eh.Marshal(body))
+	default:
+		t.stats.Dropped++
+		return nil
+	}
+}
+
+// TranslateInbound rewrites a packet arriving at the gateway back to the
+// owning guest. Returns the rewritten packet and the guest address, or nil
+// if no flow or forward matches (the packet is dropped — NAT's implicit
+// firewall).
+func (t *Translator) TranslateInbound(pkt []byte) ([]byte, netpkt.IP) {
+	t.cpus.Charge(t.PerPacketCost)
+	h, payload, err := netpkt.ParseIPv4(pkt)
+	if err != nil || h.Dst != t.Gateway {
+		t.stats.Dropped++
+		return nil, netpkt.IP{}
+	}
+	switch h.Proto {
+	case netpkt.ProtoTCP:
+		th, body, err := netpkt.ParseTCP(payload)
+		if err != nil {
+			t.stats.Dropped++
+			return nil, netpkt.IP{}
+		}
+		dst, port, ok := t.matchInbound(h.Proto, th.DstPort)
+		if !ok {
+			t.stats.Dropped++
+			return nil, netpkt.IP{}
+		}
+		th.DstPort = port
+		return t.rebuildTo(h, dst, th.Marshal(body)), dst
+	case netpkt.ProtoUDP:
+		uh, body, err := netpkt.ParseUDP(payload)
+		if err != nil {
+			t.stats.Dropped++
+			return nil, netpkt.IP{}
+		}
+		dst, port, ok := t.matchInbound(h.Proto, uh.DstPort)
+		if !ok {
+			t.stats.Dropped++
+			return nil, netpkt.IP{}
+		}
+		uh.DstPort = port
+		return t.rebuildTo(h, dst, uh.Marshal(body)), dst
+	case netpkt.ProtoICMP:
+		eh, body, err := netpkt.ParseICMPEcho(payload)
+		if err != nil || eh.Type != netpkt.ICMPEchoReply {
+			t.stats.Dropped++
+			return nil, netpkt.IP{}
+		}
+		f := t.reverse[eh.ID]
+		if f == nil || f.key.proto != netpkt.ProtoICMP {
+			t.stats.Dropped++
+			return nil, netpkt.IP{}
+		}
+		eh.ID = f.key.guestPt
+		return t.rebuildTo(h, f.key.guestIP, eh.Marshal(body)), f.key.guestIP
+	default:
+		t.stats.Dropped++
+		return nil, netpkt.IP{}
+	}
+}
+
+// matchInbound resolves an inbound destination port via flows then static
+// forwards.
+func (t *Translator) matchInbound(proto uint8, extPort uint16) (netpkt.IP, uint16, bool) {
+	if f := t.reverse[extPort]; f != nil && f.key.proto == proto {
+		f.lastUse = t.eng.Now()
+		return f.key.guestIP, f.key.guestPt, true
+	}
+	if fwd, ok := t.forwards[extPort]; ok {
+		return fwd.ip, fwd.port, true
+	}
+	return netpkt.IP{}, 0, false
+}
+
+// rebuild re-marshals an outbound packet with the gateway as source.
+func (t *Translator) rebuild(h *netpkt.IPv4Header, payload []byte) []byte {
+	t.stats.Outbound++
+	nh := netpkt.IPv4Header{ID: h.ID, TTL: h.TTL - 1, Proto: h.Proto, Src: t.Gateway, Dst: h.Dst}
+	return nh.Marshal(payload)
+}
+
+// rebuildTo re-marshals an inbound packet with the guest as destination.
+func (t *Translator) rebuildTo(h *netpkt.IPv4Header, dst netpkt.IP, payload []byte) []byte {
+	t.stats.Inbound++
+	nh := netpkt.IPv4Header{ID: h.ID, TTL: h.TTL - 1, Proto: h.Proto, Src: h.Src, Dst: dst}
+	return nh.Marshal(payload)
+}
+
+// Expire drops flows idle for longer than maxIdle (the translator's GC,
+// called periodically by the network application).
+func (t *Translator) Expire(maxIdle sim.Time) int {
+	dropped := 0
+	now := t.eng.Now()
+	for key, f := range t.flows {
+		if now-f.lastUse > maxIdle {
+			delete(t.flows, key)
+			delete(t.reverse, f.extPort)
+			dropped++
+		}
+	}
+	return dropped
+}

@@ -1,0 +1,167 @@
+package netback
+
+import (
+	"fmt"
+
+	"kite/internal/bridge"
+	"kite/internal/netif"
+	"kite/internal/sim"
+	"kite/internal/xen"
+	"kite/internal/xenbus"
+)
+
+// scanCost is the CPU cost of one backend-invocation pass (xenstore reads
+// are charged separately via their latency).
+const scanCost = 5 * sim.Microsecond
+
+// Driver is the per-domain network backend driver: it watches the driver
+// domain's backend/vif subtree and a dedicated thread pairs every waiting
+// frontend with a fresh VIF instance (§4.1 backend invocation). This is
+// the single-process replacement for Linux's `xl devd` + hotplug scripts.
+type Driver struct {
+	eng   *sim.Engine
+	dom   *xen.Domain
+	bus   *xenbus.Bus
+	reg   *netif.Registry
+	br    *bridge.Bridge
+	costs Costs
+
+	thread  *sim.Task
+	vifs    map[string]*VIF // by backend path
+	watched map[string]bool // frontend paths already under watch
+
+	// OnVIF is invoked when a new instance connects (the network
+	// application uses it to log/track interfaces).
+	OnVIF func(*VIF)
+
+	invocations uint64
+}
+
+// NewDriver starts the backend driver in dom, serving frontends through
+// the given bridge.
+func NewDriver(eng *sim.Engine, dom *xen.Domain, bus *xenbus.Bus,
+	reg *netif.Registry, br *bridge.Bridge, costs Costs) *Driver {
+
+	drv := &Driver{
+		eng: eng, dom: dom, bus: bus, reg: reg, br: br, costs: costs,
+		vifs:    make(map[string]*VIF),
+		watched: make(map[string]bool),
+	}
+	drv.thread = sim.NewTask(eng, dom.CPUs.CPU(0), dom.Name+"/vif-invoker",
+		costs.WakeLatency, drv.scan)
+	bus.Store().Watch(xenbus.BackendRoot(xenbus.DomID(dom.ID), "vif"), "netback",
+		func(string, string) { drv.thread.Wake() })
+	return drv
+}
+
+// VIFs returns the live instances.
+func (d *Driver) VIFs() []*VIF {
+	out := make([]*VIF, 0, len(d.vifs))
+	for _, v := range d.vifs {
+		out = append(out, v)
+	}
+	return out
+}
+
+// Invocations returns how many pairing attempts the thread performed.
+func (d *Driver) Invocations() uint64 { return d.invocations }
+
+// scan is the backend-invocation thread body: walk the backend subtree and
+// pair any unpaired frontend.
+func (d *Driver) scan() {
+	d.dom.CPUs.Charge(scanCost)
+	st := d.bus.Store()
+	root := xenbus.BackendRoot(xenbus.DomID(d.dom.ID), "vif")
+	for _, frontStr := range st.List(root) {
+		var frontDom int
+		if _, err := fmt.Sscanf(frontStr, "%d", &frontDom); err != nil {
+			continue
+		}
+		for _, devStr := range st.List(root + "/" + frontStr) {
+			var devid int
+			if _, err := fmt.Sscanf(devStr, "%d", &devid); err != nil {
+				continue
+			}
+			backPath := root + "/" + frontStr + "/" + devStr
+			if _, exists := d.vifs[backPath]; exists {
+				continue
+			}
+			d.tryPair(backPath, xen.DomID(frontDom), devid)
+		}
+	}
+}
+
+func (d *Driver) tryPair(backPath string, frontDom xen.DomID, devid int) {
+	st := d.bus.Store()
+	frontPath, ok := st.Read(backPath + "/frontend")
+	if !ok {
+		return
+	}
+	switch d.bus.State(backPath) {
+	case xenbus.StateInitialising:
+		// Announce ourselves and advertise features.
+		d.bus.WriteFeature(backPath, "feature-rx-copy", true)
+		_ = d.bus.SwitchState(backPath, xenbus.StateInitWait)
+	case xenbus.StateClosed, xenbus.StateClosing:
+		return
+	}
+
+	fs := d.bus.State(frontPath)
+	if fs != xenbus.StateInitialised && fs != xenbus.StateConnected {
+		// Frontend not ready: watch it (once) and retry on transitions.
+		if !d.watched[frontPath] {
+			d.watched[frontPath] = true
+			d.bus.OnStateChange(frontPath, func(xenbus.State) { d.thread.Wake() })
+		}
+		return
+	}
+
+	d.invocations++
+	port, ok := st.ReadInt(frontPath + "/event-channel")
+	if !ok {
+		return
+	}
+	ch, err := d.reg.Claim(frontDom, devid)
+	if err != nil {
+		return // ring refs not published yet; a later watch retries
+	}
+	vif, err := NewVIF(d.eng, d.dom, frontDom, devid, ch,
+		xen.Port(port), d.br, d.costs)
+	if err != nil {
+		_ = d.bus.SwitchState(backPath, xenbus.StateClosed)
+		return
+	}
+	d.vifs[backPath] = vif
+	d.br.AddPort(vif)
+	_ = d.bus.SwitchState(backPath, xenbus.StateConnected)
+
+	// Tear the instance down when the frontend goes away.
+	d.bus.OnStateChange(frontPath, func(s xenbus.State) {
+		if s == xenbus.StateClosing || s == xenbus.StateClosed || s == xenbus.StateUnknown {
+			d.removeVIF(backPath)
+		}
+	})
+	if d.OnVIF != nil {
+		d.OnVIF(vif)
+	}
+}
+
+func (d *Driver) removeVIF(backPath string) {
+	vif := d.vifs[backPath]
+	if vif == nil {
+		return
+	}
+	delete(d.vifs, backPath)
+	d.br.RemovePort(vif)
+	vif.Shutdown()
+	if d.bus.Store().Exists(backPath) {
+		_ = d.bus.SwitchState(backPath, xenbus.StateClosed)
+	}
+}
+
+// Shutdown tears down every instance (driver domain exit).
+func (d *Driver) Shutdown() {
+	for path := range d.vifs {
+		d.removeVIF(path)
+	}
+}

@@ -1,0 +1,397 @@
+package netback
+
+import (
+	"bytes"
+	"testing"
+
+	"kite/internal/bridge"
+	"kite/internal/netfront"
+	"kite/internal/netif"
+	"kite/internal/netpkt"
+	"kite/internal/netstack"
+	"kite/internal/nic"
+	"kite/internal/sim"
+	"kite/internal/xen"
+	"kite/internal/xenbus"
+	"kite/internal/xenstore"
+)
+
+// rig is a hand-built network driver domain setup: client host on one end
+// of a 10GbE link, a driver domain bridging the NIC to netback VIFs, and a
+// guest running its stack over netfront.
+type rig struct {
+	eng    *sim.Engine
+	hv     *xen.Hypervisor
+	bus    *xenbus.Bus
+	reg    *netif.Registry
+	dd     *xen.Domain
+	guest  *xen.Domain
+	br     *bridge.Bridge
+	drv    *Driver
+	client *netstack.Host
+	gstack *netstack.Stack
+	front  *netfront.Device
+}
+
+func buildRig(t *testing.T, costs Costs) *rig {
+	t.Helper()
+	eng := sim.NewEngine()
+	hv := xen.New(eng)
+	hv.CreateDomain(xen.DomainConfig{Name: "dom0", VCPUs: 2, MemBytes: 256 << 20, Privileged: true,
+		IRQLatency: 6 * sim.Microsecond})
+	store := xenstore.New(eng)
+	bus := xenbus.New(store)
+	reg := netif.NewRegistry()
+
+	dd := hv.CreateDomain(xen.DomainConfig{Name: "net-dd", VCPUs: 1, MemBytes: 64 << 20,
+		IRQLatency: 3 * sim.Microsecond})
+	guest := hv.CreateDomain(xen.DomainConfig{Name: "domU", VCPUs: 4, MemBytes: 128 << 20,
+		IRQLatency: 6 * sim.Microsecond})
+
+	// Physical NIC assigned to the driver domain, wired to the client.
+	serverNIC := nic.New(eng, "dd/ixgbe0", netpkt.MAC{2, 0, 0, 0, 0, 0x10}, "03:00.0")
+	if err := hv.AssignPCI("03:00.0", dd.ID); err != nil {
+		t.Fatal(err)
+	}
+	client := netstack.NewHost(eng, netstack.HostConfig{
+		Name: "client", CPUs: 4, IP: netpkt.IPv4(10, 0, 0, 2),
+		MAC: netpkt.MAC{2, 0, 0, 0, 0, 0x20}, BDF: "81:00.0",
+		Costs: netstack.LinuxGuestCosts(), Seed: 11,
+	})
+	nic.Connect(serverNIC, client.NIC, nic.DefaultLink())
+
+	// The network application: bridge + physical IF attachment.
+	br := bridge.New(eng, dd.CPUs, "xenbr0")
+	br.AttachDevice("if0", serverNIC)
+
+	drv := NewDriver(eng, dd, bus, reg, br, costs)
+
+	// Toolstack adds the vif; frontend comes up in the guest.
+	mac := netpkt.XenMAC(uint16(guest.ID), 0)
+	bus.AddDevice(xenbus.DeviceSpec{
+		Type: "vif", FrontDom: xenbus.DomID(guest.ID), BackDom: xenbus.DomID(dd.ID),
+		DevID: 0, FrontExtra: map[string]string{"mac": mac.String()},
+	})
+	front := netfront.New(eng, netfront.Config{
+		Dom: guest, Bus: bus, Registry: reg, DevID: 0, BackDom: dd.ID, MAC: mac,
+	})
+	gstack := netstack.New(eng, netstack.Config{
+		Name: "domU", CPUs: guest.CPUs, Iface: front,
+		IP: netpkt.IPv4(10, 0, 0, 1), Costs: netstack.LinuxGuestCosts(), Seed: 22,
+	})
+
+	r := &rig{eng: eng, hv: hv, bus: bus, reg: reg, dd: dd, guest: guest,
+		br: br, drv: drv, client: client, gstack: gstack, front: front}
+	// Let the handshake settle.
+	if !eng.RunCapped(100000) {
+		t.Fatal("handshake livelocked")
+	}
+	return r
+}
+
+func TestHandshakeConnectsBothEnds(t *testing.T) {
+	r := buildRig(t, KiteCosts())
+	fp := xenbus.FrontendPath(xenbus.DomID(r.guest.ID), "vif", 0)
+	bp := xenbus.BackendPath(xenbus.DomID(r.dd.ID), "vif", xenbus.DomID(r.guest.ID), 0)
+	if r.bus.State(fp) != xenbus.StateConnected {
+		t.Fatalf("frontend state = %v", r.bus.State(fp))
+	}
+	if r.bus.State(bp) != xenbus.StateConnected {
+		t.Fatalf("backend state = %v", r.bus.State(bp))
+	}
+	if !r.front.Ready() {
+		t.Fatal("frontend not ready")
+	}
+	if len(r.drv.VIFs()) != 1 {
+		t.Fatalf("driver has %d VIFs, want 1", len(r.drv.VIFs()))
+	}
+	// Bridge has the physical IF and one VIF.
+	if len(r.br.Ports()) != 2 {
+		t.Fatalf("bridge has %d ports, want 2", len(r.br.Ports()))
+	}
+}
+
+func TestPingThroughDriverDomain(t *testing.T) {
+	r := buildRig(t, KiteCosts())
+	var rtt sim.Time = -1
+	r.client.Stack.Ping(r.gstack.IP(), 56, func(d sim.Time) { rtt = d })
+	if !r.eng.RunCapped(200000) {
+		t.Fatal("ping livelocked")
+	}
+	if rtt <= 0 {
+		t.Fatal("no ping reply through the PV path")
+	}
+	if rtt > 2*sim.Millisecond {
+		t.Fatalf("PV-path RTT = %v, implausibly slow", rtt)
+	}
+}
+
+func TestUDPRoundTripIntegrity(t *testing.T) {
+	r := buildRig(t, KiteCosts())
+	payload := make([]byte, 8000)
+	sim.NewRand(3).Bytes(payload)
+	var got []byte
+	r.gstack.BindUDP(9000, func(p netstack.UDPPacket) {
+		got = p.Data
+		r.gstack.SendUDP(p.Src, p.SrcPort, 9000, p.Data) // echo back
+	})
+	var echoed []byte
+	r.client.Stack.BindUDP(5000, func(p netstack.UDPPacket) { echoed = p.Data })
+	r.client.Stack.SendUDP(r.gstack.IP(), 9000, 5000, payload)
+	if !r.eng.RunCapped(500000) {
+		t.Fatal("udp round trip livelocked")
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("guest received corrupted datagram")
+	}
+	if !bytes.Equal(echoed, payload) {
+		t.Fatal("client received corrupted echo")
+	}
+}
+
+func TestTCPBulkThroughPVPath(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		costs Costs
+	}{{"kite", KiteCosts()}, {"linux", LinuxCosts()}} {
+		t.Run(tc.name, func(t *testing.T) {
+			r := buildRig(t, tc.costs)
+			payload := make([]byte, 2<<20)
+			sim.NewRand(5).Bytes(payload)
+			var received []byte
+			var start, end sim.Time
+			r.gstack.Listen(5201, func(c *netstack.Conn) {
+				start = r.eng.Now()
+				c.OnData(func(b []byte) {
+					received = append(received, b...)
+					end = r.eng.Now()
+				})
+			})
+			r.client.Stack.Dial(r.gstack.IP(), 5201, func(c *netstack.Conn, err error) {
+				if err != nil {
+					t.Fatalf("dial: %v", err)
+				}
+				c.Send(payload)
+			})
+			if !r.eng.RunCapped(3_000_000) {
+				t.Fatal("bulk transfer livelocked")
+			}
+			if !bytes.Equal(received, payload) {
+				t.Fatalf("PV bulk transfer corrupted (%d of %d bytes)", len(received), len(payload))
+			}
+			gbps := float64(len(payload)*8) / (end - start).Seconds() / 1e9
+			if gbps < 2 {
+				t.Fatalf("PV throughput = %.2f Gbps, implausibly low", gbps)
+			}
+		})
+	}
+}
+
+func TestPusherAndSoftStartThreadsUsed(t *testing.T) {
+	r := buildRig(t, KiteCosts())
+	r.gstack.BindUDP(9, func(p netstack.UDPPacket) {
+		r.gstack.SendUDP(p.Src, p.SrcPort, 9, p.Data)
+	})
+	r.client.Stack.BindUDP(5000, func(netstack.UDPPacket) {})
+	for i := 0; i < 50; i++ {
+		r.client.Stack.SendUDP(r.gstack.IP(), 9, 5000, []byte("x"))
+	}
+	if !r.eng.RunCapped(500000) {
+		t.Fatal("livelock")
+	}
+	vif := r.drv.VIFs()[0]
+	wakes, runs := vif.PusherRuns()
+	if runs == 0 {
+		t.Fatal("pusher thread never ran")
+	}
+	if runs > wakes {
+		t.Fatalf("pusher runs (%d) exceed wakes (%d)", runs, wakes)
+	}
+	st := vif.Stats()
+	if st.TxFrames == 0 || st.RxFrames == 0 {
+		t.Fatalf("vif moved no traffic: %+v", st)
+	}
+}
+
+func TestEventCoalescingUnderLoad(t *testing.T) {
+	// A batch of back-to-back sends must produce far fewer notifications
+	// than frames (ring notification suppression at work).
+	r := buildRig(t, KiteCosts())
+	r.gstack.BindUDP(9, func(netstack.UDPPacket) {})
+	const frames = 200
+	for i := 0; i < frames; i++ {
+		r.gstack.SendUDP(r.client.Stack.IP(), 9, 5000, make([]byte, 1000))
+	}
+	if !r.eng.RunCapped(1_000_000) {
+		t.Fatal("livelock")
+	}
+	_, _, reqSaved, _ := func() (a, b, c, d uint64) {
+		ch, _ := r.reg.Claim(r.guest.ID, 0)
+		return ch.Tx.Stats()
+	}()
+	if reqSaved == 0 {
+		t.Fatal("no notifications were suppressed under bulk load")
+	}
+}
+
+func TestFrontendCloseTearsDownVIF(t *testing.T) {
+	r := buildRig(t, KiteCosts())
+	fp := xenbus.FrontendPath(xenbus.DomID(r.guest.ID), "vif", 0)
+	if err := r.bus.SwitchState(fp, xenbus.StateClosed); err != nil {
+		t.Fatal(err)
+	}
+	if !r.eng.RunCapped(100000) {
+		t.Fatal("teardown livelocked")
+	}
+	if len(r.drv.VIFs()) != 0 {
+		t.Fatal("VIF survived frontend close")
+	}
+	if len(r.br.Ports()) != 1 {
+		t.Fatalf("bridge has %d ports after teardown, want 1", len(r.br.Ports()))
+	}
+	bp := xenbus.BackendPath(xenbus.DomID(r.dd.ID), "vif", xenbus.DomID(r.guest.ID), 0)
+	if r.bus.State(bp) != xenbus.StateClosed {
+		t.Fatalf("backend state = %v, want Closed", r.bus.State(bp))
+	}
+}
+
+func TestDriverDomainCrashIsolation(t *testing.T) {
+	// Destroying the driver domain must not disturb Dom0, xenstore, or the
+	// guest — the isolation benefit driver domains exist for (§2.3).
+	r := buildRig(t, KiteCosts())
+	if err := r.hv.DestroyDomain(r.dd.ID); err != nil {
+		t.Fatal(err)
+	}
+	if !r.eng.RunCapped(100000) {
+		t.Fatal("crash handling livelocked")
+	}
+	if r.hv.Domain(0) == nil || r.hv.Domain(r.guest.ID) == nil {
+		t.Fatal("crash of driver domain affected other domains")
+	}
+	// Guest I/O now fails gracefully rather than corrupting state.
+	sent := r.front.Send([]byte("into the void"))
+	_ = sent // Send may still queue into the ring; what matters is no panic
+	r.eng.RunCapped(100000)
+	// xenstore still answers.
+	if !r.bus.Store().Exists("/local/domain") {
+		t.Fatal("xenstore lost state after driver domain crash")
+	}
+}
+
+func TestMultipleGuestsShareNIC(t *testing.T) {
+	r := buildRig(t, KiteCosts())
+	// Second guest with its own vif.
+	g2 := r.hv.CreateDomain(xen.DomainConfig{Name: "domU2", VCPUs: 2, MemBytes: 64 << 20,
+		IRQLatency: 6 * sim.Microsecond})
+	mac2 := netpkt.XenMAC(uint16(g2.ID), 0)
+	r.bus.AddDevice(xenbus.DeviceSpec{
+		Type: "vif", FrontDom: xenbus.DomID(g2.ID), BackDom: xenbus.DomID(r.dd.ID),
+		DevID: 0, FrontExtra: map[string]string{"mac": mac2.String()},
+	})
+	front2 := netfront.New(r.eng, netfront.Config{
+		Dom: g2, Bus: r.bus, Registry: r.reg, DevID: 0, BackDom: r.dd.ID, MAC: mac2,
+	})
+	g2stack := netstack.New(r.eng, netstack.Config{
+		Name: "domU2", CPUs: g2.CPUs, Iface: front2,
+		IP: netpkt.IPv4(10, 0, 0, 3), Costs: netstack.LinuxGuestCosts(), Seed: 33,
+	})
+	if !r.eng.RunCapped(100000) {
+		t.Fatal("second handshake livelocked")
+	}
+	if len(r.drv.VIFs()) != 2 {
+		t.Fatalf("driver has %d VIFs, want 2", len(r.drv.VIFs()))
+	}
+
+	// Guest-to-guest traffic hairpins through the bridge.
+	var got string
+	g2stack.BindUDP(7, func(p netstack.UDPPacket) { got = string(p.Data) })
+	r.gstack.SendUDP(g2stack.IP(), 7, 5000, []byte("cross-vif"))
+	if !r.eng.RunCapped(500000) {
+		t.Fatal("guest-to-guest livelocked")
+	}
+	if got != "cross-vif" {
+		t.Fatalf("guest-to-guest payload = %q", got)
+	}
+	// And both guests still reach the client.
+	var fromG2 string
+	r.client.Stack.BindUDP(8, func(p netstack.UDPPacket) { fromG2 = string(p.Data) })
+	g2stack.SendUDP(r.client.Stack.IP(), 8, 5001, []byte("to-client"))
+	if !r.eng.RunCapped(500000) {
+		t.Fatal("livelock")
+	}
+	if fromG2 != "to-client" {
+		t.Fatalf("second guest to client = %q", fromG2)
+	}
+}
+
+func TestKiteLatencyBeatsLinux(t *testing.T) {
+	// The paper's Figure 7: Kite's netback yields lower ping latency than
+	// Linux's (0.31ms vs 0.51ms there; here we check the ordering).
+	measure := func(costs Costs) sim.Time {
+		r := buildRig(t, costs)
+		var total sim.Time
+		const n = 10
+		done := 0
+		var one func()
+		one = func() {
+			r.client.Stack.Ping(r.gstack.IP(), 56, func(d sim.Time) {
+				total += d
+				done++
+				if done < n {
+					one()
+				}
+			})
+		}
+		one()
+		if !r.eng.RunCapped(2_000_000) {
+			t.Fatal("ping sweep livelocked")
+		}
+		if done != n {
+			t.Fatalf("only %d of %d pings completed", done, n)
+		}
+		return total / n
+	}
+	kite := measure(KiteCosts())
+	linux := measure(LinuxCosts())
+	if kite >= linux {
+		t.Fatalf("Kite RTT (%v) not better than Linux RTT (%v)", kite, linux)
+	}
+}
+
+func TestInHandlerAblationStillWorks(t *testing.T) {
+	costs := KiteCosts()
+	costs.InHandler = true
+	r := buildRig(t, costs)
+	var got string
+	r.gstack.BindUDP(7, func(p netstack.UDPPacket) { got = string(p.Data) })
+	r.client.Stack.SendUDP(r.gstack.IP(), 7, 5000, []byte("in-handler"))
+	if !r.eng.RunCapped(500000) {
+		t.Fatal("livelock")
+	}
+	if got != "in-handler" {
+		t.Fatalf("payload = %q", got)
+	}
+}
+
+func TestNetfrontBacklogAbsorbsBursts(t *testing.T) {
+	// Blast far more frames than the 256-slot Tx ring holds in one
+	// instant: the frontend's qdisc backlog must absorb them (no drops)
+	// and every frame must reach the client.
+	r := buildRig(t, KiteCosts())
+	var rx int
+	r.client.Stack.BindUDP(9, func(p netstack.UDPPacket) { rx++ })
+	const burst = 600 // > ring(256) + some backlog
+	for i := 0; i < burst; i++ {
+		r.gstack.SendUDP(r.client.Stack.IP(), 9, 5000, []byte("b"))
+	}
+	if !r.eng.RunCapped(2_000_000) {
+		t.Fatal("burst livelocked")
+	}
+	if rx != burst {
+		t.Fatalf("client received %d of %d burst frames", rx, burst)
+	}
+	st := r.front.Stats()
+	if st.TxRingFull != 0 {
+		t.Fatalf("qdisc backlog overflowed: %d drops", st.TxRingFull)
+	}
+}

@@ -1,0 +1,324 @@
+// Package netfront implements the paravirtual network frontend driver that
+// runs inside DomU guests. It exposes the netstack.NetIf interface — the
+// guest's network stack uses it exactly like a physical NIC — and speaks
+// the netif ring protocol to whatever netback serves it (Linux or Kite;
+// the frontend is identical in both cases, which is the paper's point:
+// guests need no modification, §2.2).
+package netfront
+
+import (
+	"fmt"
+
+	"kite/internal/mem"
+	"kite/internal/netif"
+	"kite/internal/netpkt"
+	"kite/internal/sim"
+	"kite/internal/xen"
+	"kite/internal/xenbus"
+)
+
+// txBacklogCap bounds the qdisc backlog (frames).
+const txBacklogCap = 1024
+
+// Stats counts frontend activity.
+type Stats struct {
+	TxFrames, RxFrames uint64
+	TxBytes, RxBytes   uint64
+	TxRingFull         uint64
+	TxErrors           uint64
+}
+
+type txBuf struct {
+	page *mem.Page
+	ref  xen.GrantRef
+}
+
+type rxBuf struct {
+	page *mem.Page
+	ref  xen.GrantRef
+}
+
+// Device is one vif frontend instance.
+type Device struct {
+	eng     *sim.Engine
+	dom     *xen.Domain
+	bus     *xenbus.Bus
+	reg     *netif.Registry
+	devID   int
+	backDom xen.DomID
+	mac     netpkt.MAC
+
+	frontPath string
+	backPath  string
+
+	txRing *netif.TxRing
+	rxRing *netif.RxRing
+	port   xen.Port
+
+	txBufs map[uint16]txBuf
+	txNext uint16
+	txFree []uint16
+	// txBacklog queues frames while the ring is full (the guest's qdisc);
+	// reapTx drains it as slots free up.
+	txBacklog [][]byte
+	rxBufs    [netif.RingSize]rxBuf
+	rxAlive   bool
+
+	recv    func(frame []byte)
+	onReady func()
+	ready   bool
+
+	stats Stats
+}
+
+// Config describes a frontend to create.
+type Config struct {
+	Dom      *xen.Domain
+	Bus      *xenbus.Bus
+	Registry *netif.Registry
+	DevID    int
+	BackDom  xen.DomID
+	MAC      netpkt.MAC
+	// OnReady fires when the device reaches Connected on both ends.
+	OnReady func()
+}
+
+// New creates the frontend for an already tool-stack-created vif device
+// and begins negotiation.
+func New(eng *sim.Engine, cfg Config) *Device {
+	d := &Device{
+		eng:       eng,
+		dom:       cfg.Dom,
+		bus:       cfg.Bus,
+		reg:       cfg.Registry,
+		devID:     cfg.DevID,
+		backDom:   cfg.BackDom,
+		mac:       cfg.MAC,
+		frontPath: xenbus.FrontendPath(xenbus.DomID(cfg.Dom.ID), "vif", cfg.DevID),
+		txBufs:    make(map[uint16]txBuf),
+		onReady:   cfg.OnReady,
+	}
+	d.backPath = xenbus.BackendPath(xenbus.DomID(cfg.BackDom), "vif", xenbus.DomID(cfg.Dom.ID), cfg.DevID)
+	d.start()
+	return d
+}
+
+// MAC implements netstack.NetIf.
+func (d *Device) MAC() netpkt.MAC { return d.mac }
+
+// SetRecv implements netstack.NetIf.
+func (d *Device) SetRecv(fn func(frame []byte)) { d.recv = fn }
+
+// Stats returns a snapshot of the counters.
+func (d *Device) Stats() Stats { return d.stats }
+
+// Ready reports whether the device is connected end to end.
+func (d *Device) Ready() bool { return d.ready }
+
+// start performs the frontend's side of the xenbus handshake: allocate
+// rings and the event channel, publish references, move to Initialised,
+// then wait for the backend to connect.
+func (d *Device) start() {
+	d.txRing = netif.NewTxRing()
+	d.rxRing = netif.NewRxRing()
+	d.reg.Publish(d.dom.ID, d.devID, &netif.Channel{Tx: d.txRing, Rx: d.rxRing})
+
+	d.port = d.dom.AllocUnbound(d.backDom)
+	if err := d.dom.SetHandler(d.port, d.onEvent); err != nil {
+		panic(fmt.Sprintf("netfront: %v", err))
+	}
+
+	st := d.bus.Store()
+	st.Writef(d.frontPath+"/tx-ring-ref", "%d", d.devID*2+1)
+	st.Writef(d.frontPath+"/rx-ring-ref", "%d", d.devID*2+2)
+	st.Writef(d.frontPath+"/event-channel", "%d", d.port)
+	st.Write(d.frontPath+"/mac", d.mac.String())
+	d.bus.WriteFeature(d.frontPath, "request-rx-copy", true)
+	if err := d.bus.SwitchState(d.frontPath, xenbus.StateInitialised); err != nil {
+		panic(fmt.Sprintf("netfront: %v", err))
+	}
+
+	d.bus.OnStateChange(d.backPath, func(s xenbus.State) {
+		switch s {
+		case xenbus.StateConnected:
+			if !d.ready {
+				d.connect()
+			}
+		case xenbus.StateClosing, xenbus.StateClosed:
+			d.backendGone()
+		}
+	})
+}
+
+// connect finishes the handshake: post the full Rx buffer set and go
+// Connected.
+func (d *Device) connect() {
+	for i := 0; i < netif.RingSize; i++ {
+		page := d.dom.Arena.MustAlloc()
+		ref := d.dom.GrantAccess(d.backDom, page, false)
+		d.rxBufs[i] = rxBuf{page: page, ref: ref}
+		if !d.rxRing.PushRequest(netif.RxRequest{ID: uint16(i), Ref: ref}) {
+			panic("netfront: fresh rx ring full")
+		}
+	}
+	d.rxAlive = true
+	if d.rxRing.PushRequestsAndCheckNotify() {
+		d.dom.Notify(d.port)
+	}
+	if err := d.bus.SwitchState(d.frontPath, xenbus.StateConnected); err != nil {
+		panic(fmt.Sprintf("netfront: %v", err))
+	}
+	d.ready = true
+	if d.onReady != nil {
+		d.onReady()
+	}
+}
+
+// backendGone quiesces the device when its backend disappears (driver
+// domain crash/restart). In-flight buffers are reclaimed; sends fail until
+// a new backend connects.
+func (d *Device) backendGone() {
+	if !d.ready {
+		return
+	}
+	d.ready = false
+	d.rxAlive = false
+}
+
+// Send implements netstack.NetIf: copy the frame into a granted page, push
+// a Tx request, kick the backend.
+func (d *Device) Send(frame []byte) bool {
+	if !d.ready {
+		return false
+	}
+	if len(frame) > mem.PageSize {
+		d.stats.TxErrors++
+		return false
+	}
+	if d.txRing.Full() {
+		if len(d.txBacklog) >= txBacklogCap {
+			d.stats.TxRingFull++
+			return false
+		}
+		cp := make([]byte, len(frame))
+		copy(cp, frame)
+		d.txBacklog = append(d.txBacklog, cp)
+		return true
+	}
+	page, err := d.dom.Arena.Alloc()
+	if err != nil {
+		d.stats.TxErrors++
+		return false
+	}
+	page.CopyInto(0, frame)
+	ref := d.dom.GrantAccess(d.backDom, page, true)
+	id := d.allocTxID()
+	d.txBufs[id] = txBuf{page: page, ref: ref}
+	d.txRing.PushRequest(netif.TxRequest{ID: id, Ref: ref, Offset: 0, Len: len(frame)})
+	d.stats.TxFrames++
+	d.stats.TxBytes += uint64(len(frame))
+	if d.txRing.PushRequestsAndCheckNotify() {
+		d.dom.Notify(d.port)
+	}
+	return true
+}
+
+func (d *Device) allocTxID() uint16 {
+	if n := len(d.txFree); n > 0 {
+		id := d.txFree[n-1]
+		d.txFree = d.txFree[:n-1]
+		return id
+	}
+	d.txNext++
+	return d.txNext
+}
+
+// onEvent is the frontend's interrupt handler: reap Tx completions and
+// deliver Rx frames.
+func (d *Device) onEvent() {
+	d.reapTx()
+	d.reapRx()
+}
+
+func (d *Device) reapTx() {
+	defer d.drainBacklog()
+	for {
+		rsp, ok := d.txRing.TakeResponse()
+		if !ok {
+			if d.txRing.FinalCheckForResponses() {
+				continue
+			}
+			return
+		}
+		buf, ok := d.txBufs[rsp.ID]
+		if !ok {
+			continue // backend answered an unknown id; ignore
+		}
+		delete(d.txBufs, rsp.ID)
+		d.txFree = append(d.txFree, rsp.ID)
+		if err := d.dom.EndAccess(buf.ref); err == nil {
+			d.dom.Arena.Free(buf.page)
+		}
+		if rsp.Status != netif.StatusOK {
+			d.stats.TxErrors++
+		}
+	}
+}
+
+func (d *Device) reapRx() {
+	posted := 0
+	for {
+		rsp, ok := d.rxRing.TakeResponse()
+		if !ok {
+			if d.rxRing.FinalCheckForResponses() {
+				continue
+			}
+			break
+		}
+		buf := d.rxBufs[rsp.ID%netif.RingSize]
+		if rsp.Status == netif.StatusOK && rsp.Len > 0 {
+			frame := buf.page.CopyFrom(rsp.Offset, rsp.Len)
+			d.stats.RxFrames++
+			d.stats.RxBytes += uint64(len(frame))
+			if d.recv != nil {
+				d.recv(frame)
+			}
+		}
+		// Recycle the same granted page (Linux netfront's page reuse).
+		if d.rxAlive && d.rxRing.PushRequest(netif.RxRequest{ID: rsp.ID, Ref: buf.ref}) {
+			posted++
+		}
+	}
+	if posted > 0 && d.rxRing.PushRequestsAndCheckNotify() {
+		d.dom.Notify(d.port)
+	}
+}
+
+// EventPort returns the frontend's event channel port (read by the backend
+// from xenstore during its handshake).
+func (d *Device) EventPort() xen.Port { return d.port }
+
+// drainBacklog pushes queued qdisc frames into freed ring slots.
+func (d *Device) drainBacklog() {
+	pushed := false
+	for len(d.txBacklog) > 0 && !d.txRing.Full() {
+		frame := d.txBacklog[0]
+		d.txBacklog = d.txBacklog[1:]
+		page, err := d.dom.Arena.Alloc()
+		if err != nil {
+			d.stats.TxErrors++
+			continue
+		}
+		page.CopyInto(0, frame)
+		ref := d.dom.GrantAccess(d.backDom, page, true)
+		id := d.allocTxID()
+		d.txBufs[id] = txBuf{page: page, ref: ref}
+		d.txRing.PushRequest(netif.TxRequest{ID: id, Ref: ref, Offset: 0, Len: len(frame)})
+		d.stats.TxFrames++
+		d.stats.TxBytes += uint64(len(frame))
+		pushed = true
+	}
+	if pushed && d.txRing.PushRequestsAndCheckNotify() {
+		d.dom.Notify(d.port)
+	}
+}

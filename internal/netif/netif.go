@@ -1,0 +1,107 @@
+// Package netif defines the shared netif ring protocol between netfront
+// and netback (xen/io/netif.h): request/response formats for the Tx and Rx
+// rings and the registry through which a backend "maps" a frontend's ring
+// pages. One Tx ring carries guest→backend packets, one Rx ring carries
+// backend→guest packets; both are allocated by the frontend (§2.2.1).
+package netif
+
+import (
+	"fmt"
+
+	"kite/internal/ring"
+	"kite/internal/xen"
+)
+
+// RingSize is the netif ring slot count (matching Xen's 256-slot rings).
+const RingSize = 256
+
+// Status codes in responses (netif.h's NETIF_RSP_*).
+const (
+	StatusOK      = 0
+	StatusError   = -1
+	StatusDropped = -2
+)
+
+// TxRequest asks the backend to transmit a frame stored in a granted page.
+type TxRequest struct {
+	ID     uint16
+	Ref    xen.GrantRef
+	Offset int
+	Len    int
+}
+
+// TxResponse reports completion of a TxRequest.
+type TxResponse struct {
+	ID     uint16
+	Status int8
+}
+
+// RxRequest posts a granted page the backend may fill with a received
+// frame (rx-copy mode: the backend grant-copies into it).
+type RxRequest struct {
+	ID  uint16
+	Ref xen.GrantRef
+}
+
+// RxResponse reports a filled Rx buffer.
+type RxResponse struct {
+	ID     uint16
+	Offset int
+	Len    int
+	Status int8
+}
+
+// TxRing is the guest→backend ring.
+type TxRing = ring.Ring[TxRequest, TxResponse]
+
+// RxRing is the backend→guest ring.
+type RxRing = ring.Ring[RxRequest, RxResponse]
+
+// NewTxRing allocates a Tx ring of the standard size.
+func NewTxRing() *TxRing { return ring.New[TxRequest, TxResponse](RingSize) }
+
+// NewRxRing allocates an Rx ring of the standard size.
+func NewRxRing() *RxRing { return ring.New[RxRequest, RxResponse](RingSize) }
+
+// Channel bundles what a backend obtains by mapping the frontend's shared
+// pages: both rings. (The event channel is negotiated separately through
+// xenstore, as for real.)
+type Channel struct {
+	Tx *TxRing
+	Rx *RxRing
+}
+
+// Registry stands in for the grant-mapping of ring pages: the frontend
+// publishes its rings under (frontend domain, device id); the backend
+// claims them after reading the ring references from xenstore and paying
+// the map hypercalls.
+type Registry struct {
+	channels map[string]*Channel
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{channels: make(map[string]*Channel)}
+}
+
+func key(dom xen.DomID, devid int) string { return fmt.Sprintf("%d/%d", dom, devid) }
+
+// Publish registers a frontend's rings.
+func (r *Registry) Publish(dom xen.DomID, devid int, ch *Channel) {
+	r.channels[key(dom, devid)] = ch
+}
+
+// Claim returns the rings for (dom, devid) or an error if the frontend has
+// not published them (bad ring-ref).
+func (r *Registry) Claim(dom xen.DomID, devid int) (*Channel, error) {
+	ch := r.channels[key(dom, devid)]
+	if ch == nil {
+		return nil, fmt.Errorf("netif: no rings published for domain %d device %d", dom, devid)
+	}
+	return ch, nil
+}
+
+// Drop removes a publication (frontend teardown).
+func (r *Registry) Drop(dom xen.DomID, devid int) {
+	delete(r.channels, key(dom, devid))
+}

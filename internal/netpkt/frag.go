@@ -1,0 +1,116 @@
+package netpkt
+
+import (
+	"fmt"
+	"sort"
+)
+
+// FragmentIPv4 splits an IP payload into MTU-sized IPv4 packets sharing
+// one identification value. Payloads that fit return a single packet.
+// Fragment offsets are in 8-byte units per RFC 791, so the per-fragment
+// payload is rounded down to a multiple of 8.
+func FragmentIPv4(h IPv4Header, payload []byte, mtu int) [][]byte {
+	maxData := (mtu - IPHeaderLen) &^ 7
+	if maxData <= 0 {
+		panic(fmt.Sprintf("netpkt: mtu %d cannot carry ipv4", mtu))
+	}
+	if len(payload) <= mtu-IPHeaderLen {
+		hh := h
+		hh.Flags = 0
+		hh.FragOff = 0
+		return [][]byte{hh.Marshal(payload)}
+	}
+	var out [][]byte
+	for off := 0; off < len(payload); off += maxData {
+		end := off + maxData
+		more := uint8(FlagMoreFragments)
+		if end >= len(payload) {
+			end = len(payload)
+			more = 0
+		}
+		hh := h
+		hh.Flags = more
+		hh.FragOff = uint16(off / 8)
+		out = append(out, hh.Marshal(payload[off:end]))
+	}
+	return out
+}
+
+type fragKey struct {
+	src, dst IP
+	id       uint16
+	proto    uint8
+}
+
+type fragHole struct {
+	off  int
+	data []byte
+}
+
+type fragBuf struct {
+	parts    []fragHole
+	haveLast bool
+	total    int
+}
+
+// Reassembler reassembles fragmented IPv4 packets. It is used by receive
+// paths (guest network stacks and host endpoints).
+type Reassembler struct {
+	pending map[fragKey]*fragBuf
+	// Drops counts datagrams abandoned because of overlapping/duplicate
+	// fragments; exposed for diagnostics.
+	Drops uint64
+}
+
+// NewReassembler returns an empty reassembler.
+func NewReassembler() *Reassembler {
+	return &Reassembler{pending: make(map[fragKey]*fragBuf)}
+}
+
+// PendingCount returns how many partially reassembled datagrams are held.
+func (r *Reassembler) PendingCount() int { return len(r.pending) }
+
+// Push offers one IPv4 packet. If it completes a datagram (or was never
+// fragmented) the full payload is returned with done=true.
+func (r *Reassembler) Push(h *IPv4Header, payload []byte) (full []byte, done bool) {
+	if h.FragOff == 0 && h.Flags&FlagMoreFragments == 0 {
+		return payload, true
+	}
+	key := fragKey{src: h.Src, dst: h.Dst, id: h.ID, proto: h.Proto}
+	buf := r.pending[key]
+	if buf == nil {
+		buf = &fragBuf{}
+		r.pending[key] = buf
+	}
+	off := int(h.FragOff) * 8
+	cp := make([]byte, len(payload))
+	copy(cp, payload)
+	buf.parts = append(buf.parts, fragHole{off: off, data: cp})
+	if h.Flags&FlagMoreFragments == 0 {
+		buf.haveLast = true
+		buf.total = off + len(payload)
+	}
+	if !buf.haveLast {
+		return nil, false
+	}
+	// Check contiguity.
+	sort.Slice(buf.parts, func(i, j int) bool { return buf.parts[i].off < buf.parts[j].off })
+	next := 0
+	for _, p := range buf.parts {
+		if p.off > next {
+			return nil, false // hole remains
+		}
+		if end := p.off + len(p.data); end > next {
+			next = end
+		}
+	}
+	if next < buf.total {
+		return nil, false
+	}
+	out := make([]byte, buf.total)
+	for _, p := range buf.parts {
+		copy(out[p.off:], p.data)
+	}
+	delete(r.pending, key)
+	return out, true
+}

@@ -1,0 +1,346 @@
+// Package netpkt defines the wire formats used by the simulated network:
+// Ethernet II frames, ARP, IPv4 (with fragmentation), ICMP echo, UDP, and
+// a TCP subset. Packets are serialized to real bytes because frames cross
+// the PV driver path through grant-copied pages, and end-to-end integrity
+// of those bytes is part of what the tests verify.
+package netpkt
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// MAC is an Ethernet hardware address.
+type MAC [6]byte
+
+// String renders the usual colon-separated form.
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// Broadcast is the all-ones MAC.
+var Broadcast = MAC{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+
+// XenMAC returns a MAC in the Xen OUI (00:16:3e) range, as the toolstack
+// assigns to vifs.
+func XenMAC(domid uint16, dev byte) MAC {
+	return MAC{0x00, 0x16, 0x3e, byte(domid >> 8), byte(domid), dev}
+}
+
+// IP is an IPv4 address.
+type IP [4]byte
+
+func (ip IP) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", ip[0], ip[1], ip[2], ip[3])
+}
+
+// IPv4 returns an IP from four octets.
+func IPv4(a, b, c, d byte) IP { return IP{a, b, c, d} }
+
+// BroadcastIP is the limited broadcast address.
+var BroadcastIP = IP{255, 255, 255, 255}
+
+// EtherType values.
+const (
+	EtherTypeIPv4 = 0x0800
+	EtherTypeARP  = 0x0806
+)
+
+// IP protocol numbers.
+const (
+	ProtoICMP = 1
+	ProtoTCP  = 6
+	ProtoUDP  = 17
+)
+
+// EthHeaderLen is the Ethernet II header size.
+const EthHeaderLen = 14
+
+// IPHeaderLen is our fixed (option-less) IPv4 header size.
+const IPHeaderLen = 20
+
+// UDPHeaderLen is the UDP header size.
+const UDPHeaderLen = 8
+
+// TCPHeaderLen is our fixed (option-less) TCP header size.
+const TCPHeaderLen = 20
+
+// ICMPHeaderLen is the ICMP echo header size.
+const ICMPHeaderLen = 8
+
+// MTU is the Ethernet payload limit used throughout the testbed.
+const MTU = 1500
+
+// Frame is a parsed Ethernet frame.
+type Frame struct {
+	Dst, Src  MAC
+	EtherType uint16
+	Payload   []byte
+}
+
+// Marshal serializes the frame.
+func (f *Frame) Marshal() []byte {
+	b := make([]byte, EthHeaderLen+len(f.Payload))
+	copy(b[0:6], f.Dst[:])
+	copy(b[6:12], f.Src[:])
+	binary.BigEndian.PutUint16(b[12:14], f.EtherType)
+	copy(b[14:], f.Payload)
+	return b
+}
+
+// ParseFrame deserializes an Ethernet frame.
+func ParseFrame(b []byte) (*Frame, error) {
+	if len(b) < EthHeaderLen {
+		return nil, fmt.Errorf("netpkt: frame too short (%d bytes)", len(b))
+	}
+	f := &Frame{EtherType: binary.BigEndian.Uint16(b[12:14])}
+	copy(f.Dst[:], b[0:6])
+	copy(f.Src[:], b[6:12])
+	f.Payload = b[14:]
+	return f, nil
+}
+
+// Checksum computes the Internet checksum (RFC 1071) over b.
+func Checksum(b []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(b); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(b[i : i+2]))
+	}
+	if len(b)%2 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	for sum > 0xffff {
+		sum = (sum & 0xffff) + (sum >> 16)
+	}
+	return ^uint16(sum)
+}
+
+// ARP is an IPv4-over-Ethernet ARP packet.
+type ARP struct {
+	Op                   uint16 // 1 request, 2 reply
+	SenderMAC, TargetMAC MAC
+	SenderIP, TargetIP   IP
+}
+
+// ARP opcodes.
+const (
+	ARPRequest = 1
+	ARPReply   = 2
+)
+
+// Marshal serializes the ARP body (without Ethernet header).
+func (a *ARP) Marshal() []byte {
+	b := make([]byte, 28)
+	binary.BigEndian.PutUint16(b[0:2], 1)      // htype ethernet
+	binary.BigEndian.PutUint16(b[2:4], 0x0800) // ptype ipv4
+	b[4], b[5] = 6, 4
+	binary.BigEndian.PutUint16(b[6:8], a.Op)
+	copy(b[8:14], a.SenderMAC[:])
+	copy(b[14:18], a.SenderIP[:])
+	copy(b[18:24], a.TargetMAC[:])
+	copy(b[24:28], a.TargetIP[:])
+	return b
+}
+
+// ParseARP deserializes an ARP body.
+func ParseARP(b []byte) (*ARP, error) {
+	if len(b) < 28 {
+		return nil, fmt.Errorf("netpkt: arp too short (%d bytes)", len(b))
+	}
+	a := &ARP{Op: binary.BigEndian.Uint16(b[6:8])}
+	copy(a.SenderMAC[:], b[8:14])
+	copy(a.SenderIP[:], b[14:18])
+	copy(a.TargetMAC[:], b[18:24])
+	copy(a.TargetIP[:], b[24:28])
+	return a, nil
+}
+
+// IPv4Header is a parsed option-less IPv4 header.
+type IPv4Header struct {
+	TotalLen uint16
+	ID       uint16
+	Flags    uint8  // bit 0 = more fragments (we ignore DF)
+	FragOff  uint16 // in 8-byte units
+	TTL      uint8
+	Proto    uint8
+	Src, Dst IP
+}
+
+// MoreFragments flag bit.
+const FlagMoreFragments = 1
+
+// Marshal serializes the header followed by payload, computing checksum
+// and total length.
+func (h *IPv4Header) Marshal(payload []byte) []byte {
+	h.TotalLen = uint16(IPHeaderLen + len(payload))
+	b := make([]byte, IPHeaderLen+len(payload))
+	b[0] = 0x45 // v4, ihl 5
+	binary.BigEndian.PutUint16(b[2:4], h.TotalLen)
+	binary.BigEndian.PutUint16(b[4:6], h.ID)
+	ff := uint16(h.Flags&FlagMoreFragments)<<13 | (h.FragOff & 0x1fff)
+	binary.BigEndian.PutUint16(b[6:8], ff)
+	b[8] = h.TTL
+	b[9] = h.Proto
+	copy(b[12:16], h.Src[:])
+	copy(b[16:20], h.Dst[:])
+	binary.BigEndian.PutUint16(b[10:12], Checksum(b[:IPHeaderLen]))
+	copy(b[IPHeaderLen:], payload)
+	return b
+}
+
+// ParseIPv4 deserializes an IPv4 packet, verifying the header checksum,
+// and returns the header and payload.
+func ParseIPv4(b []byte) (*IPv4Header, []byte, error) {
+	if len(b) < IPHeaderLen {
+		return nil, nil, fmt.Errorf("netpkt: ipv4 too short (%d bytes)", len(b))
+	}
+	if b[0]>>4 != 4 {
+		return nil, nil, fmt.Errorf("netpkt: not ipv4 (version %d)", b[0]>>4)
+	}
+	ihl := int(b[0]&0xf) * 4
+	if ihl != IPHeaderLen {
+		return nil, nil, fmt.Errorf("netpkt: unsupported ihl %d", ihl)
+	}
+	if Checksum(b[:IPHeaderLen]) != 0 {
+		return nil, nil, fmt.Errorf("netpkt: ipv4 header checksum mismatch")
+	}
+	h := &IPv4Header{
+		TotalLen: binary.BigEndian.Uint16(b[2:4]),
+		ID:       binary.BigEndian.Uint16(b[4:6]),
+		TTL:      b[8],
+		Proto:    b[9],
+	}
+	ff := binary.BigEndian.Uint16(b[6:8])
+	h.Flags = uint8(ff >> 13)
+	h.FragOff = ff & 0x1fff
+	copy(h.Src[:], b[12:16])
+	copy(h.Dst[:], b[16:20])
+	if int(h.TotalLen) > len(b) {
+		return nil, nil, fmt.Errorf("netpkt: ipv4 total length %d exceeds buffer %d", h.TotalLen, len(b))
+	}
+	return h, b[IPHeaderLen:h.TotalLen], nil
+}
+
+// UDPHeader is a parsed UDP header.
+type UDPHeader struct {
+	SrcPort, DstPort uint16
+	Length           uint16
+}
+
+// Marshal serializes header + payload (checksum omitted, as permitted for
+// IPv4 UDP).
+func (u *UDPHeader) Marshal(payload []byte) []byte {
+	u.Length = uint16(UDPHeaderLen + len(payload))
+	b := make([]byte, UDPHeaderLen+len(payload))
+	binary.BigEndian.PutUint16(b[0:2], u.SrcPort)
+	binary.BigEndian.PutUint16(b[2:4], u.DstPort)
+	binary.BigEndian.PutUint16(b[4:6], u.Length)
+	copy(b[8:], payload)
+	return b
+}
+
+// ParseUDP deserializes a UDP datagram.
+func ParseUDP(b []byte) (*UDPHeader, []byte, error) {
+	if len(b) < UDPHeaderLen {
+		return nil, nil, fmt.Errorf("netpkt: udp too short (%d bytes)", len(b))
+	}
+	u := &UDPHeader{
+		SrcPort: binary.BigEndian.Uint16(b[0:2]),
+		DstPort: binary.BigEndian.Uint16(b[2:4]),
+		Length:  binary.BigEndian.Uint16(b[4:6]),
+	}
+	if int(u.Length) > len(b) || u.Length < UDPHeaderLen {
+		return nil, nil, fmt.Errorf("netpkt: udp length %d invalid for %d-byte buffer", u.Length, len(b))
+	}
+	return u, b[UDPHeaderLen:u.Length], nil
+}
+
+// TCP flag bits.
+const (
+	TCPFin = 1 << 0
+	TCPSyn = 1 << 1
+	TCPRst = 1 << 2
+	TCPPsh = 1 << 3
+	TCPAck = 1 << 4
+)
+
+// TCPHeader is a parsed option-less TCP header.
+type TCPHeader struct {
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	Flags            uint8
+	Window           uint16
+}
+
+// Marshal serializes header + payload.
+func (t *TCPHeader) Marshal(payload []byte) []byte {
+	b := make([]byte, TCPHeaderLen+len(payload))
+	binary.BigEndian.PutUint16(b[0:2], t.SrcPort)
+	binary.BigEndian.PutUint16(b[2:4], t.DstPort)
+	binary.BigEndian.PutUint32(b[4:8], t.Seq)
+	binary.BigEndian.PutUint32(b[8:12], t.Ack)
+	b[12] = 5 << 4 // data offset
+	b[13] = t.Flags
+	binary.BigEndian.PutUint16(b[14:16], t.Window)
+	copy(b[TCPHeaderLen:], payload)
+	return b
+}
+
+// ParseTCP deserializes a TCP segment.
+func ParseTCP(b []byte) (*TCPHeader, []byte, error) {
+	if len(b) < TCPHeaderLen {
+		return nil, nil, fmt.Errorf("netpkt: tcp too short (%d bytes)", len(b))
+	}
+	off := int(b[12]>>4) * 4
+	if off < TCPHeaderLen || off > len(b) {
+		return nil, nil, fmt.Errorf("netpkt: tcp data offset %d invalid", off)
+	}
+	t := &TCPHeader{
+		SrcPort: binary.BigEndian.Uint16(b[0:2]),
+		DstPort: binary.BigEndian.Uint16(b[2:4]),
+		Seq:     binary.BigEndian.Uint32(b[4:8]),
+		Ack:     binary.BigEndian.Uint32(b[8:12]),
+		Flags:   b[13],
+		Window:  binary.BigEndian.Uint16(b[14:16]),
+	}
+	return t, b[off:], nil
+}
+
+// ICMP echo types.
+const (
+	ICMPEchoRequest = 8
+	ICMPEchoReply   = 0
+)
+
+// ICMPEcho is a parsed ICMP echo request/reply.
+type ICMPEcho struct {
+	Type    uint8
+	ID, Seq uint16
+}
+
+// Marshal serializes the echo message with a valid checksum.
+func (e *ICMPEcho) Marshal(payload []byte) []byte {
+	b := make([]byte, ICMPHeaderLen+len(payload))
+	b[0] = e.Type
+	binary.BigEndian.PutUint16(b[4:6], e.ID)
+	binary.BigEndian.PutUint16(b[6:8], e.Seq)
+	copy(b[8:], payload)
+	binary.BigEndian.PutUint16(b[2:4], Checksum(b))
+	return b
+}
+
+// ParseICMPEcho deserializes and checksum-verifies an echo message.
+func ParseICMPEcho(b []byte) (*ICMPEcho, []byte, error) {
+	if len(b) < ICMPHeaderLen {
+		return nil, nil, fmt.Errorf("netpkt: icmp too short (%d bytes)", len(b))
+	}
+	if Checksum(b) != 0 {
+		return nil, nil, fmt.Errorf("netpkt: icmp checksum mismatch")
+	}
+	e := &ICMPEcho{
+		Type: b[0],
+		ID:   binary.BigEndian.Uint16(b[4:6]),
+		Seq:  binary.BigEndian.Uint16(b[6:8]),
+	}
+	return e, b[8:], nil
+}

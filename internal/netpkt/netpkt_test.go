@@ -1,0 +1,278 @@
+package netpkt
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestMACString(t *testing.T) {
+	m := MAC{0x00, 0x16, 0x3e, 0x01, 0x02, 0x03}
+	if m.String() != "00:16:3e:01:02:03" {
+		t.Fatalf("MAC string = %s", m)
+	}
+}
+
+func TestXenMACUnique(t *testing.T) {
+	a := XenMAC(1, 0)
+	b := XenMAC(1, 1)
+	c := XenMAC(2, 0)
+	if a == b || a == c || b == c {
+		t.Fatal("XenMAC collisions")
+	}
+	if a[0] != 0x00 || a[1] != 0x16 || a[2] != 0x3e {
+		t.Fatal("XenMAC not in Xen OUI")
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	f := &Frame{Dst: Broadcast, Src: XenMAC(1, 0), EtherType: EtherTypeIPv4, Payload: []byte("data")}
+	b := f.Marshal()
+	g, err := ParseFrame(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Dst != f.Dst || g.Src != f.Src || g.EtherType != f.EtherType || !bytes.Equal(g.Payload, f.Payload) {
+		t.Fatalf("round trip mismatch: %+v", g)
+	}
+}
+
+func TestFrameTooShort(t *testing.T) {
+	if _, err := ParseFrame(make([]byte, 5)); err == nil {
+		t.Fatal("short frame parsed")
+	}
+}
+
+func TestARPRoundTrip(t *testing.T) {
+	a := &ARP{Op: ARPRequest, SenderMAC: XenMAC(1, 0), SenderIP: IPv4(10, 0, 0, 1), TargetIP: IPv4(10, 0, 0, 2)}
+	g, err := ParseARP(a.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Op != ARPRequest || g.SenderIP != a.SenderIP || g.TargetIP != a.TargetIP || g.SenderMAC != a.SenderMAC {
+		t.Fatalf("arp mismatch: %+v", g)
+	}
+}
+
+func TestIPv4RoundTripAndChecksum(t *testing.T) {
+	h := &IPv4Header{ID: 7, TTL: 64, Proto: ProtoUDP, Src: IPv4(10, 0, 0, 1), Dst: IPv4(10, 0, 0, 2)}
+	pkt := h.Marshal([]byte("payload"))
+	g, payload, err := ParseIPv4(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Src != h.Src || g.Dst != h.Dst || g.Proto != ProtoUDP || string(payload) != "payload" {
+		t.Fatalf("ipv4 mismatch: %+v %q", g, payload)
+	}
+	// Corrupt a header byte: checksum must catch it.
+	pkt[9] ^= 0xff
+	if _, _, err := ParseIPv4(pkt); err == nil {
+		t.Fatal("corrupted ipv4 header parsed")
+	}
+}
+
+func TestIPv4TrailingBytesIgnored(t *testing.T) {
+	// Ethernet minimum padding adds trailing bytes beyond TotalLen.
+	h := &IPv4Header{TTL: 64, Proto: ProtoUDP, Src: IPv4(1, 1, 1, 1), Dst: IPv4(2, 2, 2, 2)}
+	pkt := append(h.Marshal([]byte("abc")), 0, 0, 0, 0)
+	_, payload, err := ParseIPv4(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(payload) != "abc" {
+		t.Fatalf("payload with padding = %q", payload)
+	}
+}
+
+func TestUDPRoundTrip(t *testing.T) {
+	u := &UDPHeader{SrcPort: 1234, DstPort: 53}
+	g, payload, err := ParseUDP(u.Marshal([]byte("q")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.SrcPort != 1234 || g.DstPort != 53 || string(payload) != "q" {
+		t.Fatalf("udp mismatch: %+v %q", g, payload)
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	h := &TCPHeader{SrcPort: 80, DstPort: 5555, Seq: 100, Ack: 200, Flags: TCPAck | TCPPsh, Window: 65535}
+	g, payload, err := ParseTCP(h.Marshal([]byte("body")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *g != *h || string(payload) != "body" {
+		t.Fatalf("tcp mismatch: %+v", g)
+	}
+}
+
+func TestICMPEchoRoundTripAndChecksum(t *testing.T) {
+	e := &ICMPEcho{Type: ICMPEchoRequest, ID: 9, Seq: 3}
+	b := e.Marshal([]byte("ping-data"))
+	g, payload, err := ParseICMPEcho(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Type != ICMPEchoRequest || g.ID != 9 || g.Seq != 3 || string(payload) != "ping-data" {
+		t.Fatalf("icmp mismatch: %+v %q", g, payload)
+	}
+	b[8] ^= 0x55
+	if _, _, err := ParseICMPEcho(b); err == nil {
+		t.Fatal("corrupted icmp parsed")
+	}
+}
+
+func TestChecksumKnownVector(t *testing.T) {
+	// RFC 1071 example-style check: checksum of data plus its checksum is 0.
+	data := []byte{0x45, 0x00, 0x00, 0x73, 0x00, 0x00, 0x40, 0x00, 0x40, 0x11,
+		0x00, 0x00, 0xc0, 0xa8, 0x00, 0x01, 0xc0, 0xa8, 0x00, 0xc7}
+	c := Checksum(data)
+	data[10] = byte(c >> 8)
+	data[11] = byte(c)
+	if Checksum(data) != 0 {
+		t.Fatal("checksum does not self-verify")
+	}
+}
+
+func TestFragmentSmallPayloadUnfragmented(t *testing.T) {
+	h := IPv4Header{TTL: 64, Proto: ProtoUDP, Src: IPv4(1, 0, 0, 1), Dst: IPv4(1, 0, 0, 2)}
+	pkts := FragmentIPv4(h, make([]byte, 100), MTU)
+	if len(pkts) != 1 {
+		t.Fatalf("small payload produced %d fragments", len(pkts))
+	}
+}
+
+func TestFragmentReassembleRoundTrip(t *testing.T) {
+	payload := make([]byte, 8192)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	h := IPv4Header{ID: 42, TTL: 64, Proto: ProtoUDP, Src: IPv4(1, 0, 0, 1), Dst: IPv4(1, 0, 0, 2)}
+	pkts := FragmentIPv4(h, payload, MTU)
+	if len(pkts) < 6 {
+		t.Fatalf("8KB over 1500 MTU produced only %d fragments", len(pkts))
+	}
+	r := NewReassembler()
+	var got []byte
+	for i, pkt := range pkts {
+		hh, pl, err := ParseIPv4(pkt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, done := r.Push(hh, pl)
+		if done && i != len(pkts)-1 {
+			t.Fatal("reassembly completed early")
+		}
+		if done {
+			got = full
+		}
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("reassembled payload mismatch")
+	}
+	if r.PendingCount() != 0 {
+		t.Fatal("reassembler leaked state")
+	}
+}
+
+func TestReassembleOutOfOrder(t *testing.T) {
+	payload := make([]byte, 5000)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	h := IPv4Header{ID: 9, TTL: 64, Proto: ProtoUDP, Src: IPv4(1, 0, 0, 1), Dst: IPv4(1, 0, 0, 2)}
+	pkts := FragmentIPv4(h, payload, MTU)
+	r := NewReassembler()
+	var got []byte
+	// Deliver in reverse.
+	for i := len(pkts) - 1; i >= 0; i-- {
+		hh, pl, _ := ParseIPv4(pkts[i])
+		if full, done := r.Push(hh, pl); done {
+			got = full
+		}
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("out-of-order reassembly failed")
+	}
+}
+
+func TestReassembleMissingFragmentIncomplete(t *testing.T) {
+	payload := make([]byte, 5000)
+	h := IPv4Header{ID: 9, TTL: 64, Proto: ProtoUDP, Src: IPv4(1, 0, 0, 1), Dst: IPv4(1, 0, 0, 2)}
+	pkts := FragmentIPv4(h, payload, MTU)
+	r := NewReassembler()
+	for i, pkt := range pkts {
+		if i == 1 {
+			continue // drop one fragment
+		}
+		hh, pl, _ := ParseIPv4(pkt)
+		if _, done := r.Push(hh, pl); done {
+			t.Fatal("reassembly completed despite missing fragment")
+		}
+	}
+	if r.PendingCount() != 1 {
+		t.Fatal("incomplete datagram not retained")
+	}
+}
+
+func TestInterleavedDatagramsReassemble(t *testing.T) {
+	h1 := IPv4Header{ID: 1, TTL: 64, Proto: ProtoUDP, Src: IPv4(1, 0, 0, 1), Dst: IPv4(1, 0, 0, 2)}
+	h2 := IPv4Header{ID: 2, TTL: 64, Proto: ProtoUDP, Src: IPv4(1, 0, 0, 1), Dst: IPv4(1, 0, 0, 2)}
+	p1 := bytes.Repeat([]byte{0xAA}, 4000)
+	p2 := bytes.Repeat([]byte{0xBB}, 4000)
+	f1 := FragmentIPv4(h1, p1, MTU)
+	f2 := FragmentIPv4(h2, p2, MTU)
+	r := NewReassembler()
+	completed := 0
+	for i := 0; i < len(f1) || i < len(f2); i++ {
+		for _, set := range [][][]byte{f1, f2} {
+			if i < len(set) {
+				hh, pl, _ := ParseIPv4(set[i])
+				if full, done := r.Push(hh, pl); done {
+					completed++
+					want := byte(0xAA)
+					if hh.ID == 2 {
+						want = 0xBB
+					}
+					if full[0] != want || len(full) != 4000 {
+						t.Fatal("interleaved reassembly mixed datagrams")
+					}
+				}
+			}
+		}
+	}
+	if completed != 2 {
+		t.Fatalf("completed %d datagrams, want 2", completed)
+	}
+}
+
+// Property: fragmentation then reassembly is the identity for any payload
+// size up to 64 KB - headers.
+func TestFragmentReassembleProperty(t *testing.T) {
+	prop := func(seed uint32, sizeRaw uint16) bool {
+		size := int(sizeRaw)%40000 + 1
+		payload := make([]byte, size)
+		x := seed
+		for i := range payload {
+			x = x*1664525 + 1013904223
+			payload[i] = byte(x >> 24)
+		}
+		h := IPv4Header{ID: uint16(seed), TTL: 64, Proto: ProtoUDP,
+			Src: IPv4(10, 0, 0, 1), Dst: IPv4(10, 0, 0, 2)}
+		r := NewReassembler()
+		var got []byte
+		for _, pkt := range FragmentIPv4(h, payload, MTU) {
+			hh, pl, err := ParseIPv4(pkt)
+			if err != nil {
+				return false
+			}
+			if full, done := r.Push(hh, pl); done {
+				got = full
+			}
+		}
+		return bytes.Equal(got, payload)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,44 @@
+package netstack
+
+import (
+	"kite/internal/netpkt"
+	"kite/internal/nic"
+	"kite/internal/sim"
+)
+
+// Host is a bare-metal machine endpoint: CPUs, a physical NIC, and a
+// stack. The paper's client load generator (Core i5-6600K, Table 2) is a
+// Host; so is any machine-level endpoint in unit tests.
+type Host struct {
+	Name  string
+	CPUs  *sim.CPUPool
+	NIC   *nic.NIC
+	Stack *Stack
+}
+
+// HostConfig describes a Host.
+type HostConfig struct {
+	Name  string
+	CPUs  int
+	IP    netpkt.IP
+	MAC   netpkt.MAC
+	BDF   string
+	Costs Costs
+	Seed  uint64
+}
+
+// NewHost builds a host around an (unconnected) NIC; wire it to a peer
+// with nic.Connect.
+func NewHost(eng *sim.Engine, cfg HostConfig) *Host {
+	cpus := sim.NewCPUPool(eng, cfg.Name, cfg.CPUs)
+	n := nic.New(eng, cfg.Name+"/eth0", cfg.MAC, cfg.BDF)
+	st := New(eng, Config{
+		Name:  cfg.Name,
+		CPUs:  cpus,
+		Iface: n,
+		IP:    cfg.IP,
+		Costs: cfg.Costs,
+		Seed:  cfg.Seed,
+	})
+	return &Host{Name: cfg.Name, CPUs: cpus, NIC: n, Stack: st}
+}

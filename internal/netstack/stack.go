@@ -1,0 +1,372 @@
+// Package netstack is the minimal TCP/IP stack used by every endpoint in
+// the simulation: the client load-generator host, DomU guests (over
+// netfront), and the Kite driver domain's own interface (for ifconfig-style
+// addressing and the DHCP daemon VM). It speaks ARP, IPv4 with
+// fragmentation, ICMP echo, UDP, and a flow-controlled TCP subset with
+// go-back-N retransmission.
+//
+// The stack charges per-packet and per-byte CPU costs to its owner's vCPUs;
+// the difference between a Linux guest (syscall crossings) and a rumprun
+// unikernel (function calls) enters the experiments through the Costs
+// struct.
+package netstack
+
+import (
+	"fmt"
+
+	"kite/internal/netpkt"
+	"kite/internal/sim"
+)
+
+// NetIf is the device interface a stack drives: a physical NIC, a netfront
+// device, or a driver-domain VIF.
+type NetIf interface {
+	MAC() netpkt.MAC
+	// Send queues one Ethernet frame; false means the frame was dropped.
+	Send(frame []byte) bool
+	// SetRecv installs the ingress upcall.
+	SetRecv(fn func(frame []byte))
+}
+
+// Costs models the OS-dependent software path.
+type Costs struct {
+	PerPacket sim.Time // IP/driver processing per packet
+	PerKB     sim.Time // data-touching cost (checksum, copies) per KiB
+	Syscall   sim.Time // app/kernel boundary crossing (0 in a unikernel)
+}
+
+// LinuxGuestCosts returns the stack costs of the Ubuntu 18.04 DomU.
+func LinuxGuestCosts() Costs {
+	return Costs{PerPacket: 900 * sim.Nanosecond, PerKB: 45 * sim.Nanosecond, Syscall: 250 * sim.Nanosecond}
+}
+
+// RumprunCosts returns the stack costs of a Kite unikernel domain: no
+// user/kernel crossing, slightly leaner per-packet path (NetBSD stack
+// without cgroups/netfilter layers).
+func RumprunCosts() Costs {
+	return Costs{PerPacket: 700 * sim.Nanosecond, PerKB: 45 * sim.Nanosecond, Syscall: 0}
+}
+
+// Stats counts stack traffic.
+type Stats struct {
+	TxPackets, RxPackets uint64
+	TxBytes, RxBytes     uint64
+	RxDropNoHandler      uint64
+	ARPRequests          uint64
+	ARPReplies           uint64
+}
+
+// UDPPacket is a received datagram handed to a bound handler.
+type UDPPacket struct {
+	Src     netpkt.IP
+	SrcPort uint16
+	Dst     netpkt.IP
+	Data    []byte
+}
+
+// Stack is one endpoint's network stack.
+type Stack struct {
+	Name string
+
+	eng   *sim.Engine
+	cpus  *sim.CPUPool
+	ifc   NetIf
+	ip    netpkt.IP
+	costs Costs
+	rng   *sim.Rand
+
+	arp        map[netpkt.IP]netpkt.MAC
+	arpPending map[netpkt.IP][][]byte // queued IP packets awaiting resolution
+	reasm      *netpkt.Reassembler
+	ipID       uint16
+
+	udpBinds map[uint16]func(UDPPacket)
+	pingWait map[uint16]pingWaiter
+
+	listeners map[uint16]func(*Conn)
+	conns     map[connKey]*Conn
+	nextPort  uint16
+	nextPing  uint16
+
+	// TCPWindow is the flow-control window offered and used per
+	// connection. Defaults to 64 KiB.
+	TCPWindow int
+
+	// FIFO watermarks: a real NIC queue and a real softirq queue never
+	// reorder frames of one flow, so scheduled completions must be
+	// monotonic per direction even when per-frame costs differ.
+	txLast, rxLast sim.Time
+
+	stats Stats
+}
+
+// execOrdered charges cost to the CPUs and schedules fn at the completion
+// time, forced monotonic per direction via the watermark.
+func (s *Stack) execOrdered(last *sim.Time, cost sim.Time, fn func()) {
+	done := s.cpus.Charge(cost)
+	if done < *last {
+		done = *last
+	}
+	*last = done
+	s.eng.Schedule(done, fn)
+}
+
+type pingWaiter struct {
+	sentAt sim.Time
+	cb     func(rtt sim.Time)
+}
+
+// Config bundles the stack constructor arguments.
+type Config struct {
+	Name  string
+	CPUs  *sim.CPUPool
+	Iface NetIf
+	IP    netpkt.IP
+	Costs Costs
+	Seed  uint64
+}
+
+// New creates a stack and attaches it to its interface.
+func New(eng *sim.Engine, cfg Config) *Stack {
+	s := &Stack{
+		Name:       cfg.Name,
+		eng:        eng,
+		cpus:       cfg.CPUs,
+		ifc:        cfg.Iface,
+		ip:         cfg.IP,
+		costs:      cfg.Costs,
+		rng:        sim.NewRand(cfg.Seed ^ 0x57ac),
+		arp:        make(map[netpkt.IP]netpkt.MAC),
+		arpPending: make(map[netpkt.IP][][]byte),
+		reasm:      netpkt.NewReassembler(),
+		udpBinds:   make(map[uint16]func(UDPPacket)),
+		pingWait:   make(map[uint16]pingWaiter),
+		listeners:  make(map[uint16]func(*Conn)),
+		conns:      make(map[connKey]*Conn),
+		nextPort:   33000,
+		TCPWindow:  64 << 10,
+	}
+	cfg.Iface.SetRecv(s.rxFrame)
+	return s
+}
+
+// IP returns the stack's address.
+func (s *Stack) IP() netpkt.IP { return s.ip }
+
+// Engine returns the simulation engine.
+func (s *Stack) Engine() *sim.Engine { return s.eng }
+
+// CPUs returns the vCPU pool the stack charges.
+func (s *Stack) CPUs() *sim.CPUPool { return s.cpus }
+
+// Costs returns the stack's cost model (apps charge Syscall through it).
+func (s *Stack) Costs() Costs { return s.costs }
+
+// Stats returns a snapshot of the counters.
+func (s *Stack) Stats() Stats { return s.stats }
+
+// SeedARP pre-populates the ARP table (static neighbour entry).
+func (s *Stack) SeedARP(ip netpkt.IP, mac netpkt.MAC) { s.arp[ip] = mac }
+
+// SetIface swaps the underlying device (a vif replugged after a driver
+// domain restart). The ARP cache is flushed: the bridge behind the new
+// backend has no state for us.
+func (s *Stack) SetIface(dev NetIf) {
+	s.ifc = dev
+	dev.SetRecv(s.rxFrame)
+	s.arp = make(map[netpkt.IP]netpkt.MAC)
+	s.arpPending = make(map[netpkt.IP][][]byte)
+}
+
+func (s *Stack) dataCost(n int) sim.Time {
+	// A few percent of per-packet jitter (cache/TLB luck) so repeated runs
+	// under different seeds show the small RSDs of Table 4.
+	base := s.costs.PerPacket + sim.Time(n)*s.costs.PerKB/1024
+	return s.rng.Jitter(base, 0.04)
+}
+
+// sendIP routes one IP payload: ARP-resolves, fragments, and transmits.
+// Returns the number of frames handed to the device (0 if queued on ARP).
+func (s *Stack) sendIP(proto uint8, dst netpkt.IP, payload []byte) {
+	s.ipID++
+	h := netpkt.IPv4Header{ID: s.ipID, TTL: 64, Proto: proto, Src: s.ip, Dst: dst}
+	pkts := netpkt.FragmentIPv4(h, payload, netpkt.MTU)
+	for _, pkt := range pkts {
+		s.sendIPPacket(dst, pkt)
+	}
+}
+
+func (s *Stack) sendIPPacket(dst netpkt.IP, pkt []byte) {
+	var dmac netpkt.MAC
+	if dst == netpkt.BroadcastIP {
+		dmac = netpkt.Broadcast
+	} else {
+		mac, ok := s.arp[dst]
+		if !ok {
+			s.arpPending[dst] = append(s.arpPending[dst], pkt)
+			s.sendARPRequest(dst)
+			return
+		}
+		dmac = mac
+	}
+	f := netpkt.Frame{Dst: dmac, Src: s.ifc.MAC(), EtherType: netpkt.EtherTypeIPv4, Payload: pkt}
+	raw := f.Marshal()
+	s.stats.TxPackets++
+	s.stats.TxBytes += uint64(len(raw))
+	s.execOrdered(&s.txLast, s.dataCost(len(raw)), func() { s.ifc.Send(raw) })
+}
+
+func (s *Stack) sendARPRequest(target netpkt.IP) {
+	s.stats.ARPRequests++
+	a := netpkt.ARP{Op: netpkt.ARPRequest, SenderMAC: s.ifc.MAC(), SenderIP: s.ip, TargetIP: target}
+	f := netpkt.Frame{Dst: netpkt.Broadcast, Src: s.ifc.MAC(), EtherType: netpkt.EtherTypeARP, Payload: a.Marshal()}
+	raw := f.Marshal()
+	s.execOrdered(&s.txLast, s.costs.PerPacket, func() { s.ifc.Send(raw) })
+}
+
+// rxFrame is the device ingress upcall.
+func (s *Stack) rxFrame(raw []byte) {
+	s.stats.RxPackets++
+	s.stats.RxBytes += uint64(len(raw))
+	s.execOrdered(&s.rxLast, s.dataCost(len(raw)), func() { s.handleFrame(raw) })
+}
+
+func (s *Stack) handleFrame(raw []byte) {
+	f, err := netpkt.ParseFrame(raw)
+	if err != nil {
+		return
+	}
+	if f.Dst != s.ifc.MAC() && f.Dst != netpkt.Broadcast {
+		return // not for us (promiscuous reception filtered here)
+	}
+	switch f.EtherType {
+	case netpkt.EtherTypeARP:
+		s.handleARP(f.Payload)
+	case netpkt.EtherTypeIPv4:
+		s.handleIPv4(f.Payload)
+	}
+}
+
+func (s *Stack) handleARP(body []byte) {
+	a, err := netpkt.ParseARP(body)
+	if err != nil {
+		return
+	}
+	// Opportunistic learning.
+	s.arp[a.SenderIP] = a.SenderMAC
+	s.flushARPPending(a.SenderIP)
+	if a.Op == netpkt.ARPRequest && a.TargetIP == s.ip {
+		s.stats.ARPReplies++
+		reply := netpkt.ARP{
+			Op: netpkt.ARPReply, SenderMAC: s.ifc.MAC(), SenderIP: s.ip,
+			TargetMAC: a.SenderMAC, TargetIP: a.SenderIP,
+		}
+		f := netpkt.Frame{Dst: a.SenderMAC, Src: s.ifc.MAC(), EtherType: netpkt.EtherTypeARP, Payload: reply.Marshal()}
+		raw := f.Marshal()
+		s.execOrdered(&s.txLast, s.costs.PerPacket, func() { s.ifc.Send(raw) })
+	}
+}
+
+func (s *Stack) flushARPPending(ip netpkt.IP) {
+	queued := s.arpPending[ip]
+	if len(queued) == 0 {
+		return
+	}
+	delete(s.arpPending, ip)
+	for _, pkt := range queued {
+		s.sendIPPacket(ip, pkt)
+	}
+}
+
+func (s *Stack) handleIPv4(body []byte) {
+	h, payload, err := netpkt.ParseIPv4(body)
+	if err != nil {
+		return
+	}
+	if h.Dst != s.ip && h.Dst != netpkt.BroadcastIP {
+		return
+	}
+	full, done := s.reasm.Push(h, payload)
+	if !done {
+		return
+	}
+	switch h.Proto {
+	case netpkt.ProtoICMP:
+		s.handleICMP(h, full)
+	case netpkt.ProtoUDP:
+		s.handleUDP(h, full)
+	case netpkt.ProtoTCP:
+		s.handleTCP(h, full)
+	}
+}
+
+func (s *Stack) handleICMP(h *netpkt.IPv4Header, body []byte) {
+	e, payload, err := netpkt.ParseICMPEcho(body)
+	if err != nil {
+		return
+	}
+	switch e.Type {
+	case netpkt.ICMPEchoRequest:
+		reply := netpkt.ICMPEcho{Type: netpkt.ICMPEchoReply, ID: e.ID, Seq: e.Seq}
+		s.sendIP(netpkt.ProtoICMP, h.Src, reply.Marshal(payload))
+	case netpkt.ICMPEchoReply:
+		if w, ok := s.pingWait[e.ID]; ok {
+			delete(s.pingWait, e.ID)
+			w.cb(s.eng.Now() - w.sentAt)
+		}
+	}
+}
+
+// Ping sends an ICMP echo request with a payload of the given size and
+// invokes cb with the round-trip time when the reply arrives.
+func (s *Stack) Ping(dst netpkt.IP, payloadSize int, cb func(rtt sim.Time)) {
+	s.nextPing++
+	id := s.nextPing
+	s.pingWait[id] = pingWaiter{sentAt: s.eng.Now(), cb: cb}
+	e := netpkt.ICMPEcho{Type: netpkt.ICMPEchoRequest, ID: id, Seq: 1}
+	s.cpus.Charge(s.costs.Syscall)
+	s.sendIP(netpkt.ProtoICMP, dst, e.Marshal(make([]byte, payloadSize)))
+}
+
+func (s *Stack) handleUDP(h *netpkt.IPv4Header, body []byte) {
+	u, payload, err := netpkt.ParseUDP(body)
+	if err != nil {
+		return
+	}
+	fn := s.udpBinds[u.DstPort]
+	if fn == nil {
+		s.stats.RxDropNoHandler++
+		return
+	}
+	// Hand the payload across the socket boundary.
+	s.cpus.Charge(s.costs.Syscall)
+	fn(UDPPacket{Src: h.Src, SrcPort: u.SrcPort, Dst: h.Dst, Data: payload})
+}
+
+// BindUDP installs a datagram handler on a local port.
+func (s *Stack) BindUDP(port uint16, fn func(UDPPacket)) error {
+	if _, taken := s.udpBinds[port]; taken {
+		return fmt.Errorf("netstack: udp port %d already bound on %s", port, s.Name)
+	}
+	s.udpBinds[port] = fn
+	return nil
+}
+
+// UnbindUDP releases a port.
+func (s *Stack) UnbindUDP(port uint16) { delete(s.udpBinds, port) }
+
+// SendUDP transmits one datagram (fragmenting if needed).
+func (s *Stack) SendUDP(dst netpkt.IP, dstPort, srcPort uint16, payload []byte) {
+	s.cpus.Charge(s.costs.Syscall)
+	u := netpkt.UDPHeader{SrcPort: srcPort, DstPort: dstPort}
+	s.sendIP(netpkt.ProtoUDP, dst, u.Marshal(payload))
+}
+
+// EphemeralPort returns a fresh local port.
+func (s *Stack) EphemeralPort() uint16 {
+	s.nextPort++
+	if s.nextPort < 32768 {
+		s.nextPort = 32768
+	}
+	return s.nextPort
+}

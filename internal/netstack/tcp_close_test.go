@@ -1,0 +1,140 @@
+package netstack
+
+import (
+	"bytes"
+	"testing"
+
+	"kite/internal/nic"
+	"kite/internal/sim"
+)
+
+func TestCloseFlushesPendingData(t *testing.T) {
+	eng, a, b := rtoHosts(t, nic.DefaultLink())
+	payload := make([]byte, 300<<10) // several windows worth
+	sim.NewRand(3).Bytes(payload)
+	var got []byte
+	closed := false
+	b.Stack.Listen(80, func(c *Conn) {
+		c.OnData(func(d []byte) { got = append(got, d...) })
+		c.OnClose(func(error) { closed = true })
+	})
+	a.Stack.Dial(b.Stack.IP(), 80, func(c *Conn, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Send(payload)
+		c.Close() // FIN must queue behind all data
+	})
+	if !eng.RunCapped(3_000_000) {
+		t.Fatal("livelock")
+	}
+	if !closed {
+		t.Fatal("receiver never saw close")
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("close truncated data: %d of %d bytes", len(got), len(payload))
+	}
+}
+
+func TestConnMapsDoNotLeak(t *testing.T) {
+	eng, a, b := rtoHosts(t, nic.DefaultLink())
+	b.Stack.Listen(80, func(c *Conn) {
+		c.OnData(func(d []byte) {
+			c.Send(d)
+			c.Close()
+		})
+	})
+	const rounds = 25
+	done := 0
+	for i := 0; i < rounds; i++ {
+		a.Stack.Dial(b.Stack.IP(), 80, func(c *Conn, err error) {
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.OnData(func([]byte) { c.Close() })
+			c.OnClose(func(error) { done++ })
+			c.Send([]byte("ping"))
+		})
+	}
+	if !eng.RunCapped(3_000_000) {
+		t.Fatal("livelock")
+	}
+	eng.RunFor(200 * sim.Millisecond) // let all timers expire
+	if done != rounds {
+		t.Fatalf("%d of %d conns closed", done, rounds)
+	}
+	if n := len(a.Stack.conns); n != 0 {
+		t.Fatalf("client leaked %d conns", n)
+	}
+	if n := len(b.Stack.conns); n != 0 {
+		t.Fatalf("server leaked %d conns", n)
+	}
+}
+
+func TestSendAfterCloseIgnored(t *testing.T) {
+	eng, a, b := rtoHosts(t, nic.DefaultLink())
+	b.Stack.Listen(80, func(c *Conn) {
+		c.OnData(func(d []byte) { c.Send(d) })
+	})
+	var conn *Conn
+	var got []byte
+	a.Stack.Dial(b.Stack.IP(), 80, func(c *Conn, err error) {
+		conn = c
+		c.OnData(func(d []byte) { got = append(got, d...) })
+		c.Send([]byte("first"))
+	})
+	eng.RunFor(50 * sim.Millisecond)
+	if string(got) != "first" {
+		t.Fatalf("echo = %q", got)
+	}
+	conn.Close()
+	eng.RunFor(50 * sim.Millisecond)
+	conn.Send([]byte("late")) // must be dropped silently
+	eng.RunFor(50 * sim.Millisecond)
+	if bytes.Contains(got, []byte("late")) {
+		t.Fatal("data sent after close was delivered")
+	}
+}
+
+func TestDoubleCloseHarmless(t *testing.T) {
+	eng, a, b := rtoHosts(t, nic.DefaultLink())
+	b.Stack.Listen(80, func(c *Conn) {})
+	closes := 0
+	a.Stack.Dial(b.Stack.IP(), 80, func(c *Conn, err error) {
+		c.OnClose(func(error) { closes++ })
+		c.Close()
+		c.Close()
+	})
+	if !eng.RunCapped(1_000_000) {
+		t.Fatal("livelock")
+	}
+	eng.RunFor(200 * sim.Millisecond)
+	if closes > 1 {
+		t.Fatalf("OnClose fired %d times", closes)
+	}
+}
+
+func TestHalfCloseFromServer(t *testing.T) {
+	// Server closes right after responding: the client must receive the
+	// data and then the close notification.
+	eng, a, b := rtoHosts(t, nic.DefaultLink())
+	b.Stack.Listen(80, func(c *Conn) {
+		c.OnData(func([]byte) {
+			c.Send([]byte("bye"))
+			c.Close()
+		})
+	})
+	var got []byte
+	closed := false
+	a.Stack.Dial(b.Stack.IP(), 80, func(c *Conn, err error) {
+		c.OnData(func(d []byte) { got = append(got, d...) })
+		c.OnClose(func(error) { closed = true })
+		c.Send([]byte("hi"))
+	})
+	if !eng.RunCapped(1_000_000) {
+		t.Fatal("livelock")
+	}
+	if string(got) != "bye" || !closed {
+		t.Fatalf("got=%q closed=%v", got, closed)
+	}
+}

@@ -1,0 +1,184 @@
+package nvme
+
+import (
+	"bytes"
+	"testing"
+
+	"kite/internal/sim"
+)
+
+func newDev(eng *sim.Engine) *Device {
+	return New(eng, Default970EvoPlus(), "04:00.0")
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	eng := sim.NewEngine()
+	d := newDev(eng)
+	data := make([]byte, 8192)
+	sim.NewRand(1).Bytes(data)
+	var got []byte
+	d.Write(1000, data, func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.Read(1000, len(data), func(b []byte, err error) {
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = b
+		})
+	})
+	eng.Run()
+	if !bytes.Equal(got, data) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestUnwrittenReadsZero(t *testing.T) {
+	eng := sim.NewEngine()
+	d := newDev(eng)
+	var got []byte
+	d.Read(5_000_000, 4096, func(b []byte, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = b
+	})
+	eng.Run()
+	for _, b := range got {
+		if b != 0 {
+			t.Fatal("unwritten sector returned nonzero data")
+		}
+	}
+}
+
+func TestUnalignedRejected(t *testing.T) {
+	eng := sim.NewEngine()
+	d := newDev(eng)
+	var err1, err2 error
+	d.Read(0, 100, func(_ []byte, err error) { err1 = err })
+	d.Write(-1, make([]byte, 512), func(err error) { err2 = err })
+	eng.Run()
+	if err1 == nil || err2 == nil {
+		t.Fatal("invalid i/o accepted")
+	}
+}
+
+func TestBeyondCapacityRejected(t *testing.T) {
+	eng := sim.NewEngine()
+	d := newDev(eng)
+	var gotErr error
+	d.Read(d.CapacitySectors()-1, 4096, func(_ []byte, err error) { gotErr = err })
+	eng.Run()
+	if gotErr == nil {
+		t.Fatal("read past capacity accepted")
+	}
+}
+
+func TestLatencyModel(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := Default970EvoPlus()
+	d := New(eng, cfg, "04:00.0")
+	var doneAt sim.Time
+	d.Read(0, 4096, func([]byte, error) { doneAt = eng.Now() })
+	eng.Run()
+	// First command from sector 0 is non-sequential (lastEnd starts at 0 ==
+	// sector 0, so it IS sequential): overhead + transfer + base latency.
+	want := cfg.CmdOverhead + cfg.ReadLatency + sim.Time(4096*int64(sim.Second)/cfg.ReadBps)
+	if doneAt != want {
+		t.Fatalf("read completed at %v, want %v", doneAt, want)
+	}
+	// A jump to a far sector pays the random penalty on top.
+	var randAt sim.Time
+	start := eng.Now()
+	d.Read(1_000_000, 4096, func([]byte, error) { randAt = eng.Now() - start })
+	eng.Run()
+	if randAt != want+cfg.RandomPenalty {
+		t.Fatalf("random read took %v, want %v", randAt, want+cfg.RandomPenalty)
+	}
+}
+
+func TestCommandLatencyOverlaps(t *testing.T) {
+	// Eight queued 4 KiB reads overlap their base latencies; total time
+	// must be far less than eight serialized commands.
+	eng := sim.NewEngine()
+	cfg := Default970EvoPlus()
+	d := New(eng, cfg, "04:00.0")
+	var last sim.Time
+	for i := 0; i < 8; i++ {
+		d.Read(int64(i*8), 4096, func([]byte, error) { last = eng.Now() })
+	}
+	eng.Run()
+	serialized := 8 * (cfg.ReadLatency + sim.Time(4096*int64(sim.Second)/cfg.ReadBps))
+	if last >= serialized/2 {
+		t.Fatalf("queued reads took %v, want well under serialized %v", last, serialized)
+	}
+}
+
+func TestSequentialBandwidth(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := Default970EvoPlus()
+	d := New(eng, cfg, "04:00.0")
+	const chunk = 1 << 20
+	const chunks = 64
+	var last sim.Time
+	done := 0
+	for i := 0; i < chunks; i++ {
+		d.Read(int64(i*chunk/SectorSize), chunk, func([]byte, error) {
+			done++
+			last = eng.Now()
+		})
+	}
+	eng.Run()
+	if done != chunks {
+		t.Fatalf("completed %d of %d", done, chunks)
+	}
+	gbps := float64(chunk*chunks) / last.Seconds() / 1e9
+	// Pipelined transfers should approach but never exceed 3.5 GB/s.
+	if gbps < 2.5 || gbps > 3.5 {
+		t.Fatalf("sequential read = %.2f GB/s, want ~3.4", gbps)
+	}
+}
+
+func TestFlushWaitsForInflight(t *testing.T) {
+	eng := sim.NewEngine()
+	d := newDev(eng)
+	var writeDone, flushDone sim.Time
+	d.Write(0, make([]byte, 1<<20), func(error) { writeDone = eng.Now() })
+	d.Flush(func(error) { flushDone = eng.Now() })
+	eng.Run()
+	if flushDone <= writeDone {
+		t.Fatal("flush completed before in-flight write")
+	}
+}
+
+func TestStatsCount(t *testing.T) {
+	eng := sim.NewEngine()
+	d := newDev(eng)
+	d.Write(0, make([]byte, 512), func(error) {})
+	d.Read(0, 512, func([]byte, error) {})
+	d.Flush(func(error) {})
+	eng.Run()
+	st := d.Stats()
+	if st.WriteOps != 1 || st.ReadOps != 1 || st.FlushOps != 1 ||
+		st.ReadBytes != 512 || st.WriteBytes != 512 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCrossBlockBoundaryData(t *testing.T) {
+	// Writes not aligned to the 4 KiB sparse-store blocks must still read
+	// back correctly.
+	eng := sim.NewEngine()
+	d := newDev(eng)
+	data := make([]byte, 3*512)
+	sim.NewRand(9).Bytes(data)
+	var got []byte
+	d.Write(7, data, func(error) { // sector 7: straddles block 0/1 boundary
+		d.Read(7, len(data), func(b []byte, err error) { got = b })
+	})
+	eng.Run()
+	if !bytes.Equal(got, data) {
+		t.Fatal("cross-boundary write corrupted")
+	}
+}

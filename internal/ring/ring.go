@@ -1,0 +1,197 @@
+// Package ring implements Xen's shared I/O ring protocol (xen/io/ring.h):
+// a fixed power-of-two slot array shared between a frontend and a backend,
+// where request slots are recycled as response slots. The producer/consumer
+// index arithmetic, private-vs-shared producer indices, free-slot
+// computation, and the notification-suppression protocol (req_event /
+// rsp_event) follow the Xen macros, because the paper's data-plane
+// behaviour — batching, event coalescing — falls out of exactly these
+// details.
+package ring
+
+import "fmt"
+
+// Ring is a typed shared ring. The frontend produces Req values and
+// consumes Rsp values; the backend does the opposite. One Ring value models
+// the shared page; both sides hold a pointer to it (the mapping).
+type Ring[Req, Rsp any] struct {
+	size uint32 // power of two
+
+	reqs []Req
+	rsps []Rsp
+
+	// Private producer indices (the *_prod_pvt fields): slots filled but
+	// not yet published to the other side.
+	reqProdPvt uint32
+	rspProdPvt uint32
+
+	// Shared indices (the sring fields).
+	reqProd, reqCons uint32
+	rspProd, rspCons uint32
+
+	// Event thresholds for notification suppression.
+	reqEvent, rspEvent uint32
+
+	reqTotal, rspTotal uint64
+	notifyReqSaved     uint64
+	notifyRspSaved     uint64
+}
+
+// New creates a ring with the given number of slots (must be a power of
+// two; Xen's netif rings have 256, blkif 32).
+func New[Req, Rsp any](size int) *Ring[Req, Rsp] {
+	if size <= 0 || size&(size-1) != 0 {
+		panic(fmt.Sprintf("ring: size %d not a power of two", size))
+	}
+	return &Ring[Req, Rsp]{
+		size:     uint32(size),
+		reqs:     make([]Req, size),
+		rsps:     make([]Rsp, size),
+		reqEvent: 1,
+		rspEvent: 1,
+	}
+}
+
+// Size returns the slot count.
+func (r *Ring[Req, Rsp]) Size() int { return int(r.size) }
+
+func (r *Ring[Req, Rsp]) idx(i uint32) uint32 { return i & (r.size - 1) }
+
+// --- Frontend side ---
+
+// FreeRequests returns how many request slots the frontend may still fill:
+// size minus slots occupied by unpublished/outstanding requests and
+// unconsumed responses (RING_FREE_REQUESTS with the private index).
+func (r *Ring[Req, Rsp]) FreeRequests() int {
+	return int(r.size - (r.reqProdPvt - r.rspCons))
+}
+
+// Full reports whether no request slot is free.
+func (r *Ring[Req, Rsp]) Full() bool { return r.FreeRequests() == 0 }
+
+// PushRequest queues one request privately. It reports false when the ring
+// is full. The request becomes visible to the backend only after
+// PushRequestsAndCheckNotify.
+func (r *Ring[Req, Rsp]) PushRequest(req Req) bool {
+	if r.FreeRequests() == 0 {
+		return false
+	}
+	r.reqs[r.idx(r.reqProdPvt)] = req
+	r.reqProdPvt++
+	r.reqTotal++
+	return true
+}
+
+// PushRequestsAndCheckNotify publishes all privately queued requests and
+// reports whether the backend needs an event: true only if the backend's
+// advertised req_event threshold falls within the newly published window
+// (RING_PUSH_REQUESTS_AND_CHECK_NOTIFY).
+func (r *Ring[Req, Rsp]) PushRequestsAndCheckNotify() bool {
+	old := r.reqProd
+	new := r.reqProdPvt
+	r.reqProd = new
+	notify := new-r.reqEvent < new-old // unsigned wrap: old < req_event <= new
+	if !notify && new != old {
+		r.notifyReqSaved++
+	}
+	return notify
+}
+
+// ResponseAvailable reports whether the frontend has unconsumed responses.
+func (r *Ring[Req, Rsp]) ResponseAvailable() bool { return r.rspCons != r.rspProd }
+
+// TakeResponse consumes one published response.
+func (r *Ring[Req, Rsp]) TakeResponse() (Rsp, bool) {
+	var zero Rsp
+	if !r.ResponseAvailable() {
+		return zero, false
+	}
+	rsp := r.rsps[r.idx(r.rspCons)]
+	r.rspCons++
+	return rsp, true
+}
+
+// FinalCheckForResponses re-arms the response event threshold and reports
+// whether more responses raced in (RING_FINAL_CHECK_FOR_RESPONSES). The
+// frontend loops until this returns false, then sleeps.
+func (r *Ring[Req, Rsp]) FinalCheckForResponses() bool {
+	if r.ResponseAvailable() {
+		return true
+	}
+	r.rspEvent = r.rspCons + 1
+	return r.ResponseAvailable()
+}
+
+// --- Backend side ---
+
+// RequestAvailable reports whether the backend has unconsumed published
+// requests.
+func (r *Ring[Req, Rsp]) RequestAvailable() bool { return r.reqCons != r.reqProd }
+
+// UnconsumedRequests returns the number of published requests waiting for
+// the backend.
+func (r *Ring[Req, Rsp]) UnconsumedRequests() int { return int(r.reqProd - r.reqCons) }
+
+// TakeRequest consumes one published request.
+func (r *Ring[Req, Rsp]) TakeRequest() (Req, bool) {
+	var zero Req
+	if !r.RequestAvailable() {
+		return zero, false
+	}
+	req := r.reqs[r.idx(r.reqCons)]
+	r.reqCons++
+	return req, true
+}
+
+// FinalCheckForRequests re-arms the request event threshold; the backend's
+// worker loops until it returns false (matching the pusher thread's
+// sleep/wake protocol).
+func (r *Ring[Req, Rsp]) FinalCheckForRequests() bool {
+	if r.RequestAvailable() {
+		return true
+	}
+	r.reqEvent = r.reqCons + 1
+	return r.RequestAvailable()
+}
+
+// FreeResponses returns how many response slots the backend may fill; a
+// response reuses the slot of a consumed request, so the bound is the
+// number of consumed-but-unanswered requests.
+func (r *Ring[Req, Rsp]) FreeResponses() int {
+	return int(r.reqCons - r.rspProdPvt)
+}
+
+// PushResponse queues one response privately into a served-request slot.
+// It reports false if no served request slot is available (a protocol
+// violation by the backend).
+func (r *Ring[Req, Rsp]) PushResponse(rsp Rsp) bool {
+	if r.FreeResponses() == 0 {
+		return false
+	}
+	r.rsps[r.idx(r.rspProdPvt)] = rsp
+	r.rspProdPvt++
+	r.rspTotal++
+	return true
+}
+
+// PushResponsesAndCheckNotify publishes queued responses and reports
+// whether the frontend needs an event.
+func (r *Ring[Req, Rsp]) PushResponsesAndCheckNotify() bool {
+	old := r.rspProd
+	new := r.rspProdPvt
+	r.rspProd = new
+	notify := new-r.rspEvent < new-old
+	if !notify && new != old {
+		r.notifyRspSaved++
+	}
+	return notify
+}
+
+// Stats returns (requests pushed, responses pushed, request notifications
+// suppressed, response notifications suppressed) over the ring's lifetime.
+func (r *Ring[Req, Rsp]) Stats() (reqs, rsps, reqNotifySaved, rspNotifySaved uint64) {
+	return r.reqTotal, r.rspTotal, r.notifyReqSaved, r.notifyRspSaved
+}
+
+// Inflight returns the number of requests consumed by the backend but not
+// yet answered (privately or publicly).
+func (r *Ring[Req, Rsp]) Inflight() int { return int(r.reqCons - r.rspProdPvt) }

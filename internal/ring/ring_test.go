@@ -1,0 +1,247 @@
+package ring
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+type req struct{ id int }
+type rsp struct{ id, status int }
+
+func TestNewValidatesSize(t *testing.T) {
+	for _, bad := range []int{0, -4, 3, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("size %d did not panic", bad)
+				}
+			}()
+			New[req, rsp](bad)
+		}()
+	}
+	if r := New[req, rsp](32); r.Size() != 32 {
+		t.Fatal("size mismatch")
+	}
+}
+
+func TestRequestVisibilityRequiresPublish(t *testing.T) {
+	r := New[req, rsp](8)
+	r.PushRequest(req{1})
+	if r.RequestAvailable() {
+		t.Fatal("unpublished request visible to backend")
+	}
+	r.PushRequestsAndCheckNotify()
+	if !r.RequestAvailable() {
+		t.Fatal("published request not visible")
+	}
+	got, ok := r.TakeRequest()
+	if !ok || got.id != 1 {
+		t.Fatalf("TakeRequest = %+v,%v", got, ok)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	r := New[req, rsp](8)
+	for i := 0; i < 5; i++ {
+		if !r.PushRequest(req{i}) {
+			t.Fatalf("push %d failed", i)
+		}
+	}
+	r.PushRequestsAndCheckNotify()
+	for i := 0; i < 5; i++ {
+		q, ok := r.TakeRequest()
+		if !ok || q.id != i {
+			t.Fatalf("req %d = %+v,%v", i, q, ok)
+		}
+		if !r.PushResponse(rsp{q.id, 0}) {
+			t.Fatalf("response %d push failed", i)
+		}
+	}
+	r.PushResponsesAndCheckNotify()
+	for i := 0; i < 5; i++ {
+		p, ok := r.TakeResponse()
+		if !ok || p.id != i {
+			t.Fatalf("rsp %d = %+v,%v", i, p, ok)
+		}
+	}
+	if r.ResponseAvailable() {
+		t.Fatal("phantom response")
+	}
+}
+
+func TestRingFull(t *testing.T) {
+	r := New[req, rsp](4)
+	for i := 0; i < 4; i++ {
+		if !r.PushRequest(req{i}) {
+			t.Fatalf("push %d failed before full", i)
+		}
+	}
+	if r.PushRequest(req{99}) {
+		t.Fatal("push into full ring succeeded")
+	}
+	if !r.Full() {
+		t.Fatal("Full() false on full ring")
+	}
+	// Serving one request does not free a slot until the frontend consumes
+	// the response.
+	r.PushRequestsAndCheckNotify()
+	r.TakeRequest()
+	r.PushResponse(rsp{0, 0})
+	if r.PushRequest(req{99}) {
+		t.Fatal("slot freed before response consumed")
+	}
+	r.PushResponsesAndCheckNotify()
+	r.TakeResponse()
+	if !r.PushRequest(req{99}) {
+		t.Fatal("slot not freed after response consumed")
+	}
+}
+
+func TestResponseNeedsServedRequest(t *testing.T) {
+	r := New[req, rsp](4)
+	if r.PushResponse(rsp{0, 0}) {
+		t.Fatal("response without served request succeeded")
+	}
+	r.PushRequest(req{1})
+	r.PushRequestsAndCheckNotify()
+	if r.PushResponse(rsp{0, 0}) {
+		t.Fatal("response before request consumed succeeded")
+	}
+	r.TakeRequest()
+	if !r.PushResponse(rsp{1, 0}) {
+		t.Fatal("legitimate response rejected")
+	}
+	if r.PushResponse(rsp{2, 0}) {
+		t.Fatal("second response for one request succeeded")
+	}
+}
+
+func TestNotifySuppression(t *testing.T) {
+	r := New[req, rsp](16)
+	// First publish crosses the initial req_event=1 threshold: notify.
+	r.PushRequest(req{0})
+	if !r.PushRequestsAndCheckNotify() {
+		t.Fatal("first publish did not request notify")
+	}
+	// Backend has not re-armed; further publishes must be suppressed.
+	r.PushRequest(req{1})
+	if r.PushRequestsAndCheckNotify() {
+		t.Fatal("publish without re-armed consumer requested notify")
+	}
+	// Backend drains and re-arms via FinalCheckForRequests.
+	for {
+		if _, ok := r.TakeRequest(); !ok {
+			break
+		}
+	}
+	if r.FinalCheckForRequests() {
+		t.Fatal("final check saw phantom requests")
+	}
+	// Next publish crosses the re-armed threshold: notify again.
+	r.PushRequest(req{2})
+	if !r.PushRequestsAndCheckNotify() {
+		t.Fatal("publish after re-arm did not request notify")
+	}
+}
+
+func TestFinalCheckCatchesRace(t *testing.T) {
+	r := New[req, rsp](16)
+	r.PushRequest(req{0})
+	r.PushRequestsAndCheckNotify()
+	r.TakeRequest()
+	// A new request lands before the backend re-arms: FinalCheck must
+	// report it so the backend keeps processing instead of sleeping.
+	r.PushRequest(req{1})
+	r.PushRequestsAndCheckNotify()
+	if !r.FinalCheckForRequests() {
+		t.Fatal("FinalCheckForRequests missed raced-in request")
+	}
+}
+
+func TestEmptyTakes(t *testing.T) {
+	r := New[req, rsp](4)
+	if _, ok := r.TakeRequest(); ok {
+		t.Fatal("TakeRequest on empty ring succeeded")
+	}
+	if _, ok := r.TakeResponse(); ok {
+		t.Fatal("TakeResponse on empty ring succeeded")
+	}
+}
+
+func TestIndexWraparound(t *testing.T) {
+	r := New[req, rsp](4)
+	// Cycle far more items than the ring size to exercise wrap.
+	for i := 0; i < 1000; i++ {
+		if !r.PushRequest(req{i}) {
+			t.Fatalf("iteration %d: push failed", i)
+		}
+		r.PushRequestsAndCheckNotify()
+		q, ok := r.TakeRequest()
+		if !ok || q.id != i {
+			t.Fatalf("iteration %d: req %+v,%v", i, q, ok)
+		}
+		r.PushResponse(rsp{q.id, 0})
+		r.PushResponsesAndCheckNotify()
+		p, ok := r.TakeResponse()
+		if !ok || p.id != i {
+			t.Fatalf("iteration %d: rsp %+v,%v", i, p, ok)
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	r := New[req, rsp](8)
+	r.PushRequest(req{0})
+	r.PushRequestsAndCheckNotify()
+	r.PushRequest(req{1})
+	r.PushRequestsAndCheckNotify() // suppressed
+	reqs, rsps, saved, _ := r.Stats()
+	if reqs != 2 || rsps != 0 || saved != 1 {
+		t.Fatalf("stats = %d reqs, %d rsps, %d saved", reqs, rsps, saved)
+	}
+}
+
+// Property: for any interleaving of producer/consumer steps, every request
+// is consumed exactly once and in order, slot occupancy never exceeds ring
+// size, and responses arrive in request order.
+func TestRingProtocolProperty(t *testing.T) {
+	prop := func(steps []uint8) bool {
+		r := New[req, rsp](8)
+		nextPush, nextTakeReq, nextRsp, nextTakeRsp := 0, 0, 0, 0
+		for _, s := range steps {
+			switch s % 4 {
+			case 0: // frontend push + publish
+				if r.PushRequest(req{nextPush}) {
+					nextPush++
+				}
+				r.PushRequestsAndCheckNotify()
+			case 1: // backend take
+				if q, ok := r.TakeRequest(); ok {
+					if q.id != nextTakeReq {
+						return false
+					}
+					nextTakeReq++
+				}
+			case 2: // backend respond for any consumed-but-unanswered
+				if r.Inflight() > 0 && r.PushResponse(rsp{nextRsp, 0}) {
+					nextRsp++
+				}
+				r.PushResponsesAndCheckNotify()
+			case 3: // frontend consume response
+				if p, ok := r.TakeResponse(); ok {
+					if p.id != nextTakeRsp {
+						return false
+					}
+					nextTakeRsp++
+				}
+			}
+			if r.FreeRequests() < 0 || r.FreeResponses() < 0 {
+				return false
+			}
+		}
+		return nextTakeReq <= nextPush && nextRsp <= nextTakeReq && nextTakeRsp <= nextRsp
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

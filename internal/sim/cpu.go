@@ -1,0 +1,172 @@
+package sim
+
+import "fmt"
+
+// CPU models one virtual CPU of a simulated machine or Xen domain. Work is
+// charged to a CPU with Charge; concurrent charges serialize behind each
+// other exactly like runnable work on a single core. The CPU keeps lifetime
+// busy-time totals plus a resettable window so experiments can report
+// utilization over a measurement interval (Figure 10b).
+type CPU struct {
+	eng  *Engine
+	name string
+
+	busyUntil Time // when currently queued work finishes
+	busyTotal Time // lifetime busy nanoseconds
+
+	windowStart Time
+	windowBusy  Time
+}
+
+// NewCPU returns a CPU attached to eng. The name appears in diagnostics.
+func NewCPU(eng *Engine, name string) *CPU {
+	return &CPU{eng: eng, name: name, windowStart: eng.Now()}
+}
+
+// Name returns the identifier given at construction.
+func (c *CPU) Name() string { return c.name }
+
+// Engine returns the engine this CPU is attached to.
+func (c *CPU) Engine() *Engine { return c.eng }
+
+// Charge queues cost nanoseconds of work on the CPU and returns the virtual
+// time at which that work completes. The work begins when all previously
+// charged work has drained (or now, if the CPU is idle). Zero cost returns
+// the current completion horizon without consuming time.
+func (c *CPU) Charge(cost Time) Time {
+	if cost < 0 {
+		panic(fmt.Sprintf("sim: negative cpu cost %v on %s", cost, c.name))
+	}
+	start := c.eng.Now()
+	if c.busyUntil > start {
+		start = c.busyUntil
+	}
+	end := start + cost
+	c.busyUntil = end
+	c.busyTotal += cost
+	c.windowBusy += cost
+	return end
+}
+
+// Exec charges cost and schedules fn at the completion time. It is the
+// common "do work, then produce the effect" idiom.
+func (c *CPU) Exec(cost Time, fn func()) {
+	done := c.Charge(cost)
+	c.eng.Schedule(done, fn)
+}
+
+// FreeAt returns the time at which the CPU becomes idle given already
+// queued work.
+func (c *CPU) FreeAt() Time {
+	if c.busyUntil > c.eng.Now() {
+		return c.busyUntil
+	}
+	return c.eng.Now()
+}
+
+// BusyTotal returns lifetime busy nanoseconds.
+func (c *CPU) BusyTotal() Time { return c.busyTotal }
+
+// ResetWindow starts a new utilization measurement window at the current
+// virtual time.
+func (c *CPU) ResetWindow() {
+	c.windowStart = c.eng.Now()
+	c.windowBusy = 0
+}
+
+// WindowUtilization returns busy/elapsed for the current window in [0,1].
+// If no time has elapsed it returns 0.
+func (c *CPU) WindowUtilization() float64 {
+	elapsed := c.eng.Now() - c.windowStart
+	if elapsed <= 0 {
+		return 0
+	}
+	u := float64(c.windowBusy) / float64(elapsed)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// CPUPool is a set of identical CPUs (an SMP domain). Charges are placed on
+// the CPU that frees up earliest, which approximates a work-conserving
+// scheduler.
+type CPUPool struct {
+	cpus       []*CPU
+	lastCharge Time
+}
+
+// NewCPUPool creates n CPUs named prefix/0..n-1.
+func NewCPUPool(eng *Engine, prefix string, n int) *CPUPool {
+	if n <= 0 {
+		panic("sim: CPU pool needs at least one CPU")
+	}
+	p := &CPUPool{lastCharge: -1 << 60} // sentinel: never charged
+	for i := 0; i < n; i++ {
+		p.cpus = append(p.cpus, NewCPU(eng, fmt.Sprintf("%s/%d", prefix, i)))
+	}
+	return p
+}
+
+// Len returns the number of CPUs in the pool.
+func (p *CPUPool) Len() int { return len(p.cpus) }
+
+// CPU returns the i-th CPU.
+func (p *CPUPool) CPU(i int) *CPU { return p.cpus[i] }
+
+// Pick returns the CPU that will become free earliest.
+func (p *CPUPool) Pick() *CPU {
+	best := p.cpus[0]
+	for _, c := range p.cpus[1:] {
+		if c.FreeAt() < best.FreeAt() {
+			best = c
+		}
+	}
+	return best
+}
+
+// Charge places cost on the earliest-free CPU and returns completion time.
+func (p *CPUPool) Charge(cost Time) Time {
+	end := p.Pick().Charge(cost)
+	if end > p.lastCharge {
+		p.lastCharge = end
+	}
+	return end
+}
+
+// RecentlyActive reports whether any CPU in the pool ran work within the
+// past `window` (or is running now). Used by the interrupt model: a VM
+// that executed recently takes upcalls warm instead of paying the full
+// idle-wake latency.
+func (p *CPUPool) RecentlyActive(now, window Time) bool {
+	return p.lastCharge+window >= now
+}
+
+// Exec charges cost on the earliest-free CPU and schedules fn at completion.
+func (p *CPUPool) Exec(cost Time, fn func()) { p.Pick().Exec(cost, fn) }
+
+// ResetWindows resets the utilization window on every CPU.
+func (p *CPUPool) ResetWindows() {
+	for _, c := range p.cpus {
+		c.ResetWindow()
+	}
+}
+
+// BusyTotal returns the summed lifetime busy time across the pool.
+func (p *CPUPool) BusyTotal() Time {
+	var total Time
+	for _, c := range p.cpus {
+		total += c.busyTotal
+	}
+	return total
+}
+
+// WindowUtilization returns the mean utilization across the pool's CPUs for
+// the current window.
+func (p *CPUPool) WindowUtilization() float64 {
+	var sum float64
+	for _, c := range p.cpus {
+		sum += c.WindowUtilization()
+	}
+	return sum / float64(len(p.cpus))
+}

@@ -1,0 +1,231 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCPUChargeSerializes(t *testing.T) {
+	e := NewEngine()
+	c := NewCPU(e, "test")
+	if end := c.Charge(100); end != 100 {
+		t.Fatalf("first charge completes at %v, want 100", end)
+	}
+	if end := c.Charge(50); end != 150 {
+		t.Fatalf("second charge completes at %v, want 150 (serialized)", end)
+	}
+}
+
+func TestCPUIdleGapResetsStart(t *testing.T) {
+	e := NewEngine()
+	c := NewCPU(e, "test")
+	c.Charge(10)
+	e.RunUntil(1000)
+	if end := c.Charge(10); end != 1010 {
+		t.Fatalf("charge after idle completes at %v, want 1010", end)
+	}
+}
+
+func TestCPUZeroChargeNoTime(t *testing.T) {
+	e := NewEngine()
+	c := NewCPU(e, "test")
+	c.Charge(40)
+	if end := c.Charge(0); end != 40 {
+		t.Fatalf("zero charge returned %v, want 40", end)
+	}
+	if c.BusyTotal() != 40 {
+		t.Fatalf("busy total = %v, want 40", c.BusyTotal())
+	}
+}
+
+func TestCPUNegativeChargePanics(t *testing.T) {
+	e := NewEngine()
+	c := NewCPU(e, "test")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative charge did not panic")
+		}
+	}()
+	c.Charge(-1)
+}
+
+func TestCPUExecRunsAtCompletion(t *testing.T) {
+	e := NewEngine()
+	c := NewCPU(e, "test")
+	var at Time = -1
+	c.Exec(70, func() { at = e.Now() })
+	e.Run()
+	if at != 70 {
+		t.Fatalf("Exec callback at %v, want 70", at)
+	}
+}
+
+func TestCPUUtilizationWindow(t *testing.T) {
+	e := NewEngine()
+	c := NewCPU(e, "test")
+	c.Charge(250)
+	e.RunUntil(1000)
+	got := c.WindowUtilization()
+	if math.Abs(got-0.25) > 1e-9 {
+		t.Fatalf("utilization = %v, want 0.25", got)
+	}
+	c.ResetWindow()
+	e.RunUntil(2000)
+	if u := c.WindowUtilization(); u != 0 {
+		t.Fatalf("utilization after reset with no work = %v, want 0", u)
+	}
+}
+
+func TestCPUUtilizationCapsAtOne(t *testing.T) {
+	e := NewEngine()
+	c := NewCPU(e, "test")
+	c.Charge(5000) // work extends past the window end
+	e.RunUntil(1000)
+	if u := c.WindowUtilization(); u > 1 {
+		t.Fatalf("utilization = %v, want <= 1", u)
+	}
+}
+
+func TestCPUPoolPicksEarliestFree(t *testing.T) {
+	e := NewEngine()
+	p := NewCPUPool(e, "pool", 2)
+	p.Charge(100) // lands on cpu0
+	end := p.Charge(100)
+	if end != 100 {
+		t.Fatalf("second pool charge completes at %v, want 100 (parallel CPU)", end)
+	}
+	end = p.Charge(100) // both busy until 100 now
+	if end != 200 {
+		t.Fatalf("third pool charge completes at %v, want 200", end)
+	}
+}
+
+func TestCPUPoolSizeValidation(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-size pool did not panic")
+		}
+	}()
+	NewCPUPool(e, "bad", 0)
+}
+
+// Property: total busy time equals the sum of charges, and completion times
+// are non-decreasing for a sequence of charges issued at one instant.
+func TestCPUAccountingProperty(t *testing.T) {
+	prop := func(costs []uint16) bool {
+		e := NewEngine()
+		c := NewCPU(e, "p")
+		var sum Time
+		last := Time(0)
+		for _, raw := range costs {
+			cost := Time(raw)
+			end := c.Charge(cost)
+			if end < last {
+				return false
+			}
+			last = end
+			sum += cost
+		}
+		return c.BusyTotal() == sum && last == sum
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTaskCoalescesWakes(t *testing.T) {
+	e := NewEngine()
+	c := NewCPU(e, "test")
+	runs := 0
+	task := NewTask(e, c, "worker", 10, func() { runs++ })
+	task.Wake()
+	task.Wake()
+	task.Wake()
+	e.Run()
+	if runs != 1 {
+		t.Fatalf("3 wakes before running produced %d runs, want 1 (coalesced)", runs)
+	}
+	if task.Wakes() != 3 {
+		t.Fatalf("wake count = %d, want 3", task.Wakes())
+	}
+}
+
+func TestTaskRewakeDuringRun(t *testing.T) {
+	e := NewEngine()
+	c := NewCPU(e, "test")
+	var task *Task
+	runs := 0
+	task = NewTask(e, c, "worker", 0, func() {
+		runs++
+		if runs == 1 {
+			task.Wake() // work arrived while we were running
+		}
+	})
+	task.Wake()
+	e.Run()
+	if runs != 2 {
+		t.Fatalf("wake during run produced %d runs, want 2", runs)
+	}
+}
+
+func TestTaskWakeLatencyDelays(t *testing.T) {
+	e := NewEngine()
+	c := NewCPU(e, "test")
+	var ranAt Time = -1
+	task := NewTask(e, c, "worker", 10*Microsecond, func() { ranAt = e.Now() })
+	task.Wake()
+	e.Run()
+	if ranAt != 10*Microsecond {
+		t.Fatalf("task body ran at %v, want the 10us wake latency", ranAt)
+	}
+	// Only the dispatch cost is charged as CPU work, not the full latency.
+	if c.BusyTotal() != dispatchCost {
+		t.Fatalf("wake charged %v of CPU, want %v (dispatch only)", c.BusyTotal(), dispatchCost)
+	}
+}
+
+func TestTaskNilBodyPanics(t *testing.T) {
+	e := NewEngine()
+	c := NewCPU(e, "test")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil body did not panic")
+		}
+	}()
+	NewTask(e, c, "bad", 0, nil)
+}
+
+func TestTaskDrainsQueueExactlyOnce(t *testing.T) {
+	// Model the pusher pattern: producer enqueues items and wakes; the task
+	// drains the queue. Every item must be processed exactly once.
+	e := NewEngine()
+	c := NewCPU(e, "dd")
+	var queue []int
+	var got []int
+	task := NewTask(e, c, "pusher", 5, func() {})
+	*task = *NewTask(e, c, "pusher", 5, func() {
+		for len(queue) > 0 {
+			got = append(got, queue[0])
+			queue = queue[1:]
+			c.Charge(3)
+		}
+	})
+	for i := 0; i < 20; i++ {
+		i := i
+		e.Schedule(Time(i*2), func() {
+			queue = append(queue, i)
+			task.Wake()
+		})
+	}
+	e.Run()
+	if len(got) != 20 {
+		t.Fatalf("drained %d items, want 20", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("items out of order: %v", got)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+// Package sim provides the deterministic discrete-event simulation core on
+// which the whole Kite reproduction runs: a virtual clock with an event
+// heap, virtual CPUs with busy-time accounting, and wakeable tasks that
+// model the paper's threaded execution model (netback's pusher/soft_start
+// threads, blkback's request thread, the backend-invocation thread).
+//
+// Virtual time is measured in integer nanoseconds (sim.Time). All mechanism
+// in the repository (rings, grant copies, packet movement) executes for
+// real; sim only decides *when* each step happens and how much virtual CPU
+// it consumes.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is virtual time in nanoseconds since engine start.
+type Time int64
+
+// Convenient duration units (all expressed in Time nanoseconds).
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Seconds returns t as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Millis returns t as floating-point milliseconds.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+// Micros returns t as floating-point microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", t.Seconds())
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", t.Millis())
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fus", t.Micros())
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+type event struct {
+	at  Time
+	seq uint64 // tie-break so equal-time events run FIFO
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+func (h eventHeap) peek() *event { return h[0] }
+
+// Engine is a single-threaded discrete-event scheduler. It is not safe for
+// concurrent use; the whole simulation runs on the caller's goroutine, which
+// is what makes runs bit-for-bit deterministic.
+type Engine struct {
+	now       Time
+	heap      eventHeap
+	seq       uint64
+	processed uint64
+}
+
+// NewEngine returns an engine with the clock at zero and no pending events.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Processed returns the number of events executed so far (useful as a
+// livelock guard in tests).
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Pending returns the number of scheduled-but-unexecuted events.
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// Schedule runs fn at virtual time at. Scheduling in the past is a
+// programming error and panics: it would silently reorder causality.
+func (e *Engine) Schedule(at Time, fn func()) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
+	}
+	e.seq++
+	heap.Push(&e.heap, &event{at: at, seq: e.seq, fn: fn})
+}
+
+// After runs fn d nanoseconds from now. Negative d panics.
+func (e *Engine) After(d Time, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	e.Schedule(e.now+d, fn)
+}
+
+// Step executes the single earliest pending event, advancing the clock to
+// its timestamp. It reports whether an event was executed.
+func (e *Engine) Step() bool {
+	if len(e.heap) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.heap).(*event)
+	e.now = ev.at
+	e.processed++
+	ev.fn()
+	return true
+}
+
+// Run executes events until none remain.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes every event with timestamp <= t and then advances the
+// clock to exactly t (even if the queue drained earlier or further events
+// remain beyond t).
+func (e *Engine) RunUntil(t Time) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: RunUntil(%v) before now %v", t, e.now))
+	}
+	for len(e.heap) > 0 && e.heap.peek().at <= t {
+		e.Step()
+	}
+	e.now = t
+}
+
+// RunFor executes events for the next d nanoseconds of virtual time.
+func (e *Engine) RunFor(d Time) { e.RunUntil(e.now + d) }
+
+// RunCapped runs until the queue drains or maxEvents have been processed,
+// reporting whether the queue drained. It guards tests against livelock.
+func (e *Engine) RunCapped(maxEvents uint64) bool {
+	start := e.processed
+	for e.Step() {
+		if e.processed-start >= maxEvents {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,152 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineStartsAtZero(t *testing.T) {
+	e := NewEngine()
+	if e.Now() != 0 {
+		t.Fatalf("new engine clock = %v, want 0", e.Now())
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("new engine pending = %d, want 0", e.Pending())
+	}
+}
+
+func TestEngineOrdersByTime(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(30, func() { order = append(order, 3) })
+	e.Schedule(10, func() { order = append(order, 1) })
+	e.Schedule(20, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("execution order = %v, want [1 2 3]", order)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("clock after run = %v, want 30", e.Now())
+	}
+}
+
+func TestEngineFIFOAtSameTime(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: order=%v", order)
+		}
+	}
+}
+
+func TestEngineSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.Schedule(5, func() {})
+}
+
+func TestEngineAfterNegativePanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("After with negative delay did not panic")
+		}
+	}()
+	e.After(-1, func() {})
+}
+
+func TestEngineEventsCanScheduleEvents(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	e.After(10, func() {
+		fired = append(fired, e.Now())
+		e.After(5, func() { fired = append(fired, e.Now()) })
+	})
+	e.Run()
+	if len(fired) != 2 || fired[0] != 10 || fired[1] != 15 {
+		t.Fatalf("chained events fired at %v, want [10 15]", fired)
+	}
+}
+
+func TestRunUntilAdvancesClockWithoutEvents(t *testing.T) {
+	e := NewEngine()
+	e.RunUntil(100)
+	if e.Now() != 100 {
+		t.Fatalf("RunUntil left clock at %v, want 100", e.Now())
+	}
+}
+
+func TestRunUntilLeavesLaterEvents(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	e.Schedule(10, func() { ran++ })
+	e.Schedule(200, func() { ran++ })
+	e.RunUntil(100)
+	if ran != 1 {
+		t.Fatalf("RunUntil(100) executed %d events, want 1", ran)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending after RunUntil = %d, want 1", e.Pending())
+	}
+	e.Run()
+	if ran != 2 || e.Now() != 200 {
+		t.Fatalf("after Run: ran=%d now=%v, want 2 / 200", ran, e.Now())
+	}
+}
+
+func TestRunCappedDetectsLivelock(t *testing.T) {
+	e := NewEngine()
+	var loop func()
+	loop = func() { e.After(1, loop) }
+	e.After(0, loop)
+	if e.RunCapped(100) {
+		t.Fatal("RunCapped reported drain for a self-perpetuating event chain")
+	}
+}
+
+func TestRunForRelative(t *testing.T) {
+	e := NewEngine()
+	e.RunFor(50)
+	e.RunFor(50)
+	if e.Now() != 100 {
+		t.Fatalf("two RunFor(50) left clock at %v, want 100", e.Now())
+	}
+}
+
+// Property: however a batch of events is scheduled, execution timestamps
+// observed by the callbacks are non-decreasing and Now() never runs ahead
+// of the event being delivered.
+func TestEngineMonotonicProperty(t *testing.T) {
+	prop := func(delays []uint16) bool {
+		e := NewEngine()
+		var seen []Time
+		for _, d := range delays {
+			at := Time(d)
+			e.Schedule(at, func() { seen = append(seen, e.Now()) })
+		}
+		e.Run()
+		last := Time(-1)
+		for _, s := range seen {
+			if s < last {
+				return false
+			}
+			last = s
+		}
+		return len(seen) == len(delays)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,352 @@
+package workload
+
+import (
+	"fmt"
+
+	"kite/internal/apps"
+	"kite/internal/fsim"
+	"kite/internal/sim"
+)
+
+// FilebenchResult reports one filebench personality run (Figs 14-16).
+type FilebenchResult struct {
+	Personality string
+	Ops         uint64
+	Bytes       int64
+	MBps        float64
+	// CPUPerOp is mean execution time per operation (the us/op metric of
+	// Figs 15/16).
+	CPUPerOp sim.Time
+	// AvgLatency is the mean per-operation completion latency.
+	AvgLatency sim.Time
+}
+
+// FileserverConfig shapes the fileserver personality (Fig 14): threads
+// performing create/write, open/read-whole, append, stat, delete cycles
+// over a pre-created file population.
+type FileserverConfig struct {
+	Files    int
+	MeanFile int // bytes
+	AppendSz int
+	IOSize   int // read/write chunk size (the Fig 14 sweep axis)
+	Threads  int
+	Duration sim.Time
+	Seed     uint64
+	CPUs     *sim.CPUPool // guest CPUs, for the us/op metric
+}
+
+// Fileserver prepares the file set and runs the op mix.
+func Fileserver(eng *sim.Engine, fs *fsim.FS, cfg FileserverConfig, done func(FilebenchResult)) {
+	prepare(eng, fs, "fsrv", cfg.Files, cfg.MeanFile, func(names []string) {
+		start := eng.Now()
+		cpu0 := busyOf(cfg.CPUs)
+		var ops uint64
+		var bytesMoved int64
+		var latSum sim.Time
+		nextNew := cfg.Files
+		finished := 0
+
+		worker := func(idx int) {
+			// Per-worker RNG: op sequences stay identical across runs even
+			// when completion interleavings differ (Linux vs Kite rigs
+			// must execute comparable workloads).
+			rng := sim.NewRand(cfg.Seed ^ 0xf11e ^ uint64(idx)*0x9e37)
+			var cycle func()
+			step := 0
+			var cur *fsim.File
+			opStart := eng.Now()
+			fin := func(moved int) {
+				bytesMoved += int64(moved)
+				latSum += eng.Now() - opStart
+				ops++
+				cycle()
+			}
+			cycle = func() {
+				if eng.Now()-start >= cfg.Duration {
+					finished++
+					if finished == cfg.Threads {
+						emit(eng, "fileserver", start, ops, bytesMoved, latSum,
+							busyOf(cfg.CPUs)-cpu0, done)
+					}
+					return
+				}
+				opStart = eng.Now()
+				switch step % 5 {
+				case 0: // create + write a whole new file
+					step++
+					name := fmt.Sprintf("fsrv.new.%d", nextNew)
+					nextNew++
+					f, err := fs.Create(name)
+					if err != nil {
+						f, _ = fs.Open(name)
+					}
+					cur = f
+					writeWhole(fs, f, cfg.MeanFile, cfg.IOSize, func(n int) { fin(n) })
+				case 1: // open + read an existing file fully
+					step++
+					f, err := fs.Open(names[rng.Intn(len(names))])
+					if err != nil {
+						fin(0)
+						return
+					}
+					readWhole(fs, f, cfg.IOSize, func(n int) { fin(n) })
+				case 2: // append
+					step++
+					fs.Append(cur, make([]byte, cfg.AppendSz), func(error) { fin(cfg.AppendSz) })
+				case 3: // stat
+					step++
+					fs.Stat(names[rng.Intn(len(names))])
+					fin(0)
+				case 4: // delete the created file
+					step++
+					fs.Delete(cur.Name())
+					fin(0)
+				}
+			}
+			cycle()
+		}
+		for i := 0; i < cfg.Threads; i++ {
+			worker(i)
+		}
+	}, done)
+}
+
+// WebserverConfig shapes the webserver personality (Fig 16): threads
+// doing open/read-whole/close over many small files plus a log append.
+type WebserverConfig struct {
+	Files    int
+	MeanFile int
+	AppendSz int
+	IOSize   int
+	Threads  int
+	Duration sim.Time
+	Seed     uint64
+	CPUs     *sim.CPUPool
+}
+
+// Webserver prepares the file set and runs the op mix.
+func Webserver(eng *sim.Engine, fs *fsim.FS, cfg WebserverConfig, done func(FilebenchResult)) {
+	prepare(eng, fs, "web", cfg.Files, cfg.MeanFile, func(names []string) {
+		log, err := fs.Create("weblog")
+		if err != nil {
+			log, _ = fs.Open("weblog")
+		}
+		start := eng.Now()
+		cpu0 := busyOf(cfg.CPUs)
+		var ops uint64
+		var bytesMoved int64
+		var latSum sim.Time
+		finished := 0
+
+		worker := func(idx int) {
+			rng := sim.NewRand(cfg.Seed ^ 0x3eb ^ uint64(idx)*0x9e37)
+			var cycle func()
+			reads := 0
+			cycle = func() {
+				if eng.Now()-start >= cfg.Duration {
+					finished++
+					if finished == cfg.Threads {
+						emit(eng, "webserver", start, ops, bytesMoved, latSum,
+							busyOf(cfg.CPUs)-cpu0, done)
+					}
+					return
+				}
+				opStart := eng.Now()
+				if reads < 10 {
+					reads++
+					f, err := fs.Open(names[rng.Intn(len(names))])
+					if err != nil {
+						cycle()
+						return
+					}
+					readWhole(fs, f, cfg.IOSize, func(n int) {
+						bytesMoved += int64(n)
+						latSum += eng.Now() - opStart
+						ops++
+						cycle()
+					})
+					return
+				}
+				reads = 0
+				fs.Append(log, make([]byte, cfg.AppendSz), func(error) {
+					bytesMoved += int64(cfg.AppendSz)
+					latSum += eng.Now() - opStart
+					ops++
+					cycle()
+				})
+			}
+			cycle()
+		}
+		for i := 0; i < cfg.Threads; i++ {
+			worker(i)
+		}
+	}, done)
+}
+
+// MongoConfig shapes the MongoDB personality (Fig 15): one user, large
+// documents (4 MB mean I/O), reads dominating with periodic inserts and
+// journal syncs.
+type MongoConfig struct {
+	Docs     int
+	DocSize  int
+	Users    int
+	Duration sim.Time
+	Seed     uint64
+}
+
+// Mongo runs the document-store access pattern.
+func Mongo(eng *sim.Engine, fs *fsim.FS, cpus *sim.CPUPool, cfg MongoConfig, done func(FilebenchResult)) {
+	ds := apps.NewDocStore(eng, fs, cpus)
+	// Preload the collection.
+	var load func(i int)
+	load = func(i int) {
+		if i == cfg.Docs {
+			fs.Sync(func(error) {
+				fs.Pool().DropCaches()
+				run(eng, cpus, ds, cfg, done)
+			})
+			return
+		}
+		ds.Insert(i, cfg.DocSize, func(error) { load(i + 1) })
+	}
+	load(0)
+}
+
+func run(eng *sim.Engine, cpus *sim.CPUPool, ds *apps.DocStore, cfg MongoConfig, done func(FilebenchResult)) {
+	start := eng.Now()
+	cpu0 := busyOf(cpus)
+	var ops uint64
+	var bytesMoved int64
+	var latSum sim.Time
+	finished := 0
+	worker := func(idx int) {
+		rng := sim.NewRand(cfg.Seed ^ 0x3070 ^ uint64(idx)*0x9e37)
+		var cycle func()
+		n := 0
+		cycle = func() {
+			if eng.Now()-start >= cfg.Duration {
+				finished++
+				if finished == cfg.Users {
+					emit(eng, "mongo", start, ops, bytesMoved, latSum,
+						busyOf(cpus)-cpu0, done)
+				}
+				return
+			}
+			opStart := eng.Now()
+			n++
+			fin := func(moved int) {
+				bytesMoved += int64(moved)
+				latSum += eng.Now() - opStart
+				ops++
+				cycle()
+			}
+			switch {
+			case n%8 == 0: // periodic insert
+				ds.Insert(rng.Intn(cfg.Docs), cfg.DocSize, func(error) { fin(cfg.DocSize) })
+			case n%16 == 0: // journal sync
+				ds.SyncJournal(func(error) { fin(0) })
+			default:
+				ds.Read(rng.Intn(cfg.Docs), func(doc []byte, _ error) { fin(len(doc)) })
+			}
+		}
+		cycle()
+	}
+	for i := 0; i < cfg.Users; i++ {
+		worker(i)
+	}
+}
+
+// prepare creates count files of size bytes named prefix.N, syncs and
+// drops caches (a cold start, §5.4), then calls next with their names.
+func prepare(eng *sim.Engine, fs *fsim.FS, prefix string, count, size int,
+	next func(names []string), done func(FilebenchResult)) {
+
+	names := make([]string, count)
+	var mk func(i int)
+	mk = func(i int) {
+		if i == count {
+			fs.Sync(func(error) {
+				fs.Pool().DropCaches()
+				next(names)
+			})
+			return
+		}
+		names[i] = fmt.Sprintf("%s.%05d", prefix, i)
+		f, err := fs.Create(names[i])
+		if err != nil {
+			done(FilebenchResult{})
+			return
+		}
+		writeWhole(fs, f, size, 1<<20, func(int) { mk(i + 1) })
+	}
+	mk(0)
+}
+
+// writeWhole writes size bytes to f in ioSize chunks.
+func writeWhole(fs *fsim.FS, f *fsim.File, size, ioSize int, cb func(written int)) {
+	var off int
+	var step func()
+	step = func() {
+		if off >= size {
+			cb(size)
+			return
+		}
+		n := ioSize
+		if n > size-off {
+			n = size - off
+		}
+		fs.Write(f, int64(off), make([]byte, n), func(error) {
+			off += n
+			step()
+		})
+	}
+	step()
+}
+
+// readWhole reads f fully in ioSize chunks.
+func readWhole(fs *fsim.FS, f *fsim.File, ioSize int, cb func(read int)) {
+	size := int(f.Size())
+	var off int
+	var step func()
+	step = func() {
+		if off >= size {
+			cb(size)
+			return
+		}
+		n := ioSize
+		if n > size-off {
+			n = size - off
+		}
+		fs.Read(f, int64(off), n, func([]byte, error) {
+			off += n
+			step()
+		})
+	}
+	step()
+}
+
+// busyOf tolerates a nil pool (CPU metric simply reads zero).
+func busyOf(p *sim.CPUPool) sim.Time {
+	if p == nil {
+		return 0
+	}
+	return p.BusyTotal()
+}
+
+// emit finalizes a filebench result.
+func emit(eng *sim.Engine, personality string, start sim.Time,
+	ops uint64, bytesMoved int64, latSum, cpuBusy sim.Time, done func(FilebenchResult)) {
+
+	dur := eng.Now() - start
+	res := FilebenchResult{
+		Personality: personality,
+		Ops:         ops,
+		Bytes:       bytesMoved,
+		MBps:        mbps(bytesMoved, dur),
+	}
+	if ops > 0 {
+		res.AvgLatency = latSum / sim.Time(ops)
+		res.CPUPerOp = cpuBusy / sim.Time(ops)
+	}
+	done(res)
+}

@@ -1,0 +1,162 @@
+package workload
+
+import (
+	"bytes"
+	"strconv"
+
+	"kite/internal/netpkt"
+	"kite/internal/netstack"
+	"kite/internal/sim"
+)
+
+// ABResult reports an ApacheBench run (Fig 8).
+type ABResult struct {
+	Requests       int
+	Concurrency    int
+	TotalTime      sim.Time
+	RequestsPerSec float64
+	ThroughputMBps float64 // body bytes per second
+	AvgLatency     sim.Time
+	BodyBytes      uint64
+	Errors         int
+}
+
+// ApacheBench issues totalRequests GETs for path with the given
+// concurrency over keep-alive connections (ab -n total -c conc -k).
+func ApacheBench(client *netstack.Host, serverIP netpkt.IP, port uint16,
+	path string, totalRequests, concurrency int, done func(ABResult)) {
+
+	eng := client.Stack.Engine()
+	start := eng.Now()
+	issued := 0
+	completed := 0
+	errors := 0
+	finishedConns := 0
+	var bodyBytes uint64
+	var latencySum sim.Time
+
+	req := []byte("GET " + path + " HTTP/1.1\r\nHost: server\r\n\r\n")
+
+	finishConn := func() {
+		finishedConns++
+		if finishedConns < concurrency {
+			return
+		}
+		total := eng.Now() - start
+		res := ABResult{
+			Requests: completed, Concurrency: concurrency,
+			TotalTime: total, BodyBytes: bodyBytes, Errors: errors,
+		}
+		if total > 0 {
+			res.RequestsPerSec = float64(completed) / total.Seconds()
+			res.ThroughputMBps = float64(bodyBytes) / total.Seconds() / (1 << 20)
+		}
+		if completed > 0 {
+			res.AvgLatency = latencySum / sim.Time(completed)
+		}
+		done(res)
+	}
+
+	worker := func() {
+		client.Stack.Dial(serverIP, port, func(c *netstack.Conn, err error) {
+			if err != nil {
+				errors++
+				finishConn()
+				return
+			}
+			var buf []byte
+			var sentAt sim.Time
+			next := func() {
+				if issued >= totalRequests {
+					c.Close()
+					finishConn()
+					return
+				}
+				issued++
+				sentAt = eng.Now()
+				c.Send(req)
+			}
+			c.OnData(func(b []byte) {
+				buf = append(buf, b...)
+				for {
+					n, body, ok := consumeHTTPResponse(buf)
+					if !ok {
+						return
+					}
+					buf = buf[n:]
+					bodyBytes += uint64(body)
+					latencySum += eng.Now() - sentAt
+					completed++
+					next()
+				}
+			})
+			next()
+		})
+	}
+	for i := 0; i < concurrency; i++ {
+		worker()
+	}
+}
+
+// consumeHTTPResponse returns the total length of one complete HTTP
+// response at the start of buf and its body size; ok=false if incomplete.
+func consumeHTTPResponse(buf []byte) (n, bodyLen int, ok bool) {
+	head := bytes.Index(buf, []byte("\r\n\r\n"))
+	if head < 0 {
+		return 0, 0, false
+	}
+	const clKey = "Content-Length: "
+	idx := bytes.Index(buf[:head], []byte(clKey))
+	if idx < 0 {
+		return head + 4, 0, true
+	}
+	lineEnd := bytes.Index(buf[idx:head+2], []byte("\r\n"))
+	if lineEnd < 0 {
+		lineEnd = head - idx
+	}
+	cl, err := strconv.Atoi(string(buf[idx+len(clKey) : idx+lineEnd]))
+	if err != nil || cl < 0 {
+		return head + 4, 0, true
+	}
+	total := head + 4 + cl
+	if len(buf) < total {
+		return 0, 0, false
+	}
+	return total, cl, true
+}
+
+// WgetResult reports a single-file fetch.
+type WgetResult struct {
+	Bytes    int
+	Duration sim.Time
+	MBps     float64
+}
+
+// Wget fetches one file and reports transfer time and rate.
+func Wget(client *netstack.Host, serverIP netpkt.IP, port uint16, path string,
+	done func(WgetResult)) {
+
+	eng := client.Stack.Engine()
+	start := eng.Now()
+	client.Stack.Dial(serverIP, port, func(c *netstack.Conn, err error) {
+		if err != nil {
+			done(WgetResult{})
+			return
+		}
+		var buf []byte
+		c.OnData(func(b []byte) {
+			buf = append(buf, b...)
+			if n, body, ok := consumeHTTPResponse(buf); ok {
+				_ = n
+				dur := eng.Now() - start
+				res := WgetResult{Bytes: body, Duration: dur}
+				if dur > 0 {
+					res.MBps = float64(body) / dur.Seconds() / (1 << 20)
+				}
+				c.Close()
+				done(res)
+			}
+		})
+		c.Send([]byte("GET " + path + " HTTP/1.1\r\nHost: server\r\n\r\n"))
+	})
+}

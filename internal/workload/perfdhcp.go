@@ -1,0 +1,67 @@
+package workload
+
+import (
+	"kite/internal/apps"
+	"kite/internal/netpkt"
+	"kite/internal/netstack"
+	"kite/internal/sim"
+)
+
+// PerfDHCPResult reports the DHCP benchmark (§5.5): average delay of the
+// Discover→Offer and Request→Ack exchanges.
+type PerfDHCPResult struct {
+	Exchanges       int
+	AvgDiscoverOfer sim.Time
+	AvgRequestAck   sim.Time
+}
+
+// PerfDHCP performs count full DORA exchanges from the client, each with
+// a distinct client MAC (perfdhcp -r).
+func PerfDHCP(client *netstack.Host, count int, done func(PerfDHCPResult)) {
+	eng := client.Stack.Engine()
+	var doSum, raSum sim.Time
+	completed := 0
+
+	var sentAt sim.Time
+	var curMAC netpkt.MAC
+	var one func(i int)
+
+	client.Stack.BindUDP(apps.DHCPClientPort, func(p netstack.UDPPacket) {
+		m, err := apps.ParseDHCP(p.Data)
+		if err != nil || m.ClientMAC != curMAC {
+			return
+		}
+		switch m.MsgType {
+		case apps.DHCPOffer:
+			doSum += eng.Now() - sentAt
+			req := &apps.DHCPMessage{Op: 1, XID: m.XID + 1, ClientMAC: curMAC,
+				MsgType: apps.DHCPRequest, RequestedIP: m.YourIP}
+			sentAt = eng.Now()
+			client.Stack.SendUDP(netpkt.BroadcastIP, apps.DHCPServerPort,
+				apps.DHCPClientPort, req.Marshal())
+		case apps.DHCPAck:
+			raSum += eng.Now() - sentAt
+			completed++
+			if completed == count {
+				client.Stack.UnbindUDP(apps.DHCPClientPort)
+				done(PerfDHCPResult{
+					Exchanges:       completed,
+					AvgDiscoverOfer: doSum / sim.Time(completed),
+					AvgRequestAck:   raSum / sim.Time(completed),
+				})
+				return
+			}
+			one(completed)
+		}
+	})
+
+	one = func(i int) {
+		curMAC = netpkt.MAC{0x02, 0xdc, 0x9b, byte(i >> 16), byte(i >> 8), byte(i)}
+		disc := &apps.DHCPMessage{Op: 1, XID: uint32(i*2 + 1), ClientMAC: curMAC,
+			MsgType: apps.DHCPDiscover}
+		sentAt = eng.Now()
+		client.Stack.SendUDP(netpkt.BroadcastIP, apps.DHCPServerPort,
+			apps.DHCPClientPort, disc.Marshal())
+	}
+	one(0)
+}

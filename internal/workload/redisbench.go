@@ -1,0 +1,142 @@
+package workload
+
+import (
+	"fmt"
+
+	"kite/internal/apps"
+	"kite/internal/netpkt"
+	"kite/internal/netstack"
+	"kite/internal/sim"
+)
+
+// RedisBenchResult reports one redis-benchmark run (Fig 9).
+type RedisBenchResult struct {
+	Op        string // "SET" or "GET"
+	Threads   int
+	Pipeline  int
+	Ops       int
+	OpsPerSec float64
+}
+
+// RedisBench runs totalOps operations of one kind (SET or GET) across
+// threads connections with the given pipeline depth (redis-benchmark -P
+// 1000 -c threads), using valueBytes values.
+func RedisBench(client *netstack.Host, serverIP netpkt.IP, port uint16,
+	op string, threads, pipeline, totalOps, valueBytes int, done func(RedisBenchResult)) {
+
+	eng := client.Stack.Engine()
+	value := make([]byte, valueBytes)
+	sim.NewRand(0x4ed5).Bytes(value)
+
+	start := eng.Now()
+	issued := 0
+	completed := 0
+	finished := 0
+
+	preload := func(then func()) {
+		// redis-benchmark GET runs against existing keys: seed the
+		// keyspace first (one connection, pipelined).
+		client.Stack.Dial(serverIP, port, func(c *netstack.Conn, err error) {
+			if err != nil {
+				then()
+				return
+			}
+			var batch []byte
+			total := 0
+			for id := 0; id < threads; id++ {
+				for k := 0; k < 1000; k++ {
+					batch = append(batch, apps.EncodeSet(fmt.Sprintf("key:%d:%d", id, k), value)...)
+					total++
+				}
+			}
+			var buf []byte
+			got := 0
+			c.OnData(func(b []byte) {
+				buf = append(buf, b...)
+				for {
+					n := consumeKVReply(buf)
+					if n == 0 {
+						break
+					}
+					buf = buf[n:]
+					got++
+				}
+				if got == total {
+					c.Close()
+					then()
+				}
+			})
+			c.Send(batch)
+		})
+	}
+
+	worker := func(id int) {
+		client.Stack.Dial(serverIP, port, func(c *netstack.Conn, err error) {
+			if err != nil {
+				finished++
+				return
+			}
+			var buf []byte
+			pendingReplies := 0
+			var pump func()
+			pump = func() {
+				if issued >= totalOps {
+					if pendingReplies == 0 {
+						c.Close()
+						finished++
+						if finished == threads {
+							dur := eng.Now() - start
+							res := RedisBenchResult{Op: op, Threads: threads,
+								Pipeline: pipeline, Ops: completed}
+							if dur > 0 {
+								res.OpsPerSec = float64(completed) / dur.Seconds()
+							}
+							done(res)
+						}
+					}
+					return
+				}
+				// Fill one pipeline batch.
+				var batch []byte
+				for i := 0; i < pipeline && issued < totalOps; i++ {
+					key := fmt.Sprintf("key:%d:%d", id, issued%1000)
+					if op == "SET" {
+						batch = append(batch, apps.EncodeSet(key, value)...)
+					} else {
+						batch = append(batch, apps.EncodeGet(key)...)
+					}
+					issued++
+					pendingReplies++
+				}
+				c.Send(batch)
+			}
+			c.OnData(func(b []byte) {
+				buf = append(buf, b...)
+				for {
+					consumed := consumeKVReply(buf)
+					if consumed == 0 {
+						break
+					}
+					buf = buf[consumed:]
+					pendingReplies--
+					completed++
+				}
+				if pendingReplies == 0 {
+					pump()
+				}
+			})
+			pump()
+		})
+	}
+	run := func() {
+		start = eng.Now()
+		for i := 0; i < threads; i++ {
+			worker(i)
+		}
+	}
+	if op == "GET" {
+		preload(run)
+	} else {
+		run()
+	}
+}

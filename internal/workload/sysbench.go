@@ -1,0 +1,248 @@
+package workload
+
+import (
+	"kite/internal/apps"
+	"kite/internal/netpkt"
+	"kite/internal/netstack"
+	"kite/internal/sim"
+)
+
+// OLTP transaction shape: sysbench oltp_read_only executes 10 point
+// selects and 4 range queries (100 rows each) per transaction.
+const (
+	oltpPointsPerTx = 10
+	oltpRangesPerTx = 4
+	oltpRangeRows   = 100
+)
+
+// OLTPResult reports a sysbench MySQL run (Figs 10a, 13).
+type OLTPResult struct {
+	Threads      int
+	Transactions int
+	Queries      int
+	TPS          float64
+	QPS          float64
+	AvgLatency   sim.Time
+	// GuestCPUUtil is DomU's mean CPU utilization during the run (Fig 10b).
+	GuestCPUUtil float64
+}
+
+// OLTPNetwork drives the SQL wire protocol from the client machine with
+// the given number of connections for dur (Fig 10: the network-domain
+// test; the dataset fits memory).
+func OLTPNetwork(client *netstack.Host, serverIP netpkt.IP, port uint16,
+	guestCPUs *sim.CPUPool, tables int, rows int64,
+	threads int, dur sim.Time, done func(OLTPResult)) {
+
+	eng := client.Stack.Engine()
+	rng := sim.NewRand(uint64(threads)*7919 + 17)
+	start := eng.Now()
+	guestCPUs.ResetWindows()
+
+	totalTx := 0
+	totalQ := 0
+	var latSum sim.Time
+	finished := 0
+
+	finish := func() {
+		finished++
+		if finished < threads {
+			return
+		}
+		res := OLTPResult{
+			Threads: threads, Transactions: totalTx, Queries: totalQ,
+			GuestCPUUtil: guestCPUs.WindowUtilization(),
+		}
+		elapsed := (eng.Now() - start).Seconds()
+		if elapsed > 0 {
+			res.TPS = float64(totalTx) / elapsed
+			res.QPS = float64(totalQ) / elapsed
+		}
+		if totalTx > 0 {
+			res.AvgLatency = latSum / sim.Time(totalTx)
+		}
+		done(res)
+	}
+
+	worker := func() {
+		client.Stack.Dial(serverIP, port, func(c *netstack.Conn, err error) {
+			if err != nil {
+				finish()
+				return
+			}
+			var buf []byte
+			queriesLeft := 0
+			var txStart sim.Time
+			var beginTx func()
+			step := func() {
+				if queriesLeft == 0 {
+					latSum += eng.Now() - txStart
+					totalTx++
+					if eng.Now()-start >= dur {
+						c.Close()
+						finish()
+						return
+					}
+					beginTx()
+					return
+				}
+				queriesLeft--
+				totalQ++
+				table := rng.Intn(tables)
+				row := rng.Int63n(rows)
+				if queriesLeft < oltpRangesPerTx { // last 4 are ranges
+					if row > rows-oltpRangeRows {
+						row = rows - oltpRangeRows
+					}
+					c.Send([]byte(sqlRange(table, row, oltpRangeRows)))
+				} else {
+					c.Send([]byte(sqlPoint(table, row)))
+				}
+			}
+			beginTx = func() {
+				txStart = eng.Now()
+				queriesLeft = oltpPointsPerTx + oltpRangesPerTx
+				step()
+			}
+			c.OnData(func(b []byte) {
+				buf = append(buf, b...)
+				for {
+					n := consumeSQLReply(buf)
+					if n == 0 {
+						return
+					}
+					buf = buf[n:]
+					step()
+				}
+			})
+			beginTx()
+		})
+	}
+	for i := 0; i < threads; i++ {
+		worker()
+	}
+}
+
+// OLTPLocal drives a SQLDB directly inside the guest with the given
+// concurrency for dur (Fig 13: the storage-domain test; the dataset
+// exceeds the page cache, so queries miss to the paravirtual disk).
+func OLTPLocal(db *apps.SQLDB, guestCPUs *sim.CPUPool, eng *sim.Engine,
+	tables int, rows int64, threads int, dur sim.Time, done func(OLTPResult)) {
+
+	rng := sim.NewRand(uint64(threads)*104729 + 23)
+	start := eng.Now()
+	guestCPUs.ResetWindows()
+
+	totalTx := 0
+	totalQ := 0
+	var latSum sim.Time
+	finished := 0
+
+	finish := func() {
+		finished++
+		if finished < threads {
+			return
+		}
+		res := OLTPResult{
+			Threads: threads, Transactions: totalTx, Queries: totalQ,
+			GuestCPUUtil: guestCPUs.WindowUtilization(),
+		}
+		elapsed := (eng.Now() - start).Seconds()
+		if elapsed > 0 {
+			res.TPS = float64(totalTx) / elapsed
+			res.QPS = float64(totalQ) / elapsed
+		}
+		if totalTx > 0 {
+			res.AvgLatency = latSum / sim.Time(totalTx)
+		}
+		done(res)
+	}
+
+	worker := func() {
+		queriesLeft := 0
+		var txStart sim.Time
+		var step func()
+		var beginTx func()
+		step = func() {
+			if queriesLeft == 0 {
+				latSum += eng.Now() - txStart
+				totalTx++
+				if eng.Now()-start >= dur {
+					finish()
+					return
+				}
+				beginTx()
+				return
+			}
+			queriesLeft--
+			totalQ++
+			table := rng.Intn(tables)
+			row := rng.Int63n(rows)
+			if queriesLeft < oltpRangesPerTx {
+				if row > rows-oltpRangeRows {
+					row = rows - oltpRangeRows
+				}
+				db.RangeSelect(table, row, oltpRangeRows, func([]byte, error) { step() })
+			} else {
+				db.PointSelect(table, row, func([]byte, error) { step() })
+			}
+		}
+		beginTx = func() {
+			txStart = eng.Now()
+			queriesLeft = oltpPointsPerTx + oltpRangesPerTx
+			step()
+		}
+		beginTx()
+	}
+	for i := 0; i < threads; i++ {
+		worker()
+	}
+}
+
+func sqlPoint(table int, row int64) string {
+	return "P " + itoa(int64(table)) + " " + itoa(row) + "\n"
+}
+
+func sqlRange(table int, row int64, count int) string {
+	return "R " + itoa(int64(table)) + " " + itoa(row) + " " + itoa(int64(count)) + "\n"
+}
+
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}
+
+// consumeSQLReply returns the length of one complete SQL reply ("D
+// <len>\n<bytes>" or "E ...\n") at the start of buf, or 0 if incomplete.
+func consumeSQLReply(buf []byte) int {
+	nl := -1
+	for i, c := range buf {
+		if c == '\n' {
+			nl = i
+			break
+		}
+	}
+	if nl < 0 {
+		return 0
+	}
+	if len(buf) >= 2 && buf[0] == 'D' {
+		var n int
+		if _, err := sscanInt(string(buf[2:nl]), &n); err == nil {
+			total := nl + 1 + n
+			if len(buf) < total {
+				return 0
+			}
+			return total
+		}
+	}
+	return nl + 1
+}

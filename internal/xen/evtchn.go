@@ -1,0 +1,166 @@
+package xen
+
+import (
+	"fmt"
+
+	"kite/internal/sim"
+)
+
+// Port identifies an event channel endpoint within one domain.
+type Port uint32
+
+// warmWindow is how long after its last execution a vCPU still takes
+// interrupts without the full halt-wakeup path (shallow C-state residency,
+// tickless grace). Sustained workloads therefore see much lower event
+// latency than one-shot pings — the gap between Figure 7's ping and
+// netperf rows.
+const warmWindow = 75 * sim.Microsecond
+
+type chanState int
+
+const (
+	chanUnbound chanState = iota
+	chanConnected
+	chanClosed
+)
+
+// channel is one endpoint of an inter-domain event channel.
+type channel struct {
+	port    Port
+	dom     *Domain
+	state   chanState
+	peerDom DomID // for unbound: the only domain allowed to bind
+	peer    *channel
+
+	handler func()
+	// pending models the per-channel pending bit: upcalls coalesce while
+	// one is already in flight, exactly like Xen's level-triggered events.
+	pending bool
+
+	sends     uint64
+	delivered uint64
+}
+
+// AllocUnbound allocates a new unbound channel that remote may later bind
+// (EVTCHNOP_alloc_unbound). It returns the local port to advertise in
+// xenstore.
+func (d *Domain) AllocUnbound(remote DomID) Port {
+	d.nextPort++
+	ch := &channel{port: d.nextPort, dom: d, state: chanUnbound, peerDom: remote}
+	d.ports[ch.port] = ch
+	return ch.port
+}
+
+// BindInterdomain connects a local port to a remote domain's advertised
+// unbound port (EVTCHNOP_bind_interdomain).
+func (d *Domain) BindInterdomain(remote DomID, remotePort Port) (Port, error) {
+	rd := d.hv.Domain(remote)
+	if rd == nil {
+		return 0, fmt.Errorf("xen: bind to dead domain %d", remote)
+	}
+	rch := rd.ports[remotePort]
+	if rch == nil || rch.state != chanUnbound {
+		return 0, fmt.Errorf("xen: remote port %d/%d not unbound", remote, remotePort)
+	}
+	if rch.peerDom != d.ID {
+		return 0, fmt.Errorf("xen: port %d/%d reserved for domain %d, not %d",
+			remote, remotePort, rch.peerDom, d.ID)
+	}
+	d.nextPort++
+	lch := &channel{port: d.nextPort, dom: d, state: chanConnected, peerDom: remote, peer: rch}
+	d.ports[lch.port] = lch
+	rch.state = chanConnected
+	rch.peer = lch
+	return lch.port, nil
+}
+
+// SetHandler installs the upcall handler for a local port. The handler runs
+// on one of the domain's vCPUs after the domain's IRQLatency.
+func (d *Domain) SetHandler(port Port, fn func()) error {
+	ch := d.ports[port]
+	if ch == nil {
+		return fmt.Errorf("xen: SetHandler on unknown port %d", port)
+	}
+	ch.handler = fn
+	return nil
+}
+
+// Notify sends an event on a connected local port (EVTCHNOP_send). The
+// hypercall is charged to the calling domain; delivery to the peer's
+// handler happens after the peer's IRQ latency. Notifying a closed channel
+// is a silent no-op, as on real Xen where the peer may have gone away.
+func (d *Domain) Notify(port Port) {
+	ch := d.ports[port]
+	if ch == nil {
+		panic(fmt.Sprintf("xen: notify on unknown port %d in %s", port, d.Name))
+	}
+	d.hv.stats.EventSends++
+	d.charge(d.hv.Costs.Base + d.hv.Costs.EventSend)
+	ch.sends++
+	if ch.state != chanConnected || ch.peer == nil {
+		return
+	}
+	ch.peer.raise()
+}
+
+// raise marks the channel pending on its owning domain and schedules the
+// upcall if one is not already in flight. Delivery latency depends on the
+// vCPU's state: waking an idle (halted) vCPU costs the domain's full
+// IRQLatency (hypervisor unblock + VM entry), while a running vCPU takes
+// the upcall almost immediately — the effect that makes cold request-
+// response latency much worse than streaming latency on real Xen.
+func (c *channel) raise() {
+	if c.dom.dead || c.pending {
+		return
+	}
+	c.pending = true
+	eng := c.dom.hv.Eng
+	cpu := c.dom.CPUs.Pick()
+	lat := c.dom.IRQLatency
+	if c.dom.CPUs.RecentlyActive(eng.Now(), warmWindow) {
+		lat /= 16 // vCPU running or in a shallow idle state: cheap upcall
+	}
+	at := cpu.FreeAt() + lat
+	eng.Schedule(at, func() {
+		c.pending = false
+		if c.dom.dead || c.state != chanConnected {
+			return
+		}
+		c.delivered++
+		if c.handler != nil {
+			c.handler()
+		}
+	})
+}
+
+// Close shuts a local port; the peer transitions to closed too.
+func (d *Domain) Close(port Port) error {
+	if d.ports[port] == nil {
+		return fmt.Errorf("xen: close of unknown port %d", port)
+	}
+	d.closePort(port)
+	return nil
+}
+
+func (d *Domain) closePort(port Port) {
+	ch := d.ports[port]
+	if ch == nil {
+		return
+	}
+	if ch.peer != nil {
+		ch.peer.state = chanClosed
+		ch.peer.peer = nil
+	}
+	ch.state = chanClosed
+	ch.peer = nil
+	delete(d.ports, port)
+}
+
+// ChannelStats reports (sends, deliveries) for a local port; zero values
+// for unknown ports.
+func (d *Domain) ChannelStats(port Port) (sends, delivered uint64) {
+	if ch := d.ports[port]; ch != nil {
+		return ch.sends, ch.delivered
+	}
+	return 0, 0
+}

@@ -1,0 +1,219 @@
+package xen
+
+import (
+	"fmt"
+
+	"kite/internal/mem"
+	"kite/internal/sim"
+)
+
+// GrantRef names an entry in a domain's grant table.
+type GrantRef uint32
+
+type grantEntry struct {
+	ref      GrantRef
+	page     *mem.Page
+	remote   DomID
+	readonly bool
+	mapCount int
+	revoked  bool
+}
+
+// GrantAccess publishes page to remote. Writing one's own grant table is
+// not a hypercall, so no cost is charged here.
+func (d *Domain) GrantAccess(remote DomID, page *mem.Page, readonly bool) GrantRef {
+	if page.Owner() != d.Arena {
+		panic(fmt.Sprintf("xen: %s granting a page it does not own", d.Name))
+	}
+	d.nextRef++
+	d.grants[d.nextRef] = &grantEntry{
+		ref: d.nextRef, page: page, remote: remote, readonly: readonly,
+	}
+	return d.nextRef
+}
+
+// EndAccess revokes a grant. It fails while a foreign mapping is still
+// live, matching gnttab_end_foreign_access semantics.
+func (d *Domain) EndAccess(ref GrantRef) error {
+	g := d.grants[ref]
+	if g == nil || g.revoked {
+		return fmt.Errorf("xen: end access on unknown grant %d in %s", ref, d.Name)
+	}
+	if g.mapCount > 0 {
+		return fmt.Errorf("xen: grant %d in %s still mapped %d times", ref, d.Name, g.mapCount)
+	}
+	g.revoked = true
+	delete(d.grants, ref)
+	return nil
+}
+
+// LiveGrants returns the number of outstanding (unrevoked) grant entries.
+func (d *Domain) LiveGrants() int { return len(d.grants) }
+
+// Mapping is a foreign page mapped into a backend's address space. The
+// backend reads and writes Page.Data directly — the same aliasing a real
+// mapping provides.
+type Mapping struct {
+	Page   *mem.Page
+	owner  DomID
+	ref    GrantRef
+	mapper DomID
+	live   bool
+}
+
+// MapGrant maps (owner, ref) into mapper's address space
+// (GNTTABOP_map_grant_ref). Cost is charged to the mapper.
+func (hv *Hypervisor) MapGrant(mapper *Domain, owner DomID, ref GrantRef) (*Mapping, error) {
+	od := hv.Domain(owner)
+	if od == nil {
+		return nil, fmt.Errorf("xen: map grant from dead domain %d", owner)
+	}
+	g := od.grants[ref]
+	mapper.charge(hv.Costs.Base + hv.Costs.GrantMapPage)
+	hv.stats.GrantMaps++
+	if g == nil || g.revoked {
+		return nil, fmt.Errorf("xen: bad grant ref %d in domain %d", ref, owner)
+	}
+	if g.remote != mapper.ID {
+		return nil, fmt.Errorf("xen: grant %d of domain %d is for domain %d, not %d",
+			ref, owner, g.remote, mapper.ID)
+	}
+	g.mapCount++
+	return &Mapping{Page: g.page, owner: owner, ref: ref, mapper: mapper.ID, live: true}, nil
+}
+
+// MapGrantBatch maps several refs in one hypercall-equivalent batch,
+// charging the base cost once.
+func (hv *Hypervisor) MapGrantBatch(mapper *Domain, owner DomID, refs []GrantRef) ([]*Mapping, error) {
+	if len(refs) == 0 {
+		return nil, nil
+	}
+	od := hv.Domain(owner)
+	if od == nil {
+		return nil, fmt.Errorf("xen: map grant from dead domain %d", owner)
+	}
+	mapper.charge(hv.Costs.Base + sim.Time(len(refs))*hv.Costs.GrantMapPage)
+	out := make([]*Mapping, 0, len(refs))
+	for _, ref := range refs {
+		hv.stats.GrantMaps++
+		g := od.grants[ref]
+		if g == nil || g.revoked || g.remote != mapper.ID {
+			for _, m := range out {
+				hv.unmapLocked(m)
+			}
+			return nil, fmt.Errorf("xen: bad grant ref %d in batch from domain %d", ref, owner)
+		}
+		g.mapCount++
+		out = append(out, &Mapping{Page: g.page, owner: owner, ref: ref, mapper: mapper.ID, live: true})
+	}
+	return out, nil
+}
+
+// UnmapGrant releases a mapping (GNTTABOP_unmap_grant_ref).
+func (hv *Hypervisor) UnmapGrant(mapper *Domain, m *Mapping) error {
+	mapper.charge(hv.Costs.Base + hv.Costs.GrantUnmapPage)
+	return hv.unmapLocked(m)
+}
+
+// UnmapGrantBatch unmaps several mappings, charging the base cost once.
+func (hv *Hypervisor) UnmapGrantBatch(mapper *Domain, ms []*Mapping) error {
+	if len(ms) == 0 {
+		return nil
+	}
+	mapper.charge(hv.Costs.Base + sim.Time(len(ms))*hv.Costs.GrantUnmapPage)
+	for _, m := range ms {
+		if err := hv.unmapLocked(m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (hv *Hypervisor) unmapLocked(m *Mapping) error {
+	if !m.live {
+		return fmt.Errorf("xen: unmap of dead mapping (ref %d)", m.ref)
+	}
+	m.live = false
+	hv.stats.GrantUnmaps++
+	od := hv.domains[m.owner] // owner may be dead; entry may be gone
+	if od != nil {
+		if g := od.grants[m.ref]; g != nil {
+			g.mapCount--
+		}
+	}
+	return nil
+}
+
+// Live reports whether the mapping is still valid.
+func (m *Mapping) Live() bool { return m.live }
+
+// Ref returns the grant reference this mapping came from.
+func (m *Mapping) Ref() GrantRef { return m.ref }
+
+// CopyPtr addresses one side of a grant copy: either a foreign (Dom, Ref)
+// pair or a local page.
+type CopyPtr struct {
+	Dom    DomID
+	Ref    GrantRef
+	Local  *mem.Page // non-nil for local side
+	Offset int
+}
+
+// CopyOp is one GNTTABOP_copy operation; Len must fit within both pages.
+type CopyOp struct {
+	Src, Dst CopyPtr
+	Len      int
+}
+
+// CopyGrant performs a batch of hypervisor-side copies on behalf of caller
+// (GNTTABOP_copy). This is the fast data path used by netback/netfront.
+// The base hypercall cost is charged once per batch; each op adds a fixed
+// per-op cost plus a byte-proportional memcpy cost.
+func (hv *Hypervisor) CopyGrant(caller *Domain, ops []CopyOp) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	cost := hv.Costs.Base
+	for _, op := range ops {
+		cost += hv.Costs.GrantCopyPage + sim.Time(op.Len)*hv.Costs.CopyBytePerKB/1024
+	}
+	caller.charge(cost)
+	for i, op := range ops {
+		src, err := hv.resolveCopyPtr(caller, op.Src, false)
+		if err != nil {
+			return fmt.Errorf("xen: copy op %d src: %w", i, err)
+		}
+		dst, err := hv.resolveCopyPtr(caller, op.Dst, true)
+		if err != nil {
+			return fmt.Errorf("xen: copy op %d dst: %w", i, err)
+		}
+		if op.Len < 0 || op.Src.Offset+op.Len > mem.PageSize || op.Dst.Offset+op.Len > mem.PageSize {
+			return fmt.Errorf("xen: copy op %d overflows a page", i)
+		}
+		copy(dst.Data[op.Dst.Offset:op.Dst.Offset+op.Len], src.Data[op.Src.Offset:op.Src.Offset+op.Len])
+		hv.stats.GrantCopies++
+		hv.stats.CopiedBytes += uint64(op.Len)
+	}
+	return nil
+}
+
+func (hv *Hypervisor) resolveCopyPtr(caller *Domain, p CopyPtr, write bool) (*mem.Page, error) {
+	if p.Local != nil {
+		return p.Local, nil
+	}
+	od := hv.Domain(p.Dom)
+	if od == nil {
+		return nil, fmt.Errorf("dead domain %d", p.Dom)
+	}
+	g := od.grants[p.Ref]
+	if g == nil || g.revoked {
+		return nil, fmt.Errorf("bad grant %d in domain %d", p.Ref, p.Dom)
+	}
+	if g.remote != caller.ID {
+		return nil, fmt.Errorf("grant %d of domain %d not granted to %d", p.Ref, p.Dom, caller.ID)
+	}
+	if write && g.readonly {
+		return nil, fmt.Errorf("write through read-only grant %d of domain %d", p.Ref, p.Dom)
+	}
+	return g.page, nil
+}

@@ -1,0 +1,336 @@
+package xen
+
+import (
+	"testing"
+
+	"kite/internal/sim"
+)
+
+func newHV(t *testing.T) (*sim.Engine, *Hypervisor, *Domain) {
+	t.Helper()
+	eng := sim.NewEngine()
+	hv := New(eng)
+	dom0 := hv.CreateDomain(DomainConfig{Name: "dom0", VCPUs: 2, MemBytes: 8 << 20, Privileged: true})
+	if dom0.ID != 0 {
+		t.Fatalf("first domain got ID %d, want 0", dom0.ID)
+	}
+	return eng, hv, dom0
+}
+
+func TestFirstDomainMustBePrivileged(t *testing.T) {
+	eng := sim.NewEngine()
+	hv := New(eng)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unprivileged first domain did not panic")
+		}
+	}()
+	hv.CreateDomain(DomainConfig{Name: "bad", VCPUs: 1, MemBytes: 1 << 20})
+}
+
+func TestDomainLookupAndDestroy(t *testing.T) {
+	_, hv, _ := newHV(t)
+	du := hv.CreateDomain(DomainConfig{Name: "domU", VCPUs: 1, MemBytes: 1 << 20})
+	if hv.Domain(du.ID) != du {
+		t.Fatal("lookup failed")
+	}
+	destroyed := false
+	du.OnDestroy = func() { destroyed = true }
+	if err := hv.DestroyDomain(du.ID); err != nil {
+		t.Fatal(err)
+	}
+	if hv.Domain(du.ID) != nil {
+		t.Fatal("destroyed domain still visible")
+	}
+	if !destroyed {
+		t.Fatal("OnDestroy hook did not run")
+	}
+	if err := hv.DestroyDomain(du.ID); err == nil {
+		t.Fatal("double destroy succeeded")
+	}
+}
+
+func TestDom0Indestructible(t *testing.T) {
+	_, hv, _ := newHV(t)
+	if err := hv.DestroyDomain(0); err == nil {
+		t.Fatal("Dom0 destroy succeeded")
+	}
+}
+
+func TestPCIAssignment(t *testing.T) {
+	_, hv, _ := newHV(t)
+	dd := hv.CreateDomain(DomainConfig{Name: "netdd", VCPUs: 1, MemBytes: 1 << 20})
+	if err := hv.AssignPCI("03:00.0", dd.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := hv.AssignPCI("03:00.0", 0); err == nil {
+		t.Fatal("double PCI assignment succeeded")
+	}
+	if owner, ok := hv.PCIOwner("03:00.0"); !ok || owner != dd.ID {
+		t.Fatalf("PCI owner = %d,%v", owner, ok)
+	}
+	// Destroying the domain releases its devices.
+	if err := hv.DestroyDomain(dd.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := hv.PCIOwner("03:00.0"); ok {
+		t.Fatal("device still assigned after domain destroy")
+	}
+}
+
+func TestEventChannelHandshakeAndDelivery(t *testing.T) {
+	eng, hv, dom0 := newHV(t)
+	du := hv.CreateDomain(DomainConfig{Name: "domU", VCPUs: 1, MemBytes: 1 << 20,
+		IRQLatency: 3 * sim.Microsecond})
+
+	unbound := du.AllocUnbound(dom0.ID)
+	lport, err := dom0.BindInterdomain(du.ID, unbound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var deliveredAt sim.Time = -1
+	if err := du.SetHandler(unbound, func() { deliveredAt = eng.Now() }); err != nil {
+		t.Fatal(err)
+	}
+	dom0.Notify(lport)
+	eng.Run()
+	if deliveredAt < 3*sim.Microsecond {
+		t.Fatalf("delivery at %v, want >= IRQ latency 3us", deliveredAt)
+	}
+	sends, _ := dom0.ChannelStats(lport)
+	_, got := du.ChannelStats(unbound)
+	if sends != 1 || got != 1 {
+		t.Fatalf("sends=%d delivered=%d, want 1/1", sends, got)
+	}
+}
+
+func TestEventChannelBindValidation(t *testing.T) {
+	_, hv, dom0 := newHV(t)
+	du := hv.CreateDomain(DomainConfig{Name: "domU", VCPUs: 1, MemBytes: 1 << 20})
+	other := hv.CreateDomain(DomainConfig{Name: "other", VCPUs: 1, MemBytes: 1 << 20})
+
+	unbound := du.AllocUnbound(dom0.ID)
+	if _, err := other.BindInterdomain(du.ID, unbound); err == nil {
+		t.Fatal("bind by wrong domain succeeded")
+	}
+	if _, err := dom0.BindInterdomain(du.ID, 999); err == nil {
+		t.Fatal("bind to unknown port succeeded")
+	}
+	if _, err := dom0.BindInterdomain(du.ID, unbound); err != nil {
+		t.Fatal(err)
+	}
+	// Port now connected; a second bind must fail.
+	if _, err := dom0.BindInterdomain(du.ID, unbound); err == nil {
+		t.Fatal("double bind succeeded")
+	}
+}
+
+func TestEventCoalescing(t *testing.T) {
+	eng, hv, dom0 := newHV(t)
+	du := hv.CreateDomain(DomainConfig{Name: "domU", VCPUs: 1, MemBytes: 1 << 20,
+		IRQLatency: 10 * sim.Microsecond})
+	unbound := du.AllocUnbound(dom0.ID)
+	lport, _ := dom0.BindInterdomain(du.ID, unbound)
+	count := 0
+	du.SetHandler(unbound, func() { count++ })
+	for i := 0; i < 5; i++ {
+		dom0.Notify(lport) // all before the first upcall runs
+	}
+	eng.Run()
+	if count != 1 {
+		t.Fatalf("5 back-to-back notifies delivered %d upcalls, want 1 (coalesced)", count)
+	}
+}
+
+func TestNotifyAfterPeerDestroyIsNoop(t *testing.T) {
+	eng, hv, dom0 := newHV(t)
+	du := hv.CreateDomain(DomainConfig{Name: "domU", VCPUs: 1, MemBytes: 1 << 20})
+	unbound := du.AllocUnbound(dom0.ID)
+	lport, _ := dom0.BindInterdomain(du.ID, unbound)
+	du.SetHandler(unbound, func() { t.Fatal("handler ran in destroyed domain") })
+	hv.DestroyDomain(du.ID)
+	dom0.Notify(lport) // must not panic, must not deliver
+	eng.Run()
+}
+
+func TestCloseUnknownPortErrors(t *testing.T) {
+	_, _, dom0 := newHV(t)
+	if err := dom0.Close(42); err == nil {
+		t.Fatal("close of unknown port succeeded")
+	}
+}
+
+func TestGrantMapReadAndUnmap(t *testing.T) {
+	_, hv, dom0 := newHV(t)
+	du := hv.CreateDomain(DomainConfig{Name: "domU", VCPUs: 1, MemBytes: 1 << 20})
+	page := du.Arena.MustAlloc()
+	page.CopyInto(0, []byte("shared"))
+	ref := du.GrantAccess(dom0.ID, page, false)
+
+	m, err := hv.MapGrant(dom0, du.ID, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(m.Page.CopyFrom(0, 6)) != "shared" {
+		t.Fatal("mapped page content mismatch")
+	}
+	// Writes through the mapping land in the owner's page.
+	m.Page.CopyInto(0, []byte("BACKND"))
+	if string(page.CopyFrom(0, 6)) != "BACKND" {
+		t.Fatal("write through mapping not visible to owner")
+	}
+	// EndAccess must fail while mapped.
+	if err := du.EndAccess(ref); err == nil {
+		t.Fatal("EndAccess succeeded while mapped")
+	}
+	if err := hv.UnmapGrant(dom0, m); err != nil {
+		t.Fatal(err)
+	}
+	if err := du.EndAccess(ref); err != nil {
+		t.Fatal(err)
+	}
+	if err := hv.UnmapGrant(dom0, m); err == nil {
+		t.Fatal("double unmap succeeded")
+	}
+}
+
+func TestGrantTargetsWrongDomain(t *testing.T) {
+	_, hv, dom0 := newHV(t)
+	du := hv.CreateDomain(DomainConfig{Name: "domU", VCPUs: 1, MemBytes: 1 << 20})
+	dd := hv.CreateDomain(DomainConfig{Name: "dd", VCPUs: 1, MemBytes: 1 << 20})
+	page := du.Arena.MustAlloc()
+	ref := du.GrantAccess(dd.ID, page, false) // granted to dd, not dom0
+	if _, err := hv.MapGrant(dom0, du.ID, ref); err == nil {
+		t.Fatal("map by non-target domain succeeded")
+	}
+}
+
+func TestGrantBatchRollsBackOnBadRef(t *testing.T) {
+	_, hv, dom0 := newHV(t)
+	du := hv.CreateDomain(DomainConfig{Name: "domU", VCPUs: 1, MemBytes: 1 << 20})
+	p1 := du.Arena.MustAlloc()
+	good := du.GrantAccess(dom0.ID, p1, false)
+	if _, err := hv.MapGrantBatch(dom0, du.ID, []GrantRef{good, 9999}); err == nil {
+		t.Fatal("batch with bad ref succeeded")
+	}
+	// The good ref must have been rolled back so EndAccess works.
+	if err := du.EndAccess(good); err != nil {
+		t.Fatalf("EndAccess after failed batch: %v", err)
+	}
+}
+
+func TestGrantCopyMovesBytes(t *testing.T) {
+	_, hv, dom0 := newHV(t)
+	du := hv.CreateDomain(DomainConfig{Name: "domU", VCPUs: 1, MemBytes: 1 << 20})
+	src := du.Arena.MustAlloc()
+	src.CopyInto(128, []byte("payload-bytes"))
+	ref := du.GrantAccess(dom0.ID, src, true)
+	dst := dom0.Arena.MustAlloc()
+
+	err := hv.CopyGrant(dom0, []CopyOp{{
+		Src: CopyPtr{Dom: du.ID, Ref: ref, Offset: 128},
+		Dst: CopyPtr{Local: dst, Offset: 0},
+		Len: 13,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(dst.CopyFrom(0, 13)) != "payload-bytes" {
+		t.Fatal("grant copy corrupted data")
+	}
+	st := hv.Stats()
+	if st.GrantCopies != 1 || st.CopiedBytes != 13 {
+		t.Fatalf("stats copies=%d bytes=%d", st.GrantCopies, st.CopiedBytes)
+	}
+}
+
+func TestGrantCopyHonorsReadOnly(t *testing.T) {
+	_, hv, dom0 := newHV(t)
+	du := hv.CreateDomain(DomainConfig{Name: "domU", VCPUs: 1, MemBytes: 1 << 20})
+	target := du.Arena.MustAlloc()
+	ref := du.GrantAccess(dom0.ID, target, true) // read-only
+	src := dom0.Arena.MustAlloc()
+	err := hv.CopyGrant(dom0, []CopyOp{{
+		Src: CopyPtr{Local: src},
+		Dst: CopyPtr{Dom: du.ID, Ref: ref},
+		Len: 16,
+	}})
+	if err == nil {
+		t.Fatal("write through read-only grant succeeded")
+	}
+}
+
+func TestGrantCopyBoundsChecked(t *testing.T) {
+	_, hv, dom0 := newHV(t)
+	du := hv.CreateDomain(DomainConfig{Name: "domU", VCPUs: 1, MemBytes: 1 << 20})
+	src := du.Arena.MustAlloc()
+	ref := du.GrantAccess(dom0.ID, src, true)
+	dst := dom0.Arena.MustAlloc()
+	err := hv.CopyGrant(dom0, []CopyOp{{
+		Src: CopyPtr{Dom: du.ID, Ref: ref, Offset: 4000},
+		Dst: CopyPtr{Local: dst},
+		Len: 200,
+	}})
+	if err == nil {
+		t.Fatal("page-overflowing copy succeeded")
+	}
+}
+
+func TestHypercallsChargeCPU(t *testing.T) {
+	_, hv, dom0 := newHV(t)
+	du := hv.CreateDomain(DomainConfig{Name: "domU", VCPUs: 1, MemBytes: 1 << 20})
+	page := du.Arena.MustAlloc()
+	ref := du.GrantAccess(dom0.ID, page, false)
+	before := dom0.CPUs.CPU(0).BusyTotal() + dom0.CPUs.CPU(1).BusyTotal()
+	m, err := hv.MapGrant(dom0, du.ID, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hv.UnmapGrant(dom0, m)
+	after := dom0.CPUs.CPU(0).BusyTotal() + dom0.CPUs.CPU(1).BusyTotal()
+	want := 2*hv.Costs.Base + hv.Costs.GrantMapPage + hv.Costs.GrantUnmapPage
+	if after-before != want {
+		t.Fatalf("map+unmap charged %v, want %v", after-before, want)
+	}
+}
+
+func TestBatchedCopyCheaperThanSingles(t *testing.T) {
+	_, hv, dom0 := newHV(t)
+	du := hv.CreateDomain(DomainConfig{Name: "domU", VCPUs: 1, MemBytes: 1 << 20})
+	mkops := func(n int) []CopyOp {
+		ops := make([]CopyOp, n)
+		for i := range ops {
+			p := du.Arena.MustAlloc()
+			ref := du.GrantAccess(dom0.ID, p, true)
+			ops[i] = CopyOp{Src: CopyPtr{Dom: du.ID, Ref: ref}, Dst: CopyPtr{Local: dom0.Arena.MustAlloc()}, Len: 512}
+		}
+		return ops
+	}
+	base := dom0.CPUs.CPU(0).BusyTotal() + dom0.CPUs.CPU(1).BusyTotal()
+	if err := hv.CopyGrant(dom0, mkops(8)); err != nil {
+		t.Fatal(err)
+	}
+	batched := dom0.CPUs.CPU(0).BusyTotal() + dom0.CPUs.CPU(1).BusyTotal() - base
+
+	base = dom0.CPUs.CPU(0).BusyTotal() + dom0.CPUs.CPU(1).BusyTotal()
+	for _, op := range mkops(8) {
+		if err := hv.CopyGrant(dom0, []CopyOp{op}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	singles := dom0.CPUs.CPU(0).BusyTotal() + dom0.CPUs.CPU(1).BusyTotal() - base
+	if batched >= singles {
+		t.Fatalf("batched copy (%v) not cheaper than singles (%v)", batched, singles)
+	}
+}
+
+func TestDestroyRevokesGrants(t *testing.T) {
+	_, hv, dom0 := newHV(t)
+	du := hv.CreateDomain(DomainConfig{Name: "domU", VCPUs: 1, MemBytes: 1 << 20})
+	page := du.Arena.MustAlloc()
+	ref := du.GrantAccess(dom0.ID, page, false)
+	hv.DestroyDomain(du.ID)
+	if _, err := hv.MapGrant(dom0, du.ID, ref); err == nil {
+		t.Fatal("mapping a destroyed domain's grant succeeded")
+	}
+}

@@ -1,0 +1,206 @@
+// Package xenbus implements the Xen device negotiation protocol on top of
+// xenstore: the device directory layout libxl creates when a PV device is
+// added to a guest, the XenbusState machine both ends walk
+// (Initialising → InitWait → Initialised → Connected → Closing → Closed),
+// and watch helpers for reacting to the other end's transitions.
+//
+// This is the layer Kite had to add to rumprun's HVM mode (Table 1's "HVM
+// extension" row): without it, no backend can discover or pair with a
+// frontend.
+package xenbus
+
+import (
+	"fmt"
+
+	"kite/internal/xenstore"
+)
+
+// DomID aliases the store's domain ID type.
+type DomID = xenstore.DomID
+
+// State is the XenbusState of one end of a device.
+type State int
+
+// XenbusState values, matching xen/io/xenbus.h.
+const (
+	StateUnknown      State = 0
+	StateInitialising State = 1
+	StateInitWait     State = 2
+	StateInitialised  State = 3
+	StateConnected    State = 4
+	StateClosing      State = 5
+	StateClosed       State = 6
+)
+
+var stateNames = map[State]string{
+	StateUnknown:      "Unknown",
+	StateInitialising: "Initialising",
+	StateInitWait:     "InitWait",
+	StateInitialised:  "Initialised",
+	StateConnected:    "Connected",
+	StateClosing:      "Closing",
+	StateClosed:       "Closed",
+}
+
+func (s State) String() string {
+	if n, ok := stateNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("State(%d)", int(s))
+}
+
+// validNext encodes the legal transitions of the xenbus state machine.
+// Any state may transition to Closing/Closed (device teardown or crash).
+func validNext(from, to State) bool {
+	if to == StateClosing || to == StateClosed {
+		return true
+	}
+	switch from {
+	case StateUnknown:
+		return to == StateInitialising
+	case StateInitialising:
+		return to == StateInitWait || to == StateInitialised || to == StateConnected
+	case StateInitWait:
+		return to == StateInitialised || to == StateConnected
+	case StateInitialised:
+		return to == StateConnected
+	case StateConnected:
+		return false
+	case StateClosing:
+		return false
+	case StateClosed:
+		return to == StateInitialising // reconnect after close
+	}
+	return false
+}
+
+// FrontendPath returns the xenstore directory of a frontend device.
+func FrontendPath(frontDom DomID, typ string, devid int) string {
+	return fmt.Sprintf("/local/domain/%d/device/%s/%d", frontDom, typ, devid)
+}
+
+// BackendPath returns the xenstore directory of a backend device instance.
+func BackendPath(backDom DomID, typ string, frontDom DomID, devid int) string {
+	return fmt.Sprintf("/local/domain/%d/backend/%s/%d/%d", backDom, typ, frontDom, devid)
+}
+
+// BackendRoot returns the directory a backend watches for new frontends of
+// one device type (§4.1's watch path).
+func BackendRoot(backDom DomID, typ string) string {
+	return fmt.Sprintf("/local/domain/%d/backend/%s", backDom, typ)
+}
+
+// Bus wraps a store with device-protocol helpers.
+type Bus struct {
+	store *xenstore.Store
+}
+
+// New returns a Bus over the given store.
+func New(store *xenstore.Store) *Bus { return &Bus{store: store} }
+
+// Store exposes the underlying xenstore.
+func (b *Bus) Store() *xenstore.Store { return b.store }
+
+// DeviceSpec describes one PV device connection to create.
+type DeviceSpec struct {
+	Type     string // "vif" or "vbd"
+	FrontDom DomID
+	BackDom  DomID
+	DevID    int
+	// Extra keys written into the frontend/backend directories at creation
+	// (e.g. mac for vifs, virtual-device for vbds).
+	FrontExtra map[string]string
+	BackExtra  map[string]string
+}
+
+// AddDevice creates the xenstore skeleton for a device pair — what the
+// toolstack (xl) does for `vif=[...]` / `disk=[...]` config stanzas — and
+// returns the two device paths. Both ends start Initialising.
+func (b *Bus) AddDevice(spec DeviceSpec) (frontPath, backPath string) {
+	frontPath = FrontendPath(spec.FrontDom, spec.Type, spec.DevID)
+	backPath = BackendPath(spec.BackDom, spec.Type, spec.FrontDom, spec.DevID)
+
+	b.store.Writef(frontPath+"/backend", "%s", backPath)
+	b.store.Writef(frontPath+"/backend-id", "%d", spec.BackDom)
+	b.store.Writef(frontPath+"/state", "%d", int(StateInitialising))
+	for k, v := range spec.FrontExtra {
+		b.store.Write(frontPath+"/"+k, v)
+	}
+
+	b.store.Writef(backPath+"/frontend", "%s", frontPath)
+	b.store.Writef(backPath+"/frontend-id", "%d", spec.FrontDom)
+	b.store.Writef(backPath+"/online", "1")
+	b.store.Writef(backPath+"/state", "%d", int(StateInitialising))
+	for k, v := range spec.BackExtra {
+		b.store.Write(backPath+"/"+k, v)
+	}
+
+	// Device directories belong to their respective domains.
+	b.store.SetPerms(frontPath, spec.FrontDom, nil)
+	b.store.SetPerms(backPath, spec.BackDom, nil)
+	return frontPath, backPath
+}
+
+// RemoveDevice deletes both ends' directories.
+func (b *Bus) RemoveDevice(spec DeviceSpec) {
+	_ = b.store.Remove(FrontendPath(spec.FrontDom, spec.Type, spec.DevID))
+	_ = b.store.Remove(BackendPath(spec.BackDom, spec.Type, spec.FrontDom, spec.DevID))
+}
+
+// State reads the state key of a device directory.
+func (b *Bus) State(devPath string) State {
+	v, ok := b.store.ReadInt(devPath + "/state")
+	if !ok {
+		return StateUnknown
+	}
+	return State(v)
+}
+
+// SwitchState transitions a device end, enforcing protocol legality.
+func (b *Bus) SwitchState(devPath string, to State) error {
+	from := b.State(devPath)
+	if from == to {
+		return nil
+	}
+	if !validNext(from, to) {
+		return fmt.Errorf("xenbus: illegal transition %v -> %v at %s", from, to, devPath)
+	}
+	b.store.Writef(devPath+"/state", "%d", int(to))
+	return nil
+}
+
+// OnStateChange invokes fn with the device's state whenever its directory
+// changes (including the registration fire). Returns the watch for
+// cancellation.
+func (b *Bus) OnStateChange(devPath string, fn func(State)) *xenstore.Watch {
+	return b.store.Watch(devPath+"/state", devPath, func(_, _ string) {
+		fn(b.State(devPath))
+	})
+}
+
+// OtherEnd resolves the opposite end's device path (via the backend or
+// frontend pointer key).
+func (b *Bus) OtherEnd(devPath string) (string, bool) {
+	if v, ok := b.store.Read(devPath + "/backend"); ok {
+		return v, true
+	}
+	if v, ok := b.store.Read(devPath + "/frontend"); ok {
+		return v, true
+	}
+	return "", false
+}
+
+// WriteFeature publishes a feature key (feature-X=1 style) in a device dir.
+func (b *Bus) WriteFeature(devPath, name string, enabled bool) {
+	v := "0"
+	if enabled {
+		v = "1"
+	}
+	b.store.Write(devPath+"/"+name, v)
+}
+
+// ReadFeature reads a feature key; absent means false.
+func (b *Bus) ReadFeature(devPath, name string) bool {
+	v, ok := b.store.ReadInt(devPath + "/" + name)
+	return ok && v != 0
+}

@@ -1,0 +1,338 @@
+// Package xenstore implements the xenstored database: a small hierarchical
+// key-value store with watches and transactions, shared between domains.
+// The paper's backend-invocation design (§4.1) hangs entirely off this
+// component — backends set watches on their driver-domain paths and a
+// dedicated thread pairs up frontends when the watch fires.
+//
+// Watches fire asynchronously (scheduled on the simulation engine) exactly
+// once per mutation per registered watch, plus the initial registration
+// fire xenstored performs. Transactions provide optimistic concurrency:
+// commit fails if any path the transaction touched changed underneath it.
+package xenstore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"kite/internal/sim"
+)
+
+// DomID mirrors xen.DomID without importing it (xenstore is lower-level).
+type DomID uint16
+
+type node struct {
+	children map[string]*node
+	value    string
+	hasValue bool
+	version  uint64
+	owner    DomID
+	hasPerms bool           // SetPerms was called on this node
+	readers  map[DomID]bool // nil means world-readable
+}
+
+// Watch is a registered watch; the callback receives the path that changed
+// and the token supplied at registration.
+type Watch struct {
+	path    string
+	token   string
+	fn      func(path, token string)
+	store   *Store
+	dead    bool
+	pending int
+	fires   uint64
+}
+
+// Store is the xenstored database.
+type Store struct {
+	eng     *sim.Engine
+	root    *node
+	watches []*Watch
+	version uint64
+
+	// OpLatency models the round trip to the xenstored daemon in Dom0.
+	// Control-plane only; it never sits on the data path.
+	OpLatency sim.Time
+
+	// Quota bounds how many nodes one unprivileged domain may own —
+	// xenstored's defence against a guest exhausting the store (the
+	// toolstack-DoS class §1 worries about). Dom0 is exempt.
+	Quota int
+
+	owned map[DomID]int
+	ops   uint64
+}
+
+// New creates an empty store.
+func New(eng *sim.Engine) *Store {
+	return &Store{
+		eng:       eng,
+		root:      &node{children: make(map[string]*node)},
+		OpLatency: 30 * sim.Microsecond,
+		Quota:     1000,
+		owned:     make(map[DomID]int),
+	}
+}
+
+// Ops returns the number of store operations performed.
+func (s *Store) Ops() uint64 { return s.ops }
+
+func splitPath(path string) []string {
+	parts := strings.Split(path, "/")
+	out := parts[:0]
+	for _, p := range parts {
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func normalize(path string) string { return "/" + strings.Join(splitPath(path), "/") }
+
+func (s *Store) lookup(path string) *node {
+	n := s.root
+	for _, part := range splitPath(path) {
+		child := n.children[part]
+		if child == nil {
+			return nil
+		}
+		n = child
+	}
+	return n
+}
+
+func (s *Store) ensure(path string) *node {
+	n := s.root
+	for _, part := range splitPath(path) {
+		child := n.children[part]
+		if child == nil {
+			child = &node{children: make(map[string]*node)}
+			n.children[part] = child
+		}
+		n = child
+	}
+	return n
+}
+
+// Write stores value at path, creating intermediate directories.
+func (s *Store) Write(path, value string) {
+	s.ops++
+	s.version++
+	n := s.ensure(path)
+	n.value = value
+	n.hasValue = true
+	n.version = s.version
+	s.fireWatches(normalize(path))
+}
+
+// Writef writes a formatted value.
+func (s *Store) Writef(path, format string, args ...any) {
+	s.Write(path, fmt.Sprintf(format, args...))
+}
+
+// Read returns the value at path and whether it exists.
+func (s *Store) Read(path string) (string, bool) {
+	s.ops++
+	n := s.lookup(path)
+	if n == nil || !n.hasValue {
+		return "", false
+	}
+	return n.value, true
+}
+
+// ReadInt reads an integer value; ok is false if absent or malformed.
+func (s *Store) ReadInt(path string) (int64, bool) {
+	v, ok := s.Read(path)
+	if !ok {
+		return 0, false
+	}
+	var out int64
+	if _, err := fmt.Sscanf(v, "%d", &out); err != nil {
+		return 0, false
+	}
+	return out, true
+}
+
+// Mkdir creates an empty directory node.
+func (s *Store) Mkdir(path string) {
+	s.ops++
+	s.version++
+	s.ensure(path).version = s.version
+	s.fireWatches(normalize(path))
+}
+
+// Exists reports whether a node (value or directory) exists at path.
+func (s *Store) Exists(path string) bool { return s.lookup(path) != nil }
+
+// Remove deletes the subtree at path. Removing a missing path is an error,
+// as in xenstored.
+func (s *Store) Remove(path string) error {
+	s.ops++
+	parts := splitPath(path)
+	if len(parts) == 0 {
+		return fmt.Errorf("xenstore: refusing to remove root")
+	}
+	parent := s.root
+	for _, part := range parts[:len(parts)-1] {
+		parent = parent.children[part]
+		if parent == nil {
+			return fmt.Errorf("xenstore: remove of missing path %s", path)
+		}
+	}
+	leaf := parts[len(parts)-1]
+	if parent.children[leaf] == nil {
+		return fmt.Errorf("xenstore: remove of missing path %s", path)
+	}
+	delete(parent.children, leaf)
+	s.version++
+	s.fireWatches(normalize(path))
+	return nil
+}
+
+// List returns the sorted child names of a directory (empty for missing).
+func (s *Store) List(path string) []string {
+	s.ops++
+	n := s.lookup(path)
+	if n == nil {
+		return nil
+	}
+	out := make([]string, 0, len(n.children))
+	for name := range n.children {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Watch registers fn for changes at or below path. As xenstored does, the
+// watch fires once immediately upon registration.
+func (s *Store) Watch(path, token string, fn func(path, token string)) *Watch {
+	w := &Watch{path: normalize(path), token: token, fn: fn, store: s}
+	s.watches = append(s.watches, w)
+	s.fire(w, w.path)
+	return w
+}
+
+// Unwatch removes a watch; in-flight callbacks are suppressed.
+func (s *Store) Unwatch(w *Watch) {
+	w.dead = true
+	for i, x := range s.watches {
+		if x == w {
+			s.watches = append(s.watches[:i], s.watches[i+1:]...)
+			return
+		}
+	}
+}
+
+// Fires returns how many times the watch callback actually ran.
+func (w *Watch) Fires() uint64 { return w.fires }
+
+func (s *Store) fireWatches(changed string) {
+	for _, w := range s.watches {
+		if pathWithin(changed, w.path) || pathWithin(w.path, changed) {
+			s.fire(w, changed)
+		}
+	}
+}
+
+func (s *Store) fire(w *Watch, path string) {
+	w.pending++
+	s.eng.After(s.OpLatency, func() {
+		w.pending--
+		if w.dead {
+			return
+		}
+		w.fires++
+		w.fn(path, w.token)
+	})
+}
+
+// pathWithin reports whether p is equal to or beneath prefix.
+func pathWithin(p, prefix string) bool {
+	if p == prefix {
+		return true
+	}
+	if prefix == "/" {
+		return true
+	}
+	return strings.HasPrefix(p, prefix+"/")
+}
+
+// SetPerms sets the owner and (optionally) restricted reader set of a
+// subtree root. A nil readers slice means world-readable.
+func (s *Store) SetPerms(path string, owner DomID, readers []DomID) {
+	n := s.ensure(path)
+	n.owner = owner
+	n.hasPerms = true
+	if readers == nil {
+		n.readers = nil
+		return
+	}
+	n.readers = make(map[DomID]bool, len(readers))
+	for _, r := range readers {
+		n.readers[r] = true
+	}
+}
+
+// ReadAs performs a permission-checked read on behalf of dom: the owner and
+// listed readers (and Dom0) may read; others get an error. Permissions are
+// looked up on the nearest ancestor that declared any.
+func (s *Store) ReadAs(dom DomID, path string) (string, error) {
+	owner, readers := s.permsFor(path)
+	if dom != 0 && dom != owner && readers != nil && !readers[dom] {
+		return "", fmt.Errorf("xenstore: domain %d denied read of %s", dom, path)
+	}
+	v, ok := s.Read(path)
+	if !ok {
+		return "", fmt.Errorf("xenstore: %s does not exist", path)
+	}
+	return v, nil
+}
+
+// WriteAs performs a permission-checked, quota-checked write: only the
+// owner and Dom0 may write, and unprivileged domains may not own more
+// than Quota nodes.
+func (s *Store) WriteAs(dom DomID, path, value string) error {
+	owner, _ := s.permsFor(path)
+	if dom != 0 && dom != owner {
+		return fmt.Errorf("xenstore: domain %d denied write of %s", dom, path)
+	}
+	if dom != 0 && !s.Exists(path) {
+		if s.owned[dom] >= s.Quota {
+			return fmt.Errorf("xenstore: domain %d exceeded its %d-node quota", dom, s.Quota)
+		}
+		s.owned[dom]++
+	}
+	s.Write(path, value)
+	return nil
+}
+
+// OwnedNodes returns how many nodes a domain has created through WriteAs.
+func (s *Store) OwnedNodes(dom DomID) int { return s.owned[dom] }
+
+// ReleaseQuota returns n nodes to a domain's allowance (the toolstack
+// calls it when tearing down the domain's subtree).
+func (s *Store) ReleaseQuota(dom DomID, n int) {
+	s.owned[dom] -= n
+	if s.owned[dom] < 0 {
+		s.owned[dom] = 0
+	}
+}
+
+func (s *Store) permsFor(path string) (DomID, map[DomID]bool) {
+	n := s.root
+	var owner DomID
+	var readers map[DomID]bool
+	for _, part := range splitPath(path) {
+		n = n.children[part]
+		if n == nil {
+			break
+		}
+		if n.hasPerms {
+			owner = n.owner
+			readers = n.readers
+		}
+	}
+	return owner, readers
+}

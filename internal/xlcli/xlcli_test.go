@@ -1,0 +1,112 @@
+package xlcli
+
+import (
+	"strings"
+	"testing"
+)
+
+func run(t *testing.T, script string) (string, error) {
+	t.Helper()
+	var out strings.Builder
+	interp := New(0x71, &out)
+	err := interp.RunScript(strings.NewReader(script))
+	return out.String(), err
+}
+
+func TestFullScenario(t *testing.T) {
+	script := `
+# artifact-appendix style scenario
+pci-assignable-add 03:00.0
+pci-assignable-add 04:00.0
+create network kind=kite boot
+create storage kind=kite
+create guest name=domU ip=10.0.0.1 net disk=1024
+list
+ping 10.0.0.1
+ifconfig -a
+brconfig xenbr0
+run 10
+destroy domU
+list
+`
+	out, err := run(t, script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"network domain kite-net up",
+		"t=7.0s", // booted
+		"storage domain kite-storage up",
+		"guest domU up",
+		"64 bytes from 10.0.0.1",
+		"if0: flags",
+		"member: vif3.0",
+		"destroyed domU",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n%s", want, out)
+		}
+	}
+	// After destroy, domU must not be listed.
+	tail := out[strings.LastIndex(out, "destroyed domU"):]
+	if strings.Contains(tail, "domU ") {
+		t.Fatalf("destroyed guest still listed:\n%s", tail)
+	}
+}
+
+func TestNATScenario(t *testing.T) {
+	script := `
+pci-assignable-add 03:00.0
+create network kind=kite nat=10.0.0.254
+create guest name=inner ip=192.168.9.9 net
+list
+`
+	out, err := run(t, script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "guest inner up") {
+		t.Fatalf("nat guest missing:\n%s", out)
+	}
+}
+
+func TestDHCPVMScenario(t *testing.T) {
+	script := `
+pci-assignable-add 03:00.0
+create network kind=linux
+create dhcpvm ip=10.0.0.53 pool=10.0.0.100:50
+`
+	out, err := run(t, script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "dhcp daemon VM up") {
+		t.Fatalf("dhcp vm missing:\n%s", out)
+	}
+}
+
+func TestErrorsAreDiagnosed(t *testing.T) {
+	cases := []struct {
+		script string
+		want   string
+	}{
+		{"create network kind=kite", "not assignable"},
+		{"pci-assignable-add 03:00.0\ncreate guest name=g net ip=10.0.0.5", "no network domain"},
+		{"ping 10.0.0.1", "no reply"},
+		{"frobnicate", "unknown command"},
+		{"destroy nothing", "no domain named"},
+		{"create guest net", "needs name"},
+		{"ping not-an-ip", "bad IP"},
+	}
+	for _, c := range cases {
+		if _, err := run(t, c.script); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("script %q: error = %v, want containing %q", c.script, err, c.want)
+		}
+	}
+}
+
+func TestCommentsAndBlanksIgnored(t *testing.T) {
+	if _, err := run(t, "# nothing\n\n   \n# more\n"); err != nil {
+		t.Fatal(err)
+	}
+}
