@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: verify build test race vet bench
+
+# verify is the tree-must-be-green gate: vet, build everything, then the
+# full test suite under the race detector (which also exercises the
+# parallel experiment runner's determinism tests).
+verify: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...

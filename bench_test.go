@@ -8,8 +8,10 @@
 package kite
 
 import (
+	"fmt"
 	"strings"
 	"testing"
+	"time"
 
 	"kite/internal/experiments"
 )
@@ -303,6 +305,35 @@ func BenchmarkSec55DHCP(b *testing.B) {
 			b.Fatalf("dhcp latencies implausible: %+v", res.Pairs)
 		}
 		reportPairs(b, res, "discover-offer", "request-ack")
+	}
+}
+
+// BenchmarkSuiteParallel runs a representative slice of the suite through
+// the parallel runner at several worker counts, reporting wall-clock per
+// suite pass and the aggregate event rate. On a multi-core host higher
+// worker counts shrink ns/op; results are byte-identical regardless
+// (asserted by TestRunAllParallelMatchesSequential).
+func BenchmarkSuiteParallel(b *testing.B) {
+	specs, err := experiments.Lookup("FIG6,FIG7,FIG11,FIG14")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			before := experiments.EventsProcessed()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				res := experiments.RunAll(specs, quick(), workers)
+				if len(res) != len(specs) {
+					b.Fatalf("got %d results, want %d", len(res), len(specs))
+				}
+			}
+			elapsed := time.Since(start).Seconds()
+			if elapsed > 0 {
+				events := experiments.EventsProcessed() - before
+				b.ReportMetric(float64(events)/elapsed/1e6, "Mevents/sec")
+			}
+		})
 	}
 }
 

@@ -3,17 +3,20 @@
 //
 // Usage:
 //
-//	kitebench [-full] [-only FIG7,FIG11] [-ablations]
+//	kitebench [-full] [-only FIG7,FIG11] [-parallel N] [-ablations]
 //
 // -full runs paper-scale workloads (more virtual seconds; wall-clock
 // minutes); the default quick scale preserves every comparison's shape.
+// -parallel N spreads independent experiments (and the Linux/Kite rig pair
+// inside each) over up to N OS threads; output is byte-identical for any N
+// because every simulation leg owns its entire world.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
+	"time"
 
 	"kite/internal/experiments"
 )
@@ -21,6 +24,7 @@ import (
 func main() {
 	full := flag.Bool("full", false, "run paper-scale workloads")
 	only := flag.String("only", "", "comma-separated experiment IDs (e.g. FIG7,FIG11)")
+	parallel := flag.Int("parallel", 1, "max experiment legs to run concurrently")
 	ablations := flag.Bool("ablations", false, "also run the design-choice ablations")
 	flag.Parse()
 
@@ -28,60 +32,37 @@ func main() {
 	if *full {
 		scale = experiments.Full()
 	}
-	fmt.Printf("kitebench: scale=%s\n\n", scale.Name)
+	fmt.Printf("kitebench: scale=%s parallel=%d\n\n", scale.Name, *parallel)
 
-	type exp struct {
-		id  string
-		run func() *experiments.Result
-	}
-	all := []exp{
-		{"FIG1A", func() *experiments.Result { return experiments.Fig1aDriverCVEs() }},
-		{"FIG1B", func() *experiments.Result { return experiments.Fig1bFig5ROP() }},
-		{"FIG4", func() *experiments.Result { return experiments.Fig4Footprint() }},
-		{"FIG4C", func() *experiments.Result { return experiments.Fig4cBootTime() }},
-		{"TAB3", func() *experiments.Result { return experiments.Table3() }},
-		{"FIG6", func() *experiments.Result { return experiments.Fig6Nuttcp(scale) }},
-		{"FIG7", func() *experiments.Result { return experiments.Fig7Latency(scale) }},
-		{"FIG8", func() *experiments.Result { return experiments.Fig8Apache(scale) }},
-		{"FIG9", func() *experiments.Result { return experiments.Fig9Redis(scale) }},
-		{"FIG10", func() *experiments.Result { return experiments.Fig10MySQL(scale) }},
-		{"FIG11", func() *experiments.Result { return experiments.Fig11DD(scale) }},
-		{"FIG12", func() *experiments.Result { return experiments.Fig12FileIO(scale) }},
-		{"FIG13", func() *experiments.Result { return experiments.Fig13MySQLStorage(scale) }},
-		{"FIG14", func() *experiments.Result { return experiments.Fig14Fileserver(scale) }},
-		{"FIG15", func() *experiments.Result { return experiments.Fig15Mongo(scale) }},
-		{"FIG16", func() *experiments.Result { return experiments.Fig16Webserver(scale) }},
-		{"DHCP", func() *experiments.Result { return experiments.DHCPLatency(scale) }},
-	}
-
-	var filter map[string]bool
+	specs := experiments.Registry()
 	if *only != "" {
-		filter = make(map[string]bool)
-		for _, id := range strings.Split(strings.ToUpper(*only), ",") {
-			filter[strings.TrimSpace(id)] = true
+		var err error
+		specs, err = experiments.Lookup(*only)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kitebench: %v\n", err)
+			os.Exit(2)
 		}
 	}
 
-	ran := 0
-	for _, e := range all {
-		if filter != nil && !filter[e.id] {
-			continue
-		}
-		res := e.run()
+	start := time.Now()
+	results := experiments.RunAll(specs, scale, *parallel)
+	elapsed := time.Since(start)
+
+	for _, res := range results {
 		fmt.Println(res.Table.String())
 		for _, note := range res.Notes {
 			fmt.Printf("  note: %s\n", note)
 		}
 		fmt.Println()
-		ran++
-	}
-	if ran == 0 {
-		fmt.Fprintln(os.Stderr, "kitebench: no experiments matched -only filter")
-		os.Exit(2)
 	}
 
+	events := experiments.EventsProcessed()
+	fmt.Printf("kitebench: %d experiments, %d simulation events in %.2fs wall (%.2fM events/sec)\n",
+		len(results), events, elapsed.Seconds(),
+		float64(events)/elapsed.Seconds()/1e6)
+
 	if *ablations {
-		fmt.Println("== Design-choice ablations ==")
+		fmt.Println("\n== Design-choice ablations ==")
 		for _, a := range []*experiments.AblationResult{
 			experiments.AblationPersistentGrants(scale),
 			experiments.AblationIndirectSegments(scale),

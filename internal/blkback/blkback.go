@@ -101,6 +101,11 @@ type Instance struct {
 	thread *sim.Task
 	pmaps  map[xen.GrantRef]*xen.Mapping
 
+	// notify coalesces response publication: every respond in a completion
+	// burst queues privately, and one wake publishes the lot and sends at
+	// most one event-channel notification (§3.3's event coalescing).
+	notify *sim.Batch
+
 	dead  bool
 	stats Stats
 }
@@ -130,6 +135,7 @@ func NewInstance(eng *sim.Engine, dom *xen.Domain, frontDom xen.DomID, devid int
 	}
 	inst.thread = sim.NewTask(eng, dom.CPUs.CPU(int(frontDom)%dom.CPUs.Len()),
 		inst.name+"/req-thread", costs.WakeLatency, inst.drain)
+	inst.notify = sim.NewBatch(eng, inst.flushResponses)
 	return inst, nil
 }
 
@@ -399,6 +405,15 @@ func (inst *Instance) complete(op *deviceOp, err error) {
 func (inst *Instance) respond(id uint64, status int8) {
 	if !inst.ring.PushResponse(blkif.Response{ID: id, Status: status}) {
 		return // protocol violation by frontend; nothing sane to do
+	}
+	inst.notify.Arm(inst.eng.Now())
+}
+
+// flushResponses publishes every privately queued response and notifies the
+// frontend at most once per burst.
+func (inst *Instance) flushResponses() {
+	if inst.dead {
+		return
 	}
 	if inst.ring.PushResponsesAndCheckNotify() {
 		inst.dom.Notify(inst.port)

@@ -10,6 +10,7 @@ package bufpool
 import (
 	"container/list"
 	"fmt"
+	"sort"
 
 	"kite/internal/sim"
 )
@@ -363,6 +364,9 @@ func (p *Pool) writeback(c *chunk, then func()) {
 }
 
 // Sync writes every dirty chunk back and issues a device flush.
+// Writebacks are issued in ascending chunk order: map iteration order
+// would vary run to run and leak into the device's event schedule,
+// breaking bit-for-bit determinism.
 func (p *Pool) Sync(cb func(err error)) {
 	var dirty []*chunk
 	for _, c := range p.chunks {
@@ -370,6 +374,7 @@ func (p *Pool) Sync(cb func(err error)) {
 			dirty = append(dirty, c)
 		}
 	}
+	sort.Slice(dirty, func(i, j int) bool { return dirty[i].no < dirty[j].no })
 	remaining := len(dirty)
 	if remaining == 0 {
 		p.disk.Flush(func(err error) { cb(err) })

@@ -273,3 +273,53 @@ func TestCrossChunkIO(t *testing.T) {
 		t.Fatal("cross-chunk io corrupted")
 	}
 }
+
+// TestSyncWritebackOrderDeterministic dirties chunks in a scattered order
+// and asserts Sync issues writebacks in ascending chunk order. Map
+// iteration order would vary between runs and leak into the device event
+// schedule, breaking bit-for-bit reproducibility.
+func TestSyncWritebackOrderDeterministic(t *testing.T) {
+	eng := sim.NewEngine()
+	disk := &orderDisk{memDisk: &memDisk{eng: eng, data: make([]byte, 8<<20), delay: 50 * sim.Microsecond}}
+	pool := New(eng, disk, Config{ChunkBytes: 16 << 10, CapacityBytes: 4 << 20})
+
+	for _, chunkNo := range []int64{7, 2, 11, 0, 5, 9, 3} {
+		pool.Write(chunkNo*(16<<10), []byte("dirty"), func(err error) {
+			if err != nil {
+				t.Error(err)
+			}
+		})
+	}
+	eng.Run()
+	disk.order = nil
+	synced := false
+	pool.Sync(func(err error) {
+		if err != nil {
+			t.Error(err)
+		}
+		synced = true
+	})
+	eng.Run()
+	if !synced {
+		t.Fatal("sync did not complete")
+	}
+	if len(disk.order) != 7 {
+		t.Fatalf("writebacks = %d, want 7 (order %v)", len(disk.order), disk.order)
+	}
+	for i := 1; i < len(disk.order); i++ {
+		if disk.order[i] <= disk.order[i-1] {
+			t.Fatalf("writeback order not ascending: %v", disk.order)
+		}
+	}
+}
+
+// orderDisk records the sector order of writes before delegating.
+type orderDisk struct {
+	*memDisk
+	order []int64
+}
+
+func (d *orderDisk) WriteSectors(sector int64, data []byte, cb func(error)) {
+	d.order = append(d.order, sector)
+	d.memDisk.WriteSectors(sector, data, cb)
+}

@@ -35,6 +35,10 @@ type Scale struct {
 	FilebenchDur sim.Time
 	// Repetitions for RSD (Table 4).
 	Reps int
+
+	// pool, when set by RunAll, lets an experiment fan its Linux/Kite rig
+	// pair over spare workers (see bothKinds). Nil means fully sequential.
+	pool *Pool
 }
 
 // Quick returns the CI-friendly scale.
@@ -148,9 +152,13 @@ func mustStorRig(cfg core.StorageRigConfig) *core.StorageRig {
 }
 
 // drive runs a rig's engine until done() or the cap; panics on livelock so
-// experiments fail loudly.
+// experiments fail loudly. Retired events feed the process-wide telemetry
+// behind EventsProcessed.
 func drive(sys *core.System, done func() bool, cap uint64) {
-	if !sys.RunReady(done, cap) {
+	start := sys.Eng.Processed()
+	ok := sys.RunReady(done, cap)
+	totalEvents.Add(sys.Eng.Processed() - start)
+	if !ok {
 		panic("experiments: workload did not complete (event cap)")
 	}
 }

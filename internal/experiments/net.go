@@ -24,8 +24,7 @@ func Fig6Nuttcp(s Scale) *Result {
 		drive(rig.Testbed.System, func() bool { return got }, 30_000_000)
 		return out
 	}
-	linux := run(core.KindLinux)
-	kite := run(core.KindKite)
+	linux, kite := bothKinds(s, run)
 	res.AddPair("throughput", linux.AchievedGbps, kite.AchievedGbps, "Gbps")
 	res.AddPair("loss", linux.LossPct, kite.LossPct, "%")
 	res.Notes = append(res.Notes,
@@ -70,8 +69,8 @@ func Fig7Latency(s Scale) *Result {
 	}
 	var lp, ln, lm, kp, kn, km metrics.Series
 	for rep := 0; rep < s.Reps; rep++ {
-		l := run(core.KindLinux, rep)
-		k := run(core.KindKite, rep)
+		rep := rep
+		l, k := bothKinds(s, func(kind core.DriverKind) trio { return run(kind, rep) })
 		lp.Add(l.ping)
 		ln.Add(l.netperf)
 		lm.Add(l.memtier)
@@ -113,8 +112,8 @@ func Fig8Apache(s Scale) *Result {
 		return out
 	}
 	for _, size := range sizes {
-		l := run(core.KindLinux, size, 0)
-		k := run(core.KindKite, size, 0)
+		size := size
+		l, k := bothKinds(s, func(kind core.DriverKind) workload.ABResult { return run(kind, size, 0) })
 		res.Pairs = append(res.Pairs, Pair{
 			Metric: fmt.Sprintf("tput@%s", sizeName(size)),
 			Linux:  l.ThroughputMBps, Kite: k.ThroughputMBps, Unit: "MB/s",
@@ -126,8 +125,10 @@ func Fig8Apache(s Scale) *Result {
 	// Fig 8b detail at 512 KB with RSD reps.
 	var lt, kt metrics.Series
 	for rep := 0; rep < s.Reps; rep++ {
-		lt.Add(run(core.KindLinux, 512<<10, rep).ThroughputMBps)
-		kt.Add(run(core.KindKite, 512<<10, rep).ThroughputMBps)
+		rep := rep
+		l, k := bothKinds(s, func(kind core.DriverKind) workload.ABResult { return run(kind, 512<<10, rep) })
+		lt.Add(l.ThroughputMBps)
+		kt.Add(k.ThroughputMBps)
 	}
 	res.Notes = append(res.Notes,
 		fmt.Sprintf("fig 8b @512KB: linux %.1f MB/s kite %.1f MB/s (paper: kite marginally faster)",
@@ -170,10 +171,9 @@ func Fig9Redis(s Scale) *Result {
 		return out
 	}
 	for _, th := range threads {
-		ls := run(core.KindLinux, th, "SET")
-		ks := run(core.KindKite, th, "SET")
-		lg := run(core.KindLinux, th, "GET")
-		kg := run(core.KindKite, th, "GET")
+		th := th
+		ls, ks := bothKinds(s, func(kind core.DriverKind) workload.RedisBenchResult { return run(kind, th, "SET") })
+		lg, kg := bothKinds(s, func(kind core.DriverKind) workload.RedisBenchResult { return run(kind, th, "GET") })
 		res.Pairs = append(res.Pairs,
 			Pair{Metric: fmt.Sprintf("SET@%d", th), Linux: ls.OpsPerSec, Kite: ks.OpsPerSec, Unit: "ops/s"},
 			Pair{Metric: fmt.Sprintf("GET@%d", th), Linux: lg.OpsPerSec, Kite: kg.OpsPerSec, Unit: "ops/s"})
@@ -211,8 +211,8 @@ func Fig10MySQL(s Scale) *Result {
 		return out
 	}
 	for _, th := range threads {
-		l := run(core.KindLinux, th, 0)
-		k := run(core.KindKite, th, 0)
+		th := th
+		l, k := bothKinds(s, func(kind core.DriverKind) workload.OLTPResult { return run(kind, th, 0) })
 		res.Pairs = append(res.Pairs,
 			Pair{Metric: fmt.Sprintf("qps@%d", th), Linux: l.QPS, Kite: k.QPS, Unit: "q/s"},
 			Pair{Metric: fmt.Sprintf("cpu@%d", th), Linux: 100 * l.GuestCPUUtil, Kite: 100 * k.GuestCPUUtil, Unit: "%"})
@@ -223,8 +223,10 @@ func Fig10MySQL(s Scale) *Result {
 	// RSD reps at 20 threads (Table 4's sysbench row).
 	var lq, kq metrics.Series
 	for rep := 0; rep < s.Reps; rep++ {
-		lq.Add(run(core.KindLinux, 20, rep).QPS)
-		kq.Add(run(core.KindKite, 20, rep).QPS)
+		rep := rep
+		l, k := bothKinds(s, func(kind core.DriverKind) workload.OLTPResult { return run(kind, 20, rep) })
+		lq.Add(l.QPS)
+		kq.Add(k.QPS)
 	}
 	res.Notes = append(res.Notes,
 		"paper: throughput rises with threads then saturates; curves overlap; CPU similar",
@@ -255,8 +257,7 @@ func DHCPLatency(s Scale) *Result {
 	}
 	// The paper's comparison is rumprun-vs-Linux hosting of the daemon; we
 	// compare the daemon VM behind Kite and Linux network domains.
-	linux := run(core.KindLinux)
-	kite := run(core.KindKite)
+	linux, kite := bothKinds(s, run)
 	res.AddPair("discover-offer", linux.AvgDiscoverOfer.Millis(), kite.AvgDiscoverOfer.Millis(), "ms")
 	res.AddPair("request-ack", linux.AvgRequestAck.Millis(), kite.AvgRequestAck.Millis(), "ms")
 	res.Notes = append(res.Notes, "paper: ~0.78 ms D-O, ~0.7 ms R-A, rumprun ≈ Linux")

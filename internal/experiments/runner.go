@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"kite/internal/core"
+)
+
+// This file is the parallel experiment runner. Every experiment builds its
+// own simulated testbed (engines, hypervisor, xenstore, registries are all
+// per-System — nothing in the simulation is package-level), so independent
+// experiments, and the Linux/Kite rig pair inside each, are embarrassingly
+// parallel: each leg is single-threaded and bit-for-bit deterministic on
+// its own goroutine, and a bounded worker pool only decides how many legs
+// run at once, never what any leg computes.
+
+// Spec names one runnable experiment of the evaluation suite.
+type Spec struct {
+	ID    string
+	Title string
+	Run   func(Scale) *Result
+}
+
+// Registry returns every experiment of the paper's evaluation (§5) in
+// presentation order.
+func Registry() []Spec {
+	return []Spec{
+		{"FIG1A", "driver CVEs per year", func(Scale) *Result { return Fig1aDriverCVEs() }},
+		{"FIG1B", "ROP gadget totals", func(Scale) *Result { return Fig1bFig5ROP() }},
+		{"FIG4", "footprint (syscalls, image)", func(Scale) *Result { return Fig4Footprint() }},
+		{"FIG4C", "boot time", func(Scale) *Result { return Fig4cBootTime() }},
+		{"TAB3", "CVE mitigation matrix", func(Scale) *Result { return Table3() }},
+		{"FIG6", "nuttcp UDP throughput", Fig6Nuttcp},
+		{"FIG7", "network latency", Fig7Latency},
+		{"FIG8", "Apache throughput", Fig8Apache},
+		{"FIG9", "Redis throughput", Fig9Redis},
+		{"FIG10", "MySQL OLTP (network)", Fig10MySQL},
+		{"FIG11", "dd sequential", Fig11DD},
+		{"FIG12", "sysbench fileio", Fig12FileIO},
+		{"FIG13", "MySQL OLTP (storage)", Fig13MySQLStorage},
+		{"FIG14", "filebench fileserver", Fig14Fileserver},
+		{"FIG15", "filebench MongoDB", Fig15Mongo},
+		{"FIG16", "filebench webserver", Fig16Webserver},
+		{"DHCP", "DHCP daemon VM latency", DHCPLatency},
+	}
+}
+
+// Lookup resolves a comma-separated, case-insensitive ID filter against
+// the registry, preserving registry order. Unknown IDs are an error naming
+// the valid set — a silent empty run hides typos.
+func Lookup(only string) ([]Spec, error) {
+	all := Registry()
+	want := make(map[string]bool)
+	for _, id := range strings.Split(strings.ToUpper(only), ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			want[id] = true
+		}
+	}
+	var specs []Spec
+	for _, sp := range all {
+		if want[sp.ID] {
+			specs = append(specs, sp)
+			delete(want, sp.ID)
+		}
+	}
+	if len(want) > 0 {
+		unknown := make([]string, 0, len(want))
+		for id := range want {
+			unknown = append(unknown, id)
+		}
+		sort.Strings(unknown)
+		valid := make([]string, len(all))
+		for i, sp := range all {
+			valid[i] = sp.ID
+		}
+		return nil, fmt.Errorf("unknown experiment ID(s) %s (valid: %s)",
+			strings.Join(unknown, ","), strings.Join(valid, ","))
+	}
+	return specs, nil
+}
+
+// Pool bounds how many experiment legs (whole experiments or one side of a
+// Linux/Kite pair) run concurrently.
+type Pool struct {
+	tokens chan struct{}
+}
+
+// NewPool returns a pool admitting up to workers concurrent legs (min 1).
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Pool{tokens: make(chan struct{}, workers)}
+}
+
+// tryGo runs fn on a spare worker if one is free right now, returning a
+// channel that closes when fn finishes. It never blocks: when the pool is
+// saturated the caller simply runs the work inline, which is what makes
+// nested use (pair inside experiment) deadlock-free.
+func (p *Pool) tryGo(fn func()) (<-chan struct{}, bool) {
+	select {
+	case p.tokens <- struct{}{}:
+	default:
+		return nil, false
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer func() { <-p.tokens }()
+		fn()
+	}()
+	return done, true
+}
+
+// RunAll executes the specs across a pool of workers goroutines and
+// returns results in spec order. The scale handed to each experiment
+// carries the pool, so the Linux/Kite pair inside an experiment also
+// spreads over spare workers. workers <= 1 degenerates to a sequential
+// run; any worker count produces byte-identical results because every leg
+// owns its whole simulation.
+func RunAll(specs []Spec, s Scale, workers int) []*Result {
+	pool := NewPool(workers)
+	s.pool = pool
+	results := make([]*Result, len(specs))
+	var wg sync.WaitGroup
+	for i, sp := range specs {
+		i, sp := i, sp
+		// Blocking acquire: at most `workers` experiments in flight.
+		pool.tokens <- struct{}{}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-pool.tokens }()
+			results[i] = sp.Run(s)
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// totalEvents counts simulation events retired by drive() across all
+// experiments. It is telemetry only — an atomic counter shared between
+// runner goroutines never feeds back into any simulation, so it cannot
+// perturb determinism — and powers kitebench's events/sec summary line.
+var totalEvents atomic.Uint64
+
+// EventsProcessed returns the simulation events retired by workloads so
+// far in this process (rig handshakes excluded).
+func EventsProcessed() uint64 { return totalEvents.Load() }
+
+// bothKinds evaluates fn for the Linux baseline and the Kite domain,
+// concurrently when the scale's pool has a spare worker, and returns both
+// results. Each invocation of fn builds and drives a private rig, so the
+// two sides share nothing.
+func bothKinds[T any](s Scale, fn func(kind core.DriverKind) T) (linux, kite T) {
+	if s.pool != nil {
+		if done, ok := s.pool.tryGo(func() { linux = fn(core.KindLinux) }); ok {
+			kite = fn(core.KindKite)
+			<-done
+			return linux, kite
+		}
+	}
+	return fn(core.KindLinux), fn(core.KindKite)
+}

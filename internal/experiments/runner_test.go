@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// render flattens a result into the exact bytes kitebench would print, so
+// determinism tests compare observable output, not struct internals.
+func render(r *Result) string {
+	var b strings.Builder
+	b.WriteString(r.Table.String())
+	for _, n := range r.Notes {
+		b.WriteString(n)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestSameExperimentConcurrentAndSequential runs one workload experiment
+// twice at the same time on separate goroutines and once more sequentially,
+// asserting all three produce byte-identical tables. Run under -race this
+// also proves the rigs share no mutable state.
+func TestSameExperimentConcurrentAndSequential(t *testing.T) {
+	s := Quick()
+	var a, b *Result
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); a = Fig7Latency(s) }()
+	go func() { defer wg.Done(); b = Fig7Latency(s) }()
+	wg.Wait()
+	seq := Fig7Latency(s)
+
+	if got, want := render(a), render(seq); got != want {
+		t.Errorf("concurrent run A differs from sequential:\n--- A ---\n%s--- seq ---\n%s", got, want)
+	}
+	if got, want := render(b), render(seq); got != want {
+		t.Errorf("concurrent run B differs from sequential:\n--- B ---\n%s--- seq ---\n%s", got, want)
+	}
+}
+
+// TestRunAllParallelMatchesSequential runs a slice of the suite with one
+// worker and with four, asserting byte-identical tables in both orders.
+// This is the determinism-under-parallelism contract -parallel relies on.
+func TestRunAllParallelMatchesSequential(t *testing.T) {
+	specs, err := Lookup("FIG6,FIG7,FIG11,FIG4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Quick()
+	seq := RunAll(specs, s, 1)
+	par := RunAll(specs, s, 4)
+	if len(seq) != len(par) {
+		t.Fatalf("result count: sequential %d, parallel %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if got, want := render(par[i]), render(seq[i]); got != want {
+			t.Errorf("%s: parallel output differs from sequential:\n--- parallel ---\n%s--- sequential ---\n%s",
+				specs[i].ID, got, want)
+		}
+	}
+}
+
+// TestRunAllPreservesOrder checks results come back in spec order even
+// when later experiments finish first.
+func TestRunAllPreservesOrder(t *testing.T) {
+	specs, err := Lookup("FIG4C,FIG1A,TAB3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := RunAll(specs, Quick(), 3)
+	for i, sp := range specs {
+		if res[i] == nil || res[i].ID != sp.ID {
+			t.Errorf("slot %d: want %s, got %+v", i, sp.ID, res[i])
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	specs, err := Lookup("fig11, FIG6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Registry order, not filter order.
+	if len(specs) != 2 || specs[0].ID != "FIG6" || specs[1].ID != "FIG11" {
+		t.Fatalf("got %+v", specs)
+	}
+
+	if _, err := Lookup("FIG6,NOPE,ALSO_BAD"); err == nil {
+		t.Fatal("want error for unknown IDs")
+	} else {
+		msg := err.Error()
+		for _, want := range []string{"ALSO_BAD", "NOPE", "FIG6"} {
+			if !strings.Contains(msg, want) {
+				t.Errorf("error %q missing %q", msg, want)
+			}
+		}
+	}
+}
+
+// TestEventsProcessedCounts asserts the telemetry counter advances when an
+// experiment drives a workload.
+func TestEventsProcessedCounts(t *testing.T) {
+	before := EventsProcessed()
+	Fig11DD(Quick())
+	if after := EventsProcessed(); after <= before {
+		t.Errorf("EventsProcessed did not advance: before=%d after=%d", before, after)
+	}
+}

@@ -27,10 +27,13 @@ func Fig11DD(s Scale) *Result {
 		drive(rig.Testbed.System, func() bool { return done == 2 }, 60_000_000)
 		return w, r
 	}
-	lw, lr := run(core.KindLinux)
-	kw, kr := run(core.KindKite)
-	res.AddPair("write", lw.MBps, kw.MBps, "MB/s")
-	res.AddPair("read", lr.MBps, kr.MBps, "MB/s")
+	type wr struct{ w, r workload.DDResult }
+	l, k := bothKinds(s, func(kind core.DriverKind) wr {
+		w, r := run(kind)
+		return wr{w, r}
+	})
+	res.AddPair("write", l.w.MBps, k.w.MBps, "MB/s")
+	res.AddPair("read", l.r.MBps, k.r.MBps, "MB/s")
 	res.Notes = append(res.Notes, "paper: ~1000-1200 MB/s, parity between domains")
 	return res
 }
@@ -58,8 +61,8 @@ func Fig12FileIO(s Scale) *Result {
 	}
 	// 12a: thread sweep at 256 KB.
 	for _, th := range []int{1, 5, 20, 60, 100} {
-		l := run(core.KindLinux, th, 256<<10)
-		k := run(core.KindKite, th, 256<<10)
+		th := th
+		l, k := bothKinds(s, func(kind core.DriverKind) workload.FileIOResult { return run(kind, th, 256<<10) })
 		res.Pairs = append(res.Pairs, Pair{Metric: fmt.Sprintf("thr@%d", th),
 			Linux: l.MBps, Kite: k.MBps, Unit: "MB/s"})
 		res.Table.AddRow(fmt.Sprintf("threads=%d bs=256K", th),
@@ -68,8 +71,8 @@ func Fig12FileIO(s Scale) *Result {
 	}
 	// 12b: block-size sweep at 20 threads.
 	for _, bs := range []int{16 << 10, 128 << 10, 1 << 20, 8 << 20} {
-		l := run(core.KindLinux, 20, bs)
-		k := run(core.KindKite, 20, bs)
+		bs := bs
+		l, k := bothKinds(s, func(kind core.DriverKind) workload.FileIOResult { return run(kind, 20, bs) })
 		res.Pairs = append(res.Pairs, Pair{Metric: fmt.Sprintf("bs@%s", sizeName(bs)),
 			Linux: l.MBps, Kite: k.MBps, Unit: "MB/s"})
 		res.Table.AddRow(fmt.Sprintf("threads=20 bs=%s", sizeName(bs)),
@@ -105,8 +108,8 @@ func Fig13MySQLStorage(s Scale) *Result {
 		return out
 	}
 	for _, th := range []int{1, 5, 20, 60, 100} {
-		l := run(core.KindLinux, th)
-		k := run(core.KindKite, th)
+		th := th
+		l, k := bothKinds(s, func(kind core.DriverKind) workload.OLTPResult { return run(kind, th) })
 		res.Pairs = append(res.Pairs, Pair{Metric: fmt.Sprintf("qps@%d", th),
 			Linux: l.QPS, Kite: k.QPS, Unit: "q/s"})
 		res.Table.AddRow(fmt.Sprintf("%d", th),
@@ -138,8 +141,8 @@ func Fig14Fileserver(s Scale) *Result {
 		return out
 	}
 	for _, io := range []int{16 << 10, 64 << 10, 256 << 10, 1 << 20, 8 << 20} {
-		l := run(core.KindLinux, io)
-		k := run(core.KindKite, io)
+		io := io
+		l, k := bothKinds(s, func(kind core.DriverKind) workload.FilebenchResult { return run(kind, io) })
 		res.Pairs = append(res.Pairs, Pair{Metric: fmt.Sprintf("io@%s", sizeName(io)),
 			Linux: l.MBps, Kite: k.MBps, Unit: "MB/s"})
 		res.Table.AddRow(sizeName(io),
@@ -167,8 +170,7 @@ func Fig15Mongo(s Scale) *Result {
 		drive(rig.Testbed.System, func() bool { return got }, 120_000_000)
 		return out
 	}
-	l := run(core.KindLinux)
-	k := run(core.KindKite)
+	l, k := bothKinds(s, run)
 	res.AddPair("throughput", l.MBps*8, k.MBps*8, "Mbps")
 	res.AddPair("cpu", l.CPUPerOp.Micros(), k.CPUPerOp.Micros(), "us/op")
 	res.AddPair("latency", l.AvgLatency.Millis(), k.AvgLatency.Millis(), "ms")
@@ -195,8 +197,7 @@ func Fig16Webserver(s Scale) *Result {
 		drive(rig.Testbed.System, func() bool { return got }, 120_000_000)
 		return out
 	}
-	l := run(core.KindLinux)
-	k := run(core.KindKite)
+	l, k := bothKinds(s, run)
 	res.AddPair("throughput", l.MBps*8, k.MBps*8, "Mbps")
 	res.AddPair("cpu", l.CPUPerOp.Micros(), k.CPUPerOp.Micros(), "us/op")
 	res.AddPair("latency", l.AvgLatency.Millis(), k.AvgLatency.Millis(), "ms")

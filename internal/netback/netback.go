@@ -82,12 +82,24 @@ type VIF struct {
 	pusher    *sim.Task
 	softStart *sim.Task
 
-	rxQueue [][]byte
+	rxQueue sim.FIFO[[]byte]
 	scratch []*mem.Page
+
+	// txPending holds bridge-bound frames whose hypervisor copy has been
+	// issued; txDone flushes them when the copy matures. One coalesced
+	// event covers a whole pusher burst instead of one event per frame.
+	txPending sim.FIFO[timedFrame]
+	txDone    *sim.Batch
 
 	dead  bool
 	down  bool // administratively down (ifconfig vifX.Y down)
 	stats Stats
+}
+
+// timedFrame is a frame due for bridge input at a virtual time.
+type timedFrame struct {
+	at    sim.Time
+	frame []byte
 }
 
 // NewVIF creates a connected netback instance. The caller (the backend
@@ -129,6 +141,7 @@ func NewVIF(eng *sim.Engine, dom *xen.Domain, frontDom xen.DomID, devid int,
 	cpu := dom.CPUs.CPU(int(frontDom) % dom.CPUs.Len())
 	v.pusher = sim.NewTask(eng, cpu, v.name+"/pusher", costs.WakeLatency, v.drainTx)
 	v.softStart = sim.NewTask(eng, cpu, v.name+"/soft_start", costs.WakeLatency, v.drainRx)
+	v.txDone = sim.NewBatch(eng, v.flushTx)
 	return v, nil
 }
 
@@ -161,7 +174,8 @@ func (v *VIF) Shutdown() {
 	}
 	v.dead = true
 	_ = v.dom.Close(v.port)
-	v.rxQueue = nil
+	v.rxQueue.Clear()
+	v.txPending.Clear()
 }
 
 // onEvent is the frontend notification handler. Per the paper's design it
@@ -180,7 +194,7 @@ func (v *VIF) onEvent() {
 	if v.ch.Tx.RequestAvailable() {
 		v.pusher.Wake()
 	}
-	if len(v.rxQueue) > 0 && v.ch.Rx.RequestAvailable() {
+	if v.rxQueue.Len() > 0 && v.ch.Rx.RequestAvailable() {
 		v.softStart.Wake()
 	}
 }
@@ -227,14 +241,33 @@ func (v *VIF) drainTx() {
 				frame := v.scratch[i%len(v.scratch)].CopyFrom(0, req.Len)
 				v.stats.TxFrames++
 				v.stats.TxBytes += uint64(req.Len)
-				vv := v
-				v.eng.Schedule(done, func() { vv.br.Input(vv, frame) })
+				v.txPending.Push(timedFrame{at: done, frame: frame})
 			}
 			v.ch.Tx.PushResponse(netif.TxResponse{ID: req.ID, Status: status})
+		}
+		// One coalesced wake delivers the whole burst to the bridge when
+		// the batched copy and per-frame processing complete.
+		if v.txPending.Len() > 0 {
+			v.txDone.Arm(done)
 		}
 		if v.ch.Tx.PushResponsesAndCheckNotify() {
 			v.dom.Notify(v.port)
 		}
+	}
+}
+
+// flushTx hands every matured guest frame to the bridge in FIFO order and
+// re-arms for the next burst still in flight.
+func (v *VIF) flushTx() {
+	if v.dead {
+		return
+	}
+	now := v.eng.Now()
+	for v.txPending.Len() > 0 && v.txPending.Peek().at <= now {
+		v.br.Input(v, v.txPending.Pop().frame)
+	}
+	if p := v.txPending.Peek(); p != nil {
+		v.txDone.Arm(p.at)
 	}
 }
 
@@ -244,11 +277,11 @@ func (v *VIF) Deliver(frame []byte) {
 	if v.dead || v.down {
 		return
 	}
-	if len(v.rxQueue) >= v.costs.RxQueueFrames {
+	if v.rxQueue.Len() >= v.costs.RxQueueFrames {
 		v.stats.RxQueueDrops++
 		return
 	}
-	v.rxQueue = append(v.rxQueue, frame)
+	v.rxQueue.Push(frame)
 	if v.costs.InHandler {
 		v.drainRx()
 		return
@@ -264,17 +297,16 @@ func (v *VIF) drainRx() {
 	}
 	hv := v.dom.Hypervisor()
 	notify := false
-	for len(v.rxQueue) > 0 {
+	for v.rxQueue.Len() > 0 {
 		var batch [][]byte
 		var reqs []netif.RxRequest
-		for len(v.rxQueue) > 0 {
+		for v.rxQueue.Len() > 0 {
 			req, ok := v.ch.Rx.TakeRequest()
 			if !ok {
 				break
 			}
 			reqs = append(reqs, req)
-			batch = append(batch, v.rxQueue[0])
-			v.rxQueue = v.rxQueue[1:]
+			batch = append(batch, v.rxQueue.Pop())
 		}
 		if len(reqs) == 0 {
 			// No posted buffers. Re-arm the request event threshold before

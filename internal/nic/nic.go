@@ -55,6 +55,19 @@ type NIC struct {
 	txBusyUntil sim.Time
 	recv        func(frame []byte)
 	stats       Stats
+
+	// inbound holds frames serialized onto the wire toward this NIC, each
+	// stamped with its arrival time (transmit end + propagation). Arrival
+	// times are monotonic per link, so a FIFO plus one armed event replaces
+	// a closure-carrying engine event per frame.
+	inbound sim.FIFO[wireFrame]
+	arrive  *sim.Batch
+}
+
+// wireFrame is a frame in flight toward a NIC.
+type wireFrame struct {
+	at    sim.Time
+	frame []byte
 }
 
 type link struct {
@@ -63,7 +76,9 @@ type link struct {
 
 // New creates a NIC with the given name, MAC, and PCI BDF.
 func New(eng *sim.Engine, name string, mac netpkt.MAC, bdf string) *NIC {
-	return &NIC{eng: eng, name: name, mac: mac, bdf: bdf}
+	n := &NIC{eng: eng, name: name, mac: mac, bdf: bdf}
+	n.arrive = sim.NewBatch(eng, n.deliverArrived)
+	return n
 }
 
 // Name returns the NIC name.
@@ -128,15 +143,26 @@ func (n *NIC) Send(frame []byte) bool {
 	n.stats.TxFrames++
 	n.stats.TxBytes += uint64(len(frame))
 
-	peer := n.peer
 	cp := make([]byte, len(frame))
 	copy(cp, frame)
-	n.eng.Schedule(done+n.cfg.PropDelay, func() {
-		peer.stats.RxFrames++
-		peer.stats.RxBytes += uint64(len(cp))
-		if peer.recv != nil {
-			peer.recv(cp)
-		}
-	})
+	n.peer.inbound.Push(wireFrame{at: done + n.cfg.PropDelay, frame: cp})
+	n.peer.arrive.Arm(done + n.cfg.PropDelay)
 	return true
+}
+
+// deliverArrived raises every frame whose wire time has passed and re-arms
+// for the next one still serializing.
+func (n *NIC) deliverArrived() {
+	now := n.eng.Now()
+	for n.inbound.Len() > 0 && n.inbound.Peek().at <= now {
+		frame := n.inbound.Pop().frame
+		n.stats.RxFrames++
+		n.stats.RxBytes += uint64(len(frame))
+		if n.recv != nil {
+			n.recv(frame)
+		}
+	}
+	if p := n.inbound.Peek(); p != nil {
+		n.arrive.Arm(p.at)
+	}
 }

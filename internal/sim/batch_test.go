@@ -1,0 +1,117 @@
+package sim
+
+import "testing"
+
+func TestFIFOOrderAndGrowth(t *testing.T) {
+	var q FIFO[int]
+	if q.Len() != 0 || q.Peek() != nil {
+		t.Fatal("zero-value FIFO not empty")
+	}
+	for i := 0; i < 100; i++ {
+		q.Push(i)
+	}
+	// Interleave pops and pushes so head wraps around the ring.
+	for i := 0; i < 40; i++ {
+		if got := q.Pop(); got != i {
+			t.Fatalf("Pop = %d, want %d", got, i)
+		}
+	}
+	for i := 100; i < 150; i++ {
+		q.Push(i)
+	}
+	for i := 40; i < 150; i++ {
+		if p := q.Peek(); p == nil || *p != i {
+			t.Fatalf("Peek = %v, want %d", p, i)
+		}
+		if got := q.Pop(); got != i {
+			t.Fatalf("Pop = %d, want %d", got, i)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("FIFO not drained: len=%d", q.Len())
+	}
+}
+
+func TestFIFOPopEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Pop on empty FIFO did not panic")
+		}
+	}()
+	var q FIFO[int]
+	q.Pop()
+}
+
+func TestBatchCoalescesArms(t *testing.T) {
+	e := NewEngine()
+	runs := 0
+	b := NewBatch(e, func() { runs++ })
+	b.Arm(10)
+	b.Arm(10)
+	b.Arm(50) // covered by the pending flush at 10
+	if !b.Armed() {
+		t.Fatal("batch not armed")
+	}
+	e.Run()
+	if runs != 1 {
+		t.Fatalf("flush ran %d times, want 1 (arms must coalesce)", runs)
+	}
+	if e.Now() != 10 {
+		t.Fatalf("flush fired at %v, want 10", e.Now())
+	}
+}
+
+func TestBatchEarlierArmSupersedes(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	b := NewBatch(e, func() { fired = append(fired, e.Now()) })
+	b.Arm(100)
+	b.Arm(10) // earlier deadline must win
+	e.Run()
+	if len(fired) != 1 || fired[0] != 10 {
+		t.Fatalf("flush times = %v, want [10]", fired)
+	}
+}
+
+func TestBatchFlushCanRearm(t *testing.T) {
+	e := NewEngine()
+	var due FIFO[Time]
+	due.Push(10)
+	due.Push(20)
+	due.Push(20)
+	due.Push(35)
+	var fired []Time
+	var b *Batch
+	b = NewBatch(e, func() {
+		fired = append(fired, e.Now())
+		for due.Len() > 0 && *due.Peek() <= e.Now() {
+			due.Pop()
+		}
+		if p := due.Peek(); p != nil {
+			b.Arm(*p)
+		}
+	})
+	b.Arm(*due.Peek())
+	e.Run()
+	want := []Time{10, 20, 35}
+	if len(fired) != len(want) {
+		t.Fatalf("flush times = %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("flush times = %v, want %v", fired, want)
+		}
+	}
+}
+
+func TestBatchArmInPastClampsToNow(t *testing.T) {
+	e := NewEngine()
+	e.RunUntil(100)
+	runs := 0
+	b := NewBatch(e, func() { runs++ })
+	b.Arm(5) // in the past: must clamp, not panic
+	e.Run()
+	if runs != 1 || e.Now() != 100 {
+		t.Fatalf("runs=%d now=%v, want 1 at t=100", runs, e.Now())
+	}
+}

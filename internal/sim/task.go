@@ -12,6 +12,7 @@ type Task struct {
 	cpu  *CPU
 	name string
 	body func()
+	runF func() // cached t.run method value; scheduling it never allocates
 
 	wakeLatency Time // handler-to-thread dispatch latency (scheduler cost)
 
@@ -29,7 +30,9 @@ func NewTask(eng *Engine, cpu *CPU, name string, wakeLatency Time, body func()) 
 	if body == nil {
 		panic("sim: task needs a body")
 	}
-	return &Task{eng: eng, cpu: cpu, name: name, body: body, wakeLatency: wakeLatency}
+	t := &Task{eng: eng, cpu: cpu, name: name, body: body, wakeLatency: wakeLatency}
+	t.runF = t.run
+	return t
 }
 
 // Name returns the task's name.
@@ -66,7 +69,7 @@ func (t *Task) Wake() {
 	if done > at {
 		at = done
 	}
-	t.eng.Schedule(at, t.run)
+	t.eng.Schedule(at, t.runF)
 }
 
 // dispatchCost is the CPU work of one thread wakeup — roughly constant
@@ -84,6 +87,6 @@ func (t *Task) run() {
 		// re-run costs only a loop iteration, not a scheduler dispatch.
 		t.rewake = false
 		t.scheduled = true
-		t.cpu.Exec(dispatchCost, t.run)
+		t.cpu.Exec(dispatchCost, t.runF)
 	}
 }

@@ -36,6 +36,9 @@ type channel struct {
 	// pending models the per-channel pending bit: upcalls coalesce while
 	// one is already in flight, exactly like Xen's level-triggered events.
 	pending bool
+	// deliverF is the cached upcall closure; raise schedules it without
+	// allocating on every event.
+	deliverF func()
 
 	sends     uint64
 	delivered uint64
@@ -120,17 +123,22 @@ func (c *channel) raise() {
 	if c.dom.CPUs.RecentlyActive(eng.Now(), warmWindow) {
 		lat /= 16 // vCPU running or in a shallow idle state: cheap upcall
 	}
-	at := cpu.FreeAt() + lat
-	eng.Schedule(at, func() {
-		c.pending = false
-		if c.dom.dead || c.state != chanConnected {
-			return
-		}
-		c.delivered++
-		if c.handler != nil {
-			c.handler()
-		}
-	})
+	if c.deliverF == nil {
+		c.deliverF = c.deliver
+	}
+	eng.Schedule(cpu.FreeAt()+lat, c.deliverF)
+}
+
+// deliver is the upcall body: clear the pending bit and run the handler.
+func (c *channel) deliver() {
+	c.pending = false
+	if c.dom.dead || c.state != chanConnected {
+		return
+	}
+	c.delivered++
+	if c.handler != nil {
+		c.handler()
+	}
 }
 
 // Close shuts a local port; the peer transitions to closed too.
