@@ -1,11 +1,13 @@
 GO ?= go
 
-.PHONY: verify build test race vet bench
+.PHONY: verify build test race vet zeroalloc bench
 
-# verify is the tree-must-be-green gate: vet, build everything, then the
+# verify is the tree-must-be-green gate: vet, build everything, the
+# zero-allocation forward-path assertion (which the race detector's
+# instrumentation would distort, so it runs in a normal build), then the
 # full test suite under the race detector (which also exercises the
 # parallel experiment runner's determinism tests).
-verify: vet build race
+verify: vet build zeroalloc race
 
 vet:
 	$(GO) vet ./...
@@ -19,5 +21,12 @@ test:
 race:
 	$(GO) test -race ./...
 
+zeroalloc:
+	$(GO) test -count=1 -run TestForwardPathZeroAlloc ./internal/core
+
+# bench snapshots the forward-path pipeline benchmark into BENCH_net.json
+# (simulated frames per wall second, ns and allocs per forwarded frame).
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -run '^$$' -bench BenchmarkForwardPath -benchmem -count=1 ./internal/core \
+		| $(GO) run ./cmd/benchjson > BENCH_net.json
+	cat BENCH_net.json

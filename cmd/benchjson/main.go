@@ -1,0 +1,72 @@
+// Command benchjson converts `go test -bench` output on stdin into a small
+// JSON document on stdout, so `make bench` can snapshot benchmark numbers
+// (BENCH_net.json) that tooling and PR descriptions can diff.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// result is one parsed benchmark line.
+type result struct {
+	Name         string  `json:"name"`
+	Iterations   int64   `json:"iterations"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	FramesPerSec float64 `json:"frames_per_sec,omitempty"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+}
+
+func main() {
+	var results []result
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		r := result{Name: strings.SplitN(fields[0], "-", 2)[0]}
+		r.Iterations, _ = strconv.ParseInt(fields[1], 10, 64)
+		// Remaining fields come in "<value> <unit>" pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				r.NsPerOp = v
+			case "frames/sec":
+				r.FramesPerSec = v
+			case "B/op":
+				r.BytesPerOp = int64(v)
+			case "allocs/op":
+				r.AllocsPerOp = int64(v)
+			}
+		}
+		results = append(results, r)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}

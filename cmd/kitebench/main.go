@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"kite/internal/experiments"
+	"kite/internal/metrics"
 )
 
 func main() {
@@ -57,6 +58,12 @@ func main() {
 	}
 
 	events := experiments.EventsProcessed()
+	// Counter totals are order-independent (atomic adds commute), so this
+	// line is byte-identical for any -parallel. Gets and recycles differ by
+	// the buffers still held when each simulation stops mid-flight.
+	fmt.Printf("kitebench: framepool %d gets / %d recycles, persistent-rx %d hits / %d misses\n",
+		metrics.FramePoolGets.Load(), metrics.FramePoolRecycles.Load(),
+		metrics.NetRxPersistHits.Load(), metrics.NetRxPersistMisses.Load())
 	fmt.Printf("kitebench: %d experiments, %d simulation events in %.2fs wall (%.2fM events/sec)\n",
 		len(results), events, elapsed.Seconds(),
 		float64(events)/elapsed.Seconds()/1e6)

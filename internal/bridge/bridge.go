@@ -9,6 +9,7 @@ package bridge
 import (
 	"fmt"
 
+	"kite/internal/framepool"
 	"kite/internal/netpkt"
 	"kite/internal/sim"
 )
@@ -17,8 +18,9 @@ import (
 // or a netback VIF.
 type Port interface {
 	PortName() string
-	// Deliver hands an egress frame to the port. The port owns the slice.
-	Deliver(frame []byte)
+	// Deliver hands an egress frame to the port. The port receives one
+	// buffer reference and must Release it (directly or by passing it on).
+	Deliver(frame *framepool.Buf)
 }
 
 // Stats counts bridge activity.
@@ -42,15 +44,33 @@ type Bridge struct {
 	ports []Port
 	fdb   map[netpkt.MAC]Port
 	stats Stats
+
+	// outq holds forwarded frames until their CPU charge completes; one
+	// armed Batch event per burst instead of one closure per frame. lastOut
+	// is the watermark that keeps the FIFO time-ordered even though
+	// CPUPool.Charge completion times are not globally monotonic.
+	outq    sim.FIFO[delivery]
+	deliver *sim.Batch
+	lastOut sim.Time
+}
+
+// delivery is a forwarded frame waiting for its charge to complete. The
+// FIFO holds one buffer reference per entry.
+type delivery struct {
+	at    sim.Time
+	to    Port
+	frame *framepool.Buf
 }
 
 // New creates a bridge named name whose forwarding work is charged to cpus.
 func New(eng *sim.Engine, cpus *sim.CPUPool, name string) *Bridge {
-	return &Bridge{
+	b := &Bridge{
 		eng: eng, cpus: cpus, name: name,
 		PerFrameCost: 300 * sim.Nanosecond,
 		fdb:          make(map[netpkt.MAC]Port),
 	}
+	b.deliver = sim.NewBatch(eng, b.flushDeliveries)
+	return b
 }
 
 // Name returns the bridge name (xenbr0 in the artifact's configs).
@@ -92,10 +112,12 @@ func (b *Bridge) RemovePort(p Port) {
 func (b *Bridge) Lookup(mac netpkt.MAC) Port { return b.fdb[mac] }
 
 // FrameDevice is any frame-level device (a physical NIC, or a stack-less
-// interface) that can be attached to the bridge.
+// interface) that can be attached to the bridge. Send consumes one buffer
+// reference on every path; SetRecv's callback receives one reference per
+// frame that the callee owns.
 type FrameDevice interface {
-	Send(frame []byte) bool
-	SetRecv(fn func(frame []byte))
+	Send(frame *framepool.Buf) bool
+	SetRecv(fn func(frame *framepool.Buf))
 }
 
 type devicePort struct {
@@ -103,30 +125,35 @@ type devicePort struct {
 	dev  FrameDevice
 }
 
-func (p *devicePort) PortName() string     { return p.name }
-func (p *devicePort) Deliver(frame []byte) { p.dev.Send(frame) }
+func (p *devicePort) PortName() string              { return p.name }
+func (p *devicePort) Deliver(frame *framepool.Buf) { p.dev.Send(frame) }
 
 // AttachDevice wires a frame device into the bridge as a port: egress
 // frames go to dev.Send and received frames enter the bridge. This is how
 // the network application connects the physical IF to xenbr0.
 func (b *Bridge) AttachDevice(name string, dev FrameDevice) Port {
 	p := &devicePort{name: name, dev: dev}
-	dev.SetRecv(func(f []byte) { b.Input(p, f) })
+	dev.SetRecv(func(f *framepool.Buf) { b.Input(p, f) })
 	b.AddPort(p)
 	return p
 }
 
 // Input processes one frame arriving from a port: learn, then forward or
-// flood. Forwarding cost is charged to the driver domain's CPUs and
-// delivery happens at charge completion.
-func (b *Bridge) Input(from Port, frame []byte) {
-	if len(frame) < netpkt.EthHeaderLen {
+// flood. The bridge consumes the caller's buffer reference: dropped frames
+// are released immediately; forwarded frames carry the reference to the
+// egress port (flooding Retains one extra reference per additional port).
+// Forwarding cost is charged to the driver domain's CPUs and delivery
+// happens at charge completion.
+func (b *Bridge) Input(from Port, frame *framepool.Buf) {
+	pkt := frame.Bytes()
+	if len(pkt) < netpkt.EthHeaderLen {
 		b.stats.Dropped++
+		frame.Release()
 		return
 	}
 	var dst, src netpkt.MAC
-	copy(dst[:], frame[0:6])
-	copy(src[:], frame[6:12])
+	copy(dst[:], pkt[0:6])
+	copy(src[:], pkt[6:12])
 
 	if src != netpkt.Broadcast {
 		if old := b.fdb[src]; old != from {
@@ -140,10 +167,11 @@ func (b *Bridge) Input(from Port, frame []byte) {
 		if out := b.fdb[dst]; out != nil {
 			if out == from {
 				b.stats.Dropped++ // destination is behind the source port
+				frame.Release()
 				return
 			}
 			b.stats.Forwarded++
-			b.eng.Schedule(done, func() { out.Deliver(frame) })
+			b.enqueue(done, out, frame)
 			return
 		}
 	}
@@ -153,14 +181,41 @@ func (b *Bridge) Input(from Port, frame []byte) {
 		if p == from {
 			continue
 		}
-		p := p
-		cp := frame
+		if sent {
+			frame.Retain() // one extra reference per additional flood target
+		}
 		sent = true
-		b.eng.Schedule(done, func() { p.Deliver(cp) })
+		b.enqueue(done, p, frame)
 	}
 	if sent {
 		b.stats.Flooded++
 	} else {
 		b.stats.Dropped++
+		frame.Release()
+	}
+}
+
+// enqueue queues one delivery for charge-completion time at. The watermark
+// clamp keeps the FIFO ordered (charge completions across different CPUs
+// are not monotonic) and preserves per-bridge frame ordering.
+func (b *Bridge) enqueue(at sim.Time, to Port, frame *framepool.Buf) {
+	if at < b.lastOut {
+		at = b.lastOut
+	}
+	b.lastOut = at
+	b.outq.Push(delivery{at: at, to: to, frame: frame})
+	b.deliver.Arm(at)
+}
+
+// flushDeliveries hands every matured frame to its egress port and re-arms
+// for the next pending one.
+func (b *Bridge) flushDeliveries() {
+	now := b.eng.Now()
+	for b.outq.Len() > 0 && b.outq.Peek().at <= now {
+		d := b.outq.Pop()
+		d.to.Deliver(d.frame)
+	}
+	if p := b.outq.Peek(); p != nil {
+		b.deliver.Arm(p.at)
 	}
 }

@@ -3,21 +3,27 @@ package bridge
 import (
 	"testing"
 
+	"kite/internal/framepool"
 	"kite/internal/netpkt"
 	"kite/internal/sim"
 )
+
+var testPool = framepool.New()
 
 type fakePort struct {
 	name string
 	got  [][]byte
 }
 
-func (p *fakePort) PortName() string     { return p.name }
-func (p *fakePort) Deliver(frame []byte) { p.got = append(p.got, frame) }
+func (p *fakePort) PortName() string { return p.name }
+func (p *fakePort) Deliver(frame *framepool.Buf) {
+	p.got = append(p.got, append([]byte(nil), frame.Bytes()...))
+	frame.Release()
+}
 
-func frame(dst, src netpkt.MAC, body string) []byte {
+func frame(dst, src netpkt.MAC, body string) *framepool.Buf {
 	f := netpkt.Frame{Dst: dst, Src: src, EtherType: netpkt.EtherTypeIPv4, Payload: []byte(body)}
-	return f.Marshal()
+	return testPool.From(f.Marshal())
 }
 
 var (
@@ -142,7 +148,7 @@ func TestDoubleAddPanics(t *testing.T) {
 
 func TestRuntFrameDropped(t *testing.T) {
 	eng, b, p1, _, _ := newBridge()
-	b.Input(p1, []byte{1, 2, 3})
+	b.Input(p1, testPool.From([]byte{1, 2, 3}))
 	eng.Run()
 	if b.Stats().Dropped != 1 {
 		t.Fatal("runt frame not dropped")

@@ -28,6 +28,7 @@ import (
 	"kite/internal/blkif"
 	"kite/internal/bridge"
 	"kite/internal/bufpool"
+	"kite/internal/framepool"
 	"kite/internal/fsim"
 	"kite/internal/guestos"
 	"kite/internal/nat"
@@ -74,6 +75,11 @@ type System struct {
 	BlkReg *blkif.Registry
 	Dom0   *xen.Domain
 
+	// Pool is the system-wide frame buffer pool every network component
+	// draws from; Pool.Outstanding() == 0 at quiesce proves no component
+	// leaked a frame reference.
+	Pool *framepool.Pool
+
 	seed        uint64
 	nextVbdBase int64
 }
@@ -91,7 +97,7 @@ func NewSystem(seed uint64) *System {
 	return &System{
 		Eng: eng, HV: hv, Store: store, Bus: xenbus.New(store),
 		NetReg: netif.NewRegistry(), BlkReg: blkif.NewRegistry(),
-		Dom0: dom0, seed: seed, nextVbdBase: 2048,
+		Dom0: dom0, Pool: framepool.New(), seed: seed, nextVbdBase: 2048,
 	}
 }
 
@@ -209,11 +215,11 @@ func (s *System) CreateNetworkDomain(cfg NetworkDomainConfig) (*NetworkDomain, e
 		nd.Bridge.PerFrameCost = brCost
 		if cfg.NAT {
 			nd.router = newNATRouter(s.Eng, dom, nd.Bridge, cfg.NIC,
-				cfg.NIC.MAC(), cfg.GatewayIP, brCost)
+				cfg.NIC.MAC(), cfg.GatewayIP, brCost, s.Pool)
 		} else {
 			nd.Bridge.AttachDevice("if0", cfg.NIC)
 		}
-		nd.Driver = netback.NewDriver(s.Eng, dom, s.Bus, s.NetReg, nd.Bridge, costs)
+		nd.Driver = netback.NewDriver(s.Eng, dom, s.Bus, s.NetReg, nd.Bridge, costs, s.Pool)
 		nd.ready = true
 	}
 	if cfg.Boot {
@@ -362,7 +368,7 @@ func (s *System) CreateGuest(cfg GuestConfig) (*Guest, error) {
 		})
 		g.Net = netfront.New(s.Eng, netfront.Config{
 			Dom: dom, Bus: s.Bus, Registry: s.NetReg, DevID: 0,
-			BackDom: cfg.Net.Dom.ID, MAC: mac,
+			BackDom: cfg.Net.Dom.ID, MAC: mac, Pool: s.Pool,
 		})
 		stackCosts := netstack.LinuxGuestCosts()
 		if profile.Family == guestos.FamilyNetBSD {
@@ -371,6 +377,7 @@ func (s *System) CreateGuest(cfg GuestConfig) (*Guest, error) {
 		g.Stack = netstack.New(s.Eng, netstack.Config{
 			Name: cfg.Name, CPUs: dom.CPUs, Iface: g.Net,
 			IP: cfg.IP, Costs: stackCosts, Seed: cfg.Seed ^ s.seed,
+			Pool: s.Pool,
 		})
 	}
 
@@ -442,7 +449,7 @@ func (g *Guest) ReattachNet(s *System, nd *NetworkDomain) error {
 	})
 	g.Net = netfront.New(s.Eng, netfront.Config{
 		Dom: g.Dom, Bus: s.Bus, Registry: s.NetReg, DevID: g.netDevID,
-		BackDom: nd.Dom.ID, MAC: mac,
+		BackDom: nd.Dom.ID, MAC: mac, Pool: s.Pool,
 	})
 	g.Stack.SetIface(g.Net)
 	return nil

@@ -2,6 +2,7 @@ package core
 
 import (
 	"kite/internal/bridge"
+	"kite/internal/framepool"
 	"kite/internal/nat"
 	"kite/internal/netpkt"
 	"kite/internal/sim"
@@ -14,10 +15,15 @@ import (
 // every address so guests send all off-segment traffic to it, translates
 // with the nat.Translator, and forwards through the physical interface
 // under the gateway address.
+//
+// Frames stay in their pooled buffers across the router: translation
+// rewrites headers in place and forwarding re-stamps the Ethernet header
+// in the same buffer, so the NAT hop copies no payload bytes.
 type natRouter struct {
-	eng *sim.Engine
-	dom *xen.Domain
-	tr  *nat.Translator
+	eng  *sim.Engine
+	dom  *xen.Domain
+	tr   *nat.Translator
+	pool *framepool.Pool
 
 	mac     netpkt.MAC
 	gateway netpkt.IP
@@ -34,19 +40,40 @@ type natRouter struct {
 	insideNet [3]byte
 	insideSet bool
 
-	// Outside neighbour cache + ARP-pending queue.
+	// Outside neighbour cache + ARP-pending queue (pending entries hold one
+	// buffer reference each).
 	outARP     map[netpkt.IP]netpkt.MAC
-	outPending map[netpkt.IP][][]byte
+	outPending map[netpkt.IP][]*framepool.Buf
+
+	// outq holds routed frames until their per-frame CPU charge completes;
+	// one Batch event per burst. lastOut is the monotonic watermark.
+	outq    sim.FIFO[routed]
+	flush   *sim.Batch
+	lastOut sim.Time
+}
+
+// routed is one charged frame awaiting forwarding; inward frames go to the
+// inside bridge, outward ones to the physical NIC. The FIFO holds one
+// buffer reference per entry.
+type routed struct {
+	at     sim.Time
+	frame  *framepool.Buf
+	inward bool
 }
 
 // newNATRouter builds the router and attaches it to the inside bridge and
 // the physical NIC.
 func newNATRouter(eng *sim.Engine, dom *xen.Domain, inside *bridge.Bridge,
-	nic bridge.FrameDevice, nicMAC netpkt.MAC, gateway netpkt.IP, perFrame sim.Time) *natRouter {
+	nic bridge.FrameDevice, nicMAC netpkt.MAC, gateway netpkt.IP,
+	perFrame sim.Time, pool *framepool.Pool) *natRouter {
 
+	if pool == nil {
+		pool = framepool.New()
+	}
 	r := &natRouter{
 		eng: eng, dom: dom,
 		tr:         nat.New(eng, dom.CPUs, gateway),
+		pool:       pool,
 		mac:        netpkt.MAC{0x00, 0x16, 0x3e, 0xaa, 0x00, 0x01},
 		gateway:    gateway,
 		inside:     inside,
@@ -55,8 +82,9 @@ func newNATRouter(eng *sim.Engine, dom *xen.Domain, inside *bridge.Bridge,
 		perFrame:   perFrame,
 		guestMACs:  make(map[netpkt.IP]netpkt.MAC),
 		outARP:     make(map[netpkt.IP]netpkt.MAC),
-		outPending: make(map[netpkt.IP][][]byte),
+		outPending: make(map[netpkt.IP][]*framepool.Buf),
 	}
+	r.flush = sim.NewBatch(eng, r.flushRouted)
 	inside.AddPort(r)
 	nic.SetRecv(r.fromOutside)
 	return r
@@ -69,34 +97,92 @@ func (r *natRouter) Translator() *nat.Translator { return r.tr }
 func (r *natRouter) PortName() string { return "nat0" }
 
 // Deliver implements bridge.Port: a frame from the inside segment reached
-// the router (guests address it via proxy ARP, or it was flooded).
-func (r *natRouter) Deliver(raw []byte) {
-	f, err := netpkt.ParseFrame(raw)
-	if err != nil {
+// the router (guests address it via proxy ARP, or it was flooded). The
+// router consumes the bridge's buffer reference.
+func (r *natRouter) Deliver(frame *framepool.Buf) {
+	raw := frame.Bytes()
+	f, ok := netpkt.DecodeFrame(raw)
+	if !ok {
+		frame.Release()
 		return
 	}
 	switch f.EtherType {
 	case netpkt.EtherTypeARP:
-		r.insideARP(f)
+		r.insideARP(&f)
+		frame.Release()
 	case netpkt.EtherTypeIPv4:
 		if f.Dst != r.mac && f.Dst != netpkt.Broadcast {
+			frame.Release()
 			return
 		}
-		r.learnGuest(f)
-		out := r.tr.TranslateOutbound(f.Payload)
-		if out == nil {
+		r.learnGuest(&f)
+		frame = r.exclusive(frame)
+		if !r.tr.RewriteOutbound(frame.Bytes()[netpkt.EthHeaderLen:]) {
+			frame.Release()
 			return
 		}
-		r.dom.CPUs.Exec(r.perFrame, func() { r.sendOutside(out) })
+		r.route(frame, false)
+	default:
+		frame.Release()
 	}
+}
+
+// route queues one translated frame for forwarding when its per-frame CPU
+// charge completes.
+func (r *natRouter) route(frame *framepool.Buf, inward bool) {
+	at := r.dom.CPUs.Charge(r.perFrame)
+	if at < r.lastOut {
+		at = r.lastOut
+	}
+	r.lastOut = at
+	r.outq.Push(routed{at: at, frame: frame, inward: inward})
+	r.flush.Arm(at)
+}
+
+// flushRouted forwards every matured frame and re-arms for the rest.
+func (r *natRouter) flushRouted() {
+	now := r.eng.Now()
+	for r.outq.Len() > 0 && r.outq.Peek().at <= now {
+		d := r.outq.Pop()
+		if d.inward {
+			r.inside.Input(r, d.frame)
+		} else {
+			r.sendOutside(d.frame)
+		}
+	}
+	if p := r.outq.Peek(); p != nil {
+		r.flush.Arm(p.at)
+	}
+}
+
+// exclusive returns a frame safe to rewrite in place: a buffer shared with
+// other flood targets is cloned first (copy-on-write; the steady-state
+// unicast path stays zero-copy).
+func (r *natRouter) exclusive(frame *framepool.Buf) *framepool.Buf {
+	if frame.Refs() == 1 {
+		return frame
+	}
+	cp := r.pool.Get()
+	copy(cp.Extend(frame.Len()), frame.Bytes())
+	frame.Release()
+	return cp
+}
+
+// arpFrame builds a pooled Ethernet+ARP frame.
+func (r *natRouter) arpFrame(a netpkt.ARP, dst, src netpkt.MAC) *framepool.Buf {
+	b := r.pool.Get()
+	a.MarshalInto(b.Extend(netpkt.ARPLen))
+	f := netpkt.Frame{Dst: dst, Src: src, EtherType: netpkt.EtherTypeARP}
+	f.HeaderInto(b.Prepend(netpkt.EthHeaderLen))
+	return b
 }
 
 // insideARP answers every inside ARP request with the router's MAC (proxy
 // ARP) so guests forward off-segment traffic here, and learns sender
 // addresses for inbound delivery.
 func (r *natRouter) insideARP(f *netpkt.Frame) {
-	a, err := netpkt.ParseARP(f.Payload)
-	if err != nil {
+	a, ok := netpkt.DecodeARP(f.Payload)
+	if !ok {
 		return
 	}
 	r.guestMACs[a.SenderIP] = a.SenderMAC
@@ -116,67 +202,78 @@ func (r *natRouter) insideARP(f *netpkt.Frame) {
 		Op: netpkt.ARPReply, SenderMAC: r.mac, SenderIP: a.TargetIP,
 		TargetMAC: a.SenderMAC, TargetIP: a.SenderIP,
 	}
-	out := netpkt.Frame{Dst: a.SenderMAC, Src: r.mac,
-		EtherType: netpkt.EtherTypeARP, Payload: reply.Marshal()}
-	raw := out.Marshal()
-	r.dom.CPUs.Exec(r.perFrame, func() { r.inside.Input(r, raw) })
+	r.route(r.arpFrame(reply, a.SenderMAC, r.mac), true)
 }
 
 func (r *natRouter) learnGuest(f *netpkt.Frame) {
-	if h, _, err := netpkt.ParseIPv4(f.Payload); err == nil {
+	if h, _, ok := netpkt.DecodeIPv4(f.Payload); ok {
 		r.guestMACs[h.Src] = f.Src
 	}
 }
 
-// sendOutside resolves the next hop on the physical segment and transmits.
-func (r *natRouter) sendOutside(pkt []byte) {
-	h, _, err := netpkt.ParseIPv4(pkt)
-	if err != nil {
+// sendOutside resolves the next hop on the physical segment and transmits,
+// re-stamping the frame's Ethernet header in place. Consumes the buffer
+// reference.
+func (r *natRouter) sendOutside(frame *framepool.Buf) {
+	raw := frame.Bytes()
+	h, _, ok := netpkt.DecodeIPv4(raw[netpkt.EthHeaderLen:])
+	if !ok {
+		frame.Release()
 		return
 	}
 	if mac, ok := r.outARP[h.Dst]; ok {
-		f := netpkt.Frame{Dst: mac, Src: r.nicMAC, EtherType: netpkt.EtherTypeIPv4, Payload: pkt}
-		r.nic.Send(f.Marshal())
+		f := netpkt.Frame{Dst: mac, Src: r.nicMAC, EtherType: netpkt.EtherTypeIPv4}
+		f.HeaderInto(raw[:netpkt.EthHeaderLen])
+		r.nic.Send(frame)
 		return
 	}
-	r.outPending[h.Dst] = append(r.outPending[h.Dst], pkt)
+	r.outPending[h.Dst] = append(r.outPending[h.Dst], frame)
 	req := netpkt.ARP{Op: netpkt.ARPRequest, SenderMAC: r.nicMAC, SenderIP: r.gateway, TargetIP: h.Dst}
-	f := netpkt.Frame{Dst: netpkt.Broadcast, Src: r.nicMAC,
-		EtherType: netpkt.EtherTypeARP, Payload: req.Marshal()}
-	r.nic.Send(f.Marshal())
+	r.nic.Send(r.arpFrame(req, netpkt.Broadcast, r.nicMAC))
 }
 
-// fromOutside handles frames arriving on the physical interface.
-func (r *natRouter) fromOutside(raw []byte) {
-	f, err := netpkt.ParseFrame(raw)
-	if err != nil {
+// fromOutside handles frames arriving on the physical interface, consuming
+// the device's buffer reference.
+func (r *natRouter) fromOutside(frame *framepool.Buf) {
+	raw := frame.Bytes()
+	f, ok := netpkt.DecodeFrame(raw)
+	if !ok {
+		frame.Release()
 		return
 	}
 	switch f.EtherType {
 	case netpkt.EtherTypeARP:
-		r.outsideARP(f)
+		r.outsideARP(&f)
+		frame.Release()
 	case netpkt.EtherTypeIPv4:
 		if f.Dst != r.nicMAC && f.Dst != netpkt.Broadcast {
+			frame.Release()
 			return
 		}
-		in, guest := r.tr.TranslateInbound(f.Payload)
-		if in == nil {
+		frame = r.exclusive(frame)
+		raw = frame.Bytes()
+		guest, ok := r.tr.RewriteInbound(raw[netpkt.EthHeaderLen:])
+		if !ok {
+			frame.Release()
 			return
 		}
 		mac, ok := r.guestMACs[guest]
 		if !ok {
+			frame.Release()
 			return // guest never spoke; nothing to deliver to
 		}
-		out := netpkt.Frame{Dst: mac, Src: r.mac, EtherType: netpkt.EtherTypeIPv4, Payload: in}
-		raw := out.Marshal()
-		r.dom.CPUs.Exec(r.perFrame, func() { r.inside.Input(r, raw) })
+		ef := netpkt.Frame{Dst: mac, Src: r.mac, EtherType: netpkt.EtherTypeIPv4}
+		ef.HeaderInto(raw[:netpkt.EthHeaderLen])
+		r.route(frame, true)
+	default:
+		frame.Release()
 	}
 }
 
 // outsideARP answers requests for the gateway and learns outside peers.
 func (r *natRouter) outsideARP(f *netpkt.Frame) {
-	a, err := netpkt.ParseARP(f.Payload)
-	if err != nil {
+	a, ok := netpkt.DecodeARP(f.Payload)
+	if !ok {
 		return
 	}
 	r.outARP[a.SenderIP] = a.SenderMAC
@@ -192,8 +289,6 @@ func (r *natRouter) outsideARP(f *netpkt.Frame) {
 			Op: netpkt.ARPReply, SenderMAC: r.nicMAC, SenderIP: r.gateway,
 			TargetMAC: a.SenderMAC, TargetIP: a.SenderIP,
 		}
-		out := netpkt.Frame{Dst: a.SenderMAC, Src: r.nicMAC,
-			EtherType: netpkt.EtherTypeARP, Payload: reply.Marshal()}
-		r.nic.Send(out.Marshal())
+		r.nic.Send(r.arpFrame(reply, a.SenderMAC, r.nicMAC))
 	}
 }

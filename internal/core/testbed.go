@@ -35,6 +35,7 @@ func NewTestbed(seed uint64) *Testbed {
 		Name: "client", CPUs: 4, IP: netpkt.IPv4(10, 0, 0, 2),
 		MAC: netpkt.MAC{0x90, 0xe2, 0xba, 0, 0, 0x20}, BDF: "81:00.0",
 		Costs: netstack.LinuxGuestCosts(), Seed: seed ^ 0xc11e,
+		Pool: sys.Pool,
 	})
 	nic.Connect(serverNIC, client.NIC, nic.DefaultLink())
 	dev := nvme.New(sys.Eng, nvme.Default970EvoPlus(), "04:00.0")

@@ -1,0 +1,50 @@
+//go:build !race
+
+// The race detector instruments allocations, so the exact-zero assertions
+// here only hold in normal builds; `go test -race` skips this file.
+
+package core
+
+import (
+	"testing"
+
+	"kite/internal/netstack"
+)
+
+// TestForwardPathZeroAlloc asserts the tentpole property: after warmup
+// (pool population, FIFO/map high-water marks, ARP and grant caches), one
+// forwarded frame allocates nothing on the heap in either direction —
+// guest→netfront→netback→bridge→NIC→client (Tx) and the reverse (Rx).
+func TestForwardPathZeroAlloc(t *testing.T) {
+	rig, err := NewNetworkRig(KindKite, 0xa110c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rig.Client.Stack.BindUDP(9000, func(p netstack.UDPPacket) {})
+	rig.Guest.Stack.BindUDP(9001, func(p netstack.UDPPacket) {})
+	payload := pattern(1400)
+	eng := rig.System.Eng
+
+	tx := func() {
+		rig.Guest.Stack.SendUDP(rig.ClientIP, 9000, 9001, payload)
+		eng.Run()
+	}
+	rx := func() {
+		rig.Client.Stack.SendUDP(rig.GuestIP, 9001, 9000, payload)
+		eng.Run()
+	}
+	for i := 0; i < 300; i++ {
+		tx()
+		rx()
+	}
+
+	if allocs := testing.AllocsPerRun(100, tx); allocs != 0 {
+		t.Errorf("Tx direction: %.1f allocs per forwarded frame, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(100, rx); allocs != 0 {
+		t.Errorf("Rx direction: %.1f allocs per forwarded frame, want 0", allocs)
+	}
+	if n := rig.System.Pool.Outstanding(); n != 0 {
+		t.Fatalf("%d frame buffers leaked", n)
+	}
+}

@@ -1,0 +1,32 @@
+package metrics
+
+import "sync/atomic"
+
+// Counter is a process-wide telemetry counter. Increments are atomic so
+// parallel experiment legs may share one counter: addition commutes, so
+// totals are identical for any interleaving (the same argument that lets
+// the runner's event counter stay deterministic under -parallel). Counters
+// feed operator-facing telemetry only — never experiment results, which
+// must come from per-simulation state.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Process-wide data-path counters, printed in the kitebench summary.
+var (
+	// FramePoolGets counts frame buffers handed out by all framepools.
+	FramePoolGets Counter
+	// FramePoolRecycles counts buffers returned to a framepool free list.
+	FramePoolRecycles Counter
+	// NetRxPersistHits counts netback Rx grants served from a persistent
+	// mapping cache (no map hypercall).
+	NetRxPersistHits Counter
+	// NetRxPersistMisses counts netback Rx grants that had to be mapped.
+	NetRxPersistMisses Counter
+)

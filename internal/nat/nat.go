@@ -13,6 +13,7 @@
 package nat
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"kite/internal/netpkt"
@@ -132,105 +133,137 @@ func (t *Translator) flowFor(proto uint8, guest netpkt.IP, guestPort uint16) *fl
 	return f
 }
 
-// TranslateOutbound rewrites a guest-originated IPv4 packet (raw, starting
-// at the IP header) so it appears to come from the gateway. It returns the
-// rewritten packet or nil if the packet cannot be translated.
-func (t *Translator) TranslateOutbound(pkt []byte) []byte {
+// RewriteOutbound translates a guest-originated IPv4 packet (raw, starting
+// at the IP header) in place so it appears to come from the gateway.
+// Nothing is allocated: L4 ports (or the echo ID) and the IP addresses are
+// rewritten inside pkt and checksums are recomputed. Reports whether the
+// packet translated (false means drop).
+func (t *Translator) RewriteOutbound(pkt []byte) bool {
 	t.cpus.Charge(t.PerPacketCost)
-	h, payload, err := netpkt.ParseIPv4(pkt)
-	if err != nil {
+	h, payload, ok := netpkt.DecodeIPv4(pkt)
+	if !ok {
 		t.stats.Dropped++
-		return nil
+		return false
 	}
 	switch h.Proto {
 	case netpkt.ProtoTCP:
-		th, body, err := netpkt.ParseTCP(payload)
-		if err != nil {
+		if len(payload) < netpkt.TCPHeaderLen {
 			t.stats.Dropped++
-			return nil
+			return false
 		}
-		f := t.flowFor(h.Proto, h.Src, th.SrcPort)
-		th.SrcPort = f.extPort
-		return t.rebuild(h, th.Marshal(body))
+		f := t.flowFor(h.Proto, h.Src, binary.BigEndian.Uint16(payload[0:2]))
+		binary.BigEndian.PutUint16(payload[0:2], f.extPort)
 	case netpkt.ProtoUDP:
-		uh, body, err := netpkt.ParseUDP(payload)
-		if err != nil {
+		if len(payload) < netpkt.UDPHeaderLen {
 			t.stats.Dropped++
-			return nil
+			return false
 		}
-		f := t.flowFor(h.Proto, h.Src, uh.SrcPort)
-		uh.SrcPort = f.extPort
-		return t.rebuild(h, uh.Marshal(body))
+		f := t.flowFor(h.Proto, h.Src, binary.BigEndian.Uint16(payload[0:2]))
+		binary.BigEndian.PutUint16(payload[0:2], f.extPort)
 	case netpkt.ProtoICMP:
-		eh, body, err := netpkt.ParseICMPEcho(payload)
-		if err != nil || eh.Type != netpkt.ICMPEchoRequest {
+		eh, _, ok := netpkt.DecodeICMPEcho(payload)
+		if !ok || eh.Type != netpkt.ICMPEchoRequest {
 			t.stats.Dropped++
-			return nil
+			return false
 		}
 		f := t.flowFor(h.Proto, h.Src, eh.ID)
-		eh.ID = f.extPort
-		return t.rebuild(h, eh.Marshal(body))
+		binary.BigEndian.PutUint16(payload[4:6], f.extPort)
+		reICMPChecksum(payload)
 	default:
 		t.stats.Dropped++
-		return nil
+		return false
 	}
+	rewriteIP(pkt, t.Gateway, h.Dst)
+	t.stats.Outbound++
+	return true
 }
 
-// TranslateInbound rewrites a packet arriving at the gateway back to the
-// owning guest. Returns the rewritten packet and the guest address, or nil
-// if no flow or forward matches (the packet is dropped — NAT's implicit
-// firewall).
-func (t *Translator) TranslateInbound(pkt []byte) ([]byte, netpkt.IP) {
+// RewriteInbound translates a packet arriving at the gateway back to the
+// owning guest, in place. Returns the guest address and whether a flow or
+// forward matched (false means drop — NAT's implicit firewall).
+func (t *Translator) RewriteInbound(pkt []byte) (netpkt.IP, bool) {
 	t.cpus.Charge(t.PerPacketCost)
-	h, payload, err := netpkt.ParseIPv4(pkt)
-	if err != nil || h.Dst != t.Gateway {
+	h, payload, ok := netpkt.DecodeIPv4(pkt)
+	if !ok || h.Dst != t.Gateway {
 		t.stats.Dropped++
-		return nil, netpkt.IP{}
+		return netpkt.IP{}, false
 	}
+	var dst netpkt.IP
 	switch h.Proto {
-	case netpkt.ProtoTCP:
-		th, body, err := netpkt.ParseTCP(payload)
-		if err != nil {
-			t.stats.Dropped++
-			return nil, netpkt.IP{}
+	case netpkt.ProtoTCP, netpkt.ProtoUDP:
+		hdrLen := netpkt.TCPHeaderLen
+		if h.Proto == netpkt.ProtoUDP {
+			hdrLen = netpkt.UDPHeaderLen
 		}
-		dst, port, ok := t.matchInbound(h.Proto, th.DstPort)
+		if len(payload) < hdrLen {
+			t.stats.Dropped++
+			return netpkt.IP{}, false
+		}
+		guest, port, ok := t.matchInbound(h.Proto, binary.BigEndian.Uint16(payload[2:4]))
 		if !ok {
 			t.stats.Dropped++
-			return nil, netpkt.IP{}
+			return netpkt.IP{}, false
 		}
-		th.DstPort = port
-		return t.rebuildTo(h, dst, th.Marshal(body)), dst
-	case netpkt.ProtoUDP:
-		uh, body, err := netpkt.ParseUDP(payload)
-		if err != nil {
-			t.stats.Dropped++
-			return nil, netpkt.IP{}
-		}
-		dst, port, ok := t.matchInbound(h.Proto, uh.DstPort)
-		if !ok {
-			t.stats.Dropped++
-			return nil, netpkt.IP{}
-		}
-		uh.DstPort = port
-		return t.rebuildTo(h, dst, uh.Marshal(body)), dst
+		binary.BigEndian.PutUint16(payload[2:4], port)
+		dst = guest
 	case netpkt.ProtoICMP:
-		eh, body, err := netpkt.ParseICMPEcho(payload)
-		if err != nil || eh.Type != netpkt.ICMPEchoReply {
+		eh, _, ok := netpkt.DecodeICMPEcho(payload)
+		if !ok || eh.Type != netpkt.ICMPEchoReply {
 			t.stats.Dropped++
-			return nil, netpkt.IP{}
+			return netpkt.IP{}, false
 		}
 		f := t.reverse[eh.ID]
 		if f == nil || f.key.proto != netpkt.ProtoICMP {
 			t.stats.Dropped++
-			return nil, netpkt.IP{}
+			return netpkt.IP{}, false
 		}
-		eh.ID = f.key.guestPt
-		return t.rebuildTo(h, f.key.guestIP, eh.Marshal(body)), f.key.guestIP
+		binary.BigEndian.PutUint16(payload[4:6], f.key.guestPt)
+		reICMPChecksum(payload)
+		dst = f.key.guestIP
 	default:
 		t.stats.Dropped++
+		return netpkt.IP{}, false
+	}
+	rewriteIP(pkt, h.Src, dst)
+	t.stats.Inbound++
+	return dst, true
+}
+
+// rewriteIP patches the addresses into an IPv4 header in place, decrements
+// the TTL, and recomputes the header checksum.
+func rewriteIP(pkt []byte, src, dst netpkt.IP) {
+	copy(pkt[12:16], src[:])
+	copy(pkt[16:20], dst[:])
+	pkt[8]-- // TTL
+	pkt[10], pkt[11] = 0, 0
+	binary.BigEndian.PutUint16(pkt[10:12], netpkt.Checksum(pkt[:netpkt.IPHeaderLen]))
+}
+
+// reICMPChecksum recomputes the checksum of an ICMP message in place.
+func reICMPChecksum(msg []byte) {
+	msg[2], msg[3] = 0, 0
+	binary.BigEndian.PutUint16(msg[2:4], netpkt.Checksum(msg))
+}
+
+// TranslateOutbound is the copying form of RewriteOutbound, kept for tests
+// and cold paths: it returns a rewritten copy or nil.
+func (t *Translator) TranslateOutbound(pkt []byte) []byte {
+	cp := append([]byte(nil), pkt...)
+	if !t.RewriteOutbound(cp) {
+		return nil
+	}
+	return cp
+}
+
+// TranslateInbound is the copying form of RewriteInbound: it returns a
+// rewritten copy and the guest address, or nil.
+func (t *Translator) TranslateInbound(pkt []byte) ([]byte, netpkt.IP) {
+	cp := append([]byte(nil), pkt...)
+	dst, ok := t.RewriteInbound(cp)
+	if !ok {
 		return nil, netpkt.IP{}
 	}
+	return cp, dst
 }
 
 // matchInbound resolves an inbound destination port via flows then static
@@ -244,20 +277,6 @@ func (t *Translator) matchInbound(proto uint8, extPort uint16) (netpkt.IP, uint1
 		return fwd.ip, fwd.port, true
 	}
 	return netpkt.IP{}, 0, false
-}
-
-// rebuild re-marshals an outbound packet with the gateway as source.
-func (t *Translator) rebuild(h *netpkt.IPv4Header, payload []byte) []byte {
-	t.stats.Outbound++
-	nh := netpkt.IPv4Header{ID: h.ID, TTL: h.TTL - 1, Proto: h.Proto, Src: t.Gateway, Dst: h.Dst}
-	return nh.Marshal(payload)
-}
-
-// rebuildTo re-marshals an inbound packet with the guest as destination.
-func (t *Translator) rebuildTo(h *netpkt.IPv4Header, dst netpkt.IP, payload []byte) []byte {
-	t.stats.Inbound++
-	nh := netpkt.IPv4Header{ID: h.ID, TTL: h.TTL - 1, Proto: h.Proto, Src: h.Src, Dst: dst}
-	return nh.Marshal(payload)
 }
 
 // Expire drops flows idle for longer than maxIdle (the translator's GC,

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"kite/internal/bridge"
+	"kite/internal/framepool"
 	"kite/internal/netif"
 	"kite/internal/sim"
 	"kite/internal/xen"
@@ -25,6 +26,7 @@ type Driver struct {
 	reg   *netif.Registry
 	br    *bridge.Bridge
 	costs Costs
+	pool  *framepool.Pool
 
 	thread  *sim.Task
 	vifs    map[string]*VIF // by backend path
@@ -38,12 +40,17 @@ type Driver struct {
 }
 
 // NewDriver starts the backend driver in dom, serving frontends through
-// the given bridge.
+// the given bridge. All VIFs draw frame buffers from pool (nil for a
+// private pool).
 func NewDriver(eng *sim.Engine, dom *xen.Domain, bus *xenbus.Bus,
-	reg *netif.Registry, br *bridge.Bridge, costs Costs) *Driver {
+	reg *netif.Registry, br *bridge.Bridge, costs Costs,
+	pool *framepool.Pool) *Driver {
 
+	if pool == nil {
+		pool = framepool.New()
+	}
 	drv := &Driver{
-		eng: eng, dom: dom, bus: bus, reg: reg, br: br, costs: costs,
+		eng: eng, dom: dom, bus: bus, reg: reg, br: br, costs: costs, pool: pool,
 		vifs:    make(map[string]*VIF),
 		watched: make(map[string]bool),
 	}
@@ -126,7 +133,7 @@ func (d *Driver) tryPair(backPath string, frontDom xen.DomID, devid int) {
 		return // ring refs not published yet; a later watch retries
 	}
 	vif, err := NewVIF(d.eng, d.dom, frontDom, devid, ch,
-		xen.Port(port), d.br, d.costs)
+		xen.Port(port), d.br, d.costs, d.pool)
 	if err != nil {
 		_ = d.bus.SwitchState(backPath, xenbus.StateClosed)
 		return

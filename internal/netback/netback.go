@@ -6,13 +6,20 @@
 // via a dedicated *soft_start* thread, so the event handler itself never
 // monopolizes the CPU (§3.2, §4.2). Two cost profiles exist: KiteCosts
 // (rumprun threads) and LinuxCosts (softirq + kthread path).
+//
+// Frames move through pooled buffers end to end: guest Tx frames are
+// grant-copied straight into a framepool.Buf handed to the bridge, and
+// bridge-delivered Rx frames are copied from their Buf into guest-posted
+// pages — through a persistent-grant mapping cache mirroring blkback §3.3,
+// so steady-state Rx skips the per-burst hypercall entirely.
 package netback
 
 import (
 	"fmt"
 
 	"kite/internal/bridge"
-	"kite/internal/mem"
+	"kite/internal/framepool"
+	"kite/internal/metrics"
 	"kite/internal/netif"
 	"kite/internal/sim"
 	"kite/internal/xen"
@@ -21,12 +28,17 @@ import (
 // Costs parameterizes the backend's software path per OS.
 type Costs struct {
 	PerPacketTx sim.Time // guest→world processing per frame (beyond copies)
-	PerPacketRx sim.Time // world→guest processing per frame
+	PerPacketRx sim.Time // world→guest processing per frame (beyond copies)
 	WakeLatency sim.Time // handler→worker-thread dispatch latency
 	// InHandler disables the dedicated threads and processes rings inside
 	// the event handler itself — the design the paper rejects (§3.2); kept
 	// as an ablation knob.
 	InHandler bool
+	// PersistentRx caches grant mappings of the frontend's (recycled) Rx
+	// pages so steady-state guest-bound copies are plain memcpys instead of
+	// grant-copy hypercalls — the §3.3 persistent-grant idea applied to the
+	// network Rx path. Enabled in both profiles (like blkback's cache).
+	PersistentRx bool
 	// RxQueueFrames bounds the guest-bound queue; overflow drops (this is
 	// where UDP overload loss materializes).
 	RxQueueFrames int
@@ -41,6 +53,7 @@ func KiteCosts() Costs {
 		PerPacketTx:   450 * sim.Nanosecond,
 		PerPacketRx:   450 * sim.Nanosecond,
 		WakeLatency:   2 * sim.Microsecond,
+		PersistentRx:  true,
 		RxQueueFrames: 2048,
 	}
 }
@@ -53,6 +66,7 @@ func LinuxCosts() Costs {
 		PerPacketTx:   470 * sim.Nanosecond,
 		PerPacketRx:   470 * sim.Nanosecond,
 		WakeLatency:   9 * sim.Microsecond,
+		PersistentRx:  true,
 		RxQueueFrames: 2048,
 	}
 }
@@ -64,6 +78,10 @@ type Stats struct {
 	RxQueueDrops      uint64
 	RxNoBufDrops      uint64
 	TxErrors          uint64
+	// RxPersistHits/Misses count Rx grant resolutions served from /
+	// added to the persistent mapping cache.
+	RxPersistHits   uint64
+	RxPersistMisses uint64
 }
 
 // VIF is one netback instance: the virtual interface paired with exactly
@@ -74,6 +92,7 @@ type VIF struct {
 	frontDom xen.DomID
 	name     string
 	costs    Costs
+	pool     *framepool.Pool
 
 	ch   *netif.Channel
 	port xen.Port
@@ -82,8 +101,19 @@ type VIF struct {
 	pusher    *sim.Task
 	softStart *sim.Task
 
-	rxQueue sim.FIFO[[]byte]
-	scratch []*mem.Page
+	rxQueue sim.FIFO[*framepool.Buf]
+
+	// pgrants caches mappings of the frontend's Rx grant refs (which the
+	// frontend recycles for the device's lifetime), keyed by ref.
+	pgrants map[xen.GrantRef]*xen.Mapping
+
+	// Reusable batch scratch: request/op/buffer slices grow to the burst
+	// high-water mark and are then reused forever (zero steady-state
+	// allocations per burst).
+	txReqs []netif.TxRequest
+	rxReqs []netif.RxRequest
+	ops    []xen.CopyOp
+	bufs   []*framepool.Buf
 
 	// txPending holds bridge-bound frames whose hypervisor copy has been
 	// issued; txDone flushes them when the copy matures. One coalesced
@@ -96,10 +126,11 @@ type VIF struct {
 	stats Stats
 }
 
-// timedFrame is a frame due for bridge input at a virtual time.
+// timedFrame is a frame due for bridge input at a virtual time; the FIFO
+// holds one buffer reference per entry.
 type timedFrame struct {
 	at    sim.Time
-	frame []byte
+	frame *framepool.Buf
 }
 
 // NewVIF creates a connected netback instance. The caller (the backend
@@ -107,16 +138,22 @@ type timedFrame struct {
 // here the rings are mapped (hypercalls charged) and the event channel is
 // bound.
 func NewVIF(eng *sim.Engine, dom *xen.Domain, frontDom xen.DomID, devid int,
-	ch *netif.Channel, frontPort xen.Port, br *bridge.Bridge, costs Costs) (*VIF, error) {
+	ch *netif.Channel, frontPort xen.Port, br *bridge.Bridge, costs Costs,
+	pool *framepool.Pool) (*VIF, error) {
 
+	if pool == nil {
+		pool = framepool.New()
+	}
 	v := &VIF{
 		eng:      eng,
 		dom:      dom,
 		frontDom: frontDom,
 		name:     fmt.Sprintf("vif%d.%d", frontDom, devid),
 		costs:    costs,
+		pool:     pool,
 		ch:       ch,
 		br:       br,
+		pgrants:  make(map[xen.GrantRef]*xen.Mapping),
 	}
 	// Map the two ring pages (2 map hypercalls, charged to the backend).
 	dom.CPUs.Charge(dom.Hypervisor().Costs.Base + 2*dom.Hypervisor().Costs.GrantMapPage)
@@ -128,12 +165,6 @@ func NewVIF(eng *sim.Engine, dom *xen.Domain, frontDom xen.DomID, devid int,
 	v.port = port
 	if err := dom.SetHandler(port, v.onEvent); err != nil {
 		return nil, err
-	}
-
-	// Scratch pages for hypervisor copies of guest Tx frames.
-	v.scratch, err = dom.Arena.AllocN(netif.RingSize)
-	if err != nil {
-		return nil, fmt.Errorf("netback: %s: %w", v.name, err)
 	}
 
 	// Per-VIF workers spread across the domain's vCPUs (§3.1: multicore
@@ -167,15 +198,30 @@ func (v *VIF) Up() bool { return !v.down }
 // PusherRuns exposes thread activity for the threaded-model ablation.
 func (v *VIF) PusherRuns() (wakes, runs uint64) { return v.pusher.Wakes(), v.pusher.Runs() }
 
-// Shutdown quiesces the instance (backend teardown or domain restart).
+// Shutdown quiesces the instance (backend teardown or domain restart):
+// queued frames are released, persistent Rx mappings are unmapped.
 func (v *VIF) Shutdown() {
 	if v.dead {
 		return
 	}
 	v.dead = true
 	_ = v.dom.Close(v.port)
-	v.rxQueue.Clear()
-	v.txPending.Clear()
+	for v.rxQueue.Len() > 0 {
+		v.rxQueue.Pop().Release()
+	}
+	for v.txPending.Len() > 0 {
+		v.txPending.Pop().frame.Release()
+	}
+	if len(v.pgrants) > 0 {
+		ms := make([]*xen.Mapping, 0, len(v.pgrants))
+		for _, m := range v.pgrants {
+			if m.Live() {
+				ms = append(ms, m)
+			}
+		}
+		_ = v.dom.Hypervisor().UnmapGrantBatch(v.dom, ms)
+		v.pgrants = make(map[xen.GrantRef]*xen.Mapping)
+	}
 }
 
 // onEvent is the frontend notification handler. Per the paper's design it
@@ -199,15 +245,17 @@ func (v *VIF) onEvent() {
 	}
 }
 
-// drainTx is the pusher thread body: move guest frames to the bridge.
+// drainTx is the pusher thread body: move guest frames to the bridge. Each
+// frame is grant-copied once, directly into a pooled buffer that then
+// travels the bridge/NAT/NIC path.
 func (v *VIF) drainTx() {
 	if v.dead || v.down {
 		return
 	}
 	hv := v.dom.Hypervisor()
 	for {
-		// Gather a batch of requests.
-		var reqs []netif.TxRequest
+		// Gather a batch of requests into the reusable scratch.
+		reqs := v.txReqs[:0]
 		for {
 			req, ok := v.ch.Tx.TakeRequest()
 			if !ok {
@@ -215,36 +263,52 @@ func (v *VIF) drainTx() {
 			}
 			reqs = append(reqs, req)
 		}
+		v.txReqs = reqs[:0]
 		if len(reqs) == 0 {
 			if v.ch.Tx.FinalCheckForRequests() {
 				continue
 			}
 			break
 		}
-		// One batched hypervisor copy for the whole run of requests.
-		ops := make([]xen.CopyOp, 0, len(reqs))
-		for i, req := range reqs {
+		// One batched hypervisor copy for the whole run of requests, each
+		// landing in its own pooled buffer. bufs[i] is nil for a request
+		// rejected up front (malformed length).
+		ops := v.ops[:0]
+		bufs := v.bufs[:0]
+		for _, req := range reqs {
+			if req.Len < 0 || req.Len > framepool.MaxFrame {
+				bufs = append(bufs, nil)
+				continue
+			}
+			b := v.pool.Get()
 			ops = append(ops, xen.CopyOp{
 				Src: xen.CopyPtr{Dom: v.frontDom, Ref: req.Ref, Offset: req.Offset},
-				Dst: xen.CopyPtr{Local: v.scratch[i%len(v.scratch)]},
+				Dst: xen.CopyPtr{Data: b.Extend(req.Len)},
 				Len: req.Len,
 			})
+			bufs = append(bufs, b)
 		}
 		err := hv.CopyGrant(v.dom, ops)
 		done := v.dom.CPUs.Charge(sim.Time(len(reqs)) * v.costs.PerPacketTx)
 		for i, req := range reqs {
 			status := int8(netif.StatusOK)
-			if err != nil {
+			b := bufs[i]
+			if b == nil || err != nil {
 				status = netif.StatusError
 				v.stats.TxErrors++
+				if b != nil {
+					b.Release()
+				}
 			} else {
-				frame := v.scratch[i%len(v.scratch)].CopyFrom(0, req.Len)
 				v.stats.TxFrames++
 				v.stats.TxBytes += uint64(req.Len)
-				v.txPending.Push(timedFrame{at: done, frame: frame})
+				v.txPending.Push(timedFrame{at: done, frame: b})
 			}
 			v.ch.Tx.PushResponse(netif.TxResponse{ID: req.ID, Status: status})
 		}
+		v.ops = ops[:0]
+		v.bufs = bufs[:0]
+		clearBufs(bufs)
 		// One coalesced wake delivers the whole burst to the bridge when
 		// the batched copy and per-frame processing complete.
 		if v.txPending.Len() > 0 {
@@ -253,6 +317,14 @@ func (v *VIF) drainTx() {
 		if v.ch.Tx.PushResponsesAndCheckNotify() {
 			v.dom.Notify(v.port)
 		}
+	}
+}
+
+// clearBufs zeroes the recycled scratch slots so the scratch slice does not
+// pin buffers that have already been handed off or released.
+func clearBufs(bufs []*framepool.Buf) {
+	for i := range bufs {
+		bufs[i] = nil
 	}
 }
 
@@ -271,14 +343,16 @@ func (v *VIF) flushTx() {
 	}
 }
 
-// Deliver implements bridge.Port: queue a guest-bound frame and wake the
-// soft_start thread.
-func (v *VIF) Deliver(frame []byte) {
+// Deliver implements bridge.Port: queue a guest-bound frame (consuming the
+// bridge's reference) and wake the soft_start thread.
+func (v *VIF) Deliver(frame *framepool.Buf) {
 	if v.dead || v.down {
+		frame.Release()
 		return
 	}
 	if v.rxQueue.Len() >= v.costs.RxQueueFrames {
 		v.stats.RxQueueDrops++
+		frame.Release()
 		return
 	}
 	v.rxQueue.Push(frame)
@@ -290,7 +364,7 @@ func (v *VIF) Deliver(frame []byte) {
 }
 
 // drainRx is the soft_start thread body: copy queued frames into posted
-// guest Rx buffers.
+// guest Rx buffers, preferring the persistent mapping cache.
 func (v *VIF) drainRx() {
 	if v.dead {
 		return
@@ -298,8 +372,8 @@ func (v *VIF) drainRx() {
 	hv := v.dom.Hypervisor()
 	notify := false
 	for v.rxQueue.Len() > 0 {
-		var batch [][]byte
-		var reqs []netif.RxRequest
+		batch := v.bufs[:0]
+		reqs := v.rxReqs[:0]
 		for v.rxQueue.Len() > 0 {
 			req, ok := v.ch.Rx.TakeRequest()
 			if !ok {
@@ -308,7 +382,9 @@ func (v *VIF) drainRx() {
 			reqs = append(reqs, req)
 			batch = append(batch, v.rxQueue.Pop())
 		}
+		v.rxReqs = reqs[:0]
 		if len(reqs) == 0 {
+			v.bufs = batch[:0]
 			// No posted buffers. Re-arm the request event threshold before
 			// sleeping, or the frontend's next buffer post would suppress
 			// its notification and strand the queued frames forever.
@@ -317,26 +393,41 @@ func (v *VIF) drainRx() {
 			}
 			break
 		}
-		ops := make([]xen.CopyOp, 0, len(reqs))
+		// Copy each frame into its guest page: through the persistent
+		// mapping when cached (plain memcpy), falling back to a batched
+		// grant copy for uncached refs.
+		ops := v.ops[:0]
+		var memcpyBytes int
 		for i, frame := range batch {
+			if m := v.rxMapping(reqs[i].Ref); m != nil {
+				copy(m.Page.Data[:frame.Len()], frame.Bytes())
+				memcpyBytes += frame.Len()
+				continue
+			}
 			ops = append(ops, xen.CopyOp{
-				Src: xen.CopyPtr{Local: v.stage(frame)},
+				Src: xen.CopyPtr{Data: frame.Bytes()},
 				Dst: xen.CopyPtr{Dom: v.frontDom, Ref: reqs[i].Ref},
-				Len: len(frame),
+				Len: frame.Len(),
 			})
 		}
 		err := hv.CopyGrant(v.dom, ops)
-		v.dom.CPUs.Charge(sim.Time(len(reqs)) * v.costs.PerPacketRx)
+		cost := sim.Time(len(reqs)) * v.costs.PerPacketRx
+		cost += sim.Time(memcpyBytes) * hv.Costs.CopyBytePerKB / 1024
+		v.dom.CPUs.Charge(cost)
 		for i, req := range reqs {
 			status := int8(netif.StatusOK)
 			if err != nil {
 				status = netif.StatusError
 			} else {
 				v.stats.RxFrames++
-				v.stats.RxBytes += uint64(len(batch[i]))
+				v.stats.RxBytes += uint64(batch[i].Len())
 			}
-			v.ch.Rx.PushResponse(netif.RxResponse{ID: req.ID, Offset: 0, Len: len(batch[i]), Status: status})
+			v.ch.Rx.PushResponse(netif.RxResponse{ID: req.ID, Offset: 0, Len: batch[i].Len(), Status: status})
+			batch[i].Release()
 		}
+		v.ops = ops[:0]
+		v.bufs = batch[:0]
+		clearBufs(batch)
 		if v.ch.Rx.PushResponsesAndCheckNotify() {
 			notify = true
 		}
@@ -346,13 +437,26 @@ func (v *VIF) drainRx() {
 	}
 }
 
-// stage writes a frame into a scratch page so the hypervisor copy has a
-// page-aligned source (the bridge hands us plain buffers).
-func (v *VIF) stage(frame []byte) *mem.Page {
-	p := v.scratch[0]
-	// Rotate scratch so concurrent ops in one batch do not overwrite each
-	// other before CopyGrant executes.
-	v.scratch = append(v.scratch[1:], p)
-	p.CopyInto(0, frame)
-	return p
+// rxMapping resolves an Rx grant ref through the persistent cache,
+// mirroring blkback's mapRef: a hit costs nothing (the page stays mapped),
+// a miss pays one map hypercall and populates the cache. Returns nil when
+// persistence is disabled or the map fails (caller falls back to a grant
+// copy).
+func (v *VIF) rxMapping(ref xen.GrantRef) *xen.Mapping {
+	if !v.costs.PersistentRx {
+		return nil
+	}
+	if m := v.pgrants[ref]; m != nil && m.Live() {
+		v.stats.RxPersistHits++
+		metrics.NetRxPersistHits.Add(1)
+		return m
+	}
+	m, err := v.dom.Hypervisor().MapGrant(v.dom, v.frontDom, ref)
+	if err != nil {
+		return nil
+	}
+	v.stats.RxPersistMisses++
+	metrics.NetRxPersistMisses.Add(1)
+	v.pgrants[ref] = m
+	return m
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"kite/internal/bridge"
+	"kite/internal/framepool"
 	"kite/internal/netfront"
 	"kite/internal/netif"
 	"kite/internal/netpkt"
@@ -64,7 +65,7 @@ func buildRig(t *testing.T, costs Costs) *rig {
 	br := bridge.New(eng, dd.CPUs, "xenbr0")
 	br.AttachDevice("if0", serverNIC)
 
-	drv := NewDriver(eng, dd, bus, reg, br, costs)
+	drv := NewDriver(eng, dd, bus, reg, br, costs, nil)
 
 	// Toolstack adds the vif; frontend comes up in the guest.
 	mac := netpkt.XenMAC(uint16(guest.ID), 0)
@@ -269,7 +270,8 @@ func TestDriverDomainCrashIsolation(t *testing.T) {
 		t.Fatal("crash of driver domain affected other domains")
 	}
 	// Guest I/O now fails gracefully rather than corrupting state.
-	sent := r.front.Send([]byte("into the void"))
+	pool := framepool.New()
+	sent := r.front.Send(pool.From([]byte("into the void")))
 	_ = sent // Send may still queue into the ring; what matters is no panic
 	r.eng.RunCapped(100000)
 	// xenstore still answers.

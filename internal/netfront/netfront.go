@@ -4,11 +4,18 @@
 // the netif ring protocol to whatever netback serves it (Linux or Kite;
 // the frontend is identical in both cases, which is the paper's point:
 // guests need no modification, §2.2).
+//
+// Frames arrive and leave as pooled buffers. Tx grants are persistent:
+// each ring slot lazily allocates one page and grants it to the backend
+// once, then reuses page and grant for the device's lifetime — the same
+// recycling the Rx path always had, and what lets the backend keep
+// persistent mappings of our pages (§3.3).
 package netfront
 
 import (
 	"fmt"
 
+	"kite/internal/framepool"
 	"kite/internal/mem"
 	"kite/internal/netif"
 	"kite/internal/netpkt"
@@ -28,9 +35,11 @@ type Stats struct {
 	TxErrors           uint64
 }
 
-type txBuf struct {
-	page *mem.Page
-	ref  xen.GrantRef
+// txSlot is a persistently granted Tx page, reused across frames.
+type txSlot struct {
+	page     *mem.Page
+	ref      xen.GrantRef
+	inFlight bool
 }
 
 type rxBuf struct {
@@ -47,6 +56,7 @@ type Device struct {
 	devID   int
 	backDom xen.DomID
 	mac     netpkt.MAC
+	pool    *framepool.Pool
 
 	frontPath string
 	backPath  string
@@ -55,16 +65,17 @@ type Device struct {
 	rxRing *netif.RxRing
 	port   xen.Port
 
-	txBufs map[uint16]txBuf
-	txNext uint16
-	txFree []uint16
+	txSlots map[uint16]*txSlot
+	txNext  uint16
+	txFree  []uint16
 	// txBacklog queues frames while the ring is full (the guest's qdisc);
-	// reapTx drains it as slots free up.
-	txBacklog [][]byte
+	// reapTx drains it as slots free up. Each entry holds one buffer
+	// reference.
+	txBacklog sim.FIFO[*framepool.Buf]
 	rxBufs    [netif.RingSize]rxBuf
 	rxAlive   bool
 
-	recv    func(frame []byte)
+	recv    func(frame *framepool.Buf)
 	onReady func()
 	ready   bool
 
@@ -79,6 +90,8 @@ type Config struct {
 	DevID    int
 	BackDom  xen.DomID
 	MAC      netpkt.MAC
+	// Pool supplies frame buffers for the Rx path (nil for a private pool).
+	Pool *framepool.Pool
 	// OnReady fires when the device reaches Connected on both ends.
 	OnReady func()
 }
@@ -86,6 +99,10 @@ type Config struct {
 // New creates the frontend for an already tool-stack-created vif device
 // and begins negotiation.
 func New(eng *sim.Engine, cfg Config) *Device {
+	pool := cfg.Pool
+	if pool == nil {
+		pool = framepool.New()
+	}
 	d := &Device{
 		eng:       eng,
 		dom:       cfg.Dom,
@@ -94,8 +111,9 @@ func New(eng *sim.Engine, cfg Config) *Device {
 		devID:     cfg.DevID,
 		backDom:   cfg.BackDom,
 		mac:       cfg.MAC,
+		pool:      pool,
 		frontPath: xenbus.FrontendPath(xenbus.DomID(cfg.Dom.ID), "vif", cfg.DevID),
-		txBufs:    make(map[uint16]txBuf),
+		txSlots:   make(map[uint16]*txSlot),
 		onReady:   cfg.OnReady,
 	}
 	d.backPath = xenbus.BackendPath(xenbus.DomID(cfg.BackDom), "vif", xenbus.DomID(cfg.Dom.ID), cfg.DevID)
@@ -106,8 +124,9 @@ func New(eng *sim.Engine, cfg Config) *Device {
 // MAC implements netstack.NetIf.
 func (d *Device) MAC() netpkt.MAC { return d.mac }
 
-// SetRecv implements netstack.NetIf.
-func (d *Device) SetRecv(fn func(frame []byte)) { d.recv = fn }
+// SetRecv implements netstack.NetIf. The callback receives one buffer
+// reference per frame and owns it.
+func (d *Device) SetRecv(fn func(frame *framepool.Buf)) { d.recv = fn }
 
 // Stats returns a snapshot of the counters.
 func (d *Device) Stats() Stats { return d.stats }
@@ -175,62 +194,88 @@ func (d *Device) connect() {
 }
 
 // backendGone quiesces the device when its backend disappears (driver
-// domain crash/restart). In-flight buffers are reclaimed; sends fail until
-// a new backend connects.
+// domain crash/restart). Backlogged frames are released; sends fail until
+// a new backend connects. Persistent Tx grants stay in place — the same
+// slots are reused after a reattach (and EndAccess would fail anyway while
+// the backend still holds mappings).
 func (d *Device) backendGone() {
 	if !d.ready {
 		return
 	}
 	d.ready = false
 	d.rxAlive = false
+	for d.txBacklog.Len() > 0 {
+		d.txBacklog.Pop().Release()
+	}
 }
 
-// Send implements netstack.NetIf: copy the frame into a granted page, push
-// a Tx request, kick the backend.
-func (d *Device) Send(frame []byte) bool {
+// Send implements netstack.NetIf: copy the frame into a persistently
+// granted page, push a Tx request, kick the backend. Send consumes the
+// caller's buffer reference on every path, including failures.
+func (d *Device) Send(frame *framepool.Buf) bool {
 	if !d.ready {
+		frame.Release()
 		return false
 	}
-	if len(frame) > mem.PageSize {
+	if frame.Len() > mem.PageSize {
 		d.stats.TxErrors++
+		frame.Release()
 		return false
 	}
 	if d.txRing.Full() {
-		if len(d.txBacklog) >= txBacklogCap {
+		if d.txBacklog.Len() >= txBacklogCap {
 			d.stats.TxRingFull++
+			frame.Release()
 			return false
 		}
-		cp := make([]byte, len(frame))
-		copy(cp, frame)
-		d.txBacklog = append(d.txBacklog, cp)
+		d.txBacklog.Push(frame)
 		return true
 	}
-	page, err := d.dom.Arena.Alloc()
-	if err != nil {
-		d.stats.TxErrors++
+	if !d.pushTx(frame) {
 		return false
 	}
-	page.CopyInto(0, frame)
-	ref := d.dom.GrantAccess(d.backDom, page, true)
-	id := d.allocTxID()
-	d.txBufs[id] = txBuf{page: page, ref: ref}
-	d.txRing.PushRequest(netif.TxRequest{ID: id, Ref: ref, Offset: 0, Len: len(frame)})
-	d.stats.TxFrames++
-	d.stats.TxBytes += uint64(len(frame))
 	if d.txRing.PushRequestsAndCheckNotify() {
 		d.dom.Notify(d.port)
 	}
 	return true
 }
 
-func (d *Device) allocTxID() uint16 {
+// pushTx copies one frame into a Tx slot and pushes its request, consuming
+// the buffer reference. The caller batches the notify check.
+func (d *Device) pushTx(frame *framepool.Buf) bool {
+	slot, id, ok := d.allocTxSlot()
+	if !ok {
+		d.stats.TxErrors++
+		frame.Release()
+		return false
+	}
+	n := frame.Len()
+	slot.page.CopyInto(0, frame.Bytes())
+	slot.inFlight = true
+	frame.Release()
+	d.txRing.PushRequest(netif.TxRequest{ID: id, Ref: slot.ref, Offset: 0, Len: n})
+	d.stats.TxFrames++
+	d.stats.TxBytes += uint64(n)
+	return true
+}
+
+// allocTxSlot returns a free persistent Tx slot, lazily allocating and
+// granting its page the first time an id is used.
+func (d *Device) allocTxSlot() (*txSlot, uint16, bool) {
 	if n := len(d.txFree); n > 0 {
 		id := d.txFree[n-1]
 		d.txFree = d.txFree[:n-1]
-		return id
+		return d.txSlots[id], id, true
+	}
+	page, err := d.dom.Arena.Alloc()
+	if err != nil {
+		return nil, 0, false
 	}
 	d.txNext++
-	return d.txNext
+	id := d.txNext
+	slot := &txSlot{page: page, ref: d.dom.GrantAccess(d.backDom, page, true)}
+	d.txSlots[id] = slot
+	return slot, id, true
 }
 
 // onEvent is the frontend's interrupt handler: reap Tx completions and
@@ -250,15 +295,13 @@ func (d *Device) reapTx() {
 			}
 			return
 		}
-		buf, ok := d.txBufs[rsp.ID]
-		if !ok {
+		slot := d.txSlots[rsp.ID]
+		if slot == nil || !slot.inFlight {
 			continue // backend answered an unknown id; ignore
 		}
-		delete(d.txBufs, rsp.ID)
+		// The slot's page and grant persist; only the id is recycled.
+		slot.inFlight = false
 		d.txFree = append(d.txFree, rsp.ID)
-		if err := d.dom.EndAccess(buf.ref); err == nil {
-			d.dom.Arena.Free(buf.page)
-		}
 		if rsp.Status != netif.StatusOK {
 			d.stats.TxErrors++
 		}
@@ -276,12 +319,15 @@ func (d *Device) reapRx() {
 			break
 		}
 		buf := d.rxBufs[rsp.ID%netif.RingSize]
-		if rsp.Status == netif.StatusOK && rsp.Len > 0 {
-			frame := buf.page.CopyFrom(rsp.Offset, rsp.Len)
+		if rsp.Status == netif.StatusOK && rsp.Len > 0 &&
+			rsp.Offset >= 0 && rsp.Len <= framepool.MaxFrame &&
+			rsp.Offset+rsp.Len <= mem.PageSize {
 			d.stats.RxFrames++
-			d.stats.RxBytes += uint64(len(frame))
+			d.stats.RxBytes += uint64(rsp.Len)
 			if d.recv != nil {
-				d.recv(frame)
+				b := d.pool.Get()
+				copy(b.Extend(rsp.Len), buf.page.Data[rsp.Offset:rsp.Offset+rsp.Len])
+				d.recv(b)
 			}
 		}
 		// Recycle the same granted page (Linux netfront's page reuse).
@@ -301,22 +347,10 @@ func (d *Device) EventPort() xen.Port { return d.port }
 // drainBacklog pushes queued qdisc frames into freed ring slots.
 func (d *Device) drainBacklog() {
 	pushed := false
-	for len(d.txBacklog) > 0 && !d.txRing.Full() {
-		frame := d.txBacklog[0]
-		d.txBacklog = d.txBacklog[1:]
-		page, err := d.dom.Arena.Alloc()
-		if err != nil {
-			d.stats.TxErrors++
-			continue
+	for d.txBacklog.Len() > 0 && !d.txRing.Full() {
+		if d.pushTx(d.txBacklog.Pop()) {
+			pushed = true
 		}
-		page.CopyInto(0, frame)
-		ref := d.dom.GrantAccess(d.backDom, page, true)
-		id := d.allocTxID()
-		d.txBufs[id] = txBuf{page: page, ref: ref}
-		d.txRing.PushRequest(netif.TxRequest{ID: id, Ref: ref, Offset: 0, Len: len(frame)})
-		d.stats.TxFrames++
-		d.stats.TxBytes += uint64(len(frame))
-		pushed = true
 	}
 	if pushed && d.txRing.PushRequestsAndCheckNotify() {
 		d.dom.Notify(d.port)

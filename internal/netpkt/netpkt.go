@@ -78,26 +78,22 @@ type Frame struct {
 	Payload   []byte
 }
 
-// Marshal serializes the frame.
+// Marshal serializes the frame. Allocating wrapper over HeaderInto; hot
+// paths build frames in pooled buffers instead.
 func (f *Frame) Marshal() []byte {
 	b := make([]byte, EthHeaderLen+len(f.Payload))
-	copy(b[0:6], f.Dst[:])
-	copy(b[6:12], f.Src[:])
-	binary.BigEndian.PutUint16(b[12:14], f.EtherType)
-	copy(b[14:], f.Payload)
+	f.HeaderInto(b)
+	copy(b[EthHeaderLen:], f.Payload)
 	return b
 }
 
 // ParseFrame deserializes an Ethernet frame.
 func ParseFrame(b []byte) (*Frame, error) {
-	if len(b) < EthHeaderLen {
+	f, ok := DecodeFrame(b)
+	if !ok {
 		return nil, fmt.Errorf("netpkt: frame too short (%d bytes)", len(b))
 	}
-	f := &Frame{EtherType: binary.BigEndian.Uint16(b[12:14])}
-	copy(f.Dst[:], b[0:6])
-	copy(f.Src[:], b[6:12])
-	f.Payload = b[14:]
-	return f, nil
+	return &f, nil
 }
 
 // Checksum computes the Internet checksum (RFC 1071) over b.
@@ -115,6 +111,9 @@ func Checksum(b []byte) uint16 {
 	return ^uint16(sum)
 }
 
+// ARPLen is the serialized size of an IPv4-over-Ethernet ARP body.
+const ARPLen = 28
+
 // ARP is an IPv4-over-Ethernet ARP packet.
 type ARP struct {
 	Op                   uint16 // 1 request, 2 reply
@@ -131,28 +130,17 @@ const (
 // Marshal serializes the ARP body (without Ethernet header).
 func (a *ARP) Marshal() []byte {
 	b := make([]byte, 28)
-	binary.BigEndian.PutUint16(b[0:2], 1)      // htype ethernet
-	binary.BigEndian.PutUint16(b[2:4], 0x0800) // ptype ipv4
-	b[4], b[5] = 6, 4
-	binary.BigEndian.PutUint16(b[6:8], a.Op)
-	copy(b[8:14], a.SenderMAC[:])
-	copy(b[14:18], a.SenderIP[:])
-	copy(b[18:24], a.TargetMAC[:])
-	copy(b[24:28], a.TargetIP[:])
+	a.MarshalInto(b)
 	return b
 }
 
 // ParseARP deserializes an ARP body.
 func ParseARP(b []byte) (*ARP, error) {
-	if len(b) < 28 {
+	a, ok := DecodeARP(b)
+	if !ok {
 		return nil, fmt.Errorf("netpkt: arp too short (%d bytes)", len(b))
 	}
-	a := &ARP{Op: binary.BigEndian.Uint16(b[6:8])}
-	copy(a.SenderMAC[:], b[8:14])
-	copy(a.SenderIP[:], b[14:18])
-	copy(a.TargetMAC[:], b[18:24])
-	copy(a.TargetIP[:], b[24:28])
-	return a, nil
+	return &a, nil
 }
 
 // IPv4Header is a parsed option-less IPv4 header.
@@ -172,18 +160,8 @@ const FlagMoreFragments = 1
 // Marshal serializes the header followed by payload, computing checksum
 // and total length.
 func (h *IPv4Header) Marshal(payload []byte) []byte {
-	h.TotalLen = uint16(IPHeaderLen + len(payload))
 	b := make([]byte, IPHeaderLen+len(payload))
-	b[0] = 0x45 // v4, ihl 5
-	binary.BigEndian.PutUint16(b[2:4], h.TotalLen)
-	binary.BigEndian.PutUint16(b[4:6], h.ID)
-	ff := uint16(h.Flags&FlagMoreFragments)<<13 | (h.FragOff & 0x1fff)
-	binary.BigEndian.PutUint16(b[6:8], ff)
-	b[8] = h.TTL
-	b[9] = h.Proto
-	copy(b[12:16], h.Src[:])
-	copy(b[16:20], h.Dst[:])
-	binary.BigEndian.PutUint16(b[10:12], Checksum(b[:IPHeaderLen]))
+	h.HeaderInto(b, len(payload))
 	copy(b[IPHeaderLen:], payload)
 	return b
 }
@@ -191,34 +169,11 @@ func (h *IPv4Header) Marshal(payload []byte) []byte {
 // ParseIPv4 deserializes an IPv4 packet, verifying the header checksum,
 // and returns the header and payload.
 func ParseIPv4(b []byte) (*IPv4Header, []byte, error) {
-	if len(b) < IPHeaderLen {
-		return nil, nil, fmt.Errorf("netpkt: ipv4 too short (%d bytes)", len(b))
+	h, payload, ok := DecodeIPv4(b)
+	if !ok {
+		return nil, nil, fmt.Errorf("netpkt: invalid ipv4 packet (%d bytes)", len(b))
 	}
-	if b[0]>>4 != 4 {
-		return nil, nil, fmt.Errorf("netpkt: not ipv4 (version %d)", b[0]>>4)
-	}
-	ihl := int(b[0]&0xf) * 4
-	if ihl != IPHeaderLen {
-		return nil, nil, fmt.Errorf("netpkt: unsupported ihl %d", ihl)
-	}
-	if Checksum(b[:IPHeaderLen]) != 0 {
-		return nil, nil, fmt.Errorf("netpkt: ipv4 header checksum mismatch")
-	}
-	h := &IPv4Header{
-		TotalLen: binary.BigEndian.Uint16(b[2:4]),
-		ID:       binary.BigEndian.Uint16(b[4:6]),
-		TTL:      b[8],
-		Proto:    b[9],
-	}
-	ff := binary.BigEndian.Uint16(b[6:8])
-	h.Flags = uint8(ff >> 13)
-	h.FragOff = ff & 0x1fff
-	copy(h.Src[:], b[12:16])
-	copy(h.Dst[:], b[16:20])
-	if int(h.TotalLen) > len(b) {
-		return nil, nil, fmt.Errorf("netpkt: ipv4 total length %d exceeds buffer %d", h.TotalLen, len(b))
-	}
-	return h, b[IPHeaderLen:h.TotalLen], nil
+	return &h, payload, nil
 }
 
 // UDPHeader is a parsed UDP header.
@@ -230,29 +185,19 @@ type UDPHeader struct {
 // Marshal serializes header + payload (checksum omitted, as permitted for
 // IPv4 UDP).
 func (u *UDPHeader) Marshal(payload []byte) []byte {
-	u.Length = uint16(UDPHeaderLen + len(payload))
 	b := make([]byte, UDPHeaderLen+len(payload))
-	binary.BigEndian.PutUint16(b[0:2], u.SrcPort)
-	binary.BigEndian.PutUint16(b[2:4], u.DstPort)
-	binary.BigEndian.PutUint16(b[4:6], u.Length)
-	copy(b[8:], payload)
+	u.HeaderInto(b, len(payload))
+	copy(b[UDPHeaderLen:], payload)
 	return b
 }
 
 // ParseUDP deserializes a UDP datagram.
 func ParseUDP(b []byte) (*UDPHeader, []byte, error) {
-	if len(b) < UDPHeaderLen {
-		return nil, nil, fmt.Errorf("netpkt: udp too short (%d bytes)", len(b))
+	u, payload, ok := DecodeUDP(b)
+	if !ok {
+		return nil, nil, fmt.Errorf("netpkt: invalid udp datagram (%d bytes)", len(b))
 	}
-	u := &UDPHeader{
-		SrcPort: binary.BigEndian.Uint16(b[0:2]),
-		DstPort: binary.BigEndian.Uint16(b[2:4]),
-		Length:  binary.BigEndian.Uint16(b[4:6]),
-	}
-	if int(u.Length) > len(b) || u.Length < UDPHeaderLen {
-		return nil, nil, fmt.Errorf("netpkt: udp length %d invalid for %d-byte buffer", u.Length, len(b))
-	}
-	return u, b[UDPHeaderLen:u.Length], nil
+	return &u, payload, nil
 }
 
 // TCP flag bits.
@@ -275,35 +220,18 @@ type TCPHeader struct {
 // Marshal serializes header + payload.
 func (t *TCPHeader) Marshal(payload []byte) []byte {
 	b := make([]byte, TCPHeaderLen+len(payload))
-	binary.BigEndian.PutUint16(b[0:2], t.SrcPort)
-	binary.BigEndian.PutUint16(b[2:4], t.DstPort)
-	binary.BigEndian.PutUint32(b[4:8], t.Seq)
-	binary.BigEndian.PutUint32(b[8:12], t.Ack)
-	b[12] = 5 << 4 // data offset
-	b[13] = t.Flags
-	binary.BigEndian.PutUint16(b[14:16], t.Window)
+	t.HeaderInto(b)
 	copy(b[TCPHeaderLen:], payload)
 	return b
 }
 
 // ParseTCP deserializes a TCP segment.
 func ParseTCP(b []byte) (*TCPHeader, []byte, error) {
-	if len(b) < TCPHeaderLen {
-		return nil, nil, fmt.Errorf("netpkt: tcp too short (%d bytes)", len(b))
+	t, payload, ok := DecodeTCP(b)
+	if !ok {
+		return nil, nil, fmt.Errorf("netpkt: invalid tcp segment (%d bytes)", len(b))
 	}
-	off := int(b[12]>>4) * 4
-	if off < TCPHeaderLen || off > len(b) {
-		return nil, nil, fmt.Errorf("netpkt: tcp data offset %d invalid", off)
-	}
-	t := &TCPHeader{
-		SrcPort: binary.BigEndian.Uint16(b[0:2]),
-		DstPort: binary.BigEndian.Uint16(b[2:4]),
-		Seq:     binary.BigEndian.Uint32(b[4:8]),
-		Ack:     binary.BigEndian.Uint32(b[8:12]),
-		Flags:   b[13],
-		Window:  binary.BigEndian.Uint16(b[14:16]),
-	}
-	return t, b[off:], nil
+	return &t, payload, nil
 }
 
 // ICMP echo types.
@@ -321,26 +249,16 @@ type ICMPEcho struct {
 // Marshal serializes the echo message with a valid checksum.
 func (e *ICMPEcho) Marshal(payload []byte) []byte {
 	b := make([]byte, ICMPHeaderLen+len(payload))
-	b[0] = e.Type
-	binary.BigEndian.PutUint16(b[4:6], e.ID)
-	binary.BigEndian.PutUint16(b[6:8], e.Seq)
-	copy(b[8:], payload)
-	binary.BigEndian.PutUint16(b[2:4], Checksum(b))
+	copy(b[ICMPHeaderLen:], payload)
+	e.MarshalInto(b)
 	return b
 }
 
 // ParseICMPEcho deserializes and checksum-verifies an echo message.
 func ParseICMPEcho(b []byte) (*ICMPEcho, []byte, error) {
-	if len(b) < ICMPHeaderLen {
-		return nil, nil, fmt.Errorf("netpkt: icmp too short (%d bytes)", len(b))
+	e, payload, ok := DecodeICMPEcho(b)
+	if !ok {
+		return nil, nil, fmt.Errorf("netpkt: invalid icmp echo (%d bytes)", len(b))
 	}
-	if Checksum(b) != 0 {
-		return nil, nil, fmt.Errorf("netpkt: icmp checksum mismatch")
-	}
-	e := &ICMPEcho{
-		Type: b[0],
-		ID:   binary.BigEndian.Uint16(b[4:6]),
-		Seq:  binary.BigEndian.Uint16(b[6:8]),
-	}
-	return e, b[8:], nil
+	return &e, payload, nil
 }

@@ -1,6 +1,7 @@
 package netstack
 
 import (
+	"kite/internal/framepool"
 	"kite/internal/netpkt"
 	"kite/internal/nic"
 	"kite/internal/sim"
@@ -25,6 +26,8 @@ type HostConfig struct {
 	BDF   string
 	Costs Costs
 	Seed  uint64
+	// Pool supplies the stack's frame buffers (nil for a private pool).
+	Pool *framepool.Pool
 }
 
 // NewHost builds a host around an (unconnected) NIC; wire it to a peer
@@ -39,6 +42,7 @@ func NewHost(eng *sim.Engine, cfg HostConfig) *Host {
 		IP:    cfg.IP,
 		Costs: cfg.Costs,
 		Seed:  cfg.Seed,
+		Pool:  cfg.Pool,
 	})
 	return &Host{Name: cfg.Name, CPUs: cpus, NIC: n, Stack: st}
 }

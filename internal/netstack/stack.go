@@ -9,11 +9,18 @@
 // the difference between a Linux guest (syscall crossings) and a rumprun
 // unikernel (function calls) enters the experiments through the Costs
 // struct.
+//
+// Frames travel as pooled buffers (framepool.Buf): the stack builds each
+// outgoing frame once — L4 scratch, then IP and Ethernet headers prepended
+// into the buffer's headroom — and hands exactly one reference to the
+// device. Received frames arrive as one reference the stack owns and
+// releases after synchronous protocol processing.
 package netstack
 
 import (
 	"fmt"
 
+	"kite/internal/framepool"
 	"kite/internal/netpkt"
 	"kite/internal/sim"
 )
@@ -23,9 +30,11 @@ import (
 type NetIf interface {
 	MAC() netpkt.MAC
 	// Send queues one Ethernet frame; false means the frame was dropped.
-	Send(frame []byte) bool
-	// SetRecv installs the ingress upcall.
-	SetRecv(fn func(frame []byte))
+	// Send consumes the caller's buffer reference on every path.
+	Send(frame *framepool.Buf) bool
+	// SetRecv installs the ingress upcall. Each delivered frame carries one
+	// reference the callee owns.
+	SetRecv(fn func(frame *framepool.Buf))
 }
 
 // Costs models the OS-dependent software path.
@@ -56,7 +65,9 @@ type Stats struct {
 	ARPReplies           uint64
 }
 
-// UDPPacket is a received datagram handed to a bound handler.
+// UDPPacket is a received datagram handed to a bound handler. Data aliases
+// stack-owned receive storage and is only valid for the duration of the
+// handler call.
 type UDPPacket struct {
 	Src     netpkt.IP
 	SrcPort uint16
@@ -74,11 +85,18 @@ type Stack struct {
 	ip    netpkt.IP
 	costs Costs
 	rng   *sim.Rand
+	pool  *framepool.Pool
 
 	arp        map[netpkt.IP]netpkt.MAC
-	arpPending map[netpkt.IP][][]byte // queued IP packets awaiting resolution
+	arpPending map[netpkt.IP][]*framepool.Buf // queued IP packets (refs held) awaiting resolution
 	reasm      *netpkt.Reassembler
 	ipID       uint16
+
+	// l4buf is scratch for assembling one L4 datagram (header + payload)
+	// before it is copied into per-fragment pooled buffers. sendIP consumes
+	// it synchronously, so a single buffer suffices; it grows to the
+	// largest datagram ever sent and then never allocates again.
+	l4buf []byte
 
 	udpBinds map[uint16]func(UDPPacket)
 	pingWait map[uint16]pingWaiter
@@ -92,23 +110,23 @@ type Stack struct {
 	// connection. Defaults to 64 KiB.
 	TCPWindow int
 
-	// FIFO watermarks: a real NIC queue and a real softirq queue never
-	// reorder frames of one flow, so scheduled completions must be
-	// monotonic per direction even when per-frame costs differ.
-	txLast, rxLast sim.Time
+	// Frames wait in per-direction FIFOs until their CPU charge completes;
+	// one armed Batch per direction replaces a closure-carrying engine
+	// event per frame. The watermarks force completion times monotonic per
+	// direction (a real NIC queue and a real softirq queue never reorder
+	// frames of one flow) even when per-frame costs differ.
+	txq, rxq           sim.FIFO[timedBuf]
+	txFlush, rxFlush   *sim.Batch
+	txLast, rxLast     sim.Time
 
 	stats Stats
 }
 
-// execOrdered charges cost to the CPUs and schedules fn at the completion
-// time, forced monotonic per direction via the watermark.
-func (s *Stack) execOrdered(last *sim.Time, cost sim.Time, fn func()) {
-	done := s.cpus.Charge(cost)
-	if done < *last {
-		done = *last
-	}
-	*last = done
-	s.eng.Schedule(done, fn)
+// timedBuf is a frame waiting for its CPU charge to complete; the FIFO
+// holds one buffer reference per entry.
+type timedBuf struct {
+	at  sim.Time
+	buf *framepool.Buf
 }
 
 type pingWaiter struct {
@@ -124,10 +142,17 @@ type Config struct {
 	IP    netpkt.IP
 	Costs Costs
 	Seed  uint64
+	// Pool is the simulation's frame pool. A private pool is created when
+	// nil (convenient for unit tests).
+	Pool *framepool.Pool
 }
 
 // New creates a stack and attaches it to its interface.
 func New(eng *sim.Engine, cfg Config) *Stack {
+	pool := cfg.Pool
+	if pool == nil {
+		pool = framepool.New()
+	}
 	s := &Stack{
 		Name:       cfg.Name,
 		eng:        eng,
@@ -136,8 +161,9 @@ func New(eng *sim.Engine, cfg Config) *Stack {
 		ip:         cfg.IP,
 		costs:      cfg.Costs,
 		rng:        sim.NewRand(cfg.Seed ^ 0x57ac),
+		pool:       pool,
 		arp:        make(map[netpkt.IP]netpkt.MAC),
-		arpPending: make(map[netpkt.IP][][]byte),
+		arpPending: make(map[netpkt.IP][]*framepool.Buf),
 		reasm:      netpkt.NewReassembler(),
 		udpBinds:   make(map[uint16]func(UDPPacket)),
 		pingWait:   make(map[uint16]pingWaiter),
@@ -146,6 +172,8 @@ func New(eng *sim.Engine, cfg Config) *Stack {
 		nextPort:   33000,
 		TCPWindow:  64 << 10,
 	}
+	s.txFlush = sim.NewBatch(eng, s.flushTx)
+	s.rxFlush = sim.NewBatch(eng, s.flushRx)
 	cfg.Iface.SetRecv(s.rxFrame)
 	return s
 }
@@ -162,6 +190,9 @@ func (s *Stack) CPUs() *sim.CPUPool { return s.cpus }
 // Costs returns the stack's cost model (apps charge Syscall through it).
 func (s *Stack) Costs() Costs { return s.costs }
 
+// Pool returns the stack's frame pool.
+func (s *Stack) Pool() *framepool.Pool { return s.pool }
+
 // Stats returns a snapshot of the counters.
 func (s *Stack) Stats() Stats { return s.stats }
 
@@ -170,12 +201,18 @@ func (s *Stack) SeedARP(ip netpkt.IP, mac netpkt.MAC) { s.arp[ip] = mac }
 
 // SetIface swaps the underlying device (a vif replugged after a driver
 // domain restart). The ARP cache is flushed: the bridge behind the new
-// backend has no state for us.
+// backend has no state for us. Packets queued on unresolved entries are
+// dropped and their buffers released.
 func (s *Stack) SetIface(dev NetIf) {
 	s.ifc = dev
 	dev.SetRecv(s.rxFrame)
 	s.arp = make(map[netpkt.IP]netpkt.MAC)
-	s.arpPending = make(map[netpkt.IP][][]byte)
+	for _, queued := range s.arpPending {
+		for _, b := range queued {
+			b.Release()
+		}
+	}
+	s.arpPending = make(map[netpkt.IP][]*framepool.Buf)
 }
 
 func (s *Stack) dataCost(n int) sim.Time {
@@ -185,18 +222,80 @@ func (s *Stack) dataCost(n int) sim.Time {
 	return s.rng.Jitter(base, 0.04)
 }
 
-// sendIP routes one IP payload: ARP-resolves, fragments, and transmits.
-// Returns the number of frames handed to the device (0 if queued on ARP).
-func (s *Stack) sendIP(proto uint8, dst netpkt.IP, payload []byte) {
-	s.ipID++
-	h := netpkt.IPv4Header{ID: s.ipID, TTL: 64, Proto: proto, Src: s.ip, Dst: dst}
-	pkts := netpkt.FragmentIPv4(h, payload, netpkt.MTU)
-	for _, pkt := range pkts {
-		s.sendIPPacket(dst, pkt)
+// l4 returns the shared L4 scratch buffer with length n. Its contents are
+// consumed synchronously by sendIP, so one buffer serves all senders.
+func (s *Stack) l4(n int) []byte {
+	if cap(s.l4buf) < n {
+		s.l4buf = make([]byte, n)
+	}
+	return s.l4buf[:n]
+}
+
+// queueTx holds frame until the Tx charge completes, then hands its
+// reference to the device.
+func (s *Stack) queueTx(cost sim.Time, frame *framepool.Buf) {
+	at := s.cpus.Charge(cost)
+	if at < s.txLast {
+		at = s.txLast
+	}
+	s.txLast = at
+	s.txq.Push(timedBuf{at: at, buf: frame})
+	s.txFlush.Arm(at)
+}
+
+func (s *Stack) flushTx() {
+	now := s.eng.Now()
+	for s.txq.Len() > 0 && s.txq.Peek().at <= now {
+		s.ifc.Send(s.txq.Pop().buf)
+	}
+	if p := s.txq.Peek(); p != nil {
+		s.txFlush.Arm(p.at)
 	}
 }
 
-func (s *Stack) sendIPPacket(dst netpkt.IP, pkt []byte) {
+// sendIP routes one IP payload: fragments it into pooled frame buffers,
+// ARP-resolves, and transmits. The payload (often the l4 scratch) is copied
+// into the pooled buffers before sendIP returns.
+func (s *Stack) sendIP(proto uint8, dst netpkt.IP, payload []byte) {
+	s.ipID++
+	h := netpkt.IPv4Header{ID: s.ipID, TTL: 64, Proto: proto, Src: s.ip, Dst: dst}
+	if len(payload) <= netpkt.MTU-netpkt.IPHeaderLen {
+		s.sendFragment(&h, dst, payload, 0, false)
+		return
+	}
+	// Fragment offsets are in 8-byte units per RFC 791, so the per-fragment
+	// payload is rounded down to a multiple of 8.
+	maxData := (netpkt.MTU - netpkt.IPHeaderLen) &^ 7
+	for off := 0; off < len(payload); off += maxData {
+		end := off + maxData
+		more := true
+		if end >= len(payload) {
+			end = len(payload)
+			more = false
+		}
+		s.sendFragment(&h, dst, payload[off:end], off, more)
+	}
+}
+
+// sendFragment builds one IP packet in a pooled buffer: payload first, then
+// the IP header prepended into headroom.
+func (s *Stack) sendFragment(h *netpkt.IPv4Header, dst netpkt.IP, chunk []byte, off int, more bool) {
+	if more {
+		h.Flags = netpkt.FlagMoreFragments
+	} else {
+		h.Flags = 0
+	}
+	h.FragOff = uint16(off / 8)
+	b := s.pool.Get()
+	copy(b.Extend(len(chunk)), chunk)
+	h.HeaderInto(b.Prepend(netpkt.IPHeaderLen), len(chunk))
+	s.sendIPBuf(dst, b)
+}
+
+// sendIPBuf resolves the next hop, prepends the Ethernet header, and queues
+// the frame. It consumes the buffer reference: unresolved destinations park
+// it on the ARP pending queue.
+func (s *Stack) sendIPBuf(dst netpkt.IP, pkt *framepool.Buf) {
 	var dmac netpkt.MAC
 	if dst == netpkt.BroadcastIP {
 		dmac = netpkt.Broadcast
@@ -209,31 +308,52 @@ func (s *Stack) sendIPPacket(dst netpkt.IP, pkt []byte) {
 		}
 		dmac = mac
 	}
-	f := netpkt.Frame{Dst: dmac, Src: s.ifc.MAC(), EtherType: netpkt.EtherTypeIPv4, Payload: pkt}
-	raw := f.Marshal()
+	f := netpkt.Frame{Dst: dmac, Src: s.ifc.MAC(), EtherType: netpkt.EtherTypeIPv4}
+	f.HeaderInto(pkt.Prepend(netpkt.EthHeaderLen))
 	s.stats.TxPackets++
-	s.stats.TxBytes += uint64(len(raw))
-	s.execOrdered(&s.txLast, s.dataCost(len(raw)), func() { s.ifc.Send(raw) })
+	s.stats.TxBytes += uint64(pkt.Len())
+	s.queueTx(s.dataCost(pkt.Len()), pkt)
 }
 
 func (s *Stack) sendARPRequest(target netpkt.IP) {
 	s.stats.ARPRequests++
 	a := netpkt.ARP{Op: netpkt.ARPRequest, SenderMAC: s.ifc.MAC(), SenderIP: s.ip, TargetIP: target}
-	f := netpkt.Frame{Dst: netpkt.Broadcast, Src: s.ifc.MAC(), EtherType: netpkt.EtherTypeARP, Payload: a.Marshal()}
-	raw := f.Marshal()
-	s.execOrdered(&s.txLast, s.costs.PerPacket, func() { s.ifc.Send(raw) })
+	b := s.pool.Get()
+	a.MarshalInto(b.Extend(28))
+	f := netpkt.Frame{Dst: netpkt.Broadcast, Src: s.ifc.MAC(), EtherType: netpkt.EtherTypeARP}
+	f.HeaderInto(b.Prepend(netpkt.EthHeaderLen))
+	s.queueTx(s.costs.PerPacket, b)
 }
 
-// rxFrame is the device ingress upcall.
-func (s *Stack) rxFrame(raw []byte) {
+// rxFrame is the device ingress upcall; the stack owns the delivered
+// reference and releases it after protocol processing.
+func (s *Stack) rxFrame(frame *framepool.Buf) {
 	s.stats.RxPackets++
-	s.stats.RxBytes += uint64(len(raw))
-	s.execOrdered(&s.rxLast, s.dataCost(len(raw)), func() { s.handleFrame(raw) })
+	s.stats.RxBytes += uint64(frame.Len())
+	at := s.cpus.Charge(s.dataCost(frame.Len()))
+	if at < s.rxLast {
+		at = s.rxLast
+	}
+	s.rxLast = at
+	s.rxq.Push(timedBuf{at: at, buf: frame})
+	s.rxFlush.Arm(at)
+}
+
+func (s *Stack) flushRx() {
+	now := s.eng.Now()
+	for s.rxq.Len() > 0 && s.rxq.Peek().at <= now {
+		b := s.rxq.Pop().buf
+		s.handleFrame(b.Bytes())
+		b.Release()
+	}
+	if p := s.rxq.Peek(); p != nil {
+		s.rxFlush.Arm(p.at)
+	}
 }
 
 func (s *Stack) handleFrame(raw []byte) {
-	f, err := netpkt.ParseFrame(raw)
-	if err != nil {
+	f, ok := netpkt.DecodeFrame(raw)
+	if !ok {
 		return
 	}
 	if f.Dst != s.ifc.MAC() && f.Dst != netpkt.Broadcast {
@@ -248,8 +368,8 @@ func (s *Stack) handleFrame(raw []byte) {
 }
 
 func (s *Stack) handleARP(body []byte) {
-	a, err := netpkt.ParseARP(body)
-	if err != nil {
+	a, ok := netpkt.DecodeARP(body)
+	if !ok {
 		return
 	}
 	// Opportunistic learning.
@@ -261,9 +381,11 @@ func (s *Stack) handleARP(body []byte) {
 			Op: netpkt.ARPReply, SenderMAC: s.ifc.MAC(), SenderIP: s.ip,
 			TargetMAC: a.SenderMAC, TargetIP: a.SenderIP,
 		}
-		f := netpkt.Frame{Dst: a.SenderMAC, Src: s.ifc.MAC(), EtherType: netpkt.EtherTypeARP, Payload: reply.Marshal()}
-		raw := f.Marshal()
-		s.execOrdered(&s.txLast, s.costs.PerPacket, func() { s.ifc.Send(raw) })
+		b := s.pool.Get()
+		reply.MarshalInto(b.Extend(28))
+		f := netpkt.Frame{Dst: a.SenderMAC, Src: s.ifc.MAC(), EtherType: netpkt.EtherTypeARP}
+		f.HeaderInto(b.Prepend(netpkt.EthHeaderLen))
+		s.queueTx(s.costs.PerPacket, b)
 	}
 }
 
@@ -274,41 +396,44 @@ func (s *Stack) flushARPPending(ip netpkt.IP) {
 	}
 	delete(s.arpPending, ip)
 	for _, pkt := range queued {
-		s.sendIPPacket(ip, pkt)
+		s.sendIPBuf(ip, pkt)
 	}
 }
 
 func (s *Stack) handleIPv4(body []byte) {
-	h, payload, err := netpkt.ParseIPv4(body)
-	if err != nil {
+	h, payload, ok := netpkt.DecodeIPv4(body)
+	if !ok {
 		return
 	}
 	if h.Dst != s.ip && h.Dst != netpkt.BroadcastIP {
 		return
 	}
-	full, done := s.reasm.Push(h, payload)
+	full, done := s.reasm.Push(&h, payload)
 	if !done {
 		return
 	}
 	switch h.Proto {
 	case netpkt.ProtoICMP:
-		s.handleICMP(h, full)
+		s.handleICMP(&h, full)
 	case netpkt.ProtoUDP:
-		s.handleUDP(h, full)
+		s.handleUDP(&h, full)
 	case netpkt.ProtoTCP:
-		s.handleTCP(h, full)
+		s.handleTCP(&h, full)
 	}
 }
 
 func (s *Stack) handleICMP(h *netpkt.IPv4Header, body []byte) {
-	e, payload, err := netpkt.ParseICMPEcho(body)
-	if err != nil {
+	e, payload, ok := netpkt.DecodeICMPEcho(body)
+	if !ok {
 		return
 	}
 	switch e.Type {
 	case netpkt.ICMPEchoRequest:
 		reply := netpkt.ICMPEcho{Type: netpkt.ICMPEchoReply, ID: e.ID, Seq: e.Seq}
-		s.sendIP(netpkt.ProtoICMP, h.Src, reply.Marshal(payload))
+		b := s.l4(netpkt.ICMPHeaderLen + len(payload))
+		copy(b[netpkt.ICMPHeaderLen:], payload)
+		reply.MarshalInto(b)
+		s.sendIP(netpkt.ProtoICMP, h.Src, b)
 	case netpkt.ICMPEchoReply:
 		if w, ok := s.pingWait[e.ID]; ok {
 			delete(s.pingWait, e.ID)
@@ -325,12 +450,15 @@ func (s *Stack) Ping(dst netpkt.IP, payloadSize int, cb func(rtt sim.Time)) {
 	s.pingWait[id] = pingWaiter{sentAt: s.eng.Now(), cb: cb}
 	e := netpkt.ICMPEcho{Type: netpkt.ICMPEchoRequest, ID: id, Seq: 1}
 	s.cpus.Charge(s.costs.Syscall)
-	s.sendIP(netpkt.ProtoICMP, dst, e.Marshal(make([]byte, payloadSize)))
+	b := s.l4(netpkt.ICMPHeaderLen + payloadSize)
+	clear(b[netpkt.ICMPHeaderLen:])
+	e.MarshalInto(b)
+	s.sendIP(netpkt.ProtoICMP, dst, b)
 }
 
 func (s *Stack) handleUDP(h *netpkt.IPv4Header, body []byte) {
-	u, payload, err := netpkt.ParseUDP(body)
-	if err != nil {
+	u, payload, ok := netpkt.DecodeUDP(body)
+	if !ok {
 		return
 	}
 	fn := s.udpBinds[u.DstPort]
@@ -359,7 +487,10 @@ func (s *Stack) UnbindUDP(port uint16) { delete(s.udpBinds, port) }
 func (s *Stack) SendUDP(dst netpkt.IP, dstPort, srcPort uint16, payload []byte) {
 	s.cpus.Charge(s.costs.Syscall)
 	u := netpkt.UDPHeader{SrcPort: srcPort, DstPort: dstPort}
-	s.sendIP(netpkt.ProtoUDP, dst, u.Marshal(payload))
+	b := s.l4(netpkt.UDPHeaderLen + len(payload))
+	u.HeaderInto(b, len(payload))
+	copy(b[netpkt.UDPHeaderLen:], payload)
+	s.sendIP(netpkt.ProtoUDP, dst, b)
 }
 
 // EphemeralPort returns a fresh local port.

@@ -293,7 +293,11 @@ func (c *Conn) sendSegment(flags uint8, seq uint32, payload []byte) {
 		Flags:   flags,
 		Window:  c.advertWindow(),
 	}
-	c.stack.sendIP(netpkt.ProtoTCP, c.key.remote, h.Marshal(payload))
+	s := c.stack
+	b := s.l4(netpkt.TCPHeaderLen + len(payload))
+	h.HeaderInto(b)
+	copy(b[netpkt.TCPHeaderLen:], payload)
+	s.sendIP(netpkt.ProtoTCP, c.key.remote, b)
 }
 
 func (c *Conn) advertWindow() uint16 {
@@ -336,8 +340,8 @@ func (c *Conn) armRTO() {
 }
 
 func (s *Stack) handleTCP(h *netpkt.IPv4Header, body []byte) {
-	t, payload, err := netpkt.ParseTCP(body)
-	if err != nil {
+	t, payload, ok := netpkt.DecodeTCP(body)
+	if !ok {
 		return
 	}
 	key := connKey{remote: h.Src, remotePort: t.SrcPort, localPort: t.DstPort}
@@ -345,15 +349,15 @@ func (s *Stack) handleTCP(h *netpkt.IPv4Header, body []byte) {
 
 	if c == nil {
 		if t.Flags&netpkt.TCPSyn != 0 && t.Flags&netpkt.TCPAck == 0 {
-			s.acceptSyn(key, t)
+			s.acceptSyn(key, &t)
 			return
 		}
 		if t.Flags&netpkt.TCPRst == 0 {
-			s.sendRST(key, t)
+			s.sendRST(key, &t)
 		}
 		return
 	}
-	c.handleSegment(t, payload)
+	c.handleSegment(&t, payload)
 }
 
 func (s *Stack) acceptSyn(key connKey, t *netpkt.TCPHeader) {
@@ -383,7 +387,9 @@ func (s *Stack) sendRST(key connKey, t *netpkt.TCPHeader) {
 		SrcPort: key.localPort, DstPort: key.remotePort,
 		Seq: t.Ack, Ack: t.Seq + 1, Flags: netpkt.TCPRst | netpkt.TCPAck,
 	}
-	s.sendIP(netpkt.ProtoTCP, key.remote, h.Marshal(nil))
+	b := s.l4(netpkt.TCPHeaderLen)
+	h.HeaderInto(b)
+	s.sendIP(netpkt.ProtoTCP, key.remote, b)
 }
 
 func (c *Conn) handleSegment(t *netpkt.TCPHeader, payload []byte) {

@@ -3,6 +3,7 @@ package netstack
 import (
 	"testing"
 
+	"kite/internal/framepool"
 	"kite/internal/netpkt"
 	"kite/internal/nic"
 	"kite/internal/sim"
@@ -83,7 +84,7 @@ func TestRTOBackoffAndReset(t *testing.T) {
 		t.Fatal("handshake failed")
 	}
 	// Black-hole everything from now on.
-	b.NIC.SetRecv(func([]byte) {})
+	b.NIC.SetRecv(func(f *framepool.Buf) { f.Release() })
 	conn.Send([]byte("into the void"))
 	eng.RunFor(300 * sim.Millisecond)
 	if conn.rtoBackoff < 2 {

@@ -9,6 +9,7 @@ package nic
 import (
 	"fmt"
 
+	"kite/internal/framepool"
 	"kite/internal/netpkt"
 	"kite/internal/sim"
 )
@@ -53,7 +54,7 @@ type NIC struct {
 
 	cfg         LinkConfig
 	txBusyUntil sim.Time
-	recv        func(frame []byte)
+	recv        func(frame *framepool.Buf)
 	stats       Stats
 
 	// inbound holds frames serialized onto the wire toward this NIC, each
@@ -64,10 +65,11 @@ type NIC struct {
 	arrive  *sim.Batch
 }
 
-// wireFrame is a frame in flight toward a NIC.
+// wireFrame is a frame in flight toward a NIC. The FIFO holds one buffer
+// reference per queued frame.
 type wireFrame struct {
 	at    sim.Time
-	frame []byte
+	frame *framepool.Buf
 }
 
 type link struct {
@@ -104,9 +106,9 @@ func Connect(a, b *NIC, cfg LinkConfig) {
 	a.cfg, b.cfg = cfg, cfg
 }
 
-// SetRecv installs the ingress upcall. Frames are delivered as raw bytes;
-// the slice is owned by the receiver.
-func (n *NIC) SetRecv(fn func(frame []byte)) { n.recv = fn }
+// SetRecv installs the ingress upcall. Each delivered frame carries one
+// buffer reference that the receiver now owns and must Release.
+func (n *NIC) SetRecv(fn func(frame *framepool.Buf)) { n.recv = fn }
 
 // wireTime returns the serialization delay of one frame.
 func (n *NIC) wireTime(frameLen int) sim.Time {
@@ -123,29 +125,29 @@ func (n *NIC) QueuedBytes() int64 {
 	return int64(backlog) * n.cfg.BitsPerSecond / (8 * int64(sim.Second))
 }
 
-// Send queues one frame for transmission. It reports false (and counts a
-// drop) when the transmit queue is over capacity — tail drop, exactly what
-// happens to a UDP blast above line/processing rate.
-func (n *NIC) Send(frame []byte) bool {
+// Send queues one frame for transmission. It consumes the caller's buffer
+// reference on every path: on success it rides the wire to the peer; on
+// tail drop (queue over capacity — exactly what happens to a UDP blast
+// above line/processing rate) it is released and Send reports false.
+func (n *NIC) Send(frame *framepool.Buf) bool {
 	if n.link == nil {
 		panic(fmt.Sprintf("nic: %s not connected", n.name))
 	}
 	if n.QueuedBytes() > n.cfg.TxQueueBytes {
 		n.stats.TxDrops++
+		frame.Release()
 		return false
 	}
 	start := n.eng.Now()
 	if n.txBusyUntil > start {
 		start = n.txBusyUntil
 	}
-	done := start + n.wireTime(len(frame))
+	done := start + n.wireTime(frame.Len())
 	n.txBusyUntil = done
 	n.stats.TxFrames++
-	n.stats.TxBytes += uint64(len(frame))
+	n.stats.TxBytes += uint64(frame.Len())
 
-	cp := make([]byte, len(frame))
-	copy(cp, frame)
-	n.peer.inbound.Push(wireFrame{at: done + n.cfg.PropDelay, frame: cp})
+	n.peer.inbound.Push(wireFrame{at: done + n.cfg.PropDelay, frame: frame})
 	n.peer.arrive.Arm(done + n.cfg.PropDelay)
 	return true
 }
@@ -157,9 +159,11 @@ func (n *NIC) deliverArrived() {
 	for n.inbound.Len() > 0 && n.inbound.Peek().at <= now {
 		frame := n.inbound.Pop().frame
 		n.stats.RxFrames++
-		n.stats.RxBytes += uint64(len(frame))
+		n.stats.RxBytes += uint64(frame.Len())
 		if n.recv != nil {
 			n.recv(frame)
+		} else {
+			frame.Release()
 		}
 	}
 	if p := n.inbound.Peek(); p != nil {

@@ -4,9 +4,19 @@ import (
 	"bytes"
 	"testing"
 
+	"kite/internal/framepool"
 	"kite/internal/netpkt"
 	"kite/internal/sim"
 )
+
+var testPool = framepool.New()
+
+// buf wraps raw bytes in a pooled frame buffer.
+func buf(b []byte) *framepool.Buf {
+	f := testPool.Get()
+	copy(f.Extend(len(b)), b)
+	return f
+}
 
 func pair(eng *sim.Engine, cfg LinkConfig) (*NIC, *NIC) {
 	a := New(eng, "eth-a", netpkt.MAC{0, 0, 0, 0, 0, 1}, "03:00.0")
@@ -19,9 +29,12 @@ func TestFrameDelivery(t *testing.T) {
 	eng := sim.NewEngine()
 	a, b := pair(eng, DefaultLink())
 	var got []byte
-	b.SetRecv(func(f []byte) { got = f })
+	b.SetRecv(func(f *framepool.Buf) {
+		got = append([]byte(nil), f.Bytes()...)
+		f.Release()
+	})
 	payload := []byte("hello wire")
-	if !a.Send(payload) {
+	if !a.Send(buf(payload)) {
 		t.Fatal("send failed")
 	}
 	eng.Run()
@@ -38,9 +51,8 @@ func TestWireTimeMatchesLineRate(t *testing.T) {
 	cfg := DefaultLink()
 	a, b := pair(eng, cfg)
 	var at sim.Time = -1
-	b.SetRecv(func([]byte) { at = eng.Now() })
-	frame := make([]byte, 1500)
-	a.Send(frame)
+	b.SetRecv(func(f *framepool.Buf) { at = eng.Now(); f.Release() })
+	a.Send(buf(make([]byte, 1500)))
 	eng.Run()
 	// (1500+24)*8 bits at 10 Gb/s = 1219.2ns, plus 600ns propagation.
 	want := sim.Time((1500+24)*8*100/1000) + cfg.PropDelay
@@ -53,9 +65,9 @@ func TestSerializationBackToBack(t *testing.T) {
 	eng := sim.NewEngine()
 	a, b := pair(eng, DefaultLink())
 	var times []sim.Time
-	b.SetRecv(func([]byte) { times = append(times, eng.Now()) })
+	b.SetRecv(func(f *framepool.Buf) { times = append(times, eng.Now()); f.Release() })
 	for i := 0; i < 3; i++ {
-		a.Send(make([]byte, 1500))
+		a.Send(buf(make([]byte, 1500)))
 	}
 	eng.Run()
 	if len(times) != 3 {
@@ -75,7 +87,7 @@ func TestTailDropWhenQueueFull(t *testing.T) {
 	a, _ := pair(eng, cfg)
 	dropped := 0
 	for i := 0; i < 100; i++ {
-		if !a.Send(make([]byte, 1500)) {
+		if !a.Send(buf(make([]byte, 1500))) {
 			dropped++
 		}
 	}
@@ -87,7 +99,7 @@ func TestTailDropWhenQueueFull(t *testing.T) {
 	}
 	// After draining, sends succeed again.
 	eng.Run()
-	if !a.Send(make([]byte, 1500)) {
+	if !a.Send(buf(make([]byte, 1500))) {
 		t.Fatal("send failed after drain")
 	}
 }
@@ -95,13 +107,13 @@ func TestTailDropWhenQueueFull(t *testing.T) {
 func TestBidirectional(t *testing.T) {
 	eng := sim.NewEngine()
 	a, b := pair(eng, DefaultLink())
-	var fromA, fromB []byte
-	a.SetRecv(func(f []byte) { fromB = f })
-	b.SetRecv(func(f []byte) { fromA = f })
-	a.Send([]byte("a->b"))
-	b.Send([]byte("b->a"))
+	var fromA, fromB string
+	a.SetRecv(func(f *framepool.Buf) { fromB = string(f.Bytes()); f.Release() })
+	b.SetRecv(func(f *framepool.Buf) { fromA = string(f.Bytes()); f.Release() })
+	a.Send(buf([]byte("a->b")))
+	b.Send(buf([]byte("b->a")))
 	eng.Run()
-	if string(fromA) != "a->b" || string(fromB) != "b->a" {
+	if fromA != "a->b" || fromB != "b->a" {
 		t.Fatalf("duplex exchange failed: %q %q", fromA, fromB)
 	}
 }
@@ -114,34 +126,38 @@ func TestSendUnconnectedPanics(t *testing.T) {
 			t.Fatal("send on unconnected NIC did not panic")
 		}
 	}()
-	n.Send([]byte("x"))
+	n.Send(buf([]byte("x")))
 }
 
-func TestFrameCopyIsolation(t *testing.T) {
-	// The receiver must not observe sender-side mutation after Send.
+func TestZeroCopyDelivery(t *testing.T) {
+	// The receiver gets the sender's buffer itself — one reference moves
+	// through the wire without any intermediate copy.
 	eng := sim.NewEngine()
 	a, b := pair(eng, DefaultLink())
-	var got []byte
-	b.SetRecv(func(f []byte) { got = f })
-	frame := []byte("immutable")
-	a.Send(frame)
-	frame[0] = 'X'
+	var got *framepool.Buf
+	b.SetRecv(func(f *framepool.Buf) { got = f })
+	sent := buf([]byte("same bytes"))
+	a.Send(sent)
 	eng.Run()
-	if string(got) != "immutable" {
-		t.Fatalf("receiver saw mutated frame: %q", got)
+	if got != sent {
+		t.Fatalf("received buffer %p, want the sent buffer %p", got, sent)
 	}
+	if string(got.Bytes()) != "same bytes" {
+		t.Fatalf("payload corrupted: %q", got.Bytes())
+	}
+	got.Release()
 }
 
 func TestThroughputApproachesLineRate(t *testing.T) {
 	eng := sim.NewEngine()
 	a, b := pair(eng, DefaultLink())
 	var rxBytes int64
-	b.SetRecv(func(f []byte) { rxBytes += int64(len(f)) })
+	b.SetRecv(func(f *framepool.Buf) { rxBytes += int64(f.Len()); f.Release() })
 	// Offer 2000 MTU frames as fast as the queue allows.
 	sent := 0
 	var offer func()
 	offer = func() {
-		for sent < 2000 && a.Send(make([]byte, 1500)) {
+		for sent < 2000 && a.Send(buf(make([]byte, 1500))) {
 			sent++
 		}
 		if sent < 2000 {

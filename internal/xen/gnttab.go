@@ -150,16 +150,20 @@ func (m *Mapping) Live() bool { return m.live }
 // Ref returns the grant reference this mapping came from.
 func (m *Mapping) Ref() GrantRef { return m.ref }
 
-// CopyPtr addresses one side of a grant copy: either a foreign (Dom, Ref)
-// pair or a local page.
+// CopyPtr addresses one side of a grant copy: a foreign (Dom, Ref) pair, a
+// local page, or a local raw buffer (Data). The raw-buffer form lets
+// backends copy straight between grants and pooled frame buffers without
+// staging through scratch pages; it models the same virtual-address side a
+// real GNTTABOP_copy accepts.
 type CopyPtr struct {
 	Dom    DomID
 	Ref    GrantRef
-	Local  *mem.Page // non-nil for local side
+	Local  *mem.Page // non-nil for a local page side
+	Data   []byte    // non-nil for a local raw-buffer side (takes precedence)
 	Offset int
 }
 
-// CopyOp is one GNTTABOP_copy operation; Len must fit within both pages.
+// CopyOp is one GNTTABOP_copy operation; Len must fit within both sides.
 type CopyOp struct {
 	Src, Dst CopyPtr
 	Len      int
@@ -187,19 +191,22 @@ func (hv *Hypervisor) CopyGrant(caller *Domain, ops []CopyOp) error {
 		if err != nil {
 			return fmt.Errorf("xen: copy op %d dst: %w", i, err)
 		}
-		if op.Len < 0 || op.Src.Offset+op.Len > mem.PageSize || op.Dst.Offset+op.Len > mem.PageSize {
-			return fmt.Errorf("xen: copy op %d overflows a page", i)
+		if op.Len < 0 || op.Src.Offset+op.Len > len(src) || op.Dst.Offset+op.Len > len(dst) {
+			return fmt.Errorf("xen: copy op %d overflows a buffer", i)
 		}
-		copy(dst.Data[op.Dst.Offset:op.Dst.Offset+op.Len], src.Data[op.Src.Offset:op.Src.Offset+op.Len])
+		copy(dst[op.Dst.Offset:op.Dst.Offset+op.Len], src[op.Src.Offset:op.Src.Offset+op.Len])
 		hv.stats.GrantCopies++
 		hv.stats.CopiedBytes += uint64(op.Len)
 	}
 	return nil
 }
 
-func (hv *Hypervisor) resolveCopyPtr(caller *Domain, p CopyPtr, write bool) (*mem.Page, error) {
+func (hv *Hypervisor) resolveCopyPtr(caller *Domain, p CopyPtr, write bool) ([]byte, error) {
+	if p.Data != nil {
+		return p.Data, nil
+	}
 	if p.Local != nil {
-		return p.Local, nil
+		return p.Local.Data, nil
 	}
 	od := hv.Domain(p.Dom)
 	if od == nil {
@@ -215,5 +222,5 @@ func (hv *Hypervisor) resolveCopyPtr(caller *Domain, p CopyPtr, write bool) (*me
 	if write && g.readonly {
 		return nil, fmt.Errorf("write through read-only grant %d of domain %d", p.Ref, p.Dom)
 	}
-	return g.page, nil
+	return g.page.Data, nil
 }
