@@ -22,11 +22,16 @@ race:
 	$(GO) test -race ./...
 
 zeroalloc:
-	$(GO) test -count=1 -run TestForwardPathZeroAlloc ./internal/core
+	$(GO) test -count=1 -run 'TestForwardPathZeroAlloc|TestBlockPathZeroAlloc' ./internal/core
 
 # bench snapshots the forward-path pipeline benchmark into BENCH_net.json
-# (simulated frames per wall second, ns and allocs per forwarded frame).
+# (simulated frames per wall second, ns and allocs per forwarded frame) and
+# the storage pipeline benchmark into BENCH_blk.json (bytes per wall second,
+# ns and allocs per 256 KiB write+read round trip).
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkForwardPath -benchmem -count=1 ./internal/core \
 		| $(GO) run ./cmd/benchjson > BENCH_net.json
 	cat BENCH_net.json
+	$(GO) test -run '^$$' -bench BenchmarkBlockPath -benchmem -count=1 ./internal/core \
+		| $(GO) run ./cmd/benchjson > BENCH_blk.json
+	cat BENCH_blk.json

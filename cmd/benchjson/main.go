@@ -18,6 +18,7 @@ type result struct {
 	Iterations   int64   `json:"iterations"`
 	NsPerOp      float64 `json:"ns_per_op"`
 	FramesPerSec float64 `json:"frames_per_sec,omitempty"`
+	BytesPerSec  float64 `json:"bytes_per_sec,omitempty"`
 	BytesPerOp   int64   `json:"bytes_per_op"`
 	AllocsPerOp  int64   `json:"allocs_per_op"`
 }
@@ -47,6 +48,8 @@ func main() {
 				r.NsPerOp = v
 			case "frames/sec":
 				r.FramesPerSec = v
+			case "bytes/sec":
+				r.BytesPerSec = v
 			case "B/op":
 				r.BytesPerOp = int64(v)
 			case "allocs/op":

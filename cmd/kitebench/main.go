@@ -27,6 +27,7 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiment IDs (e.g. FIG7,FIG11)")
 	parallel := flag.Int("parallel", 1, "max experiment legs to run concurrently")
 	ablations := flag.Bool("ablations", false, "also run the design-choice ablations")
+	blk := flag.Bool("blk", false, "also run the deterministic block-path workload and print its summary")
 	flag.Parse()
 
 	scale := experiments.Quick()
@@ -64,6 +65,18 @@ func main() {
 	fmt.Printf("kitebench: framepool %d gets / %d recycles, persistent-rx %d hits / %d misses\n",
 		metrics.FramePoolGets.Load(), metrics.FramePoolRecycles.Load(),
 		metrics.NetRxPersistHits.Load(), metrics.NetRxPersistMisses.Load())
+	fmt.Printf("kitebench: blkpool %d gets / %d recycles, nvme vectored %d reads / %d writes\n",
+		metrics.BlkPoolGets.Load(), metrics.BlkPoolRecycles.Load(),
+		metrics.NVMeVecReads.Load(), metrics.NVMeVecWrites.Load())
+
+	if *blk {
+		// A single self-contained simulation: the figures come from
+		// simulated time and its own pool counters, so this line too is
+		// byte-identical for any -parallel.
+		bs := experiments.BlkSummary(scale)
+		fmt.Printf("kitebench: blk %d ops / %d MB: %.1f ops/sec, %.1f MB/sec simulated, pool hit rate %.3f\n",
+			bs.Ops, bs.Bytes>>20, bs.OpsPerSec, bs.BytesPerSec/1e6, bs.PoolHitRate)
+	}
 	fmt.Printf("kitebench: %d experiments, %d simulation events in %.2fs wall (%.2fM events/sec)\n",
 		len(results), events, elapsed.Seconds(),
 		float64(events)/elapsed.Seconds()/1e6)

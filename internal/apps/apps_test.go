@@ -181,6 +181,10 @@ func (d *memDisk) ReadSectors(sector int64, n int, cb func([]byte, error)) {
 	copy(out, d.data[sector*512:])
 	d.eng.After(20*sim.Microsecond, func() { cb(out, nil) })
 }
+func (d *memDisk) ReadSectorsInto(sector int64, dst []byte, cb func(error)) {
+	copy(dst, d.data[sector*512:])
+	d.eng.After(20*sim.Microsecond, func() { cb(nil) })
+}
 func (d *memDisk) WriteSectors(sector int64, data []byte, cb func(error)) {
 	copy(d.data[sector*512:], data)
 	d.eng.After(20*sim.Microsecond, func() { cb(nil) })

@@ -6,6 +6,13 @@
 // segments from one or more requests are batched into single device
 // operations, and completions are answered asynchronously so later
 // requests never wait on earlier ones.
+//
+// The device path is vectored end to end: a merged device op hands the
+// NVMe model an iovec of grant-mapped page views (ReadVec/WriteVec), so
+// merged requests are never flattened into an intermediate buffer. All
+// per-request and per-op records are pooled on per-instance free lists
+// with their completion closures created once, so the steady-state data
+// path performs no heap allocation (DESIGN.md §8).
 package blkback
 
 import (
@@ -67,6 +74,8 @@ type resolvedSeg struct {
 	bytes      int
 }
 
+// ioReq is one parsed ring request. Instances are pooled on the owning
+// Instance's free list; segs keeps its capacity across recycles.
 type ioReq struct {
 	id     uint64
 	op     blkif.Op // OpRead/OpWrite/OpFlush after unwrapping indirect
@@ -76,11 +85,18 @@ type ioReq struct {
 	inst   *Instance
 }
 
+// deviceOp is one merged device operation. Instances are pooled; reqs and
+// iov keep their capacity across recycles, and onDone is created once per
+// record so submission never allocates a completion closure. iov lives on
+// the op (not the Instance) because several ops are in flight at once.
 type deviceOp struct {
 	op     blkif.Op
 	sector int64
 	bytes  int
 	reqs   []*ioReq
+	iov    [][]byte
+	inst   *Instance
+	onDone func(err error) // created once, calls inst.complete(op, err)
 }
 
 // Instance is one blkback serving one frontend vbd.
@@ -105,6 +121,15 @@ type Instance struct {
 	// burst queues privately, and one wake publishes the lot and sends at
 	// most one event-channel notification (§3.3's event coalescing).
 	notify *sim.Batch
+
+	// Free lists and drain-loop scratch; all retain capacity so the steady
+	// state allocates nothing.
+	ioFree     []*ioReq
+	opFree     []*deviceOp
+	batch      []*ioReq
+	ops        []*deviceOp
+	segScratch []blkif.Segment // indirect descriptor decode, one parse at a time
+	unmapBuf   []*xen.Mapping  // releaseSegs staging
 
 	dead  bool
 	stats Stats
@@ -165,6 +190,42 @@ func (inst *Instance) Shutdown() {
 	inst.pmaps = map[xen.GrantRef]*xen.Mapping{}
 }
 
+// getIO takes a pooled request record off the free list.
+func (inst *Instance) getIO() *ioReq {
+	if n := len(inst.ioFree); n > 0 {
+		io := inst.ioFree[n-1]
+		inst.ioFree = inst.ioFree[:n-1]
+		return io
+	}
+	return &ioReq{inst: inst}
+}
+
+func (inst *Instance) putIO(io *ioReq) {
+	io.segs = io.segs[:0]
+	io.bytes = 0
+	inst.ioFree = append(inst.ioFree, io)
+}
+
+// getOp takes a pooled device op; onDone is bound exactly once, when the
+// record is first allocated, and survives every recycle.
+func (inst *Instance) getOp() *deviceOp {
+	if n := len(inst.opFree); n > 0 {
+		op := inst.opFree[n-1]
+		inst.opFree = inst.opFree[:n-1]
+		return op
+	}
+	op := &deviceOp{inst: inst}
+	op.onDone = func(err error) { op.inst.complete(op, err) }
+	return op
+}
+
+func (inst *Instance) putOp(op *deviceOp) {
+	op.reqs = op.reqs[:0]
+	op.iov = op.iov[:0]
+	op.bytes = 0
+	inst.opFree = append(inst.opFree, op)
+}
+
 // onEvent wakes the request thread (§3.3: the handler itself stays tiny).
 func (inst *Instance) onEvent() {
 	if inst.dead {
@@ -181,7 +242,7 @@ func (inst *Instance) drain() {
 		return
 	}
 	for {
-		var batch []*ioReq
+		inst.batch = inst.batch[:0]
 		for {
 			req, ok := inst.ring.TakeRequest()
 			if !ok {
@@ -194,38 +255,45 @@ func (inst *Instance) drain() {
 				inst.respond(req.ID, blkif.StatusError)
 				continue
 			}
-			batch = append(batch, io)
+			inst.batch = append(inst.batch, io)
 		}
-		if len(batch) == 0 {
+		if len(inst.batch) == 0 {
 			if inst.ring.FinalCheckForRequests() {
 				continue
 			}
 			break
 		}
-		for _, op := range inst.buildOps(batch) {
+		inst.buildOps()
+		for _, op := range inst.ops {
 			inst.submit(op)
 		}
 	}
 }
 
-// parse validates, translates, and resolves one ring request.
+// parse validates, translates, and resolves one ring request. On error the
+// pooled record goes straight back to the free list.
 func (inst *Instance) parse(req blkif.Request) (*ioReq, error) {
-	io := &ioReq{id: req.ID, op: req.Op, inst: inst}
+	io := inst.getIO()
+	io.id, io.op = req.ID, req.Op
 	segs := req.Segs
 	if req.Op == blkif.OpIndirect {
 		if !inst.costs.Indirect {
+			inst.putIO(io)
 			return nil, fmt.Errorf("blkback: indirect not negotiated")
 		}
 		if req.IndirectSegs > blkif.MaxSegsIndirect {
+			inst.putIO(io)
 			return nil, fmt.Errorf("blkback: %d indirect segments exceed limit", req.IndirectSegs)
 		}
 		io.op = req.Imm
 		parsed, err := inst.parseIndirect(req)
 		if err != nil {
+			inst.putIO(io)
 			return nil, err
 		}
 		segs = parsed
 	} else if len(segs) > blkif.MaxSegsDirect {
+		inst.putIO(io)
 		return nil, fmt.Errorf("blkback: %d direct segments exceed limit", len(segs))
 	}
 
@@ -233,24 +301,26 @@ func (inst *Instance) parse(req blkif.Request) (*ioReq, error) {
 		return io, nil
 	}
 
-	resolved, total, err := inst.resolve(segs)
+	total, err := inst.resolve(segs, io)
 	if err != nil {
+		inst.putIO(io)
 		return nil, err
 	}
-	io.segs = resolved
 	io.bytes = total
 	nsect := int64(total / blkif.SectorSize)
 	if req.Sector < 0 || req.Sector+nsect > inst.size {
-		inst.releaseSegs(resolved)
+		inst.releaseSegs(io.segs)
+		inst.putIO(io)
 		return nil, fmt.Errorf("blkback: i/o beyond vbd (sector %d + %d)", req.Sector, nsect)
 	}
 	io.sector = inst.base + req.Sector
 	return io, nil
 }
 
-// parseIndirect maps the descriptor pages and decodes the segment list.
+// parseIndirect maps the descriptor pages and decodes the segment list into
+// the instance's scratch (valid until the next parse).
 func (inst *Instance) parseIndirect(req blkif.Request) ([]blkif.Segment, error) {
-	segs := make([]blkif.Segment, 0, req.IndirectSegs)
+	inst.segScratch = inst.segScratch[:0]
 	for pi, ref := range req.IndirectRefs {
 		m, hit, err := inst.mapRef(ref)
 		if err != nil {
@@ -260,13 +330,13 @@ func (inst *Instance) parseIndirect(req blkif.Request) ([]blkif.Segment, error) 
 			inst.stats.PersistentHits++
 		}
 		for si := pi * blkif.SegsPerIndirectPage; si < req.IndirectSegs && si < (pi+1)*blkif.SegsPerIndirectPage; si++ {
-			segs = append(segs, blkif.GetSegment(m.Page, si%blkif.SegsPerIndirectPage))
+			inst.segScratch = append(inst.segScratch, blkif.GetSegment(m.Page, si%blkif.SegsPerIndirectPage))
 		}
 		if !inst.costs.Persistent {
 			_ = inst.dom.Hypervisor().UnmapGrant(inst.dom, m)
 		}
 	}
-	return segs, nil
+	return inst.segScratch, nil
 }
 
 // mapRef resolves one grant ref through the persistent cache.
@@ -286,53 +356,61 @@ func (inst *Instance) mapRef(ref xen.GrantRef) (m *xen.Mapping, cacheHit bool, e
 	return m, false, nil
 }
 
-func (inst *Instance) resolve(segs []blkif.Segment) ([]resolvedSeg, int, error) {
-	out := make([]resolvedSeg, 0, len(segs))
+// resolve maps every segment into io.segs (capacity retained across the
+// record's recycles) and returns the byte total.
+func (inst *Instance) resolve(segs []blkif.Segment, io *ioReq) (int, error) {
+	io.segs = io.segs[:0]
 	total := 0
 	for _, s := range segs {
 		if s.FirstSect < 0 || s.LastSect >= blkif.SectorsPerPage || s.FirstSect > s.LastSect {
-			inst.releaseSegs(out)
-			return nil, 0, fmt.Errorf("blkback: bad segment range %d..%d", s.FirstSect, s.LastSect)
+			inst.releaseSegs(io.segs)
+			return 0, fmt.Errorf("blkback: bad segment range %d..%d", s.FirstSect, s.LastSect)
 		}
 		m, hit, err := inst.mapRef(s.Ref)
 		if err != nil {
-			inst.releaseSegs(out)
-			return nil, 0, err
+			inst.releaseSegs(io.segs)
+			return 0, err
 		}
 		if hit {
 			inst.stats.PersistentHits++
 		}
-		out = append(out, resolvedSeg{
+		io.segs = append(io.segs, resolvedSeg{
 			mapping: m, persistent: inst.costs.Persistent,
 			firstSect: s.FirstSect, bytes: s.Bytes(),
 		})
 		total += s.Bytes()
 		inst.stats.Segments++
 	}
-	return out, total, nil
+	return total, nil
 }
 
 func (inst *Instance) releaseSegs(segs []resolvedSeg) {
-	var toUnmap []*xen.Mapping
-	for _, s := range segs {
+	inst.unmapBuf = inst.unmapBuf[:0]
+	for i := range segs {
+		s := &segs[i]
 		if !s.persistent && s.mapping.Live() {
-			toUnmap = append(toUnmap, s.mapping)
+			inst.unmapBuf = append(inst.unmapBuf, s.mapping)
 		}
 	}
-	_ = inst.dom.Hypervisor().UnmapGrantBatch(inst.dom, toUnmap)
+	_ = inst.dom.Hypervisor().UnmapGrantBatch(inst.dom, inst.unmapBuf)
 }
 
-// buildOps merges consecutive same-direction requests into single device
-// operations when batching is enabled (§3.3).
-func (inst *Instance) buildOps(batch []*ioReq) []*deviceOp {
-	var ops []*deviceOp
-	for _, io := range batch {
+// buildOps merges consecutive same-direction requests from inst.batch into
+// single device operations in inst.ops when batching is enabled (§3.3).
+// Merging looks only at each request's resolved direction and extent, so
+// direct and indirect requests fold into the same op.
+func (inst *Instance) buildOps() {
+	inst.ops = inst.ops[:0]
+	for _, io := range inst.batch {
 		if io.op == blkif.OpFlush {
-			ops = append(ops, &deviceOp{op: blkif.OpFlush, reqs: []*ioReq{io}})
+			op := inst.getOp()
+			op.op, op.sector = blkif.OpFlush, 0
+			op.reqs = append(op.reqs, io)
+			inst.ops = append(inst.ops, op)
 			continue
 		}
-		if inst.costs.Batch && len(ops) > 0 {
-			last := ops[len(ops)-1]
+		if inst.costs.Batch && len(inst.ops) > 0 {
+			last := inst.ops[len(inst.ops)-1]
 			if last.op == io.op && last.sector+int64(last.bytes/blkif.SectorSize) == io.sector {
 				last.bytes += io.bytes
 				last.reqs = append(last.reqs, io)
@@ -340,13 +418,17 @@ func (inst *Instance) buildOps(batch []*ioReq) []*deviceOp {
 				continue
 			}
 		}
-		ops = append(ops, &deviceOp{op: io.op, sector: io.sector, bytes: io.bytes, reqs: []*ioReq{io}})
+		op := inst.getOp()
+		op.op, op.sector, op.bytes = io.op, io.sector, io.bytes
+		op.reqs = append(op.reqs, io)
+		inst.ops = append(inst.ops, op)
 	}
-	return ops
 }
 
-// submit issues one device operation and wires its completion to the
-// response path.
+// submit issues one device operation. Reads and writes build an iovec of
+// grant-mapped page views on the op and hand it to the device's vectored
+// entry points — the merged payload is never flattened into a bounce
+// buffer. The op's pre-bound onDone wires the completion back here.
 func (inst *Instance) submit(op *deviceOp) {
 	cost := sim.Time(len(op.reqs)) * inst.costs.PerRequest
 	for _, io := range op.reqs {
@@ -357,36 +439,29 @@ func (inst *Instance) submit(op *deviceOp) {
 
 	switch op.op {
 	case blkif.OpFlush:
-		inst.dev.Flush(func(err error) { inst.complete(op, err) })
-	case blkif.OpWrite:
-		buf := make([]byte, 0, op.bytes)
+		inst.dev.Flush(op.onDone)
+	case blkif.OpWrite, blkif.OpRead:
+		op.iov = op.iov[:0]
 		for _, io := range op.reqs {
-			for _, s := range io.segs {
+			for i := range io.segs {
+				s := &io.segs[i]
 				start := s.firstSect * blkif.SectorSize
-				buf = append(buf, s.mapping.Page.Data[start:start+s.bytes]...)
+				op.iov = append(op.iov, s.mapping.Page.Data[start:start+s.bytes])
 			}
 		}
-		inst.dev.Write(op.sector, buf, func(err error) { inst.complete(op, err) })
-	case blkif.OpRead:
-		inst.dev.Read(op.sector, op.bytes, func(data []byte, err error) {
-			if err == nil {
-				off := 0
-				for _, io := range op.reqs {
-					for _, s := range io.segs {
-						start := s.firstSect * blkif.SectorSize
-						copy(s.mapping.Page.Data[start:start+s.bytes], data[off:off+s.bytes])
-						off += s.bytes
-					}
-				}
-			}
-			inst.complete(op, err)
-		})
+		if op.op == blkif.OpWrite {
+			inst.dev.WriteVec(op.sector, op.iov, op.onDone)
+		} else {
+			inst.dev.ReadVec(op.sector, op.iov, op.onDone)
+		}
 	default:
 		inst.complete(op, fmt.Errorf("blkback: unknown op %d", op.op))
 	}
 }
 
-// complete answers every request covered by a device op.
+// complete answers every request covered by a device op and recycles the
+// pooled records. For reads the device has already gathered into the
+// grant-mapped views in op.iov, so there is nothing to copy here.
 func (inst *Instance) complete(op *deviceOp, err error) {
 	if inst.dead {
 		return
@@ -399,7 +474,9 @@ func (inst *Instance) complete(op *deviceOp, err error) {
 	for _, io := range op.reqs {
 		inst.releaseSegs(io.segs)
 		inst.respond(io.id, status)
+		inst.putIO(io)
 	}
+	inst.putOp(op)
 }
 
 func (inst *Instance) respond(id uint64, status int8) {

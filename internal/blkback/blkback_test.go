@@ -98,7 +98,7 @@ func TestWriteReadRoundTrip(t *testing.T) {
 			if err != nil {
 				t.Fatalf("read: %v", err)
 			}
-			got = b
+			got = append([]byte(nil), b...) // b is pooled, valid only in the callback
 		})
 	})
 	if !r.eng.RunCapped(500000) {
@@ -130,7 +130,7 @@ func TestLargeIOUsesIndirect(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			got = b
+			got = append([]byte(nil), b...) // b is pooled, valid only in the callback
 		})
 	})
 	if !r.eng.RunCapped(1_000_000) {

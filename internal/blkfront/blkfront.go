@@ -5,12 +5,21 @@
 // persistent grant references and indirect segments (§3.3, §4.4) — and
 // splits large I/O into as few ring requests as the negotiated limits
 // allow.
+//
+// Read completions borrow a refcounted buffer from a blkpool: the slice
+// handed to a ReadSectors callback is valid only for the duration of the
+// callback and is recycled afterwards (DESIGN.md §8). Callers that need
+// the data longer either copy it or use ReadSectorsInto with their own
+// destination. Caller ops, ring-request parts, and the ring-full backlog
+// are all pooled/struct-based so the steady-state data path performs no
+// heap allocation.
 package blkfront
 
 import (
 	"fmt"
 
 	"kite/internal/blkif"
+	"kite/internal/blkpool"
 	"kite/internal/mem"
 	"kite/internal/sim"
 	"kite/internal/xen"
@@ -43,19 +52,41 @@ type poolPage struct {
 }
 
 // reqPart tracks one in-flight ring request belonging to a caller op.
+// Parts are pooled; every slice keeps its capacity across recycles. segs
+// and indRefs must live on the part (not device scratch) because the ring
+// slot shares their backing arrays until the backend consumes the request.
 type reqPart struct {
 	op       blkif.Op
 	pages    []poolPage
 	indirect []poolPage // descriptor pages (granted, freed after response)
-	readDst  []byte     // for reads: destination slice for this part
+	segs     []blkif.Segment
+	indRefs  []xen.GrantRef
+	readDst  []byte // for reads: destination slice for this part
 	parent   *callerOp
 }
 
+// callerOp is one ReadSectors/WriteSectors/Flush invocation. Pooled.
+// Exactly one of doneRead/doneErr is set, so write and flush callbacks
+// need no allocating adapter closure.
 type callerOp struct {
 	remaining int
 	err       error
 	readBuf   []byte
-	done      func(data []byte, err error)
+	buf       *blkpool.Buf // pooled backing for readBuf; nil for ReadSectorsInto
+	doneRead  func(data []byte, err error)
+	doneErr   func(err error)
+}
+
+// pendingOp is one backlogged submission waiting for ring space; the
+// struct queue replaces a []func() bool closure backlog.
+type pendingOp struct {
+	op        blkif.Op
+	sector    int64
+	size      int
+	writeData []byte
+	readOff   int
+	caller    *callerOp
+	flush     bool
 }
 
 // Device is one vbd frontend.
@@ -80,11 +111,18 @@ type Device struct {
 	flushOK     bool
 
 	pool     []poolPage // persistent-grant page pool
+	bufs     *blkpool.Pool
 	inflight map[uint64]*reqPart
 	nextID   uint64
-	pending  []func() bool // ring-full backlog: retried on completions
-	ready    bool
-	onReady  func()
+
+	pending  []pendingOp // ring-full backlog: retried on completions
+	pendHead int
+
+	partFree   []*reqPart
+	callerFree []*callerOp
+
+	ready   bool
+	onReady func()
 
 	stats Stats
 }
@@ -97,6 +135,7 @@ type Config struct {
 	DevID    int
 	BackDom  xen.DomID
 	Costs    Costs
+	Pool     *blkpool.Pool // read-buffer pool; private pool when nil
 	OnReady  func()
 }
 
@@ -107,11 +146,16 @@ func New(eng *sim.Engine, cfg Config) *Device {
 	if costs.PerRequest == 0 {
 		costs = GuestCosts()
 	}
+	bufs := cfg.Pool
+	if bufs == nil {
+		bufs = blkpool.New()
+	}
 	d := &Device{
 		eng: eng, dom: cfg.Dom, bus: cfg.Bus, reg: cfg.Registry,
 		devid: cfg.DevID, backDom: cfg.BackDom, costs: costs,
 		frontPath: xenbus.FrontendPath(xenbus.DomID(cfg.Dom.ID), "vbd", cfg.DevID),
 		backPath:  xenbus.BackendPath(xenbus.DomID(cfg.BackDom), "vbd", xenbus.DomID(cfg.Dom.ID), cfg.DevID),
+		bufs:      bufs,
 		inflight:  make(map[uint64]*reqPart),
 		onReady:   cfg.OnReady,
 	}
@@ -189,6 +233,10 @@ func (d *Device) MaxIndirect() int { return d.maxIndirect }
 // Stats returns a snapshot of the counters.
 func (d *Device) Stats() Stats { return d.stats }
 
+// BufPool returns the read-buffer pool, for leak accounting: its
+// Outstanding() must be zero when no read callback is on the stack.
+func (d *Device) BufPool() *blkpool.Pool { return d.bufs }
+
 // maxBytesPerRequest returns the largest single ring request payload.
 func (d *Device) maxBytesPerRequest() int {
 	if d.maxIndirect > 0 {
@@ -224,7 +272,46 @@ func (d *Device) putPage(p poolPage) {
 	}
 }
 
-// ReadSectors reads n bytes (sector-aligned) starting at sector.
+func (d *Device) getPart() *reqPart {
+	if n := len(d.partFree); n > 0 {
+		p := d.partFree[n-1]
+		d.partFree = d.partFree[:n-1]
+		return p
+	}
+	return &reqPart{}
+}
+
+func (d *Device) putPart(p *reqPart) {
+	p.pages = p.pages[:0]
+	p.indirect = p.indirect[:0]
+	p.segs = p.segs[:0]
+	p.indRefs = p.indRefs[:0]
+	p.readDst = nil
+	p.parent = nil
+	d.partFree = append(d.partFree, p)
+}
+
+func (d *Device) getCaller() *callerOp {
+	if n := len(d.callerFree); n > 0 {
+		c := d.callerFree[n-1]
+		d.callerFree = d.callerFree[:n-1]
+		return c
+	}
+	return &callerOp{}
+}
+
+func (d *Device) putCaller(c *callerOp) {
+	c.err = nil
+	c.readBuf = nil
+	c.buf = nil
+	c.doneRead = nil
+	c.doneErr = nil
+	d.callerFree = append(d.callerFree, c)
+}
+
+// ReadSectors reads n bytes (sector-aligned) starting at sector. The data
+// slice passed to cb is backed by a pooled buffer and is valid only during
+// the callback; copy it (or use ReadSectorsInto) to keep it.
 func (d *Device) ReadSectors(sector int64, n int, cb func(data []byte, err error)) {
 	if err := d.validate(sector, n); err != nil {
 		d.eng.After(0, func() { cb(nil, err) })
@@ -232,11 +319,30 @@ func (d *Device) ReadSectors(sector int64, n int, cb func(data []byte, err error
 	}
 	d.stats.Reads++
 	d.stats.ReadBytes += uint64(n)
-	op := &callerOp{readBuf: make([]byte, n), done: cb}
+	op := d.getCaller()
+	op.buf = d.bufs.Get(n)
+	op.readBuf = op.buf.Bytes()
+	op.doneRead = cb
 	d.split(blkif.OpRead, sector, nil, op)
 }
 
-// WriteSectors writes sector-aligned data at sector.
+// ReadSectorsInto reads n=len(dst) bytes (sector-aligned) starting at
+// sector directly into dst, avoiding the pooled intermediate entirely.
+func (d *Device) ReadSectorsInto(sector int64, dst []byte, cb func(err error)) {
+	if err := d.validate(sector, len(dst)); err != nil {
+		d.eng.After(0, func() { cb(err) })
+		return
+	}
+	d.stats.Reads++
+	d.stats.ReadBytes += uint64(len(dst))
+	op := d.getCaller()
+	op.readBuf = dst
+	op.doneErr = cb
+	d.split(blkif.OpRead, sector, nil, op)
+}
+
+// WriteSectors writes sector-aligned data at sector. data must stay valid
+// until cb fires.
 func (d *Device) WriteSectors(sector int64, data []byte, cb func(err error)) {
 	if err := d.validate(sector, len(data)); err != nil {
 		d.eng.After(0, func() { cb(err) })
@@ -244,15 +350,18 @@ func (d *Device) WriteSectors(sector int64, data []byte, cb func(err error)) {
 	}
 	d.stats.Writes++
 	d.stats.WriteBytes += uint64(len(data))
-	op := &callerOp{done: func(_ []byte, err error) { cb(err) }}
+	op := d.getCaller()
+	op.doneErr = cb
 	d.split(blkif.OpWrite, sector, data, op)
 }
 
 // Flush issues a cache-flush barrier.
 func (d *Device) Flush(cb func(err error)) {
 	d.stats.Flushes++
-	op := &callerOp{remaining: 1, done: func(_ []byte, err error) { cb(err) }}
-	d.enqueue(func() bool { return d.pushFlush(op) })
+	op := d.getCaller()
+	op.remaining = 1
+	op.doneErr = cb
+	d.submitOrQueue(pendingOp{flush: true, caller: op})
 }
 
 func (d *Device) validate(sector int64, n int) error {
@@ -275,38 +384,50 @@ func (d *Device) split(op blkif.Op, sector int64, data []byte, caller *callerOp)
 	if op == blkif.OpRead {
 		n = len(caller.readBuf)
 	}
-	var parts int
-	for off := 0; off < n; off += maxB {
-		parts++
-	}
-	caller.remaining = parts
+	caller.remaining = (n + maxB - 1) / maxB
 	for off := 0; off < n; off += maxB {
 		size := n - off
 		if size > maxB {
 			size = maxB
 		}
-		off := off
-		sec := sector + int64(off/blkif.SectorSize)
-		var chunk []byte
-		if op == blkif.OpWrite {
-			chunk = data[off : off+size]
+		p := pendingOp{
+			op:     op,
+			sector: sector + int64(off/blkif.SectorSize),
+			size:   size,
+			caller: caller, readOff: off,
 		}
-		d.enqueue(func() bool { return d.pushRequest(op, sec, size, chunk, off, caller) })
+		if op == blkif.OpWrite {
+			p.writeData = data[off : off+size]
+		}
+		d.submitOrQueue(p)
 	}
 }
 
-// enqueue runs fn now or queues it until ring space frees up.
-func (d *Device) enqueue(fn func() bool) {
-	if len(d.pending) == 0 && fn() {
+// submitOrQueue tries the submission now, or backlogs it until ring space
+// frees up. Order is preserved: nothing jumps a non-empty backlog.
+func (d *Device) submitOrQueue(p pendingOp) {
+	if d.pendHead == len(d.pending) && d.trySubmit(p) {
 		return
 	}
 	d.stats.QueuedFull++
-	d.pending = append(d.pending, fn)
+	d.pending = append(d.pending, p)
+}
+
+func (d *Device) trySubmit(p pendingOp) bool {
+	if p.flush {
+		return d.pushFlush(p.caller)
+	}
+	return d.pushRequest(p.op, p.sector, p.size, p.writeData, p.readOff, p.caller)
 }
 
 func (d *Device) pumpPending() {
-	for len(d.pending) > 0 && d.pending[0]() {
-		d.pending = d.pending[1:]
+	for d.pendHead < len(d.pending) && d.trySubmit(d.pending[d.pendHead]) {
+		d.pending[d.pendHead] = pendingOp{} // drop slice references
+		d.pendHead++
+	}
+	if d.pendHead == len(d.pending) {
+		d.pending = d.pending[:0]
+		d.pendHead = 0
 	}
 }
 
@@ -320,9 +441,9 @@ func (d *Device) pushRequest(op blkif.Op, sector int64, size int, writeData []by
 	}
 	d.nextID++
 	id := d.nextID
-	part := &reqPart{op: op, parent: caller}
+	part := d.getPart()
+	part.op, part.parent = op, caller
 
-	segs := make([]blkif.Segment, 0, nsegs)
 	for i := 0; i < nsegs; i++ {
 		segBytes := size - i*mem.PageSize
 		if segBytes > mem.PageSize {
@@ -333,7 +454,7 @@ func (d *Device) pushRequest(op blkif.Op, sector int64, size int, writeData []by
 		if op == blkif.OpWrite {
 			pp.page.CopyInto(0, writeData[i*mem.PageSize:i*mem.PageSize+segBytes])
 		}
-		segs = append(segs, blkif.Segment{
+		part.segs = append(part.segs, blkif.Segment{
 			Ref:       pp.ref,
 			FirstSect: 0,
 			LastSect:  segBytes/blkif.SectorSize - 1,
@@ -359,12 +480,13 @@ func (d *Device) pushRequest(op blkif.Op, sector int64, size int, writeData []by
 			ip := d.getPage()
 			part.indirect = append(part.indirect, ip)
 			for si := pi * blkif.SegsPerIndirectPage; si < nsegs && si < (pi+1)*blkif.SegsPerIndirectPage; si++ {
-				blkif.PutSegment(ip.page, si%blkif.SegsPerIndirectPage, segs[si])
+				blkif.PutSegment(ip.page, si%blkif.SegsPerIndirectPage, part.segs[si])
 			}
-			req.IndirectRefs = append(req.IndirectRefs, ip.ref)
+			part.indRefs = append(part.indRefs, ip.ref)
 		}
+		req.IndirectRefs = part.indRefs
 	} else {
-		req.Segs = segs
+		req.Segs = part.segs
 	}
 
 	d.inflight[id] = part
@@ -385,7 +507,9 @@ func (d *Device) pushFlush(caller *callerOp) bool {
 	}
 	d.nextID++
 	id := d.nextID
-	d.inflight[id] = &reqPart{op: blkif.OpFlush, parent: caller}
+	part := d.getPart()
+	part.op, part.parent = blkif.OpFlush, caller
+	d.inflight[id] = part
 	d.ring.PushRequest(blkif.Request{ID: id, Op: blkif.OpFlush})
 	d.stats.RingRequests++
 	if d.ring.PushRequestsAndCheckNotify() {
@@ -437,8 +561,20 @@ func (d *Device) completePart(part *reqPart, status int8) {
 	for _, ip := range part.indirect {
 		d.putPage(ip)
 	}
+	d.putPart(part)
 	caller.remaining--
-	if caller.remaining == 0 && caller.done != nil {
-		caller.done(caller.readBuf, caller.err)
+	if caller.remaining != 0 {
+		return
 	}
+	// Deliver the completion, then recycle: a pooled read buffer is valid
+	// only while the callback runs.
+	if caller.doneRead != nil {
+		caller.doneRead(caller.readBuf, caller.err)
+	} else if caller.doneErr != nil {
+		caller.doneErr(caller.err)
+	}
+	if caller.buf != nil {
+		caller.buf.Release()
+	}
+	d.putCaller(caller)
 }

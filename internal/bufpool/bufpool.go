@@ -15,9 +15,13 @@ import (
 	"kite/internal/sim"
 )
 
-// Disk is the cache's backing device; blkfront.Device satisfies it.
+// Disk is the cache's backing device; blkfront.Device satisfies it. The
+// data slice a ReadSectors callback receives is only valid during the
+// callback (it is pooled by the frontend); the cache therefore fills its
+// chunks with ReadSectorsInto and never retains a disk-owned buffer.
 type Disk interface {
 	ReadSectors(sector int64, n int, cb func(data []byte, err error))
+	ReadSectorsInto(sector int64, dst []byte, cb func(err error))
 	WriteSectors(sector int64, data []byte, cb func(err error))
 	Flush(cb func(err error))
 	SectorCount() int64
@@ -63,6 +67,7 @@ type chunk struct {
 	waiters []func(error)
 	lruElem *list.Element
 	wb      bool // writeback in flight
+	refs    int  // scheduled hit callbacks still holding data; pins eviction
 }
 
 // Pool is one page cache instance.
@@ -73,7 +78,13 @@ type Pool struct {
 
 	chunks map[int64]*chunk
 	lru    *list.List // front = most recent
-	stats  Stats
+
+	// bufFree recycles chunk-sized byte slices: chunk payloads come from
+	// and return to it on eviction, and writeback staging borrows from it,
+	// so the steady-state cache allocates no fresh chunk buffers.
+	bufFree [][]byte
+
+	stats Stats
 }
 
 // New creates a pool over disk.
@@ -99,6 +110,34 @@ func New(eng *sim.Engine, disk Disk, cfg Config) *Pool {
 // Stats returns a snapshot of the counters.
 func (p *Pool) Stats() Stats { return p.stats }
 
+// getBuf hands out a chunk-sized buffer; contents are stale, callers must
+// fully overwrite it.
+func (p *Pool) getBuf() []byte {
+	if n := len(p.bufFree); n > 0 {
+		b := p.bufFree[n-1]
+		p.bufFree = p.bufFree[:n-1]
+		return b
+	}
+	return make([]byte, p.cfg.ChunkBytes)
+}
+
+func (p *Pool) putBuf(b []byte) {
+	p.bufFree = append(p.bufFree, b)
+}
+
+// dropChunk removes a chunk from the cache and recycles its payload.
+func (p *Pool) dropChunk(c *chunk) {
+	if c.lruElem != nil {
+		p.lru.Remove(c.lruElem)
+		c.lruElem = nil
+	}
+	delete(p.chunks, c.no)
+	if c.data != nil {
+		p.putBuf(c.data)
+		c.data = nil
+	}
+}
+
 // Resident returns the current cached byte count.
 func (p *Pool) Resident() int64 { return int64(len(p.chunks)) * int64(p.cfg.ChunkBytes) }
 
@@ -108,10 +147,9 @@ func (p *Pool) SizeBytes() int64 { return p.disk.SectorCount() * SectorSize }
 // DropCaches discards all clean chunks (the benchmark scripts' `echo 3 >
 // drop_caches` between runs). Dirty chunks survive.
 func (p *Pool) DropCaches() {
-	for no, c := range p.chunks {
-		if c.state == chunkValid && !c.dirty && !c.wb {
-			p.lru.Remove(c.lruElem)
-			delete(p.chunks, no)
+	for _, c := range p.chunks {
+		if c.state == chunkValid && !c.dirty && !c.wb && c.refs == 0 {
+			p.dropChunk(c)
 		}
 	}
 }
@@ -136,11 +174,25 @@ func (p *Pool) touch(c *chunk) {
 
 // Read copies n bytes at byte offset off; cb receives a fresh buffer.
 func (p *Pool) Read(off int64, n int, cb func(data []byte, err error)) {
+	out := make([]byte, n)
+	p.ReadInto(off, out, func(err error) {
+		if err != nil {
+			cb(nil, err)
+			return
+		}
+		cb(out, nil)
+	})
+}
+
+// ReadInto copies len(dst) bytes at byte offset off into dst, sparing the
+// per-call output allocation of Read.
+func (p *Pool) ReadInto(off int64, dst []byte, cb func(err error)) {
+	n := len(dst)
+	out := dst
 	if err := p.validate(off, n); err != nil {
-		p.eng.After(0, func() { cb(nil, err) })
+		p.eng.After(0, func() { cb(err) })
 		return
 	}
-	out := make([]byte, n)
 	cs := int64(p.cfg.ChunkBytes)
 	first := off / cs
 	last := (off + int64(n) - 1) / cs
@@ -153,10 +205,10 @@ func (p *Pool) Read(off int64, n int, cb func(data []byte, err error)) {
 		remaining--
 		if remaining == 0 {
 			if failed != nil {
-				cb(nil, failed)
+				cb(failed)
 				return
 			}
-			p.chargeThen(n, int(last-first+1), func() { cb(out, nil) })
+			p.chargeThen(n, int(last-first+1), func() { cb(nil) })
 		}
 	}
 	p.stats.ReadBytes += uint64(n)
@@ -226,7 +278,7 @@ func (p *Pool) Write(off int64, data []byte, cb func(err error)) {
 			// No need to read the old contents.
 			c := p.chunks[no]
 			if c == nil {
-				c = &chunk{no: no, state: chunkValid, data: make([]byte, cs)}
+				c = &chunk{no: no, state: chunkValid, data: p.getBuf()}
 				p.chunks[no] = c
 				c.lruElem = p.lru.PushFront(c)
 				p.maybeEvict()
@@ -267,8 +319,14 @@ func (p *Pool) withChunk(no int64, fn func(*chunk, error)) {
 		if c.state == chunkValid {
 			p.stats.Hits++
 			// Completion is asynchronous even on a hit, like a page-cache
-			// read returning to userspace.
-			p.eng.After(0, func() { fn(c, nil) })
+			// read returning to userspace. The reference pins the chunk's
+			// data against eviction (which would recycle the buffer) until
+			// the callback has run.
+			c.refs++
+			p.eng.After(0, func() {
+				c.refs--
+				fn(c, nil)
+			})
 			return
 		}
 		// Loading: piggyback.
@@ -283,22 +341,20 @@ func (p *Pool) withChunk(no int64, fn func(*chunk, error)) {
 		return
 	}
 	p.stats.Misses++
-	c = &chunk{no: no, state: chunkLoading}
+	c = &chunk{no: no, state: chunkLoading, data: p.getBuf()}
 	p.chunks[no] = c
 	c.lruElem = p.lru.PushFront(c)
 	p.maybeEvict()
 	cs := int64(p.cfg.ChunkBytes)
-	p.disk.ReadSectors(no*cs/SectorSize, int(cs), func(data []byte, err error) {
+	p.disk.ReadSectorsInto(no*cs/SectorSize, c.data, func(err error) {
 		if err != nil {
-			delete(p.chunks, no)
-			p.lru.Remove(c.lruElem)
+			p.dropChunk(c)
 			fn(nil, err)
 			for _, w := range c.waiters {
 				w(err)
 			}
 			return
 		}
-		c.data = data
 		c.state = chunkValid
 		fn(c, nil)
 		for _, w := range c.waiters {
@@ -317,7 +373,7 @@ func (p *Pool) maybeEvict() {
 			return
 		}
 		c := e.Value.(*chunk)
-		if c.state == chunkLoading || c.wb {
+		if c.state == chunkLoading || c.wb || c.refs > 0 {
 			// Move it off the back so we can examine others; it will be
 			// reconsidered later.
 			p.lru.MoveToFront(e)
@@ -325,22 +381,18 @@ func (p *Pool) maybeEvict() {
 		}
 		if c.dirty {
 			p.writeback(c, func() {
-				if c.dirty {
-					// Re-dirtied while the writeback was in flight: the
-					// fresh data must survive; a later sync/eviction will
-					// write it.
+				if c.dirty || c.refs > 0 {
+					// Re-dirtied or re-referenced while the writeback was
+					// in flight: the data must survive; a later
+					// sync/eviction will retry.
 					return
 				}
-				if ce := c.lruElem; ce != nil {
-					p.lru.Remove(ce)
-				}
-				delete(p.chunks, c.no)
+				p.dropChunk(c)
 				p.stats.Evictions++
 			})
 			return
 		}
-		p.lru.Remove(e)
-		delete(p.chunks, c.no)
+		p.dropChunk(c)
 		p.stats.Evictions++
 	}
 }
@@ -350,9 +402,12 @@ func (p *Pool) writeback(c *chunk, then func()) {
 	c.dirty = false
 	p.stats.Writebacks++
 	cs := int64(p.cfg.ChunkBytes)
-	data := make([]byte, cs)
+	// Stage through a recycled buffer so a concurrent overwrite of the
+	// chunk cannot race the in-flight disk write.
+	data := p.getBuf()
 	copy(data, c.data)
 	p.disk.WriteSectors(c.no*cs/SectorSize, data, func(err error) {
+		p.putBuf(data)
 		c.wb = false
 		if err != nil {
 			c.dirty = true // keep it; a later sync retries

@@ -31,6 +31,17 @@ func (d *memDisk) ReadSectors(sector int64, n int, cb func([]byte, error)) {
 	d.eng.After(d.delay, func() { cb(out, nil) })
 }
 
+func (d *memDisk) ReadSectorsInto(sector int64, dst []byte, cb func(error)) {
+	d.reads++
+	if d.failAll {
+		d.eng.After(d.delay, func() { cb(fmt.Errorf("disk error")) })
+		return
+	}
+	off := sector * SectorSize
+	copy(dst, d.data[off:off+int64(len(dst))])
+	d.eng.After(d.delay, func() { cb(nil) })
+}
+
 func (d *memDisk) WriteSectors(sector int64, data []byte, cb func(error)) {
 	d.writes++
 	copy(d.data[sector*SectorSize:], data)

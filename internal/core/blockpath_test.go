@@ -1,0 +1,179 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"kite/internal/sim"
+)
+
+// patternSeed fills n bytes with a seed-dependent pattern so different
+// writes are distinguishable on disk.
+func patternSeed(n int, seed byte) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i*131+17) ^ seed
+	}
+	return b
+}
+
+// guestVbdBase is the device sector where the first guest's vbd window
+// starts (System.nextVbdBase's initial value).
+const guestVbdBase = 2048
+
+// TestBlockPathByteIntegrity pushes 4 KiB (single direct request), 44 KiB
+// (the largest direct request), 64 KiB (indirect), and 1 MiB (split across
+// several indirect requests) sequential writes plus an interleaved batch of
+// pseudo-random reads and writes through the complete
+// blkfront→ring→blkback→NVMe path, on both the Kite and Linux rigs. Every
+// read must return exactly what was written, the two rigs must leave
+// byte-identical on-disk state, and the sector-buffer pool must account for
+// every buffer at the end.
+func TestBlockPathByteIntegrity(t *testing.T) {
+	const imageBytes = 4 << 20 // device region covering every sector touched
+	images := map[DriverKind][]byte{}
+	for _, kind := range []DriverKind{KindKite, KindLinux} {
+		t.Run(kind.String(), func(t *testing.T) {
+			rig, err := NewStorageRig(StorageRigConfig{Kind: kind, Seed: 0xe2e, DiskBytes: 64 << 20})
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng := rig.System.Eng
+			disk := rig.Guest.Disk
+
+			check := func(sector int64, want []byte) {
+				t.Helper()
+				ok := false
+				disk.ReadSectors(sector, len(want), func(b []byte, err error) {
+					if err != nil {
+						t.Fatalf("read sector %d: %v", sector, err)
+					}
+					ok = bytes.Equal(b, want)
+				})
+				eng.Run()
+				if !ok {
+					t.Fatalf("read-back mismatch at sector %d (%d bytes)", sector, len(want))
+				}
+			}
+
+			// Sequential pushes, each size class drained before the next.
+			seq := []struct {
+				sector int64
+				data   []byte
+			}{
+				{0, patternSeed(4096, 1)},      // one direct request
+				{8, patternSeed(44<<10, 2)},    // 11 segments: largest direct
+				{96, patternSeed(64<<10, 3)},   // 16 segments: indirect
+				{224, patternSeed(1<<20, 4)},   // split into several indirect requests
+			}
+			for _, w := range seq {
+				werr := error(nil)
+				disk.WriteSectors(w.sector, w.data, func(err error) { werr = err })
+				eng.Run()
+				if werr != nil {
+					t.Fatalf("write sector %d: %v", w.sector, werr)
+				}
+				check(w.sector, w.data)
+			}
+
+			// Interleaved pseudo-random I/O: issue everything back to back so
+			// reads and writes overlap in flight, then drain once.
+			rng := sim.NewRand(0x1f)
+			type pending struct {
+				sector int64
+				data   []byte
+			}
+			var randWrites []pending
+			sizes := []int{4096, 16 << 10, 44 << 10}
+			for i := 0; i < 12; i++ {
+				sector := 2300 + rng.Int63n(4000) // past the sequential region
+				data := patternSeed(sizes[rng.Intn(len(sizes))], byte(0x40+i))
+				randWrites = append(randWrites, pending{sector, data})
+				disk.WriteSectors(sector, data, func(err error) {
+					if err != nil {
+						t.Errorf("random write: %v", err)
+					}
+				})
+				// A concurrent read of the sequential region keeps reads and
+				// writes interleaved inside the backend batcher.
+				disk.ReadSectors(0, 4096, func(b []byte, err error) {
+					if err != nil {
+						t.Errorf("interleaved read: %v", err)
+					}
+				})
+			}
+			eng.Run()
+			// Later writes win where ranges overlapped, so verify in issue
+			// order only the regions no later write covered; the on-disk
+			// image comparison below covers the rest.
+			last := randWrites[len(randWrites)-1]
+			check(last.sector, last.data)
+
+			if n := rig.System.BlkPool.Outstanding(); n != 0 {
+				t.Fatalf("%d sector buffers leaked", n)
+			}
+			images[kind] = append([]byte(nil), rig.NVMe.PeekBytes(guestVbdBase, imageBytes)...)
+		})
+	}
+	a, b := images[KindKite], images[KindLinux]
+	if a == nil || b == nil {
+		t.Fatal("missing rig image")
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("Kite and Linux rigs left different on-disk state")
+	}
+}
+
+// TestBatcherMergesAcrossDirectIndirect is a regression test for the
+// batcher's merge policy: a direct request and a contiguous indirect
+// request that land in the same ring drain must fold into one device
+// operation (the merge keys on resolved direction and extent, not on the
+// wire format of the request).
+func TestBatcherMergesAcrossDirectIndirect(t *testing.T) {
+	rig, err := NewStorageRig(StorageRigConfig{Kind: KindKite, Seed: 0x3e63})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := rig.SD.Driver.Instances()[0]
+	before := inst.Stats()
+	frontBefore := rig.Guest.Disk.Stats()
+
+	// 4 KiB direct write at sector 0, 64 KiB indirect write at sector 8:
+	// both sit in the ring before the backend's request thread wakes, so
+	// one drain sees both.
+	a := patternSeed(4096, 9)
+	b := patternSeed(64<<10, 10)
+	okA, okB := false, false
+	rig.Guest.Disk.WriteSectors(0, a, func(err error) { okA = err == nil })
+	rig.Guest.Disk.WriteSectors(8, b, func(err error) { okB = err == nil })
+	rig.System.Eng.Run()
+	if !okA || !okB {
+		t.Fatal("writes failed")
+	}
+
+	after := inst.Stats()
+	frontAfter := rig.Guest.Disk.Stats()
+	if d := frontAfter.IndirectRequests - frontBefore.IndirectRequests; d != 1 {
+		t.Fatalf("indirect requests = %d, want 1 (64 KiB must use indirect)", d)
+	}
+	if d := after.DeviceOps - before.DeviceOps; d != 1 {
+		t.Errorf("device ops = %d, want 1 (direct+indirect must merge)", d)
+	}
+	if d := after.MergedRequests - before.MergedRequests; d != 1 {
+		t.Errorf("merged requests = %d, want 1", d)
+	}
+
+	// And the merged op must land both payloads correctly.
+	want := append(append([]byte(nil), a...), b...)
+	ok := false
+	rig.Guest.Disk.ReadSectors(0, len(want), func(got []byte, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok = bytes.Equal(got, want)
+	})
+	rig.System.Eng.Run()
+	if !ok {
+		t.Fatal("merged write corrupted data")
+	}
+}

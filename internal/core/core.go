@@ -26,6 +26,7 @@ import (
 	"kite/internal/blkback"
 	"kite/internal/blkfront"
 	"kite/internal/blkif"
+	"kite/internal/blkpool"
 	"kite/internal/bridge"
 	"kite/internal/bufpool"
 	"kite/internal/framepool"
@@ -80,6 +81,11 @@ type System struct {
 	// leaked a frame reference.
 	Pool *framepool.Pool
 
+	// BlkPool is its storage sibling: the sector-buffer pool every
+	// blkfront draws read completions from. BlkPool.Outstanding() == 0 at
+	// quiesce proves no storage component leaked a buffer.
+	BlkPool *blkpool.Pool
+
 	seed        uint64
 	nextVbdBase int64
 }
@@ -97,7 +103,8 @@ func NewSystem(seed uint64) *System {
 	return &System{
 		Eng: eng, HV: hv, Store: store, Bus: xenbus.New(store),
 		NetReg: netif.NewRegistry(), BlkReg: blkif.NewRegistry(),
-		Dom0: dom0, Pool: framepool.New(), seed: seed, nextVbdBase: 2048,
+		Dom0: dom0, Pool: framepool.New(), BlkPool: blkpool.New(),
+		seed: seed, nextVbdBase: 2048,
 	}
 }
 
@@ -406,7 +413,7 @@ func (s *System) CreateGuest(cfg GuestConfig) (*Guest, error) {
 		// size (blkfront learns its sector count from the backend).
 		g.Disk = blkfront.New(s.Eng, blkfront.Config{
 			Dom: dom, Bus: s.Bus, Registry: s.BlkReg, DevID: devid,
-			BackDom: cfg.Storage.Dom.ID,
+			BackDom: cfg.Storage.Dom.ID, Pool: s.BlkPool,
 			OnReady: func() {
 				g.Pool = bufpool.New(s.Eng, g.Disk, bufpool.Config{
 					CapacityBytes: cache,

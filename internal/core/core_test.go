@@ -281,8 +281,8 @@ func TestVbdWindowsDoNotOverlap(t *testing.T) {
 		t.Fatal("writes failed")
 	}
 	var backA, backB []byte
-	g1.Disk.ReadSectors(0, 4096, func(d []byte, _ error) { backA = d })
-	g2.Disk.ReadSectors(0, 4096, func(d []byte, _ error) { backB = d })
+	g1.Disk.ReadSectors(0, 4096, func(d []byte, _ error) { backA = append([]byte(nil), d...) })
+	g2.Disk.ReadSectors(0, 4096, func(d []byte, _ error) { backB = append([]byte(nil), d...) })
 	tb.System.Eng.RunFor(10 * sim.Millisecond)
 	if !bytes.Equal(backA, a) || !bytes.Equal(backB, b) {
 		t.Fatal("vbd windows overlap")

@@ -9,6 +9,70 @@ import (
 	"kite/internal/workload"
 )
 
+// BlkStats summarizes the deterministic block-path workload behind
+// kitebench's -blk flag. Every figure derives from a single simulation's
+// own state (simulated time, per-system pool counters), so the printed
+// line is byte-identical for any -parallel worker count.
+type BlkStats struct {
+	Ops         uint64
+	Bytes       uint64
+	OpsPerSec   float64 // per simulated second
+	BytesPerSec float64 // per simulated second
+	PoolHitRate float64 // recycled fraction of sector-buffer gets
+}
+
+// BlkSummary drives a sequential write pass, a sequential read-back pass,
+// and a strided read pass of Scale.DDBytes through the raw vbd on a Kite
+// rig, measuring throughput in simulated time and the blkpool hit rate.
+func BlkSummary(s Scale) BlkStats {
+	rig := mustStorRig(core.StorageRigConfig{Kind: core.KindKite, Seed: 0xB1C, DiskBytes: 4 << 30})
+	eng := rig.Testbed.System.Eng
+	const ioBytes = 128 << 10
+	payload := make([]byte, ioBytes)
+	for i := range payload {
+		payload[i] = byte(i*31 + 7)
+	}
+	rounds := int(s.DDBytes / ioBytes)
+	var st BlkStats
+	start := eng.Now()
+	oneOp := func(issue func(done *bool)) {
+		done := false
+		issue(&done)
+		drive(rig.Testbed.System, func() bool { return done }, 10_000_000)
+		st.Ops++
+		st.Bytes += ioBytes
+	}
+	secPerOp := int64(ioBytes / 512)
+	for i := 0; i < rounds; i++ {
+		sector := int64(i) * secPerOp
+		oneOp(func(done *bool) {
+			rig.Guest.Disk.WriteSectors(sector, payload, func(err error) { *done = err == nil })
+		})
+	}
+	for i := 0; i < rounds; i++ {
+		sector := int64(i) * secPerOp
+		oneOp(func(done *bool) {
+			rig.Guest.Disk.ReadSectors(sector, ioBytes, func(_ []byte, err error) { *done = err == nil })
+		})
+	}
+	for i := 0; i < rounds; i++ { // strided: defeat device sequentiality
+		sector := int64((i*7)%rounds) * secPerOp
+		oneOp(func(done *bool) {
+			rig.Guest.Disk.ReadSectors(sector, ioBytes, func(_ []byte, err error) { *done = err == nil })
+		})
+	}
+	elapsed := (eng.Now() - start).Seconds()
+	if elapsed > 0 {
+		st.OpsPerSec = float64(st.Ops) / elapsed
+		st.BytesPerSec = float64(st.Bytes) / elapsed
+	}
+	pool := rig.Testbed.System.BlkPool
+	if pool.Gets() > 0 {
+		st.PoolHitRate = float64(pool.Gets()-pool.Fresh()) / float64(pool.Gets())
+	}
+	return st
+}
+
 // Fig11DD reproduces Figure 11: dd sequential read and write through the
 // raw vbd. The paper shows ~1 GB/s-class parity between the domains.
 func Fig11DD(s Scale) *Result {

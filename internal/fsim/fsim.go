@@ -334,13 +334,9 @@ func (fs *FS) Read(f *File, off int64, n int, cb func(data []byte, err error)) {
 	for _, r := range runs {
 		dst := out[pos : pos+r.len]
 		pos += r.len
-		fs.pool.Read(r.off, int(r.len), func(data []byte, err error) {
-			if err != nil {
-				if failed == nil {
-					failed = err
-				}
-			} else {
-				copy(dst, data)
+		fs.pool.ReadInto(r.off, dst, func(err error) {
+			if err != nil && failed == nil {
+				failed = err
 			}
 			remaining--
 			if remaining == 0 {

@@ -21,6 +21,10 @@ func (d *memDisk) ReadSectors(sector int64, n int, cb func([]byte, error)) {
 	copy(out, d.data[sector*bufpool.SectorSize:])
 	d.eng.After(10*sim.Microsecond, func() { cb(out, nil) })
 }
+func (d *memDisk) ReadSectorsInto(sector int64, dst []byte, cb func(error)) {
+	copy(dst, d.data[sector*bufpool.SectorSize:])
+	d.eng.After(10*sim.Microsecond, func() { cb(nil) })
+}
 func (d *memDisk) WriteSectors(sector int64, data []byte, cb func(error)) {
 	copy(d.data[sector*bufpool.SectorSize:], data)
 	d.eng.After(10*sim.Microsecond, func() { cb(nil) })

@@ -29,4 +29,14 @@ var (
 	NetRxPersistHits Counter
 	// NetRxPersistMisses counts netback Rx grants that had to be mapped.
 	NetRxPersistMisses Counter
+	// BlkPoolGets counts sector buffers handed out by all blkpools.
+	BlkPoolGets Counter
+	// BlkPoolRecycles counts sector buffers returned to a blkpool free list.
+	BlkPoolRecycles Counter
+	// NVMeVecReads counts scatter-gather read commands issued to NVMe
+	// device models (one per merged blkback device op).
+	NVMeVecReads Counter
+	// NVMeVecWrites counts scatter-gather write commands issued to NVMe
+	// device models.
+	NVMeVecWrites Counter
 )

@@ -3,11 +3,21 @@
 // base latency, and direction-dependent bandwidth caps. Data is stored for
 // real (sparse 4 KiB blocks), so storage-path tests verify end-to-end
 // integrity, not just timing.
+//
+// The data-path entry points are the scatter-gather commands ReadVec and
+// WriteVec: blkback hands down an iovec of grant-mapped page views and the
+// device copies between those views and its sparse store directly, with no
+// intermediate flattened buffer. The device itself allocates nothing in
+// steady state: store blocks are carved from a slab (one allocation per 64
+// blocks, first touch only), partial-block writes stage through a single
+// reusable scratch block, and completion callbacks ride pooled pending
+// structs whose timer closures are created once and recycled forever.
 package nvme
 
 import (
 	"fmt"
 
+	"kite/internal/metrics"
 	"kite/internal/sim"
 )
 
@@ -16,6 +26,10 @@ const SectorSize = 512
 
 // blockSize is the sparse-store granularity.
 const blockSize = 4096
+
+// slabBlocks is how many store blocks one slab allocation carves into:
+// first-touch writes cost one make per 64 blocks instead of one per block.
+const slabBlocks = 64
 
 // Op is a device command type.
 type Op int
@@ -67,6 +81,7 @@ func Default970EvoPlus() Config {
 // Stats counts device activity.
 type Stats struct {
 	ReadOps, WriteOps, FlushOps uint64
+	VecReads, VecWrites         uint64 // scatter-gather commands
 	ReadBytes, WriteBytes       uint64
 }
 
@@ -77,6 +92,17 @@ type Device struct {
 	bdf string
 
 	blocks map[int64][]byte // sparse store
+	slab   []byte           // spare capacity carved into store blocks
+	// scratch is the single reusable staging block for partial-block
+	// writes into not-yet-resident blocks: the merged full-block image is
+	// assembled here, then committed to a freshly carved block. It
+	// replaces the old per-write `make([]byte, blockSize)` staging.
+	scratch [blockSize]byte
+
+	// pendFree recycles in-flight command records; each carries a timer
+	// closure created once, so issuing a command never allocates.
+	pendFree []*pending
+
 	// busBusyUntil serializes data transfers: bandwidth is a device-wide
 	// resource. Per-command base latency overlaps across commands
 	// (channel/queue parallelism).
@@ -107,6 +133,53 @@ func (d *Device) CapacitySectors() int64 { return d.cfg.CapacityBytes / SectorSi
 // Stats returns a snapshot of the counters.
 func (d *Device) Stats() Stats { return d.stats }
 
+// pending is one in-flight command awaiting its completion time.
+type pending struct {
+	d      *Device
+	cb     func(err error)
+	iov    [][]byte // read gather targets; nil for writes
+	sector int64
+	err    error
+	run    func() // created once, reused across recycles
+}
+
+func (d *Device) getPending() *pending {
+	if n := len(d.pendFree); n > 0 {
+		p := d.pendFree[n-1]
+		d.pendFree = d.pendFree[:n-1]
+		return p
+	}
+	p := &pending{d: d}
+	p.run = p.fire
+	return p
+}
+
+// fire delivers one command completion. Reads gather from the store at
+// completion time (the moment the simulated DMA finishes), matching the
+// pre-vectored behaviour where Read copied out in its completion event.
+func (p *pending) fire() {
+	d, cb, iov, sector, err := p.d, p.cb, p.iov, p.sector, p.err
+	p.cb, p.iov, p.err = nil, nil, nil
+	d.pendFree = append(d.pendFree, p)
+	if err == nil && iov != nil {
+		off := sector * SectorSize
+		for _, seg := range iov {
+			d.readRange(off, seg)
+			off += int64(len(seg))
+		}
+	}
+	cb(err)
+}
+
+// complete books the command on the bus and schedules its pooled pending
+// record at the completion time.
+func (d *Device) complete(op Op, sector int64, n int, iov [][]byte, cb func(err error)) {
+	done := d.completionTime(op, sector, n)
+	p := d.getPending()
+	p.cb, p.iov, p.sector, p.err = cb, iov, sector, nil
+	d.eng.Schedule(done, p.run)
+}
+
 // completionTime books the data transfer on the shared bus and returns
 // when the command finishes (transfer end plus overlappable base latency).
 // Non-sequential commands pay the random-access penalty on the bus.
@@ -131,8 +204,56 @@ func (d *Device) completionTime(op Op, sector int64, n int) sim.Time {
 	return d.busBusyUntil + lat
 }
 
+// ReadVec reads into the iovec's segment views, starting at sector; cb
+// fires at command completion, after the data has been gathered. The
+// segments must stay valid (and unwritten by the caller) until then —
+// ownership transfers to the device for the life of the command.
+func (d *Device) ReadVec(sector int64, iov [][]byte, cb func(err error)) {
+	n := vecBytes(iov)
+	if err := d.check(sector, n); err != nil {
+		d.eng.After(0, func() { cb(err) })
+		return
+	}
+	d.stats.ReadOps++
+	d.stats.VecReads++
+	d.stats.ReadBytes += uint64(n)
+	metrics.NVMeVecReads.Add(1)
+	d.complete(OpRead, sector, n, iov, cb)
+}
+
+// WriteVec gathers the iovec's segment views into the store at sector; cb
+// fires at command completion. Like Write, the data lands in the store
+// immediately (write cache); timing models the command completion, and the
+// segments may be reused as soon as WriteVec returns.
+func (d *Device) WriteVec(sector int64, iov [][]byte, cb func(err error)) {
+	n := vecBytes(iov)
+	if err := d.check(sector, n); err != nil {
+		d.eng.After(0, func() { cb(err) })
+		return
+	}
+	d.stats.WriteOps++
+	d.stats.VecWrites++
+	d.stats.WriteBytes += uint64(n)
+	metrics.NVMeVecWrites.Add(1)
+	off := sector * SectorSize
+	for _, seg := range iov {
+		d.writeBytesAt(off, seg)
+		off += int64(len(seg))
+	}
+	d.complete(OpWrite, sector, n, nil, cb)
+}
+
+func vecBytes(iov [][]byte) int {
+	n := 0
+	for _, seg := range iov {
+		n += len(seg)
+	}
+	return n
+}
+
 // Read reads n bytes starting at sector into a fresh buffer; cb fires at
-// command completion.
+// command completion. Kept for raw-device callers and tests; the PV data
+// path uses ReadVec.
 func (d *Device) Read(sector int64, n int, cb func(data []byte, err error)) {
 	if err := d.check(sector, n); err != nil {
 		d.eng.After(0, func() { cb(nil, err) })
@@ -141,7 +262,11 @@ func (d *Device) Read(sector int64, n int, cb func(data []byte, err error)) {
 	d.stats.ReadOps++
 	d.stats.ReadBytes += uint64(n)
 	done := d.completionTime(OpRead, sector, n)
-	d.eng.Schedule(done, func() { cb(d.readBytes(sector, n), nil) })
+	d.eng.Schedule(done, func() {
+		out := make([]byte, n)
+		d.readRange(sector*SectorSize, out)
+		cb(out, nil)
+	})
 }
 
 // Write stores data at sector; cb fires at command completion.
@@ -152,9 +277,7 @@ func (d *Device) Write(sector int64, data []byte, cb func(err error)) {
 	}
 	d.stats.WriteOps++
 	d.stats.WriteBytes += uint64(len(data))
-	// Writes land in the store immediately (write cache); timing models
-	// the command completion.
-	d.writeBytes(sector, data)
+	d.writeBytesAt(sector*SectorSize, data)
 	done := d.completionTime(OpWrite, sector, len(data))
 	d.eng.Schedule(done, func() { cb(nil) })
 }
@@ -168,7 +291,9 @@ func (d *Device) Flush(cb func(err error)) {
 	}
 	// The flush must also outlast the base latency of in-flight writes.
 	latest += d.cfg.WriteLatency
-	d.eng.Schedule(latest+d.cfg.FlushLatency, func() { cb(nil) })
+	p := d.getPending()
+	p.cb = cb
+	d.eng.Schedule(latest+d.cfg.FlushLatency, p.run)
 }
 
 func (d *Device) check(sector int64, n int) error {
@@ -181,9 +306,20 @@ func (d *Device) check(sector int64, n int) error {
 	return nil
 }
 
-func (d *Device) readBytes(sector int64, n int) []byte {
+// PeekBytes copies the stored content of [sector, sector+n/SectorSize) into
+// a fresh buffer without touching the timing model — a diagnostic/test
+// window onto the on-disk state.
+func (d *Device) PeekBytes(sector int64, n int) []byte {
 	out := make([]byte, n)
-	off := sector * SectorSize
+	d.readRange(sector*SectorSize, out)
+	return out
+}
+
+// readRange copies stored bytes at byte offset off into dst; unwritten
+// regions read as zeros (and must overwrite recycled destination buffers,
+// hence the explicit clear).
+func (d *Device) readRange(off int64, dst []byte) {
+	n := len(dst)
 	for i := 0; i < n; {
 		blk := (off + int64(i)) / blockSize
 		in := int((off + int64(i)) % blockSize)
@@ -192,15 +328,30 @@ func (d *Device) readBytes(sector int64, n int) []byte {
 			run = n - i
 		}
 		if b := d.blocks[blk]; b != nil {
-			copy(out[i:i+run], b[in:in+run])
+			copy(dst[i:i+run], b[in:in+run])
+		} else {
+			clear(dst[i : i+run])
 		}
 		i += run
 	}
-	return out
 }
 
-func (d *Device) writeBytes(sector int64, data []byte) {
-	off := sector * SectorSize
+// carveBlock takes one store block from the slab, refilling it when empty.
+func (d *Device) carveBlock() []byte {
+	if len(d.slab) < blockSize {
+		d.slab = make([]byte, slabBlocks*blockSize)
+	}
+	b := d.slab[:blockSize:blockSize]
+	d.slab = d.slab[blockSize:]
+	return b
+}
+
+// writeBytesAt stores data at byte offset off. A partial write into a
+// block with no resident store yet stages the merged full-block image
+// (zeros plus the written run) in the device's single scratch block, then
+// commits it to a freshly carved block — the commit must copy because the
+// scratch is reused by the very next partial write.
+func (d *Device) writeBytesAt(off int64, data []byte) {
 	for i := 0; i < len(data); {
 		blk := (off + int64(i)) / blockSize
 		in := int((off + int64(i)) % blockSize)
@@ -210,7 +361,17 @@ func (d *Device) writeBytes(sector int64, data []byte) {
 		}
 		b := d.blocks[blk]
 		if b == nil {
-			b = make([]byte, blockSize)
+			if run == blockSize {
+				b = d.carveBlock()
+			} else {
+				clear(d.scratch[:])
+				copy(d.scratch[in:in+run], data[i:i+run])
+				b = d.carveBlock()
+				copy(b, d.scratch[:])
+				d.blocks[blk] = b
+				i += run
+				continue
+			}
 			d.blocks[blk] = b
 		}
 		copy(b[in:in+run], data[i:i+run])

@@ -166,6 +166,104 @@ func TestStatsCount(t *testing.T) {
 	}
 }
 
+func TestVecRoundTrip(t *testing.T) {
+	// A scatter write followed by a gather read into differently shaped
+	// segments must carry the same bytes as the flat path.
+	eng := sim.NewEngine()
+	d := newDev(eng)
+	data := make([]byte, 12288)
+	sim.NewRand(3).Bytes(data)
+	out := make([]byte, len(data))
+	done := 0
+	d.WriteVec(64, [][]byte{data[:4096], data[4096:6144], data[6144:]}, func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		done++
+		d.ReadVec(64, [][]byte{out[:512], out[512:8192], out[8192:]}, func(err error) {
+			if err != nil {
+				t.Fatal(err)
+			}
+			done++
+		})
+	})
+	eng.Run()
+	if done != 2 || !bytes.Equal(out, data) {
+		t.Fatal("vectored round trip mismatch")
+	}
+	st := d.Stats()
+	if st.VecWrites != 1 || st.VecReads != 1 {
+		t.Fatalf("vec ops = %d/%d, want 1/1", st.VecWrites, st.VecReads)
+	}
+}
+
+func TestVecReadGathersAtCompletion(t *testing.T) {
+	// ReadVec must fully overwrite recycled destination buffers: unwritten
+	// regions read as zeros, not as the buffer's stale contents.
+	eng := sim.NewEngine()
+	d := newDev(eng)
+	dst := bytes.Repeat([]byte{0xEE}, 4096)
+	d.ReadVec(9_000_000, [][]byte{dst}, func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	eng.Run()
+	for _, b := range dst {
+		if b != 0 {
+			t.Fatal("stale destination bytes survived an unwritten-region read")
+		}
+	}
+}
+
+func TestVecRejectsBadRange(t *testing.T) {
+	eng := sim.NewEngine()
+	d := newDev(eng)
+	var err1, err2 error
+	d.ReadVec(d.CapacitySectors()-1, [][]byte{make([]byte, 4096)}, func(err error) { err1 = err })
+	d.WriteVec(0, [][]byte{make([]byte, 100)}, func(err error) { err2 = err })
+	eng.Run()
+	if err1 == nil || err2 == nil {
+		t.Fatal("invalid vectored i/o accepted")
+	}
+}
+
+func TestReadAfterPartialWriteIntegrity(t *testing.T) {
+	// Regression test for the scratch-block staging of partial-block
+	// writes: consecutive partial writes into different fresh blocks must
+	// not alias each other (a naive implementation sharing the scratch as
+	// the store would), and the uncovered regions must read as zeros.
+	eng := sim.NewEngine()
+	d := newDev(eng)
+	a := bytes.Repeat([]byte{0xAA}, 512)
+	b := bytes.Repeat([]byte{0xBB}, 512)
+	done := 0
+	d.Write(1, a, func(error) { done++ })  // partial write, block 0
+	d.Write(9, b, func(error) { done++ })  // partial write, block 1
+	eng.Run()
+	if done != 2 {
+		t.Fatal("writes incomplete")
+	}
+	blk0 := d.PeekBytes(0, 4096)
+	blk1 := d.PeekBytes(8, 4096)
+	if !bytes.Equal(blk0[512:1024], a) || !bytes.Equal(blk1[512:1024], b) {
+		t.Fatal("partial writes corrupted each other")
+	}
+	for i, v := range blk0 {
+		if (i < 512 || i >= 1024) && v != 0 {
+			t.Fatalf("block 0 byte %d = %#x, want 0", i, v)
+		}
+	}
+	// A later partial write to block 0 must preserve the first run.
+	c := bytes.Repeat([]byte{0xCC}, 512)
+	d.Write(3, c, func(error) { done++ })
+	eng.Run()
+	blk0 = d.PeekBytes(0, 4096)
+	if !bytes.Equal(blk0[512:1024], a) || !bytes.Equal(blk0[1536:2048], c) {
+		t.Fatal("partial overwrite lost earlier data")
+	}
+}
+
 func TestCrossBlockBoundaryData(t *testing.T) {
 	// Writes not aligned to the 4 KiB sparse-store blocks must still read
 	// back correctly.
