@@ -24,14 +24,21 @@ race:
 zeroalloc:
 	$(GO) test -count=1 -run 'TestForwardPathZeroAlloc|TestBlockPathZeroAlloc' ./internal/core
 
-# bench snapshots the forward-path pipeline benchmark into BENCH_net.json
-# (simulated frames per wall second, ns and allocs per forwarded frame) and
-# the storage pipeline benchmark into BENCH_blk.json (bytes per wall second,
-# ns and allocs per 256 KiB write+read round trip).
+# bench snapshots the forward-path pipeline benchmarks into BENCH_net.json
+# (frames per second plus the multi-queue simframes/sec sweep over
+# -queues 1,2,4,8) and the storage pipeline benchmarks into BENCH_blk.json
+# (bytes per second plus the matching simbytes/sec sweep). Each go-test run
+# lands in a temp file first: in a pipeline a benchmark failure would be
+# swallowed by the pipe (make only sees the last command's status) while
+# still truncating the committed snapshot. The temp file makes the failure
+# stop the target before BENCH_*.json is touched, and is kept on failure
+# for inspection.
 bench:
-	$(GO) test -run '^$$' -bench BenchmarkForwardPath -benchmem -count=1 ./internal/core \
-		| $(GO) run ./cmd/benchjson > BENCH_net.json
+	$(GO) test -run '^$$' -bench 'BenchmarkForwardPath' -benchmem -count=1 ./internal/core > bench_net.tmp
+	$(GO) run ./cmd/benchjson < bench_net.tmp > BENCH_net.json
+	rm bench_net.tmp
 	cat BENCH_net.json
-	$(GO) test -run '^$$' -bench BenchmarkBlockPath -benchmem -count=1 ./internal/core \
-		| $(GO) run ./cmd/benchjson > BENCH_blk.json
+	$(GO) test -run '^$$' -bench 'BenchmarkBlockPath' -benchmem -count=1 ./internal/core > bench_blk.tmp
+	$(GO) run ./cmd/benchjson < bench_blk.tmp > BENCH_blk.json
+	rm bench_blk.tmp
 	cat BENCH_blk.json

@@ -14,13 +14,27 @@ import (
 
 // result is one parsed benchmark line.
 type result struct {
-	Name         string  `json:"name"`
-	Iterations   int64   `json:"iterations"`
-	NsPerOp      float64 `json:"ns_per_op"`
-	FramesPerSec float64 `json:"frames_per_sec,omitempty"`
-	BytesPerSec  float64 `json:"bytes_per_sec,omitempty"`
-	BytesPerOp   int64   `json:"bytes_per_op"`
-	AllocsPerOp  int64   `json:"allocs_per_op"`
+	Name            string  `json:"name"`
+	Iterations      int64   `json:"iterations"`
+	NsPerOp         float64 `json:"ns_per_op"`
+	FramesPerSec    float64 `json:"frames_per_sec,omitempty"`
+	BytesPerSec     float64 `json:"bytes_per_sec,omitempty"`
+	SimFramesPerSec float64 `json:"sim_frames_per_sec,omitempty"`
+	SimBytesPerSec  float64 `json:"sim_bytes_per_sec,omitempty"`
+	BytesPerOp      int64   `json:"bytes_per_op"`
+	AllocsPerOp     int64   `json:"allocs_per_op"`
+}
+
+// benchName strips the trailing -N GOMAXPROCS suffix go test appends, and
+// only that: sub-benchmark names (Benchmark/queues=4-8) may themselves
+// contain dashes, so cut at the LAST dash and only when digits follow.
+func benchName(field string) string {
+	if i := strings.LastIndex(field, "-"); i > 0 {
+		if _, err := strconv.Atoi(field[i+1:]); err == nil {
+			return field[:i]
+		}
+	}
+	return field
 }
 
 func main() {
@@ -35,7 +49,7 @@ func main() {
 		if len(fields) < 4 {
 			continue
 		}
-		r := result{Name: strings.SplitN(fields[0], "-", 2)[0]}
+		r := result{Name: benchName(fields[0])}
 		r.Iterations, _ = strconv.ParseInt(fields[1], 10, 64)
 		// Remaining fields come in "<value> <unit>" pairs.
 		for i := 2; i+1 < len(fields); i += 2 {
@@ -50,6 +64,10 @@ func main() {
 				r.FramesPerSec = v
 			case "bytes/sec":
 				r.BytesPerSec = v
+			case "simframes/sec":
+				r.SimFramesPerSec = v
+			case "simbytes/sec":
+				r.SimBytesPerSec = v
 			case "B/op":
 				r.BytesPerOp = int64(v)
 			case "allocs/op":

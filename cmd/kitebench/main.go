@@ -3,13 +3,18 @@
 //
 // Usage:
 //
-//	kitebench [-full] [-only FIG7,FIG11] [-parallel N] [-ablations]
+//	kitebench [-full] [-only FIG7,FIG11] [-parallel N] [-ablations] [-blk] [-queues N]
 //
 // -full runs paper-scale workloads (more virtual seconds; wall-clock
 // minutes); the default quick scale preserves every comparison's shape.
 // -parallel N spreads independent experiments (and the Linux/Kite rig pair
 // inside each) over up to N OS threads; output is byte-identical for any N
 // because every simulation leg owns its entire world.
+// -queues N runs the deterministic multi-queue workload (RSS-steered vif
+// queues, striped vbd hardware queues) on rigs with N queues per device;
+// its summary prints only queue-invariant totals and checksums, so the
+// whole output stays byte-identical for any -parallel x -queues choice
+// (scaling numbers live in the MQ benchmarks and BENCH_*.json instead).
 package main
 
 import (
@@ -28,6 +33,7 @@ func main() {
 	parallel := flag.Int("parallel", 1, "max experiment legs to run concurrently")
 	ablations := flag.Bool("ablations", false, "also run the design-choice ablations")
 	blk := flag.Bool("blk", false, "also run the deterministic block-path workload and print its summary")
+	queues := flag.Int("queues", 0, "also run the deterministic multi-queue workload with this many queues per device")
 	flag.Parse()
 
 	scale := experiments.Quick()
@@ -76,6 +82,14 @@ func main() {
 		bs := experiments.BlkSummary(scale)
 		fmt.Printf("kitebench: blk %d ops / %d MB: %.1f ops/sec, %.1f MB/sec simulated, pool hit rate %.3f\n",
 			bs.Ops, bs.Bytes>>20, bs.OpsPerSec, bs.BytesPerSec/1e6, bs.PoolHitRate)
+	}
+	if *queues > 0 {
+		// Self-contained simulations whose printed totals and checksums are
+		// queue-invariant: RSS steering and extent striping reorder work
+		// across queues but never change what arrives. The same lines print
+		// for -queues 1 and -queues 8 — scaling shows up in the MQ
+		// benchmarks, not here.
+		fmt.Println(experiments.MQSummary(scale, *queues).String())
 	}
 	fmt.Printf("kitebench: %d experiments, %d simulation events in %.2fs wall (%.2fM events/sec)\n",
 		len(results), events, elapsed.Seconds(),

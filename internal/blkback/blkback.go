@@ -1,16 +1,23 @@
 // Package blkback implements the storage backend driver of a driver
 // domain — the largest from-scratch component of Kite (Table 1, 1904 LOC).
-// A dedicated request thread drains the blkif ring when the event channel
-// fires (§3.3); requests resolve their granted segments through a
-// persistent-reference cache (avoiding map/unmap hypercalls), consecutive
-// segments from one or more requests are batched into single device
-// operations, and completions are answered asynchronously so later
-// requests never wait on earlier ones.
+// A dedicated request thread per hardware queue drains its blkif ring when
+// the queue's event channel fires (§3.3); requests resolve their granted
+// segments through a persistent-reference cache (avoiding map/unmap
+// hypercalls), consecutive segments from one or more requests are batched
+// into single device operations, and completions are answered
+// asynchronously so later requests never wait on earlier ones.
+//
+// The transport is multi-queue (blk-mq): an instance owns one worker shard
+// per negotiated queue, each pinned to its own driver-domain vCPU with a
+// private ring, event channel, persistent-grant cache, pooled records, and
+// NVMe submission queue — so request processing scales across vCPUs while
+// per-queue state stays lock-free. The frontend stripes by extent, so each
+// shard still sees mergeable sequential runs.
 //
 // The device path is vectored end to end: a merged device op hands the
 // NVMe model an iovec of grant-mapped page views (ReadVec/WriteVec), so
 // merged requests are never flattened into an intermediate buffer. All
-// per-request and per-op records are pooled on per-instance free lists
+// per-request and per-op records are pooled on per-queue free lists
 // with their completion closures created once, so the steady-state data
 // path performs no heap allocation (DESIGN.md §8).
 package blkback
@@ -19,6 +26,7 @@ import (
 	"fmt"
 
 	"kite/internal/blkif"
+	"kite/internal/metrics"
 	"kite/internal/nvme"
 	"kite/internal/sim"
 	"kite/internal/xen"
@@ -75,44 +83,42 @@ type resolvedSeg struct {
 }
 
 // ioReq is one parsed ring request. Instances are pooled on the owning
-// Instance's free list; segs keeps its capacity across recycles.
+// queue's free list; segs keeps its capacity across recycles.
 type ioReq struct {
 	id     uint64
 	op     blkif.Op // OpRead/OpWrite/OpFlush after unwrapping indirect
 	sector int64    // absolute device sector (translated)
 	segs   []resolvedSeg
 	bytes  int
-	inst   *Instance
+	q      *ioQueue
 }
 
 // deviceOp is one merged device operation. Instances are pooled; reqs and
 // iov keep their capacity across recycles, and onDone is created once per
 // record so submission never allocates a completion closure. iov lives on
-// the op (not the Instance) because several ops are in flight at once.
+// the op (not the queue) because several ops are in flight at once.
 type deviceOp struct {
 	op     blkif.Op
 	sector int64
 	bytes  int
 	reqs   []*ioReq
 	iov    [][]byte
-	inst   *Instance
-	onDone func(err error) // created once, calls inst.complete(op, err)
+	q      *ioQueue
+	onDone func(err error) // created once, calls q.complete(op, err)
 }
 
-// Instance is one blkback serving one frontend vbd.
-type Instance struct {
-	eng      *sim.Engine
-	dom      *xen.Domain
-	frontDom xen.DomID
-	devid    int
-	name     string
-	costs    Costs
+// ioQueue is one hardware-queue worker shard: its ring, event channel,
+// request thread pinned to one driver-domain vCPU, persistent-grant cache,
+// NVMe submission queue, and all pooled records — fully private, so shards
+// never contend.
+type ioQueue struct {
+	inst *Instance
+	id   int
 
 	ring *blkif.Ring
 	port xen.Port
-	dev  *nvme.Device
-	base int64 // first sector of this vbd's window on the device
-	size int64 // sectors
+	cpu  *sim.CPU
+	sq   int // NVMe submission queue (the pinned vCPU's, like nvme's per-CPU SQs)
 
 	thread *sim.Task
 	pmaps  map[xen.GrantRef]*xen.Mapping
@@ -131,48 +137,107 @@ type Instance struct {
 	segScratch []blkif.Segment // indirect descriptor decode, one parse at a time
 	unmapBuf   []*xen.Mapping  // releaseSegs staging
 
-	dead  bool
 	stats Stats
 }
 
+// Instance is one blkback serving one frontend vbd through one worker
+// shard per negotiated hardware queue.
+type Instance struct {
+	eng      *sim.Engine
+	dom      *xen.Domain
+	frontDom xen.DomID
+	devid    int
+	name     string
+	costs    Costs
+
+	dev  *nvme.Device
+	base int64 // first sector of this vbd's window on the device
+	size int64 // sectors
+
+	queues []*ioQueue
+	dead   bool
+}
+
 // NewInstance creates a connected blkback instance over a sector window of
-// the physical device.
+// the physical device, one worker shard per channel queue. frontPorts
+// carries the frontend's per-queue event channels (length must match the
+// channel's queue count).
 func NewInstance(eng *sim.Engine, dom *xen.Domain, frontDom xen.DomID, devid int,
-	ch *blkif.Channel, frontPort xen.Port, dev *nvme.Device,
+	ch *blkif.Channel, frontPorts []xen.Port, dev *nvme.Device,
 	baseSector, sectors int64, costs Costs) (*Instance, error) {
 
+	nq := ch.NumQueues()
+	if len(frontPorts) != nq {
+		return nil, fmt.Errorf("blkback: %d event channels for %d queues", len(frontPorts), nq)
+	}
 	inst := &Instance{
 		eng: eng, dom: dom, frontDom: frontDom, devid: devid,
 		name:  fmt.Sprintf("vbd%d.%d", frontDom, devid),
-		costs: costs, ring: ch.Ring, dev: dev,
+		costs: costs, dev: dev,
 		base: baseSector, size: sectors,
-		pmaps: make(map[xen.GrantRef]*xen.Mapping),
 	}
-	// Map the ring page.
-	dom.CPUs.Charge(dom.Hypervisor().Costs.Base + dom.Hypervisor().Costs.GrantMapPage)
-	port, err := dom.BindInterdomain(frontDom, frontPort)
-	if err != nil {
-		return nil, fmt.Errorf("blkback: %s: %w", inst.name, err)
+	// Map the ring pages (one per queue).
+	dom.CPUs.Charge(dom.Hypervisor().Costs.Base +
+		sim.Time(nq)*dom.Hypervisor().Costs.GrantMapPage)
+	inst.queues = make([]*ioQueue, nq)
+	for i := 0; i < nq; i++ {
+		cpuIdx := (int(frontDom) + i) % dom.CPUs.Len()
+		q := &ioQueue{
+			inst: inst, id: i,
+			ring:  ch.Rings.Queue(i),
+			cpu:   dom.CPUs.CPU(cpuIdx),
+			sq:    cpuIdx,
+			pmaps: make(map[xen.GrantRef]*xen.Mapping),
+		}
+		port, err := dom.BindInterdomain(frontDom, frontPorts[i])
+		if err != nil {
+			return nil, fmt.Errorf("blkback: %s: %w", inst.name, err)
+		}
+		q.port = port
+		if err := dom.SetHandler(port, q.onEvent); err != nil {
+			return nil, err
+		}
+		name := inst.name + "/req-thread"
+		if nq > 1 {
+			name = fmt.Sprintf("%s/req-thread-q%d", inst.name, i)
+		}
+		q.thread = sim.NewTask(eng, q.cpu, name, costs.WakeLatency, q.drain)
+		q.notify = sim.NewBatch(eng, q.flushResponses)
+		inst.queues[i] = q
 	}
-	inst.port = port
-	if err := dom.SetHandler(port, inst.onEvent); err != nil {
-		return nil, err
-	}
-	inst.thread = sim.NewTask(eng, dom.CPUs.CPU(int(frontDom)%dom.CPUs.Len()),
-		inst.name+"/req-thread", costs.WakeLatency, inst.drain)
-	inst.notify = sim.NewBatch(eng, inst.flushResponses)
 	return inst, nil
 }
 
 // Name returns vbd<dom>.<dev>.
 func (inst *Instance) Name() string { return inst.name }
 
-// Stats returns a snapshot of the counters.
-func (inst *Instance) Stats() Stats { return inst.stats }
+// NumQueues returns the instance's worker-shard count.
+func (inst *Instance) NumQueues() int { return len(inst.queues) }
 
-// ThreadRuns exposes request-thread activity.
+// Stats returns the counters aggregated over queues in queue order.
+func (inst *Instance) Stats() Stats {
+	var s Stats
+	for _, q := range inst.queues {
+		s.RingRequests += q.stats.RingRequests
+		s.Segments += q.stats.Segments
+		s.DeviceOps += q.stats.DeviceOps
+		s.MergedRequests += q.stats.MergedRequests
+		s.PersistentHits += q.stats.PersistentHits
+		s.Errors += q.stats.Errors
+	}
+	return s
+}
+
+// QueueStats returns one worker shard's counters.
+func (inst *Instance) QueueStats(i int) Stats { return inst.queues[i].stats }
+
+// ThreadRuns exposes request-thread activity, summed over shards.
 func (inst *Instance) ThreadRuns() (wakes, runs uint64) {
-	return inst.thread.Wakes(), inst.thread.Runs()
+	for _, q := range inst.queues {
+		wakes += q.thread.Wakes()
+		runs += q.thread.Runs()
+	}
+	return wakes, runs
 }
 
 // Shutdown quiesces the instance and drops persistent mappings.
@@ -181,119 +246,125 @@ func (inst *Instance) Shutdown() {
 		return
 	}
 	inst.dead = true
-	_ = inst.dom.Close(inst.port)
-	maps := make([]*xen.Mapping, 0, len(inst.pmaps))
-	for _, m := range inst.pmaps {
-		maps = append(maps, m)
+	for _, q := range inst.queues {
+		_ = inst.dom.Close(q.port)
+		maps := make([]*xen.Mapping, 0, len(q.pmaps))
+		for _, m := range q.pmaps {
+			maps = append(maps, m)
+		}
+		_ = inst.dom.Hypervisor().UnmapGrantBatch(inst.dom, maps)
+		q.pmaps = map[xen.GrantRef]*xen.Mapping{}
 	}
-	_ = inst.dom.Hypervisor().UnmapGrantBatch(inst.dom, maps)
-	inst.pmaps = map[xen.GrantRef]*xen.Mapping{}
 }
 
-// getIO takes a pooled request record off the free list.
-func (inst *Instance) getIO() *ioReq {
-	if n := len(inst.ioFree); n > 0 {
-		io := inst.ioFree[n-1]
-		inst.ioFree = inst.ioFree[:n-1]
+// getIO takes a pooled request record off the shard's free list.
+func (q *ioQueue) getIO() *ioReq {
+	if n := len(q.ioFree); n > 0 {
+		io := q.ioFree[n-1]
+		q.ioFree = q.ioFree[:n-1]
 		return io
 	}
-	return &ioReq{inst: inst}
+	return &ioReq{q: q}
 }
 
-func (inst *Instance) putIO(io *ioReq) {
+func (q *ioQueue) putIO(io *ioReq) {
 	io.segs = io.segs[:0]
 	io.bytes = 0
-	inst.ioFree = append(inst.ioFree, io)
+	q.ioFree = append(q.ioFree, io)
 }
 
 // getOp takes a pooled device op; onDone is bound exactly once, when the
 // record is first allocated, and survives every recycle.
-func (inst *Instance) getOp() *deviceOp {
-	if n := len(inst.opFree); n > 0 {
-		op := inst.opFree[n-1]
-		inst.opFree = inst.opFree[:n-1]
+func (q *ioQueue) getOp() *deviceOp {
+	if n := len(q.opFree); n > 0 {
+		op := q.opFree[n-1]
+		q.opFree = q.opFree[:n-1]
 		return op
 	}
-	op := &deviceOp{inst: inst}
-	op.onDone = func(err error) { op.inst.complete(op, err) }
+	op := &deviceOp{q: q}
+	op.onDone = func(err error) { op.q.complete(op, err) }
 	return op
 }
 
-func (inst *Instance) putOp(op *deviceOp) {
+func (q *ioQueue) putOp(op *deviceOp) {
 	op.reqs = op.reqs[:0]
 	op.iov = op.iov[:0]
 	op.bytes = 0
-	inst.opFree = append(inst.opFree, op)
+	q.opFree = append(q.opFree, op)
 }
 
-// onEvent wakes the request thread (§3.3: the handler itself stays tiny).
-func (inst *Instance) onEvent() {
-	if inst.dead {
+// onEvent wakes the shard's request thread (§3.3: the handler itself stays
+// tiny).
+func (q *ioQueue) onEvent() {
+	if q.inst.dead {
 		return
 	}
-	if inst.ring.RequestAvailable() {
-		inst.thread.Wake()
+	if q.ring.RequestAvailable() {
+		q.thread.Wake()
 	}
 }
 
 // drain is the request thread body.
-func (inst *Instance) drain() {
+func (q *ioQueue) drain() {
+	inst := q.inst
 	if inst.dead {
 		return
 	}
 	for {
-		inst.batch = inst.batch[:0]
+		q.batch = q.batch[:0]
 		for {
-			req, ok := inst.ring.TakeRequest()
+			req, ok := q.ring.TakeRequest()
 			if !ok {
 				break
 			}
-			inst.stats.RingRequests++
-			io, err := inst.parse(req)
+			q.stats.RingRequests++
+			metrics.BlkQueueRequests.Add(1)
+			io, err := q.parse(req)
 			if err != nil {
-				inst.stats.Errors++
-				inst.respond(req.ID, blkif.StatusError)
+				q.stats.Errors++
+				q.respond(req.ID, blkif.StatusError)
 				continue
 			}
-			inst.batch = append(inst.batch, io)
+			q.batch = append(q.batch, io)
 		}
-		if len(inst.batch) == 0 {
-			if inst.ring.FinalCheckForRequests() {
+		if len(q.batch) == 0 {
+			if q.ring.FinalCheckForRequests() {
 				continue
 			}
 			break
 		}
-		inst.buildOps()
-		for _, op := range inst.ops {
-			inst.submit(op)
+		q.buildOps()
+		for _, op := range q.ops {
+			q.submit(op)
 		}
 	}
 }
 
 // parse validates, translates, and resolves one ring request. On error the
 // pooled record goes straight back to the free list.
-func (inst *Instance) parse(req blkif.Request) (*ioReq, error) {
-	io := inst.getIO()
+func (q *ioQueue) parse(req blkif.Request) (*ioReq, error) {
+	inst := q.inst
+	io := q.getIO()
 	io.id, io.op = req.ID, req.Op
 	segs := req.Segs
 	if req.Op == blkif.OpIndirect {
 		if !inst.costs.Indirect {
-			inst.putIO(io)
+			q.putIO(io)
 			return nil, fmt.Errorf("blkback: indirect not negotiated")
 		}
 		if req.IndirectSegs > blkif.MaxSegsIndirect {
-			inst.putIO(io)
+			q.putIO(io)
 			return nil, fmt.Errorf("blkback: %d indirect segments exceed limit", req.IndirectSegs)
 		}
 		io.op = req.Imm
-		parsed, err := inst.parseIndirect(req)
+		parsed, err := q.parseIndirect(req)
 		if err != nil {
-			inst.putIO(io)
+			q.putIO(io)
 			return nil, err
 		}
 		segs = parsed
 	} else if len(segs) > blkif.MaxSegsDirect {
-		inst.putIO(io)
+		q.putIO(io)
 		return nil, fmt.Errorf("blkback: %d direct segments exceed limit", len(segs))
 	}
 
@@ -301,16 +372,16 @@ func (inst *Instance) parse(req blkif.Request) (*ioReq, error) {
 		return io, nil
 	}
 
-	total, err := inst.resolve(segs, io)
+	total, err := q.resolve(segs, io)
 	if err != nil {
-		inst.putIO(io)
+		q.putIO(io)
 		return nil, err
 	}
 	io.bytes = total
 	nsect := int64(total / blkif.SectorSize)
 	if req.Sector < 0 || req.Sector+nsect > inst.size {
-		inst.releaseSegs(io.segs)
-		inst.putIO(io)
+		q.releaseSegs(io.segs)
+		q.putIO(io)
 		return nil, fmt.Errorf("blkback: i/o beyond vbd (sector %d + %d)", req.Sector, nsect)
 	}
 	io.sector = inst.base + req.Sector
@@ -318,31 +389,35 @@ func (inst *Instance) parse(req blkif.Request) (*ioReq, error) {
 }
 
 // parseIndirect maps the descriptor pages and decodes the segment list into
-// the instance's scratch (valid until the next parse).
-func (inst *Instance) parseIndirect(req blkif.Request) ([]blkif.Segment, error) {
-	inst.segScratch = inst.segScratch[:0]
+// the shard's scratch (valid until the next parse).
+func (q *ioQueue) parseIndirect(req blkif.Request) ([]blkif.Segment, error) {
+	inst := q.inst
+	q.segScratch = q.segScratch[:0]
 	for pi, ref := range req.IndirectRefs {
-		m, hit, err := inst.mapRef(ref)
+		m, hit, err := q.mapRef(ref)
 		if err != nil {
 			return nil, err
 		}
 		if hit {
-			inst.stats.PersistentHits++
+			q.stats.PersistentHits++
 		}
 		for si := pi * blkif.SegsPerIndirectPage; si < req.IndirectSegs && si < (pi+1)*blkif.SegsPerIndirectPage; si++ {
-			inst.segScratch = append(inst.segScratch, blkif.GetSegment(m.Page, si%blkif.SegsPerIndirectPage))
+			q.segScratch = append(q.segScratch, blkif.GetSegment(m.Page, si%blkif.SegsPerIndirectPage))
 		}
 		if !inst.costs.Persistent {
 			_ = inst.dom.Hypervisor().UnmapGrant(inst.dom, m)
 		}
 	}
-	return inst.segScratch, nil
+	return q.segScratch, nil
 }
 
-// mapRef resolves one grant ref through the persistent cache.
-func (inst *Instance) mapRef(ref xen.GrantRef) (m *xen.Mapping, cacheHit bool, err error) {
+// mapRef resolves one grant ref through the shard's persistent cache. The
+// frontend's page pools are queue-affine, so a ref only ever appears on
+// one shard and the caches never duplicate mappings.
+func (q *ioQueue) mapRef(ref xen.GrantRef) (m *xen.Mapping, cacheHit bool, err error) {
+	inst := q.inst
 	if inst.costs.Persistent {
-		if m := inst.pmaps[ref]; m != nil && m.Live() {
+		if m := q.pmaps[ref]; m != nil && m.Live() {
 			return m, true, nil
 		}
 	}
@@ -351,91 +426,94 @@ func (inst *Instance) mapRef(ref xen.GrantRef) (m *xen.Mapping, cacheHit bool, e
 		return nil, false, err
 	}
 	if inst.costs.Persistent {
-		inst.pmaps[ref] = m
+		q.pmaps[ref] = m
 	}
 	return m, false, nil
 }
 
 // resolve maps every segment into io.segs (capacity retained across the
 // record's recycles) and returns the byte total.
-func (inst *Instance) resolve(segs []blkif.Segment, io *ioReq) (int, error) {
+func (q *ioQueue) resolve(segs []blkif.Segment, io *ioReq) (int, error) {
 	io.segs = io.segs[:0]
 	total := 0
 	for _, s := range segs {
 		if s.FirstSect < 0 || s.LastSect >= blkif.SectorsPerPage || s.FirstSect > s.LastSect {
-			inst.releaseSegs(io.segs)
+			q.releaseSegs(io.segs)
 			return 0, fmt.Errorf("blkback: bad segment range %d..%d", s.FirstSect, s.LastSect)
 		}
-		m, hit, err := inst.mapRef(s.Ref)
+		m, hit, err := q.mapRef(s.Ref)
 		if err != nil {
-			inst.releaseSegs(io.segs)
+			q.releaseSegs(io.segs)
 			return 0, err
 		}
 		if hit {
-			inst.stats.PersistentHits++
+			q.stats.PersistentHits++
 		}
 		io.segs = append(io.segs, resolvedSeg{
-			mapping: m, persistent: inst.costs.Persistent,
+			mapping: m, persistent: q.inst.costs.Persistent,
 			firstSect: s.FirstSect, bytes: s.Bytes(),
 		})
 		total += s.Bytes()
-		inst.stats.Segments++
+		q.stats.Segments++
 	}
 	return total, nil
 }
 
-func (inst *Instance) releaseSegs(segs []resolvedSeg) {
-	inst.unmapBuf = inst.unmapBuf[:0]
+func (q *ioQueue) releaseSegs(segs []resolvedSeg) {
+	q.unmapBuf = q.unmapBuf[:0]
 	for i := range segs {
 		s := &segs[i]
 		if !s.persistent && s.mapping.Live() {
-			inst.unmapBuf = append(inst.unmapBuf, s.mapping)
+			q.unmapBuf = append(q.unmapBuf, s.mapping)
 		}
 	}
-	_ = inst.dom.Hypervisor().UnmapGrantBatch(inst.dom, inst.unmapBuf)
+	_ = q.inst.dom.Hypervisor().UnmapGrantBatch(q.inst.dom, q.unmapBuf)
 }
 
-// buildOps merges consecutive same-direction requests from inst.batch into
-// single device operations in inst.ops when batching is enabled (§3.3).
+// buildOps merges consecutive same-direction requests from q.batch into
+// single device operations in q.ops when batching is enabled (§3.3).
 // Merging looks only at each request's resolved direction and extent, so
-// direct and indirect requests fold into the same op.
-func (inst *Instance) buildOps() {
-	inst.ops = inst.ops[:0]
-	for _, io := range inst.batch {
+// direct and indirect requests fold into the same op. The frontend stripes
+// by extent, so a sequential stream's run within one stripe is all here.
+func (q *ioQueue) buildOps() {
+	q.ops = q.ops[:0]
+	for _, io := range q.batch {
 		if io.op == blkif.OpFlush {
-			op := inst.getOp()
+			op := q.getOp()
 			op.op, op.sector = blkif.OpFlush, 0
 			op.reqs = append(op.reqs, io)
-			inst.ops = append(inst.ops, op)
+			q.ops = append(q.ops, op)
 			continue
 		}
-		if inst.costs.Batch && len(inst.ops) > 0 {
-			last := inst.ops[len(inst.ops)-1]
+		if q.inst.costs.Batch && len(q.ops) > 0 {
+			last := q.ops[len(q.ops)-1]
 			if last.op == io.op && last.sector+int64(last.bytes/blkif.SectorSize) == io.sector {
 				last.bytes += io.bytes
 				last.reqs = append(last.reqs, io)
-				inst.stats.MergedRequests++
+				q.stats.MergedRequests++
 				continue
 			}
 		}
-		op := inst.getOp()
+		op := q.getOp()
 		op.op, op.sector, op.bytes = io.op, io.sector, io.bytes
 		op.reqs = append(op.reqs, io)
-		inst.ops = append(inst.ops, op)
+		q.ops = append(q.ops, op)
 	}
 }
 
-// submit issues one device operation. Reads and writes build an iovec of
-// grant-mapped page views on the op and hand it to the device's vectored
-// entry points — the merged payload is never flattened into a bounce
-// buffer. The op's pre-bound onDone wires the completion back here.
-func (inst *Instance) submit(op *deviceOp) {
+// submit issues one device operation on the shard's pinned vCPU and NVMe
+// submission queue. Reads and writes build an iovec of grant-mapped page
+// views on the op and hand it to the device's vectored entry points — the
+// merged payload is never flattened into a bounce buffer. The op's
+// pre-bound onDone wires the completion back here.
+func (q *ioQueue) submit(op *deviceOp) {
+	inst := q.inst
 	cost := sim.Time(len(op.reqs)) * inst.costs.PerRequest
 	for _, io := range op.reqs {
 		cost += sim.Time(len(io.segs)) * inst.costs.PerSegment
 	}
-	inst.dom.CPUs.Charge(cost)
-	inst.stats.DeviceOps++
+	q.cpu.Charge(cost)
+	q.stats.DeviceOps++
 
 	switch op.op {
 	case blkif.OpFlush:
@@ -450,49 +528,49 @@ func (inst *Instance) submit(op *deviceOp) {
 			}
 		}
 		if op.op == blkif.OpWrite {
-			inst.dev.WriteVec(op.sector, op.iov, op.onDone)
+			inst.dev.WriteVecQ(q.sq, op.sector, op.iov, op.onDone)
 		} else {
-			inst.dev.ReadVec(op.sector, op.iov, op.onDone)
+			inst.dev.ReadVecQ(q.sq, op.sector, op.iov, op.onDone)
 		}
 	default:
-		inst.complete(op, fmt.Errorf("blkback: unknown op %d", op.op))
+		q.complete(op, fmt.Errorf("blkback: unknown op %d", op.op))
 	}
 }
 
 // complete answers every request covered by a device op and recycles the
 // pooled records. For reads the device has already gathered into the
 // grant-mapped views in op.iov, so there is nothing to copy here.
-func (inst *Instance) complete(op *deviceOp, err error) {
-	if inst.dead {
+func (q *ioQueue) complete(op *deviceOp, err error) {
+	if q.inst.dead {
 		return
 	}
 	status := int8(blkif.StatusOK)
 	if err != nil {
 		status = blkif.StatusError
-		inst.stats.Errors++
+		q.stats.Errors++
 	}
 	for _, io := range op.reqs {
-		inst.releaseSegs(io.segs)
-		inst.respond(io.id, status)
-		inst.putIO(io)
+		q.releaseSegs(io.segs)
+		q.respond(io.id, status)
+		q.putIO(io)
 	}
-	inst.putOp(op)
+	q.putOp(op)
 }
 
-func (inst *Instance) respond(id uint64, status int8) {
-	if !inst.ring.PushResponse(blkif.Response{ID: id, Status: status}) {
+func (q *ioQueue) respond(id uint64, status int8) {
+	if !q.ring.PushResponse(blkif.Response{ID: id, Status: status}) {
 		return // protocol violation by frontend; nothing sane to do
 	}
-	inst.notify.Arm(inst.eng.Now())
+	q.notify.Arm(q.inst.eng.Now())
 }
 
 // flushResponses publishes every privately queued response and notifies the
 // frontend at most once per burst.
-func (inst *Instance) flushResponses() {
-	if inst.dead {
+func (q *ioQueue) flushResponses() {
+	if q.inst.dead {
 		return
 	}
-	if inst.ring.PushResponsesAndCheckNotify() {
-		inst.dom.Notify(inst.port)
+	if q.ring.PushResponsesAndCheckNotify() {
+		q.inst.dom.Notify(q.port)
 	}
 }

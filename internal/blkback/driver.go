@@ -106,7 +106,9 @@ func (d *Driver) tryPair(backPath string, frontDom xen.DomID, devid int) {
 	}
 
 	if d.bus.State(backPath) == xenbus.StateInitialising {
-		// Advertise device properties (§4.4 initialization).
+		// Advertise device properties (§4.4 initialization), including how
+		// many hardware queues we can serve: one per driver-domain vCPU,
+		// capped like xen-blkback's max_queues module parameter.
 		st.Writef(backPath+"/sectors", "%d", sectors)
 		st.Writef(backPath+"/sector-size", "%d", blkif.SectorSize)
 		d.bus.WriteFeature(backPath, "feature-flush-cache", true)
@@ -114,6 +116,11 @@ func (d *Driver) tryPair(backPath string, frontDom xen.DomID, devid int) {
 		if d.costs.Indirect {
 			st.Writef(backPath+"/feature-max-indirect-segments", "%d", blkif.MaxSegsIndirect)
 		}
+		maxq := d.dom.CPUs.Len()
+		if maxq > blkif.MaxQueues {
+			maxq = blkif.MaxQueues
+		}
+		st.Writef(backPath+"/"+xenbus.MaxQueuesKey, "%d", maxq)
 		_ = d.bus.SwitchState(backPath, xenbus.StateInitWait)
 	}
 
@@ -127,15 +134,33 @@ func (d *Driver) tryPair(backPath string, frontDom xen.DomID, devid int) {
 	}
 
 	d.invocations++
-	port, ok := st.ReadInt(frontPath + "/event-channel")
-	if !ok {
-		return
+	// Multi-queue frontends publish per-queue event channels under
+	// queue-N/; single-queue ones keep the legacy flat key.
+	nq := d.bus.ReadNumQueues(frontPath, xenbus.NumQueuesKey)
+	ports := make([]xen.Port, nq)
+	if nq == 1 {
+		port, ok := st.ReadInt(frontPath + "/event-channel")
+		if !ok {
+			return
+		}
+		ports[0] = xen.Port(port)
+	} else {
+		for i := 0; i < nq; i++ {
+			port, ok := st.ReadInt(xenbus.QueuePath(frontPath, i) + "/event-channel")
+			if !ok {
+				return
+			}
+			ports[i] = xen.Port(port)
+		}
 	}
 	ch, ok := d.reg.Claim(frontDom, devid)
 	if !ok {
 		return
 	}
-	inst, err := NewInstance(d.eng, d.dom, frontDom, devid, ch, xen.Port(port),
+	if ch.NumQueues() != nq {
+		return // store and registry disagree; a later watch retries
+	}
+	inst, err := NewInstance(d.eng, d.dom, frontDom, devid, ch, ports,
 		d.dev, base, sectors, d.costs)
 	if err != nil {
 		_ = d.bus.SwitchState(backPath, xenbus.StateClosed)

@@ -6,6 +6,17 @@
 // splits large I/O into as few ring requests as the negotiated limits
 // allow.
 //
+// The transport is multi-queue (blk-mq over blkif, xen-blkfront's
+// multi-queue protocol): the frontend reads the backend's
+// "multi-queue-max-queues" advertisement, answers with
+// "multi-queue-num-queues", and publishes one ring + event channel per
+// queue under "queue-N/" keys (flat legacy keys when single-queue).
+// Requests are steered by extent: the virtual disk is striped in 512 KiB
+// chunks and each stripe belongs to one queue, so a sequential stream
+// stays mergeable within its queue and same-sector requests stay ordered.
+// Each queue owns its persistent-grant page pool, keeping grant refs
+// queue-affine for the backend's per-queue mapping caches.
+//
 // Read completions borrow a refcounted buffer from a blkpool: the slice
 // handed to a ReadSectors callback is valid only for the duration of the
 // callback and is recycled afterwards (DESIGN.md §8). Callers that need
@@ -25,6 +36,12 @@ import (
 	"kite/internal/xen"
 	"kite/internal/xenbus"
 )
+
+// stripeSectors is the extent-striping granularity (1024 sectors = 512
+// KiB): coarse enough that a maximal 128 KiB indirect request never
+// spans queues, so blkback's merge policy still folds consecutive
+// requests within a queue.
+const stripeSectors = 1024
 
 // Costs models the guest-side software path per request.
 type Costs struct {
@@ -57,6 +74,7 @@ type poolPage struct {
 // slot shares their backing arrays until the backend consumes the request.
 type reqPart struct {
 	op       blkif.Op
+	q        *queue // the hardware queue the part rides (pages return there)
 	pages    []poolPage
 	indirect []poolPage // descriptor pages (granted, freed after response)
 	segs     []blkif.Segment
@@ -89,6 +107,21 @@ type pendingOp struct {
 	flush     bool
 }
 
+// queue is one hardware queue: its ring, event channel, persistent-grant
+// page pool, and ring-full backlog — the per-queue state xen-blkfront
+// keeps in struct blkfront_ring_info.
+type queue struct {
+	d    *Device
+	id   int
+	ring *blkif.Ring
+	port xen.Port
+
+	pool []poolPage // persistent-grant page pool (queue-affine refs)
+
+	pending  []pendingOp // ring-full backlog: retried on completions
+	pendHead int
+}
+
 // Device is one vbd frontend.
 type Device struct {
 	eng     *sim.Engine
@@ -102,21 +135,18 @@ type Device struct {
 	frontPath string
 	backPath  string
 
-	ring *blkif.Ring
-	port xen.Port
+	wantQueues int
+	queues     []*queue
 
 	persistent  bool
 	maxIndirect int
 	sectors     int64
 	flushOK     bool
 
-	pool     []poolPage // persistent-grant page pool
 	bufs     *blkpool.Pool
+	readBufs *blkpool.Arena // device-private partition for read staging
 	inflight map[uint64]*reqPart
 	nextID   uint64
-
-	pending  []pendingOp // ring-full backlog: retried on completions
-	pendHead int
 
 	partFree   []*reqPart
 	callerFree []*callerOp
@@ -136,7 +166,10 @@ type Config struct {
 	BackDom  xen.DomID
 	Costs    Costs
 	Pool     *blkpool.Pool // read-buffer pool; private pool when nil
-	OnReady  func()
+	// Queues requests a hardware-queue count; the handshake negotiates
+	// min(Queues, backend's multi-queue-max-queues). 0 means 1.
+	Queues  int
+	OnReady func()
 }
 
 // New creates the frontend for a toolstack-created vbd and starts
@@ -150,23 +183,32 @@ func New(eng *sim.Engine, cfg Config) *Device {
 	if bufs == nil {
 		bufs = blkpool.New()
 	}
+	wantQueues := cfg.Queues
+	if wantQueues < 1 {
+		wantQueues = 1
+	}
+	if wantQueues > blkif.MaxQueues {
+		wantQueues = blkif.MaxQueues
+	}
 	d := &Device{
 		eng: eng, dom: cfg.Dom, bus: cfg.Bus, reg: cfg.Registry,
 		devid: cfg.DevID, backDom: cfg.BackDom, costs: costs,
-		frontPath: xenbus.FrontendPath(xenbus.DomID(cfg.Dom.ID), "vbd", cfg.DevID),
-		backPath:  xenbus.BackendPath(xenbus.DomID(cfg.BackDom), "vbd", xenbus.DomID(cfg.Dom.ID), cfg.DevID),
-		bufs:      bufs,
-		inflight:  make(map[uint64]*reqPart),
-		onReady:   cfg.OnReady,
+		frontPath:  xenbus.FrontendPath(xenbus.DomID(cfg.Dom.ID), "vbd", cfg.DevID),
+		backPath:   xenbus.BackendPath(xenbus.DomID(cfg.BackDom), "vbd", xenbus.DomID(cfg.Dom.ID), cfg.DevID),
+		wantQueues: wantQueues,
+		bufs:       bufs,
+		readBufs:   bufs.NewArena(),
+		inflight:   make(map[uint64]*reqPart),
+		onReady:    cfg.OnReady,
 	}
 	d.bus.OnStateChange(d.backPath, func(s xenbus.State) {
 		switch s {
 		case xenbus.StateInitWait:
-			if d.ring == nil {
+			if len(d.queues) == 0 {
 				d.init()
 			}
 		case xenbus.StateConnected:
-			if !d.ready && d.ring != nil {
+			if !d.ready && len(d.queues) > 0 {
 				d.connect()
 			}
 		case xenbus.StateClosing, xenbus.StateClosed:
@@ -176,7 +218,8 @@ func New(eng *sim.Engine, cfg Config) *Device {
 	return d
 }
 
-// init reads the backend's advertised features and publishes the ring.
+// init reads the backend's advertised features, negotiates the queue
+// count, and publishes the rings.
 func (d *Device) init() {
 	st := d.bus.Store()
 	d.persistent = d.bus.ReadFeature(d.backPath, "feature-persistent")
@@ -191,13 +234,34 @@ func (d *Device) init() {
 		d.sectors = v
 	}
 
-	d.ring = blkif.NewRing()
-	d.reg.Publish(d.dom.ID, d.devid, &blkif.Channel{Ring: d.ring})
-	d.port = d.dom.AllocUnbound(d.backDom)
-	d.dom.SetHandler(d.port, d.onEvent)
+	nq := d.wantQueues
+	if max := d.bus.ReadNumQueues(d.backPath, xenbus.MaxQueuesKey); nq > max {
+		nq = max
+	}
+	ch := blkif.NewChannel(nq)
+	d.queues = make([]*queue, nq)
+	for i := 0; i < nq; i++ {
+		q := &queue{d: d, id: i, ring: ch.Rings.Queue(i)}
+		q.port = d.dom.AllocUnbound(d.backDom)
+		if err := d.dom.SetHandler(q.port, q.onEvent); err != nil {
+			panic(fmt.Sprintf("blkfront: %v", err))
+		}
+		d.queues[i] = q
+	}
+	d.reg.Publish(d.dom.ID, d.devid, ch)
 
-	st.Writef(d.frontPath+"/ring-ref", "%d", d.devid+100)
-	st.Writef(d.frontPath+"/event-channel", "%d", d.port)
+	if nq == 1 {
+		// Legacy flat keys, exactly like a single-queue blkfront.
+		st.Writef(d.frontPath+"/ring-ref", "%d", d.devid+100)
+		st.Writef(d.frontPath+"/event-channel", "%d", d.queues[0].port)
+	} else {
+		d.bus.WriteNumQueues(d.frontPath, nq)
+		for i, q := range d.queues {
+			qp := xenbus.QueuePath(d.frontPath, i)
+			st.Writef(qp+"/ring-ref", "%d", d.devid+100+i)
+			st.Writef(qp+"/event-channel", "%d", q.port)
+		}
+	}
 	st.Write(d.frontPath+"/protocol", "x86_64-abi")
 	d.bus.WriteFeature(d.frontPath, "feature-persistent", d.persistent)
 	if err := d.bus.SwitchState(d.frontPath, xenbus.StateInitialised); err != nil {
@@ -230,6 +294,10 @@ func (d *Device) Persistent() bool { return d.persistent }
 // MaxIndirect returns the negotiated indirect segment limit (0 = none).
 func (d *Device) MaxIndirect() int { return d.maxIndirect }
 
+// NumQueues returns the negotiated hardware-queue count (0 before
+// negotiation).
+func (d *Device) NumQueues() int { return len(d.queues) }
+
 // Stats returns a snapshot of the counters.
 func (d *Device) Stats() Stats { return d.stats }
 
@@ -245,13 +313,22 @@ func (d *Device) maxBytesPerRequest() int {
 	return blkif.MaxSegsDirect * mem.PageSize
 }
 
-// getPage hands out a granted page: from the persistent pool when
+// queueFor maps a virtual sector to its hardware queue by stripe.
+func (d *Device) queueFor(sector int64) *queue {
+	if len(d.queues) == 1 {
+		return d.queues[0]
+	}
+	return d.queues[int((sector/stripeSectors)%int64(len(d.queues)))]
+}
+
+// getPage hands out a granted page: from the queue's persistent pool when
 // negotiated (grant stays live across requests), else freshly granted.
-func (d *Device) getPage() poolPage {
+func (q *queue) getPage() poolPage {
+	d := q.d
 	if d.persistent {
-		if n := len(d.pool); n > 0 {
-			p := d.pool[n-1]
-			d.pool = d.pool[:n-1]
+		if n := len(q.pool); n > 0 {
+			p := q.pool[n-1]
+			q.pool = q.pool[:n-1]
 			return p
 		}
 	}
@@ -260,11 +337,12 @@ func (d *Device) getPage() poolPage {
 	return poolPage{page: page, ref: ref}
 }
 
-// putPage returns a page after response: to the pool (persistent) or
-// revoked and freed.
-func (d *Device) putPage(p poolPage) {
+// putPage returns a page after response: to the queue's pool (persistent)
+// or revoked and freed.
+func (q *queue) putPage(p poolPage) {
+	d := q.d
 	if d.persistent {
-		d.pool = append(d.pool, p)
+		q.pool = append(q.pool, p)
 		return
 	}
 	if err := d.dom.EndAccess(p.ref); err == nil {
@@ -282,6 +360,7 @@ func (d *Device) getPart() *reqPart {
 }
 
 func (d *Device) putPart(p *reqPart) {
+	p.q = nil
 	p.pages = p.pages[:0]
 	p.indirect = p.indirect[:0]
 	p.segs = p.segs[:0]
@@ -320,7 +399,7 @@ func (d *Device) ReadSectors(sector int64, n int, cb func(data []byte, err error
 	d.stats.Reads++
 	d.stats.ReadBytes += uint64(n)
 	op := d.getCaller()
-	op.buf = d.bufs.Get(n)
+	op.buf = d.readBufs.Get(n)
 	op.readBuf = op.buf.Bytes()
 	op.doneRead = cb
 	d.split(blkif.OpRead, sector, nil, op)
@@ -355,13 +434,15 @@ func (d *Device) WriteSectors(sector int64, data []byte, cb func(err error)) {
 	d.split(blkif.OpWrite, sector, data, op)
 }
 
-// Flush issues a cache-flush barrier.
+// Flush issues a cache-flush barrier on queue 0 (the device flush drains
+// every hardware queue, so one barrier request suffices — blk-mq flushes
+// through a single hctx the same way).
 func (d *Device) Flush(cb func(err error)) {
 	d.stats.Flushes++
 	op := d.getCaller()
 	op.remaining = 1
 	op.doneErr = cb
-	d.submitOrQueue(pendingOp{flush: true, caller: op})
+	d.queues[0].submitOrQueue(pendingOp{flush: true, caller: op})
 }
 
 func (d *Device) validate(sector int64, n int) error {
@@ -377,79 +458,106 @@ func (d *Device) validate(sector int64, n int) error {
 	return nil
 }
 
-// split chops a caller op into ring requests within the negotiated limits.
+// chunkBytes returns how many bytes the request starting at byte offset
+// off into the op may carry: capped by the negotiated per-request limit
+// and (multi-queue) by the distance to the next stripe boundary, so every
+// request sits entirely within one queue's stripe.
+func (d *Device) chunkBytes(sector int64, off, n, maxB int) int {
+	size := n - off
+	if size > maxB {
+		size = maxB
+	}
+	if len(d.queues) > 1 {
+		cur := sector + int64(off/blkif.SectorSize)
+		boundary := (cur/stripeSectors + 1) * stripeSectors
+		if room := int(boundary-cur) * blkif.SectorSize; size > room {
+			size = room
+		}
+	}
+	return size
+}
+
+// split chops a caller op into ring requests within the negotiated limits
+// and steers each at its stripe's queue.
 func (d *Device) split(op blkif.Op, sector int64, data []byte, caller *callerOp) {
 	maxB := d.maxBytesPerRequest()
 	n := len(data)
 	if op == blkif.OpRead {
 		n = len(caller.readBuf)
 	}
-	caller.remaining = (n + maxB - 1) / maxB
-	for off := 0; off < n; off += maxB {
-		size := n - off
-		if size > maxB {
-			size = maxB
-		}
+	// Count the chunks first: completions are asynchronous (event-driven),
+	// so remaining is stable for the duration of the submission loop.
+	count := 0
+	for off := 0; off < n; off += d.chunkBytes(sector, off, n, maxB) {
+		count++
+	}
+	caller.remaining = count
+	for off := 0; off < n; {
+		size := d.chunkBytes(sector, off, n, maxB)
+		start := sector + int64(off/blkif.SectorSize)
 		p := pendingOp{
 			op:     op,
-			sector: sector + int64(off/blkif.SectorSize),
+			sector: start,
 			size:   size,
 			caller: caller, readOff: off,
 		}
 		if op == blkif.OpWrite {
 			p.writeData = data[off : off+size]
 		}
-		d.submitOrQueue(p)
+		d.queueFor(start).submitOrQueue(p)
+		off += size
 	}
 }
 
 // submitOrQueue tries the submission now, or backlogs it until ring space
-// frees up. Order is preserved: nothing jumps a non-empty backlog.
-func (d *Device) submitOrQueue(p pendingOp) {
-	if d.pendHead == len(d.pending) && d.trySubmit(p) {
+// frees up. Order is preserved per queue: nothing jumps a non-empty
+// backlog.
+func (q *queue) submitOrQueue(p pendingOp) {
+	if q.pendHead == len(q.pending) && q.trySubmit(p) {
 		return
 	}
-	d.stats.QueuedFull++
-	d.pending = append(d.pending, p)
+	q.d.stats.QueuedFull++
+	q.pending = append(q.pending, p)
 }
 
-func (d *Device) trySubmit(p pendingOp) bool {
+func (q *queue) trySubmit(p pendingOp) bool {
 	if p.flush {
-		return d.pushFlush(p.caller)
+		return q.pushFlush(p.caller)
 	}
-	return d.pushRequest(p.op, p.sector, p.size, p.writeData, p.readOff, p.caller)
+	return q.pushRequest(p.op, p.sector, p.size, p.writeData, p.readOff, p.caller)
 }
 
-func (d *Device) pumpPending() {
-	for d.pendHead < len(d.pending) && d.trySubmit(d.pending[d.pendHead]) {
-		d.pending[d.pendHead] = pendingOp{} // drop slice references
-		d.pendHead++
+func (q *queue) pumpPending() {
+	for q.pendHead < len(q.pending) && q.trySubmit(q.pending[q.pendHead]) {
+		q.pending[q.pendHead] = pendingOp{} // drop slice references
+		q.pendHead++
 	}
-	if d.pendHead == len(d.pending) {
-		d.pending = d.pending[:0]
-		d.pendHead = 0
+	if q.pendHead == len(q.pending) {
+		q.pending = q.pending[:0]
+		q.pendHead = 0
 	}
 }
 
 // pushRequest builds and pushes one ring request; false if the ring is
 // full.
-func (d *Device) pushRequest(op blkif.Op, sector int64, size int, writeData []byte, readOff int, caller *callerOp) bool {
+func (q *queue) pushRequest(op blkif.Op, sector int64, size int, writeData []byte, readOff int, caller *callerOp) bool {
+	d := q.d
 	nsegs := (size + mem.PageSize - 1) / mem.PageSize
 	indirect := nsegs > blkif.MaxSegsDirect
-	if d.ring.Full() {
+	if q.ring.Full() {
 		return false
 	}
 	d.nextID++
 	id := d.nextID
 	part := d.getPart()
-	part.op, part.parent = op, caller
+	part.op, part.parent, part.q = op, caller, q
 
 	for i := 0; i < nsegs; i++ {
 		segBytes := size - i*mem.PageSize
 		if segBytes > mem.PageSize {
 			segBytes = mem.PageSize
 		}
-		pp := d.getPage()
+		pp := q.getPage()
 		part.pages = append(part.pages, pp)
 		if op == blkif.OpWrite {
 			pp.page.CopyInto(0, writeData[i*mem.PageSize:i*mem.PageSize+segBytes])
@@ -477,7 +585,7 @@ func (d *Device) pushRequest(op blkif.Op, sector int64, size int, writeData []by
 		req.IndirectSegs = nsegs
 		d.stats.IndirectRequests++
 		for pi := 0; pi < npages; pi++ {
-			ip := d.getPage()
+			ip := q.getPage()
 			part.indirect = append(part.indirect, ip)
 			for si := pi * blkif.SegsPerIndirectPage; si < nsegs && si < (pi+1)*blkif.SegsPerIndirectPage; si++ {
 				blkif.PutSegment(ip.page, si%blkif.SegsPerIndirectPage, part.segs[si])
@@ -492,38 +600,40 @@ func (d *Device) pushRequest(op blkif.Op, sector int64, size int, writeData []by
 	d.inflight[id] = part
 	d.dom.CPUs.Charge(cost)
 	d.stats.RingRequests++
-	if !d.ring.PushRequest(req) {
+	if !q.ring.PushRequest(req) {
 		panic("blkfront: ring full despite check")
 	}
-	if d.ring.PushRequestsAndCheckNotify() {
-		d.dom.Notify(d.port)
+	if q.ring.PushRequestsAndCheckNotify() {
+		d.dom.Notify(q.port)
 	}
 	return true
 }
 
-func (d *Device) pushFlush(caller *callerOp) bool {
-	if d.ring.Full() {
+func (q *queue) pushFlush(caller *callerOp) bool {
+	d := q.d
+	if q.ring.Full() {
 		return false
 	}
 	d.nextID++
 	id := d.nextID
 	part := d.getPart()
-	part.op, part.parent = blkif.OpFlush, caller
+	part.op, part.parent, part.q = blkif.OpFlush, caller, q
 	d.inflight[id] = part
-	d.ring.PushRequest(blkif.Request{ID: id, Op: blkif.OpFlush})
+	q.ring.PushRequest(blkif.Request{ID: id, Op: blkif.OpFlush})
 	d.stats.RingRequests++
-	if d.ring.PushRequestsAndCheckNotify() {
-		d.dom.Notify(d.port)
+	if q.ring.PushRequestsAndCheckNotify() {
+		d.dom.Notify(q.port)
 	}
 	return true
 }
 
-// onEvent reaps completions.
-func (d *Device) onEvent() {
+// onEvent reaps this queue's completions.
+func (q *queue) onEvent() {
+	d := q.d
 	for {
-		rsp, ok := d.ring.TakeResponse()
+		rsp, ok := q.ring.TakeResponse()
 		if !ok {
-			if d.ring.FinalCheckForResponses() {
+			if q.ring.FinalCheckForResponses() {
 				continue
 			}
 			break
@@ -535,11 +645,12 @@ func (d *Device) onEvent() {
 		delete(d.inflight, rsp.ID)
 		d.completePart(part, rsp.Status)
 	}
-	d.pumpPending()
+	q.pumpPending()
 }
 
 func (d *Device) completePart(part *reqPart, status int8) {
 	caller := part.parent
+	q := part.q
 	if status != blkif.StatusOK {
 		caller.err = fmt.Errorf("blkfront: backend reported error %d", status)
 	} else if part.op == blkif.OpRead {
@@ -556,10 +667,10 @@ func (d *Device) completePart(part *reqPart, status int8) {
 		d.dom.CPUs.Charge(sim.Time(copied) * d.costs.PerKBCopy / 1024)
 	}
 	for _, pp := range part.pages {
-		d.putPage(pp)
+		q.putPage(pp)
 	}
 	for _, ip := range part.indirect {
-		d.putPage(ip)
+		q.putPage(ip)
 	}
 	d.putPart(part)
 	caller.remaining--

@@ -16,6 +16,10 @@ import (
 // RingSize is the blkif ring slot count (one page of slots: 32).
 const RingSize = 32
 
+// MaxQueues caps the negotiated hardware-queue count per vbd, like
+// xen-blkback's max_queues module parameter (blk-mq).
+const MaxQueues = 8
+
 // MaxSegsDirect is the segment limit of a direct request (§3.3: 11
 // segments, 44 KiB).
 const MaxSegsDirect = 11
@@ -104,17 +108,30 @@ type Response struct {
 	Status int8
 }
 
-// Ring is the single blkif ring (one ring + one event channel per device,
-// unlike networking — §4.4).
+// Ring is one blkif ring (the paper's single ring per device, §4.4; with
+// multi-queue negotiation a device carries one per hardware queue).
 type Ring = ring.Ring[Request, Response]
 
 // NewRing allocates a standard blkif ring.
 func NewRing() *Ring { return ring.New[Request, Response](RingSize) }
 
-// Channel is what the backend obtains by mapping the frontend's ring page.
+// Rings is the multi-queue transport: N independent blkif rings, one per
+// negotiated hardware queue (blk-mq's one-ring-per-hctx layout).
+type Rings = ring.MultiRing[Request, Response]
+
+// NewRings allocates n independent blkif rings.
+func NewRings(n int) *Rings { return ring.NewMulti[Request, Response](n, RingSize) }
+
+// Channel is what the backend obtains by mapping the frontend's ring pages.
 type Channel struct {
-	Ring *Ring
+	Rings *Rings
 }
+
+// NewChannel allocates a channel with n hardware queues.
+func NewChannel(n int) *Channel { return &Channel{Rings: NewRings(n)} }
+
+// NumQueues returns the channel's hardware-queue count.
+func (c *Channel) NumQueues() int { return c.Rings.NumQueues() }
 
 // Registry mirrors netif.Registry for block rings.
 type Registry struct {

@@ -46,6 +46,7 @@ const numClasses = maxClassShift - minClassShift + 1
 // goroutine and is not safe for concurrent use.
 type Buf struct {
 	pool  *Pool
+	arena *Arena // nil for buffers owned by the pool's shared free lists
 	data  []byte
 	n     int
 	class int // -1: oversized one-off, returned to the GC on release
@@ -86,7 +87,12 @@ func (b *Buf) Release() {
 	p.outstanding--
 	p.recycled++
 	metrics.BlkPoolRecycles.Add(1)
-	if b.class >= 0 {
+	if b.class < 0 {
+		return
+	}
+	if b.arena != nil {
+		b.arena.free[b.class] = append(b.arena.free[b.class], b)
+	} else {
 		p.free[b.class] = append(p.free[b.class], b)
 	}
 }
@@ -163,3 +169,51 @@ func (p *Pool) Recycled() uint64 { return p.recycled }
 // Fresh returns how many Gets had to allocate instead of reusing a pooled
 // buffer; Gets-Fresh over Gets is the pool hit rate.
 func (p *Pool) Fresh() uint64 { return p.fresh }
+
+// Arena is a partition of a Pool with its own per-class free lists — the
+// storage sibling of framepool.Arena. Frontends (and, under multi-queue,
+// per-queue workers) draw staging buffers from their own arena so working
+// sets stay disjoint and recycling order per partition is deterministic,
+// while gets/fresh/recycled/outstanding accounting still lands on the
+// parent pool. A buffer obtained from an arena returns to that arena when
+// its last reference drops, wherever that happens.
+type Arena struct {
+	parent *Pool
+	free   [numClasses][]*Buf
+}
+
+// NewArena returns an empty partition of p. Arenas allocate fresh buffers
+// rather than stealing from the parent's shared lists, so creating one
+// never perturbs buffer identities elsewhere in the simulation.
+func (p *Pool) NewArena() *Arena { return &Arena{parent: p} }
+
+// Get returns a Buf with an n-byte payload window drawn from (and destined
+// to return to) this arena. Size rules match Pool.Get; oversized one-offs
+// are allocated directly and handed to the GC on release.
+func (a *Arena) Get(n int) *Buf {
+	if n <= 0 || n%SectorSize != 0 {
+		panic(fmt.Sprintf("blkpool: bad buffer size %d", n))
+	}
+	p := a.parent
+	p.gets++
+	p.outstanding++
+	metrics.BlkPoolGets.Add(1)
+	class := classFor(n)
+	if class >= 0 {
+		if l := a.free[class]; len(l) > 0 {
+			b := l[len(l)-1]
+			a.free[class] = l[:len(l)-1]
+			b.n = n
+			b.refs = 1
+			return b
+		}
+	}
+	p.fresh++
+	b := &Buf{pool: p, arena: a, n: n, class: class, refs: 1}
+	if class >= 0 {
+		b.data = make([]byte, 1<<(minClassShift+class))
+	} else {
+		b.data = make([]byte, n)
+	}
+	return b
+}

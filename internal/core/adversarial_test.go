@@ -31,8 +31,9 @@ func attachEvilBlk(t *testing.T, sys *System, sd *StorageDomain) *evilBlkFronten
 		Type: "vbd", FrontDom: xenbus.DomID(dom.ID), BackDom: xenbus.DomID(sd.Dom.ID),
 		DevID: 51712, BackExtra: map[string]string{"params": "2048:2097152"},
 	})
-	e := &evilBlkFrontend{dom: dom, ring: blkif.NewRing()}
-	sys.BlkReg.Publish(dom.ID, 51712, &blkif.Channel{Ring: e.ring})
+	evilCh := blkif.NewChannel(1)
+	e := &evilBlkFrontend{dom: dom, ring: evilCh.Rings.Queue(0)}
+	sys.BlkReg.Publish(dom.ID, 51712, evilCh)
 	e.port = dom.AllocUnbound(sd.Dom.ID)
 	dom.SetHandler(e.port, func() {})
 	fp := xenbus.FrontendPath(xenbus.DomID(dom.ID), "vbd", 51712)
@@ -157,8 +158,9 @@ func TestNetbackSurvivesHostileTxRequests(t *testing.T) {
 	tb.System.Bus.AddDevice(xenbus.DeviceSpec{
 		Type: "vif", FrontDom: xenbus.DomID(evil.ID), BackDom: xenbus.DomID(nd.Dom.ID), DevID: 0,
 	})
-	tx, rx := netif.NewTxRing(), netif.NewRxRing()
-	tb.System.NetReg.Publish(evil.ID, 0, &netif.Channel{Tx: tx, Rx: rx})
+	evilCh := netif.NewChannel(1)
+	tx := evilCh.Tx.Queue(0)
+	tb.System.NetReg.Publish(evil.ID, 0, evilCh)
 	port := evil.AllocUnbound(nd.Dom.ID)
 	evil.SetHandler(port, func() {})
 	fp := xenbus.FrontendPath(xenbus.DomID(evil.ID), "vif", 0)

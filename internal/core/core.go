@@ -247,6 +247,9 @@ type StorageDomainConfig struct {
 	// Tuning exposes the blkback feature knobs for ablation benches; nil
 	// means the kind's defaults.
 	Tuning *blkback.Costs
+	// VCPUs overrides the profile's vCPU count; blkback advertises one
+	// hardware queue per vCPU, so multi-queue vbds need VCPUs > 1.
+	VCPUs int
 }
 
 // StorageDomain is a running storage driver domain.
@@ -278,8 +281,12 @@ func (s *System) CreateStorageDomain(cfg StorageDomainConfig) (*StorageDomain, e
 	if cfg.Tuning != nil {
 		costs = *cfg.Tuning
 	}
+	vcpus := profile.VCPUs
+	if cfg.VCPUs > 0 {
+		vcpus = cfg.VCPUs
+	}
 	dom := s.HV.CreateDomain(xen.DomainConfig{
-		Name: fmt.Sprintf("blkdd-%s", cfg.Kind), VCPUs: profile.VCPUs,
+		Name: fmt.Sprintf("blkdd-%s", cfg.Kind), VCPUs: vcpus,
 		MemBytes: profile.MemBytes, IRQLatency: profile.IRQLatency,
 	})
 	if err := s.HV.AssignPCI(cfg.Device.BDF(), dom.ID); err != nil {
@@ -324,6 +331,11 @@ type GuestConfig struct {
 	// Profile overrides the default Ubuntu guest profile.
 	Profile *guestos.Profile
 	Seed    uint64
+	// NetQueues / BlkQueues request multi-queue PV transports; the
+	// handshakes negotiate down to what the backend advertises (one queue
+	// per driver-domain vCPU). 0 means single-queue.
+	NetQueues int
+	BlkQueues int
 }
 
 // Guest is a DomU with its stack, frontends, and (optionally) a mounted
@@ -376,6 +388,7 @@ func (s *System) CreateGuest(cfg GuestConfig) (*Guest, error) {
 		g.Net = netfront.New(s.Eng, netfront.Config{
 			Dom: dom, Bus: s.Bus, Registry: s.NetReg, DevID: 0,
 			BackDom: cfg.Net.Dom.ID, MAC: mac, Pool: s.Pool,
+			Queues: cfg.NetQueues, HashSeed: cfg.Seed ^ s.seed,
 		})
 		stackCosts := netstack.LinuxGuestCosts()
 		if profile.Family == guestos.FamilyNetBSD {
@@ -414,6 +427,7 @@ func (s *System) CreateGuest(cfg GuestConfig) (*Guest, error) {
 		g.Disk = blkfront.New(s.Eng, blkfront.Config{
 			Dom: dom, Bus: s.Bus, Registry: s.BlkReg, DevID: devid,
 			BackDom: cfg.Storage.Dom.ID, Pool: s.BlkPool,
+			Queues: cfg.BlkQueues,
 			OnReady: func() {
 				g.Pool = bufpool.New(s.Eng, g.Disk, bufpool.Config{
 					CapacityBytes: cache,

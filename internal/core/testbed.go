@@ -59,13 +59,38 @@ type NetworkRig struct {
 
 // NewNetworkRig builds the §5.3 setup and drives handshakes to ready.
 func NewNetworkRig(kind DriverKind, seed uint64) (*NetworkRig, error) {
-	tb := NewTestbed(seed)
-	nd, err := tb.System.CreateNetworkDomain(NetworkDomainConfig{Kind: kind, NIC: tb.ServerNIC})
+	return NewNetworkRigCfg(NetworkRigConfig{Kind: kind, Seed: seed})
+}
+
+// NetworkRigConfig tunes the network rig beyond the classic kind+seed
+// pair; the zero value of the extra fields reproduces NewNetworkRig.
+type NetworkRigConfig struct {
+	Kind DriverKind
+	Seed uint64
+	// Queues requests a multi-queue vif. The backend advertises one queue
+	// per driver-domain vCPU, so Queues > 1 implies VCPUs >= Queues for
+	// full fan-out (VCPUs defaults to Queues when unset).
+	Queues int
+	// VCPUs overrides the driver domain's vCPU count.
+	VCPUs int
+}
+
+// NewNetworkRigCfg builds the rig from the full config.
+func NewNetworkRigCfg(cfg NetworkRigConfig) (*NetworkRig, error) {
+	tb := NewTestbed(cfg.Seed)
+	vcpus := cfg.VCPUs
+	if vcpus == 0 && cfg.Queues > 1 {
+		vcpus = cfg.Queues
+	}
+	nd, err := tb.System.CreateNetworkDomain(NetworkDomainConfig{
+		Kind: cfg.Kind, NIC: tb.ServerNIC, VCPUs: vcpus,
+	})
 	if err != nil {
 		return nil, err
 	}
 	guest, err := tb.System.CreateGuest(GuestConfig{
-		Name: "domU", IP: tb.GuestIP, Net: nd, Seed: seed,
+		Name: "domU", IP: tb.GuestIP, Net: nd, Seed: cfg.Seed,
+		NetQueues: cfg.Queues,
 	})
 	if err != nil {
 		return nil, err
@@ -92,6 +117,12 @@ type StorageRigConfig struct {
 	DiskBytes  int64 // vbd window (default 64 GiB)
 	CacheBytes int64 // guest page cache (default 64 MiB)
 	Tuning     *TuningKnobs
+	// Queues requests a multi-queue vbd (blk-mq style). The backend
+	// advertises one hardware queue per driver-domain vCPU, so VCPUs
+	// defaults to Queues when Queues > 1.
+	Queues int
+	// VCPUs overrides the storage domain's vCPU count.
+	VCPUs int
 }
 
 // TuningKnobs exposes blkback's design-choice toggles for ablations.
@@ -102,7 +133,11 @@ type TuningKnobs struct {
 // NewStorageRig builds the §5.4 setup.
 func NewStorageRig(cfg StorageRigConfig) (*StorageRig, error) {
 	tb := NewTestbed(cfg.Seed)
-	sdc := StorageDomainConfig{Kind: cfg.Kind, Device: tb.NVMe}
+	vcpus := cfg.VCPUs
+	if vcpus == 0 && cfg.Queues > 1 {
+		vcpus = cfg.Queues
+	}
+	sdc := StorageDomainConfig{Kind: cfg.Kind, Device: tb.NVMe, VCPUs: vcpus}
 	if cfg.Tuning != nil {
 		costs := pickBlkCosts(cfg.Kind)
 		costs.Persistent = cfg.Tuning.Persistent
@@ -121,6 +156,7 @@ func NewStorageRig(cfg StorageRigConfig) (*StorageRig, error) {
 	guest, err := tb.System.CreateGuest(GuestConfig{
 		Name: "domU", Storage: sd, DiskBytes: disk,
 		CacheBytes: cfg.CacheBytes, Seed: cfg.Seed,
+		BlkQueues: cfg.Queues,
 	})
 	if err != nil {
 		return nil, err

@@ -142,6 +142,15 @@ func mustNetRig(kind core.DriverKind, seed uint64) *core.NetworkRig {
 	return rig
 }
 
+// mustNetRigCfg builds a network rig from the full config or panics.
+func mustNetRigCfg(cfg core.NetworkRigConfig) *core.NetworkRig {
+	rig, err := core.NewNetworkRigCfg(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	return rig
+}
+
 // mustStorRig builds a storage rig or panics.
 func mustStorRig(cfg core.StorageRigConfig) *core.StorageRig {
 	rig, err := core.NewStorageRig(cfg)

@@ -62,6 +62,38 @@ func TestRunAllParallelMatchesSequential(t *testing.T) {
 	}
 }
 
+// TestMQSummaryByteIdenticalAcrossParallelAndQueues asserts the -queues
+// contract: the kitebench summary (experiment tables plus the mq lines) is
+// byte-identical for every -parallel in {1,4,8} crossed with every -queues
+// in {1,2,4}. The mq workload's totals and checksums are queue-invariant
+// by construction — steering and striping change only the timing of
+// deliveries, never their contents — and the tables never depended on the
+// worker count.
+func TestMQSummaryByteIdenticalAcrossParallelAndQueues(t *testing.T) {
+	specs, err := Lookup("FIG7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Quick()
+	var base string
+	for _, par := range []int{1, 4, 8} {
+		for _, q := range []int{1, 2, 4} {
+			var b strings.Builder
+			for _, r := range RunAll(specs, s, par) {
+				b.WriteString(render(r))
+			}
+			b.WriteString(MQSummary(s, q).String())
+			out := b.String()
+			if base == "" {
+				base = out
+			} else if out != base {
+				t.Errorf("parallel=%d queues=%d: summary differs from parallel=1 queues=1:\n--- got ---\n%s\n--- want ---\n%s",
+					par, q, out, base)
+			}
+		}
+	}
+}
+
 // TestRunAllPreservesOrder checks results come back in spec order even
 // when later experiments finish first.
 func TestRunAllPreservesOrder(t *testing.T) {

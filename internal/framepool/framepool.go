@@ -32,11 +32,12 @@ const (
 // concurrent use — like everything else in a simulation, it is owned by the
 // simulation's single goroutine.
 type Buf struct {
-	pool *Pool
-	off  int
-	end  int
-	refs int
-	data [Headroom + MaxFrame]byte
+	pool  *Pool
+	arena *Arena // nil for buffers owned by the pool's shared free list
+	off   int
+	end   int
+	refs  int
+	data  [Headroom + MaxFrame]byte
 }
 
 // Bytes returns the live payload window.
@@ -103,7 +104,11 @@ func (b *Buf) Release() {
 		panic("framepool: double release")
 	}
 	p := b.pool
-	p.free = append(p.free, b)
+	if b.arena != nil {
+		b.arena.free = append(b.arena.free, b)
+	} else {
+		p.free = append(p.free, b)
+	}
 	p.outstanding--
 	p.recycled++
 	metrics.FramePoolRecycles.Add(1)
@@ -158,3 +163,42 @@ func (p *Pool) Gets() uint64 { return p.gets }
 
 // Recycled returns the total number of buffers returned to the free list.
 func (p *Pool) Recycled() uint64 { return p.recycled }
+
+// Arena is a per-queue partition of a Pool: it has its own LIFO free list,
+// so multi-queue workers recycling frames never touch a shared list, but
+// every counter (gets, recycles, outstanding leak accounting) still lands
+// on the parent pool. A buffer first obtained from an Arena belongs to that
+// arena for life — Release returns it there no matter which pipeline stage
+// drops the last reference — so queue working sets stay disjoint and
+// per-queue recycling order stays deterministic regardless of how queues
+// interleave.
+type Arena struct {
+	parent *Pool
+	free   []*Buf
+}
+
+// NewArena returns an empty partition of p. Arenas allocate fresh buffers
+// rather than stealing from the parent's shared free list, so creating one
+// never perturbs buffer identities elsewhere in the simulation.
+func (p *Pool) NewArena() *Arena { return &Arena{parent: p} }
+
+// Get returns an empty Buf owned by the caller, drawn from (and destined to
+// return to) this arena.
+func (a *Arena) Get() *Buf {
+	var b *Buf
+	if n := len(a.free); n > 0 {
+		b = a.free[n-1]
+		a.free = a.free[:n-1]
+	} else {
+		b = &Buf{pool: a.parent, arena: a}
+	}
+	b.refs = 1
+	b.Reset()
+	a.parent.gets++
+	a.parent.outstanding++
+	metrics.FramePoolGets.Add(1)
+	return b
+}
+
+// Free returns the number of buffers parked in this arena's free list.
+func (a *Arena) Free() int { return len(a.free) }

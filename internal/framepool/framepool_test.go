@@ -115,3 +115,41 @@ func TestSteadyStateZeroAlloc(t *testing.T) {
 		t.Fatalf("steady-state Get/Release allocates %.1f/op, want 0", allocs)
 	}
 }
+
+func TestArenaPartitioning(t *testing.T) {
+	p := New()
+	a0, a1 := p.NewArena(), p.NewArena()
+	b0, b1 := a0.Get(), a1.Get()
+	if p.Outstanding() != 2 {
+		t.Fatalf("Outstanding = %d, want 2 (arena gets must hit parent accounting)", p.Outstanding())
+	}
+	b0.Release()
+	b1.Release()
+	if p.Outstanding() != 0 {
+		t.Fatalf("Outstanding = %d after arena releases, want 0", p.Outstanding())
+	}
+	if a0.Free() != 1 || a1.Free() != 1 || len(p.free) != 0 {
+		t.Fatalf("buffers not parked in their own arenas: a0=%d a1=%d shared=%d",
+			a0.Free(), a1.Free(), len(p.free))
+	}
+	// A buffer stays bound to its arena across reuse.
+	if got := a0.Get(); got != b0 {
+		t.Fatal("arena did not recycle its own buffer LIFO")
+	} else {
+		got.Release()
+	}
+}
+
+func TestArenaSteadyStateZeroAlloc(t *testing.T) {
+	p := New()
+	a := p.NewArena()
+	a.Get().Release()
+	allocs := testing.AllocsPerRun(100, func() {
+		b := a.Get()
+		copy(b.Extend(64), "x")
+		b.Release()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state arena Get/Release allocates %.1f/op, want 0", allocs)
+	}
+}

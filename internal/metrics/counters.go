@@ -39,4 +39,14 @@ var (
 	// NVMeVecWrites counts scatter-gather write commands issued to NVMe
 	// device models.
 	NVMeVecWrites Counter
+	// NetQueueTxFrames counts guest→world frames processed by netback
+	// per-queue pushers (all queues of all VIFs; adds commute, so the total
+	// is queue-count- and interleaving-invariant for a given workload).
+	NetQueueTxFrames Counter
+	// NetQueueRxFrames counts world→guest frames processed by netback
+	// per-queue soft_start workers.
+	NetQueueRxFrames Counter
+	// BlkQueueRequests counts ring requests drained by blkback per-queue
+	// workers across all queues.
+	BlkQueueRequests Counter
 )

@@ -106,8 +106,15 @@ func (d *Driver) tryPair(backPath string, frontDom xen.DomID, devid int) {
 	}
 	switch d.bus.State(backPath) {
 	case xenbus.StateInitialising:
-		// Announce ourselves and advertise features.
+		// Announce ourselves and advertise features, including how many
+		// queues we can serve: one per driver-domain vCPU, capped like
+		// xen-netback's module parameter.
 		d.bus.WriteFeature(backPath, "feature-rx-copy", true)
+		maxq := d.dom.CPUs.Len()
+		if maxq > netif.MaxQueues {
+			maxq = netif.MaxQueues
+		}
+		st.Writef(backPath+"/"+xenbus.MaxQueuesKey, "%d", maxq)
 		_ = d.bus.SwitchState(backPath, xenbus.StateInitWait)
 	case xenbus.StateClosed, xenbus.StateClosing:
 		return
@@ -124,16 +131,40 @@ func (d *Driver) tryPair(backPath string, frontDom xen.DomID, devid int) {
 	}
 
 	d.invocations++
-	port, ok := st.ReadInt(frontPath + "/event-channel")
-	if !ok {
-		return
+	// Multi-queue frontends publish per-queue event channels under
+	// queue-N/; single-queue ones keep the legacy flat key.
+	nq := d.bus.ReadNumQueues(frontPath, xenbus.NumQueuesKey)
+	ports := make([]xen.Port, nq)
+	var rssSeed uint64
+	if nq == 1 {
+		port, ok := st.ReadInt(frontPath + "/event-channel")
+		if !ok {
+			return
+		}
+		ports[0] = xen.Port(port)
+	} else {
+		for i := 0; i < nq; i++ {
+			port, ok := st.ReadInt(xenbus.QueuePath(frontPath, i) + "/event-channel")
+			if !ok {
+				return
+			}
+			ports[i] = xen.Port(port)
+		}
+		seed, ok := st.ReadInt(frontPath + "/" + xenbus.HashSeedKey)
+		if !ok {
+			return // multi-queue frontends must publish their steering seed
+		}
+		rssSeed = uint64(seed)
 	}
 	ch, err := d.reg.Claim(frontDom, devid)
 	if err != nil {
 		return // ring refs not published yet; a later watch retries
 	}
+	if ch.NumQueues() != nq {
+		return // store and registry disagree; a later watch retries
+	}
 	vif, err := NewVIF(d.eng, d.dom, frontDom, devid, ch,
-		xen.Port(port), d.br, d.costs, d.pool)
+		ports, d.br, d.costs, d.pool, rssSeed)
 	if err != nil {
 		_ = d.bus.SwitchState(backPath, xenbus.StateClosed)
 		return

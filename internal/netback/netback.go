@@ -12,6 +12,13 @@
 // bridge-delivered Rx frames are copied from their Buf into guest-posted
 // pages — through a persistent-grant mapping cache mirroring blkback §3.3,
 // so steady-state Rx skips the per-burst hypercall entirely.
+//
+// A VIF is sharded per negotiated queue, like multi-queue xen-netback: one
+// pusher + one soft_start per queue, pinned to distinct vCPUs of the
+// driver domain, each with its own persistent-grant cache, framepool
+// arena, scratch slices, and pending queues, so queues share nothing on
+// the hot path. Guest-bound frames are steered with the same seeded RSS
+// hash the frontend uses, so both directions of a flow ride one queue.
 package netback
 
 import (
@@ -21,6 +28,7 @@ import (
 	"kite/internal/framepool"
 	"kite/internal/metrics"
 	"kite/internal/netif"
+	"kite/internal/netpkt"
 	"kite/internal/sim"
 	"kite/internal/xen"
 )
@@ -39,8 +47,8 @@ type Costs struct {
 	// grant-copy hypercalls — the §3.3 persistent-grant idea applied to the
 	// network Rx path. Enabled in both profiles (like blkback's cache).
 	PersistentRx bool
-	// RxQueueFrames bounds the guest-bound queue; overflow drops (this is
-	// where UDP overload loss materializes).
+	// RxQueueFrames bounds each queue's guest-bound queue; overflow drops
+	// (this is where UDP overload loss materializes).
 	RxQueueFrames int
 }
 
@@ -85,7 +93,8 @@ type Stats struct {
 }
 
 // VIF is one netback instance: the virtual interface paired with exactly
-// one netfront (§3.2: one instance per virtual channel).
+// one netfront (§3.2: one instance per virtual channel), sharded into the
+// negotiated number of queues.
 type VIF struct {
 	eng      *sim.Engine
 	dom      *xen.Domain // the driver domain
@@ -94,9 +103,25 @@ type VIF struct {
 	costs    Costs
 	pool     *framepool.Pool
 
-	ch   *netif.Channel
+	ch     *netif.Channel
+	br     *bridge.Bridge
+	queues []*vifQueue
+	rss    netpkt.RSS
+
+	dead bool
+	down bool // administratively down (ifconfig vifX.Y down)
+}
+
+// vifQueue is one queue's shard: its ring pair, event channel, worker
+// threads pinned to one vCPU, persistent-grant cache, framepool arena, and
+// scratch — nothing here is shared with other queues.
+type vifQueue struct {
+	v    *VIF
+	id   int
+	tx   *netif.TxRing
+	rx   *netif.RxRing
 	port xen.Port
-	br   *bridge.Bridge
+	cpu  *sim.CPU
 
 	pusher    *sim.Task
 	softStart *sim.Task
@@ -104,8 +129,15 @@ type VIF struct {
 	rxQueue sim.FIFO[*framepool.Buf]
 
 	// pgrants caches mappings of the frontend's Rx grant refs (which the
-	// frontend recycles for the device's lifetime), keyed by ref.
+	// frontend recycles for the device's lifetime), keyed by ref. The
+	// frontend posts each ref on one queue only, so per-queue caches never
+	// duplicate mappings.
 	pgrants map[xen.GrantRef]*xen.Mapping
+
+	// arena partitions the shared frame pool per queue: Tx frames are
+	// grant-copied into arena buffers that recycle back here, so queues
+	// never trade buffers.
+	arena *framepool.Arena
 
 	// Reusable batch scratch: request/op/buffer slices grow to the burst
 	// high-water mark and are then reused forever (zero steady-state
@@ -121,8 +153,6 @@ type VIF struct {
 	txPending sim.FIFO[timedFrame]
 	txDone    *sim.Batch
 
-	dead  bool
-	down  bool // administratively down (ifconfig vifX.Y down)
 	stats Stats
 }
 
@@ -134,15 +164,22 @@ type timedFrame struct {
 }
 
 // NewVIF creates a connected netback instance. The caller (the backend
-// driver) has already read ring refs and the event channel from xenstore;
-// here the rings are mapped (hypercalls charged) and the event channel is
-// bound.
+// driver) has already read the per-queue ring refs and event channels from
+// xenstore; here the ring pages are mapped (hypercalls charged), event
+// channels are bound, and per-queue workers are pinned round-robin across
+// the driver domain's vCPUs starting at the frontend's home CPU. rssSeed
+// is the frontend's published steering seed (ignored for one queue).
 func NewVIF(eng *sim.Engine, dom *xen.Domain, frontDom xen.DomID, devid int,
-	ch *netif.Channel, frontPort xen.Port, br *bridge.Bridge, costs Costs,
-	pool *framepool.Pool) (*VIF, error) {
+	ch *netif.Channel, frontPorts []xen.Port, br *bridge.Bridge, costs Costs,
+	pool *framepool.Pool, rssSeed uint64) (*VIF, error) {
 
 	if pool == nil {
 		pool = framepool.New()
+	}
+	nq := ch.NumQueues()
+	if len(frontPorts) != nq {
+		return nil, fmt.Errorf("netback: vif%d.%d: %d event channels for %d queues",
+			frontDom, devid, len(frontPorts), nq)
 	}
 	v := &VIF{
 		eng:      eng,
@@ -153,26 +190,44 @@ func NewVIF(eng *sim.Engine, dom *xen.Domain, frontDom xen.DomID, devid int,
 		pool:     pool,
 		ch:       ch,
 		br:       br,
-		pgrants:  make(map[xen.GrantRef]*xen.Mapping),
+		rss:      netpkt.NewRSS(rssSeed),
+		queues:   make([]*vifQueue, nq),
 	}
-	// Map the two ring pages (2 map hypercalls, charged to the backend).
-	dom.CPUs.Charge(dom.Hypervisor().Costs.Base + 2*dom.Hypervisor().Costs.GrantMapPage)
+	// Map every queue's two ring pages (2 map hypercalls per queue, charged
+	// to the backend).
+	dom.CPUs.Charge(dom.Hypervisor().Costs.Base +
+		sim.Time(2*nq)*dom.Hypervisor().Costs.GrantMapPage)
 
-	port, err := dom.BindInterdomain(frontDom, frontPort)
-	if err != nil {
-		return nil, fmt.Errorf("netback: %s: %w", v.name, err)
+	for i := 0; i < nq; i++ {
+		q := &vifQueue{
+			v:       v,
+			id:      i,
+			tx:      ch.Tx.Queue(i),
+			rx:      ch.Rx.Queue(i),
+			pgrants: make(map[xen.GrantRef]*xen.Mapping),
+			arena:   pool.NewArena(),
+		}
+		port, err := dom.BindInterdomain(frontDom, frontPorts[i])
+		if err != nil {
+			return nil, fmt.Errorf("netback: %s: %w", v.name, err)
+		}
+		q.port = port
+		if err := dom.SetHandler(port, q.onEvent); err != nil {
+			return nil, err
+		}
+		// Per-queue workers spread across the domain's vCPUs (§3.1:
+		// multicore driver domains scale to several guests/NICs; with
+		// multi-queue, to several queues of one guest).
+		q.cpu = dom.CPUs.CPU((int(frontDom) + i) % dom.CPUs.Len())
+		name := v.name
+		if nq > 1 {
+			name = fmt.Sprintf("%s-q%d", v.name, i)
+		}
+		q.pusher = sim.NewTask(eng, q.cpu, name+"/pusher", costs.WakeLatency, q.drainTx)
+		q.softStart = sim.NewTask(eng, q.cpu, name+"/soft_start", costs.WakeLatency, q.drainRx)
+		q.txDone = sim.NewBatch(eng, q.flushTx)
+		v.queues[i] = q
 	}
-	v.port = port
-	if err := dom.SetHandler(port, v.onEvent); err != nil {
-		return nil, err
-	}
-
-	// Per-VIF workers spread across the domain's vCPUs (§3.1: multicore
-	// driver domains scale to several guests/NICs).
-	cpu := dom.CPUs.CPU(int(frontDom) % dom.CPUs.Len())
-	v.pusher = sim.NewTask(eng, cpu, v.name+"/pusher", costs.WakeLatency, v.drainTx)
-	v.softStart = sim.NewTask(eng, cpu, v.name+"/soft_start", costs.WakeLatency, v.drainRx)
-	v.txDone = sim.NewBatch(eng, v.flushTx)
 	return v, nil
 }
 
@@ -182,8 +237,29 @@ func (v *VIF) Name() string { return v.name }
 // PortName implements bridge.Port.
 func (v *VIF) PortName() string { return v.name }
 
-// Stats returns a snapshot of the counters.
-func (v *VIF) Stats() Stats { return v.stats }
+// NumQueues returns the queue count.
+func (v *VIF) NumQueues() int { return len(v.queues) }
+
+// Stats aggregates the per-queue counters in queue order, so totals are
+// identical however queue work interleaved.
+func (v *VIF) Stats() Stats {
+	var s Stats
+	for _, q := range v.queues {
+		s.TxFrames += q.stats.TxFrames
+		s.TxBytes += q.stats.TxBytes
+		s.RxFrames += q.stats.RxFrames
+		s.RxBytes += q.stats.RxBytes
+		s.RxQueueDrops += q.stats.RxQueueDrops
+		s.RxNoBufDrops += q.stats.RxNoBufDrops
+		s.TxErrors += q.stats.TxErrors
+		s.RxPersistHits += q.stats.RxPersistHits
+		s.RxPersistMisses += q.stats.RxPersistMisses
+	}
+	return s
+}
+
+// QueueStats returns queue i's counters.
+func (v *VIF) QueueStats(i int) Stats { return v.queues[i].stats }
 
 // SetInHandler toggles the in-handler processing ablation on a live VIF.
 func (v *VIF) SetInHandler(on bool) { v.costs.InHandler = on }
@@ -195,8 +271,15 @@ func (v *VIF) SetUp(up bool) { v.down = !up }
 // Up reports the administrative state.
 func (v *VIF) Up() bool { return !v.down }
 
-// PusherRuns exposes thread activity for the threaded-model ablation.
-func (v *VIF) PusherRuns() (wakes, runs uint64) { return v.pusher.Wakes(), v.pusher.Runs() }
+// PusherRuns exposes thread activity for the threaded-model ablation,
+// summed over queues.
+func (v *VIF) PusherRuns() (wakes, runs uint64) {
+	for _, q := range v.queues {
+		wakes += q.pusher.Wakes()
+		runs += q.pusher.Runs()
+	}
+	return wakes, runs
+}
 
 // Shutdown quiesces the instance (backend teardown or domain restart):
 // queued frames are released, persistent Rx mappings are unmapped.
@@ -205,67 +288,71 @@ func (v *VIF) Shutdown() {
 		return
 	}
 	v.dead = true
-	_ = v.dom.Close(v.port)
-	for v.rxQueue.Len() > 0 {
-		v.rxQueue.Pop().Release()
-	}
-	for v.txPending.Len() > 0 {
-		v.txPending.Pop().frame.Release()
-	}
-	if len(v.pgrants) > 0 {
-		ms := make([]*xen.Mapping, 0, len(v.pgrants))
-		for _, m := range v.pgrants {
-			if m.Live() {
-				ms = append(ms, m)
-			}
+	for _, q := range v.queues {
+		_ = v.dom.Close(q.port)
+		for q.rxQueue.Len() > 0 {
+			q.rxQueue.Pop().Release()
 		}
-		_ = v.dom.Hypervisor().UnmapGrantBatch(v.dom, ms)
-		v.pgrants = make(map[xen.GrantRef]*xen.Mapping)
+		for q.txPending.Len() > 0 {
+			q.txPending.Pop().frame.Release()
+		}
+		if len(q.pgrants) > 0 {
+			ms := make([]*xen.Mapping, 0, len(q.pgrants))
+			for _, m := range q.pgrants {
+				if m.Live() {
+					ms = append(ms, m)
+				}
+			}
+			_ = v.dom.Hypervisor().UnmapGrantBatch(v.dom, ms)
+			q.pgrants = make(map[xen.GrantRef]*xen.Mapping)
+		}
 	}
 }
 
-// onEvent is the frontend notification handler. Per the paper's design it
-// only wakes the worker threads — unless the InHandler ablation is active,
-// in which case the rings are drained right here, blocking further
-// notifications for the duration.
-func (v *VIF) onEvent() {
-	if v.dead {
+// onEvent is the queue's frontend-notification handler. Per the paper's
+// design it only wakes the queue's worker threads — unless the InHandler
+// ablation is active, in which case the rings are drained right here,
+// blocking further notifications for the duration.
+func (q *vifQueue) onEvent() {
+	if q.v.dead {
 		return
 	}
-	if v.costs.InHandler {
-		v.drainTx()
-		v.drainRx()
+	if q.v.costs.InHandler {
+		q.drainTx()
+		q.drainRx()
 		return
 	}
-	if v.ch.Tx.RequestAvailable() {
-		v.pusher.Wake()
+	if q.tx.RequestAvailable() {
+		q.pusher.Wake()
 	}
-	if v.rxQueue.Len() > 0 && v.ch.Rx.RequestAvailable() {
-		v.softStart.Wake()
+	if q.rxQueue.Len() > 0 && q.rx.RequestAvailable() {
+		q.softStart.Wake()
 	}
 }
 
 // drainTx is the pusher thread body: move guest frames to the bridge. Each
 // frame is grant-copied once, directly into a pooled buffer that then
-// travels the bridge/NAT/NIC path.
-func (v *VIF) drainTx() {
+// travels the bridge/NAT/NIC path. Per-frame processing is charged to this
+// queue's pinned vCPU, which is what lets queues overlap in time.
+func (q *vifQueue) drainTx() {
+	v := q.v
 	if v.dead || v.down {
 		return
 	}
 	hv := v.dom.Hypervisor()
 	for {
 		// Gather a batch of requests into the reusable scratch.
-		reqs := v.txReqs[:0]
+		reqs := q.txReqs[:0]
 		for {
-			req, ok := v.ch.Tx.TakeRequest()
+			req, ok := q.tx.TakeRequest()
 			if !ok {
 				break
 			}
 			reqs = append(reqs, req)
 		}
-		v.txReqs = reqs[:0]
+		q.txReqs = reqs[:0]
 		if len(reqs) == 0 {
-			if v.ch.Tx.FinalCheckForRequests() {
+			if q.tx.FinalCheckForRequests() {
 				continue
 			}
 			break
@@ -273,14 +360,14 @@ func (v *VIF) drainTx() {
 		// One batched hypervisor copy for the whole run of requests, each
 		// landing in its own pooled buffer. bufs[i] is nil for a request
 		// rejected up front (malformed length).
-		ops := v.ops[:0]
-		bufs := v.bufs[:0]
+		ops := q.ops[:0]
+		bufs := q.bufs[:0]
 		for _, req := range reqs {
 			if req.Len < 0 || req.Len > framepool.MaxFrame {
 				bufs = append(bufs, nil)
 				continue
 			}
-			b := v.pool.Get()
+			b := q.arena.Get()
 			ops = append(ops, xen.CopyOp{
 				Src: xen.CopyPtr{Dom: v.frontDom, Ref: req.Ref, Offset: req.Offset},
 				Dst: xen.CopyPtr{Data: b.Extend(req.Len)},
@@ -289,33 +376,34 @@ func (v *VIF) drainTx() {
 			bufs = append(bufs, b)
 		}
 		err := hv.CopyGrant(v.dom, ops)
-		done := v.dom.CPUs.Charge(sim.Time(len(reqs)) * v.costs.PerPacketTx)
+		done := q.cpu.Charge(sim.Time(len(reqs)) * v.costs.PerPacketTx)
 		for i, req := range reqs {
 			status := int8(netif.StatusOK)
 			b := bufs[i]
 			if b == nil || err != nil {
 				status = netif.StatusError
-				v.stats.TxErrors++
+				q.stats.TxErrors++
 				if b != nil {
 					b.Release()
 				}
 			} else {
-				v.stats.TxFrames++
-				v.stats.TxBytes += uint64(req.Len)
-				v.txPending.Push(timedFrame{at: done, frame: b})
+				q.stats.TxFrames++
+				q.stats.TxBytes += uint64(req.Len)
+				metrics.NetQueueTxFrames.Add(1)
+				q.txPending.Push(timedFrame{at: done, frame: b})
 			}
-			v.ch.Tx.PushResponse(netif.TxResponse{ID: req.ID, Status: status})
+			q.tx.PushResponse(netif.TxResponse{ID: req.ID, Status: status})
 		}
-		v.ops = ops[:0]
-		v.bufs = bufs[:0]
+		q.ops = ops[:0]
+		q.bufs = bufs[:0]
 		clearBufs(bufs)
 		// One coalesced wake delivers the whole burst to the bridge when
 		// the batched copy and per-frame processing complete.
-		if v.txPending.Len() > 0 {
-			v.txDone.Arm(done)
+		if q.txPending.Len() > 0 {
+			q.txDone.Arm(done)
 		}
-		if v.ch.Tx.PushResponsesAndCheckNotify() {
-			v.dom.Notify(v.port)
+		if q.tx.PushResponsesAndCheckNotify() {
+			v.dom.Notify(q.port)
 		}
 	}
 }
@@ -330,65 +418,70 @@ func clearBufs(bufs []*framepool.Buf) {
 
 // flushTx hands every matured guest frame to the bridge in FIFO order and
 // re-arms for the next burst still in flight.
-func (v *VIF) flushTx() {
+func (q *vifQueue) flushTx() {
+	v := q.v
 	if v.dead {
 		return
 	}
 	now := v.eng.Now()
-	for v.txPending.Len() > 0 && v.txPending.Peek().at <= now {
-		v.br.Input(v, v.txPending.Pop().frame)
+	for q.txPending.Len() > 0 && q.txPending.Peek().at <= now {
+		v.br.Input(v, q.txPending.Pop().frame)
 	}
-	if p := v.txPending.Peek(); p != nil {
-		v.txDone.Arm(p.at)
+	if p := q.txPending.Peek(); p != nil {
+		q.txDone.Arm(p.at)
 	}
 }
 
-// Deliver implements bridge.Port: queue a guest-bound frame (consuming the
-// bridge's reference) and wake the soft_start thread.
+// Deliver implements bridge.Port: steer a guest-bound frame to its queue
+// with the shared RSS hash (so a flow's two directions use one queue),
+// queue it there (consuming the bridge's reference), and wake that queue's
+// soft_start thread.
 func (v *VIF) Deliver(frame *framepool.Buf) {
 	if v.dead || v.down {
 		frame.Release()
 		return
 	}
-	if v.rxQueue.Len() >= v.costs.RxQueueFrames {
-		v.stats.RxQueueDrops++
+	q := v.queues[v.rss.Queue(frame.Bytes(), len(v.queues))]
+	if q.rxQueue.Len() >= v.costs.RxQueueFrames {
+		q.stats.RxQueueDrops++
 		frame.Release()
 		return
 	}
-	v.rxQueue.Push(frame)
+	q.rxQueue.Push(frame)
 	if v.costs.InHandler {
-		v.drainRx()
+		q.drainRx()
 		return
 	}
-	v.softStart.Wake()
+	q.softStart.Wake()
 }
 
 // drainRx is the soft_start thread body: copy queued frames into posted
 // guest Rx buffers, preferring the persistent mapping cache.
-func (v *VIF) drainRx() {
+func (q *vifQueue) drainRx() {
+	v := q.v
 	if v.dead {
 		return
 	}
 	hv := v.dom.Hypervisor()
 	notify := false
-	for v.rxQueue.Len() > 0 {
-		batch := v.bufs[:0]
-		reqs := v.rxReqs[:0]
-		for v.rxQueue.Len() > 0 {
-			req, ok := v.ch.Rx.TakeRequest()
+	for q.rxQueue.Len() > 0 {
+		batch := q.bufs[:0]
+		reqs := q.rxReqs[:0]
+		for q.rxQueue.Len() > 0 {
+			req, ok := q.rx.TakeRequest()
 			if !ok {
 				break
 			}
 			reqs = append(reqs, req)
-			batch = append(batch, v.rxQueue.Pop())
+			batch = append(batch, q.rxQueue.Pop())
 		}
-		v.rxReqs = reqs[:0]
+		q.rxReqs = reqs[:0]
 		if len(reqs) == 0 {
-			v.bufs = batch[:0]
+			q.bufs = batch[:0]
 			// No posted buffers. Re-arm the request event threshold before
 			// sleeping, or the frontend's next buffer post would suppress
 			// its notification and strand the queued frames forever.
-			if v.ch.Rx.FinalCheckForRequests() {
+			if q.rx.FinalCheckForRequests() {
 				continue
 			}
 			break
@@ -396,10 +489,10 @@ func (v *VIF) drainRx() {
 		// Copy each frame into its guest page: through the persistent
 		// mapping when cached (plain memcpy), falling back to a batched
 		// grant copy for uncached refs.
-		ops := v.ops[:0]
+		ops := q.ops[:0]
 		var memcpyBytes int
 		for i, frame := range batch {
-			if m := v.rxMapping(reqs[i].Ref); m != nil {
+			if m := q.rxMapping(reqs[i].Ref); m != nil {
 				copy(m.Page.Data[:frame.Len()], frame.Bytes())
 				memcpyBytes += frame.Len()
 				continue
@@ -413,41 +506,43 @@ func (v *VIF) drainRx() {
 		err := hv.CopyGrant(v.dom, ops)
 		cost := sim.Time(len(reqs)) * v.costs.PerPacketRx
 		cost += sim.Time(memcpyBytes) * hv.Costs.CopyBytePerKB / 1024
-		v.dom.CPUs.Charge(cost)
+		q.cpu.Charge(cost)
 		for i, req := range reqs {
 			status := int8(netif.StatusOK)
 			if err != nil {
 				status = netif.StatusError
 			} else {
-				v.stats.RxFrames++
-				v.stats.RxBytes += uint64(batch[i].Len())
+				q.stats.RxFrames++
+				q.stats.RxBytes += uint64(batch[i].Len())
+				metrics.NetQueueRxFrames.Add(1)
 			}
-			v.ch.Rx.PushResponse(netif.RxResponse{ID: req.ID, Offset: 0, Len: batch[i].Len(), Status: status})
+			q.rx.PushResponse(netif.RxResponse{ID: req.ID, Offset: 0, Len: batch[i].Len(), Status: status})
 			batch[i].Release()
 		}
-		v.ops = ops[:0]
-		v.bufs = batch[:0]
+		q.ops = ops[:0]
+		q.bufs = batch[:0]
 		clearBufs(batch)
-		if v.ch.Rx.PushResponsesAndCheckNotify() {
+		if q.rx.PushResponsesAndCheckNotify() {
 			notify = true
 		}
 	}
 	if notify {
-		v.dom.Notify(v.port)
+		v.dom.Notify(q.port)
 	}
 }
 
-// rxMapping resolves an Rx grant ref through the persistent cache,
+// rxMapping resolves an Rx grant ref through the queue's persistent cache,
 // mirroring blkback's mapRef: a hit costs nothing (the page stays mapped),
 // a miss pays one map hypercall and populates the cache. Returns nil when
 // persistence is disabled or the map fails (caller falls back to a grant
 // copy).
-func (v *VIF) rxMapping(ref xen.GrantRef) *xen.Mapping {
+func (q *vifQueue) rxMapping(ref xen.GrantRef) *xen.Mapping {
+	v := q.v
 	if !v.costs.PersistentRx {
 		return nil
 	}
-	if m := v.pgrants[ref]; m != nil && m.Live() {
-		v.stats.RxPersistHits++
+	if m := q.pgrants[ref]; m != nil && m.Live() {
+		q.stats.RxPersistHits++
 		metrics.NetRxPersistHits.Add(1)
 		return m
 	}
@@ -455,8 +550,8 @@ func (v *VIF) rxMapping(ref xen.GrantRef) *xen.Mapping {
 	if err != nil {
 		return nil
 	}
-	v.stats.RxPersistMisses++
+	q.stats.RxPersistMisses++
 	metrics.NetRxPersistMisses.Add(1)
-	v.pgrants[ref] = m
+	q.pgrants[ref] = m
 	return m
 }

@@ -10,6 +10,14 @@
 // once, then reuses page and grant for the device's lifetime — the same
 // recycling the Rx path always had, and what lets the backend keep
 // persistent mappings of our pages (§3.3).
+//
+// The transport is multi-queue (xen-netfront's multi-queue protocol): the
+// frontend reads the backend's "multi-queue-max-queues" advertisement
+// during the xenbus handshake, answers with "multi-queue-num-queues", and
+// publishes one ring pair + event channel per queue under "queue-N/" keys
+// (flat legacy keys when single-queue). Tx frames are steered by a
+// deterministic RSS Toeplitz hash over the IPv4 4-tuple so each flow stays
+// on one queue and in order; non-IP traffic rides queue 0.
 package netfront
 
 import (
@@ -24,10 +32,10 @@ import (
 	"kite/internal/xenbus"
 )
 
-// txBacklogCap bounds the qdisc backlog (frames).
+// txBacklogCap bounds the qdisc backlog (frames) per queue.
 const txBacklogCap = 1024
 
-// Stats counts frontend activity.
+// Stats counts frontend activity, aggregated over queues in queue order.
 type Stats struct {
 	TxFrames, RxFrames uint64
 	TxBytes, RxBytes   uint64
@@ -47,6 +55,28 @@ type rxBuf struct {
 	ref  xen.GrantRef
 }
 
+// queue is one Tx/Rx ring pair with its own event channel, persistent Tx
+// slots, posted Rx buffers, and qdisc backlog — the per-queue state real
+// netfront keeps in struct netfront_queue.
+type queue struct {
+	d    *Device
+	id   int
+	tx   *netif.TxRing
+	rx   *netif.RxRing
+	port xen.Port
+
+	txSlots map[uint16]*txSlot
+	txNext  uint16
+	txFree  []uint16
+	// txBacklog queues frames while this queue's ring is full (the guest's
+	// per-queue qdisc); reapTx drains it as slots free up. Each entry holds
+	// one buffer reference.
+	txBacklog sim.FIFO[*framepool.Buf]
+	rxBufs    [netif.RingSize]rxBuf
+
+	stats Stats
+}
+
 // Device is one vif frontend instance.
 type Device struct {
 	eng     *sim.Engine
@@ -61,25 +91,16 @@ type Device struct {
 	frontPath string
 	backPath  string
 
-	txRing *netif.TxRing
-	rxRing *netif.RxRing
-	port   xen.Port
-
-	txSlots map[uint16]*txSlot
-	txNext  uint16
-	txFree  []uint16
-	// txBacklog queues frames while the ring is full (the guest's qdisc);
-	// reapTx drains it as slots free up. Each entry holds one buffer
-	// reference.
-	txBacklog sim.FIFO[*framepool.Buf]
-	rxBufs    [netif.RingSize]rxBuf
-	rxAlive   bool
+	wantQueues int
+	hashSeed   uint64
+	rss        netpkt.RSS
+	queues     []*queue
+	rxAlive    bool
+	started    bool
 
 	recv    func(frame *framepool.Buf)
 	onReady func()
 	ready   bool
-
-	stats Stats
 }
 
 // Config describes a frontend to create.
@@ -92,6 +113,13 @@ type Config struct {
 	MAC      netpkt.MAC
 	// Pool supplies frame buffers for the Rx path (nil for a private pool).
 	Pool *framepool.Pool
+	// Queues requests a queue count; the handshake negotiates
+	// min(Queues, backend's multi-queue-max-queues). 0 means 1.
+	Queues int
+	// HashSeed seeds the RSS steering hash (shared with the backend through
+	// xenstore so both ends agree); 0 selects a deterministic per-device
+	// default.
+	HashSeed uint64
 	// OnReady fires when the device reaches Connected on both ends.
 	OnReady func()
 }
@@ -103,18 +131,31 @@ func New(eng *sim.Engine, cfg Config) *Device {
 	if pool == nil {
 		pool = framepool.New()
 	}
+	wantQueues := cfg.Queues
+	if wantQueues < 1 {
+		wantQueues = 1
+	}
+	if wantQueues > netif.MaxQueues {
+		wantQueues = netif.MaxQueues
+	}
+	seed := cfg.HashSeed &^ (1 << 63) // survives the decimal int round trip
+	if seed == 0 {
+		seed = 0x6b697465<<16 ^ uint64(cfg.Dom.ID)<<8 ^ uint64(cfg.DevID)
+	}
 	d := &Device{
-		eng:       eng,
-		dom:       cfg.Dom,
-		bus:       cfg.Bus,
-		reg:       cfg.Registry,
-		devID:     cfg.DevID,
-		backDom:   cfg.BackDom,
-		mac:       cfg.MAC,
-		pool:      pool,
-		frontPath: xenbus.FrontendPath(xenbus.DomID(cfg.Dom.ID), "vif", cfg.DevID),
-		txSlots:   make(map[uint16]*txSlot),
-		onReady:   cfg.OnReady,
+		eng:        eng,
+		dom:        cfg.Dom,
+		bus:        cfg.Bus,
+		reg:        cfg.Registry,
+		devID:      cfg.DevID,
+		backDom:    cfg.BackDom,
+		mac:        cfg.MAC,
+		pool:       pool,
+		wantQueues: wantQueues,
+		hashSeed:   seed,
+		rss:        netpkt.NewRSS(seed),
+		frontPath:  xenbus.FrontendPath(xenbus.DomID(cfg.Dom.ID), "vif", cfg.DevID),
+		onReady:    cfg.OnReady,
 	}
 	d.backPath = xenbus.BackendPath(xenbus.DomID(cfg.BackDom), "vif", xenbus.DomID(cfg.Dom.ID), cfg.DevID)
 	d.start()
@@ -128,37 +169,37 @@ func (d *Device) MAC() netpkt.MAC { return d.mac }
 // reference per frame and owns it.
 func (d *Device) SetRecv(fn func(frame *framepool.Buf)) { d.recv = fn }
 
-// Stats returns a snapshot of the counters.
-func (d *Device) Stats() Stats { return d.stats }
+// Stats returns the counters aggregated over queues in queue order.
+func (d *Device) Stats() Stats {
+	var s Stats
+	for _, q := range d.queues {
+		s.TxFrames += q.stats.TxFrames
+		s.RxFrames += q.stats.RxFrames
+		s.TxBytes += q.stats.TxBytes
+		s.RxBytes += q.stats.RxBytes
+		s.TxRingFull += q.stats.TxRingFull
+		s.TxErrors += q.stats.TxErrors
+	}
+	return s
+}
+
+// NumQueues returns the negotiated queue count (0 before negotiation).
+func (d *Device) NumQueues() int { return len(d.queues) }
 
 // Ready reports whether the device is connected end to end.
 func (d *Device) Ready() bool { return d.ready }
 
-// start performs the frontend's side of the xenbus handshake: allocate
-// rings and the event channel, publish references, move to Initialised,
-// then wait for the backend to connect.
+// start begins the frontend's side of the xenbus handshake: watch the
+// backend and allocate/publish rings once it reaches InitWait and its
+// queue-count advertisement is readable (the same ordering real netfront
+// follows, and what blkfront here always did).
 func (d *Device) start() {
-	d.txRing = netif.NewTxRing()
-	d.rxRing = netif.NewRxRing()
-	d.reg.Publish(d.dom.ID, d.devID, &netif.Channel{Tx: d.txRing, Rx: d.rxRing})
-
-	d.port = d.dom.AllocUnbound(d.backDom)
-	if err := d.dom.SetHandler(d.port, d.onEvent); err != nil {
-		panic(fmt.Sprintf("netfront: %v", err))
-	}
-
-	st := d.bus.Store()
-	st.Writef(d.frontPath+"/tx-ring-ref", "%d", d.devID*2+1)
-	st.Writef(d.frontPath+"/rx-ring-ref", "%d", d.devID*2+2)
-	st.Writef(d.frontPath+"/event-channel", "%d", d.port)
-	st.Write(d.frontPath+"/mac", d.mac.String())
-	d.bus.WriteFeature(d.frontPath, "request-rx-copy", true)
-	if err := d.bus.SwitchState(d.frontPath, xenbus.StateInitialised); err != nil {
-		panic(fmt.Sprintf("netfront: %v", err))
-	}
-
 	d.bus.OnStateChange(d.backPath, func(s xenbus.State) {
 		switch s {
+		case xenbus.StateInitWait:
+			if !d.started {
+				d.initRings()
+			}
 		case xenbus.StateConnected:
 			if !d.ready {
 				d.connect()
@@ -169,21 +210,73 @@ func (d *Device) start() {
 	})
 }
 
-// connect finishes the handshake: post the full Rx buffer set and go
-// Connected.
+// initRings negotiates the queue count, allocates per-queue rings and event
+// channels, publishes everything, and moves to Initialised.
+func (d *Device) initRings() {
+	d.started = true
+	st := d.bus.Store()
+	nq := d.wantQueues
+	if max := d.bus.ReadNumQueues(d.backPath, xenbus.MaxQueuesKey); nq > max {
+		nq = max
+	}
+
+	ch := netif.NewChannel(nq)
+	d.queues = make([]*queue, nq)
+	for i := 0; i < nq; i++ {
+		q := &queue{
+			d:       d,
+			id:      i,
+			tx:      ch.Tx.Queue(i),
+			rx:      ch.Rx.Queue(i),
+			txSlots: make(map[uint16]*txSlot),
+		}
+		q.port = d.dom.AllocUnbound(d.backDom)
+		if err := d.dom.SetHandler(q.port, q.onEvent); err != nil {
+			panic(fmt.Sprintf("netfront: %v", err))
+		}
+		d.queues[i] = q
+	}
+	d.reg.Publish(d.dom.ID, d.devID, ch)
+
+	if nq == 1 {
+		// Legacy flat keys, exactly like a single-queue netfront.
+		st.Writef(d.frontPath+"/tx-ring-ref", "%d", d.devID*2+1)
+		st.Writef(d.frontPath+"/rx-ring-ref", "%d", d.devID*2+2)
+		st.Writef(d.frontPath+"/event-channel", "%d", d.queues[0].port)
+	} else {
+		d.bus.WriteNumQueues(d.frontPath, nq)
+		st.Writef(d.frontPath+"/"+xenbus.HashSeedKey, "%d", d.hashSeed)
+		for i, q := range d.queues {
+			qp := xenbus.QueuePath(d.frontPath, i)
+			st.Writef(qp+"/tx-ring-ref", "%d", d.devID*16+i*2+1)
+			st.Writef(qp+"/rx-ring-ref", "%d", d.devID*16+i*2+2)
+			st.Writef(qp+"/event-channel", "%d", q.port)
+		}
+	}
+	st.Write(d.frontPath+"/mac", d.mac.String())
+	d.bus.WriteFeature(d.frontPath, "request-rx-copy", true)
+	if err := d.bus.SwitchState(d.frontPath, xenbus.StateInitialised); err != nil {
+		panic(fmt.Sprintf("netfront: %v", err))
+	}
+}
+
+// connect finishes the handshake: post every queue's full Rx buffer set and
+// go Connected.
 func (d *Device) connect() {
-	for i := 0; i < netif.RingSize; i++ {
-		page := d.dom.Arena.MustAlloc()
-		ref := d.dom.GrantAccess(d.backDom, page, false)
-		d.rxBufs[i] = rxBuf{page: page, ref: ref}
-		if !d.rxRing.PushRequest(netif.RxRequest{ID: uint16(i), Ref: ref}) {
-			panic("netfront: fresh rx ring full")
+	for _, q := range d.queues {
+		for i := 0; i < netif.RingSize; i++ {
+			page := d.dom.Arena.MustAlloc()
+			ref := d.dom.GrantAccess(d.backDom, page, false)
+			q.rxBufs[i] = rxBuf{page: page, ref: ref}
+			if !q.rx.PushRequest(netif.RxRequest{ID: uint16(i), Ref: ref}) {
+				panic("netfront: fresh rx ring full")
+			}
+		}
+		if q.rx.PushRequestsAndCheckNotify() {
+			d.dom.Notify(q.port)
 		}
 	}
 	d.rxAlive = true
-	if d.rxRing.PushRequestsAndCheckNotify() {
-		d.dom.Notify(d.port)
-	}
 	if err := d.bus.SwitchState(d.frontPath, xenbus.StateConnected); err != nil {
 		panic(fmt.Sprintf("netfront: %v", err))
 	}
@@ -204,48 +297,52 @@ func (d *Device) backendGone() {
 	}
 	d.ready = false
 	d.rxAlive = false
-	for d.txBacklog.Len() > 0 {
-		d.txBacklog.Pop().Release()
+	for _, q := range d.queues {
+		for q.txBacklog.Len() > 0 {
+			q.txBacklog.Pop().Release()
+		}
 	}
 }
 
-// Send implements netstack.NetIf: copy the frame into a persistently
-// granted page, push a Tx request, kick the backend. Send consumes the
-// caller's buffer reference on every path, including failures.
+// Send implements netstack.NetIf: steer the frame to its queue by RSS flow
+// hash, copy it into a persistently granted page, push a Tx request, kick
+// the backend. Send consumes the caller's buffer reference on every path,
+// including failures.
 func (d *Device) Send(frame *framepool.Buf) bool {
 	if !d.ready {
 		frame.Release()
 		return false
 	}
+	q := d.queues[d.rss.Queue(frame.Bytes(), len(d.queues))]
 	if frame.Len() > mem.PageSize {
-		d.stats.TxErrors++
+		q.stats.TxErrors++
 		frame.Release()
 		return false
 	}
-	if d.txRing.Full() {
-		if d.txBacklog.Len() >= txBacklogCap {
-			d.stats.TxRingFull++
+	if q.tx.Full() {
+		if q.txBacklog.Len() >= txBacklogCap {
+			q.stats.TxRingFull++
 			frame.Release()
 			return false
 		}
-		d.txBacklog.Push(frame)
+		q.txBacklog.Push(frame)
 		return true
 	}
-	if !d.pushTx(frame) {
+	if !q.pushTx(frame) {
 		return false
 	}
-	if d.txRing.PushRequestsAndCheckNotify() {
-		d.dom.Notify(d.port)
+	if q.tx.PushRequestsAndCheckNotify() {
+		d.dom.Notify(q.port)
 	}
 	return true
 }
 
 // pushTx copies one frame into a Tx slot and pushes its request, consuming
 // the buffer reference. The caller batches the notify check.
-func (d *Device) pushTx(frame *framepool.Buf) bool {
-	slot, id, ok := d.allocTxSlot()
+func (q *queue) pushTx(frame *framepool.Buf) bool {
+	slot, id, ok := q.allocTxSlot()
 	if !ok {
-		d.stats.TxErrors++
+		q.stats.TxErrors++
 		frame.Release()
 		return false
 	}
@@ -253,77 +350,79 @@ func (d *Device) pushTx(frame *framepool.Buf) bool {
 	slot.page.CopyInto(0, frame.Bytes())
 	slot.inFlight = true
 	frame.Release()
-	d.txRing.PushRequest(netif.TxRequest{ID: id, Ref: slot.ref, Offset: 0, Len: n})
-	d.stats.TxFrames++
-	d.stats.TxBytes += uint64(n)
+	q.tx.PushRequest(netif.TxRequest{ID: id, Ref: slot.ref, Offset: 0, Len: n})
+	q.stats.TxFrames++
+	q.stats.TxBytes += uint64(n)
 	return true
 }
 
 // allocTxSlot returns a free persistent Tx slot, lazily allocating and
 // granting its page the first time an id is used.
-func (d *Device) allocTxSlot() (*txSlot, uint16, bool) {
-	if n := len(d.txFree); n > 0 {
-		id := d.txFree[n-1]
-		d.txFree = d.txFree[:n-1]
-		return d.txSlots[id], id, true
+func (q *queue) allocTxSlot() (*txSlot, uint16, bool) {
+	if n := len(q.txFree); n > 0 {
+		id := q.txFree[n-1]
+		q.txFree = q.txFree[:n-1]
+		return q.txSlots[id], id, true
 	}
+	d := q.d
 	page, err := d.dom.Arena.Alloc()
 	if err != nil {
 		return nil, 0, false
 	}
-	d.txNext++
-	id := d.txNext
+	q.txNext++
+	id := q.txNext
 	slot := &txSlot{page: page, ref: d.dom.GrantAccess(d.backDom, page, true)}
-	d.txSlots[id] = slot
+	q.txSlots[id] = slot
 	return slot, id, true
 }
 
-// onEvent is the frontend's interrupt handler: reap Tx completions and
-// deliver Rx frames.
-func (d *Device) onEvent() {
-	d.reapTx()
-	d.reapRx()
+// onEvent is the queue's interrupt handler: reap Tx completions and deliver
+// Rx frames for this queue only.
+func (q *queue) onEvent() {
+	q.reapTx()
+	q.reapRx()
 }
 
-func (d *Device) reapTx() {
-	defer d.drainBacklog()
+func (q *queue) reapTx() {
+	defer q.drainBacklog()
 	for {
-		rsp, ok := d.txRing.TakeResponse()
+		rsp, ok := q.tx.TakeResponse()
 		if !ok {
-			if d.txRing.FinalCheckForResponses() {
+			if q.tx.FinalCheckForResponses() {
 				continue
 			}
 			return
 		}
-		slot := d.txSlots[rsp.ID]
+		slot := q.txSlots[rsp.ID]
 		if slot == nil || !slot.inFlight {
 			continue // backend answered an unknown id; ignore
 		}
 		// The slot's page and grant persist; only the id is recycled.
 		slot.inFlight = false
-		d.txFree = append(d.txFree, rsp.ID)
+		q.txFree = append(q.txFree, rsp.ID)
 		if rsp.Status != netif.StatusOK {
-			d.stats.TxErrors++
+			q.stats.TxErrors++
 		}
 	}
 }
 
-func (d *Device) reapRx() {
+func (q *queue) reapRx() {
+	d := q.d
 	posted := 0
 	for {
-		rsp, ok := d.rxRing.TakeResponse()
+		rsp, ok := q.rx.TakeResponse()
 		if !ok {
-			if d.rxRing.FinalCheckForResponses() {
+			if q.rx.FinalCheckForResponses() {
 				continue
 			}
 			break
 		}
-		buf := d.rxBufs[rsp.ID%netif.RingSize]
+		buf := q.rxBufs[rsp.ID%netif.RingSize]
 		if rsp.Status == netif.StatusOK && rsp.Len > 0 &&
 			rsp.Offset >= 0 && rsp.Len <= framepool.MaxFrame &&
 			rsp.Offset+rsp.Len <= mem.PageSize {
-			d.stats.RxFrames++
-			d.stats.RxBytes += uint64(rsp.Len)
+			q.stats.RxFrames++
+			q.stats.RxBytes += uint64(rsp.Len)
 			if d.recv != nil {
 				b := d.pool.Get()
 				copy(b.Extend(rsp.Len), buf.page.Data[rsp.Offset:rsp.Offset+rsp.Len])
@@ -331,28 +430,33 @@ func (d *Device) reapRx() {
 			}
 		}
 		// Recycle the same granted page (Linux netfront's page reuse).
-		if d.rxAlive && d.rxRing.PushRequest(netif.RxRequest{ID: rsp.ID, Ref: buf.ref}) {
+		if d.rxAlive && q.rx.PushRequest(netif.RxRequest{ID: rsp.ID, Ref: buf.ref}) {
 			posted++
 		}
 	}
-	if posted > 0 && d.rxRing.PushRequestsAndCheckNotify() {
-		d.dom.Notify(d.port)
+	if posted > 0 && q.rx.PushRequestsAndCheckNotify() {
+		d.dom.Notify(q.port)
 	}
 }
 
-// EventPort returns the frontend's event channel port (read by the backend
-// from xenstore during its handshake).
-func (d *Device) EventPort() xen.Port { return d.port }
+// EventPort returns queue 0's event channel port (read by the backend from
+// xenstore during its handshake).
+func (d *Device) EventPort() xen.Port {
+	if len(d.queues) == 0 {
+		return 0
+	}
+	return d.queues[0].port
+}
 
 // drainBacklog pushes queued qdisc frames into freed ring slots.
-func (d *Device) drainBacklog() {
+func (q *queue) drainBacklog() {
 	pushed := false
-	for d.txBacklog.Len() > 0 && !d.txRing.Full() {
-		if d.pushTx(d.txBacklog.Pop()) {
+	for q.txBacklog.Len() > 0 && !q.tx.Full() {
+		if q.pushTx(q.txBacklog.Pop()) {
 			pushed = true
 		}
 	}
-	if pushed && d.txRing.PushRequestsAndCheckNotify() {
-		d.dom.Notify(d.port)
+	if pushed && q.tx.PushRequestsAndCheckNotify() {
+		q.d.dom.Notify(q.port)
 	}
 }

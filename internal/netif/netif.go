@@ -15,6 +15,10 @@ import (
 // RingSize is the netif ring slot count (matching Xen's 256-slot rings).
 const RingSize = 256
 
+// MaxQueues caps the negotiated queue count per vif, like xen-netback's
+// xenvif_max_queues module parameter.
+const MaxQueues = 8
+
 // Status codes in responses (netif.h's NETIF_RSP_*).
 const (
 	StatusOK      = 0
@@ -51,11 +55,17 @@ type RxResponse struct {
 	Status int8
 }
 
-// TxRing is the guest→backend ring.
+// TxRing is one guest→backend ring.
 type TxRing = ring.Ring[TxRequest, TxResponse]
 
-// RxRing is the backend→guest ring.
+// RxRing is one backend→guest ring.
 type RxRing = ring.Ring[RxRequest, RxResponse]
+
+// TxRings is the multi-queue set of Tx rings.
+type TxRings = ring.MultiRing[TxRequest, TxResponse]
+
+// RxRings is the multi-queue set of Rx rings.
+type RxRings = ring.MultiRing[RxRequest, RxResponse]
 
 // NewTxRing allocates a Tx ring of the standard size.
 func NewTxRing() *TxRing { return ring.New[TxRequest, TxResponse](RingSize) }
@@ -63,13 +73,27 @@ func NewTxRing() *TxRing { return ring.New[TxRequest, TxResponse](RingSize) }
 // NewRxRing allocates an Rx ring of the standard size.
 func NewRxRing() *RxRing { return ring.New[RxRequest, RxResponse](RingSize) }
 
+// NewTxRings allocates n standard-size Tx rings.
+func NewTxRings(n int) *TxRings { return ring.NewMulti[TxRequest, TxResponse](n, RingSize) }
+
+// NewRxRings allocates n standard-size Rx rings.
+func NewRxRings(n int) *RxRings { return ring.NewMulti[RxRequest, RxResponse](n, RingSize) }
+
 // Channel bundles what a backend obtains by mapping the frontend's shared
-// pages: both rings. (The event channel is negotiated separately through
-// xenstore, as for real.)
+// pages: the negotiated set of Tx and Rx rings, one pair per queue. (Event
+// channels are negotiated separately through xenstore, as for real.)
 type Channel struct {
-	Tx *TxRing
-	Rx *RxRing
+	Tx *TxRings
+	Rx *RxRings
 }
+
+// NewChannel allocates a channel with n queue pairs.
+func NewChannel(n int) *Channel {
+	return &Channel{Tx: NewTxRings(n), Rx: NewRxRings(n)}
+}
+
+// NumQueues returns the channel's queue count.
+func (c *Channel) NumQueues() int { return c.Tx.NumQueues() }
 
 // Registry stands in for the grant-mapping of ring pages: the frontend
 // publishes its rings under (frontend domain, device id); the backend

@@ -4,7 +4,7 @@ import "testing"
 
 func TestRegistryPublishClaimDrop(t *testing.T) {
 	r := NewRegistry()
-	ch := &Channel{Tx: NewTxRing(), Rx: NewRxRing()}
+	ch := NewChannel(1)
 	r.Publish(3, 0, ch)
 	got, err := r.Claim(3, 0)
 	if err != nil || got != ch {
@@ -28,10 +28,24 @@ func TestRingConstructorsSize(t *testing.T) {
 	}
 }
 
+func TestChannelQueues(t *testing.T) {
+	for _, n := range []int{1, 2, 4, MaxQueues} {
+		ch := NewChannel(n)
+		if ch.NumQueues() != n {
+			t.Fatalf("NumQueues = %d, want %d", ch.NumQueues(), n)
+		}
+		for i := 0; i < n; i++ {
+			if ch.Tx.Queue(i).Size() != RingSize || ch.Rx.Queue(i).Size() != RingSize {
+				t.Fatalf("queue %d has wrong ring sizes", i)
+			}
+		}
+	}
+}
+
 func TestRegistryDistinctKeys(t *testing.T) {
 	r := NewRegistry()
-	a := &Channel{Tx: NewTxRing(), Rx: NewRxRing()}
-	b := &Channel{Tx: NewTxRing(), Rx: NewRxRing()}
+	a := NewChannel(1)
+	b := NewChannel(2)
 	r.Publish(1, 0, a)
 	r.Publish(1, 1, b)
 	r.Publish(2, 0, b)

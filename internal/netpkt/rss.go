@@ -1,0 +1,98 @@
+package netpkt
+
+import "encoding/binary"
+
+// RSS computes receive-side-scaling flow hashes the way multi-queue NICs
+// and xen-netback do: a Toeplitz hash over the IPv4 4-tuple (source and
+// destination address and port), so every packet of a flow lands on the
+// same queue and per-flow ordering survives multi-queue steering. Real
+// stacks randomize the 40-byte Toeplitz key at boot; here the key is
+// expanded from a 64-bit seed (splitmix64) carried in the rig config, so
+// steering is deterministic and runs stay byte-identical.
+type RSS struct {
+	// 128-bit Toeplitz key: enough for the 12-byte (96-bit) 4-tuple input
+	// plus the 32-bit sliding window.
+	key [16]byte
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// NewRSS expands seed into a Toeplitz key. The same seed always yields the
+// same steering decisions.
+func NewRSS(seed uint64) RSS {
+	var r RSS
+	x := seed
+	for i := 0; i < len(r.key); i += 8 {
+		x = splitmix64(x)
+		binary.BigEndian.PutUint64(r.key[i:], x)
+	}
+	return r
+}
+
+// toeplitz runs the textbook Toeplitz construction: for every set bit of
+// the input, XOR in the 32-bit window of the key starting at that bit
+// position. The key is held as a 128-bit big-endian register shifted left
+// one bit per input bit.
+func (r *RSS) toeplitz(in *[12]byte) uint32 {
+	hi := binary.BigEndian.Uint64(r.key[0:8])
+	lo := binary.BigEndian.Uint64(r.key[8:16])
+	var h uint32
+	for _, b := range in {
+		for bit := 7; bit >= 0; bit-- {
+			if b&(1<<uint(bit)) != 0 {
+				h ^= uint32(hi >> 32)
+			}
+			hi = hi<<1 | lo>>63
+			lo <<= 1
+		}
+	}
+	return h
+}
+
+// FrameHash computes the flow hash of a raw Ethernet frame. For IPv4
+// TCP/UDP first fragments it hashes the full 4-tuple; for other IPv4
+// packets (ICMP, later fragments — whose L4 header is absent or ambiguous)
+// it hashes the 2-tuple with zero ports. ok is false for anything that is
+// not a well-formed IPv4 frame; callers steer those to queue 0, like the
+// non-IP default queue in real RSS.
+func (r *RSS) FrameHash(frame []byte) (hash uint32, ok bool) {
+	if len(frame) < EthHeaderLen+IPHeaderLen {
+		return 0, false
+	}
+	if binary.BigEndian.Uint16(frame[12:14]) != EtherTypeIPv4 {
+		return 0, false
+	}
+	ip := frame[EthHeaderLen:]
+	ihl := int(ip[0]&0x0f) * 4
+	if ip[0]>>4 != 4 || ihl < IPHeaderLen || len(ip) < ihl {
+		return 0, false
+	}
+	var in [12]byte
+	copy(in[0:4], ip[12:16]) // src IP
+	copy(in[4:8], ip[16:20]) // dst IP
+	proto := ip[9]
+	fragField := binary.BigEndian.Uint16(ip[6:8])
+	firstFrag := fragField&0x1fff == 0 // ports only present in fragment 0
+	if firstFrag && (proto == ProtoTCP || proto == ProtoUDP) && len(ip) >= ihl+4 {
+		copy(in[8:12], ip[ihl:ihl+4]) // src port, dst port
+	}
+	return r.toeplitz(&in), true
+}
+
+// Queue maps a frame onto one of n queues: its flow hash modulo n, with
+// queue 0 for non-IPv4 frames (ARP, control traffic).
+func (r *RSS) Queue(frame []byte, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h, ok := r.FrameHash(frame)
+	if !ok {
+		return 0
+	}
+	return int(h % uint32(n))
+}

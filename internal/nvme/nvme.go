@@ -107,8 +107,21 @@ type Device struct {
 	// resource. Per-command base latency overlaps across commands
 	// (channel/queue parallelism).
 	busBusyUntil sim.Time
-	lastEnd      int64 // sector following the previous command (seq detection)
-	stats        Stats
+	// sqs are the per-submission-queue timelines: command fetch + doorbell
+	// overhead (CmdOverhead) serializes only within one SQ, so commands
+	// submitted on distinct queues overlap their overhead — the reason
+	// multi-queue submission scales small-command throughput while the data
+	// bus stays a device-wide resource. Queue 0 always exists; others are
+	// created on first use. Sequentiality is tracked per queue, matching a
+	// striped submitter whose streams are each sequential.
+	sqs   []sqState
+	stats Stats
+}
+
+// sqState is one submission queue's private timeline.
+type sqState struct {
+	busyUntil sim.Time
+	lastEnd   int64 // sector following this queue's previous command
 }
 
 // New creates a device with the given PCI BDF.
@@ -173,17 +186,28 @@ func (p *pending) fire() {
 
 // complete books the command on the bus and schedules its pooled pending
 // record at the completion time.
-func (d *Device) complete(op Op, sector int64, n int, iov [][]byte, cb func(err error)) {
-	done := d.completionTime(op, sector, n)
+func (d *Device) complete(queue int, op Op, sector int64, n int, iov [][]byte, cb func(err error)) {
+	done := d.completionTime(queue, op, sector, n)
 	p := d.getPending()
 	p.cb, p.iov, p.sector, p.err = cb, iov, sector, nil
 	d.eng.Schedule(done, p.run)
 }
 
-// completionTime books the data transfer on the shared bus and returns
-// when the command finishes (transfer end plus overlappable base latency).
-// Non-sequential commands pay the random-access penalty on the bus.
-func (d *Device) completionTime(op Op, sector int64, n int) sim.Time {
+// sq returns submission queue i's timeline, growing the set on first use.
+func (d *Device) sq(i int) *sqState {
+	for len(d.sqs) <= i {
+		d.sqs = append(d.sqs, sqState{})
+	}
+	return &d.sqs[i]
+}
+
+// completionTime books one command: fetch + doorbell overhead serializes on
+// the submission queue, the data transfer serializes on the device-wide
+// bus, and the overlappable base latency rides on top. With a single queue
+// this reduces exactly to the pre-multi-queue timeline (overhead and
+// transfer back to back after max(now, busy)). Non-sequential commands
+// (per queue) pay the random-access penalty.
+func (d *Device) completionTime(queue int, op Op, sector int64, n int) sim.Time {
 	var bps int64
 	var lat sim.Time
 	if op == OpRead {
@@ -191,17 +215,24 @@ func (d *Device) completionTime(op Op, sector int64, n int) sim.Time {
 	} else {
 		bps, lat = d.cfg.WriteBps, d.cfg.WriteLatency
 	}
+	q := d.sq(queue)
 	start := d.eng.Now()
-	if d.busBusyUntil > start {
-		start = d.busBusyUntil
+	if q.busyUntil > start {
+		start = q.busyUntil
 	}
-	xfer := d.cfg.CmdOverhead + sim.Time(int64(n)*int64(sim.Second)/bps)
-	if sector != d.lastEnd {
+	fetchEnd := start + d.cfg.CmdOverhead
+	busStart := fetchEnd
+	if d.busBusyUntil > busStart {
+		busStart = d.busBusyUntil
+	}
+	busEnd := busStart + sim.Time(int64(n)*int64(sim.Second)/bps)
+	if sector != q.lastEnd {
 		lat += d.cfg.RandomPenalty
 	}
-	d.lastEnd = sector + int64(n/SectorSize)
-	d.busBusyUntil = start + xfer
-	return d.busBusyUntil + lat
+	q.lastEnd = sector + int64(n/SectorSize)
+	q.busyUntil = busEnd
+	d.busBusyUntil = busEnd
+	return busEnd + lat
 }
 
 // ReadVec reads into the iovec's segment views, starting at sector; cb
@@ -209,6 +240,12 @@ func (d *Device) completionTime(op Op, sector int64, n int) sim.Time {
 // segments must stay valid (and unwritten by the caller) until then —
 // ownership transfers to the device for the life of the command.
 func (d *Device) ReadVec(sector int64, iov [][]byte, cb func(err error)) {
+	d.ReadVecQ(0, sector, iov, cb)
+}
+
+// ReadVecQ is ReadVec submitted on a specific hardware queue: command
+// overhead overlaps with other queues' commands, the data bus serializes.
+func (d *Device) ReadVecQ(queue int, sector int64, iov [][]byte, cb func(err error)) {
 	n := vecBytes(iov)
 	if err := d.check(sector, n); err != nil {
 		d.eng.After(0, func() { cb(err) })
@@ -218,7 +255,7 @@ func (d *Device) ReadVec(sector int64, iov [][]byte, cb func(err error)) {
 	d.stats.VecReads++
 	d.stats.ReadBytes += uint64(n)
 	metrics.NVMeVecReads.Add(1)
-	d.complete(OpRead, sector, n, iov, cb)
+	d.complete(queue, OpRead, sector, n, iov, cb)
 }
 
 // WriteVec gathers the iovec's segment views into the store at sector; cb
@@ -226,6 +263,11 @@ func (d *Device) ReadVec(sector int64, iov [][]byte, cb func(err error)) {
 // immediately (write cache); timing models the command completion, and the
 // segments may be reused as soon as WriteVec returns.
 func (d *Device) WriteVec(sector int64, iov [][]byte, cb func(err error)) {
+	d.WriteVecQ(0, sector, iov, cb)
+}
+
+// WriteVecQ is WriteVec submitted on a specific hardware queue.
+func (d *Device) WriteVecQ(queue int, sector int64, iov [][]byte, cb func(err error)) {
 	n := vecBytes(iov)
 	if err := d.check(sector, n); err != nil {
 		d.eng.After(0, func() { cb(err) })
@@ -240,7 +282,7 @@ func (d *Device) WriteVec(sector int64, iov [][]byte, cb func(err error)) {
 		d.writeBytesAt(off, seg)
 		off += int64(len(seg))
 	}
-	d.complete(OpWrite, sector, n, nil, cb)
+	d.complete(queue, OpWrite, sector, n, nil, cb)
 }
 
 func vecBytes(iov [][]byte) int {
@@ -261,7 +303,7 @@ func (d *Device) Read(sector int64, n int, cb func(data []byte, err error)) {
 	}
 	d.stats.ReadOps++
 	d.stats.ReadBytes += uint64(n)
-	done := d.completionTime(OpRead, sector, n)
+	done := d.completionTime(0, OpRead, sector, n)
 	d.eng.Schedule(done, func() {
 		out := make([]byte, n)
 		d.readRange(sector*SectorSize, out)
@@ -278,7 +320,7 @@ func (d *Device) Write(sector int64, data []byte, cb func(err error)) {
 	d.stats.WriteOps++
 	d.stats.WriteBytes += uint64(len(data))
 	d.writeBytesAt(sector*SectorSize, data)
-	done := d.completionTime(OpWrite, sector, len(data))
+	done := d.completionTime(0, OpWrite, sector, len(data))
 	d.eng.Schedule(done, func() { cb(nil) })
 }
 

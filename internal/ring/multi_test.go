@@ -1,0 +1,82 @@
+package ring
+
+import "testing"
+
+func TestNewMultiValidates(t *testing.T) {
+	for _, bad := range []int{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("queue count %d did not panic", bad)
+				}
+			}()
+			NewMulti[req, rsp](bad, 8)
+		}()
+	}
+	m := NewMulti[req, rsp](4, 8)
+	if m.NumQueues() != 4 {
+		t.Fatalf("NumQueues = %d, want 4", m.NumQueues())
+	}
+	for i := 0; i < 4; i++ {
+		if m.Queue(i).Size() != 8 {
+			t.Fatalf("queue %d size = %d, want 8", i, m.Queue(i).Size())
+		}
+	}
+}
+
+// TestMultiRingQueueIndependence verifies queues share no state: filling
+// one queue leaves the others empty, and per-queue notification thresholds
+// are independent.
+func TestMultiRingQueueIndependence(t *testing.T) {
+	m := NewMulti[req, rsp](3, 4)
+	q0 := m.Queue(0)
+	for i := 0; i < 4; i++ {
+		if !q0.PushRequest(req{i}) {
+			t.Fatalf("queue 0 push %d failed", i)
+		}
+	}
+	if !q0.Full() {
+		t.Fatal("queue 0 not full")
+	}
+	for i := 1; i < 3; i++ {
+		if m.Queue(i).Full() || m.Queue(i).FreeRequests() != 4 {
+			t.Fatalf("queue %d perturbed by queue 0 fill", i)
+		}
+	}
+	// Notify state is per-queue: queue 1's first publish must notify even
+	// though queue 0 already published without a re-arm.
+	q0.PushRequestsAndCheckNotify()
+	q1 := m.Queue(1)
+	q1.PushRequest(req{0})
+	if !q1.PushRequestsAndCheckNotify() {
+		t.Fatal("queue 1 first publish did not request notify")
+	}
+}
+
+// TestMultiRingStatsAggregate checks Stats sums per-queue counters in
+// queue order.
+func TestMultiRingStatsAggregate(t *testing.T) {
+	m := NewMulti[req, rsp](2, 8)
+	for q := 0; q < 2; q++ {
+		r := m.Queue(q)
+		for i := 0; i <= q; i++ { // 1 req on queue 0, 2 on queue 1
+			r.PushRequest(req{i})
+		}
+		r.PushRequestsAndCheckNotify()
+		for {
+			rq, ok := r.TakeRequest()
+			if !ok {
+				break
+			}
+			r.PushResponse(rsp{rq.id, 0})
+		}
+		r.PushResponsesAndCheckNotify()
+	}
+	reqs, rsps, _, _ := m.Stats()
+	if reqs != 3 || rsps != 3 {
+		t.Fatalf("aggregate stats = %d reqs / %d rsps, want 3/3", reqs, rsps)
+	}
+	if m.Inflight() != 0 {
+		t.Fatalf("aggregate inflight = %d, want 0", m.Inflight())
+	}
+}

@@ -1,0 +1,148 @@
+package ring
+
+import "testing"
+
+// jumpIndices advances every index of an idle ring by delta, simulating a
+// ring that has already cycled delta slots. Valid only when the ring is
+// quiescent (all published work consumed), since all indices must agree.
+func jumpIndices[Req, Rsp any](r *Ring[Req, Rsp], delta uint32) {
+	r.reqProdPvt += delta
+	r.rspProdPvt += delta
+	r.reqProd += delta
+	r.reqCons += delta
+	r.rspProd += delta
+	r.rspCons += delta
+	r.reqEvent += delta
+	r.rspEvent += delta
+}
+
+// TestUint32IndexWraparound drives full request/response cycles across the
+// 2^32 index boundary. The Xen ring macros rely on unsigned wrap arithmetic
+// (prod - cons is correct even when prod has wrapped and cons has not);
+// this is the regression test for that edge of the hot path, which the
+// modest-iteration tests above never reach.
+func TestUint32IndexWraparound(t *testing.T) {
+	r := New[req, rsp](4)
+	// Park all indices 6 slots before the wrap so the cycles below straddle
+	// the boundary: some pushes land at index 0xFFFFFFFF, later ones at 0x1.
+	jumpIndices(r, ^uint32(0)-6)
+	for i := 0; i < 16; i++ {
+		if free := r.FreeRequests(); free != 4 {
+			t.Fatalf("iteration %d: FreeRequests = %d, want 4", i, free)
+		}
+		if !r.PushRequest(req{i}) {
+			t.Fatalf("iteration %d: push failed near wrap", i)
+		}
+		r.PushRequestsAndCheckNotify()
+		q, ok := r.TakeRequest()
+		if !ok || q.id != i {
+			t.Fatalf("iteration %d: TakeRequest = %+v,%v", i, q, ok)
+		}
+		if !r.PushResponse(rsp{q.id, 0}) {
+			t.Fatalf("iteration %d: response push failed near wrap", i)
+		}
+		r.PushResponsesAndCheckNotify()
+		p, ok := r.TakeResponse()
+		if !ok || p.id != i {
+			t.Fatalf("iteration %d: TakeResponse = %+v,%v", i, p, ok)
+		}
+	}
+	reqs, rsps, _, _ := r.Stats()
+	if reqs != 16 || rsps != 16 {
+		t.Fatalf("stats after wrap = %d reqs / %d rsps, want 16/16", reqs, rsps)
+	}
+}
+
+// TestBackpressureAcrossWrap fills the ring to capacity with the producer
+// index on one side of the 2^32 boundary and the consumer on the other,
+// then verifies the full-ring backpressure invariants: pushes fail while
+// full, serving a request alone frees nothing, and consuming the response
+// re-opens exactly one slot.
+func TestBackpressureAcrossWrap(t *testing.T) {
+	r := New[req, rsp](4)
+	// Two slots before the wrap: filling all four slots pushes reqProdPvt
+	// past 2^32 while rspCons stays below it.
+	jumpIndices(r, ^uint32(0)-1)
+	for i := 0; i < 4; i++ {
+		if !r.PushRequest(req{i}) {
+			t.Fatalf("push %d failed before full", i)
+		}
+	}
+	if r.reqProdPvt >= r.rspCons {
+		t.Fatal("test precondition: producer index did not wrap past consumer")
+	}
+	if !r.Full() || r.FreeRequests() != 0 {
+		t.Fatalf("ring not full across wrap: free=%d", r.FreeRequests())
+	}
+	if r.PushRequest(req{99}) {
+		t.Fatal("push into full ring succeeded across wrap")
+	}
+	r.PushRequestsAndCheckNotify()
+
+	// Backend serves one request; the slot stays occupied until the
+	// frontend consumes the response.
+	if _, ok := r.TakeRequest(); !ok {
+		t.Fatal("TakeRequest failed on full ring")
+	}
+	if !r.PushResponse(rsp{0, 0}) {
+		t.Fatal("response push failed")
+	}
+	if r.PushRequest(req{99}) {
+		t.Fatal("slot freed before response consumed (across wrap)")
+	}
+	r.PushResponsesAndCheckNotify()
+	if _, ok := r.TakeResponse(); !ok {
+		t.Fatal("TakeResponse failed")
+	}
+	if r.FreeRequests() != 1 {
+		t.Fatalf("FreeRequests = %d after one completion, want 1", r.FreeRequests())
+	}
+	if !r.PushRequest(req{99}) {
+		t.Fatal("slot not freed after response consumed (across wrap)")
+	}
+
+	// Drain everything and confirm the ring returns to a clean state with
+	// indices beyond the wrap.
+	r.PushRequestsAndCheckNotify()
+	for {
+		q, ok := r.TakeRequest()
+		if !ok {
+			break
+		}
+		r.PushResponse(rsp{q.id, 0})
+	}
+	r.PushResponsesAndCheckNotify()
+	for {
+		if _, ok := r.TakeResponse(); !ok {
+			break
+		}
+	}
+	if r.FreeRequests() != 4 || r.Inflight() != 0 {
+		t.Fatalf("ring dirty after drain: free=%d inflight=%d", r.FreeRequests(), r.Inflight())
+	}
+}
+
+// TestNotifySuppressionAcrossWrap checks the event-threshold comparison
+// (new - event < new - old, unsigned) at the boundary where new has wrapped
+// and the armed threshold has not.
+func TestNotifySuppressionAcrossWrap(t *testing.T) {
+	r := New[req, rsp](4)
+	jumpIndices(r, ^uint32(0)-1)
+	// Re-arm: backend sleeps with req_event = reqCons+1 = 0xFFFFFFFF.
+	if r.FinalCheckForRequests() {
+		t.Fatal("phantom request before wrap")
+	}
+	// Publish two requests: the window (0xFFFFFFFE, 0x0] crosses the armed
+	// threshold 0xFFFFFFFF, so the backend must be notified.
+	r.PushRequest(req{0})
+	r.PushRequest(req{1})
+	if !r.PushRequestsAndCheckNotify() {
+		t.Fatal("publish crossing wrapped threshold did not request notify")
+	}
+	// Without re-arming, the next publish must be suppressed even though
+	// the producer index is now numerically tiny.
+	r.PushRequest(req{2})
+	if r.PushRequestsAndCheckNotify() {
+		t.Fatal("publish after wrap requested notify without re-arm")
+	}
+}

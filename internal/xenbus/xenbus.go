@@ -190,6 +190,42 @@ func (b *Bus) OtherEnd(devPath string) (string, bool) {
 	return "", false
 }
 
+// Multi-queue negotiation keys, mirroring xen/io/netif.h: the backend
+// advertises "multi-queue-max-queues", the frontend answers with
+// "multi-queue-num-queues" and moves its ring refs and event channels into
+// per-queue "queue-N/" subdirectories. A frontend that stays single-queue
+// keeps the legacy flat keys, exactly like real drivers.
+const (
+	MaxQueuesKey = "multi-queue-max-queues"
+	NumQueuesKey = "multi-queue-num-queues"
+	// HashSeedKey carries the frontend's RSS Toeplitz seed so both ends
+	// steer a flow to the same queue. (Real netfront negotiates a full
+	// xen_netif_ctrl hash configuration; a shared seed is the same
+	// agreement in miniature.)
+	HashSeedKey = "multi-queue-hash-seed"
+)
+
+// QueuePath returns the per-queue subdirectory of a device directory
+// ("<devPath>/queue-<q>").
+func QueuePath(devPath string, q int) string {
+	return fmt.Sprintf("%s/queue-%d", devPath, q)
+}
+
+// WriteNumQueues publishes the frontend's negotiated queue count.
+func (b *Bus) WriteNumQueues(devPath string, n int) {
+	b.store.Writef(devPath+"/"+NumQueuesKey, "%d", n)
+}
+
+// ReadNumQueues reads a negotiated/advertised queue-count key from a device
+// directory; absent (a pre-multi-queue peer) means 1.
+func (b *Bus) ReadNumQueues(devPath, key string) int {
+	n, ok := b.store.ReadInt(devPath + "/" + key)
+	if !ok || n < 1 {
+		return 1
+	}
+	return int(n)
+}
+
 // WriteFeature publishes a feature key (feature-X=1 style) in a device dir.
 func (b *Bus) WriteFeature(devPath, name string, enabled bool) {
 	v := "0"
