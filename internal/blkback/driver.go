@@ -8,6 +8,7 @@ import (
 	"kite/internal/sim"
 	"kite/internal/xen"
 	"kite/internal/xenbus"
+	"kite/internal/xenstore"
 )
 
 const scanCost = 5 * sim.Microsecond
@@ -49,7 +50,7 @@ func NewDriver(eng *sim.Engine, dom *xen.Domain, bus *xenbus.Bus,
 	}
 	drv.thread = sim.NewTask(eng, dom.CPUs.CPU(0), dom.Name+"/vbd-invoker",
 		costs.WakeLatency, drv.scan)
-	bus.Store().Watch(xenbus.BackendRoot(xenbus.DomID(dom.ID), "vbd"), "blkback",
+	bus.Store().Watch(xenbus.BackendRoot(xenbus.DomID(dom.ID), xenstore.DevVbd), "blkback",
 		func(string, string) { drv.thread.Wake() })
 	return drv
 }
@@ -69,7 +70,7 @@ func (d *Driver) Invocations() uint64 { return d.invocations }
 func (d *Driver) scan() {
 	d.dom.CPUs.Charge(scanCost)
 	st := d.bus.Store()
-	root := xenbus.BackendRoot(xenbus.DomID(d.dom.ID), "vbd")
+	root := xenbus.BackendRoot(xenbus.DomID(d.dom.ID), xenstore.DevVbd)
 	for _, frontStr := range st.List(root) {
 		var frontDom int
 		if _, err := fmt.Sscanf(frontStr, "%d", &frontDom); err != nil {
@@ -91,7 +92,7 @@ func (d *Driver) scan() {
 
 func (d *Driver) tryPair(backPath string, frontDom xen.DomID, devid int) {
 	st := d.bus.Store()
-	frontPath, ok := st.Read(backPath + "/frontend")
+	frontPath, ok := st.Read(backPath + "/" + xenstore.KeyFrontend)
 	if !ok {
 		return
 	}
@@ -109,18 +110,18 @@ func (d *Driver) tryPair(backPath string, frontDom xen.DomID, devid int) {
 		// Advertise device properties (§4.4 initialization), including how
 		// many hardware queues we can serve: one per driver-domain vCPU,
 		// capped like xen-blkback's max_queues module parameter.
-		st.Writef(backPath+"/sectors", "%d", sectors)
-		st.Writef(backPath+"/sector-size", "%d", blkif.SectorSize)
-		d.bus.WriteFeature(backPath, "feature-flush-cache", true)
-		d.bus.WriteFeature(backPath, "feature-persistent", d.costs.Persistent)
+		st.Writef(backPath+"/"+xenstore.KeySectors, "%d", sectors)
+		st.Writef(backPath+"/"+xenstore.KeySectorSize, "%d", blkif.SectorSize)
+		d.bus.WriteFeature(backPath, xenstore.KeyFeatureFlushCache, true)
+		d.bus.WriteFeature(backPath, xenstore.KeyFeaturePersistent, d.costs.Persistent)
 		if d.costs.Indirect {
-			st.Writef(backPath+"/feature-max-indirect-segments", "%d", blkif.MaxSegsIndirect)
+			st.Writef(backPath+"/"+xenstore.KeyFeatureMaxIndirect, "%d", blkif.MaxSegsIndirect)
 		}
 		maxq := d.dom.CPUs.Len()
 		if maxq > blkif.MaxQueues {
 			maxq = blkif.MaxQueues
 		}
-		st.Writef(backPath+"/"+xenbus.MaxQueuesKey, "%d", maxq)
+		st.Writef(backPath+"/"+xenstore.KeyMultiQueueMaxQueues, "%d", maxq)
 		_ = d.bus.SwitchState(backPath, xenbus.StateInitWait)
 	}
 
@@ -136,17 +137,17 @@ func (d *Driver) tryPair(backPath string, frontDom xen.DomID, devid int) {
 	d.invocations++
 	// Multi-queue frontends publish per-queue event channels under
 	// queue-N/; single-queue ones keep the legacy flat key.
-	nq := d.bus.ReadNumQueues(frontPath, xenbus.NumQueuesKey)
+	nq := d.bus.ReadNumQueues(frontPath, xenstore.KeyMultiQueueNumQueues)
 	ports := make([]xen.Port, nq)
 	if nq == 1 {
-		port, ok := st.ReadInt(frontPath + "/event-channel")
+		port, ok := st.ReadInt(frontPath + "/" + xenstore.KeyEventChannel)
 		if !ok {
 			return
 		}
 		ports[0] = xen.Port(port)
 	} else {
 		for i := 0; i < nq; i++ {
-			port, ok := st.ReadInt(xenbus.QueuePath(frontPath, i) + "/event-channel")
+			port, ok := st.ReadInt(xenbus.QueuePath(frontPath, i) + "/" + xenstore.KeyEventChannel)
 			if !ok {
 				return
 			}
@@ -181,7 +182,7 @@ func (d *Driver) tryPair(backPath string, frontDom xen.DomID, devid int) {
 
 // window parses the toolstack's "params" key: "<baseSector>:<sectors>".
 func (d *Driver) window(backPath string) (base, sectors int64, err error) {
-	v, ok := d.bus.Store().Read(backPath + "/params")
+	v, ok := d.bus.Store().Read(backPath + "/" + xenstore.KeyParams)
 	if !ok {
 		return 0, 0, fmt.Errorf("blkback: %s missing params", backPath)
 	}

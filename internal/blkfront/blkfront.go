@@ -35,6 +35,7 @@ import (
 	"kite/internal/sim"
 	"kite/internal/xen"
 	"kite/internal/xenbus"
+	"kite/internal/xenstore"
 )
 
 // stripeSectors is the extent-striping granularity (1024 sectors = 512
@@ -193,8 +194,8 @@ func New(eng *sim.Engine, cfg Config) *Device {
 	d := &Device{
 		eng: eng, dom: cfg.Dom, bus: cfg.Bus, reg: cfg.Registry,
 		devid: cfg.DevID, backDom: cfg.BackDom, costs: costs,
-		frontPath:  xenbus.FrontendPath(xenbus.DomID(cfg.Dom.ID), "vbd", cfg.DevID),
-		backPath:   xenbus.BackendPath(xenbus.DomID(cfg.BackDom), "vbd", xenbus.DomID(cfg.Dom.ID), cfg.DevID),
+		frontPath:  xenbus.FrontendPath(xenbus.DomID(cfg.Dom.ID), xenstore.DevVbd, cfg.DevID),
+		backPath:   xenbus.BackendPath(xenbus.DomID(cfg.BackDom), xenstore.DevVbd, xenbus.DomID(cfg.Dom.ID), cfg.DevID),
 		wantQueues: wantQueues,
 		bufs:       bufs,
 		readBufs:   bufs.NewArena(),
@@ -222,20 +223,20 @@ func New(eng *sim.Engine, cfg Config) *Device {
 // count, and publishes the rings.
 func (d *Device) init() {
 	st := d.bus.Store()
-	d.persistent = d.bus.ReadFeature(d.backPath, "feature-persistent")
-	d.flushOK = d.bus.ReadFeature(d.backPath, "feature-flush-cache")
-	if v, ok := st.ReadInt(d.backPath + "/feature-max-indirect-segments"); ok {
+	d.persistent = d.bus.ReadFeature(d.backPath, xenstore.KeyFeaturePersistent)
+	d.flushOK = d.bus.ReadFeature(d.backPath, xenstore.KeyFeatureFlushCache)
+	if v, ok := st.ReadInt(d.backPath + "/" + xenstore.KeyFeatureMaxIndirect); ok {
 		d.maxIndirect = int(v)
 		if d.maxIndirect > blkif.MaxSegsIndirect {
 			d.maxIndirect = blkif.MaxSegsIndirect
 		}
 	}
-	if v, ok := st.ReadInt(d.backPath + "/sectors"); ok {
+	if v, ok := st.ReadInt(d.backPath + "/" + xenstore.KeySectors); ok {
 		d.sectors = v
 	}
 
 	nq := d.wantQueues
-	if max := d.bus.ReadNumQueues(d.backPath, xenbus.MaxQueuesKey); nq > max {
+	if max := d.bus.ReadNumQueues(d.backPath, xenstore.KeyMultiQueueMaxQueues); nq > max {
 		nq = max
 	}
 	ch := blkif.NewChannel(nq)
@@ -252,18 +253,18 @@ func (d *Device) init() {
 
 	if nq == 1 {
 		// Legacy flat keys, exactly like a single-queue blkfront.
-		st.Writef(d.frontPath+"/ring-ref", "%d", d.devid+100)
-		st.Writef(d.frontPath+"/event-channel", "%d", d.queues[0].port)
+		st.Writef(d.frontPath+"/"+xenstore.KeyRingRef, "%d", d.devid+100)
+		st.Writef(d.frontPath+"/"+xenstore.KeyEventChannel, "%d", d.queues[0].port)
 	} else {
 		d.bus.WriteNumQueues(d.frontPath, nq)
 		for i, q := range d.queues {
 			qp := xenbus.QueuePath(d.frontPath, i)
-			st.Writef(qp+"/ring-ref", "%d", d.devid+100+i)
-			st.Writef(qp+"/event-channel", "%d", q.port)
+			st.Writef(qp+"/"+xenstore.KeyRingRef, "%d", d.devid+100+i)
+			st.Writef(qp+"/"+xenstore.KeyEventChannel, "%d", q.port)
 		}
 	}
-	st.Write(d.frontPath+"/protocol", "x86_64-abi")
-	d.bus.WriteFeature(d.frontPath, "feature-persistent", d.persistent)
+	st.Write(d.frontPath+"/"+xenstore.KeyProtocol, "x86_64-abi")
+	d.bus.WriteFeature(d.frontPath, xenstore.KeyFeaturePersistent, d.persistent)
 	if err := d.bus.SwitchState(d.frontPath, xenbus.StateInitialised); err != nil {
 		panic(fmt.Sprintf("blkfront: %v", err))
 	}

@@ -380,10 +380,10 @@ func (s *System) CreateGuest(cfg GuestConfig) (*Guest, error) {
 	if cfg.Net != nil {
 		mac := netpkt.XenMAC(uint16(dom.ID), 0)
 		s.Bus.AddDevice(xenbus.DeviceSpec{
-			Type: "vif", FrontDom: xenbus.DomID(dom.ID),
+			Type: xenstore.DevVif, FrontDom: xenbus.DomID(dom.ID),
 			BackDom: xenbus.DomID(cfg.Net.Dom.ID), DevID: 0,
-			FrontExtra: map[string]string{"mac": mac.String()},
-			BackExtra:  map[string]string{"bridge": "xenbr0"},
+			FrontExtra: map[string]string{xenstore.KeyMac: mac.String()},
+			BackExtra:  map[string]string{xenstore.KeyBridge: "xenbr0"},
 		})
 		g.Net = netfront.New(s.Eng, netfront.Config{
 			Dom: dom, Bus: s.Bus, Registry: s.NetReg, DevID: 0,
@@ -414,7 +414,7 @@ func (s *System) CreateGuest(cfg GuestConfig) (*Guest, error) {
 		devid := 51712 // xvda
 		g.devID = devid
 		s.Bus.AddDevice(xenbus.DeviceSpec{
-			Type: "vbd", FrontDom: xenbus.DomID(dom.ID),
+			Type: xenstore.DevVbd, FrontDom: xenbus.DomID(dom.ID),
 			BackDom: xenbus.DomID(cfg.Storage.Dom.ID), DevID: devid,
 			BackExtra: map[string]string{"params": fmt.Sprintf("%d:%d", base, sectors)},
 		})
@@ -447,7 +447,7 @@ func (g *Guest) CloseNet(s *System) {
 	if g.Net == nil {
 		return
 	}
-	fp := xenbus.FrontendPath(xenbus.DomID(g.Dom.ID), "vif", g.netDevID)
+	fp := xenbus.FrontendPath(xenbus.DomID(g.Dom.ID), xenstore.DevVif, g.netDevID)
 	_ = s.Bus.SwitchState(fp, xenbus.StateClosed)
 }
 
@@ -463,10 +463,10 @@ func (g *Guest) ReattachNet(s *System, nd *NetworkDomain) error {
 	g.netDevID++
 	mac := netpkt.XenMAC(uint16(g.Dom.ID), byte(g.netDevID))
 	s.Bus.AddDevice(xenbus.DeviceSpec{
-		Type: "vif", FrontDom: xenbus.DomID(g.Dom.ID),
+		Type: xenstore.DevVif, FrontDom: xenbus.DomID(g.Dom.ID),
 		BackDom: xenbus.DomID(nd.Dom.ID), DevID: g.netDevID,
-		FrontExtra: map[string]string{"mac": mac.String()},
-		BackExtra:  map[string]string{"bridge": "xenbr0"},
+		FrontExtra: map[string]string{xenstore.KeyMac: mac.String()},
+		BackExtra:  map[string]string{xenstore.KeyBridge: "xenbr0"},
 	})
 	g.Net = netfront.New(s.Eng, netfront.Config{
 		Dom: g.Dom, Bus: s.Bus, Registry: s.NetReg, DevID: g.netDevID,

@@ -9,6 +9,7 @@ import (
 	"kite/internal/sim"
 	"kite/internal/xen"
 	"kite/internal/xenbus"
+	"kite/internal/xenstore"
 )
 
 // scanCost is the CPU cost of one backend-invocation pass (xenstore reads
@@ -56,7 +57,7 @@ func NewDriver(eng *sim.Engine, dom *xen.Domain, bus *xenbus.Bus,
 	}
 	drv.thread = sim.NewTask(eng, dom.CPUs.CPU(0), dom.Name+"/vif-invoker",
 		costs.WakeLatency, drv.scan)
-	bus.Store().Watch(xenbus.BackendRoot(xenbus.DomID(dom.ID), "vif"), "netback",
+	bus.Store().Watch(xenbus.BackendRoot(xenbus.DomID(dom.ID), xenstore.DevVif), "netback",
 		func(string, string) { drv.thread.Wake() })
 	return drv
 }
@@ -78,7 +79,7 @@ func (d *Driver) Invocations() uint64 { return d.invocations }
 func (d *Driver) scan() {
 	d.dom.CPUs.Charge(scanCost)
 	st := d.bus.Store()
-	root := xenbus.BackendRoot(xenbus.DomID(d.dom.ID), "vif")
+	root := xenbus.BackendRoot(xenbus.DomID(d.dom.ID), xenstore.DevVif)
 	for _, frontStr := range st.List(root) {
 		var frontDom int
 		if _, err := fmt.Sscanf(frontStr, "%d", &frontDom); err != nil {
@@ -100,7 +101,7 @@ func (d *Driver) scan() {
 
 func (d *Driver) tryPair(backPath string, frontDom xen.DomID, devid int) {
 	st := d.bus.Store()
-	frontPath, ok := st.Read(backPath + "/frontend")
+	frontPath, ok := st.Read(backPath + "/" + xenstore.KeyFrontend)
 	if !ok {
 		return
 	}
@@ -109,12 +110,12 @@ func (d *Driver) tryPair(backPath string, frontDom xen.DomID, devid int) {
 		// Announce ourselves and advertise features, including how many
 		// queues we can serve: one per driver-domain vCPU, capped like
 		// xen-netback's module parameter.
-		d.bus.WriteFeature(backPath, "feature-rx-copy", true)
+		d.bus.WriteFeature(backPath, xenstore.KeyFeatureRxCopy, true)
 		maxq := d.dom.CPUs.Len()
 		if maxq > netif.MaxQueues {
 			maxq = netif.MaxQueues
 		}
-		st.Writef(backPath+"/"+xenbus.MaxQueuesKey, "%d", maxq)
+		st.Writef(backPath+"/"+xenstore.KeyMultiQueueMaxQueues, "%d", maxq)
 		_ = d.bus.SwitchState(backPath, xenbus.StateInitWait)
 	case xenbus.StateClosed, xenbus.StateClosing:
 		return
@@ -133,24 +134,24 @@ func (d *Driver) tryPair(backPath string, frontDom xen.DomID, devid int) {
 	d.invocations++
 	// Multi-queue frontends publish per-queue event channels under
 	// queue-N/; single-queue ones keep the legacy flat key.
-	nq := d.bus.ReadNumQueues(frontPath, xenbus.NumQueuesKey)
+	nq := d.bus.ReadNumQueues(frontPath, xenstore.KeyMultiQueueNumQueues)
 	ports := make([]xen.Port, nq)
 	var rssSeed uint64
 	if nq == 1 {
-		port, ok := st.ReadInt(frontPath + "/event-channel")
+		port, ok := st.ReadInt(frontPath + "/" + xenstore.KeyEventChannel)
 		if !ok {
 			return
 		}
 		ports[0] = xen.Port(port)
 	} else {
 		for i := 0; i < nq; i++ {
-			port, ok := st.ReadInt(xenbus.QueuePath(frontPath, i) + "/event-channel")
+			port, ok := st.ReadInt(xenbus.QueuePath(frontPath, i) + "/" + xenstore.KeyEventChannel)
 			if !ok {
 				return
 			}
 			ports[i] = xen.Port(port)
 		}
-		seed, ok := st.ReadInt(frontPath + "/" + xenbus.HashSeedKey)
+		seed, ok := st.ReadInt(frontPath + "/" + xenstore.KeyMultiQueueHashSeed)
 		if !ok {
 			return // multi-queue frontends must publish their steering seed
 		}

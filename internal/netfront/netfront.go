@@ -30,6 +30,7 @@ import (
 	"kite/internal/sim"
 	"kite/internal/xen"
 	"kite/internal/xenbus"
+	"kite/internal/xenstore"
 )
 
 // txBacklogCap bounds the qdisc backlog (frames) per queue.
@@ -154,10 +155,10 @@ func New(eng *sim.Engine, cfg Config) *Device {
 		wantQueues: wantQueues,
 		hashSeed:   seed,
 		rss:        netpkt.NewRSS(seed),
-		frontPath:  xenbus.FrontendPath(xenbus.DomID(cfg.Dom.ID), "vif", cfg.DevID),
+		frontPath:  xenbus.FrontendPath(xenbus.DomID(cfg.Dom.ID), xenstore.DevVif, cfg.DevID),
 		onReady:    cfg.OnReady,
 	}
-	d.backPath = xenbus.BackendPath(xenbus.DomID(cfg.BackDom), "vif", xenbus.DomID(cfg.Dom.ID), cfg.DevID)
+	d.backPath = xenbus.BackendPath(xenbus.DomID(cfg.BackDom), xenstore.DevVif, xenbus.DomID(cfg.Dom.ID), cfg.DevID)
 	d.start()
 	return d
 }
@@ -216,7 +217,7 @@ func (d *Device) initRings() {
 	d.started = true
 	st := d.bus.Store()
 	nq := d.wantQueues
-	if max := d.bus.ReadNumQueues(d.backPath, xenbus.MaxQueuesKey); nq > max {
+	if max := d.bus.ReadNumQueues(d.backPath, xenstore.KeyMultiQueueMaxQueues); nq > max {
 		nq = max
 	}
 
@@ -240,21 +241,21 @@ func (d *Device) initRings() {
 
 	if nq == 1 {
 		// Legacy flat keys, exactly like a single-queue netfront.
-		st.Writef(d.frontPath+"/tx-ring-ref", "%d", d.devID*2+1)
-		st.Writef(d.frontPath+"/rx-ring-ref", "%d", d.devID*2+2)
-		st.Writef(d.frontPath+"/event-channel", "%d", d.queues[0].port)
+		st.Writef(d.frontPath+"/"+xenstore.KeyTxRingRef, "%d", d.devID*2+1)
+		st.Writef(d.frontPath+"/"+xenstore.KeyRxRingRef, "%d", d.devID*2+2)
+		st.Writef(d.frontPath+"/"+xenstore.KeyEventChannel, "%d", d.queues[0].port)
 	} else {
 		d.bus.WriteNumQueues(d.frontPath, nq)
-		st.Writef(d.frontPath+"/"+xenbus.HashSeedKey, "%d", d.hashSeed)
+		st.Writef(d.frontPath+"/"+xenstore.KeyMultiQueueHashSeed, "%d", d.hashSeed)
 		for i, q := range d.queues {
 			qp := xenbus.QueuePath(d.frontPath, i)
-			st.Writef(qp+"/tx-ring-ref", "%d", d.devID*16+i*2+1)
-			st.Writef(qp+"/rx-ring-ref", "%d", d.devID*16+i*2+2)
-			st.Writef(qp+"/event-channel", "%d", q.port)
+			st.Writef(qp+"/"+xenstore.KeyTxRingRef, "%d", d.devID*16+i*2+1)
+			st.Writef(qp+"/"+xenstore.KeyRxRingRef, "%d", d.devID*16+i*2+2)
+			st.Writef(qp+"/"+xenstore.KeyEventChannel, "%d", q.port)
 		}
 	}
-	st.Write(d.frontPath+"/mac", d.mac.String())
-	d.bus.WriteFeature(d.frontPath, "request-rx-copy", true)
+	st.Write(d.frontPath+"/"+xenstore.KeyMac, d.mac.String())
+	d.bus.WriteFeature(d.frontPath, xenstore.KeyRequestRxCopy, true)
 	if err := d.bus.SwitchState(d.frontPath, xenbus.StateInitialised); err != nil {
 		panic(fmt.Sprintf("netfront: %v", err))
 	}

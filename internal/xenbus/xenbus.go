@@ -120,17 +120,17 @@ func (b *Bus) AddDevice(spec DeviceSpec) (frontPath, backPath string) {
 	frontPath = FrontendPath(spec.FrontDom, spec.Type, spec.DevID)
 	backPath = BackendPath(spec.BackDom, spec.Type, spec.FrontDom, spec.DevID)
 
-	b.store.Writef(frontPath+"/backend", "%s", backPath)
-	b.store.Writef(frontPath+"/backend-id", "%d", spec.BackDom)
-	b.store.Writef(frontPath+"/state", "%d", int(StateInitialising))
+	b.store.Writef(frontPath+"/"+xenstore.KeyBackend, "%s", backPath)
+	b.store.Writef(frontPath+"/"+xenstore.KeyBackendID, "%d", spec.BackDom)
+	b.store.Writef(frontPath+"/"+xenstore.KeyState, "%d", int(StateInitialising))
 	for k, v := range spec.FrontExtra {
 		b.store.Write(frontPath+"/"+k, v)
 	}
 
-	b.store.Writef(backPath+"/frontend", "%s", frontPath)
-	b.store.Writef(backPath+"/frontend-id", "%d", spec.FrontDom)
-	b.store.Writef(backPath+"/online", "1")
-	b.store.Writef(backPath+"/state", "%d", int(StateInitialising))
+	b.store.Writef(backPath+"/"+xenstore.KeyFrontend, "%s", frontPath)
+	b.store.Writef(backPath+"/"+xenstore.KeyFrontendID, "%d", spec.FrontDom)
+	b.store.Writef(backPath+"/"+xenstore.KeyOnline, "1")
+	b.store.Writef(backPath+"/"+xenstore.KeyState, "%d", int(StateInitialising))
 	for k, v := range spec.BackExtra {
 		b.store.Write(backPath+"/"+k, v)
 	}
@@ -149,7 +149,7 @@ func (b *Bus) RemoveDevice(spec DeviceSpec) {
 
 // State reads the state key of a device directory.
 func (b *Bus) State(devPath string) State {
-	v, ok := b.store.ReadInt(devPath + "/state")
+	v, ok := b.store.ReadInt(devPath + "/" + xenstore.KeyState)
 	if !ok {
 		return StateUnknown
 	}
@@ -165,7 +165,7 @@ func (b *Bus) SwitchState(devPath string, to State) error {
 	if !validNext(from, to) {
 		return fmt.Errorf("xenbus: illegal transition %v -> %v at %s", from, to, devPath)
 	}
-	b.store.Writef(devPath+"/state", "%d", int(to))
+	b.store.Writef(devPath+"/"+xenstore.KeyState, "%d", int(to))
 	return nil
 }
 
@@ -173,7 +173,7 @@ func (b *Bus) SwitchState(devPath string, to State) error {
 // changes (including the registration fire). Returns the watch for
 // cancellation.
 func (b *Bus) OnStateChange(devPath string, fn func(State)) *xenstore.Watch {
-	return b.store.Watch(devPath+"/state", devPath, func(_, _ string) {
+	return b.store.Watch(devPath+"/"+xenstore.KeyState, devPath, func(_, _ string) {
 		fn(b.State(devPath))
 	})
 }
@@ -181,29 +181,14 @@ func (b *Bus) OnStateChange(devPath string, fn func(State)) *xenstore.Watch {
 // OtherEnd resolves the opposite end's device path (via the backend or
 // frontend pointer key).
 func (b *Bus) OtherEnd(devPath string) (string, bool) {
-	if v, ok := b.store.Read(devPath + "/backend"); ok {
+	if v, ok := b.store.Read(devPath + "/" + xenstore.KeyBackend); ok {
 		return v, true
 	}
-	if v, ok := b.store.Read(devPath + "/frontend"); ok {
+	if v, ok := b.store.Read(devPath + "/" + xenstore.KeyFrontend); ok {
 		return v, true
 	}
 	return "", false
 }
-
-// Multi-queue negotiation keys, mirroring xen/io/netif.h: the backend
-// advertises "multi-queue-max-queues", the frontend answers with
-// "multi-queue-num-queues" and moves its ring refs and event channels into
-// per-queue "queue-N/" subdirectories. A frontend that stays single-queue
-// keeps the legacy flat keys, exactly like real drivers.
-const (
-	MaxQueuesKey = "multi-queue-max-queues"
-	NumQueuesKey = "multi-queue-num-queues"
-	// HashSeedKey carries the frontend's RSS Toeplitz seed so both ends
-	// steer a flow to the same queue. (Real netfront negotiates a full
-	// xen_netif_ctrl hash configuration; a shared seed is the same
-	// agreement in miniature.)
-	HashSeedKey = "multi-queue-hash-seed"
-)
 
 // QueuePath returns the per-queue subdirectory of a device directory
 // ("<devPath>/queue-<q>").
@@ -213,7 +198,7 @@ func QueuePath(devPath string, q int) string {
 
 // WriteNumQueues publishes the frontend's negotiated queue count.
 func (b *Bus) WriteNumQueues(devPath string, n int) {
-	b.store.Writef(devPath+"/"+NumQueuesKey, "%d", n)
+	b.store.Writef(devPath+"/"+xenstore.KeyMultiQueueNumQueues, "%d", n)
 }
 
 // ReadNumQueues reads a negotiated/advertised queue-count key from a device
