@@ -295,6 +295,8 @@ func (q *ioQueue) putOp(op *deviceOp) {
 
 // onEvent wakes the shard's request thread (§3.3: the handler itself stays
 // tiny).
+//
+//kite:hotpath
 func (q *ioQueue) onEvent() {
 	if q.inst.dead {
 		return
@@ -540,6 +542,8 @@ func (q *ioQueue) submit(op *deviceOp) {
 // complete answers every request covered by a device op and recycles the
 // pooled records. For reads the device has already gathered into the
 // grant-mapped views in op.iov, so there is nothing to copy here.
+//
+//kite:hotpath
 func (q *ioQueue) complete(op *deviceOp, err error) {
 	if q.inst.dead {
 		return

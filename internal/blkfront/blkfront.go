@@ -357,7 +357,7 @@ func (d *Device) getPart() *reqPart {
 		d.partFree = d.partFree[:n-1]
 		return p
 	}
-	return &reqPart{}
+	return &reqPart{} //kite:alloc-ok freelist growth; steady state recycles parts
 }
 
 func (d *Device) putPart(p *reqPart) {
@@ -377,7 +377,7 @@ func (d *Device) getCaller() *callerOp {
 		d.callerFree = d.callerFree[:n-1]
 		return c
 	}
-	return &callerOp{}
+	return &callerOp{} //kite:alloc-ok freelist growth; steady state recycles ops
 }
 
 func (d *Device) putCaller(c *callerOp) {
@@ -408,9 +408,11 @@ func (d *Device) ReadSectors(sector int64, n int, cb func(data []byte, err error
 
 // ReadSectorsInto reads n=len(dst) bytes (sector-aligned) starting at
 // sector directly into dst, avoiding the pooled intermediate entirely.
+//
+//kite:hotpath
 func (d *Device) ReadSectorsInto(sector int64, dst []byte, cb func(err error)) {
 	if err := d.validate(sector, len(dst)); err != nil {
-		d.eng.After(0, func() { cb(err) })
+		d.eng.After(0, func() { cb(err) }) //kite:alloc-ok validation-error path
 		return
 	}
 	d.stats.Reads++
@@ -423,9 +425,11 @@ func (d *Device) ReadSectorsInto(sector int64, dst []byte, cb func(err error)) {
 
 // WriteSectors writes sector-aligned data at sector. data must stay valid
 // until cb fires.
+//
+//kite:hotpath
 func (d *Device) WriteSectors(sector int64, data []byte, cb func(err error)) {
 	if err := d.validate(sector, len(data)); err != nil {
-		d.eng.After(0, func() { cb(err) })
+		d.eng.After(0, func() { cb(err) }) //kite:alloc-ok validation-error path
 		return
 	}
 	d.stats.Writes++
@@ -598,7 +602,7 @@ func (q *queue) pushRequest(op blkif.Op, sector int64, size int, writeData []byt
 		req.Segs = part.segs
 	}
 
-	d.inflight[id] = part
+	d.inflight[id] = part //kite:alloc-ok in-flight table reuses buckets; entries deleted on completion
 	d.dom.CPUs.Charge(cost)
 	d.stats.RingRequests++
 	if !q.ring.PushRequest(req) {
@@ -619,7 +623,7 @@ func (q *queue) pushFlush(caller *callerOp) bool {
 	id := d.nextID
 	part := d.getPart()
 	part.op, part.parent, part.q = blkif.OpFlush, caller, q
-	d.inflight[id] = part
+	d.inflight[id] = part //kite:alloc-ok in-flight table reuses buckets; entries deleted on completion
 	q.ring.PushRequest(blkif.Request{ID: id, Op: blkif.OpFlush})
 	d.stats.RingRequests++
 	if q.ring.PushRequestsAndCheckNotify() {
@@ -629,6 +633,8 @@ func (q *queue) pushFlush(caller *callerOp) bool {
 }
 
 // onEvent reaps this queue's completions.
+//
+//kite:hotpath
 func (q *queue) onEvent() {
 	d := q.d
 	for {
@@ -653,7 +659,7 @@ func (d *Device) completePart(part *reqPart, status int8) {
 	caller := part.parent
 	q := part.q
 	if status != blkif.StatusOK {
-		caller.err = fmt.Errorf("blkfront: backend reported error %d", status)
+		caller.err = fmt.Errorf("blkfront: backend reported error %d", status) //kite:alloc-ok backend-error path
 	} else if part.op == blkif.OpRead {
 		// Copy data out of the (persistent) pages into the caller buffer.
 		copied := 0

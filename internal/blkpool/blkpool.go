@@ -67,6 +67,8 @@ func (b *Buf) Refs() int { return b.refs }
 
 // Retain adds a reference and returns b for chaining. Each extra reference
 // requires its own Release.
+//
+//kite:hotpath
 func (b *Buf) Retain() *Buf {
 	b.refs++
 	return b
@@ -75,6 +77,8 @@ func (b *Buf) Retain() *Buf {
 // Release drops one reference; at zero the buffer returns to its pool's
 // free list (or to the GC for oversized one-offs). Releasing below zero
 // panics — it means an ownership rule was violated.
+//
+//kite:hotpath
 func (b *Buf) Release() {
 	b.refs--
 	if b.refs > 0 {
@@ -129,6 +133,8 @@ func classFor(n int) int {
 // multiple of SectorSize) holding one reference owned by the caller. The
 // payload is NOT zeroed — recycled buffers carry stale bytes, exactly like
 // a recycled kernel bio; callers must fully overwrite the window.
+//
+//kite:hotpath
 func (p *Pool) Get(n int) *Buf {
 	if n <= 0 || n%SectorSize != 0 {
 		panic(fmt.Sprintf("blkpool: bad buffer size %d", n))
@@ -147,11 +153,11 @@ func (p *Pool) Get(n int) *Buf {
 		}
 	}
 	p.fresh++
-	b := &Buf{pool: p, n: n, class: class, refs: 1}
+	b := &Buf{pool: p, n: n, class: class, refs: 1} //kite:alloc-ok pool growth on free-list miss; steady state recycles
 	if class >= 0 {
-		b.data = make([]byte, 1<<(minClassShift+class))
+		b.data = make([]byte, 1<<(minClassShift+class)) //kite:alloc-ok pool growth on free-list miss
 	} else {
-		b.data = make([]byte, n)
+		b.data = make([]byte, n) //kite:alloc-ok pool growth on free-list miss
 	}
 	return b
 }
@@ -190,6 +196,8 @@ func (p *Pool) NewArena() *Arena { return &Arena{parent: p} }
 // Get returns a Buf with an n-byte payload window drawn from (and destined
 // to return to) this arena. Size rules match Pool.Get; oversized one-offs
 // are allocated directly and handed to the GC on release.
+//
+//kite:hotpath
 func (a *Arena) Get(n int) *Buf {
 	if n <= 0 || n%SectorSize != 0 {
 		panic(fmt.Sprintf("blkpool: bad buffer size %d", n))
@@ -209,11 +217,11 @@ func (a *Arena) Get(n int) *Buf {
 		}
 	}
 	p.fresh++
-	b := &Buf{pool: p, arena: a, n: n, class: class, refs: 1}
+	b := &Buf{pool: p, arena: a, n: n, class: class, refs: 1} //kite:alloc-ok pool growth on free-list miss; steady state recycles
 	if class >= 0 {
-		b.data = make([]byte, 1<<(minClassShift+class))
+		b.data = make([]byte, 1<<(minClassShift+class)) //kite:alloc-ok pool growth on free-list miss
 	} else {
-		b.data = make([]byte, n)
+		b.data = make([]byte, n) //kite:alloc-ok pool growth on free-list miss
 	}
 	return b
 }

@@ -7,6 +7,8 @@
 // Scale selects run sizes: Quick keeps virtual durations and request
 // counts small enough for CI benchmarks; Full approaches the paper's
 // parameters (minutes of virtual time — still seconds of wall clock).
+//
+//kite:deterministic
 package experiments
 
 import (

@@ -69,7 +69,7 @@ func Lookup(only string) ([]Spec, error) {
 	}
 	if len(want) > 0 {
 		unknown := make([]string, 0, len(want))
-		for id := range want {
+		for id := range want { //kite:orderok keys are sorted before use
 			unknown = append(unknown, id)
 		}
 		sort.Strings(unknown)

@@ -88,6 +88,8 @@ func (b *Buf) Refs() int { return b.refs }
 
 // Retain adds a reference and returns b for chaining. Each extra reference
 // requires its own Release.
+//
+//kite:hotpath
 func (b *Buf) Retain() *Buf {
 	b.refs++
 	return b
@@ -95,6 +97,8 @@ func (b *Buf) Retain() *Buf {
 
 // Release drops one reference; at zero the buffer returns to its pool.
 // Releasing below zero panics — it means an ownership rule was violated.
+//
+//kite:hotpath
 func (b *Buf) Release() {
 	b.refs--
 	if b.refs > 0 {
@@ -130,13 +134,15 @@ func New() *Pool {
 
 // Get returns an empty Buf (full headroom, zero length) holding one
 // reference owned by the caller.
+//
+//kite:hotpath
 func (p *Pool) Get() *Buf {
 	var b *Buf
 	if n := len(p.free); n > 0 {
 		b = p.free[n-1]
 		p.free = p.free[:n-1]
 	} else {
-		b = &Buf{pool: p}
+		b = &Buf{pool: p} //kite:alloc-ok pool growth on free-list miss; steady state recycles
 	}
 	b.refs = 1
 	b.Reset()
@@ -148,6 +154,8 @@ func (p *Pool) Get() *Buf {
 
 // From returns a Buf whose payload is a copy of pkt. Convenience for tests
 // and cold paths (ARP, control traffic).
+//
+//kite:hotpath
 func (p *Pool) From(pkt []byte) *Buf {
 	b := p.Get()
 	copy(b.Extend(len(pkt)), pkt)
@@ -184,13 +192,15 @@ func (p *Pool) NewArena() *Arena { return &Arena{parent: p} }
 
 // Get returns an empty Buf owned by the caller, drawn from (and destined to
 // return to) this arena.
+//
+//kite:hotpath
 func (a *Arena) Get() *Buf {
 	var b *Buf
 	if n := len(a.free); n > 0 {
 		b = a.free[n-1]
 		a.free = a.free[:n-1]
 	} else {
-		b = &Buf{pool: a.parent, arena: a}
+		b = &Buf{pool: a.parent, arena: a} //kite:alloc-ok pool growth on free-list miss; steady state recycles
 	}
 	b.refs = 1
 	b.Reset()

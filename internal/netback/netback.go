@@ -313,6 +313,8 @@ func (v *VIF) Shutdown() {
 // design it only wakes the queue's worker threads — unless the InHandler
 // ablation is active, in which case the rings are drained right here,
 // blocking further notifications for the duration.
+//
+//kite:hotpath
 func (q *vifQueue) onEvent() {
 	if q.v.dead {
 		return
@@ -436,6 +438,8 @@ func (q *vifQueue) flushTx() {
 // with the shared RSS hash (so a flow's two directions use one queue),
 // queue it there (consuming the bridge's reference), and wake that queue's
 // soft_start thread.
+//
+//kite:hotpath
 func (v *VIF) Deliver(frame *framepool.Buf) {
 	if v.dead || v.down {
 		frame.Release()
@@ -552,6 +556,6 @@ func (q *vifQueue) rxMapping(ref xen.GrantRef) *xen.Mapping {
 	}
 	q.stats.RxPersistMisses++
 	metrics.NetRxPersistMisses.Add(1)
-	q.pgrants[ref] = m
+	q.pgrants[ref] = m //kite:alloc-ok persistent-grant cache fill; hits dominate steady state
 	return m
 }

@@ -309,6 +309,8 @@ func (d *Device) backendGone() {
 // hash, copy it into a persistently granted page, push a Tx request, kick
 // the backend. Send consumes the caller's buffer reference on every path,
 // including failures.
+//
+//kite:hotpath
 func (d *Device) Send(frame *framepool.Buf) bool {
 	if !d.ready {
 		frame.Release()
@@ -372,13 +374,15 @@ func (q *queue) allocTxSlot() (*txSlot, uint16, bool) {
 	}
 	q.txNext++
 	id := q.txNext
-	slot := &txSlot{page: page, ref: d.dom.GrantAccess(d.backDom, page, true)}
-	q.txSlots[id] = slot
+	slot := &txSlot{page: page, ref: d.dom.GrantAccess(d.backDom, page, true)} //kite:alloc-ok tx-slot cache growth; steady state reuses slots
+	q.txSlots[id] = slot                                                       //kite:alloc-ok tx-slot cache growth
 	return slot, id, true
 }
 
 // onEvent is the queue's interrupt handler: reap Tx completions and deliver
 // Rx frames for this queue only.
+//
+//kite:hotpath
 func (q *queue) onEvent() {
 	q.reapTx()
 	q.reapRx()

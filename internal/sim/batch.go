@@ -66,7 +66,7 @@ func (q *FIFO[T]) grow() {
 	if size == 0 {
 		size = 16
 	}
-	buf := make([]T, size)
+	buf := make([]T, size) //kite:alloc-ok amortized doubling; capacity is monotone
 	for i := 0; i < q.n; i++ {
 		buf[i] = q.buf[(q.head+i)%len(q.buf)]
 	}

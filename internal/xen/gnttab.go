@@ -26,7 +26,7 @@ func (d *Domain) GrantAccess(remote DomID, page *mem.Page, readonly bool) GrantR
 		panic(fmt.Sprintf("xen: %s granting a page it does not own", d.Name))
 	}
 	d.nextRef++
-	d.grants[d.nextRef] = &grantEntry{
+	d.grants[d.nextRef] = &grantEntry{ //kite:alloc-ok grant entries persist and are reused (persistent grants)
 		ref: d.nextRef, page: page, remote: remote, readonly: readonly,
 	}
 	return d.nextRef
@@ -79,7 +79,7 @@ func (hv *Hypervisor) MapGrant(mapper *Domain, owner DomID, ref GrantRef) (*Mapp
 			ref, owner, g.remote, mapper.ID)
 	}
 	g.mapCount++
-	return &Mapping{Page: g.page, owner: owner, ref: ref, mapper: mapper.ID, live: true}, nil
+	return &Mapping{Page: g.page, owner: owner, ref: ref, mapper: mapper.ID, live: true}, nil //kite:alloc-ok callers cache mappings; misses are warmup-only
 }
 
 // MapGrantBatch maps several refs in one hypercall-equivalent batch,
