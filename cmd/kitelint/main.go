@@ -1,0 +1,55 @@
+// Command kitelint runs the repository's invariant analyzers (hotpath,
+// poolref, simdet, xskeys, evblock) over the whole module and prints any
+// findings in go-vet style. It exits non-zero when a finding exists, so
+// `make lint` and CI fail the build on a violated invariant.
+//
+// Usage:
+//
+//	kitelint [dir]
+//
+// dir defaults to the current directory; the containing module is
+// analyzed in full.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"kite/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-8s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	dir := "."
+	if flag.NArg() > 0 {
+		dir = flag.Arg(0)
+	}
+
+	mod, err := lint.LoadModule(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kitelint:", err)
+		os.Exit(2)
+	}
+	diags, err := lint.Run(mod, lint.All())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kitelint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(lint.Format(mod, d))
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "kitelint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

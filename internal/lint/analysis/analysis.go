@@ -1,0 +1,130 @@
+// Package analysis is a minimal, dependency-free stand-in for the
+// golang.org/x/tools/go/analysis vocabulary: an Analyzer runs over one
+// typechecked package at a time and reports position-anchored diagnostics.
+// Unlike x/tools, a Pass also carries a whole-module view (every package
+// the loader has typechecked plus an index from function objects to their
+// declarations), because Kite's invariants — "nothing reachable from a
+// //kite:hotpath root allocates" — are properties of the module, not of
+// one compilation unit.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"kite/internal/lint/loader"
+)
+
+// Analyzer is one named check.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Pass carries one package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *loader.Package
+	Module   *Module
+	Report   func(Diagnostic)
+}
+
+// Reportf reports a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// Module is the whole-program view shared by every pass of one run.
+type Module struct {
+	Path  string
+	Pkgs  []*loader.Package
+	Fset  *token.FileSet
+	decls map[*types.Func]*FuncDecl
+}
+
+// FuncDecl pairs a declaration with the package it lives in.
+type FuncDecl struct {
+	Pkg  *loader.Package
+	Decl *ast.FuncDecl
+}
+
+// NewModule indexes the given packages.
+func NewModule(modulePath string, pkgs []*loader.Package) *Module {
+	m := &Module{Path: modulePath, Pkgs: pkgs, decls: make(map[*types.Func]*FuncDecl)}
+	if len(pkgs) > 0 {
+		m.Fset = pkgs[0].Fset
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					m.decls[obj] = &FuncDecl{Pkg: pkg, Decl: fd}
+				}
+			}
+		}
+	}
+	return m
+}
+
+// FuncDecl returns the declaration of fn, or nil when fn is declared
+// outside the module (stdlib) or has no body.
+func (m *Module) FuncDecl(fn *types.Func) *FuncDecl { return m.decls[fn] }
+
+// InModule reports whether pkg belongs to this module. Fixture packages
+// are registered under the module path, so they count.
+func (m *Module) InModule(pkg *types.Package) bool {
+	if pkg == nil {
+		return false
+	}
+	p := pkg.Path()
+	return p == m.Path || strings.HasPrefix(p, m.Path+"/")
+}
+
+// Implementers returns the concrete methods of module-declared types that
+// satisfy the interface method fn (class-hierarchy analysis). It is how a
+// whole-module walk steps through an interface call like bridge.Port's
+// Deliver: every module type implementing the interface contributes its
+// method.
+func (m *Module) Implementers(iface *types.Interface, name string) []*types.Func {
+	var out []*types.Func
+	seen := make(map[*types.Func]bool)
+	for _, pkg := range m.Pkgs {
+		scope := pkg.Types.Scope()
+		for _, tn := range scope.Names() {
+			obj, ok := scope.Lookup(tn).(*types.TypeName)
+			if !ok || obj.IsAlias() {
+				continue
+			}
+			named, ok := obj.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			for _, t := range []types.Type{named, types.NewPointer(named)} {
+				if !types.Implements(t, iface) {
+					continue
+				}
+				o, _, _ := types.LookupFieldOrMethod(t, true, pkg.Types, name)
+				if fn, ok := o.(*types.Func); ok && !seen[fn] {
+					seen[fn] = true
+					out = append(out, fn)
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,173 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"kite/internal/lint/analysis"
+	"kite/internal/lint/loader"
+)
+
+// Evblock checks the paper's pusher/soft_start rule statically (§3.2): a
+// callback registered on the non-preemptive event machinery — an event-
+// channel upcall handler, a sim.Task body, a sim.Batch flush, a raw engine
+// event, or a xenstore watch — runs to completion on the single simulation
+// goroutine, so it must never call a primitive that can block that
+// goroutine or re-enter the scheduler:
+//
+//   - goroutine blocking: channel send/receive/range, select, time.Sleep,
+//     sync.Mutex/RWMutex.Lock, sync.WaitGroup.Wait, sync.Cond.Wait — with
+//     one simulation per goroutine, any of these deadlocks or (worse)
+//     introduces scheduler-dependent timing;
+//   - scheduler re-entry: (*sim.Engine).Run/RunUntil/RunFor/RunCapped/
+//     Step called from inside an event reorders causality;
+//   - goroutine launches, which break run-to-run determinism.
+//
+// The check is transitive over the static call graph (like hotpath),
+// including interface dispatch via class-hierarchy analysis.
+var Evblock = &analysis.Analyzer{
+	Name: "evblock",
+	Doc:  "event-handler callbacks must not block or re-enter the scheduler",
+	Run:  runEvblock,
+}
+
+// evRegistrars maps a registration function to the index of its callback
+// parameter.
+var evRegistrars = map[string]int{
+	"(*kite/internal/xen.Domain).SetHandler":    1,
+	"kite/internal/sim.NewTask":                 4,
+	"kite/internal/sim.NewBatch":                1,
+	"(*kite/internal/sim.Engine).Schedule":      1,
+	"(*kite/internal/sim.Engine).After":         1,
+	"(*kite/internal/sim.CPU).Exec":             1,
+	"(*kite/internal/sim.CPUPool).Exec":         1,
+	"(*kite/internal/xenstore.Store).Watch":     2,
+	"(*kite/internal/xenbus.Bus).OnStateChange": 1,
+}
+
+// reentrantEngine lists the scheduler entry points that must not be called
+// from inside an event.
+var reentrantEngine = map[string]bool{
+	"(*kite/internal/sim.Engine).Run":       true,
+	"(*kite/internal/sim.Engine).RunUntil":  true,
+	"(*kite/internal/sim.Engine).RunFor":    true,
+	"(*kite/internal/sim.Engine).RunCapped": true,
+	"(*kite/internal/sim.Engine).Step":      true,
+}
+
+// blockingStd lists blocking methods/functions outside the module.
+var blockingStd = map[string]bool{
+	"time.Sleep":             true,
+	"(*sync.Mutex).Lock":     true,
+	"(*sync.RWMutex).Lock":   true,
+	"(*sync.RWMutex).RLock":  true,
+	"(*sync.WaitGroup).Wait": true,
+	"(*sync.Cond).Wait":      true,
+	"(*sync.Once).Do":        true,
+	"(sync.Locker).Lock":     true,
+}
+
+func runEvblock(pass *analysis.Pass) error {
+	info := pass.Pkg.Info
+	checked := make(map[*types.Func]bool)
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := staticCallee(info, call)
+			if fn == nil {
+				return true
+			}
+			argIdx, ok := evRegistrars[fn.FullName()]
+			if !ok || argIdx >= len(call.Args) {
+				return true
+			}
+			checkHandlerExpr(pass, call.Args[argIdx], checked)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkHandlerExpr resolves a callback argument to its function bodies and
+// checks each transitively. Method values and named functions resolve
+// statically; function literals are scanned in place; anything else (a
+// variable holding a function) is beyond static reach and skipped.
+func checkHandlerExpr(pass *analysis.Pass, arg ast.Expr, checked map[*types.Func]bool) {
+	info := pass.Pkg.Info
+	switch a := ast.Unparen(arg).(type) {
+	case *ast.FuncLit:
+		scanBlocking(pass, pass.Pkg, a.Body, "function literal")
+		for _, c := range calleesOf(pass.Module, pass.Pkg, a.Body, nil) {
+			if c.fn.Pkg() != nil && pass.Module.InModule(c.fn.Pkg()) {
+				checkHandlerFunc(pass, c.fn, "function literal", checked)
+			}
+		}
+	case *ast.Ident:
+		if fn, ok := info.Uses[a].(*types.Func); ok {
+			checkHandlerFunc(pass, fn, fn.Name(), checked)
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[a]; ok && sel.Kind() == types.MethodVal {
+			checkHandlerFunc(pass, sel.Obj().(*types.Func), sel.Obj().Name(), checked)
+		} else if fn, ok := info.Uses[a.Sel].(*types.Func); ok {
+			checkHandlerFunc(pass, fn, fn.Name(), checked)
+		}
+	}
+}
+
+func checkHandlerFunc(pass *analysis.Pass, root *types.Func, handler string, checked map[*types.Func]bool) {
+	walkReachable(pass.Module, root,
+		func(fn *types.Func, fd *analysis.FuncDecl) bool {
+			if checked[fn] {
+				return true
+			}
+			checked[fn] = true
+			scanBlocking(pass, fd.Pkg, fd.Decl.Body, handler)
+			return true
+		},
+		func(from *analysis.FuncDecl, c callee) {
+			if blockingStd[c.fn.FullName()] {
+				pass.Reportf(c.call.Pos(),
+					"evblock: handler %s calls blocking %s on the non-preemptive scheduler", handler, c.fn.FullName())
+			}
+		},
+		nil)
+}
+
+// scanBlocking reports goroutine-blocking syntax and scheduler re-entry
+// inside one body.
+func scanBlocking(pass *analysis.Pass, pkg *loader.Package, body ast.Node, handler string) {
+	info := pkg.Info
+	report := func(pos token.Pos, what string) {
+		pass.Reportf(pos, "evblock: handler %s %s on the non-preemptive scheduler", handler, what)
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.SendStmt:
+			report(e.Pos(), "sends on a channel")
+		case *ast.UnaryExpr:
+			if e.Op == token.ARROW {
+				report(e.Pos(), "receives from a channel")
+			}
+		case *ast.SelectStmt:
+			report(e.Pos(), "blocks in select")
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[e.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					report(e.Pos(), "ranges over a channel")
+				}
+			}
+		case *ast.GoStmt:
+			report(e.Pos(), "launches a goroutine")
+		case *ast.CallExpr:
+			if fn := staticCallee(info, e); fn != nil && reentrantEngine[fn.FullName()] {
+				report(e.Pos(), "re-enters the scheduler via "+fn.Name())
+			}
+		}
+		return true
+	})
+}

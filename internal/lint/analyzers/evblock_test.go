@@ -1,0 +1,12 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"kite/internal/lint/analysistest"
+	"kite/internal/lint/analyzers"
+)
+
+func TestEvblock(t *testing.T) {
+	analysistest.Run(t, "kite/fixtures/evblock", "testdata/src/evblock", analyzers.Evblock)
+}

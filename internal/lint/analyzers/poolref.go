@@ -1,0 +1,421 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"kite/internal/lint/analysis"
+)
+
+// Poolref proves the framepool/blkpool ownership discipline that the
+// zero-copy pipeline (PRs 2–4) depends on: every buffer obtained from a
+// pool Get must, on every control-flow path, end in exactly one ownership
+// transfer — a Release back to the pool, or an escape that hands the
+// reference to someone else (passed to a function, stored, returned,
+// Retained). A path that drops the last reference leaks the frame forever
+// (the pools never garbage-collect); a second Release corrupts the
+// free list and resurfaces as cross-flow data corruption.
+//
+// The analysis is path-sensitive over the AST: each acquisition site is
+// abstract-interpreted through the enclosing function with a small state
+// set {owned, released, escaped}. Branches fork the set, merges union it,
+// loops run to a two-iteration fixpoint. Functions using goto or labeled
+// branches are skipped (none exist in this module). Aliasing is handled
+// conservatively: copying the buffer into another variable counts as an
+// escape and ends tracking.
+var Poolref = &analysis.Analyzer{
+	Name: "poolref",
+	Doc:  "pool Get results must be released exactly once or handed off on every path",
+	Run:  runPoolref,
+}
+
+// poolGetFuncs are the acquisition points that return an owned *Buf.
+var poolGetFuncs = map[string]bool{
+	"(*kite/internal/framepool.Pool).Get":  true,
+	"(*kite/internal/framepool.Pool).From": true,
+	"(*kite/internal/framepool.Arena).Get": true,
+	"(*kite/internal/blkpool.Pool).Get":    true,
+	"(*kite/internal/blkpool.Arena).Get":   true,
+}
+
+func runPoolref(pass *analysis.Pass) error {
+	for _, f := range pass.Pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkPoolOwnership(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// Ownership states, used as bits in a set.
+const (
+	stNone     = 1 << iota // before the acquisition site executes
+	stOwned                // holding the sole reference
+	stReleased             // given back to the pool
+	stEscaped              // handed off; no longer our responsibility
+)
+
+// acquisition is one tracked `b := pool.Get(...)` site.
+type acquisition struct {
+	site *ast.AssignStmt
+	obj  types.Object // the variable bound to the result
+	get  *ast.CallExpr
+}
+
+func checkPoolOwnership(pass *analysis.Pass, body *ast.BlockStmt) {
+	info := pass.Pkg.Info
+	bail := false
+	var acqs []acquisition
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.LabeledStmt:
+			bail = true
+		case *ast.BranchStmt:
+			if s.Label != nil || s.Tok == token.GOTO {
+				bail = true
+			}
+		case *ast.AssignStmt:
+			if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+				return true
+			}
+			id, ok := s.Lhs[0].(*ast.Ident)
+			if !ok || id.Name == "_" {
+				return true
+			}
+			call, ok := s.Rhs[0].(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := staticCallee(info, call)
+			if fn == nil || !poolGetFuncs[fn.FullName()] {
+				return true
+			}
+			obj := info.Defs[id]
+			if obj == nil {
+				obj = info.Uses[id]
+			}
+			if obj != nil {
+				acqs = append(acqs, acquisition{site: s, obj: obj, get: call})
+			}
+		}
+		return true
+	})
+	if bail {
+		return
+	}
+	for _, a := range acqs {
+		w := &ownerWalk{pass: pass, info: info, acq: a}
+		out := w.execBlock(body, stNone)
+		w.atExit(out, body.End())
+	}
+}
+
+// ownerWalk interprets one function body for one acquisition site.
+type ownerWalk struct {
+	pass *analysis.Pass
+	info *types.Info
+	acq  acquisition
+
+	leaked  bool // leak reported (once per acquisition)
+	doubled bool // double-release reported (once per acquisition)
+}
+
+// atExit checks a function-exit state set (a return, or falling off the
+// end of the body).
+func (w *ownerWalk) atExit(states int, pos token.Pos) {
+	if states&stOwned != 0 && !w.leaked {
+		w.leaked = true
+		w.pass.Reportf(w.acq.get.Pos(),
+			"poolref: buffer acquired here is not released or handed off on every path (leak at %s)",
+			w.pass.Module.Fset.Position(pos))
+	}
+}
+
+func (w *ownerWalk) release(states int, pos token.Pos) int {
+	if states&stReleased != 0 && !w.doubled {
+		w.doubled = true
+		w.pass.Reportf(pos, "poolref: buffer may already be released when Release is called here (double release)")
+	}
+	out := states &^ stOwned &^ stReleased
+	if states&(stOwned|stReleased) != 0 {
+		out |= stReleased
+	}
+	return out
+}
+
+func (w *ownerWalk) execBlock(b *ast.BlockStmt, in int) int {
+	if b == nil {
+		return in
+	}
+	return w.execStmts(b.List, in)
+}
+
+func (w *ownerWalk) execStmts(list []ast.Stmt, in int) int {
+	cur := in
+	for _, s := range list {
+		cur = w.execStmt(s, cur)
+		if cur == 0 {
+			return 0 // path terminated
+		}
+	}
+	return cur
+}
+
+func (w *ownerWalk) execStmt(s ast.Stmt, in int) int {
+	switch st := s.(type) {
+	case *ast.AssignStmt:
+		if st == w.acq.site {
+			// The tracked Get executes: every surviving path now owns
+			// the buffer. (Re-entry from an enclosing loop re-acquires;
+			// an Owned state surviving to here was already reported at
+			// the loop's back edge via the fixpoint exit check.)
+			return stOwned
+		}
+		in = w.scan(st, in)
+		// Reassigning the tracked variable ends tracking (aliasing).
+		for _, l := range st.Lhs {
+			if id, ok := l.(*ast.Ident); ok && w.isTracked(id) {
+				return stEscaped
+			}
+		}
+		return in
+	case *ast.ReturnStmt:
+		in = w.scan(st, in)
+		w.atExit(in, st.Pos())
+		return 0
+	case *ast.ExprStmt:
+		if isPanicCall(st.X) {
+			w.scan(st, in)
+			return 0
+		}
+		return w.scan(st, in)
+	case *ast.DeferStmt:
+		// A deferred Release runs on every subsequent exit path, so model
+		// it as an immediate release: later returns see Released (no
+		// leak), and a later explicit Release is a genuine double free.
+		if recvIdent(st.Call) != nil && w.isTracked(recvIdent(st.Call)) {
+			if name := methodName(st.Call); name == "Release" {
+				return w.release(in, st.Pos())
+			}
+		}
+		return w.scan(st, in)
+	case *ast.BlockStmt:
+		return w.execBlock(st, in)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			in = w.execStmt(st.Init, in)
+			if in == 0 {
+				return 0
+			}
+		}
+		in = w.scanExpr(st.Cond, in)
+		thenOut := w.execBlock(st.Body, in)
+		elseOut := in
+		if st.Else != nil {
+			elseOut = w.execStmt(st.Else, in)
+		}
+		return thenOut | elseOut
+	case *ast.ForStmt:
+		if st.Init != nil {
+			in = w.execStmt(st.Init, in)
+			if in == 0 {
+				return 0
+			}
+		}
+		if st.Cond != nil {
+			in = w.scanExpr(st.Cond, in)
+		}
+		return w.execLoop(in, func(s int) int {
+			s = w.execBlock(st.Body, s)
+			if s != 0 && st.Post != nil {
+				s = w.execStmt(st.Post, s)
+			}
+			return s
+		}, st.Cond == nil)
+	case *ast.RangeStmt:
+		in = w.scanExpr(st.X, in)
+		return w.execLoop(in, func(s int) int {
+			return w.execBlock(st.Body, s)
+		}, false)
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			in = w.execStmt(st.Init, in)
+			if in == 0 {
+				return 0
+			}
+		}
+		if st.Tag != nil {
+			in = w.scanExpr(st.Tag, in)
+		}
+		return w.execCases(st.Body, in)
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			in = w.execStmt(st.Init, in)
+			if in == 0 {
+				return 0
+			}
+		}
+		in = w.scan(st.Assign, in)
+		return w.execCases(st.Body, in)
+	case *ast.SelectStmt:
+		return w.execCases(st.Body, in)
+	case *ast.GoStmt:
+		return w.scan(st, in)
+	default:
+		return w.scan(s, in)
+	}
+}
+
+// execLoop runs a loop body to a two-iteration fixpoint over the state
+// set. infinite marks `for {}` loops, whose only fallthrough is a break —
+// approximated here by the union of entry and body states, which is an
+// over-approximation of every break point.
+func (w *ownerWalk) execLoop(in int, body func(int) int, infinite bool) int {
+	s1 := body(in)
+	s2 := body(in | s1)
+	out := in | s1 | s2
+	if infinite && s1 == 0 && s2 == 0 {
+		return 0
+	}
+	return out
+}
+
+// execCases unions the outcomes of each case clause of a switch/select
+// body; a missing default keeps the entry state as a possible outcome.
+func (w *ownerWalk) execCases(body *ast.BlockStmt, in int) int {
+	out := 0
+	hasDefault := false
+	for _, c := range body.List {
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			if cc.List == nil {
+				hasDefault = true
+			}
+			for _, e := range cc.List {
+				in = w.scanExpr(e, in)
+			}
+			out |= w.execStmts(cc.Body, in)
+		case *ast.CommClause:
+			if cc.Comm == nil {
+				hasDefault = true
+			} else {
+				in = w.execStmt(cc.Comm, in)
+			}
+			out |= w.execStmts(cc.Body, in)
+		}
+	}
+	if !hasDefault {
+		out |= in
+	}
+	return out
+}
+
+// scan processes every use of the tracked variable in a statement that has
+// no interesting control flow of its own.
+func (w *ownerWalk) scan(n ast.Node, in int) int {
+	if n == nil {
+		return in
+	}
+	out := in
+	handled := map[*ast.Ident]bool{}
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch e := x.(type) {
+		case *ast.FuncLit:
+			// Capture by a closure escapes the buffer.
+			if usesObj(e.Body, w.info, w.acq.obj) {
+				out = stEscaped
+			}
+			return false
+		case *ast.CallExpr:
+			if id := recvIdent(e); id != nil && w.isTracked(id) {
+				handled[id] = true
+				switch methodName(e) {
+				case "Release":
+					out = w.release(out, e.Pos())
+				case "Retain":
+					out = stEscaped
+				}
+			}
+		case *ast.SelectorExpr:
+			// Field reads / other method receivers: not a transfer.
+			if id, ok := ast.Unparen(e.X).(*ast.Ident); ok && w.isTracked(id) {
+				handled[id] = true
+			}
+		case *ast.BinaryExpr:
+			// Comparisons (b == nil) are not transfers.
+			for _, side := range []ast.Expr{e.X, e.Y} {
+				if id, ok := ast.Unparen(side).(*ast.Ident); ok && w.isTracked(id) {
+					handled[id] = true
+				}
+			}
+		case *ast.Ident:
+			if w.isTracked(e) && !handled[e] {
+				// Any other use — argument, store, return value, send,
+				// composite literal, &b — hands the reference off.
+				out = stEscaped
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func (w *ownerWalk) scanExpr(e ast.Expr, in int) int {
+	if e == nil {
+		return in
+	}
+	return w.scan(e, in)
+}
+
+func (w *ownerWalk) isTracked(id *ast.Ident) bool {
+	return w.info.Uses[id] == w.acq.obj || w.info.Defs[id] == w.acq.obj
+}
+
+// recvIdent returns the receiver identifier of a method call `id.M(...)`,
+// or nil.
+func recvIdent(call *ast.CallExpr) *ast.Ident {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return id
+}
+
+// methodName returns the selector name of a method call, or "".
+func methodName(call *ast.CallExpr) string {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		return sel.Sel.Name
+	}
+	return ""
+}
+
+// isPanicCall reports whether e is a call to the panic builtin.
+func isPanicCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// usesObj reports whether any identifier under n resolves to obj.
+func usesObj(n ast.Node, info *types.Info, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		if id, ok := x.(*ast.Ident); ok && (info.Uses[id] == obj || info.Defs[id] == obj) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

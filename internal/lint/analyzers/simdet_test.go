@@ -1,0 +1,12 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"kite/internal/lint/analysistest"
+	"kite/internal/lint/analyzers"
+)
+
+func TestSimdet(t *testing.T) {
+	analysistest.Run(t, "kite/fixtures/simdet", "testdata/src/simdet", analyzers.Simdet)
+}

@@ -1,0 +1,52 @@
+// Package evblock exercises the kitelint event-handler blocking check:
+// callbacks registered on the event machinery may not block the
+// simulation goroutine or re-enter the scheduler.
+package evblock
+
+import (
+	"sync"
+	"time"
+
+	"kite/internal/sim"
+	"kite/internal/xen"
+)
+
+type server struct {
+	mu  sync.Mutex
+	ch  chan int
+	eng *sim.Engine
+}
+
+func (s *server) install(d *xen.Domain, port xen.Port) {
+	_ = d.SetHandler(port, s.onEvent)
+	s.eng.Schedule(0, func() {
+		s.ch <- 1 // want `sends on a channel`
+	})
+	s.eng.After(0, s.tick)
+}
+
+func (s *server) onEvent() {
+	s.mu.Lock() // want `calls blocking \(\*sync\.Mutex\)\.Lock`
+	defer s.mu.Unlock()
+	s.drain()
+}
+
+// drain is reached transitively from the registered handler.
+func (s *server) drain() {
+	for v := range s.ch { // want `ranges over a channel`
+		_ = v
+	}
+}
+
+func (s *server) tick() {
+	time.Sleep(time.Millisecond) // want `calls blocking time\.Sleep`
+	s.eng.Step()                 // want `re-enters the scheduler via Step`
+	go s.nop()                   // want `launches a goroutine`
+}
+
+func (s *server) nop() {}
+
+// offPath is never registered as a handler; blocking here is fine.
+func (s *server) offPath() {
+	<-s.ch
+}

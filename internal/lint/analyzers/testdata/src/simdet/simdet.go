@@ -1,0 +1,38 @@
+// Package simdet exercises the kitelint determinism analyzer: wall-clock
+// reads, the process-global math/rand source, and unordered map iteration
+// inside a //kite:deterministic package.
+//
+//kite:deterministic
+package simdet
+
+import (
+	"math/rand"
+	"time"
+)
+
+func clock() time.Time {
+	return time.Now() // want `reads the wall clock`
+}
+
+func roll() int {
+	return rand.Intn(6) // want `seeded per-process`
+}
+
+func iterate(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want `map iteration order is nondeterministic`
+		total += v
+	}
+	return total
+}
+
+func iterateJustified(m map[string]int) int {
+	n := 0
+	for range m { //kite:orderok count is order-insensitive
+		n++
+	}
+	return n
+}
+
+// Duration arithmetic stays legal: only clock reads are banned.
+func window(d time.Duration) time.Duration { return 2 * d }

@@ -1,0 +1,29 @@
+// Package xskeys exercises the kitelint xenstore key registry check:
+// raw string literals in path/key arguments are rejected, registry
+// constants and bare "/" separators pass.
+package xskeys
+
+import (
+	"kite/internal/xenbus"
+	"kite/internal/xenstore"
+)
+
+func writes(st *xenstore.Store, devPath string) {
+	st.Write(devPath+"/frontend", "p")              // want `raw xenstore key literal "/frontend"`
+	st.Write(devPath+"/"+xenstore.KeyFrontend, "p") // registry constant + separator: clean
+	st.Writef(devPath+"/"+"event-chanel", "%d", 1)  // want `raw xenstore key literal "event-chanel"`
+	v, _ := st.Read(devPath + "/" + xenstore.KeyState)
+	st.Write(devPath+"/"+xenstore.KeyBackend, v)
+}
+
+func features(b *xenbus.Bus, devPath string) {
+	b.WriteFeature(devPath, "feature-persistent", true) // want `raw xenstore key literal "feature-persistent"`
+	b.WriteFeature(devPath, xenstore.KeyFeaturePersistent, true)
+	_ = b.ReadFeature(devPath, xenstore.KeyFeatureFlushCache)
+}
+
+func paths(frontDom xenstore.DomID) string {
+	bad := xenbus.FrontendPath(frontDom, "vif", 0) // want `raw xenstore key literal "vif"`
+	good := xenbus.FrontendPath(frontDom, xenstore.DevVif, 0)
+	return bad + good
+}

@@ -1,0 +1,12 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"kite/internal/lint/analysistest"
+	"kite/internal/lint/analyzers"
+)
+
+func TestXskeys(t *testing.T) {
+	analysistest.Run(t, "kite/fixtures/xskeys", "testdata/src/xskeys", analyzers.Xskeys)
+}

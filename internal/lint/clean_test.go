@@ -1,0 +1,127 @@
+package lint_test
+
+import (
+	"go/ast"
+	"strings"
+	"sync"
+	"testing"
+
+	"kite/internal/lint"
+	"kite/internal/lint/analysis"
+)
+
+// loadOnce shares one whole-module typecheck across the meta-tests; a
+// full load costs a few seconds.
+var loadOnce = sync.OnceValues(func() (*analysis.Module, error) {
+	return lint.LoadModule(".")
+})
+
+// TestLintCleanTree is the suite's own acceptance test: every analyzer
+// over every package of the module must report nothing. A regression that
+// reintroduces an allocation on a hot path, a leaked pool buffer, a raw
+// xenstore key, wall-clock time in the simulator, or a blocking event
+// handler fails here (and in `make lint`, which runs the same code).
+func TestLintCleanTree(t *testing.T) {
+	mod, err := loadOnce()
+	if err != nil {
+		t.Fatalf("load module: %v", err)
+	}
+	diags, err := lint.Run(mod, lint.All())
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", lint.Format(mod, d))
+	}
+}
+
+// TestDeterministicScope pins the simdet contract to the three packages
+// whose byte-identical output the experiment suite depends on. Removing
+// the directive would silently shrink the analyzer's scope; this test
+// turns that into a failure.
+func TestDeterministicScope(t *testing.T) {
+	mod, err := loadOnce()
+	if err != nil {
+		t.Fatalf("load module: %v", err)
+	}
+	for _, path := range []string{"kite/internal/sim", "kite/internal/core", "kite/internal/experiments"} {
+		if !pkgHasDirective(mod, path, "//kite:deterministic") {
+			t.Errorf("%s: package doc lost its //kite:deterministic directive", path)
+		}
+	}
+}
+
+// TestHotPathCoverage asserts that the PV data paths stay annotated: the
+// netfront->netback forward path and the blkfront->blkback block path,
+// plus the pool fast paths they ride on. Deleting an annotation would
+// otherwise pass every test while silently disabling the proof.
+func TestHotPathCoverage(t *testing.T) {
+	mod, err := loadOnce()
+	if err != nil {
+		t.Fatalf("load module: %v", err)
+	}
+	roots := []struct{ pkg, fn string }{
+		{"kite/internal/netfront", "Send"},
+		{"kite/internal/netfront", "onEvent"},
+		{"kite/internal/netback", "onEvent"},
+		{"kite/internal/netback", "Deliver"},
+		{"kite/internal/blkfront", "ReadSectorsInto"},
+		{"kite/internal/blkfront", "WriteSectors"},
+		{"kite/internal/blkfront", "onEvent"},
+		{"kite/internal/blkback", "onEvent"},
+		{"kite/internal/blkback", "complete"},
+		{"kite/internal/framepool", "Get"},
+		{"kite/internal/framepool", "Release"},
+		{"kite/internal/blkpool", "Get"},
+		{"kite/internal/blkpool", "Release"},
+	}
+	for _, r := range roots {
+		if !funcHasDirective(mod, r.pkg, r.fn, "//kite:hotpath") {
+			t.Errorf("%s.%s: no //kite:hotpath-annotated declaration found", r.pkg, r.fn)
+		}
+	}
+}
+
+func pkgHasDirective(mod *analysis.Module, path, directive string) bool {
+	for _, pkg := range mod.Pkgs {
+		if pkg.Path != path {
+			continue
+		}
+		for _, f := range pkg.Files {
+			if f.Doc == nil {
+				continue
+			}
+			for _, c := range f.Doc.List {
+				if strings.HasPrefix(c.Text, directive) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// funcHasDirective reports whether at least one declaration named fn in
+// the package carries the directive in its doc comment (method receivers
+// are not distinguished; any annotated declaration of that name counts).
+func funcHasDirective(mod *analysis.Module, path, fn, directive string) bool {
+	for _, pkg := range mod.Pkgs {
+		if pkg.Path != path {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				decl, ok := d.(*ast.FuncDecl)
+				if !ok || decl.Name.Name != fn || decl.Doc == nil {
+					continue
+				}
+				for _, c := range decl.Doc.List {
+					if strings.HasPrefix(c.Text, directive) {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}
