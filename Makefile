@@ -1,16 +1,23 @@
 GO ?= go
 
-.PHONY: verify build test race vet zeroalloc bench
+.PHONY: verify build test race vet lint zeroalloc bench
 
-# verify is the tree-must-be-green gate: vet, build everything, the
-# zero-allocation forward-path assertion (which the race detector's
-# instrumentation would distort, so it runs in a normal build), then the
-# full test suite under the race detector (which also exercises the
-# parallel experiment runner's determinism tests).
-verify: vet build zeroalloc race
+# verify is the tree-must-be-green gate: vet, build everything, kitelint
+# (the repo's own invariant analyzers), the zero-allocation forward-path
+# assertion (which the race detector's instrumentation would distort, so
+# it runs in a normal build), then the full test suite under the race
+# detector (which also exercises the parallel experiment runner's
+# determinism tests).
+verify: vet build lint zeroalloc race
 
 vet:
 	$(GO) vet ./...
+
+# lint runs the kitelint analyzer suite (hotpath, poolref, simdet,
+# xskeys, evblock) over the whole module; any finding fails the build.
+# See DESIGN.md §11 for the invariants each analyzer proves.
+lint:
+	$(GO) run ./cmd/kitelint .
 
 build:
 	$(GO) build ./...
