@@ -6,6 +6,7 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
@@ -23,6 +24,41 @@ type result struct {
 	SimBytesPerSec  float64 `json:"sim_bytes_per_sec,omitempty"`
 	BytesPerOp      int64   `json:"bytes_per_op"`
 	AllocsPerOp     int64   `json:"allocs_per_op"`
+	// ParallelSpeedup is the wall-clock ratio of this benchmark's
+	// /queues=1 family baseline to this entry: >1 means the sharded
+	// configuration finished the same wave faster than the serial one.
+	ParallelSpeedup float64 `json:"parallel_speedup,omitempty"`
+}
+
+// fillSpeedups computes ParallelSpeedup for every /queues=N entry from the
+// /queues=1 entry of the same benchmark family (the name prefix up to
+// "/queues=").
+func fillSpeedups(results []result) {
+	base := make(map[string]float64)
+	for _, r := range results {
+		fam, q, ok := splitQueues(r.Name)
+		if ok && q == "1" && r.NsPerOp > 0 {
+			base[fam] = r.NsPerOp
+		}
+	}
+	for i := range results {
+		fam, _, ok := splitQueues(results[i].Name)
+		if !ok || results[i].NsPerOp <= 0 {
+			continue
+		}
+		if b, found := base[fam]; found {
+			results[i].ParallelSpeedup = b / results[i].NsPerOp
+		}
+	}
+}
+
+// splitQueues splits "Family/queues=N" into the family prefix and N.
+func splitQueues(name string) (fam, q string, ok bool) {
+	i := strings.LastIndex(name, "/queues=")
+	if i < 0 {
+		return "", "", false
+	}
+	return name[:i], name[i+len("/queues="):], true
 }
 
 // benchName strips the trailing -N GOMAXPROCS suffix go test appends, and
@@ -38,6 +74,8 @@ func benchName(field string) string {
 }
 
 func main() {
+	gate := flag.String("gate", "", "benchmark entry (e.g. BenchmarkForwardPathMQ/queues=4) that must not be slower than its /queues=1 family baseline; exit 1 if it is")
+	flag.Parse()
 	var results []result
 	sc := bufio.NewScanner(os.Stdin)
 	for sc.Scan() {
@@ -84,10 +122,36 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
 		os.Exit(1)
 	}
+	fillSpeedups(results)
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(results); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
+	if *gate != "" {
+		checkGate(results, *gate)
+	}
+}
+
+// checkGate fails the run if the gated entry's wall-clock ns/op exceeds its
+// /queues=1 family baseline — i.e. its parallel_speedup is below 1.
+func checkGate(results []result, gate string) {
+	for _, r := range results {
+		if r.Name != gate {
+			continue
+		}
+		if r.ParallelSpeedup == 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: gate %s has no /queues=1 family baseline\n", gate)
+			os.Exit(1)
+		}
+		if r.ParallelSpeedup < 1 {
+			fmt.Fprintf(os.Stderr, "benchjson: gate %s is slower than its queues=1 baseline (parallel_speedup=%.3f)\n",
+				gate, r.ParallelSpeedup)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: gate %s not found in benchmark output\n", gate)
+	os.Exit(1)
 }

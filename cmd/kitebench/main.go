@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	kitebench [-full] [-only FIG7,FIG11] [-parallel N] [-ablations] [-blk] [-queues N]
+//	kitebench [-full] [-only FIG7,FIG11] [-parallel N] [-ablations] [-blk] [-queues N] [-cores N]
 //
 // -full runs paper-scale workloads (more virtual seconds; wall-clock
 // minutes); the default quick scale preserves every comparison's shape.
@@ -15,6 +15,9 @@
 // its summary prints only queue-invariant totals and checksums, so the
 // whole output stays byte-identical for any -parallel x -queues choice
 // (scaling numbers live in the MQ benchmarks and BENCH_*.json instead).
+// -cores N runs the sharded network leg's per-queue cluster shards on up
+// to N worker goroutines; conservative lookahead windows make every line
+// bit-identical to -cores 1 at any GOMAXPROCS.
 package main
 
 import (
@@ -34,6 +37,7 @@ func main() {
 	ablations := flag.Bool("ablations", false, "also run the design-choice ablations")
 	blk := flag.Bool("blk", false, "also run the deterministic block-path workload and print its summary")
 	queues := flag.Int("queues", 0, "also run the deterministic multi-queue workload with this many queues per device")
+	cores := flag.Int("cores", 1, "worker goroutines for the multi-queue workload's cluster shards")
 	flag.Parse()
 
 	scale := experiments.Quick()
@@ -89,7 +93,9 @@ func main() {
 		// across queues but never change what arrives. The same lines print
 		// for -queues 1 and -queues 8 — scaling shows up in the MQ
 		// benchmarks, not here.
-		fmt.Println(experiments.MQSummary(scale, *queues).String())
+		mq := experiments.MQSummary(scale, *queues, *cores)
+		fmt.Println(mq.String())
+		fmt.Println(mq.ShardLine())
 	}
 	fmt.Printf("kitebench: %d experiments, %d simulation events in %.2fs wall (%.2fM events/sec)\n",
 		len(results), events, elapsed.Seconds(),

@@ -125,7 +125,7 @@ type devicePort struct {
 	dev  FrameDevice
 }
 
-func (p *devicePort) PortName() string              { return p.name }
+func (p *devicePort) PortName() string             { return p.name }
 func (p *devicePort) Deliver(frame *framepool.Buf) { p.dev.Send(frame) }
 
 // AttachDevice wires a frame device into the bridge as a port: egress
@@ -145,10 +145,47 @@ func (b *Bridge) AttachDevice(name string, dev FrameDevice) Port {
 // Forwarding cost is charged to the driver domain's CPUs and delivery
 // happens at charge completion.
 func (b *Bridge) Input(from Port, frame *framepool.Buf) {
+	b.input(from, frame, b.eng.Now(), nil)
+}
+
+// Lane is a pinned forwarding lane: one forwarding thread (vCPU) and one
+// egress FIFO for a single source queue, the way a multi-queue backend
+// pins per-queue forwarding threads feeding per-queue NIC TX rings. A lane
+// has exactly one producer whose arrival times are monotone, so a batched
+// replay through InputAt charges and delivers at the same virtual times
+// one event per frame would have — without the shared pool's work stealing
+// or the global egress watermark serializing lanes against each other.
+type Lane struct {
+	b       *Bridge
+	cpu     *sim.CPU
+	outq    sim.FIFO[delivery]
+	deliver *sim.Batch
+	lastOut sim.Time
+}
+
+// NewLane creates a forwarding lane pinned to cpu.
+func (b *Bridge) NewLane(cpu *sim.CPU) *Lane {
+	l := &Lane{b: b, cpu: cpu}
+	l.deliver = sim.NewBatch(b.eng, l.flush)
+	return l
+}
+
+// InputAt processes one frame arriving on this lane at the virtual time at,
+// which may lie beyond the executing event's timestamp (see CPU.ChargeAt).
+// at must be nondecreasing across calls — the lane models one FIFO queue.
+func (l *Lane) InputAt(from Port, frame *framepool.Buf, at sim.Time) {
+	l.b.input(from, frame, at, l)
+}
+
+// input is the shared learn/forward/flood core. With a lane, forwarding
+// cost chains on the lane's pinned CPU starting no earlier than at, and
+// delivery rides the lane's own FIFO; without one, cost goes to the shared
+// pool and delivery to the bridge-wide FIFO.
+func (b *Bridge) input(from Port, frame *framepool.Buf, at sim.Time, l *Lane) {
 	pkt := frame.Bytes()
 	if len(pkt) < netpkt.EthHeaderLen {
 		b.stats.Dropped++
-		frame.Release()
+		frame.ReleaseOn(b.eng)
 		return
 	}
 	var dst, src netpkt.MAC
@@ -162,16 +199,21 @@ func (b *Bridge) Input(from Port, frame *framepool.Buf) {
 		}
 	}
 
-	done := b.cpus.Charge(b.PerFrameCost)
+	var done sim.Time
+	if l != nil {
+		done = l.cpu.ChargeAt(at, b.PerFrameCost)
+	} else {
+		done = b.cpus.ChargeAt(at, b.PerFrameCost)
+	}
 	if dst != netpkt.Broadcast {
 		if out := b.fdb[dst]; out != nil {
 			if out == from {
 				b.stats.Dropped++ // destination is behind the source port
-				frame.Release()
+				frame.ReleaseOn(b.eng)
 				return
 			}
 			b.stats.Forwarded++
-			b.enqueue(done, out, frame)
+			b.enqueueOn(l, done, out, frame)
 			return
 		}
 	}
@@ -185,13 +227,47 @@ func (b *Bridge) Input(from Port, frame *framepool.Buf) {
 			frame.Retain() // one extra reference per additional flood target
 		}
 		sent = true
-		b.enqueue(done, p, frame)
+		b.enqueueOn(l, done, p, frame)
 	}
 	if sent {
 		b.stats.Flooded++
 	} else {
 		b.stats.Dropped++
-		frame.Release()
+		frame.ReleaseOn(b.eng)
+	}
+}
+
+// enqueueOn routes one delivery to the lane's egress FIFO, or the
+// bridge-wide one when l is nil.
+func (b *Bridge) enqueueOn(l *Lane, at sim.Time, to Port, frame *framepool.Buf) {
+	if l != nil {
+		l.enqueue(at, to, frame)
+	} else {
+		b.enqueue(at, to, frame)
+	}
+}
+
+// enqueue queues one delivery on the lane's egress FIFO; the watermark
+// clamp mirrors Bridge.enqueue.
+func (l *Lane) enqueue(at sim.Time, to Port, frame *framepool.Buf) {
+	if at < l.lastOut {
+		at = l.lastOut
+	}
+	l.lastOut = at
+	l.outq.Push(delivery{at: at, to: to, frame: frame})
+	l.deliver.Arm(at)
+}
+
+// flush hands every matured frame on this lane to its egress port and
+// re-arms for the next pending one.
+func (l *Lane) flush() {
+	now := l.b.eng.Now()
+	for l.outq.Len() > 0 && l.outq.Peek().at <= now {
+		d := l.outq.Pop()
+		d.to.Deliver(d.frame)
+	}
+	if p := l.outq.Peek(); p != nil {
+		l.deliver.Arm(p.at)
 	}
 }
 

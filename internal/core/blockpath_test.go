@@ -61,10 +61,10 @@ func TestBlockPathByteIntegrity(t *testing.T) {
 				sector int64
 				data   []byte
 			}{
-				{0, patternSeed(4096, 1)},      // one direct request
-				{8, patternSeed(44<<10, 2)},    // 11 segments: largest direct
-				{96, patternSeed(64<<10, 3)},   // 16 segments: indirect
-				{224, patternSeed(1<<20, 4)},   // split into several indirect requests
+				{0, patternSeed(4096, 1)},    // one direct request
+				{8, patternSeed(44<<10, 2)},  // 11 segments: largest direct
+				{96, patternSeed(64<<10, 3)}, // 16 segments: indirect
+				{224, patternSeed(1<<20, 4)}, // split into several indirect requests
 			}
 			for _, w := range seq {
 				werr := error(nil)

@@ -88,26 +88,71 @@ type System struct {
 	// quiesce proves no storage component leaked a buffer.
 	BlkPool *blkpool.Pool
 
+	// Cluster is non-nil when the event core is sharded across per-queue
+	// engines (NewShardedSystem); Eng is then the cluster's shard 0, where
+	// everything that is not a pinned PV queue lives.
+	Cluster *sim.Cluster
+
 	seed        uint64
 	nextVbdBase int64
 }
 
+// ShardLookahead is the conservative lookahead window of sharded systems:
+// every cross-shard hand-off in the PV data paths (qdisc dispatch, softirq
+// delivery, bridge input) models at least this much latency, so shards can
+// safely run that far apart within a window.
+const ShardLookahead = 2 * sim.Microsecond
+
 // NewSystem boots the hypervisor and Dom0 (which hosts xenstored; per §5,
 // Dom0 has no storage or network drivers).
-func NewSystem(seed uint64) *System {
-	eng := sim.NewEngine()
+func NewSystem(seed uint64) *System { return newSystem(seed, nil) }
+
+// NewShardedSystem boots a system whose discrete-event core is split into
+// 1+queues cluster shards: shard 0 carries the hypervisor, Dom0, bridges,
+// stacks and devices; shard 1+i is reserved for queue i of the PV
+// transports. Runs are bit-identical to any worker count (and to the same
+// topology at workers=1); wall clock drops as workers are added.
+func NewShardedSystem(seed uint64, queues int) *System {
+	return newSystem(seed, sim.NewCluster(1+queues, ShardLookahead, seed))
+}
+
+func newSystem(seed uint64, cluster *sim.Cluster) *System {
+	var eng *sim.Engine
+	if cluster != nil {
+		eng = cluster.Shard(0)
+	} else {
+		eng = sim.NewEngine()
+	}
 	hv := xen.New(eng)
 	dom0 := hv.CreateDomain(xen.DomainConfig{
 		Name: "dom0", VCPUs: 2, MemBytes: 8 << 30, Privileged: true,
 		IRQLatency: 6 * sim.Microsecond,
 	})
 	store := xenstore.New(eng)
-	return &System{
+	s := &System{
 		Eng: eng, HV: hv, Store: store, Bus: xenbus.New(store),
 		NetReg: netif.NewRegistry(), BlkReg: blkif.NewRegistry(),
 		Dom0: dom0, Pool: framepool.New(), BlkPool: blkpool.New(),
-		seed: seed, nextVbdBase: 2048,
+		Cluster: cluster, seed: seed, nextVbdBase: 2048,
 	}
+	if cluster != nil {
+		// Free lists live on shard 0; remote releases post back home.
+		s.Pool.SetHome(eng)
+	}
+	return s
+}
+
+// QueueShards returns the engines reserved for PV queue pinning (shard 1
+// onward), or nil for an unsharded system.
+func (s *System) QueueShards() []*sim.Engine {
+	if s.Cluster == nil {
+		return nil
+	}
+	qs := make([]*sim.Engine, s.Cluster.Shards()-1)
+	for i := range qs {
+		qs[i] = s.Cluster.Shard(1 + i)
+	}
+	return qs
 }
 
 // RunReady drives the simulation until ready() holds (or the event cap
@@ -219,8 +264,14 @@ func (s *System) CreateNetworkDomain(cfg NetworkDomainConfig) (*NetworkDomain, e
 
 	start := func() {
 		// The network application (§4.3): create the bridge (or the NAT
-		// router), attach the physical IF, then serve frontends.
-		nd.Bridge = bridge.New(s.Eng, dom.CPUs, "xenbr0")
+		// router), attach the physical IF, then serve frontends. In a
+		// sharded system vCPUs 0..Q-1 are pinned one-per-queue by the
+		// netback driver; the bridge path runs on the remaining width.
+		brCPUs := dom.CPUs
+		if qs := s.QueueShards(); qs != nil && dom.CPUs.Len() > len(qs) {
+			brCPUs = dom.CPUs.Slice(len(qs), dom.CPUs.Len())
+		}
+		nd.Bridge = bridge.New(s.Eng, brCPUs, "xenbr0")
 		nd.Bridge.PerFrameCost = brCost
 		if cfg.NAT {
 			nd.router = newNATRouter(s.Eng, dom, nd.Bridge, cfg.NIC,
@@ -229,6 +280,9 @@ func (s *System) CreateNetworkDomain(cfg NetworkDomainConfig) (*NetworkDomain, e
 			nd.Bridge.AttachDevice("if0", cfg.NIC)
 		}
 		nd.Driver = netback.NewDriver(s.Eng, dom, s.Bus, s.NetReg, nd.Bridge, costs, s.Pool)
+		if qs := s.QueueShards(); qs != nil {
+			nd.Driver.SetShards(qs)
+		}
 		nd.ready = true
 	}
 	if cfg.Boot {
@@ -338,6 +392,9 @@ type GuestConfig struct {
 	// per driver-domain vCPU). 0 means single-queue.
 	NetQueues int
 	BlkQueues int
+	// VCPUs overrides the profile's vCPU count (sharded rigs give the guest
+	// one vCPU per queue plus one for the stack).
+	VCPUs int
 }
 
 // Guest is a DomU with its stack, frontends, and (optionally) a mounted
@@ -373,8 +430,16 @@ func (s *System) CreateGuest(cfg GuestConfig) (*Guest, error) {
 	if profile == nil {
 		profile = guestos.UbuntuGuest()
 	}
+	vcpus := profile.VCPUs
+	if cfg.VCPUs > 0 {
+		vcpus = cfg.VCPUs
+	} else if s.Cluster != nil && cfg.NetQueues > 1 {
+		// Sharded: vCPUs 0..Q-1 are pinned one-per-queue; the stack keeps
+		// the profile's own width on the rest.
+		vcpus = profile.VCPUs + cfg.NetQueues
+	}
 	dom := s.HV.CreateDomain(xen.DomainConfig{
-		Name: cfg.Name, VCPUs: profile.VCPUs,
+		Name: cfg.Name, VCPUs: vcpus,
 		MemBytes: profile.MemBytes, IRQLatency: profile.IRQLatency,
 	})
 	g := &Guest{Dom: dom, Profile: profile}
@@ -387,17 +452,25 @@ func (s *System) CreateGuest(cfg GuestConfig) (*Guest, error) {
 			FrontExtra: map[string]string{xenstore.KeyMac: mac.String()},
 			BackExtra:  map[string]string{xenstore.KeyBridge: "xenbr0"},
 		})
+		var netShards []*sim.Engine
+		stackCPUs := dom.CPUs
+		if qs := s.QueueShards(); qs != nil && cfg.NetQueues > 1 {
+			netShards = qs
+			// vCPUs 0..Q-1 are pinned per queue; the stack gets the rest.
+			stackCPUs = dom.CPUs.Slice(cfg.NetQueues, dom.CPUs.Len())
+		}
 		g.Net = netfront.New(s.Eng, netfront.Config{
 			Dom: dom, Bus: s.Bus, Registry: s.NetReg, DevID: 0,
 			BackDom: cfg.Net.Dom.ID, MAC: mac, Pool: s.Pool,
 			Queues: cfg.NetQueues, HashSeed: cfg.Seed ^ s.seed,
+			Shards: netShards,
 		})
 		stackCosts := netstack.LinuxGuestCosts()
 		if profile.Family == guestos.FamilyNetBSD {
 			stackCosts = netstack.RumprunCosts()
 		}
 		g.Stack = netstack.New(s.Eng, netstack.Config{
-			Name: cfg.Name, CPUs: dom.CPUs, Iface: g.Net,
+			Name: cfg.Name, CPUs: stackCPUs, Iface: g.Net,
 			IP: cfg.IP, Costs: stackCosts, Seed: cfg.Seed ^ s.seed,
 			Pool: s.Pool,
 		})

@@ -28,8 +28,16 @@ type Testbed struct {
 }
 
 // NewTestbed assembles the two machines and the cable between them.
-func NewTestbed(seed uint64) *Testbed {
-	sys := NewSystem(seed)
+func NewTestbed(seed uint64) *Testbed { return newTestbed(NewSystem(seed)) }
+
+// NewTestbedSharded assembles the same testbed on a sharded event core
+// with one cluster shard per PV queue (plus shard 0 for everything else).
+func NewTestbedSharded(seed uint64, queues int) *Testbed {
+	return newTestbed(NewShardedSystem(seed, queues))
+}
+
+func newTestbed(sys *System) *Testbed {
+	seed := sys.seed
 	serverNIC := nic.New(sys.Eng, "ixgbe0", netpkt.MAC{0x90, 0xe2, 0xba, 0, 0, 0x10}, "03:00.0")
 	client := netstack.NewHost(sys.Eng, netstack.HostConfig{
 		Name: "client", CPUs: 4, IP: netpkt.IPv4(10, 0, 0, 2),
@@ -75,12 +83,25 @@ type NetworkRigConfig struct {
 	VCPUs int
 }
 
-// NewNetworkRigCfg builds the rig from the full config.
+// NewNetworkRigCfg builds the rig from the full config. Multi-queue rigs
+// run on a sharded event core (one cluster shard per queue): the driver
+// domain and the guest each get one vCPU per queue plus a misc/stack vCPU,
+// and queue i of both ring ends is pinned to shard 1+i. Single-queue rigs
+// keep the classic single-heap engine, byte-for-byte.
 func NewNetworkRigCfg(cfg NetworkRigConfig) (*NetworkRig, error) {
-	tb := NewTestbed(cfg.Seed)
+	sharded := cfg.Queues > 1
+	var tb *Testbed
 	vcpus := cfg.VCPUs
-	if vcpus == 0 && cfg.Queues > 1 {
-		vcpus = cfg.Queues
+	if sharded {
+		tb = NewTestbedSharded(cfg.Seed, cfg.Queues)
+		if vcpus == 0 {
+			// One pinned vCPU per queue worker plus the same width again
+			// for the bridge/misc path, so the bridge capacity scales with
+			// the queue count exactly like the legacy Pick-anywhere rig.
+			vcpus = 2 * cfg.Queues
+		}
+	} else {
+		tb = NewTestbed(cfg.Seed)
 	}
 	nd, err := tb.System.CreateNetworkDomain(NetworkDomainConfig{
 		Kind: cfg.Kind, NIC: tb.ServerNIC, VCPUs: vcpus,

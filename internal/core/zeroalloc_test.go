@@ -6,6 +6,7 @@
 package core
 
 import (
+	"fmt"
 	"testing"
 
 	"kite/internal/netstack"
@@ -50,52 +51,62 @@ func TestForwardPathZeroAlloc(t *testing.T) {
 }
 
 // TestForwardPathZeroAllocMQ asserts the multi-queue variant of the same
-// property: with 4 vif queues (4 driver-domain vCPUs, per-queue framepool
-// arenas and grant caches), the steady-state forwarded frame still
-// allocates nothing in either direction.
+// property at EVERY negotiable queue count: per-queue cluster shards,
+// framepool arenas, preallocated Tx slot tables, and grant caches must keep
+// the steady-state forwarded frame at exactly zero heap allocations in both
+// directions — one stray byte per op fails the sweep.
 func TestForwardPathZeroAllocMQ(t *testing.T) {
-	rig, err := NewNetworkRigCfg(NetworkRigConfig{Kind: KindKite, Seed: 0xa110c4, Queues: 4})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if n := rig.Guest.Net.NumQueues(); n != 4 {
-		t.Fatalf("negotiated %d queues, want 4", n)
-	}
-	rig.Client.Stack.BindUDP(9000, func(p netstack.UDPPacket) {})
-	rig.Guest.Stack.BindUDP(9001, func(p netstack.UDPPacket) {})
-	payload := pattern(1400)
-	eng := rig.System.Eng
+	for _, queues := range []int{1, 2, 4, 8} {
+		queues := queues
+		t.Run(fmt.Sprintf("queues=%d", queues), func(t *testing.T) {
+			rig, err := NewNetworkRigCfg(NetworkRigConfig{Kind: KindKite, Seed: 0xa110c4, Queues: queues})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n := rig.Guest.Net.NumQueues(); n != queues {
+				t.Fatalf("negotiated %d queues, want %d", n, queues)
+			}
+			rig.Client.Stack.BindUDP(9000, func(p netstack.UDPPacket) {})
+			rig.Guest.Stack.BindUDP(9001, func(p netstack.UDPPacket) {})
+			payload := pattern(1400)
+			eng := rig.System.Eng
 
-	// Warm every queue: 64 source ports hash across all four queues,
-	// populating each queue's Tx slots, arenas, and persistent mappings.
-	// The frontend cycles its 256 posted Rx buffers round-robin, so each
-	// queue needs >256 Rx frames before the backend's persistent-grant
-	// cache stops missing.
-	for i := 0; i < 1300; i++ {
-		rig.Guest.Stack.SendUDP(rig.ClientIP, 9000, uint16(9001+i%64), payload)
-		eng.Run()
-		rig.Client.Stack.SendUDP(rig.GuestIP, 9001, uint16(9000+i%64), payload)
-		eng.Run()
-	}
-	for port := 0; port < 4; port++ {
-		port := uint16(9001 + port*16)
-		tx := func() {
-			rig.Guest.Stack.SendUDP(rig.ClientIP, 9000, port, payload)
-			eng.Run()
-		}
-		rx := func() {
-			rig.Client.Stack.SendUDP(rig.GuestIP, 9001, port, payload)
-			eng.Run()
-		}
-		if allocs := testing.AllocsPerRun(50, tx); allocs != 0 {
-			t.Errorf("Tx srcport %d: %.1f allocs per frame, want 0", port, allocs)
-		}
-		if allocs := testing.AllocsPerRun(50, rx); allocs != 0 {
-			t.Errorf("Rx srcport %d: %.1f allocs per frame, want 0", port, allocs)
-		}
-	}
-	if n := rig.System.Pool.Outstanding(); n != 0 {
-		t.Fatalf("%d frame buffers leaked", n)
+			// Warm every queue: 64 source ports hash across all queues,
+			// populating each queue's Tx slots, arenas, and persistent
+			// mappings. The frontend cycles its 256 posted Rx buffers
+			// round-robin, so each queue needs >256 Rx frames before the
+			// backend's persistent-grant cache stops missing.
+			warm := 1300
+			if queues == 8 {
+				warm = 2500
+			}
+			for i := 0; i < warm; i++ {
+				rig.Guest.Stack.SendUDP(rig.ClientIP, 9000, uint16(9001+i%64), payload)
+				eng.Run()
+				rig.Client.Stack.SendUDP(rig.GuestIP, 9001, uint16(9000+i%64), payload)
+				eng.Run()
+			}
+			for port := 0; port < queues; port++ {
+				port := uint16(9001 + port*16)
+				tx := func() {
+					rig.Guest.Stack.SendUDP(rig.ClientIP, 9000, port, payload)
+					eng.Run()
+				}
+				rx := func() {
+					rig.Client.Stack.SendUDP(rig.GuestIP, 9001, port, payload)
+					eng.Run()
+				}
+				if allocs := testing.AllocsPerRun(50, tx); allocs != 0 {
+					t.Errorf("Tx srcport %d: %.1f allocs per frame, want 0", port, allocs)
+				}
+				if allocs := testing.AllocsPerRun(50, rx); allocs != 0 {
+					t.Errorf("Rx srcport %d: %.1f allocs per frame, want 0", port, allocs)
+				}
+			}
+			if n := rig.System.Pool.Outstanding(); n != 0 {
+				t.Fatalf("%d frame buffers leaked", n)
+			}
+		})
 	}
 }
 
@@ -147,59 +158,65 @@ func TestBlockPathZeroAlloc(t *testing.T) {
 	}
 }
 
-// TestBlockPathZeroAllocMQ asserts the same property with 4 vbd hardware
-// queues: a 256 KiB op that straddles a 512 KiB stripe boundary (so its
-// chunks ride two queues with separate rings, page pools, and blkback
-// shards) still allocates nothing once warm.
+// TestBlockPathZeroAllocMQ asserts the same property at every vbd
+// hardware-queue count: a 256 KiB op that straddles a 512 KiB stripe
+// boundary (so its chunks ride two queues with separate rings, page pools,
+// and blkback shards) still allocates nothing once warm — any per-op byte
+// creep fails the sweep.
 func TestBlockPathZeroAllocMQ(t *testing.T) {
-	rig, err := NewStorageRig(StorageRigConfig{
-		Kind: KindKite, Seed: 0xb10c4, DiskBytes: 1 << 30, Queues: 4,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if n := rig.Guest.Disk.NumQueues(); n != 4 {
-		t.Fatalf("negotiated %d queues, want 4", n)
-	}
-	const ioBytes = 256 << 10
-	payload := pattern(ioBytes)
-	eng := rig.System.Eng
-	wcb := func(err error) {
-		if err != nil {
-			t.Fatal(err)
-		}
-	}
-	rcb := func(data []byte, err error) {
-		if err != nil {
-			t.Fatal(err)
-		}
-	}
-	// sector 896 puts the op across the stripe-0/stripe-1 boundary; the
-	// warmup loop also touches stripes 2 and 3 so all four queues' pools
-	// and persistent grants are populated.
-	write := func() {
-		rig.Guest.Disk.WriteSectors(896, payload, wcb)
-		eng.Run()
-	}
-	read := func() {
-		rig.Guest.Disk.ReadSectors(896, ioBytes, rcb)
-		eng.Run()
-	}
-	for i := 0; i < 100; i++ {
-		write()
-		read()
-		base := int64(2048 + (i%2)*1024) // stripes 2 and 3
-		rig.Guest.Disk.WriteSectors(base, payload[:4096], wcb)
-		eng.Run()
-	}
+	for _, queues := range []int{2, 4, 8} {
+		queues := queues
+		t.Run(fmt.Sprintf("queues=%d", queues), func(t *testing.T) {
+			rig, err := NewStorageRig(StorageRigConfig{
+				Kind: KindKite, Seed: 0xb10c4, DiskBytes: 1 << 30, Queues: queues,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n := rig.Guest.Disk.NumQueues(); n != queues {
+				t.Fatalf("negotiated %d queues, want %d", n, queues)
+			}
+			const ioBytes = 256 << 10
+			payload := pattern(ioBytes)
+			eng := rig.System.Eng
+			wcb := func(err error) {
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			rcb := func(data []byte, err error) {
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			// sector 896 puts the op across the stripe-0/stripe-1 boundary;
+			// the warmup loop also walks the remaining stripes so every
+			// queue's pools and persistent grants are populated.
+			write := func() {
+				rig.Guest.Disk.WriteSectors(896, payload, wcb)
+				eng.Run()
+			}
+			read := func() {
+				rig.Guest.Disk.ReadSectors(896, ioBytes, rcb)
+				eng.Run()
+			}
+			for i := 0; i < 100; i++ {
+				write()
+				read()
+				base := int64(2048 + (i%(queues-1))*1024) // stripes 2..queues
+				rig.Guest.Disk.WriteSectors(base, payload[:4096], wcb)
+				eng.Run()
+			}
 
-	if allocs := testing.AllocsPerRun(100, write); allocs != 0 {
-		t.Errorf("striped write: %.1f allocs per 256 KiB write, want 0", allocs)
-	}
-	if allocs := testing.AllocsPerRun(100, read); allocs != 0 {
-		t.Errorf("striped read: %.1f allocs per 256 KiB read, want 0", allocs)
-	}
-	if n := rig.System.BlkPool.Outstanding(); n != 0 {
-		t.Fatalf("%d sector buffers leaked", n)
+			if allocs := testing.AllocsPerRun(100, write); allocs != 0 {
+				t.Errorf("striped write: %.1f allocs per 256 KiB write, want 0", allocs)
+			}
+			if allocs := testing.AllocsPerRun(100, read); allocs != 0 {
+				t.Errorf("striped read: %.1f allocs per 256 KiB read, want 0", allocs)
+			}
+			if n := rig.System.BlkPool.Outstanding(); n != 0 {
+				t.Fatalf("%d sector buffers leaked", n)
+			}
+		})
 	}
 }

@@ -28,6 +28,15 @@ type MQStats struct {
 	BlkBytes    uint64
 	QueueReqs   uint64 // per-queue ring-request counter total (metrics.BlkQueueRequests delta)
 	BlkChecksum uint64 // sum of FNV-1a hashes of the data read back, in issue order
+
+	// Shard-cluster counters for the network leg (zero when unsharded).
+	// Windows and posts are properties of the event timeline, not of the
+	// execution, so they are identical at any worker count and GOMAXPROCS —
+	// but they do depend on the queue count, so they print on their own
+	// line, separate from the queue-invariant summary above.
+	Shards  int    // cluster shards (1 + queues when sharded)
+	Windows uint64 // lookahead windows the cluster ran
+	Posts   uint64 // cross-shard posts merged at window barriers
 }
 
 // String renders the two summary lines exactly as kitebench prints them.
@@ -37,6 +46,15 @@ func (m MQStats) String() string {
 			"kitebench: mq blk %d ops / %d bytes (queue-reqs %d), checksum %016x",
 		m.NetFrames, m.NetBytes, m.QueueTx, m.QueueRx, m.NetChecksum,
 		m.BlkOps, m.BlkBytes, m.QueueReqs, m.BlkChecksum)
+}
+
+// ShardLine renders the cluster counters. The line is byte-identical for
+// any -cores, -parallel, and GOMAXPROCS (windows and posts are timeline
+// facts), but varies with -queues, so kitebench prints it separately from
+// the queue-invariant summary.
+func (m MQStats) ShardLine() string {
+	return fmt.Sprintf("kitebench: mq shards %d, %d windows, %d cross-shard posts",
+		m.Shards, m.Windows, m.Posts)
 }
 
 // fnv1a hashes b with FNV-1a, folding in a leading tag so datagrams that
@@ -71,7 +89,10 @@ const mqFlows = 32
 // stripe-aligned, so the request count does not depend on striping), then
 // a flush, then read-back with verification, one op in flight at a time
 // so completion order is issue order at any queue count.
-func MQSummary(s Scale, queues int) MQStats {
+// cores > 1 additionally spreads the sharded network leg's per-queue
+// shards over that many worker goroutines (cluster.SetWorkers); the
+// conservative lookahead windows make the result bit-identical to cores=1.
+func MQSummary(s Scale, queues, cores int) MQStats {
 	var m MQStats
 	qtx0, qrx0 := metrics.NetQueueTxFrames.Load(), metrics.NetQueueRxFrames.Load()
 	qreq0 := metrics.BlkQueueRequests.Load()
@@ -79,6 +100,11 @@ func MQSummary(s Scale, queues int) MQStats {
 	// --- Network leg ---
 	nrig := mustNetRigCfg(core.NetworkRigConfig{Kind: core.KindKite, Seed: 0x30b, Queues: queues})
 	sys := nrig.Testbed.System
+	m.Shards = 1
+	if c := sys.Cluster; c != nil {
+		c.SetWorkers(cores)
+		m.Shards = c.Shards()
+	}
 	payload := make([]byte, 256)
 	stamp := func(flow, seq int) {
 		for i := range payload {
@@ -162,5 +188,9 @@ func MQSummary(s Scale, queues int) MQStats {
 	m.QueueTx = metrics.NetQueueTxFrames.Load() - qtx0
 	m.QueueRx = metrics.NetQueueRxFrames.Load() - qrx0
 	m.QueueReqs = metrics.BlkQueueRequests.Load() - qreq0
+	if c := sys.Cluster; c != nil {
+		m.Windows = c.Windows()
+		m.Posts = c.Posted()
+	}
 	return m
 }

@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
-	"sync"
+	"sync" //kite:shardsafe WaitGroup joins whole-simulation legs, never mid-window state
 	"sync/atomic"
 
 	"kite/internal/core"
@@ -108,7 +108,7 @@ func (p *Pool) tryGo(fn func()) (<-chan struct{}, bool) {
 		return nil, false
 	}
 	done := make(chan struct{})
-	go func() {
+	go func() { //kite:shardsafe each leg owns its entire simulation; no state crosses until the join
 		defer close(done)
 		defer func() { <-p.tokens }()
 		fn()
@@ -132,7 +132,7 @@ func RunAll(specs []Spec, s Scale, workers int) []*Result {
 		// Blocking acquire: at most `workers` experiments in flight.
 		pool.tokens <- struct{}{}
 		wg.Add(1)
-		go func() {
+		go func() { //kite:shardsafe each leg owns its entire simulation; results land in distinct slots
 			defer wg.Done()
 			defer func() { <-pool.tokens }()
 			results[i] = sp.Run(s)

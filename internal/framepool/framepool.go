@@ -15,7 +15,12 @@
 // output byte-identical for any -parallel worker count.
 package framepool
 
-import "kite/internal/metrics"
+import (
+	"sync/atomic"
+
+	"kite/internal/metrics"
+	"kite/internal/sim"
+)
 
 const (
 	// Headroom is the spare capacity before the payload start, sized so a
@@ -32,12 +37,13 @@ const (
 // concurrent use — like everything else in a simulation, it is owned by the
 // simulation's single goroutine.
 type Buf struct {
-	pool  *Pool
-	arena *Arena // nil for buffers owned by the pool's shared free list
-	off   int
-	end   int
-	refs  int
-	data  [Headroom + MaxFrame]byte
+	pool      *Pool
+	arena     *Arena // nil for buffers owned by the pool's shared free list
+	stageNext *Buf   // intrusive link while parked on a remote-release stage
+	off       int
+	end       int
+	refs      int
+	data      [Headroom + MaxFrame]byte
 }
 
 // Bytes returns the live payload window.
@@ -97,6 +103,8 @@ func (b *Buf) Retain() *Buf {
 
 // Release drops one reference; at zero the buffer returns to its pool.
 // Releasing below zero panics — it means an ownership rule was violated.
+// In a sharded simulation, use ReleaseOn wherever the last reference may be
+// dropped on a shard other than the free list's home.
 //
 //kite:hotpath
 func (b *Buf) Release() {
@@ -107,23 +115,131 @@ func (b *Buf) Release() {
 	if b.refs < 0 {
 		panic("framepool: double release")
 	}
+	b.recycle()
+}
+
+// ReleaseOn drops one reference from code running on shard engine local.
+// If the final reference dies away from the free list's home shard, the
+// buffer parks on the releasing shard's stage for that free list and rides
+// home in the stage's single cross-shard release post — the barrier recycles
+// every buffer a shard freed during the window in one merge visit instead of
+// one post per buffer. Free lists are only ever touched by their home shard
+// (or the barrier, where no shard goroutine is live).
+//
+//kite:hotpath
+func (b *Buf) ReleaseOn(local *sim.Engine) {
+	b.refs--
+	if b.refs > 0 {
+		return
+	}
+	if b.refs < 0 {
+		panic("framepool: double release")
+	}
+	home := b.home()
+	if home == nil || home == local {
+		b.recycle()
+		return
+	}
+	var stages []releaseStage
+	if b.arena != nil {
+		stages = b.arena.stages
+	} else {
+		stages = b.pool.stages
+	}
+	if stages != nil && local.Cluster() != nil {
+		stageRemote(stages, local, home, b)
+		return
+	}
+	local.Post(home, local.Cluster().Lookahead(), sim.PriRelease, recycleArg, b) //kite:alloc-ok pointer boxing does not allocate
+}
+
+// recycleArg is the long-lived post target for cross-shard recycling.
+var recycleArg = func(a any) { a.(*Buf).recycle() }
+
+// releaseStage batches one releasing shard's remote frees for one free list
+// into a single cross-shard post per window. Staged buffers chain through
+// their intrusive stageNext links, so steady-state batching allocates
+// nothing; the stage's flush runs as a PriRelease at the barrier of the
+// window that staged it, draining the chain into the home free list in one
+// visit. Each stage is touched only by its releasing shard mid-window and by
+// the barrier, so no lock is needed.
+type releaseStage struct {
+	head  *Buf
+	armed bool
+	flush func(any)
+}
+
+// newStages sizes the per-releasing-shard stage table for a free list homed
+// on a cluster shard (nil when the home engine is standalone).
+func newStages(home *sim.Engine) []releaseStage {
+	c := home.Cluster()
+	if c == nil {
+		return nil
+	}
+	return make([]releaseStage, c.Shards())
+}
+
+// stageRemote parks b on the releasing shard's stage and arms the stage's
+// once-per-window flush post.
+//
+//kite:hotpath
+func stageRemote(stages []releaseStage, local, home *sim.Engine, b *Buf) {
+	st := &stages[local.ShardID()]
+	b.stageNext = st.head
+	st.head = b
+	if st.armed {
+		return
+	}
+	st.armed = true
+	if st.flush == nil {
+		st.flush = func(any) { //kite:alloc-ok one closure per (free list, releasing shard), cached forever
+			for b := st.head; b != nil; {
+				next := b.stageNext
+				b.stageNext = nil
+				b.recycle()
+				b = next
+			}
+			st.head = nil
+			st.armed = false
+		}
+	}
+	local.Post(home, local.Cluster().Lookahead(), sim.PriRelease, st.flush, nil)
+}
+
+// home returns the engine owning the buffer's destination free list (nil
+// when unpinned).
+func (b *Buf) home() *sim.Engine {
+	if b.arena != nil {
+		return b.arena.home
+	}
+	return b.pool.home
+}
+
+// recycle parks the buffer on its free list. It must run on the list's
+// home shard (or in an unsharded simulation).
+func (b *Buf) recycle() {
 	p := b.pool
 	if b.arena != nil {
 		b.arena.free = append(b.arena.free, b)
 	} else {
 		p.free = append(p.free, b)
 	}
-	p.outstanding--
-	p.recycled++
+	p.outstanding.Add(-1)
+	p.recycled.Add(1)
 	metrics.FramePoolRecycles.Add(1)
 }
 
-// Pool is a per-simulation free list of Bufs.
+// Pool is a per-simulation free list of Bufs. Counters are atomic because
+// in a sharded simulation arenas on different shards draw and recycle
+// concurrently within a window; the free list itself is single-shard (its
+// home), which ReleaseOn enforces by routing remote releases back.
 type Pool struct {
 	free        []*Buf
-	outstanding int
-	gets        uint64
-	recycled    uint64
+	home        *sim.Engine    // shard owning the shared free list; nil = unpinned
+	stages      []releaseStage // per-releasing-shard remote free batches
+	outstanding atomic.Int64
+	gets        atomic.Uint64
+	recycled    atomic.Uint64
 }
 
 // New returns an empty pool; buffers are allocated lazily on first Get and
@@ -146,10 +262,18 @@ func (p *Pool) Get() *Buf {
 	}
 	b.refs = 1
 	b.Reset()
-	p.gets++
-	p.outstanding++
+	p.gets.Add(1)
+	p.outstanding.Add(1)
 	metrics.FramePoolGets.Add(1)
 	return b
+}
+
+// SetHome pins the pool's shared free list to a shard engine. Buffers whose
+// last reference dies elsewhere are staged and posted back rather than
+// recycled in place.
+func (p *Pool) SetHome(e *sim.Engine) {
+	p.home = e
+	p.stages = newStages(e)
 }
 
 // From returns a Buf whose payload is a copy of pkt. Convenience for tests
@@ -164,13 +288,13 @@ func (p *Pool) From(pkt []byte) *Buf {
 
 // Outstanding returns the number of buffers currently held by callers. It
 // must be zero at simulation teardown.
-func (p *Pool) Outstanding() int { return p.outstanding }
+func (p *Pool) Outstanding() int { return int(p.outstanding.Load()) }
 
 // Gets returns the total number of buffers handed out.
-func (p *Pool) Gets() uint64 { return p.gets }
+func (p *Pool) Gets() uint64 { return p.gets.Load() }
 
 // Recycled returns the total number of buffers returned to the free list.
-func (p *Pool) Recycled() uint64 { return p.recycled }
+func (p *Pool) Recycled() uint64 { return p.recycled.Load() }
 
 // Arena is a per-queue partition of a Pool: it has its own LIFO free list,
 // so multi-queue workers recycling frames never touch a shared list, but
@@ -182,6 +306,8 @@ func (p *Pool) Recycled() uint64 { return p.recycled }
 // interleave.
 type Arena struct {
 	parent *Pool
+	home   *sim.Engine    // shard owning this arena's free list; nil = unpinned
+	stages []releaseStage // per-releasing-shard remote free batches
 	free   []*Buf
 }
 
@@ -204,10 +330,16 @@ func (a *Arena) Get() *Buf {
 	}
 	b.refs = 1
 	b.Reset()
-	a.parent.gets++
-	a.parent.outstanding++
+	a.parent.gets.Add(1)
+	a.parent.outstanding.Add(1)
 	metrics.FramePoolGets.Add(1)
 	return b
+}
+
+// SetHome pins this arena's free list to a shard engine (see Pool.SetHome).
+func (a *Arena) SetHome(e *sim.Engine) {
+	a.home = e
+	a.stages = newStages(e)
 }
 
 // Free returns the number of buffers parked in this arena's free list.

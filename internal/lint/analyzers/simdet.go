@@ -3,6 +3,7 @@ package analyzers
 import (
 	"go/ast"
 	"go/types"
+	"strconv"
 
 	"kite/internal/lint/analysis"
 )
@@ -13,13 +14,21 @@ import (
 // friends), the process-global math/rand source, or iterate over a map
 // (whose order varies run to run) without a //kite:orderok justification.
 //
+// Sharded execution adds a concurrency face to the same contract: real
+// goroutines may only appear where the lookahead-window protocol already
+// orders their effects. A `go` statement or a `sync` import in a
+// deterministic package therefore requires a //kite:shardsafe directive
+// stating why scheduling cannot leak into the timeline (shards share
+// nothing mid-window; the barrier merge totally orders cross-shard posts).
+// sync/atomic stays exempt — commutative counter adds are order-blind.
+//
 // The directive lives in the package doc rather than in the analyzer so
 // the contract is visible where the code is; the clean-tree meta-test
 // asserts that internal/sim, internal/core, and internal/experiments all
 // carry it, so the scope cannot silently shrink.
 var Simdet = &analysis.Analyzer{
 	Name: "simdet",
-	Doc:  "//kite:deterministic packages may not use wall-clock time, global math/rand, or unordered map iteration",
+	Doc:  "//kite:deterministic packages may not use wall-clock time, global math/rand, unordered map iteration, or unjustified goroutines/sync",
 	Run:  runSimdet,
 }
 
@@ -61,6 +70,16 @@ func runSimdet(pass *analysis.Pass) error {
 				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
 					if !dirs.suppressed(e.Pos(), "orderok") {
 						pass.Reportf(e.Pos(), "simdet: map iteration order is nondeterministic; sort the keys or justify with //kite:orderok")
+					}
+				}
+			case *ast.GoStmt:
+				if !dirs.suppressed(e.Pos(), "shardsafe") {
+					pass.Reportf(e.Pos(), "simdet: goroutines can leak scheduling into the timeline; prove window isolation with //kite:shardsafe")
+				}
+			case *ast.ImportSpec:
+				if p, err := strconv.Unquote(e.Path.Value); err == nil && p == "sync" {
+					if !dirs.suppressed(e.Pos(), "shardsafe") {
+						pass.Reportf(e.Pos(), "simdet: sync primitives order goroutines outside the window barrier; justify with //kite:shardsafe (sync/atomic is exempt)")
 					}
 				}
 			}

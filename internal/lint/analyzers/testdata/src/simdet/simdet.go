@@ -1,12 +1,15 @@
 // Package simdet exercises the kitelint determinism analyzer: wall-clock
-// reads, the process-global math/rand source, and unordered map iteration
-// inside a //kite:deterministic package.
+// reads, the process-global math/rand source, unordered map iteration, and
+// unjustified goroutines or sync imports inside a //kite:deterministic
+// package.
 //
 //kite:deterministic
 package simdet
 
 import (
 	"math/rand"
+	"sync" // want `sync primitives order goroutines outside the window barrier`
+	"sync/atomic"
 	"time"
 )
 
@@ -36,3 +39,20 @@ func iterateJustified(m map[string]int) int {
 
 // Duration arithmetic stays legal: only clock reads are banned.
 func window(d time.Duration) time.Duration { return 2 * d }
+
+func spawn(fn func()) {
+	go fn() // want `goroutines can leak scheduling into the timeline`
+}
+
+func spawnJustified(fn func()) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { //kite:shardsafe test fixture: joined before the window ends
+		defer wg.Done()
+		fn()
+	}()
+	wg.Wait()
+}
+
+// Atomic counter adds commute, so sync/atomic stays exempt.
+func count(c *atomic.Uint64) { c.Add(1) }

@@ -29,6 +29,7 @@ type Driver struct {
 	costs Costs
 	pool  *framepool.Pool
 
+	shards  []*sim.Engine
 	thread  *sim.Task
 	vifs    map[string]*VIF // by backend path
 	watched map[string]bool // frontend paths already under watch
@@ -60,6 +61,16 @@ func NewDriver(eng *sim.Engine, dom *xen.Domain, bus *xenbus.Bus,
 	bus.Store().Watch(xenbus.BackendRoot(xenbus.DomID(dom.ID), xenstore.DevVif), "netback",
 		func(string, string) { drv.thread.Wake() })
 	return drv
+}
+
+// SetShards pins each VIF queue i to shards[i] (cluster shard engines);
+// the backend-invocation thread moves to the domain's last vCPU, leaving
+// vCPUs 0..len(shards)-1 to the queues. Must be called before any frontend
+// connects.
+func (d *Driver) SetShards(shards []*sim.Engine) {
+	d.shards = shards
+	d.thread = sim.NewTask(d.eng, d.dom.CPUs.CPU(d.dom.CPUs.Len()-1),
+		d.dom.Name+"/vif-invoker", d.costs.WakeLatency, d.scan)
 }
 
 // VIFs returns the live instances.
@@ -165,7 +176,7 @@ func (d *Driver) tryPair(backPath string, frontDom xen.DomID, devid int) {
 		return // store and registry disagree; a later watch retries
 	}
 	vif, err := NewVIF(d.eng, d.dom, frontDom, devid, ch,
-		ports, d.br, d.costs, d.pool, rssSeed)
+		ports, d.br, d.costs, d.pool, rssSeed, d.shards)
 	if err != nil {
 		_ = d.bus.SwitchState(backPath, xenbus.StateClosed)
 		return

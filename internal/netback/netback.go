@@ -19,6 +19,13 @@
 // arena, scratch slices, and pending queues, so queues share nothing on
 // the hot path. Guest-bound frames are steered with the same seeded RSS
 // hash the frontend uses, so both directions of a flow ride one queue.
+//
+// Under a sharded cluster each queue additionally runs on its own cluster
+// shard (the same shard as its frontend peer, so the ring pair has a single
+// owner): workers, event channel, grant copies, and the Tx arena all live
+// there, and the only cross-shard traffic is the matured-frame hand-off to
+// the bridge and the bridge's guest-bound delivery — conservative posts at
+// the bridge hand-off latency.
 package netback
 
 import (
@@ -32,6 +39,11 @@ import (
 	"kite/internal/sim"
 	"kite/internal/xen"
 )
+
+// shardHandoff is the queue<->bridge dispatch latency when queues are
+// pinned to cluster shards; it doubles as the posts' conservative lookahead
+// bound, so it must be at least the cluster's lookahead.
+const shardHandoff = 2 * sim.Microsecond
 
 // Costs parameterizes the backend's software path per OS.
 type Costs struct {
@@ -108,6 +120,12 @@ type VIF struct {
 	queues []*vifQueue
 	rss    netpkt.RSS
 
+	// brInputF is the cached cross-shard post target handing a matured
+	// guest frame to the bridge on the device shard; brBatchF is its
+	// one-post-per-haul counterpart carrying a txBatch.
+	brInputF func(any)
+	brBatchF func(any)
+
 	dead bool
 	down bool // administratively down (ifconfig vifX.Y down)
 }
@@ -116,12 +134,18 @@ type VIF struct {
 // threads pinned to one vCPU, persistent-grant cache, framepool arena, and
 // scratch — nothing here is shared with other queues.
 type vifQueue struct {
-	v    *VIF
-	id   int
-	tx   *netif.TxRing
-	rx   *netif.RxRing
-	port xen.Port
-	cpu  *sim.CPU
+	v       *VIF
+	id      int
+	eng     *sim.Engine // this queue's shard engine (the VIF engine unsharded)
+	sharded bool
+	tx      *netif.TxRing
+	rx      *netif.RxRing
+	port    xen.Port
+	cpu     *sim.CPU
+
+	// rxEnqueueF is the cached cross-shard post target for guest-bound
+	// frames steered to this queue by Deliver.
+	rxEnqueueF func(any)
 
 	pusher    *sim.Task
 	softStart *sim.Task
@@ -153,6 +177,21 @@ type vifQueue struct {
 	txPending sim.FIFO[timedFrame]
 	txDone    *sim.Batch
 
+	// Sharded, matured frames ride to the bridge in txBatch carriers
+	// instead: one cross-shard post per pusher haul, each entry stamped
+	// with its true bridge-arrival time (see VIF.inputBatch). txOut is the
+	// carrier being filled; txOutFree recycles consumed carriers, returned
+	// by the barrier via txOutFreeF.
+	txOut      *txBatch
+	txOutFree  []*txBatch
+	txOutFreeF func(any)
+
+	// brLane is this queue's pinned forwarding lane on the bridge (one
+	// forwarding vCPU + egress FIFO per source queue), which is what makes
+	// the one-post-per-haul replay time-exact: the lane has a single
+	// producer with monotone arrival times.
+	brLane *bridge.Lane
+
 	stats Stats
 }
 
@@ -163,6 +202,43 @@ type timedFrame struct {
 	frame *framepool.Buf
 }
 
+// txBatch carries one pusher haul's guest frames to the bridge shard as a
+// single conservative post. Entries are stamped with each frame's true
+// bridge-arrival time (copy maturity + hand-off latency, nondecreasing
+// within a haul), and the bridge replays them through InputAt, so the
+// one-post-per-haul execution reproduces the exact per-frame timeline.
+// Consumed carriers ride a PriRelease post home and are reclaimed at the
+// window barrier.
+type txBatch struct {
+	q       *vifQueue
+	entries []timedFrame
+}
+
+// takeTxBatch draws a carrier from the queue's free list; the steady state
+// recycles the per-haul high-water set and never allocates.
+func (q *vifQueue) takeTxBatch() *txBatch {
+	if n := len(q.txOutFree); n > 0 {
+		bt := q.txOutFree[n-1]
+		q.txOutFree = q.txOutFree[:n-1]
+		return bt
+	}
+	return &txBatch{q: q, entries: make([]timedFrame, 0, netif.RingSize)} //kite:alloc-ok carrier set grows to the in-flight high-water mark, then recycles
+}
+
+// inputBatch replays one haul's frames into the bridge at their stamped
+// arrival times, then sends the carrier home for barrier reclamation.
+// Runs on the device shard.
+func (v *VIF) inputBatch(a any) {
+	bt := a.(*txBatch)
+	for i := range bt.entries {
+		e := &bt.entries[i]
+		bt.q.brLane.InputAt(v, e.frame, e.at)
+		bt.entries[i] = timedFrame{}
+	}
+	bt.entries = bt.entries[:0]
+	v.eng.Post(bt.q.eng, shardHandoff, sim.PriRelease, bt.q.txOutFreeF, bt) //kite:alloc-ok pointer boxing does not allocate
+}
+
 // NewVIF creates a connected netback instance. The caller (the backend
 // driver) has already read the per-queue ring refs and event channels from
 // xenstore; here the ring pages are mapped (hypercalls charged), event
@@ -171,12 +247,17 @@ type timedFrame struct {
 // is the frontend's published steering seed (ignored for one queue).
 func NewVIF(eng *sim.Engine, dom *xen.Domain, frontDom xen.DomID, devid int,
 	ch *netif.Channel, frontPorts []xen.Port, br *bridge.Bridge, costs Costs,
-	pool *framepool.Pool, rssSeed uint64) (*VIF, error) {
+	pool *framepool.Pool, rssSeed uint64, shards []*sim.Engine) (*VIF, error) {
 
 	if pool == nil {
 		pool = framepool.New()
 	}
 	nq := ch.NumQueues()
+	sharded := len(shards) > 0
+	if sharded && (nq > len(shards) || dom.CPUs.Len() < nq+1) {
+		return nil, fmt.Errorf("netback: vif%d.%d: %d queues need %d shards and %d vCPUs (have %d, %d)",
+			frontDom, devid, nq, nq, nq+1, len(shards), dom.CPUs.Len())
+	}
 	if len(frontPorts) != nq {
 		return nil, fmt.Errorf("netback: vif%d.%d: %d event channels for %d queues",
 			frontDom, devid, len(frontPorts), nq)
@@ -193,20 +274,31 @@ func NewVIF(eng *sim.Engine, dom *xen.Domain, frontDom xen.DomID, devid int,
 		rss:      netpkt.NewRSS(rssSeed),
 		queues:   make([]*vifQueue, nq),
 	}
+	v.brInputF = func(a any) { v.br.Input(v, a.(*framepool.Buf)) }
+	v.brBatchF = v.inputBatch
 	// Map every queue's two ring pages (2 map hypercalls per queue, charged
-	// to the backend).
-	dom.CPUs.Charge(dom.Hypervisor().Costs.Base +
-		sim.Time(2*nq)*dom.Hypervisor().Costs.GrantMapPage)
+	// to the backend; on the misc vCPU when the queue vCPUs are pinned).
+	mapCost := dom.Hypervisor().Costs.Base +
+		sim.Time(2*nq)*dom.Hypervisor().Costs.GrantMapPage
+	if sharded {
+		dom.CPUs.CPU(dom.CPUs.Len() - 1).Charge(mapCost)
+	} else {
+		dom.CPUs.Charge(mapCost)
+	}
 
 	for i := 0; i < nq; i++ {
 		q := &vifQueue{
 			v:       v,
 			id:      i,
+			eng:     eng,
+			sharded: sharded,
 			tx:      ch.Tx.Queue(i),
 			rx:      ch.Rx.Queue(i),
 			pgrants: make(map[xen.GrantRef]*xen.Mapping),
 			arena:   pool.NewArena(),
 		}
+		q.rxEnqueueF = func(a any) { q.rxEnqueue(a.(*framepool.Buf)) }
+		q.txOutFreeF = func(a any) { q.txOutFree = append(q.txOutFree, a.(*txBatch)) } //kite:alloc-ok free list grows to the in-flight high-water mark
 		port, err := dom.BindInterdomain(frontDom, frontPorts[i])
 		if err != nil {
 			return nil, fmt.Errorf("netback: %s: %w", v.name, err)
@@ -217,15 +309,33 @@ func NewVIF(eng *sim.Engine, dom *xen.Domain, frontDom xen.DomID, devid int,
 		}
 		// Per-queue workers spread across the domain's vCPUs (§3.1:
 		// multicore driver domains scale to several guests/NICs; with
-		// multi-queue, to several queues of one guest).
-		q.cpu = dom.CPUs.CPU((int(frontDom) + i) % dom.CPUs.Len())
+		// multi-queue, to several queues of one guest). Sharded, queue i is
+		// pinned to vCPU i on shard i — the same shard as its frontend peer,
+		// so each ring pair has exactly one owning shard.
+		if sharded {
+			q.eng = shards[i]
+			q.cpu = dom.CPUs.CPU(i)
+			q.cpu.SetEngine(q.eng)
+			q.arena.SetHome(q.eng)
+			dom.BindPortCPU(q.port, q.cpu)
+			// Forwarding thread for this queue: vCPU nq+i of the driver
+			// domain (the width beyond the queue workers), degrading to the
+			// last vCPU when the domain is narrower.
+			fwd := nq + i
+			if fwd >= dom.CPUs.Len() {
+				fwd = dom.CPUs.Len() - 1
+			}
+			q.brLane = br.NewLane(dom.CPUs.CPU(fwd))
+		} else {
+			q.cpu = dom.CPUs.CPU((int(frontDom) + i) % dom.CPUs.Len())
+		}
 		name := v.name
 		if nq > 1 {
 			name = fmt.Sprintf("%s-q%d", v.name, i)
 		}
-		q.pusher = sim.NewTask(eng, q.cpu, name+"/pusher", costs.WakeLatency, q.drainTx)
-		q.softStart = sim.NewTask(eng, q.cpu, name+"/soft_start", costs.WakeLatency, q.drainRx)
-		q.txDone = sim.NewBatch(eng, q.flushTx)
+		q.pusher = sim.NewTask(q.eng, q.cpu, name+"/pusher", costs.WakeLatency, q.drainTx)
+		q.softStart = sim.NewTask(q.eng, q.cpu, name+"/soft_start", costs.WakeLatency, q.drainRx)
+		q.txDone = sim.NewBatch(q.eng, q.flushTx)
 		v.queues[i] = q
 	}
 	return v, nil
@@ -295,6 +405,13 @@ func (v *VIF) Shutdown() {
 		}
 		for q.txPending.Len() > 0 {
 			q.txPending.Pop().frame.Release()
+		}
+		if q.txOut != nil {
+			for i := range q.txOut.entries {
+				q.txOut.entries[i].frame.Release()
+			}
+			q.txOut.entries = q.txOut.entries[:0]
+			q.txOut = nil
 		}
 		if len(q.pgrants) > 0 {
 			ms := make([]*xen.Mapping, 0, len(q.pgrants))
@@ -377,32 +494,58 @@ func (q *vifQueue) drainTx() {
 			})
 			bufs = append(bufs, b)
 		}
-		err := hv.CopyGrant(v.dom, ops)
-		done := q.cpu.Charge(sim.Time(len(reqs)) * v.costs.PerPacketTx)
+		err := q.copyGrant(hv, ops)
+		// Charge per frame so maturities spread across the haul: frame k is
+		// ready after k+1 packet costs, not when the whole batch retires.
+		// Lumping the charge would stall the bridge (and the next upcall,
+		// which waits for the vCPU to drain) behind the full haul.
+		now := q.eng.Now()
+		var firstDone sim.Time
 		for i, req := range reqs {
+			done := q.cpu.Charge(v.costs.PerPacketTx)
+			if i == 0 {
+				firstDone = done
+			}
 			status := int8(netif.StatusOK)
 			b := bufs[i]
 			if b == nil || err != nil {
 				status = netif.StatusError
 				q.stats.TxErrors++
 				if b != nil {
-					b.Release()
+					b.ReleaseOn(q.eng)
 				}
 			} else {
 				q.stats.TxFrames++
 				q.stats.TxBytes += uint64(req.Len)
 				metrics.NetQueueTxFrames.Add(1)
-				q.txPending.Push(timedFrame{at: done, frame: b})
+				if q.sharded {
+					// Stage the frame in the haul's carrier, stamped with its
+					// bridge-arrival time; one post moves the whole haul below.
+					if q.txOut == nil {
+						q.txOut = q.takeTxBatch()
+					}
+					q.txOut.entries = append(q.txOut.entries, //kite:alloc-ok entries grow to the haul high-water mark, then recycle
+						timedFrame{at: done + shardHandoff, frame: b})
+				} else {
+					q.txPending.Push(timedFrame{at: done, frame: b})
+				}
 			}
 			q.tx.PushResponse(netif.TxResponse{ID: req.ID, Status: status})
 		}
 		q.ops = ops[:0]
 		q.bufs = bufs[:0]
 		clearBufs(bufs)
-		// One coalesced wake delivers the whole burst to the bridge when
-		// the batched copy and per-frame processing complete.
+		// Sharded: one conservative post carries the whole haul, maturing at
+		// the first frame's arrival; InputAt replays the rest at their
+		// stamped times. firstDone >= now keeps the lookahead bound.
+		if q.txOut != nil && len(q.txOut.entries) > 0 {
+			q.eng.Post(v.eng, q.txOut.entries[0].at-now, sim.PriData, v.brBatchF, q.txOut) //kite:alloc-ok pointer boxing does not allocate
+			q.txOut = nil
+		}
+		// Unsharded: wake the bridge hand-off at the first maturity;
+		// flushTx re-arms itself for the rest of the burst as frames ripen.
 		if q.txPending.Len() > 0 {
-			q.txDone.Arm(done)
+			q.txDone.Arm(firstDone)
 		}
 		if q.tx.PushResponsesAndCheckNotify() {
 			v.dom.Notify(q.port)
@@ -425,13 +568,28 @@ func (q *vifQueue) flushTx() {
 	if v.dead {
 		return
 	}
-	now := v.eng.Now()
+	now := q.eng.Now()
 	for q.txPending.Len() > 0 && q.txPending.Peek().at <= now {
-		v.br.Input(v, q.txPending.Pop().frame)
+		frame := q.txPending.Pop().frame
+		if q.sharded {
+			// The bridge lives on the device shard: conservative hand-off.
+			q.eng.Post(v.eng, shardHandoff, sim.PriData, v.brInputF, frame)
+		} else {
+			v.br.Input(v, frame)
+		}
 	}
 	if p := q.txPending.Peek(); p != nil {
 		q.txDone.Arm(p.at)
 	}
+}
+
+// copyGrant issues the batched hypervisor copy, charging the queue's pinned
+// vCPU when sharded (the pool-level pick would race across shards).
+func (q *vifQueue) copyGrant(hv *xen.Hypervisor, ops []xen.CopyOp) error {
+	if q.sharded {
+		return hv.CopyGrantOn(q.v.dom, q.cpu, ops)
+	}
+	return hv.CopyGrant(q.v.dom, ops)
 }
 
 // Deliver implements bridge.Port: steer a guest-bound frame to its queue
@@ -446,9 +604,33 @@ func (v *VIF) Deliver(frame *framepool.Buf) {
 		return
 	}
 	q := v.queues[v.rss.Queue(frame.Bytes(), len(v.queues))]
+	if q.sharded {
+		// A flooded frame carries one reference per egress port; refcounts
+		// are shard-local, so cut the sharing with a private copy before the
+		// frame leaves this shard (flooding is cold: ARP/broadcast only).
+		if frame.Refs() > 1 {
+			c := v.pool.Get()
+			copy(c.Extend(frame.Len()), frame.Bytes())
+			frame.Release()
+			frame = c
+		}
+		v.eng.Post(q.eng, shardHandoff, sim.PriData, q.rxEnqueueF, frame) //kite:alloc-ok pointer boxing does not allocate
+		return
+	}
+	q.rxEnqueue(frame)
+}
+
+// rxEnqueue queues one guest-bound frame on the queue's shard and wakes its
+// soft_start thread, consuming the reference (dropping when over bound).
+func (q *vifQueue) rxEnqueue(frame *framepool.Buf) {
+	v := q.v
+	if v.dead || v.down {
+		frame.ReleaseOn(q.eng)
+		return
+	}
 	if q.rxQueue.Len() >= v.costs.RxQueueFrames {
 		q.stats.RxQueueDrops++
-		frame.Release()
+		frame.ReleaseOn(q.eng)
 		return
 	}
 	q.rxQueue.Push(frame)
@@ -507,7 +689,7 @@ func (q *vifQueue) drainRx() {
 				Len: frame.Len(),
 			})
 		}
-		err := hv.CopyGrant(v.dom, ops)
+		err := q.copyGrant(hv, ops)
 		cost := sim.Time(len(reqs)) * v.costs.PerPacketRx
 		cost += sim.Time(memcpyBytes) * hv.Costs.CopyBytePerKB / 1024
 		q.cpu.Charge(cost)
@@ -521,7 +703,7 @@ func (q *vifQueue) drainRx() {
 				metrics.NetQueueRxFrames.Add(1)
 			}
 			q.rx.PushResponse(netif.RxResponse{ID: req.ID, Offset: 0, Len: batch[i].Len(), Status: status})
-			batch[i].Release()
+			batch[i].ReleaseOn(q.eng)
 		}
 		q.ops = ops[:0]
 		q.bufs = batch[:0]
@@ -550,7 +732,13 @@ func (q *vifQueue) rxMapping(ref xen.GrantRef) *xen.Mapping {
 		metrics.NetRxPersistHits.Add(1)
 		return m
 	}
-	m, err := v.dom.Hypervisor().MapGrant(v.dom, v.frontDom, ref)
+	var m *xen.Mapping
+	var err error
+	if q.sharded {
+		m, err = v.dom.Hypervisor().MapGrantOn(v.dom, q.cpu, v.frontDom, ref)
+	} else {
+		m, err = v.dom.Hypervisor().MapGrant(v.dom, v.frontDom, ref)
+	}
 	if err != nil {
 		return nil
 	}

@@ -18,6 +18,13 @@
 // (flat legacy keys when single-queue). Tx frames are steered by a
 // deterministic RSS Toeplitz hash over the IPv4 4-tuple so each flow stays
 // on one queue and in order; non-IP traffic rides queue 0.
+//
+// When the rig runs a sharded cluster (Config.Shards), each queue is pinned
+// to one cluster shard and one guest vCPU: its ring work, event channel,
+// and Rx buffer arena live entirely on that shard, and the only cross-shard
+// traffic is the qdisc hand-off from the stack (shard 0) to the queue and
+// the delivery of received frames back — both conservative posts riding the
+// guest's softirq dispatch latency.
 package netfront
 
 import (
@@ -27,6 +34,7 @@ import (
 	"kite/internal/mem"
 	"kite/internal/netif"
 	"kite/internal/netpkt"
+	"kite/internal/netstack"
 	"kite/internal/sim"
 	"kite/internal/xen"
 	"kite/internal/xenbus"
@@ -35,6 +43,12 @@ import (
 
 // txBacklogCap bounds the qdisc backlog (frames) per queue.
 const txBacklogCap = 1024
+
+// shardHandoff is the stack<->queue dispatch latency when queues are pinned
+// to cluster shards: the cost of handing a frame to another vCPU's softirq
+// context. It is also each post's conservative lookahead bound, so it must
+// be at least the cluster's lookahead.
+const shardHandoff = 2 * sim.Microsecond
 
 // Stats counts frontend activity, aggregated over queues in queue order.
 type Stats struct {
@@ -62,12 +76,16 @@ type rxBuf struct {
 type queue struct {
 	d    *Device
 	id   int
+	eng  *sim.Engine // this queue's shard engine (the device engine unsharded)
+	cpu  *sim.CPU    // pinned guest vCPU when sharded, nil otherwise
 	tx   *netif.TxRing
 	rx   *netif.RxRing
 	port xen.Port
 
-	txSlots map[uint16]*txSlot
-	txNext  uint16
+	// txSlots[1..RingSize] are persistently granted Tx pages, preallocated
+	// at connect so the steady state never touches the arena or grant table
+	// (and the map lookup the old lazy cache paid is gone).
+	txSlots [netif.RingSize + 1]txSlot
 	txFree  []uint16
 	// txBacklog queues frames while this queue's ring is full (the guest's
 	// per-queue qdisc); reapTx drains it as slots free up. Each entry holds
@@ -75,7 +93,39 @@ type queue struct {
 	txBacklog sim.FIFO[*framepool.Buf]
 	rxBufs    [netif.RingSize]rxBuf
 
+	// rxArena partitions the frame pool per queue when sharded, so Rx
+	// buffers recycle on this queue's shard; nil means the shared pool.
+	rxArena *framepool.Arena
+
+	// enqueueF is the cached cross-shard qdisc hand-off target.
+	enqueueF func(any)
+
+	// pending holds batch-delivered Tx frames, stamped with their qdisc
+	// arrival times, until they mature; replay admits each to the ring at
+	// exactly the time a per-frame hand-off post would have delivered it.
+	pending sim.FIFO[stamped]
+	replay  *sim.Batch
+
+	// stage accumulates one SendBatch call's frames bound for this queue
+	// until the carrier is posted. Touched only on the device shard.
+	stage *sendBatch
+
 	stats Stats
+}
+
+// stamped is one batched Tx frame with its maturity on the queue's clock.
+// Each entry holds one buffer reference.
+type stamped struct {
+	at    sim.Time
+	frame *framepool.Buf
+}
+
+// sendBatch carries one flush's worth of frames for one queue across the
+// shard boundary in a single post, then rides a release post back to the
+// device shard's free list.
+type sendBatch struct {
+	q       *queue
+	entries []stamped
 }
 
 // Device is one vif frontend instance.
@@ -96,12 +146,20 @@ type Device struct {
 	hashSeed   uint64
 	rss        netpkt.RSS
 	queues     []*queue
+	shards     []*sim.Engine
 	rxAlive    bool
 	started    bool
 
 	recv    func(frame *framepool.Buf)
+	recvF   func(any) // cached post target delivering a frame to the stack
 	onReady func()
 	ready   bool
+
+	// Batched-send plumbing: recycled carriers plus the cached post targets
+	// that run a carrier on its queue's shard and return it here.
+	batchFree  []*sendBatch
+	runBatchF  func(any)
+	batchFreeF func(any)
 }
 
 // Config describes a frontend to create.
@@ -121,6 +179,12 @@ type Config struct {
 	// xenstore so both ends agree); 0 selects a deterministic per-device
 	// default.
 	HashSeed uint64
+	// Shards pins queue i's ring processing to Shards[i] (a cluster shard
+	// engine) on guest vCPU i; the device engine itself must be shard 0 of
+	// the same cluster. The guest needs at least len(Shards)+1 vCPUs so the
+	// stack keeps a vCPU of its own. nil runs every queue on the device
+	// engine (the classic single-heap mode).
+	Shards []*sim.Engine
 	// OnReady fires when the device reaches Connected on both ends.
 	OnReady func()
 }
@@ -155,9 +219,19 @@ func New(eng *sim.Engine, cfg Config) *Device {
 		wantQueues: wantQueues,
 		hashSeed:   seed,
 		rss:        netpkt.NewRSS(seed),
-		frontPath:  xenbus.FrontendPath(xenbus.DomID(cfg.Dom.ID), xenstore.DevVif, cfg.DevID),
+		shards:     cfg.Shards,
 		onReady:    cfg.OnReady,
 	}
+	d.recvF = func(a any) {
+		if d.recv != nil {
+			d.recv(a.(*framepool.Buf))
+		}
+	}
+	d.runBatchF = d.runBatch
+	d.batchFreeF = func(a any) {
+		d.batchFree = append(d.batchFree, a.(*sendBatch)) //kite:alloc-ok free list grows to the in-flight high-water mark
+	}
+	d.frontPath = xenbus.FrontendPath(xenbus.DomID(cfg.Dom.ID), xenstore.DevVif, cfg.DevID)
 	d.backPath = xenbus.BackendPath(xenbus.DomID(cfg.BackDom), xenstore.DevVif, xenbus.DomID(cfg.Dom.ID), cfg.DevID)
 	d.start()
 	return d
@@ -221,19 +295,42 @@ func (d *Device) initRings() {
 		nq = max
 	}
 
+	sharded := len(d.shards) > 0
+	if sharded {
+		if nq > len(d.shards) {
+			panic(fmt.Sprintf("netfront: %d queues but only %d shards", nq, len(d.shards)))
+		}
+		if d.dom.CPUs.Len() < nq+1 {
+			panic(fmt.Sprintf("netfront: sharded guest needs %d vCPUs, has %d", nq+1, d.dom.CPUs.Len()))
+		}
+	}
 	ch := netif.NewChannel(nq)
 	d.queues = make([]*queue, nq)
 	for i := 0; i < nq; i++ {
 		q := &queue{
-			d:       d,
-			id:      i,
-			tx:      ch.Tx.Queue(i),
-			rx:      ch.Rx.Queue(i),
-			txSlots: make(map[uint16]*txSlot),
+			d:   d,
+			id:  i,
+			eng: d.eng,
+			tx:  ch.Tx.Queue(i),
+			rx:  ch.Rx.Queue(i),
 		}
+		if sharded {
+			// Queue i lives on shard i's engine, on guest vCPU i; the stack
+			// keeps the last vCPU. The Rx arena recycles on the same shard.
+			q.eng = d.shards[i]
+			q.cpu = d.dom.CPUs.CPU(i)
+			q.cpu.SetEngine(q.eng)
+			q.rxArena = d.pool.NewArena()
+			q.rxArena.SetHome(q.eng)
+			q.replay = sim.NewBatch(q.eng, q.replayPending)
+		}
+		q.enqueueF = func(a any) { q.enqueue(a.(*framepool.Buf)) }
 		q.port = d.dom.AllocUnbound(d.backDom)
 		if err := d.dom.SetHandler(q.port, q.onEvent); err != nil {
 			panic(fmt.Sprintf("netfront: %v", err))
+		}
+		if q.cpu != nil {
+			d.dom.BindPortCPU(q.port, q.cpu)
 		}
 		d.queues[i] = q
 	}
@@ -264,26 +361,70 @@ func (d *Device) initRings() {
 // connect finishes the handshake: post every queue's full Rx buffer set and
 // go Connected.
 func (d *Device) connect() {
+	// Page and grant setup touches the guest arena and grant table, both
+	// owned by the device shard; after connect the tables are frozen, so
+	// queue shards may read them.
 	for _, q := range d.queues {
+		q.preallocTx()
 		for i := 0; i < netif.RingSize; i++ {
 			page := d.dom.Arena.MustAlloc()
 			ref := d.dom.GrantAccess(d.backDom, page, false)
 			q.rxBufs[i] = rxBuf{page: page, ref: ref}
-			if !q.rx.PushRequest(netif.RxRequest{ID: uint16(i), Ref: ref}) {
-				panic("netfront: fresh rx ring full")
-			}
-		}
-		if q.rx.PushRequestsAndCheckNotify() {
-			d.dom.Notify(q.port)
 		}
 	}
 	d.rxAlive = true
+	for _, q := range d.queues {
+		if q.eng != d.eng {
+			// The queue's rings and event channel are owned by its shard:
+			// hand the initial Rx post and kick over conservatively.
+			d.eng.Post(q.eng, shardHandoff, sim.PriData, postInitialRxArg, q)
+		} else {
+			q.postInitialRx()
+		}
+	}
 	if err := d.bus.SwitchState(d.frontPath, xenbus.StateConnected); err != nil {
 		panic(fmt.Sprintf("netfront: %v", err))
 	}
 	d.ready = true
 	if d.onReady != nil {
 		d.onReady()
+	}
+}
+
+// postInitialRxArg is the long-lived post target for connect-time Rx setup.
+var postInitialRxArg = func(a any) { a.(*queue).postInitialRx() }
+
+// postInitialRx fills the Rx ring with the full posted-buffer set and kicks
+// the backend. Runs on the queue's shard.
+func (q *queue) postInitialRx() {
+	for i := 0; i < netif.RingSize; i++ {
+		if !q.rx.PushRequest(netif.RxRequest{ID: uint16(i), Ref: q.rxBufs[i].ref}) {
+			panic("netfront: fresh rx ring full")
+		}
+	}
+	if q.rx.PushRequestsAndCheckNotify() {
+		q.d.dom.Notify(q.port)
+	}
+}
+
+// preallocTx allocates and grants every persistent Tx page up front, so the
+// send path never touches the arena, the grant table, or a growing map. The
+// free-id stack is rebuilt each (re)connect, skipping ids still in flight.
+func (q *queue) preallocTx() {
+	d := q.d
+	if q.txFree == nil {
+		q.txFree = make([]uint16, 0, netif.RingSize)
+	}
+	q.txFree = q.txFree[:0]
+	for id := netif.RingSize; id >= 1; id-- {
+		s := &q.txSlots[id]
+		if s.page == nil {
+			s.page = d.dom.Arena.MustAlloc()
+			s.ref = d.dom.GrantAccess(d.backDom, s.page, true)
+		}
+		if !s.inFlight {
+			q.txFree = append(q.txFree, uint16(id))
+		}
 	}
 }
 
@@ -302,12 +443,16 @@ func (d *Device) backendGone() {
 		for q.txBacklog.Len() > 0 {
 			q.txBacklog.Pop().Release()
 		}
+		for q.pending.Len() > 0 {
+			q.pending.Pop().frame.Release()
+		}
 	}
 }
 
 // Send implements netstack.NetIf: steer the frame to its queue by RSS flow
-// hash, copy it into a persistently granted page, push a Tx request, kick
-// the backend. Send consumes the caller's buffer reference on every path,
+// hash, then copy it into a persistently granted page, push a Tx request,
+// and kick the backend — on the queue's shard when sharded, via the qdisc
+// hand-off post. Send consumes the caller's buffer reference on every path,
 // including failures.
 //
 //kite:hotpath
@@ -317,15 +462,118 @@ func (d *Device) Send(frame *framepool.Buf) bool {
 		return false
 	}
 	q := d.queues[d.rss.Queue(frame.Bytes(), len(d.queues))]
+	if q.eng != d.eng {
+		// Cross-shard qdisc hand-off: the queue owns the frame from here.
+		// Backpressure is absorbed by the queue's backlog, so the hand-off
+		// itself always succeeds.
+		d.eng.Post(q.eng, shardHandoff, sim.PriData, q.enqueueF, frame) //kite:alloc-ok pointer boxing does not allocate
+		return true
+	}
+	return q.enqueue(frame)
+}
+
+// BatchCapable implements netstack.BatchSender: the stamped batch hand-off
+// is only worth a carrier when queues live on other shards — unsharded, Send
+// is already a direct call.
+func (d *Device) BatchCapable() bool { return len(d.shards) > 0 }
+
+// SendBatch implements netstack.BatchSender: steer every frame of the burst
+// to its queue, then cross each shard boundary once — one carrier post per
+// queue instead of one qdisc hand-off post per frame. Frames may arrive
+// before their stamps mature; the queue shard replays each into the ring at
+// exactly stamp+shardHandoff, the time its own per-frame post would have
+// landed, so the event timeline is unchanged while the per-frame post and
+// merge traffic disappears. Consumes one reference per frame on every path.
+//
+//kite:hotpath
+func (d *Device) SendBatch(frames []netstack.TimedFrame) {
+	for i := range frames {
+		f := &frames[i]
+		if !d.ready {
+			f.Frame.Release()
+			continue
+		}
+		q := d.queues[d.rss.Queue(f.Frame.Bytes(), len(d.queues))]
+		if q.eng == d.eng {
+			q.enqueue(f.Frame)
+			continue
+		}
+		if q.stage == nil {
+			q.stage = d.takeBatch(q)
+		}
+		q.stage.entries = append(q.stage.entries, //kite:alloc-ok entries grow to the burst high-water mark, then recycle
+			stamped{at: f.At + shardHandoff, frame: f.Frame})
+	}
+	for _, q := range d.queues {
+		if q.stage == nil {
+			continue
+		}
+		delay := q.stage.entries[0].at - d.eng.Now()
+		if delay < shardHandoff {
+			delay = shardHandoff
+		}
+		d.eng.Post(q.eng, delay, sim.PriData, d.runBatchF, q.stage) //kite:alloc-ok pointer boxing does not allocate
+		q.stage = nil
+	}
+}
+
+// takeBatch pops a recycled carrier for q, or builds one with ring-deep
+// entry capacity.
+func (d *Device) takeBatch(q *queue) *sendBatch {
+	if n := len(d.batchFree); n > 0 {
+		bt := d.batchFree[n-1]
+		d.batchFree = d.batchFree[:n-1]
+		bt.q = q
+		return bt
+	}
+	return &sendBatch{q: q, entries: make([]stamped, 0, netif.RingSize)} //kite:alloc-ok carrier set grows to the in-flight high-water mark
+}
+
+// runBatch executes a carrier on its queue's shard: move the stamped frames
+// onto the queue's pending FIFO, send the carrier home, and admit whatever
+// has matured.
+func (d *Device) runBatch(a any) {
+	bt := a.(*sendBatch)
+	q := bt.q
+	for i := range bt.entries {
+		q.pending.Push(bt.entries[i])
+		bt.entries[i] = stamped{}
+	}
+	bt.entries = bt.entries[:0]
+	bt.q = nil
+	q.eng.Post(d.eng, shardHandoff, sim.PriRelease, d.batchFreeF, bt) //kite:alloc-ok pointer boxing does not allocate
+	q.replayPending()
+}
+
+// replayPending admits every matured pending frame to the ring, then
+// re-arms one doorbell quantum past the head stamp instead of at the head
+// stamp itself. Each replay fire therefore admits a whole quantum's worth
+// of frames in one visit — the shard-crossing analogue of xmit_more/IRQ
+// coalescing in real pv drivers. A frame is only ever admitted at or after
+// its own stamp, so admission never races ahead of guest production; the
+// price is up to one quantum of added queueing latency per frame.
+func (q *queue) replayPending() {
+	now := q.eng.Now()
+	for q.pending.Len() > 0 && q.pending.Peek().at <= now {
+		q.enqueue(q.pending.Pop().frame)
+	}
+	if p := q.pending.Peek(); p != nil {
+		q.replay.Arm(p.at + shardHandoff)
+	}
+}
+
+// enqueue runs on the queue's shard: validate the frame, push it into the
+// ring (or the qdisc backlog while the ring is full), kick the backend.
+func (q *queue) enqueue(frame *framepool.Buf) bool {
 	if frame.Len() > mem.PageSize {
 		q.stats.TxErrors++
-		frame.Release()
+		frame.ReleaseOn(q.eng)
 		return false
 	}
 	if q.tx.Full() {
 		if q.txBacklog.Len() >= txBacklogCap {
 			q.stats.TxRingFull++
-			frame.Release()
+			frame.ReleaseOn(q.eng)
 			return false
 		}
 		q.txBacklog.Push(frame)
@@ -335,7 +583,7 @@ func (d *Device) Send(frame *framepool.Buf) bool {
 		return false
 	}
 	if q.tx.PushRequestsAndCheckNotify() {
-		d.dom.Notify(q.port)
+		q.d.dom.Notify(q.port)
 	}
 	return true
 }
@@ -352,31 +600,22 @@ func (q *queue) pushTx(frame *framepool.Buf) bool {
 	n := frame.Len()
 	slot.page.CopyInto(0, frame.Bytes())
 	slot.inFlight = true
-	frame.Release()
+	frame.ReleaseOn(q.eng)
 	q.tx.PushRequest(netif.TxRequest{ID: id, Ref: slot.ref, Offset: 0, Len: n})
 	q.stats.TxFrames++
 	q.stats.TxBytes += uint64(n)
 	return true
 }
 
-// allocTxSlot returns a free persistent Tx slot, lazily allocating and
-// granting its page the first time an id is used.
+// allocTxSlot pops a free persistent Tx slot (preallocated at connect).
 func (q *queue) allocTxSlot() (*txSlot, uint16, bool) {
-	if n := len(q.txFree); n > 0 {
-		id := q.txFree[n-1]
-		q.txFree = q.txFree[:n-1]
-		return q.txSlots[id], id, true
-	}
-	d := q.d
-	page, err := d.dom.Arena.Alloc()
-	if err != nil {
+	n := len(q.txFree)
+	if n == 0 {
 		return nil, 0, false
 	}
-	q.txNext++
-	id := q.txNext
-	slot := &txSlot{page: page, ref: d.dom.GrantAccess(d.backDom, page, true)} //kite:alloc-ok tx-slot cache growth; steady state reuses slots
-	q.txSlots[id] = slot                                                       //kite:alloc-ok tx-slot cache growth
-	return slot, id, true
+	id := q.txFree[n-1]
+	q.txFree = q.txFree[:n-1]
+	return &q.txSlots[id], id, true
 }
 
 // onEvent is the queue's interrupt handler: reap Tx completions and deliver
@@ -398,9 +637,12 @@ func (q *queue) reapTx() {
 			}
 			return
 		}
-		slot := q.txSlots[rsp.ID]
-		if slot == nil || !slot.inFlight {
+		if rsp.ID == 0 || int(rsp.ID) > netif.RingSize {
 			continue // backend answered an unknown id; ignore
+		}
+		slot := &q.txSlots[rsp.ID]
+		if !slot.inFlight {
+			continue
 		}
 		// The slot's page and grant persist; only the id is recycled.
 		slot.inFlight = false
@@ -429,9 +671,14 @@ func (q *queue) reapRx() {
 			q.stats.RxFrames++
 			q.stats.RxBytes += uint64(rsp.Len)
 			if d.recv != nil {
-				b := d.pool.Get()
+				b := q.getRxBuf()
 				copy(b.Extend(rsp.Len), buf.page.Data[rsp.Offset:rsp.Offset+rsp.Len])
-				d.recv(b)
+				if q.eng != d.eng {
+					// Deliver to the stack's shard (softirq dispatch).
+					q.eng.Post(d.eng, shardHandoff, sim.PriData, d.recvF, b) //kite:alloc-ok pointer boxing does not allocate
+				} else {
+					d.recv(b)
+				}
 			}
 		}
 		// Recycle the same granted page (Linux netfront's page reuse).
@@ -442,6 +689,15 @@ func (q *queue) reapRx() {
 	if posted > 0 && q.rx.PushRequestsAndCheckNotify() {
 		d.dom.Notify(q.port)
 	}
+}
+
+// getRxBuf draws a delivery buffer from the queue's shard-local arena, or
+// the shared pool when unsharded.
+func (q *queue) getRxBuf() *framepool.Buf {
+	if q.rxArena != nil {
+		return q.rxArena.Get()
+	}
+	return q.d.pool.Get()
 }
 
 // EventPort returns queue 0's event channel port (read by the backend from

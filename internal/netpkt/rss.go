@@ -13,6 +13,13 @@ type RSS struct {
 	// 128-bit Toeplitz key: enough for the 12-byte (96-bit) 4-tuple input
 	// plus the 32-bit sliding window.
 	key [16]byte
+	// tab is the byte-sliced form of the same hash: Toeplitz is linear over
+	// GF(2), so the hash is the XOR of one precomputed table entry per
+	// input byte. Steering runs on every forwarded frame (once per ring
+	// end), so the 12 KiB table pays for itself immediately; it is built
+	// once at construction and the key is kept only for documentation and
+	// tests.
+	tab [12][256]uint32
 }
 
 func splitmix64(x uint64) uint64 {
@@ -31,25 +38,45 @@ func NewRSS(seed uint64) RSS {
 		x = splitmix64(x)
 		binary.BigEndian.PutUint64(r.key[i:], x)
 	}
+	r.buildTables()
 	return r
 }
 
-// toeplitz runs the textbook Toeplitz construction: for every set bit of
-// the input, XOR in the 32-bit window of the key starting at that bit
-// position. The key is held as a 128-bit big-endian register shifted left
-// one bit per input bit.
-func (r *RSS) toeplitz(in *[12]byte) uint32 {
+// buildTables byte-slices the key into tab (see RSS.tab). Called once at
+// construction; tests that plant a key directly call it themselves.
+func (r *RSS) buildTables() {
+	// win[p] is the 32-bit key window starting at input bit p — what the
+	// textbook construction XORs in when input bit p is set.
 	hi := binary.BigEndian.Uint64(r.key[0:8])
 	lo := binary.BigEndian.Uint64(r.key[8:16])
-	var h uint32
-	for _, b := range in {
-		for bit := 7; bit >= 0; bit-- {
-			if b&(1<<uint(bit)) != 0 {
-				h ^= uint32(hi >> 32)
+	var win [96]uint32
+	for p := 0; p < 96; p++ {
+		win[p] = uint32(hi >> 32)
+		hi = hi<<1 | lo>>63
+		lo <<= 1
+	}
+	for i := 0; i < 12; i++ {
+		for v := 0; v < 256; v++ {
+			var h uint32
+			for k := 0; k < 8; k++ {
+				if v&(1<<uint(7-k)) != 0 {
+					h ^= win[i*8+k]
+				}
 			}
-			hi = hi<<1 | lo>>63
-			lo <<= 1
+			r.tab[i][v] = h
 		}
+	}
+}
+
+// toeplitz evaluates the Toeplitz hash via the byte-sliced tables: the
+// textbook construction XORs in the 32-bit key window at every set input
+// bit, and linearity folds each byte's eight windows into one table entry.
+//
+//kite:hotpath
+func (r *RSS) toeplitz(in *[12]byte) uint32 {
+	var h uint32
+	for i, b := range in {
+		h ^= r.tab[i][b]
 	}
 	return h
 }

@@ -13,6 +13,7 @@ func TestToeplitzKnownVectors(t *testing.T) {
 		0x6d, 0x5a, 0x56, 0xda, 0x25, 0x5b, 0x0e, 0xc2,
 		0x41, 0x67, 0x25, 0x3d, 0x43, 0xa3, 0x8f, 0xb0,
 	})
+	r.buildTables()
 	// Source 66.9.149.187:2794 -> destination 161.142.100.80:1766.
 	in := [12]byte{66, 9, 149, 187, 161, 142, 100, 80, 2794 >> 8, 2794 & 0xff, 1766 >> 8, 1766 & 0xff}
 	if h := r.toeplitz(&in); h != 0x51ccc178 {

@@ -37,6 +37,26 @@ type NetIf interface {
 	SetRecv(fn func(frame *framepool.Buf))
 }
 
+// TimedFrame is one frame of a batched device hand-off, stamped with the
+// virtual time its Tx charge completes. Stamps are nondecreasing within a
+// batch.
+type TimedFrame struct {
+	At    sim.Time
+	Frame *framepool.Buf
+}
+
+// BatchSender is an optional NetIf capability: a device that accepts a whole
+// burst of stamped frames in one call. Frames may be handed over before
+// their stamps mature — the device must not let a frame take effect before
+// its At — which lets the stack drain its Tx queue in one flush instead of
+// one timer event per frame. SendBatch consumes one buffer reference per
+// frame on every path; the slice is only valid for the duration of the call.
+type BatchSender interface {
+	NetIf
+	BatchCapable() bool
+	SendBatch(frames []TimedFrame)
+}
+
 // Costs models the OS-dependent software path.
 type Costs struct {
 	PerPacket sim.Time // IP/driver processing per packet
@@ -115,9 +135,15 @@ type Stack struct {
 	// event per frame. The watermarks force completion times monotonic per
 	// direction (a real NIC queue and a real softirq queue never reorder
 	// frames of one flow) even when per-frame costs differ.
-	txq, rxq           sim.FIFO[timedBuf]
-	txFlush, rxFlush   *sim.Batch
-	txLast, rxLast     sim.Time
+	txq, rxq         sim.FIFO[timedBuf]
+	txFlush, rxFlush *sim.Batch
+	txLast, rxLast   sim.Time
+
+	// batch is the device's batched-send capability (nil without one); when
+	// set, flushTx drains the whole Tx queue as one stamped burst through
+	// txScratch, a reused staging slice.
+	batch     BatchSender
+	txScratch []TimedFrame
 
 	stats Stats
 }
@@ -174,8 +200,17 @@ func New(eng *sim.Engine, cfg Config) *Stack {
 	}
 	s.txFlush = sim.NewBatch(eng, s.flushTx)
 	s.rxFlush = sim.NewBatch(eng, s.flushRx)
+	s.setBatch(cfg.Iface)
 	cfg.Iface.SetRecv(s.rxFrame)
 	return s
+}
+
+// setBatch caches the device's batched-send capability, if any.
+func (s *Stack) setBatch(dev NetIf) {
+	s.batch = nil
+	if bs, ok := dev.(BatchSender); ok && bs.BatchCapable() {
+		s.batch = bs
+	}
 }
 
 // IP returns the stack's address.
@@ -205,11 +240,12 @@ func (s *Stack) SeedARP(ip netpkt.IP, mac netpkt.MAC) { s.arp[ip] = mac }
 // dropped and their buffers released.
 func (s *Stack) SetIface(dev NetIf) {
 	s.ifc = dev
+	s.setBatch(dev)
 	dev.SetRecv(s.rxFrame)
 	s.arp = make(map[netpkt.IP]netpkt.MAC)
 	for _, queued := range s.arpPending {
 		for _, b := range queued {
-			b.Release()
+			b.ReleaseOn(s.eng)
 		}
 	}
 	s.arpPending = make(map[netpkt.IP][]*framepool.Buf)
@@ -244,6 +280,23 @@ func (s *Stack) queueTx(cost sim.Time, frame *framepool.Buf) {
 }
 
 func (s *Stack) flushTx() {
+	if s.batch != nil {
+		// Batch-capable device: drain the whole Tx queue as one stamped
+		// burst — the device honours each frame's completion stamp, so no
+		// per-frame pacing event is needed here.
+		for s.txq.Len() > 0 {
+			e := s.txq.Pop()
+			s.txScratch = append(s.txScratch, TimedFrame{At: e.at, Frame: e.buf}) //kite:alloc-ok scratch grows to the burst high-water mark, then recycles
+		}
+		if len(s.txScratch) > 0 {
+			s.batch.SendBatch(s.txScratch)
+			for i := range s.txScratch {
+				s.txScratch[i] = TimedFrame{} // drop frame refs from spare slots
+			}
+			s.txScratch = s.txScratch[:0]
+		}
+		return
+	}
 	now := s.eng.Now()
 	for s.txq.Len() > 0 && s.txq.Peek().at <= now {
 		s.ifc.Send(s.txq.Pop().buf)
@@ -344,7 +397,9 @@ func (s *Stack) flushRx() {
 	for s.rxq.Len() > 0 && s.rxq.Peek().at <= now {
 		b := s.rxq.Pop().buf
 		s.handleFrame(b.Bytes())
-		b.Release()
+		// Delivered frames may live in a queue-shard arena (netfront Rx,
+		// netback Tx): route the last reference back to its home shard.
+		b.ReleaseOn(s.eng)
 	}
 	if p := s.rxq.Peek(); p != nil {
 		s.rxFlush.Arm(p.at)

@@ -1,0 +1,538 @@
+package sim
+
+// This file is the parallel deterministic event core: a Cluster partitions
+// one simulation into per-shard Engines (one heap each), executes them in
+// conservative lookahead windows, and merges cross-shard effects at a
+// deterministic barrier. The design is classic conservative parallel DES
+// (Chandy-Misra-Bryant specialized to a fixed minimum link latency):
+//
+//   - Every cross-shard interaction travels as a *post* with an explicit
+//     delay >= the cluster's lookahead. Physical latencies (NIC wire +
+//     propagation delay, event-channel upcall latency, NVMe command fetch)
+//     give the lookahead a natural lower bound, so posts model real
+//     hand-off delays rather than artificial slack.
+//   - A window runs every shard independently up to the exclusive horizon
+//     `globalMinNextEvent + lookahead`. Any post created inside the window
+//     carries at >= now + lookahead >= horizon, so it can only mature in a
+//     later window: shards never observe each other mid-window, which is
+//     what makes the parallel execution race-free *by construction* and
+//     bit-identical to the serial execution of the same windows.
+//   - At the barrier, outboxes are merged into per-shard inboxes ordered by
+//     the total (timestamp, priority, source shard, source sequence) key,
+//     so merge order never depends on goroutine scheduling.
+//
+// Worker goroutines are an execution detail, not a semantic one: a Cluster
+// produces the same event timeline at any worker count and any GOMAXPROCS,
+// which the determinism matrix in internal/experiments locks in under the
+// race detector.
+//
+// Each shard also owns a partitioned RNG (splitmix-derived from the cluster
+// seed and the shard index), so stochastic elements bound to a shard draw
+// from a stream that is independent of how other shards interleave.
+
+import (
+	"fmt"
+	"sync" //kite:shardsafe WaitGroup is only used at the window barrier
+)
+
+// Cross-shard post priorities: at an equal timestamp, lower runs first.
+// Data hand-offs outrank buffer recycling so a frame is always delivered
+// before the pool slot it vacated is reused.
+//
+// PriRelease posts are resource returns (buffer recycling, carrier
+// reclamation): order-insensitive among themselves and free of timeline
+// effects. The barrier executes them directly in merge order instead of
+// queueing one inbox event per return — returning a resource one window
+// early only ever *adds* availability, so the event timeline is unchanged
+// while the per-frame recycle traffic costs no shard events at all. A
+// release fn must therefore be pure local bookkeeping: it may not read the
+// clock, schedule, or post.
+const (
+	PriData    uint8 = 100
+	PriRelease uint8 = 200
+)
+
+// postRec is one staged cross-shard event. Records live in outbox/inbox
+// slices whose spare capacity is recycled, so steady-state posting does not
+// allocate.
+type postRec struct {
+	at  Time
+	pri uint8
+	src uint16 // source shard (merge tie-break)
+	seq uint64 // per-source post sequence (final tie-break)
+	fn  func(any)
+	arg any
+}
+
+// before is the deterministic merge order: (timestamp, priority, source
+// shard, source sequence). The key is unique — two posts can never compare
+// equal — so the merged order is total and independent of arrival order.
+func (p *postRec) before(o *postRec) bool {
+	if p.at != o.at {
+		return p.at < o.at
+	}
+	if p.pri != o.pri {
+		return p.pri < o.pri
+	}
+	if p.src != o.src {
+		return p.src < o.src
+	}
+	return p.seq < o.seq
+}
+
+// Cluster coordinates a set of shard Engines under conservative lookahead
+// windows. Shard 0 is the "home" shard by convention (setup, devices, and
+// anything not pinned elsewhere); calling Run/Step/RunUntil on any shard
+// engine drives the whole cluster.
+type Cluster struct {
+	shards    []*Engine
+	rngs      []*Rand
+	lookahead Time
+	workers   int // max goroutines per window; <=1 means serial
+
+	windows uint64 // barrier count
+	posted  uint64 // cross-shard posts merged
+}
+
+// NewCluster builds n shard engines sharing one virtual clock, with the
+// given conservative lookahead (the minimum cross-shard post delay) and a
+// seed for the partitioned per-shard RNGs. Workers defaults to 1 (serial);
+// SetWorkers raises it.
+func NewCluster(n int, lookahead Time, seed uint64) *Cluster {
+	if n < 1 {
+		panic("sim: cluster needs at least one shard")
+	}
+	if lookahead <= 0 {
+		panic("sim: cluster lookahead must be positive")
+	}
+	c := &Cluster{lookahead: lookahead, workers: 1}
+	for i := 0; i < n; i++ {
+		e := NewEngine()
+		e.cluster = c
+		e.shard = i
+		e.outbox = make([][]postRec, n)
+		c.shards = append(c.shards, e)
+		// Partitioned RNG: each shard's stream is derived from (seed, shard)
+		// through the splitmix increment, so streams are decorrelated and
+		// stable no matter how many shards run or in what order.
+		c.rngs = append(c.rngs, NewRand(seed^(uint64(i+1)*0x9e3779b97f4a7c15)))
+	}
+	return c
+}
+
+// Shards returns the shard count.
+func (c *Cluster) Shards() int { return len(c.shards) }
+
+// Shard returns shard i's engine.
+func (c *Cluster) Shard(i int) *Engine { return c.shards[i] }
+
+// Rand returns shard i's partitioned RNG.
+func (c *Cluster) Rand(i int) *Rand { return c.rngs[i] }
+
+// Lookahead returns the minimum cross-shard post delay.
+func (c *Cluster) Lookahead() Time { return c.lookahead }
+
+// Windows returns how many lookahead windows (barriers) have run.
+func (c *Cluster) Windows() uint64 { return c.windows }
+
+// Posted returns how many cross-shard posts have been merged.
+func (c *Cluster) Posted() uint64 { return c.posted }
+
+// SetWorkers bounds the goroutines used per window. n <= 1 executes shards
+// serially in shard order; higher values run shards concurrently. The event
+// timeline is identical either way.
+func (c *Cluster) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if n > len(c.shards) {
+		n = len(c.shards)
+	}
+	c.workers = n
+}
+
+// Workers returns the configured per-window worker bound.
+func (c *Cluster) Workers() int { return c.workers }
+
+// nextTime returns the globally earliest pending event time.
+func (c *Cluster) nextTime() (Time, bool) {
+	var best Time
+	found := false
+	for _, s := range c.shards {
+		if t, ok := s.nextLocal(); ok && (!found || t < best) {
+			best, found = t, true
+		}
+	}
+	return best, found
+}
+
+// nextActive returns the globally earliest pending event time, how many
+// shards have pending events, and — when exactly one does — that shard.
+// The sole-active case feeds the express path below.
+func (c *Cluster) nextActive() (Time, *Engine, int) {
+	var best Time
+	var sole *Engine
+	n := 0
+	for _, s := range c.shards {
+		if t, ok := s.nextLocal(); ok {
+			if n == 0 || t < best {
+				best = t
+			}
+			sole = s
+			n++
+		}
+	}
+	if n != 1 {
+		sole = nil
+	}
+	return best, sole, n
+}
+
+// runExpress drives a lone active shard without lookahead windows. While
+// every other shard is empty, the only possible source of new events
+// anywhere is s itself, so s may run arbitrarily far ahead — until it
+// stages a data post, whose destination then has a future event that could
+// eventually boomerang back. Release-only posts do not end the sprint: they
+// carry no events (the barrier executes them as pure bookkeeping, in the
+// same staged order), so shards stay empty no matter how many are staged.
+// The express path is decided purely by event state, so the timeline is
+// identical to the windowed execution at any worker count.
+func (c *Cluster) runExpress(s *Engine, limit Time, budget uint64) uint64 {
+	c.windows++
+	done := s.runFree(limit, budget)
+	c.merge()
+	return done
+}
+
+// runWindow executes every shard up to the exclusive horizon, then merges
+// outboxes at the barrier. budget caps the events executed (approximately,
+// in parallel mode: each shard sees the full remaining budget). It returns
+// the number of events executed.
+func (c *Cluster) runWindow(horizon Time, budget uint64) uint64 {
+	c.windows++
+	var done uint64
+	if c.workers <= 1 || len(c.shards) == 1 {
+		for _, s := range c.shards {
+			done += s.runTo(horizon, budget-done)
+			if done >= budget {
+				break
+			}
+		}
+	} else {
+		var wg sync.WaitGroup
+		for _, s := range c.shards {
+			wg.Add(1)
+			go func(s *Engine) { //kite:shardsafe shards share nothing mid-window; the barrier below orders all cross-shard effects
+				defer wg.Done()
+				s.windowDone = s.runTo(horizon, budget)
+			}(s)
+		}
+		wg.Wait()
+		for _, s := range c.shards {
+			done += s.windowDone
+		}
+	}
+	c.merge()
+	return done
+}
+
+// merge is the deterministic barrier: every outbox drains into its
+// destination shard's inbox, and each inbox is re-sorted by the total
+// (timestamp, priority, source shard, source sequence) key. Keys are unique,
+// so the resulting order does not depend on which shard finished first.
+func (c *Cluster) merge() {
+	// A window that staged no posts has nothing to drain and changed no
+	// inbox; consumed inbox prefixes stay in place until the next
+	// post-carrying barrier compacts them. The per-engine counters are
+	// written only by their own shard mid-window, so summing them here —
+	// after the window's goroutines have joined — is race-free.
+	staged := uint64(0)
+	for _, s := range c.shards {
+		staged += s.stagedPosts
+		s.stagedPosts = 0
+	}
+	if staged == 0 {
+		return
+	}
+	for di, dst := range c.shards {
+		// Compact the consumed prefix so the slice acts as a recycled ring.
+		if dst.inboxHead > 0 {
+			n := copy(dst.inbox, dst.inbox[dst.inboxHead:])
+			for i := n; i < len(dst.inbox); i++ {
+				dst.inbox[i] = postRec{} // drop fn/arg refs held by spare slots
+			}
+			dst.inbox = dst.inbox[:n]
+			dst.inboxHead = 0
+		}
+		grew := false
+		for _, src := range c.shards {
+			ob := src.outbox[di]
+			if len(ob) == 0 {
+				continue
+			}
+			for i := range ob {
+				p := &ob[i]
+				if p.pri == PriRelease {
+					// Resource returns run at the barrier itself, in the same
+					// deterministic (dst, src, seq) order the merge visits
+					// them; no shard goroutine is live here, so touching the
+					// destination shard's free lists is race-free.
+					p.fn(p.arg)
+				} else {
+					dst.inbox = append(dst.inbox, *p) //kite:alloc-ok inbox grows to the burst high-water mark, then recycles
+					grew = true
+				}
+				*p = postRec{}
+			}
+			src.outbox[di] = ob[:0]
+			c.posted += uint64(len(ob))
+		}
+		if grew {
+			sortPosts(dst.inbox)
+		}
+	}
+}
+
+// sortPosts is an allocation-free insertion sort. Inboxes are short (a
+// window's worth of hand-offs) and largely sorted already, which is the
+// regime where insertion sort beats sort.Slice without its closure
+// allocation.
+func sortPosts(ps []postRec) {
+	for i := 1; i < len(ps); i++ {
+		p := ps[i]
+		j := i - 1
+		for j >= 0 && p.before(&ps[j]) {
+			ps[j+1] = ps[j]
+			j--
+		}
+		ps[j+1] = p
+	}
+}
+
+// timeMax is the express-path "no limit" horizon.
+const timeMax = Time(1<<63 - 1)
+
+// Run executes windows until no events remain anywhere.
+func (c *Cluster) Run() {
+	for {
+		t, sole, n := c.nextActive()
+		if n == 0 {
+			return
+		}
+		if sole != nil {
+			c.runExpress(sole, timeMax, ^uint64(0))
+			continue
+		}
+		c.runWindow(t+c.lookahead, ^uint64(0))
+	}
+}
+
+// Step executes the single globally earliest pending event and merges the
+// barrier immediately — the window protocol with a one-event window. Setup
+// code (RunReady) uses this; it produces the same timeline as Run.
+func (c *Cluster) Step() bool {
+	var best *Engine
+	var bt Time
+	for _, s := range c.shards {
+		if t, ok := s.nextLocal(); ok && (best == nil || t < bt) {
+			best, bt = s, t
+		}
+	}
+	if best == nil {
+		return false
+	}
+	best.stepLocal(bt + 1)
+	c.merge()
+	return true
+}
+
+// RunUntil executes every event with timestamp <= t, then advances all
+// shard clocks to exactly t.
+func (c *Cluster) RunUntil(t Time) {
+	for {
+		next, sole, n := c.nextActive()
+		if n == 0 || next > t {
+			break
+		}
+		if sole != nil {
+			c.runExpress(sole, t+1, ^uint64(0))
+			continue
+		}
+		h := next + c.lookahead
+		if h > t+1 {
+			h = t + 1
+		}
+		c.runWindow(h, ^uint64(0))
+	}
+	for _, s := range c.shards {
+		if s.now < t {
+			s.now = t
+		}
+	}
+}
+
+// RunCapped runs until the cluster drains or ~maxEvents have been executed,
+// reporting whether it drained. Like Engine.RunCapped it is a livelock
+// guard, not a precise budget: parallel windows may overshoot slightly.
+func (c *Cluster) RunCapped(maxEvents uint64) bool {
+	var done uint64
+	for done < maxEvents {
+		t, sole, n := c.nextActive()
+		if n == 0 {
+			return true
+		}
+		if sole != nil {
+			done += c.runExpress(sole, timeMax, maxEvents-done)
+			continue
+		}
+		done += c.runWindow(t+c.lookahead, maxEvents-done)
+	}
+	_, ok := c.nextTime()
+	return !ok
+}
+
+// Pending sums scheduled-but-unexecuted events across all shards.
+func (c *Cluster) Pending() int {
+	n := 0
+	for _, s := range c.shards {
+		n += len(s.heap) + (len(s.inbox) - s.inboxHead)
+	}
+	return n
+}
+
+// Processed sums executed events across all shards.
+func (c *Cluster) Processed() uint64 {
+	var n uint64
+	for _, s := range c.shards {
+		n += s.processed
+	}
+	return n
+}
+
+// Post stages fn(arg) to run on dst after delay, carrying pri as the
+// equal-timestamp merge rank. delay must be at least the cluster lookahead —
+// that bound is exactly what lets shards run a window without peeking at
+// each other. Posting is allocation-free in steady state: the record is a
+// value in a recycled outbox slice, fn should be a long-lived func value,
+// and arg a pointer (pointer-to-interface conversions do not allocate).
+//
+//kite:hotpath
+func (e *Engine) Post(dst *Engine, delay Time, pri uint8, fn func(any), arg any) {
+	c := e.cluster
+	if c == nil || dst.cluster != c {
+		panic("sim: Post requires both engines in one cluster")
+	}
+	if delay < c.lookahead {
+		panic(fmt.Sprintf("sim: post delay %v below cluster lookahead %v", delay, c.lookahead))
+	}
+	e.postSeq++
+	e.stagedPosts++
+	if pri != PriRelease {
+		e.dataPosts++
+	}
+	e.outbox[dst.shard] = append(e.outbox[dst.shard], //kite:alloc-ok outbox grows to the burst high-water mark, then recycles
+		postRec{at: e.now + delay, pri: pri, src: uint16(e.shard), seq: e.postSeq, fn: fn, arg: arg})
+}
+
+// Cluster returns the cluster this engine belongs to, or nil for a
+// standalone engine.
+func (e *Engine) Cluster() *Cluster { return e.cluster }
+
+// ShardID returns this engine's shard index within its cluster (0 for a
+// standalone engine).
+func (e *Engine) ShardID() int { return e.shard }
+
+// nextLocal returns the earliest locally pending event time (heap or
+// inbox).
+func (e *Engine) nextLocal() (Time, bool) {
+	hasHeap := len(e.heap) > 0
+	hasIn := e.inboxHead < len(e.inbox)
+	switch {
+	case hasHeap && hasIn:
+		ht, it := e.heap[0].at, e.inbox[e.inboxHead].at
+		if it < ht {
+			return it, true
+		}
+		return ht, true
+	case hasHeap:
+		return e.heap[0].at, true
+	case hasIn:
+		return e.inbox[e.inboxHead].at, true
+	}
+	return 0, false
+}
+
+// stepLocal executes the earliest local event strictly before horizon,
+// reporting whether one ran. At an equal timestamp the local heap runs
+// before relayed posts: a shard's own causally earlier work precedes
+// foreign hand-offs landing at the same instant.
+func (e *Engine) stepLocal(horizon Time) bool {
+	useHeap := false
+	useIn := false
+	var at Time
+	if len(e.heap) > 0 && e.heap[0].at < horizon {
+		useHeap = true
+		at = e.heap[0].at
+	}
+	if e.inboxHead < len(e.inbox) {
+		if p := &e.inbox[e.inboxHead]; p.at < horizon && (!useHeap || p.at < at) {
+			useIn = true
+			useHeap = false
+		}
+	}
+	switch {
+	case useHeap:
+		e.stepHeap()
+	case useIn:
+		p := e.inbox[e.inboxHead]
+		e.inbox[e.inboxHead] = postRec{} // release fn/arg from the recycled slot
+		e.inboxHead++
+		e.now = p.at
+		e.processed++
+		p.fn(p.arg)
+	default:
+		return false
+	}
+	return true
+}
+
+// runTo executes local events strictly before horizon, up to budget, and
+// returns how many ran. Once the inbox is drained — almost immediately, an
+// inbox only ever holds last window's hand-offs — the loop drops into a
+// heap-only fast path as tight as the standalone engine's, so shard
+// execution pays the merge bookkeeping only while merged posts remain.
+func (e *Engine) runTo(horizon Time, budget uint64) uint64 {
+	var done uint64
+	for e.inboxHead < len(e.inbox) {
+		if done >= budget || !e.stepLocal(horizon) {
+			return done
+		}
+		done++
+	}
+	for done < budget && len(e.heap) > 0 && e.heap[0].at < horizon {
+		e.stepHeap()
+		done++
+	}
+	return done
+}
+
+// runFree executes local events with timestamps strictly before limit, up
+// to budget, stopping after any event that stages a data post. Only the
+// express path (runExpress) may call it: the no-peeking guarantee shards
+// normally get from the lookahead horizon instead comes from every other
+// shard being empty.
+func (e *Engine) runFree(limit Time, budget uint64) uint64 {
+	var done uint64
+	seq := e.dataPosts
+	for e.inboxHead < len(e.inbox) {
+		if done >= budget || e.dataPosts != seq || !e.stepLocal(limit) {
+			return done
+		}
+		done++
+	}
+	for done < budget && e.dataPosts == seq && len(e.heap) > 0 && e.heap[0].at < limit {
+		e.stepHeap()
+		done++
+	}
+	return done
+}

@@ -1,0 +1,215 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// buildPingPong wires a deterministic cross-shard workload: each shard runs
+// a local event chain and posts tokens to the next shard with varying
+// delays and priorities. Each shard records its own trace (shards must not
+// share mutable state mid-window — the same rule the real data paths obey);
+// the flattened per-shard traces are the determinism witness.
+func buildPingPong(shards, tokens int, workers int) (*Cluster, [][]string) {
+	const lookahead = 100 * Nanosecond
+	c := NewCluster(shards, lookahead, 42)
+	c.SetWorkers(workers)
+	traces := make([][]string, shards)
+
+	type token struct {
+		id   int
+		hops int
+	}
+	var hop func(shard int) func(any)
+	hops := make([]func(any), shards)
+	for i := 0; i < shards; i++ {
+		i := i
+		hops[i] = func(a any) {
+			t := a.(*token)
+			e := c.Shard(i)
+			traces[i] = append(traces[i], fmt.Sprintf("s%d tok%d hop%d @%d", i, t.id, t.hops, e.Now()))
+			if t.hops <= 0 {
+				return
+			}
+			t.hops--
+			next := (i + 1) % shards
+			// Vary the delay deterministically from the shard RNG. Hops are
+			// always PriData: they carry timeline effects (they re-post), which
+			// PriRelease posts — executed as pure bookkeeping at the barrier —
+			// are not allowed to do.
+			delay := lookahead + Time(c.Rand(i).Intn(3))*50*Nanosecond
+			e.Post(c.Shard(next), delay, PriData, hop(next), t)
+		}
+	}
+	hop = func(shard int) func(any) { return hops[shard] }
+
+	for id := 0; id < tokens; id++ {
+		s := id % shards
+		tk := &token{id: id, hops: 12}
+		at := Time(id) * 10 * Nanosecond
+		c.Shard(s).Schedule(at, func() { hops[s](tk) })
+	}
+	// Local chains interleaved with the posts.
+	for i := 0; i < shards; i++ {
+		i := i
+		n := 0
+		var tick func()
+		tick = func() {
+			traces[i] = append(traces[i], fmt.Sprintf("s%d tick%d @%d", i, n, c.Shard(i).Now()))
+			n++
+			if n < 20 {
+				c.Shard(i).After(130*Nanosecond, tick)
+			}
+		}
+		c.Shard(i).Schedule(5*Nanosecond, tick)
+	}
+	return c, traces
+}
+
+func flatten(traces [][]string) []string {
+	var out []string
+	for _, t := range traces {
+		out = append(out, t...)
+	}
+	return out
+}
+
+func runTrace(shards, tokens, workers int) []string {
+	c, traces := buildPingPong(shards, tokens, workers)
+	c.Shard(0).Run()
+	return flatten(traces)
+}
+
+// TestClusterSerialParallelIdentical is the core determinism property: the
+// event timeline is byte-identical at any worker count and GOMAXPROCS.
+func TestClusterSerialParallelIdentical(t *testing.T) {
+	want := runTrace(4, 8, 1)
+	if len(want) == 0 {
+		t.Fatal("empty trace")
+	}
+	for _, workers := range []int{2, 4} {
+		for _, procs := range []int{1, 4} {
+			prev := runtime.GOMAXPROCS(procs)
+			got := runTrace(4, 8, workers)
+			runtime.GOMAXPROCS(prev)
+			if len(got) != len(want) {
+				t.Fatalf("workers=%d procs=%d: %d events, want %d", workers, procs, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("workers=%d procs=%d: event %d = %q, want %q", workers, procs, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestClusterStepMatchesRun: the one-event-window Step mode used during
+// setup produces the same timeline as full windows.
+func TestClusterStepMatchesRun(t *testing.T) {
+	want := runTrace(3, 5, 1)
+	c, traces := buildPingPong(3, 5, 1)
+	for c.Step() {
+	}
+	got := flatten(traces)
+	if len(got) != len(want) {
+		t.Fatalf("step mode ran %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("step mode event %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TestClusterPostBelowLookaheadPanics: the conservative bound is enforced,
+// not assumed.
+func TestClusterPostBelowLookaheadPanics(t *testing.T) {
+	c := NewCluster(2, 100*Nanosecond, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("post below lookahead did not panic")
+		}
+	}()
+	c.Shard(0).Post(c.Shard(1), 50*Nanosecond, PriData, func(any) {}, nil)
+}
+
+// TestClusterMergeOrdering: data posts landing at one timestamp on one
+// shard run in (source shard, source seq) order regardless of post order,
+// while PriRelease posts are executed as bookkeeping at the barrier of the
+// window that staged them — ahead of next-window data events, and never as
+// destination-shard events.
+func TestClusterMergeOrdering(t *testing.T) {
+	c := NewCluster(3, 100*Nanosecond, 1)
+	var got []string
+	rec := func(tag string) func(any) {
+		return func(any) { got = append(got, tag) }
+	}
+	// Both data posts mature at t=100 on shard 0; post them in an order that
+	// differs from the deterministic key order. The release is staged with
+	// the same maturity but runs at the first barrier instead.
+	c.Shard(2).Post(c.Shard(0), 100*Nanosecond, PriRelease, rec("s2-release"), nil)
+	c.Shard(2).Post(c.Shard(0), 100*Nanosecond, PriData, rec("s2-data"), nil)
+	c.Shard(1).Post(c.Shard(0), 100*Nanosecond, PriData, rec("s1-data"), nil)
+	// A local heap event in the first window runs before the barrier.
+	c.Shard(0).Schedule(100*Nanosecond, func() { got = append(got, "s0-local") })
+	c.Shard(0).Run()
+	want := []string{"s0-local", "s2-release", "s1-data", "s2-data"}
+	if len(got) != len(want) {
+		t.Fatalf("ran %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+	// Releases count as posts but not as destination events: shard 0 executed
+	// only its own local event plus the two merged data posts.
+	if got, want := c.Posted(), uint64(3); got != want {
+		t.Fatalf("posted %d, want %d", got, want)
+	}
+	if got, want := c.Shard(0).Processed(), uint64(3); got != want {
+		t.Fatalf("shard 0 processed %d events, want %d", got, want)
+	}
+}
+
+// TestClusterRunUntil: clocks advance to exactly t on every shard and
+// events beyond t stay pending.
+func TestClusterRunUntil(t *testing.T) {
+	c := NewCluster(2, 100*Nanosecond, 1)
+	var ran []Time
+	c.Shard(0).Schedule(50*Nanosecond, func() { ran = append(ran, 50) })
+	c.Shard(1).Schedule(200*Nanosecond, func() { ran = append(ran, 200) })
+	c.Shard(0).Schedule(400*Nanosecond, func() { ran = append(ran, 400) })
+	c.Shard(0).RunUntil(200 * Nanosecond)
+	if len(ran) != 2 {
+		t.Fatalf("ran %v, want events at 50 and 200", ran)
+	}
+	for i := 0; i < 2; i++ {
+		if c.Shard(i).Now() != 200*Nanosecond {
+			t.Fatalf("shard %d clock %v, want 200ns", i, c.Shard(i).Now())
+		}
+	}
+	if c.Pending() != 1 {
+		t.Fatalf("pending %d, want 1", c.Pending())
+	}
+	c.Shard(0).Run()
+	if len(ran) != 3 || ran[2] != 400 {
+		t.Fatalf("ran %v, want final event at 400", ran)
+	}
+}
+
+// TestClusterPartitionedRand: per-shard streams are stable and distinct.
+func TestClusterPartitionedRand(t *testing.T) {
+	a := NewCluster(3, 100*Nanosecond, 7)
+	b := NewCluster(3, 100*Nanosecond, 7)
+	for i := 0; i < 3; i++ {
+		if a.Rand(i).Uint64() != b.Rand(i).Uint64() {
+			t.Fatalf("shard %d stream not reproducible", i)
+		}
+	}
+	if a.Rand(0).Uint64() == a.Rand(1).Uint64() {
+		t.Fatal("shard streams correlated")
+	}
+}

@@ -29,15 +29,43 @@ func (c *CPU) Name() string { return c.name }
 // Engine returns the engine this CPU is attached to.
 func (c *CPU) Engine() *Engine { return c.eng }
 
+// SetEngine rebinds the CPU to another engine — used to pin a per-queue
+// vCPU to its cluster shard so charges read the shard-local clock and Exec
+// schedules on the shard-local heap. A pinned CPU must only be charged from
+// its shard.
+func (c *CPU) SetEngine(eng *Engine) { c.eng = eng }
+
+// RecentlyActive reports whether this CPU ran work within the past window
+// (or is running now) — the per-CPU form of the pool-level warm check, for
+// interrupt delivery pinned to one vCPU. busyUntil is the time the last
+// charged work completes and never decreases, so it doubles as the
+// last-charge watermark.
+func (c *CPU) RecentlyActive(now, window Time) bool {
+	return c.busyUntil+window >= now && c.busyUntil > 0
+}
+
 // Charge queues cost nanoseconds of work on the CPU and returns the virtual
 // time at which that work completes. The work begins when all previously
 // charged work has drained (or now, if the CPU is idle). Zero cost returns
 // the current completion horizon without consuming time.
 func (c *CPU) Charge(cost Time) Time {
+	return c.ChargeAt(c.eng.Now(), cost)
+}
+
+// ChargeAt queues cost nanoseconds of work that cannot begin before the
+// virtual time at: the work starts at max(now, at, busyUntil). It exists so
+// a batched event can charge for several arrivals in one execution while
+// reproducing exactly the busy-time trace the per-arrival events would have
+// produced — at is each item's true arrival time, which may lie beyond the
+// executing event's timestamp.
+func (c *CPU) ChargeAt(at, cost Time) Time {
 	if cost < 0 {
 		panic(fmt.Sprintf("sim: negative cpu cost %v on %s", cost, c.name))
 	}
 	start := c.eng.Now()
+	if at > start {
+		start = at
+	}
 	if c.busyUntil > start {
 		start = c.busyUntil
 	}
@@ -114,11 +142,38 @@ func (p *CPUPool) Len() int { return len(p.cpus) }
 // CPU returns the i-th CPU.
 func (p *CPUPool) CPU(i int) *CPU { return p.cpus[i] }
 
-// Pick returns the CPU that will become free earliest.
+// Slice returns a sub-pool sharing CPUs [lo,hi) with the parent. The CPUs
+// themselves are shared (busy time charged through either view lands on the
+// same vCPU); only the pool-level last-charge watermark is separate. This
+// is how a component is restricted to the vCPUs left over after per-queue
+// workers were pinned to cluster shards.
+func (p *CPUPool) Slice(lo, hi int) *CPUPool {
+	if lo < 0 || hi > len(p.cpus) || lo >= hi {
+		panic(fmt.Sprintf("sim: bad CPU pool slice [%d,%d) of %d", lo, hi, len(p.cpus)))
+	}
+	return &CPUPool{cpus: p.cpus[lo:hi:hi], lastCharge: p.lastCharge}
+}
+
+// Pick returns the CPU that will become free earliest. An already-idle CPU
+// is taken immediately — scanning on is pointless since no CPU can be freer
+// than idle — which keeps the common underloaded case O(1).
 func (p *CPUPool) Pick() *CPU {
+	return p.pickAt(p.cpus[0].eng.Now())
+}
+
+// pickAt is Pick with an explicit "idle" threshold: a CPU free by at counts
+// as idle. ChargeAt uses it so batched arrivals select the same CPU their
+// individual arrival events would have.
+func (p *CPUPool) pickAt(at Time) *CPU {
 	best := p.cpus[0]
+	if best.busyUntil <= at {
+		return best
+	}
 	for _, c := range p.cpus[1:] {
-		if c.FreeAt() < best.FreeAt() {
+		if c.busyUntil <= at {
+			return c
+		}
+		if c.busyUntil < best.busyUntil {
 			best = c
 		}
 	}
@@ -128,6 +183,17 @@ func (p *CPUPool) Pick() *CPU {
 // Charge places cost on the earliest-free CPU and returns completion time.
 func (p *CPUPool) Charge(cost Time) Time {
 	end := p.Pick().Charge(cost)
+	if end > p.lastCharge {
+		p.lastCharge = end
+	}
+	return end
+}
+
+// ChargeAt places cost that cannot begin before at on the CPU that its
+// arrival event would have picked (see CPU.ChargeAt), returning completion
+// time.
+func (p *CPUPool) ChargeAt(at, cost Time) Time {
+	end := p.pickAt(at).ChargeAt(at, cost)
 	if end > p.lastCharge {
 		p.lastCharge = end
 	}

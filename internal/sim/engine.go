@@ -85,11 +85,27 @@ const arity = 4
 // makes runs bit-for-bit deterministic. Distinct Engine instances share no
 // state at all, so independent simulations may run on concurrent goroutines
 // (the parallel experiment runner relies on exactly this).
+//
+// An Engine may also be one shard of a Cluster (see cluster.go): it then
+// keeps its single-goroutine-per-window discipline, and all cross-shard
+// traffic flows through Post and the barrier-merged inbox. Run/Step and
+// friends on a clustered engine drive the whole cluster.
 type Engine struct {
 	now       Time
 	heap      []event // slice-backed 4-ary min-heap, values not pointers
 	seq       uint64
 	processed uint64
+
+	// Sharding state (nil/zero for a standalone engine; see cluster.go).
+	cluster     *Cluster
+	shard       int
+	outbox      [][]postRec // staged posts, indexed by destination shard
+	postSeq     uint64      // deterministic per-shard post tie-break
+	dataPosts   uint64      // non-release posts staged (ends an express sprint)
+	stagedPosts uint64      // posts staged since the last merge (skip empty barriers)
+	inbox       []postRec   // barrier-merged posts, consumed front to back
+	inboxHead   int
+	windowDone  uint64 // events run in the current window (parallel mode)
 }
 
 // NewEngine returns an engine with the clock at zero and no pending events.
@@ -99,11 +115,22 @@ func NewEngine() *Engine { return &Engine{} }
 func (e *Engine) Now() Time { return e.now }
 
 // Processed returns the number of events executed so far (useful as a
-// livelock guard in tests).
-func (e *Engine) Processed() uint64 { return e.processed }
+// livelock guard in tests); cluster-wide when sharded.
+func (e *Engine) Processed() uint64 {
+	if e.cluster != nil {
+		return e.cluster.Processed()
+	}
+	return e.processed
+}
 
-// Pending returns the number of scheduled-but-unexecuted events.
-func (e *Engine) Pending() int { return len(e.heap) }
+// Pending returns the number of scheduled-but-unexecuted events
+// (cluster-wide when sharded).
+func (e *Engine) Pending() int {
+	if e.cluster != nil {
+		return e.cluster.Pending()
+	}
+	return len(e.heap)
+}
 
 // Schedule runs fn at virtual time at. Scheduling in the past is a
 // programming error and panics: it would silently reorder causality.
@@ -172,12 +199,22 @@ func (e *Engine) siftDown(i int) {
 }
 
 // Step executes the single earliest pending event, advancing the clock to
-// its timestamp. It reports whether an event was executed.
+// its timestamp. It reports whether an event was executed. On a clustered
+// engine it steps the whole cluster (globally earliest event).
 func (e *Engine) Step() bool {
-	n := len(e.heap)
-	if n == 0 {
+	if e.cluster != nil {
+		return e.cluster.Step()
+	}
+	if len(e.heap) == 0 {
 		return false
 	}
+	e.stepHeap()
+	return true
+}
+
+// stepHeap pops and runs the heap root; the heap must be non-empty.
+func (e *Engine) stepHeap() {
+	n := len(e.heap)
 	root := e.heap[0]
 	n--
 	if n > 0 {
@@ -194,11 +231,14 @@ func (e *Engine) Step() bool {
 	e.now = root.at
 	e.processed++
 	root.fn()
-	return true
 }
 
-// Run executes events until none remain.
+// Run executes events until none remain (cluster-wide when sharded).
 func (e *Engine) Run() {
+	if e.cluster != nil {
+		e.cluster.Run()
+		return
+	}
 	for e.Step() {
 	}
 }
@@ -209,6 +249,10 @@ func (e *Engine) Run() {
 func (e *Engine) RunUntil(t Time) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: RunUntil(%v) before now %v", t, e.now))
+	}
+	if e.cluster != nil {
+		e.cluster.RunUntil(t)
+		return
 	}
 	for len(e.heap) > 0 && e.heap[0].at <= t {
 		e.Step()
@@ -222,6 +266,9 @@ func (e *Engine) RunFor(d Time) { e.RunUntil(e.now + d) }
 // RunCapped runs until the queue drains or maxEvents have been processed,
 // reporting whether the queue drained. It guards tests against livelock.
 func (e *Engine) RunCapped(maxEvents uint64) bool {
+	if e.cluster != nil {
+		return e.cluster.RunCapped(maxEvents)
+	}
 	start := e.processed
 	for e.Step() {
 		if e.processed-start >= maxEvents {

@@ -33,9 +33,19 @@ type channel struct {
 	peer    *channel
 
 	handler func()
+	// cpu, when set, pins this endpoint to one vCPU: Notify charges it on
+	// send and raise delivers to it (on its shard engine) on receive. Pinned
+	// ports are what let per-queue event channels live entirely on their
+	// queue's cluster shard.
+	cpu *sim.CPU
 	// pending models the per-channel pending bit: upcalls coalesce while
 	// one is already in flight, exactly like Xen's level-triggered events.
 	pending bool
+	// lastEvent is the virtual time of the last delivered upcall on a
+	// pinned port (shard-local clock): a port streaming interrupts keeps
+	// its vCPU out of deep idle even when the handler work is charged
+	// elsewhere, so recent delivery counts as warmth like recent execution.
+	lastEvent sim.Time
 	// deliverF is the cached upcall closure; raise schedules it without
 	// allocating on every event.
 	deliverF func()
@@ -88,6 +98,19 @@ func (d *Domain) SetHandler(port Port, fn func()) error {
 	return nil
 }
 
+// BindPortCPU pins a local port to one vCPU: sends charge that vCPU and
+// upcalls are delivered on it (through its engine, which may be a cluster
+// shard). Binding is done at connect time, before any traffic flows.
+func (d *Domain) BindPortCPU(port Port, cpu *sim.CPU) error {
+	ch := d.ports[port]
+	if ch == nil {
+		return fmt.Errorf("xen: BindPortCPU on unknown port %d", port)
+	}
+	ch.cpu = cpu
+	ch.deliverF = ch.deliver // eager: first raise may come from another shard's peer
+	return nil
+}
+
 // Notify sends an event on a connected local port (EVTCHNOP_send). The
 // hypercall is charged to the calling domain; delivery to the peer's
 // handler happens after the peer's IRQ latency. Notifying a closed channel
@@ -97,8 +120,12 @@ func (d *Domain) Notify(port Port) {
 	if ch == nil {
 		panic(fmt.Sprintf("xen: notify on unknown port %d in %s", port, d.Name))
 	}
-	d.hv.stats.EventSends++
-	d.charge(d.hv.Costs.Base + d.hv.Costs.EventSend)
+	d.hv.stats.eventSends.Add(1)
+	if ch.cpu != nil {
+		d.chargeOn(ch.cpu, d.hv.Costs.Base+d.hv.Costs.EventSend)
+	} else {
+		d.charge(d.hv.Costs.Base + d.hv.Costs.EventSend)
+	}
 	ch.sends++
 	if ch.state != chanConnected || ch.peer == nil {
 		return
@@ -117,11 +144,24 @@ func (c *channel) raise() {
 		return
 	}
 	c.pending = true
+	cpu := c.cpu
 	eng := c.dom.hv.Eng
-	cpu := c.dom.CPUs.Pick()
 	lat := c.dom.IRQLatency
-	if c.dom.CPUs.RecentlyActive(eng.Now(), warmWindow) {
-		lat /= 16 // vCPU running or in a shallow idle state: cheap upcall
+	if cpu != nil {
+		// Pinned port: deliver on the bound vCPU's engine (its cluster
+		// shard) and judge warmth from that vCPU alone — shared-pool state
+		// is off limits from a shard.
+		eng = cpu.Engine()
+		now := eng.Now()
+		if cpu.RecentlyActive(now, warmWindow) ||
+			(c.lastEvent > 0 && now-c.lastEvent <= warmWindow) {
+			lat /= 16
+		}
+	} else {
+		cpu = c.dom.CPUs.Pick()
+		if c.dom.CPUs.RecentlyActive(eng.Now(), warmWindow) {
+			lat /= 16 // vCPU running or in a shallow idle state: cheap upcall
+		}
 	}
 	if c.deliverF == nil {
 		c.deliverF = c.deliver
@@ -136,6 +176,9 @@ func (c *channel) deliver() {
 		return
 	}
 	c.delivered++
+	if c.cpu != nil {
+		c.lastEvent = c.cpu.Engine().Now()
+	}
 	if c.handler != nil {
 		c.handler()
 	}

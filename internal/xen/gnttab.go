@@ -64,13 +64,25 @@ type Mapping struct {
 // MapGrant maps (owner, ref) into mapper's address space
 // (GNTTABOP_map_grant_ref). Cost is charged to the mapper.
 func (hv *Hypervisor) MapGrant(mapper *Domain, owner DomID, ref GrantRef) (*Mapping, error) {
+	mapper.charge(hv.Costs.Base + hv.Costs.GrantMapPage)
+	return hv.mapGrantCharged(mapper, owner, ref)
+}
+
+// MapGrantOn is MapGrant with the cost charged to a pinned vCPU, for
+// callers running on a cluster shard (grant-table reads are safe from any
+// shard once handshakes froze the tables; only the vCPU pick is not).
+func (hv *Hypervisor) MapGrantOn(mapper *Domain, cpu *sim.CPU, owner DomID, ref GrantRef) (*Mapping, error) {
+	mapper.chargeOn(cpu, hv.Costs.Base+hv.Costs.GrantMapPage)
+	return hv.mapGrantCharged(mapper, owner, ref)
+}
+
+func (hv *Hypervisor) mapGrantCharged(mapper *Domain, owner DomID, ref GrantRef) (*Mapping, error) {
 	od := hv.Domain(owner)
 	if od == nil {
 		return nil, fmt.Errorf("xen: map grant from dead domain %d", owner)
 	}
 	g := od.grants[ref]
-	mapper.charge(hv.Costs.Base + hv.Costs.GrantMapPage)
-	hv.stats.GrantMaps++
+	hv.stats.grantMaps.Add(1)
 	if g == nil || g.revoked {
 		return nil, fmt.Errorf("xen: bad grant ref %d in domain %d", ref, owner)
 	}
@@ -95,7 +107,7 @@ func (hv *Hypervisor) MapGrantBatch(mapper *Domain, owner DomID, refs []GrantRef
 	mapper.charge(hv.Costs.Base + sim.Time(len(refs))*hv.Costs.GrantMapPage)
 	out := make([]*Mapping, 0, len(refs))
 	for _, ref := range refs {
-		hv.stats.GrantMaps++
+		hv.stats.grantMaps.Add(1)
 		g := od.grants[ref]
 		if g == nil || g.revoked || g.remote != mapper.ID {
 			for _, m := range out {
@@ -134,7 +146,7 @@ func (hv *Hypervisor) unmapLocked(m *Mapping) error {
 		return fmt.Errorf("xen: unmap of dead mapping (ref %d)", m.ref)
 	}
 	m.live = false
-	hv.stats.GrantUnmaps++
+	hv.stats.grantUnmaps.Add(1)
 	od := hv.domains[m.owner] // owner may be dead; entry may be gone
 	if od != nil {
 		if g := od.grants[m.ref]; g != nil {
@@ -177,11 +189,29 @@ func (hv *Hypervisor) CopyGrant(caller *Domain, ops []CopyOp) error {
 	if len(ops) == 0 {
 		return nil
 	}
+	caller.charge(hv.copyCost(ops))
+	return hv.copyCharged(caller, ops)
+}
+
+// CopyGrantOn is CopyGrant with the cost charged to a pinned vCPU — the
+// per-queue form used by backends running on cluster shards.
+func (hv *Hypervisor) CopyGrantOn(caller *Domain, cpu *sim.CPU, ops []CopyOp) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	caller.chargeOn(cpu, hv.copyCost(ops))
+	return hv.copyCharged(caller, ops)
+}
+
+func (hv *Hypervisor) copyCost(ops []CopyOp) sim.Time {
 	cost := hv.Costs.Base
 	for _, op := range ops {
 		cost += hv.Costs.GrantCopyPage + sim.Time(op.Len)*hv.Costs.CopyBytePerKB/1024
 	}
-	caller.charge(cost)
+	return cost
+}
+
+func (hv *Hypervisor) copyCharged(caller *Domain, ops []CopyOp) error {
 	for i, op := range ops {
 		src, err := hv.resolveCopyPtr(caller, op.Src, false)
 		if err != nil {
@@ -195,8 +225,8 @@ func (hv *Hypervisor) CopyGrant(caller *Domain, ops []CopyOp) error {
 			return fmt.Errorf("xen: copy op %d overflows a buffer", i)
 		}
 		copy(dst[op.Dst.Offset:op.Dst.Offset+op.Len], src[op.Src.Offset:op.Src.Offset+op.Len])
-		hv.stats.GrantCopies++
-		hv.stats.CopiedBytes += uint64(op.Len)
+		hv.stats.grantCopies.Add(1)
+		hv.stats.copiedBytes.Add(uint64(op.Len))
 	}
 	return nil
 }

@@ -11,6 +11,7 @@ package xen
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"kite/internal/mem"
 	"kite/internal/sim"
@@ -53,6 +54,20 @@ type Stats struct {
 	DomainsBuilt uint64
 }
 
+// atomicStats is the hypervisor's live counter set. Counters are atomic
+// because hypercalls issue from every cluster shard concurrently within a
+// lookahead window; totals are exact and deterministic, and snapshots are
+// only taken between runs.
+type atomicStats struct {
+	eventSends   atomic.Uint64
+	grantMaps    atomic.Uint64
+	grantUnmaps  atomic.Uint64
+	grantCopies  atomic.Uint64
+	copiedBytes  atomic.Uint64
+	hypercallNS  atomic.Int64
+	domainsBuilt atomic.Uint64
+}
+
 // Hypervisor is the single trusted component (paper §3.1). It owns the
 // domain table and implements the hypercall surface the drivers use.
 type Hypervisor struct {
@@ -61,7 +76,7 @@ type Hypervisor struct {
 
 	domains map[DomID]*Domain
 	nextDom DomID
-	stats   Stats
+	stats   atomicStats
 
 	pci map[string]DomID // BDF -> owning domain
 }
@@ -77,10 +92,20 @@ func New(eng *sim.Engine) *Hypervisor {
 }
 
 // Stats returns a snapshot of hypercall counters.
-func (hv *Hypervisor) Stats() Stats { return hv.stats }
+func (hv *Hypervisor) Stats() Stats {
+	return Stats{
+		EventSends:   hv.stats.eventSends.Load(),
+		GrantMaps:    hv.stats.grantMaps.Load(),
+		GrantUnmaps:  hv.stats.grantUnmaps.Load(),
+		GrantCopies:  hv.stats.grantCopies.Load(),
+		CopiedBytes:  hv.stats.copiedBytes.Load(),
+		HypercallNS:  sim.Time(hv.stats.hypercallNS.Load()),
+		DomainsBuilt: hv.stats.domainsBuilt.Load(),
+	}
+}
 
 // ResetStats zeroes the hypercall counters (used between experiment phases).
-func (hv *Hypervisor) ResetStats() { hv.stats = Stats{} }
+func (hv *Hypervisor) ResetStats() { hv.stats = atomicStats{} }
 
 // DomainConfig describes a domain to be built.
 type DomainConfig struct {
@@ -114,7 +139,7 @@ func (hv *Hypervisor) CreateDomain(cfg DomainConfig) *Domain {
 		ports:      make(map[Port]*channel),
 	}
 	hv.domains[id] = d
-	hv.stats.DomainsBuilt++
+	hv.stats.domainsBuilt.Add(1)
 	return d
 }
 
@@ -215,6 +240,14 @@ func (d *Domain) Dead() bool { return d.dead }
 // charge bills a hypercall of the given cost to one of the domain's vCPUs
 // and returns completion time.
 func (d *Domain) charge(cost sim.Time) sim.Time {
-	d.hv.stats.HypercallNS += cost
+	d.hv.stats.hypercallNS.Add(int64(cost))
 	return d.CPUs.Charge(cost)
+}
+
+// chargeOn bills a hypercall to a specific (pinned) vCPU — the form every
+// per-queue data path uses once queues are pinned to cluster shards, since
+// picking from the shared pool would race across shards.
+func (d *Domain) chargeOn(cpu *sim.CPU, cost sim.Time) sim.Time {
+	d.hv.stats.hypercallNS.Add(int64(cost))
+	return cpu.Charge(cost)
 }
