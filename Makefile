@@ -32,17 +32,21 @@ zeroalloc:
 	$(GO) test -count=1 -run 'TestForwardPathZeroAlloc|TestBlockPathZeroAlloc' ./internal/core
 
 # bench snapshots the forward-path pipeline benchmarks into BENCH_net.json
-# (frames per second plus the multi-queue simframes/sec sweep over
-# -queues 1,2,4,8) and the storage pipeline benchmarks into BENCH_blk.json
-# (bytes per second plus the matching simbytes/sec sweep). Each go-test run
-# lands in a temp file first: in a pipeline a benchmark failure would be
-# swallowed by the pipe (make only sees the last command's status) while
-# still truncating the committed snapshot. The temp file makes the failure
-# stop the target before BENCH_*.json is touched, and is kept on failure
-# for inspection.
+# (frames per second, the multi-queue simframes/sec sweep over
+# -queues 1,2,4,8, and the fleet sweep over -guests 16,64,256) and the
+# storage pipeline benchmarks into BENCH_blk.json (bytes per second plus
+# the matching simbytes/sec sweep). Each go-test run lands in a temp file
+# first: in a pipeline a benchmark failure would be swallowed by the pipe
+# (make only sees the last command's status) while still truncating the
+# committed snapshot. The temp file makes the failure stop the target
+# before BENCH_*.json is touched, and is kept on failure for inspection.
+# The fleet family runs a fixed iteration count (handshaking 256 guests
+# per calibration pass would dominate the run) and is gated
+# allocation-free at every scale.
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkForwardPath' -benchmem -count=1 ./internal/core > bench_net.tmp
-	$(GO) run ./cmd/benchjson < bench_net.tmp > BENCH_net.json
+	$(GO) test -run '^$$' -bench 'BenchmarkFleet' -benchtime 50x -benchmem -count=1 ./internal/core >> bench_net.tmp
+	$(GO) run ./cmd/benchjson -gate-allocs 'BenchmarkFleet/guests=16,BenchmarkFleet/guests=64,BenchmarkFleet/guests=256' < bench_net.tmp > BENCH_net.json
 	rm bench_net.tmp
 	cat BENCH_net.json
 	$(GO) test -run '^$$' -bench 'BenchmarkBlockPath' -benchmem -count=1 ./internal/core > bench_blk.tmp

@@ -74,7 +74,8 @@ func benchName(field string) string {
 }
 
 func main() {
-	gate := flag.String("gate", "", "benchmark entry (e.g. BenchmarkForwardPathMQ/queues=4) that must not be slower than its /queues=1 family baseline; exit 1 if it is")
+	gate := flag.String("gate", "", "comma-separated benchmark entries (e.g. BenchmarkForwardPathMQ/queues=4) that must keep parallel_speedup >= 1 against their /queues=1 family baseline; a NAME@MIN suffix lowers the bar (BenchmarkBlockPathMQ/queues=8@0.9). Exit 1 on any miss")
+	gateAllocs := flag.String("gate-allocs", "", "comma-separated benchmark entries that must report 0 allocs/op; exit 1 otherwise")
 	flag.Parse()
 	var results []result
 	sc := bufio.NewScanner(os.Stdin)
@@ -130,13 +131,31 @@ func main() {
 		os.Exit(1)
 	}
 	if *gate != "" {
-		checkGate(results, *gate)
+		for _, g := range strings.Split(*gate, ",") {
+			checkGate(results, strings.TrimSpace(g))
+		}
+	}
+	if *gateAllocs != "" {
+		for _, g := range strings.Split(*gateAllocs, ",") {
+			checkGateAllocs(results, strings.TrimSpace(g))
+		}
 	}
 }
 
-// checkGate fails the run if the gated entry's wall-clock ns/op exceeds its
-// /queues=1 family baseline — i.e. its parallel_speedup is below 1.
+// checkGate fails the run if the gated entry's parallel_speedup against
+// its /queues=1 family baseline is below the gate's threshold (1 by
+// default; a NAME@MIN suffix lowers it for families whose parallel win
+// is real but shy of break-even at the gated point).
 func checkGate(results []result, gate string) {
+	min := 1.0
+	if i := strings.LastIndex(gate, "@"); i >= 0 {
+		v, err := strconv.ParseFloat(gate[i+1:], 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: bad gate threshold %q\n", gate)
+			os.Exit(1)
+		}
+		min, gate = v, gate[:i]
+	}
 	for _, r := range results {
 		if r.Name != gate {
 			continue
@@ -145,9 +164,28 @@ func checkGate(results []result, gate string) {
 			fmt.Fprintf(os.Stderr, "benchjson: gate %s has no /queues=1 family baseline\n", gate)
 			os.Exit(1)
 		}
-		if r.ParallelSpeedup < 1 {
-			fmt.Fprintf(os.Stderr, "benchjson: gate %s is slower than its queues=1 baseline (parallel_speedup=%.3f)\n",
-				gate, r.ParallelSpeedup)
+		if r.ParallelSpeedup < min {
+			fmt.Fprintf(os.Stderr, "benchjson: gate %s is below its queues=1 baseline bar (parallel_speedup=%.3f < %.2f)\n",
+				gate, r.ParallelSpeedup, min)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: gate %s not found in benchmark output\n", gate)
+	os.Exit(1)
+}
+
+// checkGateAllocs fails the run if the gated entry allocates: families
+// like BenchmarkFleet have no /queues=1 wall-clock baseline, but their
+// steady state must stay allocation-free at every scale.
+func checkGateAllocs(results []result, gate string) {
+	for _, r := range results {
+		if r.Name != gate {
+			continue
+		}
+		if r.AllocsPerOp != 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: gate %s allocates (%d allocs/op, %d B/op)\n",
+				gate, r.AllocsPerOp, r.BytesPerOp)
 			os.Exit(1)
 		}
 		return

@@ -37,7 +37,8 @@ func main() {
 	ablations := flag.Bool("ablations", false, "also run the design-choice ablations")
 	blk := flag.Bool("blk", false, "also run the deterministic block-path workload and print its summary")
 	queues := flag.Int("queues", 0, "also run the deterministic multi-queue workload with this many queues per device")
-	cores := flag.Int("cores", 1, "worker goroutines for the multi-queue workload's cluster shards")
+	guests := flag.Int("guests", 0, "also run the fleet workload: this many single-queue tenants on shared DRR service lanes")
+	cores := flag.Int("cores", 1, "worker goroutines for the multi-queue and fleet workloads' cluster shards")
 	flag.Parse()
 
 	scale := experiments.Quick()
@@ -96,6 +97,15 @@ func main() {
 		mq := experiments.MQSummary(scale, *queues, *cores)
 		fmt.Println(mq.String())
 		fmt.Println(mq.ShardLine())
+	}
+	if *guests > 0 {
+		// The fleet workload: N single-queue tenants served by one network
+		// and one storage driver domain through shared DRR service lanes.
+		// Every line is a timeline fact, byte-identical for any
+		// -parallel x -cores choice.
+		fl := experiments.FleetSummary(scale, *guests, *cores)
+		fmt.Println(fl.String())
+		fmt.Println(fl.ShardLine())
 	}
 	fmt.Printf("kitebench: %d experiments, %d simulation events in %.2fs wall (%.2fM events/sec)\n",
 		len(results), events, elapsed.Seconds(),

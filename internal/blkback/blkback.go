@@ -72,6 +72,7 @@ type Stats struct {
 	DeviceOps      uint64
 	MergedRequests uint64 // requests folded into a previous device op
 	PersistentHits uint64 // segment resolutions served from the cache
+	Bytes          uint64 // payload bytes moved (reads + writes)
 	Errors         uint64
 }
 
@@ -122,6 +123,12 @@ type ioQueue struct {
 
 	thread *sim.Task
 	pmaps  map[xen.GrantRef]*xen.Mapping
+
+	// Fleet mode: the shared DRR worker serving this queue (thread is nil
+	// then), its round-list membership flag, and the request deficit.
+	lane       *ServiceLane
+	laneActive bool
+	deficit    int
 
 	// notify coalesces response publication: every respond in a completion
 	// burst queues privately, and one wake publishes the lot and sends at
@@ -208,6 +215,59 @@ func NewInstance(eng *sim.Engine, dom *xen.Domain, frontDom xen.DomID, devid int
 	return inst, nil
 }
 
+// NewInstanceOnLane creates a single-queue blkback instance served by a
+// shared fleet ServiceLane instead of a dedicated request thread: the
+// queue runs on the lane's vCPU and NVMe submission queue, its doorbell
+// joins the lane's demux group, and its ring is drained by the lane's
+// DRR rounds.
+func NewInstanceOnLane(eng *sim.Engine, dom *xen.Domain, frontDom xen.DomID, devid int,
+	ch *blkif.Channel, frontPorts []xen.Port, dev *nvme.Device,
+	baseSector, sectors int64, costs Costs, lane *ServiceLane) (*Instance, error) {
+
+	if ch.NumQueues() != 1 || len(frontPorts) != 1 {
+		return nil, fmt.Errorf("blkback: vbd%d.%d: fleet lanes serve single-queue frontends (%d queues)",
+			frontDom, devid, ch.NumQueues())
+	}
+	inst := &Instance{
+		eng: eng, dom: dom, frontDom: frontDom, devid: devid,
+		name:  fmt.Sprintf("vbd%d.%d", frontDom, devid),
+		costs: costs, dev: dev,
+		base: baseSector, size: sectors,
+	}
+	// The ring page maps on the lane's vCPU (the lane owns this tenant's
+	// hypercall work end to end).
+	lane.cpu.Charge(dom.Hypervisor().Costs.Base + dom.Hypervisor().Costs.GrantMapPage)
+	q := &ioQueue{
+		inst: inst, id: 0,
+		ring:  ch.Rings.Queue(0),
+		cpu:   lane.cpu,
+		sq:    lane.sq,
+		pmaps: make(map[xen.GrantRef]*xen.Mapping),
+		lane:  lane,
+	}
+	port, err := dom.BindInterdomain(frontDom, frontPorts[0])
+	if err != nil {
+		return nil, fmt.Errorf("blkback: %s: %w", inst.name, err)
+	}
+	q.port = port
+	if err := dom.SetHandler(port, q.onEvent); err != nil {
+		return nil, err
+	}
+	if err := lane.demux.Join(port); err != nil {
+		return nil, fmt.Errorf("blkback: %s: %w", inst.name, err)
+	}
+	q.notify = sim.NewBatch(eng, q.flushResponses)
+	inst.queues = []*ioQueue{q}
+	return inst, nil
+}
+
+// Lane returns the fleet service lane serving the instance, or nil for a
+// dedicated-worker instance.
+func (inst *Instance) Lane() *ServiceLane { return inst.queues[0].lane }
+
+// FrontDom returns the tenant guest's domain ID.
+func (inst *Instance) FrontDom() xen.DomID { return inst.frontDom }
+
 // Name returns vbd<dom>.<dev>.
 func (inst *Instance) Name() string { return inst.name }
 
@@ -223,6 +283,7 @@ func (inst *Instance) Stats() Stats {
 		s.DeviceOps += q.stats.DeviceOps
 		s.MergedRequests += q.stats.MergedRequests
 		s.PersistentHits += q.stats.PersistentHits
+		s.Bytes += q.stats.Bytes
 		s.Errors += q.stats.Errors
 	}
 	return s
@@ -234,6 +295,9 @@ func (inst *Instance) QueueStats(i int) Stats { return inst.queues[i].stats }
 // ThreadRuns exposes request-thread activity, summed over shards.
 func (inst *Instance) ThreadRuns() (wakes, runs uint64) {
 	for _, q := range inst.queues {
+		if q.thread == nil {
+			continue // fleet mode: the lane worker serves this queue
+		}
 		wakes += q.thread.Wakes()
 		runs += q.thread.Runs()
 	}
@@ -247,6 +311,9 @@ func (inst *Instance) Shutdown() {
 	}
 	inst.dead = true
 	for _, q := range inst.queues {
+		if q.lane != nil {
+			q.lane.detach(q)
+		}
 		_ = inst.dom.Close(q.port)
 		maps := make([]*xen.Mapping, 0, len(q.pmaps))
 		for _, m := range q.pmaps {
@@ -301,24 +368,42 @@ func (q *ioQueue) onEvent() {
 	if q.inst.dead {
 		return
 	}
+	if q.lane != nil {
+		if q.ring.RequestAvailable() {
+			q.lane.activate(q)
+		}
+		return
+	}
 	if q.ring.RequestAvailable() {
 		q.thread.Wake()
 	}
 }
 
-// drain is the request thread body.
-func (q *ioQueue) drain() {
+// unlimited is the drain budget of a dedicated request thread: it always
+// runs the ring dry.
+const unlimited = int(^uint(0) >> 1)
+
+// drain is the request thread body (dedicated-worker mode).
+func (q *ioQueue) drain() { q.drainBudget(unlimited) }
+
+// drainBudget serves up to budget ring requests, reporting how many were
+// consumed and whether work remains beyond the budget. This is the DRR
+// entry point: a fleet lane passes the member's deficit, a dedicated
+// thread passes unlimited. more is true only when budget — not the ring —
+// ended the drain, so a drained member leaves its lane's round list.
+func (q *ioQueue) drainBudget(budget int) (used int, more bool) {
 	inst := q.inst
 	if inst.dead {
-		return
+		return 0, false
 	}
 	for {
 		q.batch = q.batch[:0]
-		for {
+		for used < budget {
 			req, ok := q.ring.TakeRequest()
 			if !ok {
 				break
 			}
+			used++
 			q.stats.RingRequests++
 			metrics.BlkQueueRequests.Add(1)
 			io, err := q.parse(req)
@@ -330,6 +415,10 @@ func (q *ioQueue) drain() {
 			q.batch = append(q.batch, io)
 		}
 		if len(q.batch) == 0 {
+			if used >= budget {
+				more = q.ring.RequestAvailable()
+				break
+			}
 			if q.ring.FinalCheckForRequests() {
 				continue
 			}
@@ -339,7 +428,12 @@ func (q *ioQueue) drain() {
 		for _, op := range q.ops {
 			q.submit(op)
 		}
+		if used >= budget {
+			more = q.ring.RequestAvailable()
+			break
+		}
 	}
+	return used, more
 }
 
 // parse validates, translates, and resolves one ring request. On error the
@@ -516,6 +610,9 @@ func (q *ioQueue) submit(op *deviceOp) {
 	}
 	q.cpu.Charge(cost)
 	q.stats.DeviceOps++
+	if op.op != blkif.OpFlush {
+		q.stats.Bytes += uint64(op.bytes)
+	}
 
 	switch op.op {
 	case blkif.OpFlush:

@@ -28,8 +28,13 @@ type Driver struct {
 	dev   *nvme.Device
 	costs Costs
 
+	lanes    []*ServiceLane // fleet mode: shared DRR workers
+	laneNext int            // round-robin lane assignment cursor
+	tenants  *xenbus.TenantRegistry
+
 	thread    *sim.Task
 	instances map[string]*Instance
+	order     []*Instance     // live instances in attach order (deterministic walks)
 	watched   map[string]bool // frontend paths already under watch
 
 	// OnInstance is invoked when a new vbd connects (the block status
@@ -55,12 +60,32 @@ func NewDriver(eng *sim.Engine, dom *xen.Domain, bus *xenbus.Bus,
 	return drv
 }
 
-// Instances returns the live blkback instances.
-func (d *Driver) Instances() []*Instance {
-	out := make([]*Instance, 0, len(d.instances))
-	for _, i := range d.instances {
-		out = append(out, i)
+// SetFleet switches the driver into fleet mode with n shared DRR lanes:
+// lane i's worker runs on vCPU i (mod the domain's vCPU count), and
+// connecting single-queue frontends are assigned to lanes round-robin
+// instead of getting dedicated request threads. The backend-invocation
+// thread moves to the domain's last vCPU. Must be called before any
+// frontend connects.
+func (d *Driver) SetFleet(n int) {
+	d.thread = sim.NewTask(d.eng, d.dom.CPUs.CPU(d.dom.CPUs.Len()-1),
+		d.dom.Name+"/vbd-invoker", d.costs.WakeLatency, d.scan)
+	d.lanes = make([]*ServiceLane, n)
+	for i := range d.lanes {
+		d.lanes[i] = NewServiceLane(i, d.dom, d.eng, i%d.dom.CPUs.Len(), d.costs)
 	}
+}
+
+// SetTenantRegistry installs the control-plane ledger the driver reports
+// attach/detach events to.
+func (d *Driver) SetTenantRegistry(r *xenbus.TenantRegistry) { d.tenants = r }
+
+// Lanes returns the fleet service lanes (nil in dedicated-worker mode).
+func (d *Driver) Lanes() []*ServiceLane { return d.lanes }
+
+// Instances returns the live blkback instances in attach order.
+func (d *Driver) Instances() []*Instance {
+	out := make([]*Instance, len(d.order))
+	copy(out, d.order)
 	return out
 }
 
@@ -161,13 +186,25 @@ func (d *Driver) tryPair(backPath string, frontDom xen.DomID, devid int) {
 	if ch.NumQueues() != nq {
 		return // store and registry disagree; a later watch retries
 	}
-	inst, err := NewInstance(d.eng, d.dom, frontDom, devid, ch, ports,
-		d.dev, base, sectors, d.costs)
+	var inst *Instance
+	if d.lanes != nil && nq == 1 {
+		lane := d.lanes[d.laneNext%len(d.lanes)]
+		d.laneNext++
+		inst, err = NewInstanceOnLane(d.eng, d.dom, frontDom, devid, ch, ports,
+			d.dev, base, sectors, d.costs, lane)
+	} else {
+		inst, err = NewInstance(d.eng, d.dom, frontDom, devid, ch, ports,
+			d.dev, base, sectors, d.costs)
+	}
 	if err != nil {
 		_ = d.bus.SwitchState(backPath, xenbus.StateClosed)
 		return
 	}
 	d.instances[backPath] = inst
+	d.order = append(d.order, inst)
+	if d.tenants != nil {
+		d.tenants.AttachVBD(xenbus.DomID(frontDom))
+	}
 	_ = d.bus.SwitchState(backPath, xenbus.StateConnected)
 
 	d.bus.OnStateChange(frontPath, func(s xenbus.State) {
@@ -201,15 +238,30 @@ func (d *Driver) removeInstance(backPath string) {
 		return
 	}
 	delete(d.instances, backPath)
+	for i, in := range d.order {
+		if in == inst {
+			d.order = append(d.order[:i], d.order[i+1:]...)
+			break
+		}
+	}
 	inst.Shutdown()
+	if d.tenants != nil {
+		d.tenants.DetachVBD(xenbus.DomID(inst.frontDom))
+	}
 	if d.bus.Store().Exists(backPath) {
 		_ = d.bus.SwitchState(backPath, xenbus.StateClosed)
 	}
 }
 
-// Shutdown tears down every instance.
+// Shutdown tears down every instance in attach order.
 func (d *Driver) Shutdown() {
-	for path := range d.instances {
-		d.removeInstance(path)
+	for len(d.order) > 0 {
+		inst := d.order[0]
+		for path, in := range d.instances {
+			if in == inst {
+				d.removeInstance(path)
+				break
+			}
+		}
 	}
 }

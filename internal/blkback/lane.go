@@ -1,0 +1,139 @@
+package blkback
+
+import (
+	"fmt"
+
+	"kite/internal/sim"
+	"kite/internal/xen"
+)
+
+// A ServiceLane is the fleet-mode execution unit of the storage backend:
+// one request thread on one pinned vCPU serving the single-queue vbds of
+// many tenant guests. The per-instance request threads that are right for
+// a handful of guests do not survive hundreds — the task count explodes
+// and a guest with a permanently full ring keeps its thread runnable
+// forever, starving quieter tenants that share the vCPU. The lane
+// replaces them with one deficit-round-robin worker: each active member
+// earns a request quantum per round and its ring is drained only up to
+// the accumulated deficit, so a tenant issuing 10x the I/O gets exactly
+// its share per round and no more. Members with leftover backlog stay in
+// the round list; drained members leave and forfeit their deficit.
+//
+// Doorbells batch through one xen.Demux group per lane: every member
+// port joins it and one scan per doorbell quantum serves the whole
+// pending bitmap.
+type ServiceLane struct {
+	id     int
+	eng    *sim.Engine
+	cpu    *sim.CPU
+	sq     int // the lane vCPU's NVMe submission queue
+	demux  *xen.Demux
+	worker *sim.Task
+
+	// quantum is the DRR request allotment added to each active member
+	// per round — several ring bursts, so a round moves useful work per
+	// tenant; fairness does not depend on the exact value.
+	quantum int
+
+	// active is the DRR round list in activation order; compacted in
+	// place each round, so it grows to the member high-water mark and
+	// then never allocates.
+	active []*ioQueue
+
+	rounds uint64
+}
+
+// laneReqQuantum is the default per-tenant request allotment per round.
+const laneReqQuantum = 32
+
+// NewServiceLane creates fleet lane id for dom: worker pinned to the
+// vCPU with index cpuIdx (which is also the lane's NVMe submission
+// queue), doorbells demuxed at the costs' wake latency.
+func NewServiceLane(id int, dom *xen.Domain, eng *sim.Engine, cpuIdx int, costs Costs) *ServiceLane {
+	l := &ServiceLane{
+		id: id, eng: eng, cpu: dom.CPUs.CPU(cpuIdx), sq: cpuIdx,
+		quantum: laneReqQuantum,
+	}
+	l.demux = dom.NewDemux(l.cpu, costs.WakeLatency)
+	l.worker = sim.NewTask(eng, l.cpu, fmt.Sprintf("blkback/lane%d", id),
+		costs.WakeLatency, l.round)
+	return l
+}
+
+// ID returns the lane index.
+func (l *ServiceLane) ID() int { return l.id }
+
+// Members returns how many tenant queues have joined the lane's demux.
+func (l *ServiceLane) Members() int { return l.demux.Members() }
+
+// Rounds returns how many DRR rounds the worker has executed.
+func (l *ServiceLane) Rounds() uint64 { return l.rounds }
+
+// DemuxStats reports the lane's doorbell batching: scans executed and
+// member doorbells absorbed into them.
+func (l *ServiceLane) DemuxStats() (scans, marks uint64) { return l.demux.Stats() }
+
+// detach removes a departing tenant's queue from the lane: its doorbell
+// leaves the demux group and any spot in the current DRR round is
+// forfeited. Runs during Instance.Shutdown, before the queue's port
+// closes — a churning fleet must not pin one dead member slot per
+// departure.
+func (l *ServiceLane) detach(q *ioQueue) {
+	l.demux.Leave(q.port)
+	if q.laneActive {
+		for i, m := range l.active {
+			if m == q {
+				l.active = append(l.active[:i], l.active[i+1:]...)
+				break
+			}
+		}
+		q.laneActive = false
+	}
+	q.deficit = 0
+}
+
+// activate puts q into the DRR round list (if not already there) and
+// wakes the worker.
+//
+//kite:hotpath
+func (l *ServiceLane) activate(q *ioQueue) {
+	if !q.laneActive {
+		q.laneActive = true
+		l.active = append(l.active, q) //kite:alloc-ok round list grows to the member high-water mark
+	}
+	l.worker.Wake()
+}
+
+// round is the worker body: one deficit-round-robin pass over the active
+// members, visiting each in activation order and compacting in place. A
+// member stays in the list only if budget — not work — ran out; another
+// round is scheduled while anyone still has backlog.
+func (l *ServiceLane) round() {
+	n := len(l.active)
+	if n == 0 {
+		return
+	}
+	l.rounds++
+	keep := l.active[:0]
+	for i := 0; i < n; i++ {
+		q := l.active[i]
+		q.deficit += l.quantum
+		used, more := q.drainBudget(q.deficit)
+		q.deficit -= used
+		if more {
+			keep = append(keep, q) // in place: keep's write index never passes i
+		} else {
+			// Drained: leave the round and forfeit the unused deficit, so
+			// idle tenants cannot bank credit against future backlogs.
+			q.laneActive = false
+			q.deficit = 0
+		}
+	}
+	for i := len(keep); i < n; i++ {
+		l.active[i] = nil // drop dangling member references past the compacted tail
+	}
+	l.active = keep
+	if len(l.active) > 0 {
+		l.worker.Wake()
+	}
+}

@@ -146,8 +146,13 @@ type Device struct {
 
 	bufs     *blkpool.Pool
 	readBufs *blkpool.Arena // device-private partition for read staging
-	inflight map[uint64]*reqPart
-	nextID   uint64
+	// inflight is a slot-indexed shadow table (like Linux blkfront's):
+	// request IDs are slot+1 and recycle through freeIDs, so the table
+	// grows to the in-flight high-water mark (bounded by ring capacity)
+	// and never churns — a map keyed by an ever-increasing ID slowly
+	// accretes overflow buckets and bleeds heap bytes forever.
+	inflight []*reqPart
+	freeIDs  []uint64
 
 	partFree   []*reqPart
 	callerFree []*callerOp
@@ -199,7 +204,6 @@ func New(eng *sim.Engine, cfg Config) *Device {
 		wantQueues: wantQueues,
 		bufs:       bufs,
 		readBufs:   bufs.NewArena(),
-		inflight:   make(map[uint64]*reqPart),
 		onReady:    cfg.OnReady,
 	}
 	d.bus.OnStateChange(d.backPath, func(s xenbus.State) {
@@ -545,6 +549,33 @@ func (q *queue) pumpPending() {
 
 // pushRequest builds and pushes one ring request; false if the ring is
 // full.
+// allocID parks part in the shadow table and returns its request ID
+// (slot+1; 0 never appears on the ring, so a zero response ID is noise).
+func (d *Device) allocID(part *reqPart) uint64 {
+	if n := len(d.freeIDs); n > 0 {
+		id := d.freeIDs[n-1]
+		d.freeIDs = d.freeIDs[:n-1]
+		d.inflight[id-1] = part
+		return id
+	}
+	d.inflight = append(d.inflight, part) //kite:alloc-ok shadow table grows to the in-flight high-water mark
+	return uint64(len(d.inflight))
+}
+
+// takeInflight claims the in-flight part for a response ID and recycles
+// the slot; nil for an ID the table does not know.
+func (d *Device) takeInflight(id uint64) *reqPart {
+	if id == 0 || id > uint64(len(d.inflight)) {
+		return nil
+	}
+	part := d.inflight[id-1]
+	if part != nil {
+		d.inflight[id-1] = nil
+		d.freeIDs = append(d.freeIDs, id) //kite:alloc-ok free list grows to the in-flight high-water mark
+	}
+	return part
+}
+
 func (q *queue) pushRequest(op blkif.Op, sector int64, size int, writeData []byte, readOff int, caller *callerOp) bool {
 	d := q.d
 	nsegs := (size + mem.PageSize - 1) / mem.PageSize
@@ -552,10 +583,9 @@ func (q *queue) pushRequest(op blkif.Op, sector int64, size int, writeData []byt
 	if q.ring.Full() {
 		return false
 	}
-	d.nextID++
-	id := d.nextID
 	part := d.getPart()
 	part.op, part.parent, part.q = op, caller, q
+	id := d.allocID(part)
 
 	for i := 0; i < nsegs; i++ {
 		segBytes := size - i*mem.PageSize
@@ -602,7 +632,6 @@ func (q *queue) pushRequest(op blkif.Op, sector int64, size int, writeData []byt
 		req.Segs = part.segs
 	}
 
-	d.inflight[id] = part //kite:alloc-ok in-flight table reuses buckets; entries deleted on completion
 	d.dom.CPUs.Charge(cost)
 	d.stats.RingRequests++
 	if !q.ring.PushRequest(req) {
@@ -619,11 +648,9 @@ func (q *queue) pushFlush(caller *callerOp) bool {
 	if q.ring.Full() {
 		return false
 	}
-	d.nextID++
-	id := d.nextID
 	part := d.getPart()
 	part.op, part.parent, part.q = blkif.OpFlush, caller, q
-	d.inflight[id] = part //kite:alloc-ok in-flight table reuses buckets; entries deleted on completion
+	id := d.allocID(part)
 	q.ring.PushRequest(blkif.Request{ID: id, Op: blkif.OpFlush})
 	d.stats.RingRequests++
 	if q.ring.PushRequestsAndCheckNotify() {
@@ -645,11 +672,10 @@ func (q *queue) onEvent() {
 			}
 			break
 		}
-		part := d.inflight[rsp.ID]
+		part := d.takeInflight(rsp.ID)
 		if part == nil {
 			continue
 		}
-		delete(d.inflight, rsp.ID)
 		d.completePart(part, rsp.Status)
 	}
 	q.pumpPending()

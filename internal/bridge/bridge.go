@@ -29,6 +29,7 @@ type Stats struct {
 	Flooded   uint64
 	Learned   uint64
 	Dropped   uint64 // no ports to forward to
+	Aged      uint64 // entries evicted by AgeFDB
 }
 
 // Bridge is a learning L2 switch running in the driver domain.
@@ -42,7 +43,7 @@ type Bridge struct {
 	PerFrameCost sim.Time
 
 	ports []Port
-	fdb   map[netpkt.MAC]Port
+	fdb   fdb
 	stats Stats
 
 	// outq holds forwarded frames until their CPU charge completes; one
@@ -67,8 +68,8 @@ func New(eng *sim.Engine, cpus *sim.CPUPool, name string) *Bridge {
 	b := &Bridge{
 		eng: eng, cpus: cpus, name: name,
 		PerFrameCost: 300 * sim.Nanosecond,
-		fdb:          make(map[netpkt.MAC]Port),
 	}
+	b.fdb.init()
 	b.deliver = sim.NewBatch(eng, b.flushDeliveries)
 	return b
 }
@@ -101,15 +102,23 @@ func (b *Bridge) RemovePort(p Port) {
 			break
 		}
 	}
-	for mac, port := range b.fdb {
-		if port == p {
-			delete(b.fdb, mac)
-		}
-	}
+	b.fdb.removePort(p)
 }
 
 // Lookup returns the port a MAC was learned on, or nil.
-func (b *Bridge) Lookup(mac netpkt.MAC) Port { return b.fdb[mac] }
+func (b *Bridge) Lookup(mac netpkt.MAC) Port { return b.fdb.lookup(mac) }
+
+// FDBLen returns the number of learned MAC entries.
+func (b *Bridge) FDBLen() int { return b.fdb.len() }
+
+// AgeFDB evicts entries idle longer than maxIdle and returns the count —
+// the periodic sweep the network application runs so departed guests do
+// not pin table space (brconfig's address timeout).
+func (b *Bridge) AgeFDB(maxIdle sim.Time) int {
+	n := b.fdb.age(b.eng.Now(), maxIdle)
+	b.stats.Aged += uint64(n)
+	return n
+}
 
 // FrameDevice is any frame-level device (a physical NIC, or a stack-less
 // interface) that can be attached to the bridge. Send consumes one buffer
@@ -193,8 +202,7 @@ func (b *Bridge) input(from Port, frame *framepool.Buf, at sim.Time, l *Lane) {
 	copy(src[:], pkt[6:12])
 
 	if src != netpkt.Broadcast {
-		if old := b.fdb[src]; old != from {
-			b.fdb[src] = from
+		if b.fdb.learn(src, from, b.eng.Now()) {
 			b.stats.Learned++
 		}
 	}
@@ -206,7 +214,7 @@ func (b *Bridge) input(from Port, frame *framepool.Buf, at sim.Time, l *Lane) {
 		done = b.cpus.ChargeAt(at, b.PerFrameCost)
 	}
 	if dst != netpkt.Broadcast {
-		if out := b.fdb[dst]; out != nil {
+		if out := b.fdb.lookup(dst); out != nil {
 			if out == from {
 				b.stats.Dropped++ // destination is behind the source port
 				frame.ReleaseOn(b.eng)

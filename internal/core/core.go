@@ -137,7 +137,11 @@ func newSystem(seed uint64, cluster *sim.Cluster) *System {
 	}
 	if cluster != nil {
 		// Free lists live on shard 0; remote releases post back home.
+		// Releases staged on queue shards arrive a lookahead window late,
+		// so pre-size the shared list: stacks and NICs must never allocate
+		// just because a recycled frame is still in flight between shards.
 		s.Pool.SetHome(eng)
+		s.Pool.Prealloc(2 * netif.RingSize)
 	}
 	return s
 }
@@ -185,6 +189,12 @@ type NetworkDomainConfig struct {
 	// VCPUs overrides the profile's vCPU count (§5 uses 1; the design
 	// supports more for I/O scaling).
 	VCPUs int
+	// Fleet switches the netback driver into fleet mode on a sharded
+	// system: shared DRR service lanes (one per queue shard) serve many
+	// single-queue tenants instead of per-VIF dedicated workers. The
+	// domain needs 2*lanes+1 vCPUs (lane workers, bridge forwarding,
+	// invoker); VCPUs defaults to that when unset.
+	Fleet bool
 }
 
 // NetworkDomain is a running network driver domain: the physical NIC, the
@@ -197,6 +207,10 @@ type NetworkDomain struct {
 	Bridge  *bridge.Bridge
 	Driver  *netback.Driver
 	NIC     *nic.NIC
+
+	// Tenants is the driver's attach/detach ledger in fleet mode (nil
+	// otherwise).
+	Tenants *xenbus.TenantRegistry
 
 	// NATRouter is non-nil in NAT mode.
 	router *natRouter
@@ -252,6 +266,10 @@ func (s *System) CreateNetworkDomain(cfg NetworkDomainConfig) (*NetworkDomain, e
 	vcpus := profile.VCPUs
 	if cfg.VCPUs > 0 {
 		vcpus = cfg.VCPUs
+	} else if cfg.Fleet {
+		if qs := s.QueueShards(); qs != nil {
+			vcpus = 2*len(qs) + 1
+		}
 	}
 	dom := s.HV.CreateDomain(xen.DomainConfig{
 		Name: fmt.Sprintf("netdd-%s", cfg.Kind), VCPUs: vcpus,
@@ -281,7 +299,13 @@ func (s *System) CreateNetworkDomain(cfg NetworkDomainConfig) (*NetworkDomain, e
 		}
 		nd.Driver = netback.NewDriver(s.Eng, dom, s.Bus, s.NetReg, nd.Bridge, costs, s.Pool)
 		if qs := s.QueueShards(); qs != nil {
-			nd.Driver.SetShards(qs)
+			if cfg.Fleet {
+				nd.Driver.SetFleet(qs)
+				nd.Tenants = xenbus.NewTenantRegistry(s.Bus, xenbus.DomID(dom.ID))
+				nd.Driver.SetTenantRegistry(nd.Tenants)
+			} else {
+				nd.Driver.SetShards(qs)
+			}
 		}
 		nd.ready = true
 	}
@@ -306,6 +330,10 @@ type StorageDomainConfig struct {
 	// VCPUs overrides the profile's vCPU count; blkback advertises one
 	// hardware queue per vCPU, so multi-queue vbds need VCPUs > 1.
 	VCPUs int
+	// FleetLanes switches the blkback driver into fleet mode with this
+	// many shared DRR request lanes serving single-queue tenants; VCPUs
+	// defaults to FleetLanes+1 (lane workers + invoker).
+	FleetLanes int
 }
 
 // StorageDomain is a running storage driver domain.
@@ -315,6 +343,10 @@ type StorageDomain struct {
 	Kind    DriverKind
 	Driver  *blkback.Driver
 	Device  *nvme.Device
+
+	// Tenants is the driver's attach/detach ledger in fleet mode (nil
+	// otherwise).
+	Tenants *xenbus.TenantRegistry
 
 	ready bool
 }
@@ -340,6 +372,8 @@ func (s *System) CreateStorageDomain(cfg StorageDomainConfig) (*StorageDomain, e
 	vcpus := profile.VCPUs
 	if cfg.VCPUs > 0 {
 		vcpus = cfg.VCPUs
+	} else if cfg.FleetLanes > 0 {
+		vcpus = cfg.FleetLanes + 1
 	}
 	dom := s.HV.CreateDomain(xen.DomainConfig{
 		Name: fmt.Sprintf("blkdd-%s", cfg.Kind), VCPUs: vcpus,
@@ -353,6 +387,11 @@ func (s *System) CreateStorageDomain(cfg StorageDomainConfig) (*StorageDomain, e
 		// The block status application (§4.4) is the driver's OnInstance
 		// observer; the driver itself holds the watch thread.
 		sd.Driver = blkback.NewDriver(s.Eng, dom, s.Bus, s.BlkReg, cfg.Device, costs)
+		if cfg.FleetLanes > 0 {
+			sd.Driver.SetFleet(cfg.FleetLanes)
+			sd.Tenants = xenbus.NewTenantRegistry(s.Bus, xenbus.DomID(dom.ID))
+			sd.Driver.SetTenantRegistry(sd.Tenants)
+		}
 		sd.ready = true
 	}
 	if cfg.Boot {
@@ -395,6 +434,13 @@ type GuestConfig struct {
 	// VCPUs overrides the profile's vCPU count (sharded rigs give the guest
 	// one vCPU per queue plus one for the stack).
 	VCPUs int
+	// Fleet marks the guest as one tenant of a fleet-mode network domain
+	// (NetworkDomainConfig.Fleet): its single-queue vif is pinned to the
+	// cluster shard of service lane FleetLane, and the lane hint is
+	// published in the device's backend directory so the driver's
+	// assignment matches the pinning.
+	Fleet     bool
+	FleetLane int
 }
 
 // Guest is a DomU with its stack, frontends, and (optionally) a mounted
@@ -410,6 +456,10 @@ type Guest struct {
 
 	devID    int
 	netDevID int
+	// fleet tenancy survives reattach: a replugged vif must land back on
+	// the same service lane (and cluster shard) it was pinned to.
+	fleet     bool
+	fleetLane int
 }
 
 // Ready reports whether all attached frontends are connected.
@@ -437,20 +487,26 @@ func (s *System) CreateGuest(cfg GuestConfig) (*Guest, error) {
 		// Sharded: vCPUs 0..Q-1 are pinned one-per-queue; the stack keeps
 		// the profile's own width on the rest.
 		vcpus = profile.VCPUs + cfg.NetQueues
+	} else if s.Cluster != nil && cfg.Fleet {
+		vcpus = profile.VCPUs + 1 // vCPU 0 pinned to the lane's shard
 	}
 	dom := s.HV.CreateDomain(xen.DomainConfig{
 		Name: cfg.Name, VCPUs: vcpus,
 		MemBytes: profile.MemBytes, IRQLatency: profile.IRQLatency,
 	})
-	g := &Guest{Dom: dom, Profile: profile}
+	g := &Guest{Dom: dom, Profile: profile, fleet: cfg.Fleet, fleetLane: cfg.FleetLane}
 
 	if cfg.Net != nil {
 		mac := netpkt.XenMAC(uint16(dom.ID), 0)
+		backExtra := map[string]string{xenstore.KeyBridge: "xenbr0"}
+		if cfg.Fleet {
+			backExtra[xenstore.KeyTenantLane] = fmt.Sprintf("%d", cfg.FleetLane)
+		}
 		s.Bus.AddDevice(xenbus.DeviceSpec{
 			Type: xenstore.DevVif, FrontDom: xenbus.DomID(dom.ID),
 			BackDom: xenbus.DomID(cfg.Net.Dom.ID), DevID: 0,
 			FrontExtra: map[string]string{xenstore.KeyMac: mac.String()},
-			BackExtra:  map[string]string{xenstore.KeyBridge: "xenbr0"},
+			BackExtra:  backExtra,
 		})
 		var netShards []*sim.Engine
 		stackCPUs := dom.CPUs
@@ -458,6 +514,11 @@ func (s *System) CreateGuest(cfg GuestConfig) (*Guest, error) {
 			netShards = qs
 			// vCPUs 0..Q-1 are pinned per queue; the stack gets the rest.
 			stackCPUs = dom.CPUs.Slice(cfg.NetQueues, dom.CPUs.Len())
+		} else if qs != nil && cfg.Fleet {
+			// Fleet tenant: the single queue lives on its service lane's
+			// shard so ring events never cross shards mid-window.
+			netShards = []*sim.Engine{qs[cfg.FleetLane%len(qs)]}
+			stackCPUs = dom.CPUs.Slice(1, dom.CPUs.Len())
 		}
 		g.Net = netfront.New(s.Eng, netfront.Config{
 			Dom: dom, Bus: s.Bus, Registry: s.NetReg, DevID: 0,
@@ -497,6 +558,16 @@ func (s *System) CreateGuest(cfg GuestConfig) (*Guest, error) {
 		if cache == 0 {
 			cache = 64 << 20
 		}
+		// The cache and filesystem run on shard 0; skip guest vCPUs that a
+		// sharded vif pinned to queue shards.
+		blkCPUs := dom.CPUs
+		if s.Cluster != nil && cfg.Net != nil {
+			if cfg.NetQueues > 1 {
+				blkCPUs = dom.CPUs.Slice(cfg.NetQueues, dom.CPUs.Len())
+			} else if cfg.Fleet {
+				blkCPUs = dom.CPUs.Slice(1, dom.CPUs.Len())
+			}
+		}
 		// The filesystem mounts once the vbd handshake reports the disk
 		// size (blkfront learns its sector count from the backend).
 		g.Disk = blkfront.New(s.Eng, blkfront.Config{
@@ -506,11 +577,11 @@ func (s *System) CreateGuest(cfg GuestConfig) (*Guest, error) {
 			OnReady: func() {
 				g.Pool = bufpool.New(s.Eng, g.Disk, bufpool.Config{
 					CapacityBytes: cache,
-					CPUs:          dom.CPUs,
+					CPUs:          blkCPUs,
 					HitCost:       400 * sim.Nanosecond,
 					PerKBCost:     45 * sim.Nanosecond,
 				})
-				g.FS = fsim.New(s.Eng, g.Pool, dom.CPUs, fsim.DefaultCosts())
+				g.FS = fsim.New(s.Eng, g.Pool, blkCPUs, fsim.DefaultCosts())
 			},
 		})
 	}
@@ -537,15 +608,28 @@ func (g *Guest) ReattachNet(s *System, nd *NetworkDomain) error {
 	g.CloseNet(s)
 	g.netDevID++
 	mac := netpkt.XenMAC(uint16(g.Dom.ID), byte(g.netDevID))
+	backExtra := map[string]string{xenstore.KeyBridge: "xenbr0"}
+	if g.fleet {
+		// Republish the lane hint so the driver assigns the replugged vif
+		// to the tenant's original service lane, not the round-robin cursor.
+		backExtra[xenstore.KeyTenantLane] = fmt.Sprintf("%d", g.fleetLane)
+	}
 	s.Bus.AddDevice(xenbus.DeviceSpec{
 		Type: xenstore.DevVif, FrontDom: xenbus.DomID(g.Dom.ID),
 		BackDom: xenbus.DomID(nd.Dom.ID), DevID: g.netDevID,
 		FrontExtra: map[string]string{xenstore.KeyMac: mac.String()},
-		BackExtra:  map[string]string{xenstore.KeyBridge: "xenbr0"},
+		BackExtra:  backExtra,
 	})
+	var netShards []*sim.Engine
+	if qs := s.QueueShards(); qs != nil && g.fleet {
+		// Fleet tenant: keep the single queue on its lane's shard (see
+		// CreateGuest) so ring events never cross shards mid-window.
+		netShards = []*sim.Engine{qs[g.fleetLane%len(qs)]}
+	}
 	g.Net = netfront.New(s.Eng, netfront.Config{
 		Dom: g.Dom, Bus: s.Bus, Registry: s.NetReg, DevID: g.netDevID,
 		BackDom: nd.Dom.ID, MAC: mac, Pool: s.Pool,
+		Shards: netShards,
 	})
 	g.Stack.SetIface(g.Net)
 	return nil

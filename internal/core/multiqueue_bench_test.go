@@ -42,6 +42,18 @@ func BenchmarkForwardPathMQ(b *testing.B) {
 				eng.Run()
 			}
 			const perWave = 512 // under every per-queue ring/qdisc cap
+			// Warm at wave scale too: a full wave's in-flight peak is far
+			// above the single-frame working set, and the framepool arenas
+			// (plus ring-haul scratch) grow to their high-water mark on the
+			// first few waves. Growing inside the timed loop would smear
+			// kilobytes per op across the measurement; after these waves the
+			// steady state allocates nothing.
+			for w := 0; w < 8; w++ {
+				for i := 0; i < perWave; i++ {
+					send(i)
+				}
+				eng.Run()
+			}
 			delivered = 0
 			simStart := eng.Now()
 			b.ReportAllocs()
@@ -96,6 +108,15 @@ func BenchmarkBlockPathMQ(b *testing.B) {
 			}
 			for i := 0; i < 1024; i++ { // warm pools, grants, sparse store
 				rig.Guest.Disk.WriteSectors(sectorOf(i), payload, wcb)
+				eng.Run()
+			}
+			// Warm at full depth too: the first 128-deep waves grow ring
+			// free lists and merge scratch to their high-water marks, which
+			// must not bleed bytes into the timed loop.
+			for w := 0; w < 8; w++ {
+				for i := 0; i < depth; i++ {
+					rig.Guest.Disk.WriteSectors(sectorOf(w*depth+i), payload, wcb)
+				}
 				eng.Run()
 			}
 			completed = 0

@@ -7,10 +7,29 @@ package core
 
 import (
 	"fmt"
+	"runtime"
+	"runtime/debug"
 	"testing"
 
 	"kite/internal/netstack"
 )
+
+// heapBytesPerRun reports the average heap bytes allocated per call to f,
+// with the collector paused so TotalAlloc deltas are exact. AllocsPerRun
+// counts objects; this counts bytes, which catches amortized growth
+// (free-list doubling, arena high-water creep) that rounds to zero
+// objects per op but still bleeds kilobytes across a sweep.
+func heapBytesPerRun(runs int, f func()) float64 {
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	f() // settle any first-call growth outside the measured window
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < runs; i++ {
+		f()
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.TotalAlloc-before.TotalAlloc) / float64(runs)
+}
 
 // TestForwardPathZeroAlloc asserts the tentpole property: after warmup
 // (pool population, FIFO/map high-water marks, ARP and grant caches), one
@@ -102,6 +121,24 @@ func TestForwardPathZeroAllocMQ(t *testing.T) {
 				if allocs := testing.AllocsPerRun(50, rx); allocs != 0 {
 					t.Errorf("Rx srcport %d: %.1f allocs per frame, want 0", port, allocs)
 				}
+			}
+			// Byte invariant at wave scale: a 512-frame burst holds far
+			// more buffers in flight than one frame, and remote releases
+			// reach their free lists a lookahead window late — the
+			// preallocated pools and arenas must absorb that pipeline, not
+			// grow through it. Bytes, not just objects: high-water creep
+			// rounds to 0 allocs/op while still leaking kilobytes per sweep.
+			wave := func() {
+				for i := 0; i < 512; i++ {
+					rig.Guest.Stack.SendUDP(rig.ClientIP, 9000, uint16(9001+i%64), payload)
+				}
+				eng.Run()
+			}
+			for w := 0; w < 8; w++ {
+				wave()
+			}
+			if bytes := heapBytesPerRun(50, wave); bytes != 0 {
+				t.Errorf("512-frame wave: %.1f heap bytes per wave, want 0", bytes)
 			}
 			if n := rig.System.Pool.Outstanding(); n != 0 {
 				t.Fatalf("%d frame buffers leaked", n)
@@ -213,6 +250,22 @@ func TestBlockPathZeroAllocMQ(t *testing.T) {
 			}
 			if allocs := testing.AllocsPerRun(100, read); allocs != 0 {
 				t.Errorf("striped read: %.1f allocs per 256 KiB read, want 0", allocs)
+			}
+			// Byte invariant at depth: a 128-deep stripe-major wave keeps
+			// every queue's rings and merge scratch at their high-water
+			// marks; once warm, the whole wave must not allocate a byte.
+			wave := func() {
+				for i := 0; i < 128; i++ {
+					base := int64(i/16%queues)*1024 + int64(i%16)*8
+					rig.Guest.Disk.WriteSectors(base, payload[:4096], wcb)
+				}
+				eng.Run()
+			}
+			for w := 0; w < 8; w++ {
+				wave()
+			}
+			if bytes := heapBytesPerRun(50, wave); bytes != 0 {
+				t.Errorf("128-deep wave: %.1f heap bytes per wave, want 0", bytes)
 			}
 			if n := rig.System.BlkPool.Outstanding(); n != 0 {
 				t.Fatalf("%d sector buffers leaked", n)

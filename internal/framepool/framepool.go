@@ -276,6 +276,17 @@ func (p *Pool) SetHome(e *sim.Engine) {
 	p.stages = newStages(e)
 }
 
+// Prealloc parks n fresh buffers on the free list up front. Sharded
+// simulations stage remote releases and post them home a lookahead
+// window later, so the free list can be transiently short of the true
+// working set; pre-sizing absorbs those window-crossing misses instead
+// of letting the data path allocate through them.
+func (p *Pool) Prealloc(n int) {
+	for i := 0; i < n; i++ {
+		p.free = append(p.free, &Buf{pool: p})
+	}
+}
+
 // From returns a Buf whose payload is a copy of pkt. Convenience for tests
 // and cold paths (ARP, control traffic).
 //
@@ -340,6 +351,15 @@ func (a *Arena) Get() *Buf {
 func (a *Arena) SetHome(e *sim.Engine) {
 	a.home = e
 	a.stages = newStages(e)
+}
+
+// Prealloc parks n fresh buffers on this arena's free list up front
+// (see Pool.Prealloc). Preallocated buffers count toward nothing until
+// first handed out.
+func (a *Arena) Prealloc(n int) {
+	for i := 0; i < n; i++ {
+		a.free = append(a.free, &Buf{pool: a.parent, arena: a})
+	}
 }
 
 // Free returns the number of buffers parked in this arena's free list.

@@ -27,18 +27,14 @@ type flowKey struct {
 	guestPt uint16 // ICMP: echo ID
 }
 
-type flow struct {
-	key     flowKey
-	extPort uint16 // allocated on the gateway (ICMP: rewritten echo ID)
-	lastUse sim.Time
-}
-
 // Stats counts translator activity.
 type Stats struct {
-	Outbound   uint64
-	Inbound    uint64
-	Dropped    uint64 // no matching flow or forward
-	FlowsAlloc uint64
+	Outbound      uint64
+	Inbound       uint64
+	Dropped       uint64 // no matching flow or forward
+	FlowsAlloc    uint64
+	FlowsExpired  uint64
+	PortExhausted uint64 // outbound drops because the dynamic port space was full
 }
 
 // Translator is one NAT instance owned by the network driver domain.
@@ -51,84 +47,137 @@ type Translator struct {
 	// PerPacketCost models the translation work.
 	PerPacketCost sim.Time
 
-	flows    map[flowKey]*flow
-	reverse  map[uint16]*flow // extPort -> flow (per proto spaces merged)
-	forwards map[uint16]hostPort
+	flows flowTable
+	// reverse maps an external port straight to its flow record: a flat
+	// array of packed (shard, slab-index) references — O(1) inbound match
+	// with no second hash table to keep consistent.
+	reverse  [1 << 16]flowRef
+	forwards []forwardEnt // sorted by extPort; control-plane sized
 	nextPort uint16
+	dynPorts int // dynamic ports currently allocated
 
 	stats Stats
 }
 
-type hostPort struct {
-	ip   netpkt.IP
-	port uint16
+// forwardEnt is one static rdr rule.
+type forwardEnt struct {
+	extPort uint16
+	ip      netpkt.IP
+	port    uint16
 }
 
 // New creates a translator for the given gateway address.
 func New(eng *sim.Engine, cpus *sim.CPUPool, gateway netpkt.IP) *Translator {
-	return &Translator{
+	t := &Translator{
 		eng: eng, cpus: cpus, Gateway: gateway,
 		PerPacketCost: 350 * sim.Nanosecond,
-		flows:         make(map[flowKey]*flow),
-		reverse:       make(map[uint16]*flow),
-		forwards:      make(map[uint16]hostPort),
-		nextPort:      20000,
+		nextPort:      portBase,
 	}
+	t.flows.init()
+	return t
 }
 
 // Stats returns a snapshot of the counters.
 func (t *Translator) Stats() Stats { return t.stats }
 
 // Flows returns the number of active translations.
-func (t *Translator) Flows() int { return len(t.flows) }
+func (t *Translator) Flows() int { return t.flows.count }
 
 // AddForward installs a static inbound mapping (gateway:extPort ->
 // guest:guestPort), the rdr rule servers behind NAT need.
 func (t *Translator) AddForward(extPort uint16, guest netpkt.IP, guestPort uint16) error {
-	if _, taken := t.forwards[extPort]; taken {
+	i := t.forwardIdx(extPort)
+	if i < len(t.forwards) && t.forwards[i].extPort == extPort {
 		return fmt.Errorf("nat: external port %d already forwarded", extPort)
 	}
-	t.forwards[extPort] = hostPort{ip: guest, port: guestPort}
+	t.forwards = append(t.forwards, forwardEnt{})
+	copy(t.forwards[i+1:], t.forwards[i:])
+	t.forwards[i] = forwardEnt{extPort: extPort, ip: guest, port: guestPort}
 	return nil
 }
 
-func (t *Translator) allocPort() uint16 {
-	for {
-		t.nextPort++
-		if t.nextPort < 20000 {
-			t.nextPort = 20000
+// forwardIdx returns the insertion/lookup position of extPort in the
+// sorted forwards slice.
+func (t *Translator) forwardIdx(extPort uint16) int {
+	lo, hi := 0, len(t.forwards)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if t.forwards[mid].extPort < extPort {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
-		if _, taken := t.reverse[t.nextPort]; !taken {
-			if _, fwd := t.forwards[t.nextPort]; !fwd {
-				return t.nextPort
+	}
+	return lo
+}
+
+// lookupForward resolves a static rule by external port.
+func (t *Translator) lookupForward(extPort uint16) (forwardEnt, bool) {
+	i := t.forwardIdx(extPort)
+	if i < len(t.forwards) && t.forwards[i].extPort == extPort {
+		return t.forwards[i], true
+	}
+	return forwardEnt{}, false
+}
+
+// allocPort claims a free dynamic external port. Unlike the unbounded
+// next-fit loop it replaces, exhaustion is detectable: when every dynamic
+// port is taken the scan terminates and the packet is dropped (with
+// PortExhausted counted) instead of spinning forever.
+func (t *Translator) allocPort() (uint16, bool) {
+	if t.dynPorts >= portSpan {
+		return 0, false
+	}
+	for i := 0; i < portSpan; i++ {
+		t.nextPort++
+		if t.nextPort < portBase {
+			t.nextPort = portBase
+		}
+		if t.reverse[t.nextPort] == 0 {
+			if _, fwd := t.lookupForward(t.nextPort); !fwd {
+				return t.nextPort, true
 			}
 		}
 	}
+	return 0, false
 }
 
 // flowFor finds or creates the translation for an outbound packet. A
 // guest endpoint that is the target of a static forward keeps the
 // forward's external port, so replies of redirected connections translate
-// back symmetrically.
-func (t *Translator) flowFor(proto uint8, guest netpkt.IP, guestPort uint16) *flow {
+// back symmetrically. Returns nil when the dynamic port space is
+// exhausted — the caller drops the packet.
+//
+//kite:hotpath
+func (t *Translator) flowFor(proto uint8, guest netpkt.IP, guestPort uint16) *flowEnt {
 	key := flowKey{proto: proto, guestIP: guest, guestPt: guestPort}
-	if f := t.flows[key]; f != nil {
+	if f := t.flows.lookup(key); f != nil {
 		f.lastUse = t.eng.Now()
 		return f
 	}
 	ext := uint16(0)
-	for extPort, fwd := range t.forwards {
+	for _, fwd := range t.forwards { // sorted: lowest matching rule wins, deterministically
 		if fwd.ip == guest && fwd.port == guestPort {
-			ext = extPort
+			ext = fwd.extPort
 			break
 		}
 	}
+	dyn := false
 	if ext == 0 {
-		ext = t.allocPort()
+		var ok bool
+		ext, ok = t.allocPort()
+		if !ok {
+			t.stats.PortExhausted++
+			return nil
+		}
+		t.dynPorts++
+		dyn = true
 	}
-	f := &flow{key: key, extPort: ext, lastUse: t.eng.Now()}
-	t.flows[key] = f
-	t.reverse[f.extPort] = f
+	f, ref := t.flows.insert(key)
+	f.extPort = ext
+	f.dyn = dyn
+	f.lastUse = t.eng.Now()
+	t.reverse[ext] = ref
 	t.stats.FlowsAlloc++
 	return f
 }
@@ -152,6 +201,10 @@ func (t *Translator) RewriteOutbound(pkt []byte) bool {
 			return false
 		}
 		f := t.flowFor(h.Proto, h.Src, binary.BigEndian.Uint16(payload[0:2]))
+		if f == nil {
+			t.stats.Dropped++
+			return false
+		}
 		binary.BigEndian.PutUint16(payload[0:2], f.extPort)
 	case netpkt.ProtoUDP:
 		if len(payload) < netpkt.UDPHeaderLen {
@@ -159,6 +212,10 @@ func (t *Translator) RewriteOutbound(pkt []byte) bool {
 			return false
 		}
 		f := t.flowFor(h.Proto, h.Src, binary.BigEndian.Uint16(payload[0:2]))
+		if f == nil {
+			t.stats.Dropped++
+			return false
+		}
 		binary.BigEndian.PutUint16(payload[0:2], f.extPort)
 	case netpkt.ProtoICMP:
 		eh, _, ok := netpkt.DecodeICMPEcho(payload)
@@ -167,6 +224,10 @@ func (t *Translator) RewriteOutbound(pkt []byte) bool {
 			return false
 		}
 		f := t.flowFor(h.Proto, h.Src, eh.ID)
+		if f == nil {
+			t.stats.Dropped++
+			return false
+		}
 		binary.BigEndian.PutUint16(payload[4:6], f.extPort)
 		reICMPChecksum(payload)
 	default:
@@ -212,7 +273,7 @@ func (t *Translator) RewriteInbound(pkt []byte) (netpkt.IP, bool) {
 			t.stats.Dropped++
 			return netpkt.IP{}, false
 		}
-		f := t.reverse[eh.ID]
+		f := t.flows.get(t.reverse[eh.ID])
 		if f == nil || f.key.proto != netpkt.ProtoICMP {
 			t.stats.Dropped++
 			return netpkt.IP{}, false
@@ -268,28 +329,54 @@ func (t *Translator) TranslateInbound(pkt []byte) ([]byte, netpkt.IP) {
 
 // matchInbound resolves an inbound destination port via flows then static
 // forwards.
+//
+//kite:hotpath
 func (t *Translator) matchInbound(proto uint8, extPort uint16) (netpkt.IP, uint16, bool) {
-	if f := t.reverse[extPort]; f != nil && f.key.proto == proto {
+	if f := t.flows.get(t.reverse[extPort]); f != nil && f.key.proto == proto {
 		f.lastUse = t.eng.Now()
 		return f.key.guestIP, f.key.guestPt, true
 	}
-	if fwd, ok := t.forwards[extPort]; ok {
+	if fwd, ok := t.lookupForward(extPort); ok {
 		return fwd.ip, fwd.port, true
 	}
 	return netpkt.IP{}, 0, false
 }
 
 // Expire drops flows idle for longer than maxIdle (the translator's GC,
-// called periodically by the network application).
+// called periodically by the network application). The walk is in
+// deterministic shard/slab order; records return to their shard's
+// free-list and dynamic ports become allocatable again.
 func (t *Translator) Expire(maxIdle sim.Time) int {
+	dropped := t.flows.expire(t.eng.Now(), maxIdle, func(f *flowEnt) {
+		t.reverse[f.extPort] = 0
+		if f.dyn {
+			t.dynPorts--
+		}
+	})
+	t.stats.FlowsExpired += uint64(dropped)
+	return dropped
+}
+
+// DropGuest removes every flow owned by a guest address — the teardown
+// path when a tenant detaches mid-traffic, so a departed guest's
+// translations stop pinning external ports immediately instead of waiting
+// out the idle timer.
+func (t *Translator) DropGuest(guest netpkt.IP) int {
 	dropped := 0
-	now := t.eng.Now()
-	for key, f := range t.flows {
-		if now-f.lastUse > maxIdle {
-			delete(t.flows, key)
-			delete(t.reverse, f.extPort)
-			dropped++
+	for si := range t.flows.shards {
+		s := &t.flows.shards[si]
+		for idx := range s.slab {
+			f := &s.slab[idx]
+			if f.used && f.key.guestIP == guest {
+				t.reverse[f.extPort] = 0
+				if f.dyn {
+					t.dynPorts--
+				}
+				t.flows.remove(f.key)
+				dropped++
+			}
 		}
 	}
+	t.stats.FlowsExpired += uint64(dropped)
 	return dropped
 }

@@ -29,10 +29,14 @@ type Driver struct {
 	costs Costs
 	pool  *framepool.Pool
 
-	shards  []*sim.Engine
-	thread  *sim.Task
-	vifs    map[string]*VIF // by backend path
-	watched map[string]bool // frontend paths already under watch
+	shards   []*sim.Engine
+	lanes    []*ServiceLane // fleet mode: shared DRR workers, one per shard
+	laneNext int            // round-robin lane assignment cursor
+	tenants  *xenbus.TenantRegistry
+	thread   *sim.Task
+	vifs     map[string]*VIF // by backend path
+	order    []*VIF          // live instances in attach order (deterministic walks)
+	watched  map[string]bool // frontend paths already under watch
 
 	// OnVIF is invoked when a new instance connects (the network
 	// application uses it to log/track interfaces).
@@ -73,12 +77,37 @@ func (d *Driver) SetShards(shards []*sim.Engine) {
 		d.dom.Name+"/vif-invoker", d.costs.WakeLatency, d.scan)
 }
 
-// VIFs returns the live instances.
-func (d *Driver) VIFs() []*VIF {
-	out := make([]*VIF, 0, len(d.vifs))
-	for _, v := range d.vifs {
-		out = append(out, v)
+// SetFleet switches the driver into fleet mode: instead of dedicated
+// pusher/soft_start threads per VIF, it creates one ServiceLane per shard
+// (lane i pinned to vCPU i on shards[i], forwarding on the vCPUs after
+// the lane block) and assigns connecting single-queue frontends to lanes
+// round-robin. The backend-invocation thread moves to the domain's last
+// vCPU. Must be called before any frontend connects.
+func (d *Driver) SetFleet(shards []*sim.Engine) {
+	d.thread = sim.NewTask(d.eng, d.dom.CPUs.CPU(d.dom.CPUs.Len()-1),
+		d.dom.Name+"/vif-invoker", d.costs.WakeLatency, d.scan)
+	d.lanes = make([]*ServiceLane, len(shards))
+	for i, sh := range shards {
+		fwd := len(shards) + i
+		if fwd > d.dom.CPUs.Len()-1 {
+			fwd = d.dom.CPUs.Len() - 1
+		}
+		d.lanes[i] = NewServiceLane(i, d.dom, sh, d.dom.CPUs.CPU(i),
+			d.br, d.dom.CPUs.CPU(fwd), d.costs)
 	}
+}
+
+// SetTenantRegistry installs the control-plane ledger the driver reports
+// attach/detach events to.
+func (d *Driver) SetTenantRegistry(r *xenbus.TenantRegistry) { d.tenants = r }
+
+// Lanes returns the fleet service lanes (nil in dedicated-worker mode).
+func (d *Driver) Lanes() []*ServiceLane { return d.lanes }
+
+// VIFs returns the live instances in attach order.
+func (d *Driver) VIFs() []*VIF {
+	out := make([]*VIF, len(d.order))
+	copy(out, d.order)
 	return out
 }
 
@@ -175,14 +204,34 @@ func (d *Driver) tryPair(backPath string, frontDom xen.DomID, devid int) {
 	if ch.NumQueues() != nq {
 		return // store and registry disagree; a later watch retries
 	}
-	vif, err := NewVIF(d.eng, d.dom, frontDom, devid, ch,
-		ports, d.br, d.costs, d.pool, rssSeed, d.shards)
+	var vif *VIF
+	laneID := -1
+	if d.lanes != nil && nq == 1 {
+		// The toolstack may pin the tenant to a lane (it pinned the
+		// frontend's shard to match); otherwise assign round-robin.
+		lane := d.lanes[d.laneNext%len(d.lanes)]
+		if hint, ok := st.ReadInt(backPath + "/" + xenstore.KeyTenantLane); ok {
+			lane = d.lanes[int(hint)%len(d.lanes)]
+		} else {
+			d.laneNext++
+		}
+		laneID = lane.ID()
+		vif, err = NewVIFOnLane(d.eng, d.dom, frontDom, devid, ch,
+			ports, d.br, d.costs, d.pool, lane)
+	} else {
+		vif, err = NewVIF(d.eng, d.dom, frontDom, devid, ch,
+			ports, d.br, d.costs, d.pool, rssSeed, d.shards)
+	}
 	if err != nil {
 		_ = d.bus.SwitchState(backPath, xenbus.StateClosed)
 		return
 	}
 	d.vifs[backPath] = vif
+	d.order = append(d.order, vif)
 	d.br.AddPort(vif)
+	if d.tenants != nil {
+		d.tenants.AttachVIF(xenbus.DomID(frontDom), laneID)
+	}
 	_ = d.bus.SwitchState(backPath, xenbus.StateConnected)
 
 	// Tear the instance down when the frontend goes away.
@@ -202,16 +251,31 @@ func (d *Driver) removeVIF(backPath string) {
 		return
 	}
 	delete(d.vifs, backPath)
+	for i, v := range d.order {
+		if v == vif {
+			d.order = append(d.order[:i], d.order[i+1:]...)
+			break
+		}
+	}
 	d.br.RemovePort(vif)
 	vif.Shutdown()
+	if d.tenants != nil {
+		d.tenants.DetachVIF(xenbus.DomID(vif.frontDom))
+	}
 	if d.bus.Store().Exists(backPath) {
 		_ = d.bus.SwitchState(backPath, xenbus.StateClosed)
 	}
 }
 
-// Shutdown tears down every instance (driver domain exit).
+// Shutdown tears down every instance (driver domain exit) in attach order.
 func (d *Driver) Shutdown() {
-	for path := range d.vifs {
-		d.removeVIF(path)
+	for len(d.order) > 0 {
+		vif := d.order[0]
+		for path, v := range d.vifs {
+			if v == vif {
+				d.removeVIF(path)
+				break
+			}
+		}
 	}
 }

@@ -150,6 +150,14 @@ type vifQueue struct {
 	pusher    *sim.Task
 	softStart *sim.Task
 
+	// lane is non-nil in fleet mode: the queue has no dedicated worker
+	// threads and is served by its ServiceLane's DRR rounds instead.
+	// laneActive marks membership in the lane's round list; deficit is the
+	// DRR byte budget (may dip negative by one frame's overshoot).
+	lane       *ServiceLane
+	laneActive bool
+	deficit    int
+
 	rxQueue sim.FIFO[*framepool.Buf]
 
 	// pgrants caches mappings of the frontend's Rx grant refs (which the
@@ -296,6 +304,9 @@ func NewVIF(eng *sim.Engine, dom *xen.Domain, frontDom xen.DomID, devid int,
 			rx:      ch.Rx.Queue(i),
 			pgrants: make(map[xen.GrantRef]*xen.Mapping),
 			arena:   pool.NewArena(),
+			txReqs:  make([]netif.TxRequest, 0, netif.RingSize),
+			ops:     make([]xen.CopyOp, 0, netif.RingSize),
+			bufs:    make([]*framepool.Buf, 0, netif.RingSize),
 		}
 		q.rxEnqueueF = func(a any) { q.rxEnqueue(a.(*framepool.Buf)) }
 		q.txOutFreeF = func(a any) { q.txOutFree = append(q.txOutFree, a.(*txBatch)) } //kite:alloc-ok free list grows to the in-flight high-water mark
@@ -317,6 +328,12 @@ func NewVIF(eng *sim.Engine, dom *xen.Domain, frontDom xen.DomID, devid int,
 			q.cpu = dom.CPUs.CPU(i)
 			q.cpu.SetEngine(q.eng)
 			q.arena.SetHome(q.eng)
+			// Remote releases reach this arena a lookahead window late;
+			// a ring's worth of slack keeps the Tx haul allocation-free
+			// through that pipeline (fleet lanes skip this: hundreds of
+			// tenants would pin megabytes each, and their rings drain in
+			// DRR quanta well under a full ring).
+			q.arena.Prealloc(netif.RingSize)
 			dom.BindPortCPU(q.port, q.cpu)
 			// Forwarding thread for this queue: vCPU nq+i of the driver
 			// domain (the width beyond the queue workers), degrading to the
@@ -340,6 +357,82 @@ func NewVIF(eng *sim.Engine, dom *xen.Domain, frontDom xen.DomID, devid int,
 	}
 	return v, nil
 }
+
+// NewVIFOnLane creates a single-queue netback instance served by a shared
+// fleet ServiceLane instead of dedicated pusher/soft_start threads: the
+// queue lives on the lane's shard and vCPU, its doorbell joins the lane's
+// demux group, and its rings are drained by the lane's DRR rounds. This is
+// how one driver domain serves hundreds of guests with a fixed number of
+// worker threads.
+func NewVIFOnLane(eng *sim.Engine, dom *xen.Domain, frontDom xen.DomID, devid int,
+	ch *netif.Channel, frontPorts []xen.Port, br *bridge.Bridge, costs Costs,
+	pool *framepool.Pool, lane *ServiceLane) (*VIF, error) {
+
+	if pool == nil {
+		pool = framepool.New()
+	}
+	if ch.NumQueues() != 1 || len(frontPorts) != 1 {
+		return nil, fmt.Errorf("netback: vif%d.%d: fleet lanes serve single-queue frontends (%d queues)",
+			frontDom, devid, ch.NumQueues())
+	}
+	v := &VIF{
+		eng:      eng,
+		dom:      dom,
+		frontDom: frontDom,
+		name:     fmt.Sprintf("vif%d.%d", frontDom, devid),
+		costs:    costs,
+		pool:     pool,
+		ch:       ch,
+		br:       br,
+		queues:   make([]*vifQueue, 1),
+	}
+	v.brInputF = func(a any) { v.br.Input(v, a.(*framepool.Buf)) }
+	v.brBatchF = v.inputBatch
+	// Both ring pages map on the lane's vCPU (the lane owns this tenant's
+	// hypercall work end to end).
+	lane.cpu.Charge(dom.Hypervisor().Costs.Base + 2*dom.Hypervisor().Costs.GrantMapPage)
+
+	q := &vifQueue{
+		v:       v,
+		id:      0,
+		eng:     lane.eng,
+		sharded: true,
+		tx:      ch.Tx.Queue(0),
+		rx:      ch.Rx.Queue(0),
+		pgrants: make(map[xen.GrantRef]*xen.Mapping),
+		arena:   pool.NewArena(),
+		txReqs:  make([]netif.TxRequest, 0, netif.RingSize),
+		ops:     make([]xen.CopyOp, 0, netif.RingSize),
+		bufs:    make([]*framepool.Buf, 0, netif.RingSize),
+		lane:    lane,
+		cpu:     lane.cpu,
+		brLane:  lane.brLane,
+	}
+	q.arena.SetHome(q.eng)
+	q.rxEnqueueF = func(a any) { q.rxEnqueue(a.(*framepool.Buf)) }
+	q.txOutFreeF = func(a any) { q.txOutFree = append(q.txOutFree, a.(*txBatch)) } //kite:alloc-ok free list grows to the in-flight high-water mark
+	port, err := dom.BindInterdomain(frontDom, frontPorts[0])
+	if err != nil {
+		return nil, fmt.Errorf("netback: %s: %w", v.name, err)
+	}
+	q.port = port
+	if err := dom.SetHandler(port, q.onEvent); err != nil {
+		return nil, err
+	}
+	if err := lane.demux.Join(port); err != nil {
+		return nil, fmt.Errorf("netback: %s: %w", v.name, err)
+	}
+	q.txDone = sim.NewBatch(q.eng, q.flushTx)
+	v.queues[0] = q
+	return v, nil
+}
+
+// Lane returns the fleet service lane serving the VIF, or nil for a
+// dedicated-worker instance.
+func (v *VIF) Lane() *ServiceLane { return v.queues[0].lane }
+
+// FrontDom returns the tenant guest's domain ID.
+func (v *VIF) FrontDom() xen.DomID { return v.frontDom }
 
 // Name returns the VIF name (vif<dom>.<dev>).
 func (v *VIF) Name() string { return v.name }
@@ -385,6 +478,9 @@ func (v *VIF) Up() bool { return !v.down }
 // summed over queues.
 func (v *VIF) PusherRuns() (wakes, runs uint64) {
 	for _, q := range v.queues {
+		if q.pusher == nil {
+			continue // fleet mode: the lane worker serves this queue
+		}
 		wakes += q.pusher.Wakes()
 		runs += q.pusher.Runs()
 	}
@@ -399,6 +495,9 @@ func (v *VIF) Shutdown() {
 	}
 	v.dead = true
 	for _, q := range v.queues {
+		if q.lane != nil {
+			q.lane.detach(q)
+		}
 		_ = v.dom.Close(q.port)
 		for q.rxQueue.Len() > 0 {
 			q.rxQueue.Pop().Release()
@@ -436,6 +535,14 @@ func (q *vifQueue) onEvent() {
 	if q.v.dead {
 		return
 	}
+	if q.lane != nil {
+		// Fleet mode: no dedicated threads — put the queue into its lane's
+		// DRR round if the doorbell brought actionable work.
+		if q.tx.RequestAvailable() || (q.rxQueue.Len() > 0 && q.rx.RequestAvailable()) {
+			q.lane.activate(q)
+		}
+		return
+	}
 	if q.v.costs.InHandler {
 		q.drainTx()
 		q.drainRx()
@@ -449,28 +556,47 @@ func (q *vifQueue) onEvent() {
 	}
 }
 
-// drainTx is the pusher thread body: move guest frames to the bridge. Each
-// frame is grant-copied once, directly into a pooled buffer that then
-// travels the bridge/NAT/NIC path. Per-frame processing is charged to this
-// queue's pinned vCPU, which is what lets queues overlap in time.
-func (q *vifQueue) drainTx() {
+// unlimited is the drain budget that disables DRR accounting (dedicated
+// per-queue workers drain their whole ring, as before fleet mode).
+const unlimited = int(^uint(0) >> 1)
+
+// drainTx is the pusher thread body: move guest frames to the bridge.
+func (q *vifQueue) drainTx() { q.drainTxBudget(unlimited) }
+
+// drainTxBudget moves guest frames to the bridge, stopping once budget
+// bytes have been taken from the ring (the last frame may overshoot — DRR
+// serves a packet while credit remains). Each frame is grant-copied once,
+// directly into a pooled buffer that then travels the bridge/NAT/NIC path.
+// Per-frame processing is charged to this queue's pinned vCPU, which is
+// what lets queues overlap in time. Returns the bytes consumed and whether
+// requests remain because the budget — not the ring — ran out.
+func (q *vifQueue) drainTxBudget(budget int) (used int, more bool) {
 	v := q.v
 	if v.dead || v.down {
-		return
+		return 0, false
 	}
 	hv := v.dom.Hypervisor()
 	for {
 		// Gather a batch of requests into the reusable scratch.
 		reqs := q.txReqs[:0]
-		for {
+		for used < budget {
 			req, ok := q.tx.TakeRequest()
 			if !ok {
 				break
 			}
 			reqs = append(reqs, req)
+			if req.Len > 0 {
+				used += req.Len
+			} else {
+				used++ // malformed requests still consume a slot of credit
+			}
 		}
 		q.txReqs = reqs[:0]
 		if len(reqs) == 0 {
+			if used >= budget {
+				more = q.tx.RequestAvailable()
+				break
+			}
 			if q.tx.FinalCheckForRequests() {
 				continue
 			}
@@ -551,6 +677,7 @@ func (q *vifQueue) drainTx() {
 			v.dom.Notify(q.port)
 		}
 	}
+	return used, more
 }
 
 // clearBufs zeroes the recycled scratch slots so the scratch slice does not
@@ -634,6 +761,10 @@ func (q *vifQueue) rxEnqueue(frame *framepool.Buf) {
 		return
 	}
 	q.rxQueue.Push(frame)
+	if q.lane != nil {
+		q.lane.activate(q)
+		return
+	}
 	if v.costs.InHandler {
 		q.drainRx()
 		return
@@ -643,23 +774,37 @@ func (q *vifQueue) rxEnqueue(frame *framepool.Buf) {
 
 // drainRx is the soft_start thread body: copy queued frames into posted
 // guest Rx buffers, preferring the persistent mapping cache.
-func (q *vifQueue) drainRx() {
+func (q *vifQueue) drainRx() { q.drainRxBudget(unlimited) }
+
+// drainRxBudget copies queued guest-bound frames into posted Rx buffers,
+// stopping once budget bytes have been delivered (last frame may
+// overshoot). Returns bytes consumed and whether deliverable work remains
+// only because the budget ran out — a backlog stalled on missing guest
+// buffers is not "more": the frontend's next buffer post raises an event
+// that reactivates the queue.
+func (q *vifQueue) drainRxBudget(budget int) (used int, more bool) {
 	v := q.v
 	if v.dead {
-		return
+		return 0, false
 	}
 	hv := v.dom.Hypervisor()
 	notify := false
-	for q.rxQueue.Len() > 0 {
+	for q.rxQueue.Len() > 0 && used < budget {
 		batch := q.bufs[:0]
 		reqs := q.rxReqs[:0]
-		for q.rxQueue.Len() > 0 {
+		for q.rxQueue.Len() > 0 && used < budget {
 			req, ok := q.rx.TakeRequest()
 			if !ok {
 				break
 			}
 			reqs = append(reqs, req)
-			batch = append(batch, q.rxQueue.Pop())
+			frame := q.rxQueue.Pop()
+			batch = append(batch, frame)
+			if n := frame.Len(); n > 0 {
+				used += n
+			} else {
+				used++
+			}
 		}
 		q.rxReqs = reqs[:0]
 		if len(reqs) == 0 {
@@ -715,6 +860,8 @@ func (q *vifQueue) drainRx() {
 	if notify {
 		v.dom.Notify(q.port)
 	}
+	more = used >= budget && q.rxQueue.Len() > 0 && q.rx.RequestAvailable()
+	return used, more
 }
 
 // rxMapping resolves an Rx grant ref through the queue's persistent cache,

@@ -153,6 +153,7 @@ type Device struct {
 	recv    func(frame *framepool.Buf)
 	recvF   func(any) // cached post target delivering a frame to the stack
 	onReady func()
+	onDown  func() // carrier loss: the backend disappeared
 	ready   bool
 
 	// Batched-send plumbing: recycled carriers plus the cached post targets
@@ -243,6 +244,12 @@ func (d *Device) MAC() netpkt.MAC { return d.mac }
 // SetRecv implements netstack.NetIf. The callback receives one buffer
 // reference per frame and owns it.
 func (d *Device) SetRecv(fn func(frame *framepool.Buf)) { d.recv = fn }
+
+// SetOnDown registers the carrier-loss callback, invoked when the backend
+// disappears (driver domain crash, or teardown while the guest lives on).
+// The stack uses it to flush state — queued ARP-pending packets — that
+// can never resolve through a dead device.
+func (d *Device) SetOnDown(fn func()) { d.onDown = fn }
 
 // Stats returns the counters aggregated over queues in queue order.
 func (d *Device) Stats() Stats {
@@ -446,6 +453,9 @@ func (d *Device) backendGone() {
 		for q.pending.Len() > 0 {
 			q.pending.Pop().frame.Release()
 		}
+	}
+	if d.onDown != nil {
+		d.onDown()
 	}
 }
 

@@ -81,6 +81,15 @@ func (r *RSS) toeplitz(in *[12]byte) uint32 {
 	return h
 }
 
+// Hash12 evaluates the Toeplitz hash over an arbitrary 12-byte input. The
+// sharded flow tables (bridge FDB, NAT flows) key on this so their shard
+// and slot spreading reuses the same deterministic hash family the RSS
+// steering already trusts — a MAC or flow key is padded into the 12-byte
+// window by the caller.
+//
+//kite:hotpath
+func (r *RSS) Hash12(in *[12]byte) uint32 { return r.toeplitz(in) }
+
 // FrameHash computes the flow hash of a raw Ethernet frame. For IPv4
 // TCP/UDP first fragments it hashes the full 4-tuple; for other IPv4
 // packets (ICMP, later fragments — whose L4 header is absent or ambiguous)

@@ -202,7 +202,33 @@ func New(eng *sim.Engine, cfg Config) *Stack {
 	s.rxFlush = sim.NewBatch(eng, s.flushRx)
 	s.setBatch(cfg.Iface)
 	cfg.Iface.SetRecv(s.rxFrame)
+	s.setLinkDown(cfg.Iface)
 	return s
+}
+
+// setLinkDown subscribes to the device's carrier-loss notification, if it
+// offers one, so the stack can flush its neighbour state when the link
+// dies under it (a vif whose backend disappeared mid-traffic).
+func (s *Stack) setLinkDown(dev NetIf) {
+	if ld, ok := dev.(interface{ SetOnDown(func()) }); ok {
+		ld.SetOnDown(s.linkDown)
+	}
+}
+
+// linkDown is the carrier-loss handler: like a real kernel dropping its
+// neighbour queue on link down, packets parked awaiting ARP resolution
+// are released — the reply can never arrive through a dead device, and a
+// churning fleet must not pin a burst of frame buffers per departed
+// tenant. The ARP cache itself is flushed too; entries learned through
+// the old link are stale on whatever replaces it.
+func (s *Stack) linkDown() {
+	s.arp = make(map[netpkt.IP]netpkt.MAC)
+	for _, queued := range s.arpPending {
+		for _, b := range queued {
+			b.ReleaseOn(s.eng)
+		}
+	}
+	s.arpPending = make(map[netpkt.IP][]*framepool.Buf)
 }
 
 // setBatch caches the device's batched-send capability, if any.
@@ -242,13 +268,8 @@ func (s *Stack) SetIface(dev NetIf) {
 	s.ifc = dev
 	s.setBatch(dev)
 	dev.SetRecv(s.rxFrame)
-	s.arp = make(map[netpkt.IP]netpkt.MAC)
-	for _, queued := range s.arpPending {
-		for _, b := range queued {
-			b.ReleaseOn(s.eng)
-		}
-	}
-	s.arpPending = make(map[netpkt.IP][]*framepool.Buf)
+	s.setLinkDown(dev)
+	s.linkDown()
 }
 
 func (s *Stack) dataCost(n int) sim.Time {

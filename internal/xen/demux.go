@@ -1,0 +1,178 @@
+package xen
+
+import (
+	"fmt"
+	"math/bits"
+
+	"kite/internal/sim"
+)
+
+// Demux batches event-channel delivery for a backend that serves many
+// frontends. A driver domain with one event channel per (guest, queue)
+// pays one full upcall — IRQ latency, handler dispatch — per doorbell per
+// guest; at fleet scale that is the dominant cost and it grows linearly
+// with the tenant count. Real xen backends already amortize this with the
+// shared-info pending bitsel: one upcall scans a word of pending bits and
+// drains every signalled channel. Demux models exactly that: member ports
+// mark a bit in a group-wide pending bitmap instead of scheduling their
+// own upcall, and one scan event per doorbell quantum walks the bitmap in
+// deterministic member order delivering every pending handler. One wake
+// drains rings for many domains; the scan rate is bounded by the quantum
+// no matter how many tenants signal.
+type Demux struct {
+	dom *Domain
+	cpu *sim.CPU
+	// quantum bounds the scan rate: consecutive scans start at least one
+	// quantum apart, so N tenants' doorbells fold into one wake per
+	// quantum instead of N upcalls.
+	quantum sim.Time
+
+	members []*channel
+	pending []uint64 // one bit per member, indexed by join order
+
+	scanF    func()
+	armed    bool
+	lastScan sim.Time
+
+	scans uint64 // scan events executed
+	marks uint64 // member doorbells folded into those scans
+}
+
+// NewDemux creates a demux group delivering on cpu (which selects the
+// cluster shard the scan runs on). quantum is the minimum spacing between
+// scans; zero disables rate bounding (pure coalescing).
+func (d *Domain) NewDemux(cpu *sim.CPU, quantum sim.Time) *Demux {
+	g := &Demux{dom: d, cpu: cpu, quantum: quantum}
+	g.scanF = g.scan
+	return g
+}
+
+// Join moves a local connected port into the group: its upcalls are
+// replaced by a bit in the group bitmap and delivery happens during the
+// group scan, on the group's vCPU, in join order. Join order is driver
+// control flow, so scans are deterministic.
+func (g *Demux) Join(port Port) error {
+	ch := g.dom.ports[port]
+	if ch == nil {
+		return fmt.Errorf("xen: demux join of unknown port %d", port)
+	}
+	if ch.demux != nil {
+		return fmt.Errorf("xen: port %d already in a demux group", port)
+	}
+	ch.demux = g
+	ch.demuxIdx = len(g.members)
+	ch.cpu = g.cpu // sends charge the scan vCPU; delivery rides the scan
+	g.members = append(g.members, ch)
+	if len(g.pending)*64 < len(g.members) {
+		g.pending = append(g.pending, 0)
+	}
+	return nil
+}
+
+// Leave removes a member from the group (frontend teardown). Must be
+// called before the port is closed, while the channel is still registered.
+// Later members shift down one index and the pending bitmap is compacted
+// to match, so join-order scanning stays deterministic; without this, a
+// fleet churning tenants would pin one dead member slot per departure
+// forever.
+func (g *Demux) Leave(port Port) {
+	ch := g.dom.ports[port]
+	if ch == nil || ch.demux != g {
+		return
+	}
+	idx := ch.demuxIdx
+	ch.demux = nil
+	ch.demuxIdx = 0
+	g.members = append(g.members[:idx], g.members[idx+1:]...)
+	for i := idx; i < len(g.members); i++ {
+		g.members[i].demuxIdx = i
+	}
+	// Collapse the departed bit out of the pending bitmap: bits above idx
+	// shift down one, carrying across word boundaries.
+	w := idx >> 6
+	b := uint(idx) & 63
+	low := uint64(1)<<b - 1
+	g.pending[w] = g.pending[w]&low | (g.pending[w]>>1)&^low
+	for j := w + 1; j < len(g.pending); j++ {
+		g.pending[j-1] |= g.pending[j] << 63
+		g.pending[j] >>= 1
+	}
+	if want := (len(g.members) + 63) / 64; len(g.pending) > want {
+		g.pending = g.pending[:want]
+	}
+}
+
+// Members returns the number of joined ports.
+func (g *Demux) Members() int { return len(g.members) }
+
+// Stats reports (scans executed, member doorbells absorbed). marks-scans
+// is the demux win: upcalls that did not happen.
+func (g *Demux) Stats() (scans, marks uint64) { return g.scans, g.marks }
+
+// mark sets the member's pending bit and arms the scan if it is not
+// already armed. The warmth rule mirrors channel.raise: a recently active
+// scan vCPU (or a recent scan) takes the wake at the cheap streaming
+// latency.
+//
+//kite:hotpath
+func (g *Demux) mark(idx int) {
+	g.pending[idx>>6] |= 1 << (uint(idx) & 63)
+	g.marks++
+	if g.armed {
+		return
+	}
+	g.armed = true
+	eng := g.cpu.Engine()
+	now := eng.Now()
+	lat := g.dom.IRQLatency
+	if g.cpu.RecentlyActive(now, warmWindow) ||
+		(g.lastScan > 0 && now-g.lastScan <= warmWindow) {
+		lat /= 16
+	}
+	at := g.cpu.FreeAt() + lat
+	if g.quantum > 0 {
+		if min := g.lastScan + g.quantum; at < min {
+			at = min
+		}
+	}
+	eng.Schedule(at, g.scanF)
+}
+
+// scan is the batched upcall: walk the pending bitmap word by word, bit by
+// bit in member order, and deliver every signalled channel. Bits set by
+// handlers during the scan (a handler's Notify completing a ring cycle)
+// re-arm a fresh scan at least a quantum later rather than extending this
+// one, so one scan's work is bounded by the member count.
+//
+//kite:hotpath
+func (g *Demux) scan() {
+	g.armed = false
+	g.scans++
+	g.lastScan = g.cpu.Engine().Now()
+	for w := range g.pending {
+		word := g.pending[w]
+		if word == 0 {
+			continue
+		}
+		g.pending[w] = 0
+		for word != 0 {
+			idx := w<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			g.members[idx].deliverDemux()
+		}
+	}
+}
+
+// deliverDemux is channel.deliver minus the self-scheduled upcall: the
+// scan already paid the wake.
+func (c *channel) deliverDemux() {
+	c.pending = false
+	if c.dom.dead || c.state != chanConnected {
+		return
+	}
+	c.delivered++
+	c.lastEvent = c.cpu.Engine().Now()
+	if c.handler != nil {
+		c.handler()
+	}
+}

@@ -49,6 +49,11 @@ type channel struct {
 	// deliverF is the cached upcall closure; raise schedules it without
 	// allocating on every event.
 	deliverF func()
+	// demux, when set, routes this endpoint's upcalls through a batched
+	// demux group (see demux.go): raise marks demuxIdx's bit instead of
+	// scheduling a per-channel upcall.
+	demux    *Demux
+	demuxIdx int
 
 	sends     uint64
 	delivered uint64
@@ -144,6 +149,10 @@ func (c *channel) raise() {
 		return
 	}
 	c.pending = true
+	if c.demux != nil {
+		c.demux.mark(c.demuxIdx)
+		return
+	}
 	cpu := c.cpu
 	eng := c.dom.hv.Eng
 	lat := c.dom.IRQLatency

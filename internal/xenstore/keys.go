@@ -54,6 +54,24 @@ const (
 	KeyFeatureMaxIndirect = "feature-max-indirect-segments" // indirect descriptor cap
 )
 
+// Tenant-registry keys. A driver domain serving a fleet publishes one
+// subtree per guest under /local/domain/<dd>/tenant/<domid>/ so the
+// toolstack (and the kitebench summaries) can enumerate who is attached
+// to which backend without walking every device directory: vif/vbd
+// counts, the fleet service lane serving the tenant, and a liveness
+// marker maintained across attach/detach.
+const (
+	KeyTenantRoot  = "tenant" // subtree root under the driver domain
+	KeyTenantVifs  = "vifs"   // live vif count for this tenant
+	KeyTenantVbds  = "vbds"   // live vbd count for this tenant
+	KeyTenantLane  = "lane"   // fleet service lane index (-1 unassigned)
+	KeyTenantState = "state"  // "attached" while any device is live
+)
+
+// TenantStateAttached is the KeyTenantState value while a tenant holds at
+// least one live device on the driver domain.
+const TenantStateAttached = "attached"
+
 // Multi-queue negotiation keys, mirroring xen/io/netif.h: the backend
 // advertises KeyMultiQueueMaxQueues, the frontend answers with
 // KeyMultiQueueNumQueues and moves its rings into per-queue "queue-N/"
