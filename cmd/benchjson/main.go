@@ -76,6 +76,7 @@ func benchName(field string) string {
 func main() {
 	gate := flag.String("gate", "", "comma-separated benchmark entries (e.g. BenchmarkForwardPathMQ/queues=4) that must keep parallel_speedup >= 1 against their /queues=1 family baseline; a NAME@MIN suffix lowers the bar (BenchmarkBlockPathMQ/queues=8@0.9). Exit 1 on any miss")
 	gateAllocs := flag.String("gate-allocs", "", "comma-separated benchmark entries that must report 0 allocs/op; exit 1 otherwise")
+	gateSpeedup := flag.String("gate-speedup", "", "comma-separated FAMILY=MIN pairs (e.g. ForwardPathMQ=1.0); each family's /queues=4 entry must keep parallel_speedup >= MIN. A full entry name on the left (BlockPathMQ/queues=8=0.9) gates that entry instead. Exit 1 on any miss")
 	flag.Parse()
 	var results []result
 	sc := bufio.NewScanner(os.Stdin)
@@ -140,6 +141,53 @@ func main() {
 			checkGateAllocs(results, strings.TrimSpace(g))
 		}
 	}
+	if *gateSpeedup != "" {
+		for _, g := range strings.Split(*gateSpeedup, ",") {
+			checkGateSpeedup(results, strings.TrimSpace(g))
+		}
+	}
+}
+
+// checkGateSpeedup fails the run if a family's canonical parallel entry
+// (its /queues=4 sub-benchmark, unless the gate names a specific entry)
+// reports parallel_speedup below the given minimum. Unlike -gate, the bar
+// is explicit per family, so CI can hold the multi-queue configurations to
+// a floor that a regressing scheduler or barrier change would fall through.
+func checkGateSpeedup(results []result, gate string) {
+	i := strings.LastIndex(gate, "=")
+	if i <= 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: bad -gate-speedup entry %q (want FAMILY=MIN)\n", gate)
+		os.Exit(1)
+	}
+	min, err := strconv.ParseFloat(gate[i+1:], 64)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: bad -gate-speedup threshold %q\n", gate)
+		os.Exit(1)
+	}
+	name := gate[:i]
+	if !strings.Contains(name, "/queues=") {
+		name += "/queues=4"
+	}
+	if !strings.HasPrefix(name, "Benchmark") {
+		name = "Benchmark" + name
+	}
+	for _, r := range results {
+		if r.Name != name {
+			continue
+		}
+		if r.ParallelSpeedup == 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: speedup gate %s has no /queues=1 family baseline\n", name)
+			os.Exit(1)
+		}
+		if r.ParallelSpeedup < min {
+			fmt.Fprintf(os.Stderr, "benchjson: speedup gate %s below bar (parallel_speedup=%.3f < %.2f)\n",
+				name, r.ParallelSpeedup, min)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: speedup gate %s not found in benchmark output\n", name)
+	os.Exit(1)
 }
 
 // checkGate fails the run if the gated entry's parallel_speedup against

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	kitebench [-full] [-only FIG7,FIG11] [-parallel N] [-ablations] [-blk] [-queues N] [-cores N]
+//	          [-cpuprofile FILE] [-memprofile FILE]
 //
 // -full runs paper-scale workloads (more virtual seconds; wall-clock
 // minutes); the default quick scale preserves every comparison's shape.
@@ -24,6 +25,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"kite/internal/experiments"
@@ -39,7 +42,37 @@ func main() {
 	queues := flag.Int("queues", 0, "also run the deterministic multi-queue workload with this many queues per device")
 	guests := flag.Int("guests", 0, "also run the fleet workload: this many single-queue tenants on shared DRR service lanes")
 	cores := flag.Int("cores", 1, "worker goroutines for the multi-queue and fleet workloads' cluster shards")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit (after a final GC)")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kitebench: %v\n", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "kitebench: %v\n", err)
+			os.Exit(2)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "kitebench: %v\n", err)
+				os.Exit(2)
+			}
+			defer f.Close()
+			runtime.GC() // flush dead objects so the profile shows live retention
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "kitebench: %v\n", err)
+				os.Exit(2)
+			}
+		}()
+	}
 
 	scale := experiments.Quick()
 	if *full {

@@ -50,6 +50,12 @@ const laneReqQuantum = 32
 // vCPU with index cpuIdx (which is also the lane's NVMe submission
 // queue), doorbells demuxed at the costs' wake latency.
 func NewServiceLane(id int, dom *xen.Domain, eng *sim.Engine, cpuIdx int, costs Costs) *ServiceLane {
+	// Block lane workers currently share the driver shard (request threads
+	// drain same-engine rings), so this declaration is a no-op today; if a
+	// layout ever pins lanes onto their own cluster shards, the worker wake
+	// latency is the conservative cross-shard edge bound, mirroring
+	// netback's queue<->bridge declaration.
+	sim.DeclareLink(dom.CPUs.CPU(cpuIdx%dom.CPUs.Len()).Engine(), eng, costs.WakeLatency)
 	l := &ServiceLane{
 		id: id, eng: eng, cpu: dom.CPUs.CPU(cpuIdx), sq: cpuIdx,
 		quantum: laneReqQuantum,

@@ -120,6 +120,19 @@ func newSystem(seed uint64, cluster *sim.Cluster) *System {
 	var eng *sim.Engine
 	if cluster != nil {
 		eng = cluster.Shard(0)
+		// The PV transports form a star: every cross-shard hand-off runs
+		// between the home shard (devices, bridge, stacks) and a queue
+		// shard, never queue-to-queue. Declaring exactly those edges lets
+		// the cluster derive per-shard horizons — a queue shard is bounded
+		// by the home shard at one hop but by its sibling queues only at
+		// two (2·ShardLookahead via the closure) — and turns any
+		// undeclared queue-to-queue post into an immediate panic. The
+		// drivers refine these edges with their own hand-off latencies at
+		// pinning time (netback.SetShards/SetFleet, netfront queue setup).
+		for i := 1; i < cluster.Shards(); i++ {
+			cluster.DeclareEdge(0, i, ShardLookahead)
+			cluster.DeclareEdge(i, 0, ShardLookahead)
+		}
 	} else {
 		eng = sim.NewEngine()
 	}

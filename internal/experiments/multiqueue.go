@@ -36,7 +36,14 @@ type MQStats struct {
 	// line, separate from the queue-invariant summary above.
 	Shards  int    // cluster shards (1 + queues when sharded)
 	Windows uint64 // lookahead windows the cluster ran
+	Fused   uint64 // barriers skipped because no shard staged posts
 	Posts   uint64 // cross-shard posts merged at window barriers
+
+	// ShardEvents is the per-shard event count — how the timeline's work
+	// actually distributes over the shards. Like windows and posts, it is
+	// an execution-order-free property of the event timeline, identical at
+	// any worker count and GOMAXPROCS.
+	ShardEvents []uint64
 }
 
 // String renders the two summary lines exactly as kitebench prints them.
@@ -53,8 +60,8 @@ func (m MQStats) String() string {
 // facts), but varies with -queues, so kitebench prints it separately from
 // the queue-invariant summary.
 func (m MQStats) ShardLine() string {
-	return fmt.Sprintf("kitebench: mq shards %d, %d windows, %d cross-shard posts",
-		m.Shards, m.Windows, m.Posts)
+	return fmt.Sprintf("kitebench: mq shards %d, %d windows (%d fused), %d cross-shard posts, events per shard %d",
+		m.Shards, m.Windows, m.Fused, m.Posts, m.ShardEvents)
 }
 
 // fnv1a hashes b with FNV-1a, folding in a leading tag so datagrams that
@@ -190,7 +197,11 @@ func MQSummary(s Scale, queues, cores int) MQStats {
 	m.QueueReqs = metrics.BlkQueueRequests.Load() - qreq0
 	if c := sys.Cluster; c != nil {
 		m.Windows = c.Windows()
+		m.Fused = c.Fused()
 		m.Posts = c.Posted()
+		for i := 0; i < c.Shards(); i++ {
+			m.ShardEvents = append(m.ShardEvents, c.Shard(i).ProcessedLocal())
+		}
 	}
 	return m
 }

@@ -193,14 +193,29 @@ func stageRemote(stages []releaseStage, local, home *sim.Engine, b *Buf) {
 	st.armed = true
 	if st.flush == nil {
 		st.flush = func(any) { //kite:alloc-ok one closure per (free list, releasing shard), cached forever
+			// Every buffer on one stage belongs to the same free list, so
+			// the chain splices with one counter update per batch instead of
+			// three atomic adds per buffer — the bulk path must stay cheaper
+			// than the per-frame recycle an unsharded run pays inline.
+			var n int64
+			var p *Pool
 			for b := st.head; b != nil; {
 				next := b.stageNext
 				b.stageNext = nil
-				b.recycle()
+				if b.arena != nil {
+					b.arena.free = append(b.arena.free, b)
+				} else {
+					b.pool.free = append(b.pool.free, b)
+				}
+				p = b.pool
+				n++
 				b = next
 			}
 			st.head = nil
 			st.armed = false
+			p.outstanding.Add(-n)
+			p.recycled.Add(uint64(n))
+			metrics.FramePoolRecycles.Add(uint64(n))
 		}
 	}
 	local.Post(home, local.Cluster().Lookahead(), sim.PriRelease, st.flush, nil)

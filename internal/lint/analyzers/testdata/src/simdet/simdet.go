@@ -56,3 +56,32 @@ func spawnJustified(fn func()) {
 
 // Atomic counter adds commute, so sync/atomic stays exempt.
 func count(c *atomic.Uint64) { c.Add(1) }
+
+// parkedWorker mirrors the cluster's persistent barrier workers: a
+// long-lived goroutine that spins on an atomic epoch, parks on a buffered
+// wake channel, and is joined through a WaitGroup at retirement. The
+// //kite:shardsafe justification on the spawn is what makes the pattern
+// acceptable inside a deterministic package; the epoch/channel machinery
+// itself needs no directive (atomics are exempt, channel ops are not
+// flagged by simdet — evblock guards them on event-handler paths).
+type parkedWorker struct {
+	epoch  atomic.Uint64
+	wake   chan struct{}
+	retire atomic.Bool
+}
+
+func runParked(w *parkedWorker, wg *sync.WaitGroup, body func()) {
+	wg.Add(1)
+	go func() { //kite:shardsafe test fixture: epoch-barrier worker, effects ordered by the merge
+		defer wg.Done()
+		seen := uint64(0)
+		for !w.retire.Load() {
+			if e := w.epoch.Load(); e != seen {
+				seen = e
+				body()
+				continue
+			}
+			<-w.wake // park until the next epoch publish
+		}
+	}()
+}

@@ -75,6 +75,12 @@ func (d *Driver) SetShards(shards []*sim.Engine) {
 	d.shards = shards
 	d.thread = sim.NewTask(d.eng, d.dom.CPUs.CPU(d.dom.CPUs.Len()-1),
 		d.dom.Name+"/vif-invoker", d.costs.WakeLatency, d.scan)
+	// Every queue<->bridge dispatch models at least shardHandoff of
+	// latency, so that is the conservative edge bound between the bridge
+	// shard and each queue shard.
+	for _, sh := range shards {
+		sim.DeclareLink(d.eng, sh, shardHandoff)
+	}
 }
 
 // SetFleet switches the driver into fleet mode: instead of dedicated
@@ -87,6 +93,11 @@ func (d *Driver) SetFleet(shards []*sim.Engine) {
 	d.thread = sim.NewTask(d.eng, d.dom.CPUs.CPU(d.dom.CPUs.Len()-1),
 		d.dom.Name+"/vif-invoker", d.costs.WakeLatency, d.scan)
 	d.lanes = make([]*ServiceLane, len(shards))
+	for _, sh := range shards {
+		// Lane workers hand frames to/from the bridge shard with at least
+		// the queue dispatch latency, like dedicated-worker queues.
+		sim.DeclareLink(d.eng, sh, shardHandoff)
+	}
 	for i, sh := range shards {
 		fwd := len(shards) + i
 		if fwd > d.dom.CPUs.Len()-1 {

@@ -324,7 +324,10 @@ func (d *Device) initRings() {
 		if sharded {
 			// Queue i lives on shard i's engine, on guest vCPU i; the stack
 			// keeps the last vCPU. The Rx arena recycles on the same shard.
+			// Every stack<->queue dispatch models at least shardHandoff of
+			// latency: declare it as the edge bound for the pair.
 			q.eng = d.shards[i]
+			sim.DeclareLink(d.eng, q.eng, shardHandoff)
 			q.cpu = d.dom.CPUs.CPU(i)
 			q.cpu.SetEngine(q.eng)
 			q.rxArena = d.pool.NewArena()

@@ -4,27 +4,40 @@ package sim
 // one simulation into per-shard Engines (one heap each), executes them in
 // conservative lookahead windows, and merges cross-shard effects at a
 // deterministic barrier. The design is classic conservative parallel DES
-// (Chandy-Misra-Bryant specialized to a fixed minimum link latency):
+// (Chandy-Misra-Bryant specialized to fixed minimum link latencies):
 //
 //   - Every cross-shard interaction travels as a *post* with an explicit
-//     delay >= the cluster's lookahead. Physical latencies (NIC wire +
+//     delay >= the declared (src,dst) edge latency (or the cluster-wide
+//     lookahead when no edges are declared). Physical latencies (NIC wire +
 //     propagation delay, event-channel upcall latency, NVMe command fetch)
-//     give the lookahead a natural lower bound, so posts model real
-//     hand-off delays rather than artificial slack.
-//   - A window runs every shard independently up to the exclusive horizon
-//     `globalMinNextEvent + lookahead`. Any post created inside the window
-//     carries at >= now + lookahead >= horizon, so it can only mature in a
-//     later window: shards never observe each other mid-window, which is
-//     what makes the parallel execution race-free *by construction* and
+//     give each edge a natural lower bound, so posts model real hand-off
+//     delays rather than artificial slack.
+//   - A window runs every shard independently up to its *own* exclusive
+//     horizon: the minimum over all other active shards j of
+//     next(j) + dist(j, i), where dist is the min-plus closure of the edge
+//     matrix (the cheapest chain of posts that could carry an effect from
+//     j to i). Any post created inside the window matures at or beyond the
+//     destination's horizon, so shards never observe each other mid-window:
+//     the parallel execution is race-free *by construction* and
 //     bit-identical to the serial execution of the same windows.
+//   - A shard no active shard can reach (dist == infinity, or nothing else
+//     active) runs *free* — no horizon at all — until it stages a data
+//     post, at which point the destination gains a future event that could
+//     boomerang back, so the sprint ends at the next barrier. This
+//     subsumes the old sole-active express path.
 //   - At the barrier, outboxes are merged into per-shard inboxes ordered by
 //     the total (timestamp, priority, source shard, source sequence) key,
-//     so merge order never depends on goroutine scheduling.
+//     so merge order never depends on goroutine scheduling. Barriers that
+//     staged no posts are *fused*: the next window starts immediately with
+//     no merge work at all.
 //
 // Worker goroutines are an execution detail, not a semantic one: a Cluster
 // produces the same event timeline at any worker count and any GOMAXPROCS,
 // which the determinism matrix in internal/experiments locks in under the
-// race detector.
+// race detector. With SetWorkers(n > 1) the cluster keeps one persistent
+// goroutine per shard range, parked between windows: the per-window cost is
+// an atomic epoch publish and (only when a worker went to sleep) a channel
+// token, instead of goroutine creation + scheduler wakeup per window.
 //
 // Each shard also owns a partitioned RNG (splitmix-derived from the cluster
 // seed and the shard index), so stochastic elements bound to a shard draw
@@ -32,7 +45,9 @@ package sim
 
 import (
 	"fmt"
-	"sync" //kite:shardsafe WaitGroup is only used at the window barrier
+	"runtime"
+	"sync"        //kite:shardsafe WaitGroup only joins retiring barrier workers between windows
+	"sync/atomic" //kite:shardsafe epoch/pending publication at the window barrier only
 )
 
 // Cross-shard post priorities: at an equal timestamp, lower runs first.
@@ -80,6 +95,29 @@ func (p *postRec) before(o *postRec) bool {
 	return p.seq < o.seq
 }
 
+// timeMax is the "no bound" sentinel: an undeclared edge distance and the
+// free-sprint horizon.
+const timeMax = Time(1<<63 - 1)
+
+// barrierSpins bounds how long a persistent worker busy-waits (yielding to
+// the scheduler each spin) for the next window before parking on its wake
+// channel. Small on purpose: with more runnable workers than cores, parking
+// promptly is what keeps the barrier from degrading into a Gosched storm.
+const barrierSpins = 32
+
+// shardWorker is one persistent barrier worker owning a fixed contiguous
+// shard range. The epoch word each worker spins on sits alone on its cache
+// line so the publisher's stores never collide with another worker's spin.
+type shardWorker struct {
+	_     [64]byte
+	epoch atomic.Uint64 // latest window epoch published to this worker
+	_     [56]byte
+	wake  chan struct{} // one-token semaphore reviving a parked worker
+	lo    int           // shard range [lo, hi) this worker executes
+	hi    int
+	_     [64]byte
+}
+
 // Cluster coordinates a set of shard Engines under conservative lookahead
 // windows. Shard 0 is the "home" shard by convention (setup, devices, and
 // anything not pinned elsewhere); calling Run/Step/RunUntil on any shard
@@ -90,8 +128,39 @@ type Cluster struct {
 	lookahead Time
 	workers   int // max goroutines per window; <=1 means serial
 
-	windows uint64 // barrier count
+	// Per-edge lookahead (flattened n x n, src-major). edge holds the
+	// declared minimum direct post delay per (src,dst) pair — timeMax for
+	// pairs with no declared edge — and dist its min-plus closure: the
+	// cheapest chain of posts that can carry an effect from src to dst.
+	// Both stay nil until the first DeclareEdge, in which case every pair
+	// falls back to the uniform cluster lookahead.
+	edge      []Time
+	dist      []Time
+	edgeDirty bool // closure needs recomputing before the next window
+
+	windows uint64 // execution windows run
+	fused   uint64 // windows whose barrier staged nothing (no merge work)
 	posted  uint64 // cross-shard posts merged
+
+	// Window scratch, written by the driving goroutine before each epoch
+	// publish and read-only while shard goroutines run.
+	nexts     []Time // per-shard next local event (timeMax = idle)
+	horizons  []Time // per-shard exclusive horizon (0 = idle, timeMax = run free)
+	winLimit  Time   // exclusive upper bound for the window (RunUntil)
+	winBudget uint64 // per-shard event budget for the window
+
+	// Persistent barrier workers (spawned lazily at the first parallel
+	// window, re-partitioned when SetWorkers changes, parked in between).
+	ws         []*shardWorker
+	spawnedFor int // worker count ws was partitioned for
+	mainHi     int // the driving goroutine runs shards [0, mainHi)
+	epoch      uint64
+	retire     atomic.Bool
+	wg         sync.WaitGroup
+	_          [64]byte
+	pending    atomic.Int32 // workers still running the current window
+	_          [60]byte
+	doneCh     chan struct{}
 }
 
 // NewCluster builds n shard engines sharing one virtual clock, with the
@@ -105,18 +174,28 @@ func NewCluster(n int, lookahead Time, seed uint64) *Cluster {
 	if lookahead <= 0 {
 		panic("sim: cluster lookahead must be positive")
 	}
-	c := &Cluster{lookahead: lookahead, workers: 1}
+	c := &Cluster{
+		lookahead: lookahead,
+		workers:   1,
+		nexts:     make([]Time, n),
+		horizons:  make([]Time, n),
+	}
 	for i := 0; i < n; i++ {
 		e := NewEngine()
 		e.cluster = c
 		e.shard = i
-		e.outbox = make([][]postRec, n)
+		// The outbox header array is written by its shard mid-window; the
+		// guard slots at both ends keep one shard's append bookkeeping off
+		// any cache line another shard's headers live on.
+		const guard = 3 // 3 slice headers = 72 B >= one cache line
+		e.outbox = make([][]postRec, n+2*guard)[guard : guard+n]
 		c.shards = append(c.shards, e)
 		// Partitioned RNG: each shard's stream is derived from (seed, shard)
 		// through the splitmix increment, so streams are decorrelated and
 		// stable no matter how many shards run or in what order.
 		c.rngs = append(c.rngs, NewRand(seed^(uint64(i+1)*0x9e3779b97f4a7c15)))
 	}
+	c.mainHi = n
 	return c
 }
 
@@ -132,15 +211,111 @@ func (c *Cluster) Rand(i int) *Rand { return c.rngs[i] }
 // Lookahead returns the minimum cross-shard post delay.
 func (c *Cluster) Lookahead() Time { return c.lookahead }
 
-// Windows returns how many lookahead windows (barriers) have run.
+// Windows returns how many execution windows have run.
 func (c *Cluster) Windows() uint64 { return c.windows }
+
+// Fused returns how many of those windows ended in an empty barrier — no
+// shard staged a post, so the merge was skipped and the next window fused
+// straight on.
+func (c *Cluster) Fused() uint64 { return c.fused }
 
 // Posted returns how many cross-shard posts have been merged.
 func (c *Cluster) Posted() uint64 { return c.posted }
 
+// DeclareEdge declares that posts from shard src to shard dst always carry
+// a delay of at least min (a physical link/device latency, never below the
+// cluster lookahead). The first declaration flips the cluster into
+// edge-matrix mode: pairs that are never declared have *no* edge — posting
+// on one panics — which is exactly what lets unrelated shards run past each
+// other. Effects can still chain through intermediate shards, so horizons
+// use the min-plus closure of the declared matrix, recomputed lazily before
+// the next window. Declaring the same pair again keeps the minimum.
+func (c *Cluster) DeclareEdge(src, dst int, min Time) {
+	n := len(c.shards)
+	if src < 0 || src >= n || dst < 0 || dst >= n || src == dst {
+		panic(fmt.Sprintf("sim: DeclareEdge(%d, %d) outside cluster of %d shards", src, dst, n))
+	}
+	if min < c.lookahead {
+		panic(fmt.Sprintf("sim: edge latency %v below cluster lookahead %v", min, c.lookahead))
+	}
+	if c.edge == nil {
+		c.edge = make([]Time, n*n)
+		for i := range c.edge {
+			c.edge[i] = timeMax
+		}
+	}
+	if min < c.edge[src*n+dst] {
+		c.edge[src*n+dst] = min
+		c.edgeDirty = true
+	}
+}
+
+// DeclareLink declares a bidirectional edge between the shards of a and b
+// with the given minimum hand-off latency. It is a no-op when the engines
+// share a shard (or are not clustered), so pinning code can declare its
+// latencies unconditionally.
+func DeclareLink(a, b *Engine, min Time) {
+	c := a.cluster
+	if c == nil || b.cluster != c || a.shard == b.shard {
+		return
+	}
+	c.DeclareEdge(a.shard, b.shard, min)
+	c.DeclareEdge(b.shard, a.shard, min)
+}
+
+// EdgeDist returns the effective minimum latency for effects travelling
+// from shard src to shard dst (the closure over declared edges), or the
+// uniform lookahead when no edges are declared. timeMax means unreachable.
+func (c *Cluster) EdgeDist(src, dst int) Time {
+	if c.edge == nil {
+		return c.lookahead
+	}
+	if c.edgeDirty {
+		c.refreshEdges()
+	}
+	return c.dist[src*len(c.shards)+dst]
+}
+
+// refreshEdges recomputes the min-plus closure of the edge matrix
+// (Floyd-Warshall; shard counts are single digits in practice). All edge
+// weights are positive, so self-distances stay at timeMax and are never
+// consulted — a shard's horizon comes only from *other* shards.
+//
+//kite:coldpath runs only after DeclareEdge dirtied the matrix, i.e. during topology setup
+func (c *Cluster) refreshEdges() {
+	n := len(c.shards)
+	if c.dist == nil {
+		c.dist = make([]Time, n*n)
+	}
+	copy(c.dist, c.edge)
+	for k := 0; k < n; k++ {
+		krow := c.dist[k*n : k*n+n]
+		for i := 0; i < n; i++ {
+			if i == k {
+				continue
+			}
+			ik := c.dist[i*n+k]
+			if ik == timeMax {
+				continue
+			}
+			row := c.dist[i*n : i*n+n]
+			for j := 0; j < n; j++ {
+				if j == k || krow[j] == timeMax {
+					continue
+				}
+				if d := ik + krow[j]; d < row[j] {
+					row[j] = d
+				}
+			}
+		}
+	}
+	c.edgeDirty = false
+}
+
 // SetWorkers bounds the goroutines used per window. n <= 1 executes shards
-// serially in shard order; higher values run shards concurrently. The event
-// timeline is identical either way.
+// serially in shard order (and retires any parked workers); higher values
+// partition the shards across n-1 persistent worker goroutines plus the
+// driving goroutine. The event timeline is identical either way.
 func (c *Cluster) SetWorkers(n int) {
 	if n < 1 {
 		n = 1
@@ -149,147 +324,319 @@ func (c *Cluster) SetWorkers(n int) {
 		n = len(c.shards)
 	}
 	c.workers = n
+	if n <= 1 {
+		c.stopWorkers()
+	}
 }
 
 // Workers returns the configured per-window worker bound.
 func (c *Cluster) Workers() int { return c.workers }
 
-// nextTime returns the globally earliest pending event time.
-func (c *Cluster) nextTime() (Time, bool) {
-	var best Time
-	found := false
-	for _, s := range c.shards {
-		if t, ok := s.nextLocal(); ok && (!found || t < best) {
-			best, found = t, true
-		}
+// ensureWorkers (re)spawns the persistent workers to match the configured
+// worker count: the shards are split into `workers` contiguous ranges, the
+// driving goroutine keeps range 0 (which always contains shard 0) and each
+// remaining range gets one parked goroutine for the cluster's lifetime.
+//
+//kite:coldpath runs only when SetWorkers changed the worker count since the last window
+func (c *Cluster) ensureWorkers() {
+	if c.spawnedFor == c.workers {
+		return
 	}
-	return best, found
+	c.stopWorkers()
+	n := len(c.shards)
+	k := c.workers
+	c.doneCh = make(chan struct{}, 1)
+	lo := 0
+	for r := 0; r < k; r++ {
+		size := n / k
+		if r < n%k {
+			size++
+		}
+		hi := lo + size
+		if r == 0 {
+			c.mainHi = hi
+		} else {
+			w := &shardWorker{wake: make(chan struct{}, 1), lo: lo, hi: hi}
+			c.ws = append(c.ws, w)
+			c.wg.Add(1)
+			go c.workerLoop(w) //kite:shardsafe persistent barrier worker: runs disjoint shard ranges between epoch publishes; all cross-shard effects are ordered by the merge
+		}
+		lo = hi
+	}
+	c.spawnedFor = c.workers
 }
 
-// nextActive returns the globally earliest pending event time, how many
-// shards have pending events, and — when exactly one does — that shard.
-// The sole-active case feeds the express path below.
-func (c *Cluster) nextActive() (Time, *Engine, int) {
-	var best Time
-	var sole *Engine
-	n := 0
-	for _, s := range c.shards {
+// stopWorkers retires the persistent workers (SetWorkers shrink or
+// re-partition) and waits for them to exit.
+func (c *Cluster) stopWorkers() {
+	if len(c.ws) == 0 {
+		c.spawnedFor = 0
+		c.mainHi = len(c.shards)
+		return
+	}
+	c.retire.Store(true)
+	c.epoch++
+	for _, w := range c.ws {
+		w.epoch.Store(c.epoch)
+		select {
+		case w.wake <- struct{}{}:
+		default:
+		}
+	}
+	c.wg.Wait()
+	c.retire.Store(false)
+	c.ws = nil
+	c.spawnedFor = 0
+	c.mainHi = len(c.shards)
+}
+
+// workerLoop is the persistent barrier worker: spin briefly for the next
+// epoch, park on the wake channel if it does not arrive, run the owned
+// shard range, then check in at the barrier. The epoch store (publisher)
+// and load (here) carry the happens-before edge for the window inputs; the
+// pending count and done channel carry it back for the window's results.
+//
+// The wake channel holds at most one token and the publisher always
+// deposits one after advancing the epoch, so a worker that re-parks after a
+// stale token can never miss a window.
+func (c *Cluster) workerLoop(w *shardWorker) {
+	defer c.wg.Done()
+	var last uint64
+	for {
+		spins := 0
+		for w.epoch.Load() == last {
+			if spins < barrierSpins {
+				spins++
+				runtime.Gosched()
+				continue
+			}
+			<-w.wake
+			spins = 0
+		}
+		last = w.epoch.Load()
+		if c.retire.Load() {
+			return
+		}
+		c.runShardRange(w.lo, w.hi)
+		if c.pending.Add(-1) == 0 {
+			c.doneCh <- struct{}{}
+		}
+	}
+}
+
+// runShardRange executes one window for shards [lo, hi): each runs to its
+// own horizon (or sprints free when nothing active can reach it), recording
+// its event count in windowDone for the barrier to collect.
+func (c *Cluster) runShardRange(lo, hi int) {
+	for i := lo; i < hi; i++ {
+		s := c.shards[i]
+		switch h := c.horizons[i]; {
+		case h == 0:
+			s.windowDone = 0
+		case h == timeMax:
+			s.windowDone = s.runFree(c.winLimit, c.winBudget)
+		default:
+			s.windowDone = s.runTo(h, c.winBudget)
+		}
+	}
+}
+
+// runWindowShards executes the current window on every shard — inline when
+// serial, via the persistent workers when parallel. On return every shard's
+// windowDone is visible to the driving goroutine.
+func (c *Cluster) runWindowShards() {
+	n := len(c.shards)
+	if c.workers <= 1 || n == 1 {
+		c.runShardRange(0, n)
+		return
+	}
+	c.ensureWorkers()
+	c.epoch++
+	c.pending.Store(int32(len(c.ws)))
+	for _, w := range c.ws {
+		w.epoch.Store(c.epoch)
+		select {
+		case w.wake <- struct{}{}:
+		default:
+		}
+	}
+	c.runShardRange(0, c.mainHi)
+	<-c.doneCh
+}
+
+// computeHorizons snapshots every shard's next local event and derives the
+// per-shard horizons for the next window: shard i may run to the minimum
+// over other active shards j of next(j) + dist(j, i), exclusive, capped at
+// limit. Shards no active shard can reach get the free-sprint marker
+// (timeMax); idle shards get 0. It returns the globally earliest event time
+// and the number of active shards. The horizons are a pure function of the
+// pre-window event state, so serial and parallel execution see identical
+// windows.
+func (c *Cluster) computeHorizons(limit Time) (Time, int) {
+	if c.edgeDirty {
+		c.refreshEdges()
+	}
+	n := len(c.shards)
+	earliest := timeMax
+	active := 0
+	for i, s := range c.shards {
 		if t, ok := s.nextLocal(); ok {
-			if n == 0 || t < best {
-				best = t
+			c.nexts[i] = t
+			active++
+			if t < earliest {
+				earliest = t
 			}
-			sole = s
-			n++
+		} else {
+			c.nexts[i] = timeMax
 		}
 	}
-	if n != 1 {
-		sole = nil
+	if active == 0 || earliest >= limit {
+		return earliest, active
 	}
-	return best, sole, n
-}
-
-// runExpress drives a lone active shard without lookahead windows. While
-// every other shard is empty, the only possible source of new events
-// anywhere is s itself, so s may run arbitrarily far ahead — until it
-// stages a data post, whose destination then has a future event that could
-// eventually boomerang back. Release-only posts do not end the sprint: they
-// carry no events (the barrier executes them as pure bookkeeping, in the
-// same staged order), so shards stay empty no matter how many are staged.
-// The express path is decided purely by event state, so the timeline is
-// identical to the windowed execution at any worker count.
-func (c *Cluster) runExpress(s *Engine, limit Time, budget uint64) uint64 {
-	c.windows++
-	done := s.runFree(limit, budget)
-	c.merge()
-	return done
-}
-
-// runWindow executes every shard up to the exclusive horizon, then merges
-// outboxes at the barrier. budget caps the events executed (approximately,
-// in parallel mode: each shard sees the full remaining budget). It returns
-// the number of events executed.
-func (c *Cluster) runWindow(horizon Time, budget uint64) uint64 {
-	c.windows++
-	var done uint64
-	if c.workers <= 1 || len(c.shards) == 1 {
-		for _, s := range c.shards {
-			done += s.runTo(horizon, budget-done)
-			if done >= budget {
-				break
+	for i := range c.shards {
+		if c.nexts[i] == timeMax {
+			c.horizons[i] = 0
+			continue
+		}
+		h := timeMax
+		if c.dist == nil {
+			// Uniform lookahead: every other active shard bounds i equally.
+			for j := 0; j < n; j++ {
+				if j == i || c.nexts[j] == timeMax {
+					continue
+				}
+				if v := c.nexts[j] + c.lookahead; v < h {
+					h = v
+				}
+			}
+		} else {
+			for j := 0; j < n; j++ {
+				if j == i || c.nexts[j] == timeMax {
+					continue
+				}
+				d := c.dist[j*n+i]
+				if d == timeMax {
+					continue
+				}
+				if v := c.nexts[j] + d; v < h {
+					h = v
+				}
 			}
 		}
-	} else {
-		var wg sync.WaitGroup
-		for _, s := range c.shards {
-			wg.Add(1)
-			go func(s *Engine) { //kite:shardsafe shards share nothing mid-window; the barrier below orders all cross-shard effects
-				defer wg.Done()
-				s.windowDone = s.runTo(horizon, budget)
-			}(s)
+		if h != timeMax && h > limit {
+			h = limit
 		}
-		wg.Wait()
+		c.horizons[i] = h
+	}
+	return earliest, active
+}
+
+// runLoop is the window engine behind Run/RunUntil/RunCapped: compute
+// horizons, run the window, merge if anything was staged (fuse the barrier
+// if not), repeat until the cluster drains past limit or the budget is
+// spent. budget caps the events executed approximately: each shard sees the
+// full remaining budget within a window.
+//
+//kite:hotpath
+func (c *Cluster) runLoop(limit Time, budget uint64) uint64 {
+	var total uint64
+	for total < budget {
+		earliest, active := c.computeHorizons(limit)
+		if active == 0 || earliest >= limit {
+			break
+		}
+		c.windows++
+		c.winLimit = limit
+		c.winBudget = budget - total
+		c.runWindowShards()
+		var done, staged uint64
 		for _, s := range c.shards {
 			done += s.windowDone
+			staged += s.stagedPosts
+		}
+		total += done
+		if staged != 0 {
+			c.merge()
+		} else {
+			c.fused++
+			if done == 0 {
+				// The earliest shard's horizon always lies beyond its next
+				// event, so an empty window means the horizon math broke.
+				panic("sim: cluster window made no progress")
+			}
 		}
 	}
-	c.merge()
-	return done
+	return total
 }
 
 // merge is the deterministic barrier: every outbox drains into its
-// destination shard's inbox, and each inbox is re-sorted by the total
+// destination shard's inbox, and each inbox tail is re-sorted by the total
 // (timestamp, priority, source shard, source sequence) key. Keys are unique,
 // so the resulting order does not depend on which shard finished first.
+// Only called when at least one shard staged posts; source shards that
+// staged nothing are skipped wholesale, and runs of data posts are copied
+// with bulk appends (releases execute at the barrier itself, in the same
+// deterministic (dst, src, seq) visit order, and never become events).
 func (c *Cluster) merge() {
-	// A window that staged no posts has nothing to drain and changed no
-	// inbox; consumed inbox prefixes stay in place until the next
-	// post-carrying barrier compacts them. The per-engine counters are
-	// written only by their own shard mid-window, so summing them here —
-	// after the window's goroutines have joined — is race-free.
-	staged := uint64(0)
-	for _, s := range c.shards {
-		staged += s.stagedPosts
-		s.stagedPosts = 0
-	}
-	if staged == 0 {
-		return
-	}
 	for di, dst := range c.shards {
-		// Compact the consumed prefix so the slice acts as a recycled ring.
-		if dst.inboxHead > 0 {
-			n := copy(dst.inbox, dst.inbox[dst.inboxHead:])
-			for i := n; i < len(dst.inbox); i++ {
-				dst.inbox[i] = postRec{} // drop fn/arg refs held by spare slots
-			}
-			dst.inbox = dst.inbox[:n]
-			dst.inboxHead = 0
-		}
 		grew := false
 		for _, src := range c.shards {
+			if src.stagedPosts == 0 {
+				continue
+			}
 			ob := src.outbox[di]
 			if len(ob) == 0 {
 				continue
 			}
+			if !grew {
+				grew = true
+				// First inbound posts for this destination: recycle the
+				// consumed prefix. Consumed slots were already zeroed by
+				// stepLocal, so a fully drained inbox resets for free; a
+				// long partially-consumed prefix is compacted down.
+				if dst.inboxHead == len(dst.inbox) {
+					dst.inbox = dst.inbox[:0]
+					dst.inboxHead = 0
+				} else if dst.inboxHead >= 64 {
+					n := copy(dst.inbox, dst.inbox[dst.inboxHead:])
+					for i := n; i < len(dst.inbox); i++ {
+						dst.inbox[i] = postRec{} // drop fn/arg refs from vacated slots
+					}
+					dst.inbox = dst.inbox[:n]
+					dst.inboxHead = 0
+				}
+			}
+			start := -1
 			for i := range ob {
 				p := &ob[i]
-				if p.pri == PriRelease {
-					// Resource returns run at the barrier itself, in the same
-					// deterministic (dst, src, seq) order the merge visits
-					// them; no shard goroutine is live here, so touching the
-					// destination shard's free lists is race-free.
-					p.fn(p.arg)
-				} else {
-					dst.inbox = append(dst.inbox, *p) //kite:alloc-ok inbox grows to the burst high-water mark, then recycles
-					grew = true
+				if p.pri != PriRelease {
+					if start < 0 {
+						start = i
+					}
+					continue
 				}
-				*p = postRec{}
+				if start >= 0 {
+					dst.inbox = append(dst.inbox, ob[start:i]...) //kite:alloc-ok inbox grows to the burst high-water mark, then recycles
+					start = -1
+				}
+				// Resource returns run at the barrier itself; no shard
+				// goroutine is live here, so touching the destination
+				// shard's free lists is race-free.
+				p.fn(p.arg)
 			}
-			src.outbox[di] = ob[:0]
+			if start >= 0 {
+				dst.inbox = append(dst.inbox, ob[start:]...) //kite:alloc-ok inbox grows to the burst high-water mark, then recycles
+			}
 			c.posted += uint64(len(ob))
+			clear(ob)
+			src.outbox[di] = ob[:0]
 		}
 		if grew {
-			sortPosts(dst.inbox)
+			sortPosts(dst.inbox[dst.inboxHead:])
 		}
+	}
+	for _, s := range c.shards {
+		s.stagedPosts = 0
 	}
 }
 
@@ -309,22 +656,21 @@ func sortPosts(ps []postRec) {
 	}
 }
 
-// timeMax is the express-path "no limit" horizon.
-const timeMax = Time(1<<63 - 1)
+// nextTime returns the globally earliest pending event time.
+func (c *Cluster) nextTime() (Time, bool) {
+	var best Time
+	found := false
+	for _, s := range c.shards {
+		if t, ok := s.nextLocal(); ok && (!found || t < best) {
+			best, found = t, true
+		}
+	}
+	return best, found
+}
 
 // Run executes windows until no events remain anywhere.
 func (c *Cluster) Run() {
-	for {
-		t, sole, n := c.nextActive()
-		if n == 0 {
-			return
-		}
-		if sole != nil {
-			c.runExpress(sole, timeMax, ^uint64(0))
-			continue
-		}
-		c.runWindow(t+c.lookahead, ^uint64(0))
-	}
+	c.runLoop(timeMax, ^uint64(0))
 }
 
 // Step executes the single globally earliest pending event and merges the
@@ -342,28 +688,20 @@ func (c *Cluster) Step() bool {
 		return false
 	}
 	best.stepLocal(bt + 1)
-	c.merge()
+	var staged uint64
+	for _, s := range c.shards {
+		staged += s.stagedPosts
+	}
+	if staged != 0 {
+		c.merge()
+	}
 	return true
 }
 
 // RunUntil executes every event with timestamp <= t, then advances all
 // shard clocks to exactly t.
 func (c *Cluster) RunUntil(t Time) {
-	for {
-		next, sole, n := c.nextActive()
-		if n == 0 || next > t {
-			break
-		}
-		if sole != nil {
-			c.runExpress(sole, t+1, ^uint64(0))
-			continue
-		}
-		h := next + c.lookahead
-		if h > t+1 {
-			h = t + 1
-		}
-		c.runWindow(h, ^uint64(0))
-	}
+	c.runLoop(t+1, ^uint64(0))
 	for _, s := range c.shards {
 		if s.now < t {
 			s.now = t
@@ -373,20 +711,9 @@ func (c *Cluster) RunUntil(t Time) {
 
 // RunCapped runs until the cluster drains or ~maxEvents have been executed,
 // reporting whether it drained. Like Engine.RunCapped it is a livelock
-// guard, not a precise budget: parallel windows may overshoot slightly.
+// guard, not a precise budget: windows may overshoot slightly.
 func (c *Cluster) RunCapped(maxEvents uint64) bool {
-	var done uint64
-	for done < maxEvents {
-		t, sole, n := c.nextActive()
-		if n == 0 {
-			return true
-		}
-		if sole != nil {
-			done += c.runExpress(sole, timeMax, maxEvents-done)
-			continue
-		}
-		done += c.runWindow(t+c.lookahead, maxEvents-done)
-	}
+	c.runLoop(timeMax, maxEvents)
 	_, ok := c.nextTime()
 	return !ok
 }
@@ -410,7 +737,8 @@ func (c *Cluster) Processed() uint64 {
 }
 
 // Post stages fn(arg) to run on dst after delay, carrying pri as the
-// equal-timestamp merge rank. delay must be at least the cluster lookahead —
+// equal-timestamp merge rank. delay must be at least the declared (src,dst)
+// edge latency — the cluster lookahead when no edges are declared — and
 // that bound is exactly what lets shards run a window without peeking at
 // each other. Posting is allocation-free in steady state: the record is a
 // value in a recycled outbox slice, fn should be a long-lived func value,
@@ -422,8 +750,15 @@ func (e *Engine) Post(dst *Engine, delay Time, pri uint8, fn func(any), arg any)
 	if c == nil || dst.cluster != c {
 		panic("sim: Post requires both engines in one cluster")
 	}
-	if delay < c.lookahead {
-		panic(fmt.Sprintf("sim: post delay %v below cluster lookahead %v", delay, c.lookahead))
+	min := c.lookahead
+	if c.edge != nil {
+		min = c.edge[e.shard*len(c.shards)+dst.shard]
+		if min == timeMax {
+			panic(fmt.Sprintf("sim: post from shard %d to shard %d without a declared edge", e.shard, dst.shard))
+		}
+	}
+	if delay < min {
+		panic(fmt.Sprintf("sim: post delay %v below cluster lookahead %v", delay, min))
 	}
 	e.postSeq++
 	e.stagedPosts++
@@ -441,6 +776,10 @@ func (e *Engine) Cluster() *Cluster { return e.cluster }
 // ShardID returns this engine's shard index within its cluster (0 for a
 // standalone engine).
 func (e *Engine) ShardID() int { return e.shard }
+
+// ProcessedLocal returns the events executed by this engine alone — the
+// per-shard view of Processed, which reports the whole cluster.
+func (e *Engine) ProcessedLocal() uint64 { return e.processed }
 
 // nextLocal returns the earliest locally pending event time (heap or
 // inbox).
@@ -517,10 +856,12 @@ func (e *Engine) runTo(horizon Time, budget uint64) uint64 {
 }
 
 // runFree executes local events with timestamps strictly before limit, up
-// to budget, stopping after any event that stages a data post. Only the
-// express path (runExpress) may call it: the no-peeking guarantee shards
-// normally get from the lookahead horizon instead comes from every other
-// shard being empty.
+// to budget, stopping after any event that stages a data post. Only shards
+// with the free-sprint horizon run it: the no-peeking guarantee shards
+// normally get from the lookahead horizon instead comes from no *active*
+// shard having a post path to this one — and the sprint ends at the first
+// data post because the destination then holds a future event that could
+// chain back.
 func (e *Engine) runFree(limit Time, budget uint64) uint64 {
 	var done uint64
 	seq := e.dataPosts

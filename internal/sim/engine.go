@@ -91,6 +91,11 @@ const arity = 4
 // traffic flows through Post and the barrier-merged inbox. Run/Step and
 // friends on a clustered engine drive the whole cluster.
 type Engine struct {
+	// Shard engines of one cluster are mutated concurrently mid-window (by
+	// design they share nothing logically); the guard pads keep one
+	// engine's hot fields from sharing a boundary cache line with whatever
+	// object the allocator placed next to it — typically a sibling shard.
+	_         [64]byte
 	now       Time
 	heap      []event // slice-backed 4-ary min-heap, values not pointers
 	seq       uint64
@@ -101,11 +106,12 @@ type Engine struct {
 	shard       int
 	outbox      [][]postRec // staged posts, indexed by destination shard
 	postSeq     uint64      // deterministic per-shard post tie-break
-	dataPosts   uint64      // non-release posts staged (ends an express sprint)
+	dataPosts   uint64      // non-release posts staged (ends a free sprint)
 	stagedPosts uint64      // posts staged since the last merge (skip empty barriers)
 	inbox       []postRec   // barrier-merged posts, consumed front to back
 	inboxHead   int
-	windowDone  uint64 // events run in the current window (parallel mode)
+	windowDone  uint64 // events run in the current window (collected at the barrier)
+	_           [64]byte
 }
 
 // NewEngine returns an engine with the clock at zero and no pending events.
