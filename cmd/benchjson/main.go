@@ -22,12 +22,33 @@ type result struct {
 	BytesPerSec     float64 `json:"bytes_per_sec,omitempty"`
 	SimFramesPerSec float64 `json:"sim_frames_per_sec,omitempty"`
 	SimBytesPerSec  float64 `json:"sim_bytes_per_sec,omitempty"`
-	BytesPerOp      int64   `json:"bytes_per_op"`
-	AllocsPerOp     int64   `json:"allocs_per_op"`
+	// NsPerFrame is wall-clock nanoseconds per simulated frame (the
+	// benchmark's own ns/frame metric) — host-machine dependent.
+	NsPerFrame float64 `json:"ns_per_frame,omitempty"`
+	BytesPerOp int64   `json:"bytes_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
 	// ParallelSpeedup is the wall-clock ratio of this benchmark's
 	// /queues=1 family baseline to this entry: >1 means the sharded
 	// configuration finished the same wave faster than the serial one.
 	ParallelSpeedup float64 `json:"parallel_speedup,omitempty"`
+	// NsPerGuestOp is the virtual (simulated) nanoseconds of driver-domain
+	// time one guest operation costs, derived from simframes/sec on
+	// /guests=N sweep entries. Virtual time is deterministic and identical
+	// on every host, so scaling gates compare this, not wall clock: wall
+	// ns/frame across fleet sizes mostly measures the host's cache
+	// hierarchy (a 1024-guest working set misses where 64 guests fit),
+	// which says nothing about the simulated data plane.
+	NsPerGuestOp float64 `json:"ns_per_guest_op,omitempty"`
+}
+
+// fillPerGuest derives ns_per_guest_op for fleet-sweep entries (/guests=N)
+// from their virtual throughput.
+func fillPerGuest(results []result) {
+	for i := range results {
+		if strings.Contains(results[i].Name, "/guests=") && results[i].SimFramesPerSec > 0 {
+			results[i].NsPerGuestOp = 1e9 / results[i].SimFramesPerSec
+		}
+	}
 }
 
 // fillSpeedups computes ParallelSpeedup for every /queues=N entry from the
@@ -77,6 +98,7 @@ func main() {
 	gate := flag.String("gate", "", "comma-separated benchmark entries (e.g. BenchmarkForwardPathMQ/queues=4) that must keep parallel_speedup >= 1 against their /queues=1 family baseline; a NAME@MIN suffix lowers the bar (BenchmarkBlockPathMQ/queues=8@0.9). Exit 1 on any miss")
 	gateAllocs := flag.String("gate-allocs", "", "comma-separated benchmark entries that must report 0 allocs/op; exit 1 otherwise")
 	gateSpeedup := flag.String("gate-speedup", "", "comma-separated FAMILY=MIN pairs (e.g. ForwardPathMQ=1.0); each family's /queues=4 entry must keep parallel_speedup >= MIN. A full entry name on the left (BlockPathMQ/queues=8=0.9) gates that entry instead. Exit 1 on any miss")
+	gateFlat := flag.String("gate-flat", "", "comma-separated BIG:SMALL@MAX entries (e.g. Fleet/guests=1024:Fleet/guests=64@1.25); the BIG entry's ns_per_guest_op must stay <= MAX x the SMALL entry's. Compares virtual per-guest cost, which is deterministic across hosts. Exit 1 on any miss")
 	flag.Parse()
 	var results []result
 	sc := bufio.NewScanner(os.Stdin)
@@ -108,6 +130,8 @@ func main() {
 				r.SimFramesPerSec = v
 			case "simbytes/sec":
 				r.SimBytesPerSec = v
+			case "ns/frame":
+				r.NsPerFrame = v
 			case "B/op":
 				r.BytesPerOp = int64(v)
 			case "allocs/op":
@@ -125,6 +149,7 @@ func main() {
 		os.Exit(1)
 	}
 	fillSpeedups(results)
+	fillPerGuest(results)
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(results); err != nil {
@@ -145,6 +170,60 @@ func main() {
 		for _, g := range strings.Split(*gateSpeedup, ",") {
 			checkGateSpeedup(results, strings.TrimSpace(g))
 		}
+	}
+	if *gateFlat != "" {
+		for _, g := range strings.Split(*gateFlat, ",") {
+			checkGateFlat(results, strings.TrimSpace(g))
+		}
+	}
+}
+
+// checkGateFlat fails the run if the BIG entry's virtual per-guest cost
+// exceeds MAX times the SMALL entry's (gate format BIG:SMALL@MAX). This is
+// the fleet-scaling flatness gate: ns_per_guest_op is simulated time, so
+// the comparison is exact and machine-independent — any miss is a real
+// O(fleet) term creeping back into the data plane, not host cache noise.
+func checkGateFlat(results []result, gate string) {
+	spec := gate
+	i := strings.LastIndex(spec, "@")
+	if i < 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: bad -gate-flat entry %q (want BIG:SMALL@MAX)\n", gate)
+		os.Exit(1)
+	}
+	max, err := strconv.ParseFloat(spec[i+1:], 64)
+	if err != nil || max <= 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: bad -gate-flat ratio in %q\n", gate)
+		os.Exit(1)
+	}
+	names := strings.SplitN(spec[:i], ":", 2)
+	if len(names) != 2 {
+		fmt.Fprintf(os.Stderr, "benchjson: bad -gate-flat entry %q (want BIG:SMALL@MAX)\n", gate)
+		os.Exit(1)
+	}
+	find := func(name string) *result {
+		if !strings.HasPrefix(name, "Benchmark") {
+			name = "Benchmark" + name
+		}
+		for j := range results {
+			if results[j].Name == name {
+				return &results[j]
+			}
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: flatness gate entry %s not found in benchmark output\n", name)
+		os.Exit(1)
+		return nil
+	}
+	big, small := find(names[0]), find(names[1])
+	if big.NsPerGuestOp <= 0 || small.NsPerGuestOp <= 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: flatness gate %s needs ns_per_guest_op on both entries (missing simframes/sec metric?)\n", gate)
+		os.Exit(1)
+	}
+	ratio := big.NsPerGuestOp / small.NsPerGuestOp
+	if ratio > max {
+		fmt.Fprintf(os.Stderr,
+			"benchjson: flatness gate %s failed: measured %s=%.1f / %s=%.1f ns_per_guest_op, ratio %.3f, required <= %.2f\n",
+			gate, big.Name, big.NsPerGuestOp, small.Name, small.NsPerGuestOp, ratio, max)
+		os.Exit(1)
 	}
 }
 
@@ -180,7 +259,7 @@ func checkGateSpeedup(results []result, gate string) {
 			os.Exit(1)
 		}
 		if r.ParallelSpeedup < min {
-			fmt.Fprintf(os.Stderr, "benchjson: speedup gate %s below bar (parallel_speedup=%.3f < %.2f)\n",
+			fmt.Fprintf(os.Stderr, "benchjson: speedup gate %s failed: measured parallel_speedup=%.3f, required >= %.2f (tolerances documented in EXPERIMENTS.md)\n",
 				name, r.ParallelSpeedup, min)
 			os.Exit(1)
 		}
@@ -213,7 +292,7 @@ func checkGate(results []result, gate string) {
 			os.Exit(1)
 		}
 		if r.ParallelSpeedup < min {
-			fmt.Fprintf(os.Stderr, "benchjson: gate %s is below its queues=1 baseline bar (parallel_speedup=%.3f < %.2f)\n",
+			fmt.Fprintf(os.Stderr, "benchjson: gate %s failed: measured parallel_speedup=%.3f against its /queues=1 family baseline, required >= %.2f (tolerances documented in EXPERIMENTS.md)\n",
 				gate, r.ParallelSpeedup, min)
 			os.Exit(1)
 		}
@@ -232,7 +311,7 @@ func checkGateAllocs(results []result, gate string) {
 			continue
 		}
 		if r.AllocsPerOp != 0 {
-			fmt.Fprintf(os.Stderr, "benchjson: gate %s allocates (%d allocs/op, %d B/op)\n",
+			fmt.Fprintf(os.Stderr, "benchjson: allocs gate %s failed: measured %d allocs/op (%d B/op), required 0 allocs/op\n",
 				gate, r.AllocsPerOp, r.BytesPerOp)
 			os.Exit(1)
 		}

@@ -125,10 +125,10 @@ type ioQueue struct {
 	pmaps  map[xen.GrantRef]*xen.Mapping
 
 	// Fleet mode: the shared DRR worker serving this queue (thread is nil
-	// then), its round-list membership flag, and the request deficit.
-	lane       *ServiceLane
-	laneActive bool
-	deficit    int
+	// then) and the queue's slot in the lane's member slab (deficit, ring
+	// links, owed-response flag live there; -1 after detach).
+	lane     *ServiceLane
+	laneSlot int32
 
 	// notify coalesces response publication: every respond in a completion
 	// burst queues privately, and one wake publishes the lot and sends at
@@ -256,6 +256,7 @@ func NewInstanceOnLane(eng *sim.Engine, dom *xen.Domain, frontDom xen.DomID, dev
 	if err := lane.demux.Join(port); err != nil {
 		return nil, fmt.Errorf("blkback: %s: %w", inst.name, err)
 	}
+	q.laneSlot = lane.join(q)
 	q.notify = sim.NewBatch(eng, q.flushResponses)
 	inst.queues = []*ioQueue{q}
 	return inst, nil
@@ -661,6 +662,12 @@ func (q *ioQueue) complete(op *deviceOp, err error) {
 func (q *ioQueue) respond(id uint64, status int8) {
 	if !q.ring.PushResponse(blkif.Response{ID: id, Status: status}) {
 		return // protocol violation by frontend; nothing sane to do
+	}
+	if q.lane != nil && q.lane.inRound {
+		// Mid-round respond (parse error): the round's flush pass publishes
+		// once per member; no per-respond batch event.
+		q.lane.members[q.laneSlot].notify = true
+		return
 	}
 	q.notify.Arm(q.inst.eng.Now())
 }

@@ -17,11 +17,19 @@ import (
 // earns a request quantum per round and its ring is drained only up to
 // the accumulated deficit, so a tenant issuing 10x the I/O gets exactly
 // its share per round and no more. Members with leftover backlog stay in
-// the round list; drained members leave and forfeit their deficit.
+// the round; drained members leave and forfeit their deficit.
+//
+// Round state lives in a slot-indexed member slab — deficit, owed-response
+// flag, and active-ring links packed per member — walked through an
+// intrusive doubly-linked ring of backlogged members only: doorbell
+// arrival re-links a member in O(1), teardown unlinks in O(1), and idle
+// tenants are not in the ring and cost zero.
 //
 // Doorbells batch through one xen.Demux group per lane: every member
 // port joins it and one scan per doorbell quantum serves the whole
-// pending bitmap.
+// pending bitmap. Responses a round produces synchronously (parse
+// errors) are published once per member at the end of the round instead
+// of scheduling one publication event per respond call.
 type ServiceLane struct {
 	id     int
 	eng    *sim.Engine
@@ -35,12 +43,37 @@ type ServiceLane struct {
 	// tenant; fairness does not depend on the exact value.
 	quantum int
 
-	// active is the DRR round list in activation order; compacted in
-	// place each round, so it grows to the member high-water mark and
-	// then never allocates.
-	active []*ioQueue
+	// members is the slot-indexed slab of per-member round state; slots
+	// are assigned at join, recycled through freeSlots at detach, and
+	// addressed by ioQueue.laneSlot.
+	members   []laneMember
+	freeSlots []int32
+	// head is the active ring: a circular doubly-linked list (slot
+	// indices) of members with backlog, in activation order; -1 when
+	// empty.
+	head    int32
+	activeN int
+	// served is the round's scratch list of visited slots, reused so the
+	// end-of-round response flush allocates nothing.
+	served []int32
+	// inRound is set while the worker executes a round: responds issued
+	// synchronously under it defer their publication to the round's flush
+	// pass instead of arming one batch event each.
+	inRound bool
 
 	rounds uint64
+}
+
+// laneMember is one tenant queue's round state, packed in the lane slab.
+type laneMember struct {
+	q       *ioQueue
+	deficit int
+	// notify records responses pushed during the round that still await
+	// publication, flushed once per member at the end of the round.
+	notify bool
+	// next/prev are the active-ring links (slot indices); next == -1 means
+	// the member is not backlogged and costs no round time.
+	next, prev int32
 }
 
 // laneReqQuantum is the default per-tenant request allotment per round.
@@ -58,7 +91,7 @@ func NewServiceLane(id int, dom *xen.Domain, eng *sim.Engine, cpuIdx int, costs 
 	sim.DeclareLink(dom.CPUs.CPU(cpuIdx%dom.CPUs.Len()).Engine(), eng, costs.WakeLatency)
 	l := &ServiceLane{
 		id: id, eng: eng, cpu: dom.CPUs.CPU(cpuIdx), sq: cpuIdx,
-		quantum: laneReqQuantum,
+		quantum: laneReqQuantum, head: -1,
 	}
 	l.demux = dom.NewDemux(l.cpu, costs.WakeLatency)
 	l.worker = sim.NewTask(eng, l.cpu, fmt.Sprintf("blkback/lane%d", id),
@@ -79,67 +112,130 @@ func (l *ServiceLane) Rounds() uint64 { return l.rounds }
 // member doorbells absorbed into them.
 func (l *ServiceLane) DemuxStats() (scans, marks uint64) { return l.demux.Stats() }
 
-// detach removes a departing tenant's queue from the lane: its doorbell
-// leaves the demux group and any spot in the current DRR round is
-// forfeited. Runs during Instance.Shutdown, before the queue's port
-// closes — a churning fleet must not pin one dead member slot per
-// departure.
-func (l *ServiceLane) detach(q *ioQueue) {
-	l.demux.Leave(q.port)
-	if q.laneActive {
-		for i, m := range l.active {
-			if m == q {
-				l.active = append(l.active[:i], l.active[i+1:]...)
-				break
-			}
-		}
-		q.laneActive = false
+// join assigns q a member slot in the lane slab (recycling departed
+// tenants' slots) and returns its index.
+func (l *ServiceLane) join(q *ioQueue) int32 {
+	var s int32
+	if n := len(l.freeSlots); n > 0 {
+		s = l.freeSlots[n-1]
+		l.freeSlots = l.freeSlots[:n-1]
+	} else {
+		s = int32(len(l.members))
+		l.members = append(l.members, laneMember{}) //kite:alloc-ok slab grows to the member high-water mark
 	}
-	q.deficit = 0
+	l.members[s] = laneMember{q: q, next: -1, prev: -1}
+	return s
 }
 
-// activate puts q into the DRR round list (if not already there) and
+// link appends slot s to the active ring's tail (activation order).
+//
+//kite:hotpath
+func (l *ServiceLane) link(s int32) {
+	m := &l.members[s]
+	if l.head < 0 {
+		m.next, m.prev = s, s
+		l.head = s
+	} else {
+		tail := l.members[l.head].prev
+		m.prev, m.next = tail, l.head
+		l.members[tail].next = s
+		l.members[l.head].prev = s
+	}
+	l.activeN++
+}
+
+// unlink removes slot s from the active ring in O(1).
+//
+//kite:hotpath
+func (l *ServiceLane) unlink(s int32) {
+	m := &l.members[s]
+	if m.next == s {
+		l.head = -1
+	} else {
+		l.members[m.prev].next = m.next
+		l.members[m.next].prev = m.prev
+		if l.head == s {
+			l.head = m.next
+		}
+	}
+	m.next, m.prev = -1, -1
+	l.activeN--
+}
+
+// detach removes a departing tenant's queue from the lane: its doorbell
+// leaves the demux group, any spot in the current DRR round is forfeited
+// in O(1), and its slab slot returns to the free list. Runs during
+// Instance.Shutdown, before the queue's port closes — a churning fleet
+// must not pin one dead member slot per departure.
+func (l *ServiceLane) detach(q *ioQueue) {
+	l.demux.Leave(q.port)
+	s := q.laneSlot
+	if s < 0 {
+		return
+	}
+	if l.members[s].next >= 0 {
+		l.unlink(s)
+	}
+	l.members[s] = laneMember{next: -1, prev: -1}
+	l.freeSlots = append(l.freeSlots, s)
+	q.laneSlot = -1
+}
+
+// activate links q into the DRR round (if not already there) in O(1) and
 // wakes the worker.
 //
 //kite:hotpath
 func (l *ServiceLane) activate(q *ioQueue) {
-	if !q.laneActive {
-		q.laneActive = true
-		l.active = append(l.active, q) //kite:alloc-ok round list grows to the member high-water mark
+	if l.members[q.laneSlot].next < 0 {
+		l.link(q.laneSlot)
 	}
 	l.worker.Wake()
 }
 
 // round is the worker body: one deficit-round-robin pass over the active
-// members, visiting each in activation order and compacting in place. A
-// member stays in the list only if budget — not work — ran out; another
-// round is scheduled while anyone still has backlog.
+// ring. Each backlogged member earns a quantum and its ring is drained
+// against the accumulated deficit; a member stays linked only if budget —
+// not work — ran out. The pass touches exactly the backlogged members,
+// then publishes each served member's synchronously pushed responses at
+// most once. Another round is scheduled while anyone still has backlog.
 func (l *ServiceLane) round() {
-	n := len(l.active)
+	n := l.activeN
 	if n == 0 {
 		return
 	}
 	l.rounds++
-	keep := l.active[:0]
+	l.inRound = true
+	served := l.served[:0]
+	s := l.head
 	for i := 0; i < n; i++ {
-		q := l.active[i]
-		q.deficit += l.quantum
-		used, more := q.drainBudget(q.deficit)
-		q.deficit -= used
-		if more {
-			keep = append(keep, q) // in place: keep's write index never passes i
-		} else {
+		m := &l.members[s]
+		next := m.next
+		q := m.q
+		m.deficit += l.quantum
+		used, more := q.drainBudget(m.deficit)
+		m.deficit -= used
+		if !more {
 			// Drained: leave the round and forfeit the unused deficit, so
 			// idle tenants cannot bank credit against future backlogs.
-			q.laneActive = false
-			q.deficit = 0
+			l.unlink(s)
+			m.deficit = 0
+		}
+		served = append(served, s) //kite:alloc-ok scratch grows to the round high-water mark
+		s = next
+	}
+	l.inRound = false
+	// Publish owed responses once per round across members, back to back:
+	// each served member raises at most one notification however many
+	// respond calls the round made on its behalf.
+	for _, s := range served {
+		m := &l.members[s]
+		if m.notify {
+			m.notify = false
+			m.q.flushResponses()
 		}
 	}
-	for i := len(keep); i < n; i++ {
-		l.active[i] = nil // drop dangling member references past the compacted tail
-	}
-	l.active = keep
-	if len(l.active) > 0 {
+	l.served = served[:0]
+	if l.activeN > 0 {
 		l.worker.Wake()
 	}
 }

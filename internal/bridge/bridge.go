@@ -43,6 +43,14 @@ type Bridge struct {
 	PerFrameCost sim.Time
 
 	ports []Port
+	// trunk is the non-isolated subset of ports in attach order: the flood
+	// targets for frames arriving on an isolated port. Fleet mode isolates
+	// every tenant VIF (they only ever talk through the NAT router), so one
+	// tenant's ARP broadcast reaches the router port instead of fanning out
+	// a copy to every other tenant — without this, fleet bring-up is an
+	// O(tenants²) flood storm.
+	trunk []Port
+	iso   map[Port]bool
 	fdb   fdb
 	stats Stats
 
@@ -91,6 +99,33 @@ func (b *Bridge) AddPort(p Port) {
 		}
 	}
 	b.ports = append(b.ports, p)
+	b.rebuildTrunk()
+}
+
+// SetIsolated marks or clears port isolation (the bridge-port "isolated"
+// flag): frames from an isolated port are never flooded to other isolated
+// ports, only to trunk ports. Known-unicast forwarding is unaffected.
+func (b *Bridge) SetIsolated(p Port, iso bool) {
+	if iso {
+		if b.iso == nil {
+			b.iso = make(map[Port]bool)
+		}
+		b.iso[p] = true
+	} else {
+		delete(b.iso, p)
+	}
+	b.rebuildTrunk()
+}
+
+// rebuildTrunk re-derives the non-isolated port list in attach order
+// (control plane only; flood scans read it).
+func (b *Bridge) rebuildTrunk() {
+	b.trunk = b.trunk[:0]
+	for _, p := range b.ports {
+		if !b.iso[p] {
+			b.trunk = append(b.trunk, p)
+		}
+	}
 }
 
 // RemovePort detaches a port and flushes its learned addresses (a guest or
@@ -102,6 +137,8 @@ func (b *Bridge) RemovePort(p Port) {
 			break
 		}
 	}
+	delete(b.iso, p)
+	b.rebuildTrunk()
 	b.fdb.removePort(p)
 }
 
@@ -225,9 +262,14 @@ func (b *Bridge) input(from Port, frame *framepool.Buf, at sim.Time, l *Lane) {
 			return
 		}
 	}
-	// Flood: broadcast or unknown destination.
+	// Flood: broadcast or unknown destination. An isolated source floods
+	// only to the trunk ports.
+	targets := b.ports
+	if b.iso[from] {
+		targets = b.trunk
+	}
 	sent := false
-	for _, p := range b.ports {
+	for _, p := range targets {
 		if p == from {
 			continue
 		}

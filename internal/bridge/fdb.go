@@ -3,6 +3,7 @@ package bridge
 import (
 	"kite/internal/netpkt"
 	"kite/internal/sim"
+	"kite/internal/timewheel"
 )
 
 // The forwarding database is sharded so a driver domain serving hundreds
@@ -35,6 +36,10 @@ type fdbEntry struct {
 	port     Port
 	hash     uint32
 	lastSeen sim.Time
+	// node is the entry's aging-wheel node. It moves with the entry through
+	// growth rehashing and backward-shift deletion (entries copy by value);
+	// deletion simply orphans the node, which the next aging pass reaps.
+	node timewheel.Handle
 }
 
 // fdbShard is one open-addressing table: linear probing on the low hash
@@ -48,6 +53,10 @@ type fdbShard struct {
 type fdb struct {
 	hash   netpkt.RSS
 	shards [fdbShardCnt]fdbShard
+	// wheel ages entries by last activity: one O(1) node insert per learned
+	// MAC, no wheel traffic on refresh, and an aging pass costs O(entries
+	// actually due) instead of a full-table sweep.
+	wheel *timewheel.Wheel
 }
 
 // fdbSeed keys the FDB's Toeplitz tables. Fixed so every run spreads MACs
@@ -55,8 +64,28 @@ type fdb struct {
 // collisions must not imply FDB probe collisions.
 const fdbSeed = 0xFDB0_5EED_0000_0001
 
+// fdbWheelGran × fdbWheelBuckets is the wheel rotation; aging cutoffs well
+// inside one rotation probe each healthy entry at most once per cutoff.
+const (
+	fdbWheelGran    = sim.Second
+	fdbWheelBuckets = 256
+)
+
 func (f *fdb) init() {
 	f.hash = netpkt.NewRSS(fdbSeed)
+	f.wheel = timewheel.New(fdbWheelGran, fdbWheelBuckets)
+}
+
+// macKey packs a MAC into the wheel's uint64 key space.
+func macKey(mac netpkt.MAC) uint64 {
+	return uint64(mac[0])<<40 | uint64(mac[1])<<32 | uint64(mac[2])<<24 |
+		uint64(mac[3])<<16 | uint64(mac[4])<<8 | uint64(mac[5])
+}
+
+// keyMAC unpacks macKey.
+func keyMAC(k uint64) netpkt.MAC {
+	return netpkt.MAC{byte(k >> 40), byte(k >> 32), byte(k >> 24),
+		byte(k >> 16), byte(k >> 8), byte(k)}
 }
 
 // macHash pads the 6-byte MAC into the Toeplitz window.
@@ -112,7 +141,8 @@ func (f *fdb) learn(mac netpkt.MAC, port Port, now sim.Time) bool {
 	for i := h & mask; ; i = (i + 1) & mask {
 		e := &s.slots[i]
 		if !e.used {
-			*e = fdbEntry{mac: mac, used: true, port: port, hash: h, lastSeen: now}
+			*e = fdbEntry{mac: mac, used: true, port: port, hash: h, lastSeen: now,
+				node: f.wheel.Add(macKey(mac), now)}
 			s.count++
 			return true
 		}
@@ -219,24 +249,45 @@ func (f *fdb) removePort(port Port) int {
 	return flushed
 }
 
-// age evicts every entry idle longer than maxIdle, in deterministic
-// shard/slot order, and returns how many were dropped. This is the FDB's
-// periodic GC — the control-plane sweep that keeps a fleet's worth of
-// short-lived guests from pinning table space forever.
-func (f *fdb) age(now, maxIdle sim.Time) int {
-	dropped := 0
-	for si := range f.shards {
-		s := &f.shards[si]
-		for i := uint32(0); int(i) < len(s.slots); {
-			e := &s.slots[i]
-			if e.used && now-e.lastSeen > maxIdle {
-				s.deleteAt(i)
-				dropped++
-				continue
-			}
-			i++
+// entryOf returns mac's live entry, or nil.
+func (f *fdb) entryOf(mac netpkt.MAC) *fdbEntry {
+	h := f.macHash(mac)
+	s := f.shardOf(h)
+	if len(s.slots) == 0 {
+		return nil
+	}
+	mask := uint32(len(s.slots) - 1)
+	for i := h & mask; ; i = (i + 1) & mask {
+		e := &s.slots[i]
+		if !e.used {
+			return nil
+		}
+		if e.mac == mac {
+			return e
 		}
 	}
+}
+
+// age evicts every entry idle longer than maxIdle and returns how many
+// were dropped — the FDB's periodic GC, keeping a fleet's worth of
+// short-lived guests from pinning table space forever. The wheel pass
+// probes only entries whose last activity has fallen behind the cutoff
+// (plus any orphaned nodes that came due), so a fleet of busy guests pays
+// nothing here; the evicted set is exactly what a full sweep would drop.
+func (f *fdb) age(now, maxIdle sim.Time) int {
+	dropped := 0
+	f.wheel.Advance(now-maxIdle-1,
+		func(h timewheel.Handle, key uint64) sim.Time {
+			e := f.entryOf(keyMAC(key))
+			if e == nil || e.node != h {
+				return timewheel.Gone
+			}
+			return e.lastSeen
+		},
+		func(key uint64) {
+			f.removeEntry(keyMAC(key))
+			dropped++
+		})
 	return dropped
 }
 

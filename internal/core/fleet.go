@@ -92,13 +92,15 @@ func NewFleetRig(cfg FleetConfig) (*FleetRig, error) {
 		}
 		rig.Guests = append(rig.Guests, g)
 	}
+	// Cursor instead of a full rescan: RunReady polls after every event, so
+	// restarting from guest 0 each time makes bring-up O(guests²) — the
+	// cursor only ever advances, and guests never un-ready during setup.
+	cursor := 0
 	allReady := func() bool {
-		for _, g := range rig.Guests {
-			if !g.Ready() {
-				return false
-			}
+		for cursor < len(rig.Guests) && rig.Guests[cursor].Ready() {
+			cursor++
 		}
-		return true
+		return cursor == len(rig.Guests)
 	}
 	// The handshake budget scales with the fleet: every tenant runs the
 	// full xenbus negotiation plus ring setup.

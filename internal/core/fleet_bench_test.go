@@ -18,7 +18,7 @@ import (
 // steady state allocates nothing at any scale. `make bench` snapshots
 // the sweep into BENCH_net.json next to the forward-path families.
 func BenchmarkFleet(b *testing.B) {
-	for _, guests := range []int{16, 64, 256} {
+	for _, guests := range []int{16, 64, 256, 1024} {
 		b.Run(fmt.Sprintf("guests=%d", guests), func(b *testing.B) {
 			rig, err := NewFleetRig(FleetConfig{
 				Guests: guests, Lanes: 4, Seed: 0xf1ee7,

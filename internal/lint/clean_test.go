@@ -74,6 +74,19 @@ func TestHotPathCoverage(t *testing.T) {
 		{"kite/internal/framepool", "Release"},
 		{"kite/internal/blkpool", "Get"},
 		{"kite/internal/blkpool", "Release"},
+		// Fleet O(active) fast paths: the shared-lane active ring, the
+		// two-level doorbell bitmap, and the idle-aging timer wheel.
+		{"kite/internal/netback", "activate"},
+		{"kite/internal/netback", "link"},
+		{"kite/internal/netback", "unlink"},
+		{"kite/internal/blkback", "activate"},
+		{"kite/internal/blkback", "link"},
+		{"kite/internal/blkback", "unlink"},
+		{"kite/internal/xen", "mark"},
+		{"kite/internal/xen", "scan"},
+		{"kite/internal/xen", "nextPending"},
+		{"kite/internal/timewheel", "Add"},
+		{"kite/internal/timewheel", "Advance"},
 	}
 	for _, r := range roots {
 		if !funcHasDirective(mod, r.pkg, r.fn, "//kite:hotpath") {

@@ -5,6 +5,7 @@ import (
 
 	"kite/internal/netpkt"
 	"kite/internal/sim"
+	"kite/internal/timewheel"
 )
 
 // The flow table is sharded the same way the bridge FDB is: a power-of-two
@@ -43,6 +44,9 @@ type flowEnt struct {
 	dyn     bool  // extPort was dynamically allocated (vs a static forward's)
 	next    int32 // free-list link (slab index), -1 terminates
 	lastUse sim.Time
+	// node is the record's aging-wheel node; a freed or recycled slab slot
+	// orphans it and the next aging pass reaps it by handle mismatch.
+	node timewheel.Handle
 }
 
 // flowShard is one slab + open-addressing index. index slots hold slab
@@ -59,6 +63,10 @@ type flowTable struct {
 	hash   netpkt.RSS
 	shards [natShardCnt]flowShard
 	count  int
+	// wheel ages records by last use: O(1) node insert per flow, no wheel
+	// traffic on the rewrite path, expiry cost proportional to records
+	// actually due.
+	wheel *timewheel.Wheel
 }
 
 // flowRef packs (shard, slab index) for the reverse table: shard in the
@@ -75,11 +83,19 @@ func (r flowRef) unpack() (int, int32) { return int(r >> 24), int32(r&0xffffff) 
 // spreading, independent of the rig RSS seed).
 const natSeed = 0x0A10_5EED_0000_0002
 
+// natWheelGran × natWheelBuckets is the wheel rotation (see the bridge
+// FDB's wheel for the sizing rule).
+const (
+	natWheelGran    = sim.Second
+	natWheelBuckets = 256
+)
+
 func (t *flowTable) init() {
 	t.hash = netpkt.NewRSS(natSeed)
 	for i := range t.shards {
 		t.shards[i].freeHead = -1
 	}
+	t.wheel = timewheel.New(natWheelGran, natWheelBuckets)
 }
 
 // keyHash pads the flow key into the Toeplitz window.
@@ -116,11 +132,12 @@ func (t *flowTable) lookup(key flowKey) *flowEnt {
 	}
 }
 
-// insert claims a record for key (which must not be present) and returns
-// it plus its packed reference for the reverse table. The record comes
-// from the shard's free-list when one is available; otherwise the slab
-// grows (amortized to the churn high-water mark).
-func (t *flowTable) insert(key flowKey) (*flowEnt, flowRef) {
+// insert claims a record for key (which must not be present), stamped as
+// last used now, and returns it plus its packed reference for the reverse
+// table. The record comes from the shard's free-list when one is
+// available; otherwise the slab grows (amortized to the churn high-water
+// mark).
+func (t *flowTable) insert(key flowKey, now sim.Time) (*flowEnt, flowRef) {
 	h := t.keyHash(key)
 	si := int(h >> (32 - natShardBits))
 	s := &t.shards[si]
@@ -133,7 +150,9 @@ func (t *flowTable) insert(key flowKey) (*flowEnt, flowRef) {
 		s.slab = append(s.slab, flowEnt{}) //kite:alloc-ok slab grows to the churn high-water mark, then the free-list recycles
 	}
 	e := &s.slab[idx]
-	*e = flowEnt{key: key, hash: h, used: true, next: -1}
+	ref := packRef(si, idx)
+	*e = flowEnt{key: key, hash: h, used: true, next: -1, lastUse: now,
+		node: t.wheel.Add(uint64(ref), now)}
 	if len(s.index) == 0 || (s.count+1)*4 > len(s.index)*3 {
 		s.growIndex()
 	}
@@ -146,7 +165,7 @@ func (t *flowTable) insert(key flowKey) (*flowEnt, flowRef) {
 	}
 	s.count++
 	t.count++
-	return e, packRef(si, idx)
+	return e, ref
 }
 
 // growIndex doubles the shard's index (or seeds it) and reinserts every
@@ -241,21 +260,26 @@ func (s *flowShard) deleteIndexAt(i uint32) {
 	}
 }
 
-// expire walks every shard's slab in deterministic index order and removes
-// records idle past maxIdle, invoking dead for each before unlinking so
-// the caller can clear its reverse entry.
+// expire removes records idle past maxIdle, invoking dead for each before
+// unlinking so the caller can clear its reverse entry. The wheel pass
+// probes only records whose last use has fallen behind the cutoff (plus
+// orphaned nodes that came due); the expired set is exactly what a full
+// slab sweep would drop, in deterministic node order.
 func (t *flowTable) expire(now, maxIdle sim.Time, dead func(*flowEnt)) int {
 	dropped := 0
-	for si := range t.shards {
-		s := &t.shards[si]
-		for idx := range s.slab {
-			e := &s.slab[idx]
-			if e.used && now-e.lastUse > maxIdle {
-				dead(e)
-				t.remove(e.key)
-				dropped++
+	t.wheel.Advance(now-maxIdle-1,
+		func(h timewheel.Handle, key uint64) sim.Time {
+			e := t.get(flowRef(key))
+			if e == nil || !e.used || e.node != h {
+				return timewheel.Gone
 			}
-		}
-	}
+			return e.lastUse
+		},
+		func(key uint64) {
+			e := t.get(flowRef(key))
+			dead(e)
+			t.remove(e.key)
+			dropped++
+		})
 	return dropped
 }

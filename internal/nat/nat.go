@@ -173,10 +173,9 @@ func (t *Translator) flowFor(proto uint8, guest netpkt.IP, guestPort uint16) *fl
 		t.dynPorts++
 		dyn = true
 	}
-	f, ref := t.flows.insert(key)
+	f, ref := t.flows.insert(key, t.eng.Now())
 	f.extPort = ext
 	f.dyn = dyn
-	f.lastUse = t.eng.Now()
 	t.reverse[ext] = ref
 	t.stats.FlowsAlloc++
 	return f

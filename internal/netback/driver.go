@@ -240,6 +240,12 @@ func (d *Driver) tryPair(backPath string, frontDom xen.DomID, devid int) {
 	d.vifs[backPath] = vif
 	d.order = append(d.order, vif)
 	d.br.AddPort(vif)
+	if laneID >= 0 {
+		// Fleet tenants speak only through the NAT router: isolating their
+		// ports keeps one tenant's broadcasts (gateway ARP, mostly) from
+		// fanning a copy into every other tenant's RX queue.
+		d.br.SetIsolated(vif, true)
+	}
 	if d.tenants != nil {
 		d.tenants.AttachVIF(xenbus.DomID(frontDom), laneID)
 	}

@@ -152,11 +152,10 @@ type vifQueue struct {
 
 	// lane is non-nil in fleet mode: the queue has no dedicated worker
 	// threads and is served by its ServiceLane's DRR rounds instead.
-	// laneActive marks membership in the lane's round list; deficit is the
-	// DRR byte budget (may dip negative by one frame's overshoot).
-	lane       *ServiceLane
-	laneActive bool
-	deficit    int
+	// laneSlot addresses the queue's round state (deficit, ring links,
+	// owed doorbell) in the lane's member slab; -1 after detach.
+	lane     *ServiceLane
+	laneSlot int32
 
 	rxQueue sim.FIFO[*framepool.Buf]
 
@@ -422,6 +421,7 @@ func NewVIFOnLane(eng *sim.Engine, dom *xen.Domain, frontDom xen.DomID, devid in
 	if err := lane.demux.Join(port); err != nil {
 		return nil, fmt.Errorf("netback: %s: %w", v.name, err)
 	}
+	q.laneSlot = lane.join(q)
 	q.txDone = sim.NewBatch(q.eng, q.flushTx)
 	v.queues[0] = q
 	return v, nil
@@ -674,10 +674,24 @@ func (q *vifQueue) drainTxBudget(budget int) (used int, more bool) {
 			q.txDone.Arm(firstDone)
 		}
 		if q.tx.PushResponsesAndCheckNotify() {
-			v.dom.Notify(q.port)
+			q.notifyFront()
 		}
 	}
 	return used, more
+}
+
+// notifyFront raises the frontend's completion doorbell. Dedicated-worker
+// queues notify immediately; a lane-served queue instead marks its member
+// slot so the round flushes one batched notification per member at the
+// end, however many drain calls owed one.
+//
+//kite:hotpath
+func (q *vifQueue) notifyFront() {
+	if q.lane != nil {
+		q.lane.members[q.laneSlot].notify = true
+		return
+	}
+	q.v.dom.Notify(q.port)
 }
 
 // clearBufs zeroes the recycled scratch slots so the scratch slice does not
@@ -858,7 +872,7 @@ func (q *vifQueue) drainRxBudget(budget int) (used int, more bool) {
 		}
 	}
 	if notify {
-		v.dom.Notify(q.port)
+		q.notifyFront()
 	}
 	more = used >= budget && q.rxQueue.Len() > 0 && q.rx.RequestAvailable()
 	return used, more

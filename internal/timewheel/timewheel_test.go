@@ -1,0 +1,118 @@
+package timewheel
+
+import (
+	"testing"
+
+	"kite/internal/sim"
+)
+
+// model is the reference table: key -> lastSeen.
+type model map[uint64]sim.Time
+
+// advance runs one aging pass over the wheel and checks the expired set
+// against a full sweep of the model with the same cutoff.
+func advance(t *testing.T, w *Wheel, m model, nodes map[uint64]Handle, cutoff sim.Time) {
+	t.Helper()
+	want := map[uint64]bool{}
+	for k, seen := range m {
+		if seen <= cutoff {
+			want[k] = true
+		}
+	}
+	got := map[uint64]bool{}
+	w.Advance(cutoff,
+		func(h Handle, key uint64) sim.Time {
+			seen, ok := m[key]
+			if !ok || nodes[key] != h {
+				return Gone
+			}
+			return seen
+		},
+		func(key uint64) {
+			got[key] = true
+			delete(m, key)
+			delete(nodes, key)
+		})
+	if len(got) != len(want) {
+		t.Fatalf("cutoff %v: expired %v, want %v", cutoff, got, want)
+	}
+	for k := range want {
+		if !got[k] {
+			t.Fatalf("cutoff %v: expired %v, want %v", cutoff, got, want)
+		}
+	}
+}
+
+// TestWheelMatchesSweep churns inserts, refreshes, deletes, and aging
+// passes with varying cutoffs, requiring every pass to expire exactly the
+// sweep set; refreshed entries must survive without any wheel call on the
+// refresh path.
+func TestWheelMatchesSweep(t *testing.T) {
+	w := New(sim.Second, 64)
+	m := model{}
+	nodes := map[uint64]Handle{}
+	rng := uint64(0x7EE1)
+	rand := func(n int) int {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return int(rng % uint64(n))
+	}
+	now := sim.Time(0)
+	nextKey := uint64(0)
+	for round := 0; round < 200; round++ {
+		now += sim.Time(rand(int(3*sim.Second))) + 1
+		switch rand(3) {
+		case 0: // insert a few
+			for n := rand(4); n >= 0; n-- {
+				k := nextKey
+				nextKey++
+				m[k] = now
+				nodes[k] = w.Add(k, now)
+			}
+		case 1: // refresh random existing entries: lastSeen only, no wheel op
+			for k := range m {
+				if rand(2) == 0 {
+					m[k] = now
+				}
+			}
+		case 2: // delete one (orphans its node)
+			for k := range m {
+				delete(m, k)
+				delete(nodes, k)
+				break
+			}
+		}
+		if rand(3) == 0 {
+			maxIdle := sim.Time(rand(int(20*sim.Second)) + 1)
+			advance(t, w, m, nodes, now-maxIdle-1)
+		}
+	}
+	// Drain: everything must expire once idle long enough.
+	now += 1000 * sim.Second
+	advance(t, w, m, nodes, now)
+	if len(m) != 0 {
+		t.Fatalf("entries survived the final pass: %v", m)
+	}
+	if w.Len() != 0 {
+		t.Fatalf("wheel still holds %d nodes after the final pass", w.Len())
+	}
+}
+
+// TestWheelLongIdleRotation checks that an Advance far beyond a full
+// rotation still visits every bucket exactly once and expires everything
+// due.
+func TestWheelLongIdleRotation(t *testing.T) {
+	w := New(sim.Second, 8)
+	m := model{}
+	nodes := map[uint64]Handle{}
+	for k := uint64(0); k < 50; k++ {
+		at := sim.Time(k) * sim.Second / 3
+		m[k] = at
+		nodes[k] = w.Add(k, at)
+	}
+	advance(t, w, m, nodes, 10000*sim.Second)
+	if w.Len() != 0 {
+		t.Fatalf("wheel holds %d nodes, want 0", w.Len())
+	}
+}

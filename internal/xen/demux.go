@@ -29,10 +29,21 @@ type Demux struct {
 
 	members []*channel
 	pending []uint64 // one bit per member, indexed by join order
+	// summary is the second bitmap level: bit w of summary[w>>6] is set
+	// exactly when pending[w] != 0. A scan walks only summary words with
+	// bits set and jumps straight to the non-empty pending words, so the
+	// cost of a scan is proportional to the number of signalled members,
+	// not the fleet size — a 1024-member group with one doorbell touches
+	// two words, not seventeen.
+	summary []uint64
 
 	scanF    func()
 	armed    bool
 	lastScan sim.Time
+	// cursor is the scan position (next member index to consider) while a
+	// scan is executing, -1 otherwise. Leave uses it to keep the live scan
+	// aligned when compaction shifts members below the scan point.
+	cursor int
 
 	scans uint64 // scan events executed
 	marks uint64 // member doorbells folded into those scans
@@ -42,7 +53,7 @@ type Demux struct {
 // cluster shard the scan runs on). quantum is the minimum spacing between
 // scans; zero disables rate bounding (pure coalescing).
 func (d *Domain) NewDemux(cpu *sim.CPU, quantum sim.Time) *Demux {
-	g := &Demux{dom: d, cpu: cpu, quantum: quantum}
+	g := &Demux{dom: d, cpu: cpu, quantum: quantum, cursor: -1}
 	g.scanF = g.scan
 	return g
 }
@@ -52,7 +63,7 @@ func (d *Domain) NewDemux(cpu *sim.CPU, quantum sim.Time) *Demux {
 // group scan, on the group's vCPU, in join order. Join order is driver
 // control flow, so scans are deterministic.
 func (g *Demux) Join(port Port) error {
-	ch := g.dom.ports[port]
+	ch := g.dom.port(port)
 	if ch == nil {
 		return fmt.Errorf("xen: demux join of unknown port %d", port)
 	}
@@ -66,6 +77,9 @@ func (g *Demux) Join(port Port) error {
 	if len(g.pending)*64 < len(g.members) {
 		g.pending = append(g.pending, 0)
 	}
+	if len(g.summary)*64 < len(g.pending) {
+		g.summary = append(g.summary, 0)
+	}
 	return nil
 }
 
@@ -76,7 +90,7 @@ func (g *Demux) Join(port Port) error {
 // fleet churning tenants would pin one dead member slot per departure
 // forever.
 func (g *Demux) Leave(port Port) {
-	ch := g.dom.ports[port]
+	ch := g.dom.port(port)
 	if ch == nil || ch.demux != g {
 		return
 	}
@@ -100,6 +114,31 @@ func (g *Demux) Leave(port Port) {
 	if want := (len(g.members) + 63) / 64; len(g.pending) > want {
 		g.pending = g.pending[:want]
 	}
+	// Re-derive the summary level for every word the collapse touched
+	// (word w and everything above it; words below kept their contents).
+	for j := w; j < len(g.pending); j++ {
+		sb := uint64(1) << (uint(j) & 63)
+		if g.pending[j] != 0 {
+			g.summary[j>>6] |= sb
+		} else {
+			g.summary[j>>6] &^= sb
+		}
+	}
+	if want := (len(g.pending) + 63) / 64; len(g.summary) > want {
+		g.summary = g.summary[:want]
+	} else if len(g.pending) > 0 {
+		// Clear summary bits for pending words that no longer exist in the
+		// (possibly shortened) last summary word.
+		last := len(g.summary) - 1
+		used := uint(len(g.pending)-1)&63 + 1
+		g.summary[last] &= ^uint64(0) >> (64 - used)
+	}
+	// A Leave below a live scan's position shifts the not-yet-visited bits
+	// down one; move the cursor with them so no pending member is skipped
+	// or double-delivered.
+	if g.cursor > idx {
+		g.cursor--
+	}
 }
 
 // Members returns the number of joined ports.
@@ -116,7 +155,9 @@ func (g *Demux) Stats() (scans, marks uint64) { return g.scans, g.marks }
 //
 //kite:hotpath
 func (g *Demux) mark(idx int) {
-	g.pending[idx>>6] |= 1 << (uint(idx) & 63)
+	w := idx >> 6
+	g.pending[w] |= 1 << (uint(idx) & 63)
+	g.summary[w>>6] |= 1 << (uint(w) & 63)
 	g.marks++
 	if g.armed {
 		return
@@ -138,29 +179,67 @@ func (g *Demux) mark(idx int) {
 	eng.Schedule(at, g.scanF)
 }
 
-// scan is the batched upcall: walk the pending bitmap word by word, bit by
-// bit in member order, and deliver every signalled channel. Bits set by
-// handlers during the scan (a handler's Notify completing a ring cycle)
-// re-arm a fresh scan at least a quantum later rather than extending this
-// one, so one scan's work is bounded by the member count.
+// scan is the batched upcall: deliver every signalled channel in member
+// order, jumping between doorbells through the summary level. Idle members
+// cost nothing — a scan's work is proportional to the doorbells it
+// absorbs, not to the group size. The scan reads the live bitmap one bit
+// at a time (no word snapshots), so handlers that Join or Leave members
+// mid-scan stay consistent: compaction shifts the unvisited bits and the
+// cursor together. Bits set at or above the cursor by handlers during the
+// scan are drained in the same pass; bits below it re-arm a fresh scan at
+// least a quantum later, so one scan's work is bounded by the member
+// count.
 //
 //kite:hotpath
 func (g *Demux) scan() {
 	g.armed = false
 	g.scans++
 	g.lastScan = g.cpu.Engine().Now()
-	for w := range g.pending {
-		word := g.pending[w]
-		if word == 0 {
+	g.cursor = 0
+	for {
+		idx := g.nextPending()
+		if idx < 0 {
+			break
+		}
+		g.cursor = idx + 1
+		w := idx >> 6
+		g.pending[w] &^= 1 << (uint(idx) & 63)
+		if g.pending[w] == 0 {
+			g.summary[w>>6] &^= 1 << (uint(w) & 63)
+		}
+		g.members[idx].deliverDemux()
+	}
+	g.cursor = -1
+}
+
+// nextPending returns the lowest pending member index at or above the scan
+// cursor, or -1. The first (partial) word is probed directly; everything
+// beyond it goes through the summary, so runs of idle members are skipped
+// 4096 at a time.
+//
+//kite:hotpath
+func (g *Demux) nextPending() int {
+	w := g.cursor >> 6
+	if w < len(g.pending) {
+		b := uint(g.cursor) & 63
+		if word := g.pending[w] >> b << b; word != 0 {
+			return w<<6 + bits.TrailingZeros64(word)
+		}
+		w++
+	}
+	for sw := w >> 6; sw < len(g.summary); sw++ {
+		sword := g.summary[sw]
+		if sw == w>>6 {
+			sb := uint(w) & 63
+			sword = sword >> sb << sb
+		}
+		if sword == 0 {
 			continue
 		}
-		g.pending[w] = 0
-		for word != 0 {
-			idx := w<<6 + bits.TrailingZeros64(word)
-			word &= word - 1
-			g.members[idx].deliverDemux()
-		}
+		pw := sw<<6 + bits.TrailingZeros64(sword)
+		return pw<<6 + bits.TrailingZeros64(g.pending[pw])
 	}
+	return -1
 }
 
 // deliverDemux is channel.deliver minus the self-scheduled upcall: the

@@ -65,7 +65,7 @@ type channel struct {
 func (d *Domain) AllocUnbound(remote DomID) Port {
 	d.nextPort++
 	ch := &channel{port: d.nextPort, dom: d, state: chanUnbound, peerDom: remote}
-	d.ports[ch.port] = ch
+	d.setPort(ch.port, ch)
 	return ch.port
 }
 
@@ -76,7 +76,7 @@ func (d *Domain) BindInterdomain(remote DomID, remotePort Port) (Port, error) {
 	if rd == nil {
 		return 0, fmt.Errorf("xen: bind to dead domain %d", remote)
 	}
-	rch := rd.ports[remotePort]
+	rch := rd.port(remotePort)
 	if rch == nil || rch.state != chanUnbound {
 		return 0, fmt.Errorf("xen: remote port %d/%d not unbound", remote, remotePort)
 	}
@@ -86,7 +86,7 @@ func (d *Domain) BindInterdomain(remote DomID, remotePort Port) (Port, error) {
 	}
 	d.nextPort++
 	lch := &channel{port: d.nextPort, dom: d, state: chanConnected, peerDom: remote, peer: rch}
-	d.ports[lch.port] = lch
+	d.setPort(lch.port, lch)
 	rch.state = chanConnected
 	rch.peer = lch
 	return lch.port, nil
@@ -95,7 +95,7 @@ func (d *Domain) BindInterdomain(remote DomID, remotePort Port) (Port, error) {
 // SetHandler installs the upcall handler for a local port. The handler runs
 // on one of the domain's vCPUs after the domain's IRQLatency.
 func (d *Domain) SetHandler(port Port, fn func()) error {
-	ch := d.ports[port]
+	ch := d.port(port)
 	if ch == nil {
 		return fmt.Errorf("xen: SetHandler on unknown port %d", port)
 	}
@@ -107,7 +107,7 @@ func (d *Domain) SetHandler(port Port, fn func()) error {
 // upcalls are delivered on it (through its engine, which may be a cluster
 // shard). Binding is done at connect time, before any traffic flows.
 func (d *Domain) BindPortCPU(port Port, cpu *sim.CPU) error {
-	ch := d.ports[port]
+	ch := d.port(port)
 	if ch == nil {
 		return fmt.Errorf("xen: BindPortCPU on unknown port %d", port)
 	}
@@ -121,7 +121,7 @@ func (d *Domain) BindPortCPU(port Port, cpu *sim.CPU) error {
 // handler happens after the peer's IRQ latency. Notifying a closed channel
 // is a silent no-op, as on real Xen where the peer may have gone away.
 func (d *Domain) Notify(port Port) {
-	ch := d.ports[port]
+	ch := d.port(port)
 	if ch == nil {
 		panic(fmt.Sprintf("xen: notify on unknown port %d in %s", port, d.Name))
 	}
@@ -195,7 +195,7 @@ func (c *channel) deliver() {
 
 // Close shuts a local port; the peer transitions to closed too.
 func (d *Domain) Close(port Port) error {
-	if d.ports[port] == nil {
+	if d.port(port) == nil {
 		return fmt.Errorf("xen: close of unknown port %d", port)
 	}
 	d.closePort(port)
@@ -203,7 +203,7 @@ func (d *Domain) Close(port Port) error {
 }
 
 func (d *Domain) closePort(port Port) {
-	ch := d.ports[port]
+	ch := d.port(port)
 	if ch == nil {
 		return
 	}
@@ -213,13 +213,13 @@ func (d *Domain) closePort(port Port) {
 	}
 	ch.state = chanClosed
 	ch.peer = nil
-	delete(d.ports, port)
+	d.ports[port] = nil
 }
 
 // ChannelStats reports (sends, deliveries) for a local port; zero values
 // for unknown ports.
 func (d *Domain) ChannelStats(port Port) (sends, delivered uint64) {
-	if ch := d.ports[port]; ch != nil {
+	if ch := d.port(port); ch != nil {
 		return ch.sends, ch.delivered
 	}
 	return 0, 0

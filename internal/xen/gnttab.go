@@ -26,16 +26,20 @@ func (d *Domain) GrantAccess(remote DomID, page *mem.Page, readonly bool) GrantR
 		panic(fmt.Sprintf("xen: %s granting a page it does not own", d.Name))
 	}
 	d.nextRef++
+	for int(d.nextRef) >= len(d.grants) {
+		d.grants = append(d.grants, nil) //kite:alloc-ok grant table grows once per domain lifetime
+	}
 	d.grants[d.nextRef] = &grantEntry{ //kite:alloc-ok grant entries persist and are reused (persistent grants)
 		ref: d.nextRef, page: page, remote: remote, readonly: readonly,
 	}
+	d.liveGrants++
 	return d.nextRef
 }
 
 // EndAccess revokes a grant. It fails while a foreign mapping is still
 // live, matching gnttab_end_foreign_access semantics.
 func (d *Domain) EndAccess(ref GrantRef) error {
-	g := d.grants[ref]
+	g := d.grant(ref)
 	if g == nil || g.revoked {
 		return fmt.Errorf("xen: end access on unknown grant %d in %s", ref, d.Name)
 	}
@@ -43,12 +47,13 @@ func (d *Domain) EndAccess(ref GrantRef) error {
 		return fmt.Errorf("xen: grant %d in %s still mapped %d times", ref, d.Name, g.mapCount)
 	}
 	g.revoked = true
-	delete(d.grants, ref)
+	d.grants[ref] = nil
+	d.liveGrants--
 	return nil
 }
 
 // LiveGrants returns the number of outstanding (unrevoked) grant entries.
-func (d *Domain) LiveGrants() int { return len(d.grants) }
+func (d *Domain) LiveGrants() int { return d.liveGrants }
 
 // Mapping is a foreign page mapped into a backend's address space. The
 // backend reads and writes Page.Data directly — the same aliasing a real
@@ -81,7 +86,7 @@ func (hv *Hypervisor) mapGrantCharged(mapper *Domain, owner DomID, ref GrantRef)
 	if od == nil {
 		return nil, fmt.Errorf("xen: map grant from dead domain %d", owner)
 	}
-	g := od.grants[ref]
+	g := od.grant(ref)
 	hv.stats.grantMaps.Add(1)
 	if g == nil || g.revoked {
 		return nil, fmt.Errorf("xen: bad grant ref %d in domain %d", ref, owner)
@@ -108,7 +113,7 @@ func (hv *Hypervisor) MapGrantBatch(mapper *Domain, owner DomID, refs []GrantRef
 	out := make([]*Mapping, 0, len(refs))
 	for _, ref := range refs {
 		hv.stats.grantMaps.Add(1)
-		g := od.grants[ref]
+		g := od.grant(ref)
 		if g == nil || g.revoked || g.remote != mapper.ID {
 			for _, m := range out {
 				hv.unmapLocked(m)
@@ -147,9 +152,9 @@ func (hv *Hypervisor) unmapLocked(m *Mapping) error {
 	}
 	m.live = false
 	hv.stats.grantUnmaps.Add(1)
-	od := hv.domains[m.owner] // owner may be dead; entry may be gone
+	od := hv.domainAt(m.owner) // owner may be dead; entry may be gone
 	if od != nil {
-		if g := od.grants[m.ref]; g != nil {
+		if g := od.grant(m.ref); g != nil {
 			g.mapCount--
 		}
 	}
@@ -242,7 +247,7 @@ func (hv *Hypervisor) resolveCopyPtr(caller *Domain, p CopyPtr, write bool) ([]b
 	if od == nil {
 		return nil, fmt.Errorf("dead domain %d", p.Dom)
 	}
-	g := od.grants[p.Ref]
+	g := od.grant(p.Ref)
 	if g == nil || g.revoked {
 		return nil, fmt.Errorf("bad grant %d in domain %d", p.Ref, p.Dom)
 	}

@@ -74,7 +74,10 @@ type Hypervisor struct {
 	Eng   *sim.Engine
 	Costs HypercallCosts
 
-	domains map[DomID]*Domain
+	// domains is indexed by DomID: IDs are allocated sequentially and never
+	// reused, so the hot per-packet lookups (grant copies, event sends) are
+	// a bounds check instead of a map probe.
+	domains []*Domain
 	nextDom DomID
 	stats   atomicStats
 
@@ -84,10 +87,9 @@ type Hypervisor struct {
 // New creates a hypervisor on the given engine with default costs.
 func New(eng *sim.Engine) *Hypervisor {
 	return &Hypervisor{
-		Eng:     eng,
-		Costs:   DefaultCosts(),
-		domains: make(map[DomID]*Domain),
-		pci:     make(map[string]DomID),
+		Eng:   eng,
+		Costs: DefaultCosts(),
+		pci:   make(map[string]DomID),
 	}
 }
 
@@ -135,24 +137,35 @@ func (hv *Hypervisor) CreateDomain(cfg DomainConfig) *Domain {
 		Arena:      mem.NewArena(cfg.Name, cfg.MemBytes),
 		Privileged: cfg.Privileged,
 		IRQLatency: cfg.IRQLatency,
-		grants:     make(map[GrantRef]*grantEntry),
-		ports:      make(map[Port]*channel),
 	}
-	hv.domains[id] = d
+	hv.domains = append(hv.domains, d)
 	hv.stats.domainsBuilt.Add(1)
 	return d
 }
 
+// domainAt returns the domain slot for an ID, dead or alive; nil if the ID
+// was never allocated.
+//
+//kite:hotpath
+func (hv *Hypervisor) domainAt(id DomID) *Domain {
+	if int(id) >= len(hv.domains) {
+		return nil
+	}
+	return hv.domains[id]
+}
+
 // Domain looks up a live domain by ID; nil if unknown or destroyed.
+//
+//kite:hotpath
 func (hv *Hypervisor) Domain(id DomID) *Domain {
-	d := hv.domains[id]
+	d := hv.domainAt(id)
 	if d == nil || d.dead {
 		return nil
 	}
 	return d
 }
 
-// Domains returns all live domains (order unspecified).
+// Domains returns all live domains in creation order.
 func (hv *Hypervisor) Domains() []*Domain {
 	out := make([]*Domain, 0, len(hv.domains))
 	for _, d := range hv.domains {
@@ -168,7 +181,7 @@ func (hv *Hypervisor) Domains() []*Domain {
 // events. Other domains are untouched — the isolation property driver
 // domains exist to provide.
 func (hv *Hypervisor) DestroyDomain(id DomID) error {
-	d := hv.domains[id]
+	d := hv.domainAt(id)
 	if d == nil || d.dead {
 		return fmt.Errorf("xen: destroy of unknown domain %d", id)
 	}
@@ -176,10 +189,13 @@ func (hv *Hypervisor) DestroyDomain(id DomID) error {
 		return fmt.Errorf("xen: refusing to destroy Dom0")
 	}
 	d.dead = true
-	for port := range d.ports {
-		d.closePort(port)
+	for p := range d.ports {
+		if d.ports[p] != nil {
+			d.closePort(Port(p))
+		}
 	}
-	d.grants = make(map[GrantRef]*grantEntry)
+	d.grants = nil
+	d.liveGrants = 0
 	for bdf, owner := range hv.pci {
 		if owner == id {
 			delete(hv.pci, bdf)
@@ -223,12 +239,47 @@ type Domain struct {
 	// toolstack to clean up xenstore state, as xenstored does for real).
 	OnDestroy func()
 
-	hv       *Hypervisor
-	dead     bool
-	grants   map[GrantRef]*grantEntry
-	nextRef  GrantRef
-	ports    map[Port]*channel
-	nextPort Port
+	hv   *Hypervisor
+	dead bool
+	// grants and ports are indexed by ref/port number: both are allocated
+	// sequentially and never reused, so the per-packet resolutions
+	// (resolveCopyPtr, Notify) are bounds checks instead of map probes.
+	// Revoked grants and closed ports leave nil holes.
+	grants     []*grantEntry
+	liveGrants int
+	nextRef    GrantRef
+	ports      []*channel
+	nextPort   Port
+}
+
+// grant returns the live-or-revoked grant entry for ref, nil if ref was
+// never issued or has been revoked.
+//
+//kite:hotpath
+func (d *Domain) grant(ref GrantRef) *grantEntry {
+	if int(ref) >= len(d.grants) {
+		return nil
+	}
+	return d.grants[ref]
+}
+
+// port returns the channel on a local port, nil if unknown or closed.
+//
+//kite:hotpath
+func (d *Domain) port(p Port) *channel {
+	if int(p) >= len(d.ports) {
+		return nil
+	}
+	return d.ports[p]
+}
+
+// setPort installs a channel at p, growing the port table as needed
+// (ports are allocated sequentially, so growth is one slot at a time).
+func (d *Domain) setPort(p Port, ch *channel) {
+	for int(p) >= len(d.ports) {
+		d.ports = append(d.ports, nil) //kite:alloc-ok port table grows once per channel lifetime
+	}
+	d.ports[p] = ch
 }
 
 // Hypervisor returns the owning hypervisor.
