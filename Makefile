@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify build test race vet lint zeroalloc bench
+.PHONY: verify build test race vet lint race-stress zeroalloc bench
 
 # verify is the tree-must-be-green gate: vet, build everything, kitelint
 # (the repo's own invariant analyzers), the zero-allocation forward-path
@@ -14,10 +14,18 @@ vet:
 	$(GO) vet ./...
 
 # lint runs the kitelint analyzer suite (hotpath, poolref, simdet,
-# xskeys, evblock) over the whole module; any finding fails the build.
-# See DESIGN.md §11 for the invariants each analyzer proves.
+# xskeys, evblock, shardsafe, relpure, ringlink, atomicscope) over the
+# whole module; any finding fails the build. See DESIGN.md §11 and §15
+# for the invariants each analyzer proves.
 lint:
 	$(GO) run ./cmd/kitelint .
+
+# race-stress is the dynamic counterpart of the shardsafe/atomicscope
+# static proof: the cluster barrier tests under the race detector at a
+# starved and an oversubscribed GOMAXPROCS, repeated to vary schedules.
+race-stress:
+	GOMAXPROCS=2 $(GO) test -race -count=3 ./internal/sim
+	GOMAXPROCS=8 $(GO) test -race -count=3 ./internal/sim
 
 build:
 	$(GO) build ./...

@@ -130,6 +130,7 @@ func (l *ServiceLane) join(q *ioQueue) int32 {
 // link appends slot s to the active ring's tail (activation order).
 //
 //kite:hotpath
+//kite:ringlink link
 func (l *ServiceLane) link(s int32) {
 	m := &l.members[s]
 	if l.head < 0 {
@@ -147,6 +148,7 @@ func (l *ServiceLane) link(s int32) {
 // unlink removes slot s from the active ring in O(1).
 //
 //kite:hotpath
+//kite:ringlink unlink
 func (l *ServiceLane) unlink(s int32) {
 	m := &l.members[s]
 	if m.next == s {
@@ -198,6 +200,8 @@ func (l *ServiceLane) activate(q *ioQueue) {
 // not work — ran out. The pass touches exactly the backlogged members,
 // then publishes each served member's synchronously pushed responses at
 // most once. Another round is scheduled while anyone still has backlog.
+//
+//kite:hotpath
 func (l *ServiceLane) round() {
 	n := l.activeN
 	if n == 0 {

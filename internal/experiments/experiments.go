@@ -165,6 +165,8 @@ func mustStorRig(cfg core.StorageRigConfig) *core.StorageRig {
 // drive runs a rig's engine until done() or the cap; panics on livelock so
 // experiments fail loudly. Retired events feed the process-wide telemetry
 // behind EventsProcessed.
+//
+//kite:synccore one atomic telemetry add after the run completes; nothing inside the simulation
 func drive(sys *core.System, done func() bool, cap uint64) {
 	start := sys.Eng.Processed()
 	ok := sys.RunReady(done, cap)

@@ -90,6 +90,8 @@ type Pool struct {
 }
 
 // NewPool returns a pool admitting up to workers concurrent legs (min 1).
+//
+//kite:synccore experiment fan-out setup; no simulation state exists yet
 func NewPool(workers int) *Pool {
 	if workers < 1 {
 		workers = 1
@@ -101,6 +103,8 @@ func NewPool(workers int) *Pool {
 // channel that closes when fn finishes. It never blocks: when the pool is
 // saturated the caller simply runs the work inline, which is what makes
 // nested use (pair inside experiment) deadlock-free.
+//
+//kite:synccore token admission around legs that each own a whole simulation
 func (p *Pool) tryGo(fn func()) (<-chan struct{}, bool) {
 	select {
 	case p.tokens <- struct{}{}:
@@ -122,6 +126,8 @@ func (p *Pool) tryGo(fn func()) (<-chan struct{}, bool) {
 // spreads over spare workers. workers <= 1 degenerates to a sequential
 // run; any worker count produces byte-identical results because every leg
 // owns its whole simulation.
+//
+//kite:synccore experiment fan-out/join; synchronizes whole legs, never shard state
 func RunAll(specs []Spec, s Scale, workers int) []*Result {
 	pool := NewPool(workers)
 	s.pool = pool
@@ -150,12 +156,16 @@ var totalEvents atomic.Uint64
 
 // EventsProcessed returns the simulation events retired by workloads so
 // far in this process (rig handshakes excluded).
+//
+//kite:synccore telemetry read; the counter never feeds back into a simulation
 func EventsProcessed() uint64 { return totalEvents.Load() }
 
 // bothKinds evaluates fn for the Linux baseline and the Kite domain,
 // concurrently when the scale's pool has a spare worker, and returns both
 // results. Each invocation of fn builds and drives a private rig, so the
 // two sides share nothing.
+//
+//kite:synccore pair join; each side owns a private rig until the receive
 func bothKinds[T any](s Scale, fn func(kind core.DriverKind) T) (linux, kite T) {
 	if s.pool != nil {
 		if done, ok := s.pool.tryGo(func() { linux = fn(core.KindLinux) }); ok {

@@ -37,9 +37,14 @@ const (
 // concurrent use — like everything else in a simulation, it is owned by the
 // simulation's single goroutine.
 type Buf struct {
-	pool      *Pool
-	arena     *Arena // nil for buffers owned by the pool's shared free list
-	stageNext *Buf   // intrusive link while parked on a remote-release stage
+	pool  *Pool
+	arena *Arena // nil for buffers owned by the pool's shared free list
+	// stageNext is the intrusive link while parked on a remote-release
+	// stage: written by the releasing shard (stageRemote) and unspliced by
+	// the barrier-side flush, never by the home shard mid-window.
+	//
+	//kite:shared
+	stageNext *Buf
 	off       int
 	end       int
 	refs      int
@@ -163,6 +168,8 @@ var recycleArg = func(a any) { a.(*Buf).recycle() }
 // window that staged it, draining the chain into the home free list in one
 // visit. Each stage is touched only by its releasing shard mid-window and by
 // the barrier, so no lock is needed.
+//
+//kite:shared
 type releaseStage struct {
 	head  *Buf
 	armed bool
@@ -180,9 +187,13 @@ func newStages(home *sim.Engine) []releaseStage {
 }
 
 // stageRemote parks b on the releasing shard's stage and arms the stage's
-// once-per-window flush post.
+// once-per-window flush post. Linking b onto the magazine chain consumes
+// the caller's reference — staging the same buffer twice would fold the
+// chain onto itself, which is why the call sites are ringlink-checked.
 //
 //kite:hotpath
+//kite:ringlink link 3
+//kite:shardok stage [local.ShardID()] is owned by the releasing shard mid-window; the flush closure runs at the barrier with every shard goroutine parked
 func stageRemote(stages []releaseStage, local, home *sim.Engine, b *Buf) {
 	st := &stages[local.ShardID()]
 	b.stageNext = st.head

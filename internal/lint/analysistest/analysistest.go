@@ -17,10 +17,23 @@ import (
 	"regexp"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
 
 	"kite/internal/lint/analysis"
 	"kite/internal/lint/loader"
+)
+
+// sharedLoader is the process-wide loader: one stdlib + module typecheck
+// amortized across every analyzer test instead of one per Run call, which
+// is the difference between the suite finishing in seconds and in
+// minutes. The loader is not concurrency-safe, so loaderMu serializes
+// fixture registration and loading.
+var (
+	loaderMu   sync.Mutex
+	loaderOnce = sync.OnceValues(func() (*loader.Loader, error) {
+		return loader.New(".")
+	})
 )
 
 // expectation is one regexp expected on one fixture line.
@@ -36,7 +49,9 @@ type expectation struct {
 func Run(t *testing.T, importPath, dir string, as ...*analysis.Analyzer) {
 	t.Helper()
 
-	l, err := loader.New(".")
+	loaderMu.Lock()
+	defer loaderMu.Unlock()
+	l, err := loaderOnce()
 	if err != nil {
 		t.Fatalf("loader: %v", err)
 	}

@@ -1,14 +1,15 @@
-// Package analyzers holds the kitelint checks: five analyzers that turn
+// Package analyzers holds the kitelint checks: nine analyzers that turn
 // the repository's runtime-tested invariants (zero-alloc hot paths, pool
 // refcount discipline, deterministic simulation, registry-only xenstore
-// keys, non-blocking event handlers) into compile-time guarantees. See
-// DESIGN.md §11 for what each one proves and how it maps to the paper's
-// TCB argument.
+// keys, non-blocking event handlers, shard confinement, barrier purity,
+// intrusive-ring discipline, determinism scope) into compile-time
+// guarantees. See DESIGN.md §11 and §15 for what each one proves and how
+// it maps to the paper's TCB argument.
 package analyzers
 
 import "kite/internal/lint/analysis"
 
 // All returns every analyzer in the suite, in stable order.
 func All() []*analysis.Analyzer {
-	return []*analysis.Analyzer{Hotpath, Poolref, Simdet, Xskeys, Evblock}
+	return []*analysis.Analyzer{Hotpath, Poolref, Simdet, Xskeys, Evblock, Shardsafe, Relpure, Ringlink, Atomicscope}
 }

@@ -1,0 +1,12 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"kite/internal/lint/analysistest"
+	"kite/internal/lint/analyzers"
+)
+
+func TestAtomicscope(t *testing.T) {
+	analysistest.Run(t, "kite/fixtures/atomicscope", "testdata/src/atomicscope", analyzers.Atomicscope)
+}

@@ -13,6 +13,21 @@
 //	                                   fill); the reason is mandatory
 //	//kite:orderok <why>   (line)      a map range whose effect is order-
 //	                                   insensitive or explicitly sorted
+//	//kite:ringlink <op>   (func doc)  declares an intrusive-ring operation
+//	                                   for ringlink: link|unlink|free with
+//	                                   an optional handle arg index, or
+//	                                   alloc for a handle-returning
+//	                                   function
+//	//kite:shared          (decl)      a package var, struct type, or field
+//	                                   is a sanctioned cross-shard
+//	                                   structure; shardsafe then audits its
+//	                                   writers
+//	//kite:shardok <why>   (line or    one write to shared state, or one
+//	                        func doc)  whole function, states its side of
+//	                                   the shard-ownership protocol
+//	//kite:synccore <why>  (func doc)  barrier/worker machinery exempt from
+//	                                   atomicscope: synchronization is its
+//	                                   job
 //
 // A line directive covers the line it sits on, or — when written on its
 // own line — the line directly below it.

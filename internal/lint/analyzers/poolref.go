@@ -17,13 +17,14 @@ import (
 // (the pools never garbage-collect); a second Release corrupts the
 // free list and resurfaces as cross-flow data corruption.
 //
-// The analysis is path-sensitive over the AST: each acquisition site is
-// abstract-interpreted through the enclosing function with a small state
-// set {owned, released, escaped}. Branches fork the set, merges union it,
-// loops run to a two-iteration fixpoint. Functions using goto or labeled
-// branches are skipped (none exist in this module). Aliasing is handled
-// conservatively: copying the buffer into another variable counts as an
-// escape and ends tracking.
+// The analysis is path-sensitive over the AST, built on the shared flow
+// engine (flow.go): each acquisition site is abstract-interpreted through
+// the enclosing function with a small state set {owned, released,
+// escaped}. Branches fork the set, merges union it, loops run to a
+// two-iteration fixpoint. Functions using goto or labeled branches are
+// skipped (none exist in this module). Aliasing is handled conservatively:
+// copying the buffer into another variable counts as an escape and ends
+// tracking.
 var Poolref = &analysis.Analyzer{
 	Name: "poolref",
 	Doc:  "pool Get results must be released exactly once or handed off on every path",
@@ -68,54 +69,45 @@ type acquisition struct {
 }
 
 func checkPoolOwnership(pass *analysis.Pass, body *ast.BlockStmt) {
+	if hasJumps(body) {
+		return
+	}
 	info := pass.Pkg.Info
-	bail := false
 	var acqs []acquisition
 	ast.Inspect(body, func(n ast.Node) bool {
-		switch s := n.(type) {
-		case *ast.LabeledStmt:
-			bail = true
-		case *ast.BranchStmt:
-			if s.Label != nil || s.Tok == token.GOTO {
-				bail = true
-			}
-		case *ast.AssignStmt:
-			if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
-				return true
-			}
-			id, ok := s.Lhs[0].(*ast.Ident)
-			if !ok || id.Name == "_" {
-				return true
-			}
-			call, ok := s.Rhs[0].(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			fn := staticCallee(info, call)
-			if fn == nil || !poolGetFuncs[fn.FullName()] {
-				return true
-			}
-			obj := info.Defs[id]
-			if obj == nil {
-				obj = info.Uses[id]
-			}
-			if obj != nil {
-				acqs = append(acqs, acquisition{site: s, obj: obj, get: call})
-			}
+		s, ok := n.(*ast.AssignStmt)
+		if !ok || len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+			return true
+		}
+		id, ok := s.Lhs[0].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return true
+		}
+		call, ok := s.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := staticCallee(info, call)
+		if fn == nil || !poolGetFuncs[fn.FullName()] {
+			return true
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if obj != nil {
+			acqs = append(acqs, acquisition{site: s, obj: obj, get: call})
 		}
 		return true
 	})
-	if bail {
-		return
-	}
 	for _, a := range acqs {
 		w := &ownerWalk{pass: pass, info: info, acq: a}
-		out := w.execBlock(body, stNone)
-		w.atExit(out, body.End())
+		(&flowExec{client: w}).run(body, stNone)
 	}
 }
 
-// ownerWalk interprets one function body for one acquisition site.
+// ownerWalk interprets one function body for one acquisition site; it is
+// the poolref flowClient.
 type ownerWalk struct {
 	pass *analysis.Pass
 	info *types.Info
@@ -125,9 +117,9 @@ type ownerWalk struct {
 	doubled bool // double-release reported (once per acquisition)
 }
 
-// atExit checks a function-exit state set (a return, or falling off the
+// exit checks a function-exit state set (a return, or falling off the
 // end of the body).
-func (w *ownerWalk) atExit(states int, pos token.Pos) {
+func (w *ownerWalk) exit(states int, pos token.Pos) {
 	if states&stOwned != 0 && !w.leaked {
 		w.leaked = true
 		w.pass.Reportf(w.acq.get.Pos(),
@@ -148,25 +140,10 @@ func (w *ownerWalk) release(states int, pos token.Pos) int {
 	return out
 }
 
-func (w *ownerWalk) execBlock(b *ast.BlockStmt, in int) int {
-	if b == nil {
-		return in
-	}
-	return w.execStmts(b.List, in)
-}
-
-func (w *ownerWalk) execStmts(list []ast.Stmt, in int) int {
-	cur := in
-	for _, s := range list {
-		cur = w.execStmt(s, cur)
-		if cur == 0 {
-			return 0 // path terminated
-		}
-	}
-	return cur
-}
-
-func (w *ownerWalk) execStmt(s ast.Stmt, in int) int {
+// stmt handles the statements with ownership-specific semantics: the
+// tracked acquisition, reassignment of the tracked variable, and deferred
+// Release.
+func (w *ownerWalk) stmt(s ast.Stmt, in int) (int, bool) {
 	switch st := s.(type) {
 	case *ast.AssignStmt:
 		if st == w.acq.site {
@@ -174,145 +151,28 @@ func (w *ownerWalk) execStmt(s ast.Stmt, in int) int {
 			// the buffer. (Re-entry from an enclosing loop re-acquires;
 			// an Owned state surviving to here was already reported at
 			// the loop's back edge via the fixpoint exit check.)
-			return stOwned
+			return stOwned, true
 		}
 		in = w.scan(st, in)
 		// Reassigning the tracked variable ends tracking (aliasing).
 		for _, l := range st.Lhs {
 			if id, ok := l.(*ast.Ident); ok && w.isTracked(id) {
-				return stEscaped
+				return stEscaped, true
 			}
 		}
-		return in
-	case *ast.ReturnStmt:
-		in = w.scan(st, in)
-		w.atExit(in, st.Pos())
-		return 0
-	case *ast.ExprStmt:
-		if isPanicCall(st.X) {
-			w.scan(st, in)
-			return 0
-		}
-		return w.scan(st, in)
+		return in, true
 	case *ast.DeferStmt:
 		// A deferred Release runs on every subsequent exit path, so model
 		// it as an immediate release: later returns see Released (no
 		// leak), and a later explicit Release is a genuine double free.
 		if recvIdent(st.Call) != nil && w.isTracked(recvIdent(st.Call)) {
 			if name := methodName(st.Call); name == "Release" {
-				return w.release(in, st.Pos())
+				return w.release(in, st.Pos()), true
 			}
 		}
-		return w.scan(st, in)
-	case *ast.BlockStmt:
-		return w.execBlock(st, in)
-	case *ast.IfStmt:
-		if st.Init != nil {
-			in = w.execStmt(st.Init, in)
-			if in == 0 {
-				return 0
-			}
-		}
-		in = w.scanExpr(st.Cond, in)
-		thenOut := w.execBlock(st.Body, in)
-		elseOut := in
-		if st.Else != nil {
-			elseOut = w.execStmt(st.Else, in)
-		}
-		return thenOut | elseOut
-	case *ast.ForStmt:
-		if st.Init != nil {
-			in = w.execStmt(st.Init, in)
-			if in == 0 {
-				return 0
-			}
-		}
-		if st.Cond != nil {
-			in = w.scanExpr(st.Cond, in)
-		}
-		return w.execLoop(in, func(s int) int {
-			s = w.execBlock(st.Body, s)
-			if s != 0 && st.Post != nil {
-				s = w.execStmt(st.Post, s)
-			}
-			return s
-		}, st.Cond == nil)
-	case *ast.RangeStmt:
-		in = w.scanExpr(st.X, in)
-		return w.execLoop(in, func(s int) int {
-			return w.execBlock(st.Body, s)
-		}, false)
-	case *ast.SwitchStmt:
-		if st.Init != nil {
-			in = w.execStmt(st.Init, in)
-			if in == 0 {
-				return 0
-			}
-		}
-		if st.Tag != nil {
-			in = w.scanExpr(st.Tag, in)
-		}
-		return w.execCases(st.Body, in)
-	case *ast.TypeSwitchStmt:
-		if st.Init != nil {
-			in = w.execStmt(st.Init, in)
-			if in == 0 {
-				return 0
-			}
-		}
-		in = w.scan(st.Assign, in)
-		return w.execCases(st.Body, in)
-	case *ast.SelectStmt:
-		return w.execCases(st.Body, in)
-	case *ast.GoStmt:
-		return w.scan(st, in)
-	default:
-		return w.scan(s, in)
+		return w.scan(st, in), true
 	}
-}
-
-// execLoop runs a loop body to a two-iteration fixpoint over the state
-// set. infinite marks `for {}` loops, whose only fallthrough is a break —
-// approximated here by the union of entry and body states, which is an
-// over-approximation of every break point.
-func (w *ownerWalk) execLoop(in int, body func(int) int, infinite bool) int {
-	s1 := body(in)
-	s2 := body(in | s1)
-	out := in | s1 | s2
-	if infinite && s1 == 0 && s2 == 0 {
-		return 0
-	}
-	return out
-}
-
-// execCases unions the outcomes of each case clause of a switch/select
-// body; a missing default keeps the entry state as a possible outcome.
-func (w *ownerWalk) execCases(body *ast.BlockStmt, in int) int {
-	out := 0
-	hasDefault := false
-	for _, c := range body.List {
-		switch cc := c.(type) {
-		case *ast.CaseClause:
-			if cc.List == nil {
-				hasDefault = true
-			}
-			for _, e := range cc.List {
-				in = w.scanExpr(e, in)
-			}
-			out |= w.execStmts(cc.Body, in)
-		case *ast.CommClause:
-			if cc.Comm == nil {
-				hasDefault = true
-			} else {
-				in = w.execStmt(cc.Comm, in)
-			}
-			out |= w.execStmts(cc.Body, in)
-		}
-	}
-	if !hasDefault {
-		out |= in
-	}
-	return out
+	return in, false
 }
 
 // scan processes every use of the tracked variable in a statement that has
@@ -363,13 +223,6 @@ func (w *ownerWalk) scan(n ast.Node, in int) int {
 		return true
 	})
 	return out
-}
-
-func (w *ownerWalk) scanExpr(e ast.Expr, in int) int {
-	if e == nil {
-		return in
-	}
-	return w.scan(e, in)
 }
 
 func (w *ownerWalk) isTracked(id *ast.Ident) bool {

@@ -1,0 +1,12 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"kite/internal/lint/analysistest"
+	"kite/internal/lint/analyzers"
+)
+
+func TestRelpure(t *testing.T) {
+	analysistest.Run(t, "kite/fixtures/relpure", "testdata/src/relpure", analyzers.Relpure)
+}

@@ -1,0 +1,12 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"kite/internal/lint/analysistest"
+	"kite/internal/lint/analyzers"
+)
+
+func TestRinglink(t *testing.T) {
+	analysistest.Run(t, "kite/fixtures/ringlink", "testdata/src/ringlink", analyzers.Ringlink)
+}

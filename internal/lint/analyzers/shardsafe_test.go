@@ -1,0 +1,12 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"kite/internal/lint/analysistest"
+	"kite/internal/lint/analyzers"
+)
+
+func TestShardsafe(t *testing.T) {
+	analysistest.Run(t, "kite/fixtures/shardsafe", "testdata/src/shardsafe", analyzers.Shardsafe)
+}

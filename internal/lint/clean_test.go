@@ -8,6 +8,7 @@ import (
 
 	"kite/internal/lint"
 	"kite/internal/lint/analysis"
+	"kite/internal/lint/analyzers"
 )
 
 // loadOnce shares one whole-module typecheck across the meta-tests; a
@@ -35,6 +36,70 @@ func TestLintCleanTree(t *testing.T) {
 	}
 }
 
+// TestConcurrencyLintCleanTree runs just the four concurrency-contract
+// analyzers (shardsafe, relpure, ringlink, atomicscope) and then pins the
+// escape-hatch annotations they hinge on: the barrier machinery must stay
+// declared //kite:synccore, the sanctioned cross-shard writers
+// //kite:shardok, and the intrusive ring operations //kite:ringlink.
+// Deleting an annotation either breaks the clean run (a finding appears)
+// or fails the pin below (the analyzer silently lost its anchor) — both
+// directions are covered.
+func TestConcurrencyLintCleanTree(t *testing.T) {
+	mod, err := loadOnce()
+	if err != nil {
+		t.Fatalf("load module: %v", err)
+	}
+	suite := []*analysis.Analyzer{
+		analyzers.Shardsafe, analyzers.Relpure, analyzers.Ringlink, analyzers.Atomicscope,
+	}
+	diags, err := lint.Run(mod, suite)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", lint.Format(mod, d))
+	}
+
+	synccore := []struct{ pkg, fn string }{
+		{"kite/internal/sim", "ensureWorkers"},
+		{"kite/internal/sim", "stopWorkers"},
+		{"kite/internal/sim", "workerLoop"},
+		{"kite/internal/sim", "runWindowShards"},
+		{"kite/internal/experiments", "RunAll"},
+		{"kite/internal/experiments", "tryGo"},
+	}
+	for _, r := range synccore {
+		if !funcHasDirective(mod, r.pkg, r.fn, "//kite:synccore") {
+			t.Errorf("%s.%s: no //kite:synccore-annotated declaration found", r.pkg, r.fn)
+		}
+	}
+	shardok := []struct{ pkg, fn string }{
+		{"kite/internal/framepool", "stageRemote"},
+		{"kite/internal/xen", "mark"},
+		{"kite/internal/xen", "scan"},
+	}
+	for _, r := range shardok {
+		if !funcHasDirective(mod, r.pkg, r.fn, "//kite:shardok") {
+			t.Errorf("%s.%s: no //kite:shardok-annotated declaration found", r.pkg, r.fn)
+		}
+	}
+	ringlink := []struct{ pkg, fn string }{
+		{"kite/internal/timewheel", "alloc"},
+		{"kite/internal/timewheel", "link"},
+		{"kite/internal/timewheel", "release"},
+		{"kite/internal/netback", "link"},
+		{"kite/internal/netback", "unlink"},
+		{"kite/internal/blkback", "link"},
+		{"kite/internal/blkback", "unlink"},
+		{"kite/internal/framepool", "stageRemote"},
+	}
+	for _, r := range ringlink {
+		if !funcHasDirective(mod, r.pkg, r.fn, "//kite:ringlink") {
+			t.Errorf("%s.%s: no //kite:ringlink-annotated declaration found", r.pkg, r.fn)
+		}
+	}
+}
+
 // TestDeterministicScope pins the simdet contract to the three packages
 // whose byte-identical output the experiment suite depends on. Removing
 // the directive would silently shrink the analyzer's scope; this test
@@ -44,7 +109,7 @@ func TestDeterministicScope(t *testing.T) {
 	if err != nil {
 		t.Fatalf("load module: %v", err)
 	}
-	for _, path := range []string{"kite/internal/sim", "kite/internal/core", "kite/internal/experiments"} {
+	for _, path := range []string{"kite/internal/sim", "kite/internal/core", "kite/internal/experiments", "kite/internal/timewheel"} {
 		if !pkgHasDirective(mod, path, "//kite:deterministic") {
 			t.Errorf("%s: package doc lost its //kite:deterministic directive", path)
 		}
@@ -79,14 +144,18 @@ func TestHotPathCoverage(t *testing.T) {
 		{"kite/internal/netback", "activate"},
 		{"kite/internal/netback", "link"},
 		{"kite/internal/netback", "unlink"},
+		{"kite/internal/netback", "round"},
 		{"kite/internal/blkback", "activate"},
 		{"kite/internal/blkback", "link"},
 		{"kite/internal/blkback", "unlink"},
+		{"kite/internal/blkback", "round"},
 		{"kite/internal/xen", "mark"},
 		{"kite/internal/xen", "scan"},
 		{"kite/internal/xen", "nextPending"},
 		{"kite/internal/timewheel", "Add"},
 		{"kite/internal/timewheel", "Advance"},
+		{"kite/internal/timewheel", "link"},
+		{"kite/internal/framepool", "stageRemote"},
 	}
 	for _, r := range roots {
 		if !funcHasDirective(mod, r.pkg, r.fn, "//kite:hotpath") {

@@ -8,6 +8,7 @@ package lint
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"kite/internal/lint/analysis"
 	"kite/internal/lint/analyzers"
@@ -28,11 +29,25 @@ func LoadModule(dir string) (*analysis.Module, error) {
 	return analysis.NewModule(l.ModulePath, pkgs), nil
 }
 
+// Timing records one analyzer's wall-clock over the whole module; the
+// module load/typecheck happens once before any analyzer runs, so these
+// measure analysis alone.
+type Timing struct {
+	Name    string
+	Elapsed time.Duration
+}
+
 // Run executes the given analyzers over every package of the module and
 // returns the findings sorted by position. Findings that landed on the
 // same position from different passes (a shared callee reached from hot
 // roots in two packages) are reported once.
 func Run(mod *analysis.Module, as []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
+	diags, _, err := RunTimed(mod, as)
+	return diags, err
+}
+
+// RunTimed is Run plus per-analyzer wall-clock, for `kitelint -v`.
+func RunTimed(mod *analysis.Module, as []*analysis.Analyzer) ([]analysis.Diagnostic, []Timing, error) {
 	type key struct {
 		analyzer string
 		pos      string
@@ -40,7 +55,9 @@ func Run(mod *analysis.Module, as []*analysis.Analyzer) ([]analysis.Diagnostic, 
 	}
 	seen := make(map[key]bool)
 	var out []analysis.Diagnostic
+	timings := make([]Timing, 0, len(as))
 	for _, a := range as {
+		start := time.Now()
 		for _, pkg := range mod.Pkgs {
 			pass := &analysis.Pass{
 				Analyzer: a,
@@ -56,9 +73,10 @@ func Run(mod *analysis.Module, as []*analysis.Analyzer) ([]analysis.Diagnostic, 
 				},
 			}
 			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)
+				return nil, nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)
 			}
 		}
+		timings = append(timings, Timing{Name: a.Name, Elapsed: time.Since(start)})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		pi, pj := mod.Fset.Position(out[i].Pos), mod.Fset.Position(out[j].Pos)
@@ -70,7 +88,7 @@ func Run(mod *analysis.Module, as []*analysis.Analyzer) ([]analysis.Diagnostic, 
 		}
 		return out[i].Message < out[j].Message
 	})
-	return out, nil
+	return out, timings, nil
 }
 
 // All returns the full analyzer suite.

@@ -132,6 +132,7 @@ func (l *ServiceLane) join(q *vifQueue) int32 {
 // link appends slot s to the active ring's tail (activation order).
 //
 //kite:hotpath
+//kite:ringlink link
 func (l *ServiceLane) link(s int32) {
 	m := &l.members[s]
 	if l.head < 0 {
@@ -149,6 +150,7 @@ func (l *ServiceLane) link(s int32) {
 // unlink removes slot s from the active ring in O(1).
 //
 //kite:hotpath
+//kite:ringlink unlink
 func (l *ServiceLane) unlink(s int32) {
 	m := &l.members[s]
 	if m.next == s {
@@ -201,6 +203,8 @@ func (l *ServiceLane) activate(q *vifQueue) {
 // the pass touches exactly the backlogged members plus one owed-doorbell
 // flush per served member at the end, never the full fleet. Another round
 // is scheduled while anyone still has backlog.
+//
+//kite:hotpath
 func (l *ServiceLane) round() {
 	n := l.activeN
 	if n == 0 {

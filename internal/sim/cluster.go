@@ -338,6 +338,7 @@ func (c *Cluster) Workers() int { return c.workers }
 // remaining range gets one parked goroutine for the cluster's lifetime.
 //
 //kite:coldpath runs only when SetWorkers changed the worker count since the last window
+//kite:synccore worker (re)spawn: channel and WaitGroup plumbing for the barrier itself
 func (c *Cluster) ensureWorkers() {
 	if c.spawnedFor == c.workers {
 		return
@@ -368,6 +369,8 @@ func (c *Cluster) ensureWorkers() {
 
 // stopWorkers retires the persistent workers (SetWorkers shrink or
 // re-partition) and waits for them to exit.
+//
+//kite:synccore worker retirement: epoch publish + wake + join are the barrier protocol
 func (c *Cluster) stopWorkers() {
 	if len(c.ws) == 0 {
 		c.spawnedFor = 0
@@ -399,6 +402,8 @@ func (c *Cluster) stopWorkers() {
 // The wake channel holds at most one token and the publisher always
 // deposits one after advancing the epoch, so a worker that re-parks after a
 // stale token can never miss a window.
+//
+//kite:synccore the parking/epoch handshake IS the synchronization core; shard code runs inside runShardRange
 func (c *Cluster) workerLoop(w *shardWorker) {
 	defer c.wg.Done()
 	var last uint64
@@ -444,6 +449,8 @@ func (c *Cluster) runShardRange(lo, hi int) {
 // runWindowShards executes the current window on every shard — inline when
 // serial, via the persistent workers when parallel. On return every shard's
 // windowDone is visible to the driving goroutine.
+//
+//kite:synccore window dispatch: epoch publish, wake tokens, and the done-channel join
 func (c *Cluster) runWindowShards() {
 	n := len(c.shards)
 	if c.workers <= 1 || n == 1 {

@@ -23,6 +23,8 @@
 // Nodes live in a freelist slab; steady state allocates nothing. All state
 // is owned by a single simulation goroutine (determinism: bucket drain order
 // is insertion order, which is simulation order).
+//
+//kite:deterministic
 package timewheel
 
 import "kite/internal/sim"
@@ -85,21 +87,34 @@ func (w *Wheel) Len() int { return w.live }
 //
 //kite:hotpath
 func (w *Wheel) Add(key uint64, seen sim.Time) Handle {
-	h := w.free
-	if h != None {
-		w.free = w.next[h]
-	} else {
-		h = Handle(len(w.next))
-		w.next = append(w.next, None) //kite:alloc-ok slab growth to the table high-water mark
-		w.key = append(w.key, 0)      //kite:alloc-ok slab growth to the table high-water mark
-	}
+	h := w.alloc()
 	w.key[h] = key
 	w.link(h, seen)
 	w.live++
 	return h
 }
 
+// alloc takes a node off the freelist, growing the slab when empty. The
+// caller owes the fresh handle a link (or a release) — kitelint's ringlink
+// analyzer enforces that on every path.
+//
+//kite:ringlink alloc
+func (w *Wheel) alloc() Handle {
+	h := w.free
+	if h != None {
+		w.free = w.next[h]
+		return h
+	}
+	h = Handle(len(w.next))
+	w.next = append(w.next, None) //kite:alloc-ok slab growth to the table high-water mark
+	w.key = append(w.key, 0)      //kite:alloc-ok slab growth to the table high-water mark
+	return h
+}
+
 // link pushes node h onto the bucket of seen's tick.
+//
+//kite:hotpath
+//kite:ringlink link
 func (w *Wheel) link(h Handle, seen sim.Time) {
 	b := (int64(seen) / int64(w.gran)) & w.mask
 	w.next[h] = w.buckets[b]
@@ -107,6 +122,8 @@ func (w *Wheel) link(h Handle, seen sim.Time) {
 }
 
 // release returns node h to the freelist.
+//
+//kite:ringlink free
 func (w *Wheel) release(h Handle) {
 	w.next[h] = w.free
 	w.free = h
